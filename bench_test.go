@@ -1,0 +1,78 @@
+package pstorm_test
+
+// One testing.B benchmark per reproduced table and figure. Each
+// iteration regenerates the experiment from scratch with a fixed seed;
+// the rendered tables go to the benchmark log on the first iteration so
+// `go test -bench=. -benchmem` both measures the harness and records
+// the reproduced numbers.
+//
+// fig6.2 (GBRT training with cross-validation at up to 10,000 trees) is
+// by far the heaviest experiment; run it alone with
+// `go test -bench=Fig6_2 -benchtime=1x`.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"pstorm/internal/bench"
+)
+
+// sharedEnv caches the profile bank across benchmarks in one process so
+// each benchmark measures its own experiment, not bank collection.
+var (
+	envOnce sync.Once
+	env     *bench.Env
+)
+
+func benchEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		env = bench.NewEnv(42)
+		if _, err := env.Bank(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return env
+}
+
+func runExperiment(b *testing.B, id string) {
+	e := benchEnv(b)
+	r, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := r.Run(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			for _, t := range tables {
+				t.Fprint(&buf)
+			}
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkTable6_1_WorkloadInventory(b *testing.B)  { runExperiment(b, "table6.1") }
+func BenchmarkTable6_2_DefaultRuntimes(b *testing.B)    { runExperiment(b, "table6.2") }
+func BenchmarkFig1_3_CoOccurrenceSpeedups(b *testing.B) { runExperiment(b, "fig1.3") }
+func BenchmarkFig4_1_ProfilingOverhead(b *testing.B)    { runExperiment(b, "fig4.1") }
+func BenchmarkFig4_3_MapPhaseTimes(b *testing.B)        { runExperiment(b, "fig4.3") }
+func BenchmarkFig4_5_PhaseSimilarity(b *testing.B)      { runExperiment(b, "fig4.5") }
+func BenchmarkFig4_6_ShuffleVsDataSize(b *testing.B)    { runExperiment(b, "fig4.6") }
+func BenchmarkFig6_1_MatchingAccuracy(b *testing.B)     { runExperiment(b, "fig6.1") }
+func BenchmarkFig6_2_GBRTComparison(b *testing.B)       { runExperiment(b, "fig6.2") }
+func BenchmarkFig6_3_TuningSpeedups(b *testing.B)       { runExperiment(b, "fig6.3") }
+
+func BenchmarkAblationFilterOrder(b *testing.B) { runExperiment(b, "ablation-filterorder") }
+func BenchmarkAblationCostFactors(b *testing.B) { runExperiment(b, "ablation-costfactors") }
+func BenchmarkAblationDataModel(b *testing.B)   { runExperiment(b, "ablation-datamodel") }
+func BenchmarkAblationPushdown(b *testing.B)    { runExperiment(b, "ablation-pushdown") }
+
+func BenchmarkExtCrossCluster(b *testing.B) { runExperiment(b, "ext-crosscluster") }
+func BenchmarkExtThresholds(b *testing.B)   { runExperiment(b, "ext-thresholds") }

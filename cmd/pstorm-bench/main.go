@@ -1,0 +1,68 @@
+// Command pstorm-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pstorm-bench [-seed N] [-run id[,id...]] [-list]
+//
+// With no -run flag every experiment runs, in the paper's order. The
+// experiment IDs follow the paper (table6.1, fig6.3, ...) plus the
+// ablations (ablation-pushdown, ...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pstorm/internal/bench"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "experiment seed (fixed seed = identical tables)")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.Experiments() {
+			fmt.Printf("%-22s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "" {
+		for _, r := range bench.Experiments() {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	env := bench.NewEnv(*seed)
+	failed := false
+	for _, id := range ids {
+		r, ok := bench.Lookup(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pstorm-bench: unknown experiment %q (use -list)\n", id)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		tables, err := r.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pstorm-bench: %s: %v\n", r.ID, err)
+			failed = true
+			continue
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Command pstorm-store runs a standalone profile-store server (the
+// hstore HTTP endpoint) or inspects a store: it can list stored
+// profiles, dump one profile, and show the META catalog — the pieces a
+// PStorM deployment on a shared cluster would operate with.
+//
+// Usage:
+//
+//	pstorm-store -serve :8765                  # run a store server
+//	pstorm-store -url http://host:8765 -list   # list profiles in it
+//	pstorm-store -url http://host:8765 -dump <jobID>
+//	pstorm-store -demo                         # in-process demo: seed, list, meta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"pstorm"
+	"pstorm/internal/core"
+	"pstorm/internal/hstore"
+)
+
+func main() {
+	serve := flag.String("serve", "", "address to serve a profile store on (e.g. :8765)")
+	url := flag.String("url", "", "URL of a running store server")
+	list := flag.Bool("list", false, "list stored profile IDs")
+	dump := flag.String("dump", "", "dump one stored profile as JSON")
+	del := flag.String("delete", "", "delete one stored profile by job ID")
+	demo := flag.Bool("demo", false, "run an in-process demo (seed a few profiles, list, show META)")
+	flag.Parse()
+
+	if err := run(*serve, *url, *list, *dump, *del, *demo); err != nil {
+		fmt.Fprintln(os.Stderr, "pstorm-store:", err)
+		os.Exit(1)
+	}
+}
+
+func run(serve, url string, list bool, dump, del string, demo bool) error {
+	if serve != "" {
+		srv := hstore.NewServer()
+		if _, err := core.NewStore(hstore.Connect(srv)); err != nil {
+			return err
+		}
+		fmt.Printf("profile store listening on %s (table %q created)\n", serve, core.TableName)
+		return http.ListenAndServe(serve, hstore.Handler(srv))
+	}
+
+	if demo {
+		return runDemo()
+	}
+
+	if url == "" {
+		return fmt.Errorf("need -serve, -demo, or -url (see -h)")
+	}
+	store, err := core.NewStore(hstore.Dial(url))
+	if err != nil {
+		return err
+	}
+	if list {
+		ids, err := store.JobIDs()
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			p, err := store.LoadProfile(id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-40s job=%-22s data=%-16s input=%dMB maps=%d reducers=%d complete=%v\n",
+				id, p.JobName, p.DatasetName, p.InputBytes>>20, p.NumMapTasks, p.NumReduceTasks, p.Complete)
+		}
+		return nil
+	}
+	if dump != "" {
+		p, err := store.LoadProfile(dump)
+		if err != nil {
+			return err
+		}
+		raw, err := p.Encode()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+		return nil
+	}
+	if del != "" {
+		if err := store.DeleteProfile(del); err != nil {
+			return err
+		}
+		fmt.Printf("deleted profile %s\n", del)
+		return nil
+	}
+	return fmt.Errorf("nothing to do: pass -list, -dump, or -delete with -url")
+}
+
+func runDemo() error {
+	sys, err := pstorm.Open(pstorm.Options{Seed: 42})
+	if err != nil {
+		return err
+	}
+	for _, jd := range [][2]string{
+		{"wordcount", "randomtext-1g"},
+		{"sort", "tera-1g"},
+		{"join", "tpch-1g"},
+	} {
+		job, err := pstorm.JobByName(jd[0])
+		if err != nil {
+			return err
+		}
+		ds, err := pstorm.DatasetByName(jd[1])
+		if err != nil {
+			return err
+		}
+		p, err := sys.CollectAndStore(job, ds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stored %s (%s on %s)\n", p.JobID, p.JobName, p.DatasetName)
+	}
+	ids, err := sys.StoredProfiles()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d profiles in the store:\n", len(ids))
+	for _, id := range ids {
+		fmt.Println("  ", id)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Command pstorm-tune submits one benchmark job through the full PStorM
+// workflow (Fig 1.2) and reports what happened: the 1-task sample, the
+// match verdict, the chosen configuration, and the runtime against the
+// default-configuration baseline.
+//
+// Usage:
+//
+//	pstorm-tune -job cooccurrence-pairs -data wiki-35g [-seed N] [-seed-store job1,job2,...]
+//
+// With -seed-store, the named jobs are first executed with profiling on
+// (on every dataset of theirs in the benchmark) to populate the profile
+// store — use "all" for the whole Table 6.1 benchmark minus the
+// submitted job, which reproduces the never-seen-job scenario.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pstorm"
+	"pstorm/internal/workloads"
+)
+
+func main() {
+	jobName := flag.String("job", "cooccurrence-pairs", "benchmark job to submit")
+	dsName := flag.String("data", "wiki-35g", "dataset to run on")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	seedStore := flag.String("seed-store", "", `jobs to profile into the store first ("all" = whole benchmark except -job)`)
+	flag.Parse()
+
+	if err := run(*jobName, *dsName, *seed, *seedStore); err != nil {
+		fmt.Fprintln(os.Stderr, "pstorm-tune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(jobName, dsName string, seed int64, seedStore string) error {
+	sys, err := pstorm.Open(pstorm.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	job, err := pstorm.JobByName(jobName)
+	if err != nil {
+		return err
+	}
+	ds, err := pstorm.DatasetByName(dsName)
+	if err != nil {
+		return err
+	}
+
+	if seedStore != "" {
+		var names []string
+		if seedStore == "all" {
+			for _, e := range workloads.Benchmark() {
+				if e.Spec.Name != jobName {
+					names = append(names, e.Spec.Name)
+				}
+			}
+		} else {
+			names = strings.Split(seedStore, ",")
+		}
+		fmt.Printf("seeding profile store with %d jobs...\n", len(names))
+		for _, n := range names {
+			for _, e := range workloads.Benchmark() {
+				if e.Spec.Name != strings.TrimSpace(n) {
+					continue
+				}
+				for _, dn := range e.DatasetNames {
+					d, err := pstorm.DatasetByName(dn)
+					if err != nil {
+						return err
+					}
+					if _, err := sys.CollectAndStore(e.Spec, d); err != nil {
+						return fmt.Errorf("seeding %s on %s: %w", e.Spec.Name, dn, err)
+					}
+				}
+			}
+		}
+		n, _ := sys.Store().Len()
+		fmt.Printf("store holds %d profiles\n\n", n)
+	}
+
+	defMs, err := sys.Run(job, ds, pstorm.DefaultConfig(job))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s on %s (%d splits)\n", job.Name, ds.Name, ds.Splits())
+	fmt.Printf("default config runtime: %.1f min\n\n", defMs/60000)
+
+	res, err := sys.Submit(job, ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("1-task sample cost: %.1f min\n", res.SampleCostMs/60000)
+	m := res.Match
+	fmt.Printf("map-side:    stage1=%d afterCFG=%d afterJaccard=%d fallback=%v winner=%s\n",
+		m.MapReport.Stage1Candidates, m.MapReport.AfterCFG, m.MapReport.AfterJaccard,
+		m.MapReport.UsedCostFallback, m.MapReport.Winner)
+	fmt.Printf("reduce-side: stage1=%d afterCFG=%d afterJaccard=%d fallback=%v winner=%s\n",
+		m.ReduceReport.Stage1Candidates, m.ReduceReport.AfterCFG, m.ReduceReport.AfterJaccard,
+		m.ReduceReport.UsedCostFallback, m.ReduceReport.Winner)
+	fmt.Println()
+	fmt.Println(pstorm.Describe(res))
+	if res.Tuned {
+		fmt.Printf("chosen config: %s\n", res.Config)
+		fmt.Printf("speedup over default: %.2fx\n", defMs/res.RuntimeMs)
+	}
+	return nil
+}

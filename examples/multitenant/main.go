@@ -1,0 +1,104 @@
+// Multi-tenant cluster: PStorM as a shared service (§1: "PStorM can be
+// deployed on the cluster of a cloud provider offering Hadoop as a
+// service").
+//
+// A stream of job submissions from different "tenants" hits one shared
+// PStorM deployment. Early submissions miss the store, pay for profiled
+// default-config runs, and populate it; later submissions of the same
+// or similar programs increasingly match and run tuned. The example
+// tracks the match rate and the cumulative time saved as the store
+// warms up.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pstorm"
+)
+
+// submission is one tenant's job arrival.
+type submission struct {
+	tenant string
+	job    *pstorm.Job
+	data   string
+}
+
+func main() {
+	sys, err := pstorm.Open(pstorm.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The arrival stream: several tenants, overlapping programs (teams
+	// reuse each other's mappers and reducers), two data scales.
+	base := []submission{
+		{"ads", pstorm.WordCount(), "wiki-35g"},
+		{"ads", pstorm.BigramRelativeFrequency(), "wiki-35g"},
+		{"search", pstorm.InvertedIndex(), "wiki-35g"},
+		{"search", pstorm.WordCount(), "wiki-35g"},
+		{"etl", pstorm.Sort(), "tera-35g"},
+		{"etl", pstorm.Join(), "tpch-35g"},
+		{"recsys", pstorm.ItemCF(), "ratings-10m"},
+		{"nlp", pstorm.CoOccurrencePairs(2), "wiki-35g"},
+		{"nlp", pstorm.BigramRelativeFrequency(), "wiki-35g"},
+		{"analytics", pstorm.PigMix()[1], "pigmix-35g"},
+		{"analytics", pstorm.PigMix()[2], "pigmix-35g"},
+	}
+	// Repeat the stream with jitter in order: tenants resubmit jobs.
+	rng := rand.New(rand.NewSource(7))
+	var stream []submission
+	for round := 0; round < 3; round++ {
+		perm := rng.Perm(len(base))
+		for _, i := range perm {
+			stream = append(stream, base[i])
+		}
+	}
+
+	var (
+		matched     int
+		savedMs     float64
+		defaultMs   = map[string]float64{}
+		streamTotal float64
+	)
+	fmt.Printf("%-4s %-10s %-24s %-14s %-9s %s\n", "#", "tenant", "job", "runtime", "matched", "donor")
+	for i, s := range stream {
+		ds, err := pstorm.DatasetByName(s.data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		key := s.job.Name + "|" + s.data
+		if _, ok := defaultMs[key]; !ok {
+			ms, err := sys.Run(s.job, ds, pstorm.DefaultConfig(s.job))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defaultMs[key] = ms
+		}
+		res, err := sys.Submit(s.job, ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		streamTotal += res.RuntimeMs + res.SampleCostMs
+		donor := "-"
+		if res.Tuned {
+			matched++
+			savedMs += defaultMs[key] - res.RuntimeMs - res.SampleCostMs
+			donor = res.Match.MapJobID
+			if res.Match.Composite {
+				donor += " + " + res.Match.ReduceJobID
+			}
+		}
+		fmt.Printf("%-4d %-10s %-24s %7.1f min   %-9v %s\n",
+			i+1, s.tenant, s.job.Name, res.RuntimeMs/60000, res.Tuned, donor)
+	}
+
+	n, _ := sys.Store().Len()
+	fmt.Printf("\nafter %d submissions: %d/%d ran tuned, %d profiles stored\n",
+		len(stream), matched, len(stream), n)
+	fmt.Printf("cumulative time saved vs always-default: %.0f min (%.0f%% of the stream's runtime)\n",
+		savedMs/60000, 100*savedMs/streamTotal)
+}

@@ -1,0 +1,129 @@
+// PerfXplain-style explanations (§2.3.2, §7.2.4).
+//
+// The paper argues the PStorM profile store can power a PerfXplain-like
+// system: because stored profiles carry static features (code
+// signatures, CFGs) alongside the dynamic statistics, a performance
+// difference between two jobs can be explained in terms of WHAT in the
+// code or data flow differs — not just which counter diverged.
+//
+// This example runs word count and word co-occurrence on the same
+// input, observes the runtime gap, and generates ranked explanations
+// from the stored profiles.
+//
+//	go run ./examples/perfxplain
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"pstorm"
+	"pstorm/internal/profile"
+)
+
+func main() {
+	sys, err := pstorm.Open(pstorm.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := pstorm.DatasetByName("wiki-35g")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fast, err := sys.CollectAndStore(pstorm.WordCount(), ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slow, err := sys.CollectAndStore(pstorm.CoOccurrencePairs(2), ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("observed: %s ran in %.0f min, %s in %.0f min on the same input (%.1fx gap)\n\n",
+		fast.JobName, fast.RuntimeMs/60000, slow.JobName, slow.RuntimeMs/60000,
+		slow.RuntimeMs/fast.RuntimeMs)
+	fmt.Println("why? explanations mined from the stored profiles, most significant first:")
+
+	for i, e := range explain(fast, slow) {
+		fmt.Printf("%2d. %s\n", i+1, e)
+	}
+}
+
+// explanation pairs a magnitude (how much of the gap it accounts for)
+// with a human-readable sentence combining dynamic and static evidence.
+type explanation struct {
+	weight float64
+	text   string
+}
+
+// explain compares two stored profiles and produces ranked explanations
+// in the PerfXplain style: each cites the dynamic observation and, when
+// the static features can account for it, the code-level cause.
+func explain(fast, slow *profile.Profile) []string {
+	var out []explanation
+	add := func(w float64, format string, args ...interface{}) {
+		if w > 0.05 {
+			out = append(out, explanation{w, fmt.Sprintf(format, args...)})
+		}
+	}
+
+	// Dynamic evidence: phase-time gaps, weighted by their share of the
+	// slow job's total task time.
+	slowTotal := slow.Map.TaskTimeMs*float64(slow.NumMapTasks) +
+		slow.Reduce.TaskTimeMs*float64(slow.NumReduceTasks)
+	phaseGap := func(side string, a, b profile.Side, phases []string) {
+		for _, ph := range phases {
+			gap := (b.PhaseMs[ph] - a.PhaseMs[ph]) * float64(slow.NumMapTasks)
+			if side == "reduce" {
+				gap = (b.PhaseMs[ph] - a.PhaseMs[ph]) * float64(slow.NumReduceTasks)
+			}
+			if gap <= 0 {
+				continue
+			}
+			add(gap/slowTotal, "the %s-side %s phase costs %.1fx more (%.0fs vs %.0fs per task)",
+				side, ph, b.PhaseMs[ph]/maxf(a.PhaseMs[ph], 1), b.PhaseMs[ph]/1000, a.PhaseMs[ph]/1000)
+		}
+	}
+	phaseGap("map", fast.Map, slow.Map, profile.MapPhases)
+	phaseGap("reduce", fast.Reduce, slow.Reduce, profile.ReducePhases)
+
+	// Static evidence: code-level causes for the dynamic gaps.
+	if fast.Map.StaticCFG != slow.Map.StaticCFG {
+		add(0.5, "the map functions differ structurally: CFG %q vs %q — the nested loop multiplies per-record CPU and output volume (§4.1.3)",
+			fast.Map.StaticCFG, slow.Map.StaticCFG)
+	}
+	ratio := slow.Map.DataFlow[profile.MapPairsSel] / maxf(fast.Map.DataFlow[profile.MapPairsSel], 1e-9)
+	if ratio > 1.3 {
+		add(0.6, "the slower map emits %.1fx more records per input record (MAP_PAIRS_SEL %.0f vs %.0f), inflating sort, spill, and shuffle",
+			ratio, slow.Map.DataFlow[profile.MapPairsSel], fast.Map.DataFlow[profile.MapPairsSel])
+	}
+	if fast.Map.StaticCategorical["MAPPER"] != slow.Map.StaticCategorical["MAPPER"] {
+		add(0.2, "different mapper classes (%s vs %s) — these are different programs, not a regression of one",
+			fast.Map.StaticCategorical["MAPPER"], slow.Map.StaticCategorical["MAPPER"])
+	}
+	if fast.Map.StaticCategorical["IN_FORMATTER"] != slow.Map.StaticCategorical["IN_FORMATTER"] {
+		add(0.3, "different input formatters (%s vs %s) explain the read-cost difference",
+			fast.Map.StaticCategorical["IN_FORMATTER"], slow.Map.StaticCategorical["IN_FORMATTER"])
+	}
+	combGap := slow.Map.DataFlow[profile.CombinePairsSel] / maxf(fast.Map.DataFlow[profile.CombinePairsSel], 1e-9)
+	if combGap > 1.5 {
+		add(0.4, "the combiner is %.1fx less effective (COMBINE_PAIRS_SEL %.3f vs %.3f): the co-occurring-pair key space saturates far more slowly than a word vocabulary",
+			combGap, slow.Map.DataFlow[profile.CombinePairsSel], fast.Map.DataFlow[profile.CombinePairsSel])
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].weight > out[j].weight })
+	texts := make([]string, len(out))
+	for i, e := range out {
+		texts[i] = e.text
+	}
+	return texts
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,50 @@
+// Quickstart: the smallest end-to-end PStorM session.
+//
+// A job is submitted twice. The first submission finds an empty profile
+// store, runs with the default configuration under the profiler, and
+// stores the collected profile. The second submission's 1-task sample
+// matches that profile, so the cost-based optimizer tunes the job and
+// it runs with profiling off — faster.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pstorm"
+)
+
+func main() {
+	sys, err := pstorm.Open(pstorm.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	job := pstorm.CoOccurrencePairs(2)
+	ds, err := pstorm.DatasetByName("randomtext-1g")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("submitting %q on %s (%d splits of 64 MB)\n\n", job.Name, ds.Name, ds.Splits())
+
+	first, err := sys.Submit(job, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("submission 1:", pstorm.Describe(first))
+
+	second, err := sys.Submit(job, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("submission 2:", pstorm.Describe(second))
+
+	fmt.Printf("\nspeedup of the tuned run over the first: %.2fx\n",
+		first.RuntimeMs/second.RuntimeMs)
+	fmt.Printf("sampling cost per submission: %.1f min (one map slot, §3)\n",
+		second.SampleCostMs/60000)
+	fmt.Printf("recommended configuration:\n  %s\n", second.Config)
+}

@@ -1,0 +1,49 @@
+// Workflow tuning (§7.2.5): analyses are chains of MapReduce jobs, not
+// single jobs. This example submits a two-stage pipeline — word count
+// feeding a global sort of its counts — twice. Each stage goes through
+// the full PStorM loop; the second submission finds both stage profiles
+// in the store and runs the whole pipeline tuned.
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pstorm"
+)
+
+func main() {
+	sys, err := pstorm.Open(pstorm.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stages := []*pstorm.Job{pstorm.WordCount(), pstorm.Sort()}
+	input, err := pstorm.DatasetByName("wiki-35g")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for round := 1; round <= 2; round++ {
+		res, err := sys.SubmitWorkflow(stages, input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workflow submission %d (%d/%d stages tuned, total %.1f min):\n",
+			round, res.TunedStages, len(res.Stages), res.TotalRuntimeMs/60000)
+		for i, st := range res.Stages {
+			mode := "profiled default run, profile stored"
+			if st.Submit.Tuned {
+				mode = fmt.Sprintf("tuned via %s", st.Submit.Match.MapJobID)
+			}
+			fmt.Printf("  stage %d %-10s in=%s (%d MB) -> out ~%d MB   %.1f min   %s\n",
+				i+1, st.Spec.Name, st.Input.Name, st.Input.NominalBytes>>20,
+				st.Submit.OutputBytes>>20, st.Submit.RuntimeMs/60000, mode)
+		}
+		fmt.Println()
+	}
+	n, _ := sys.Store().Len()
+	fmt.Printf("profile store now holds %d profiles; any other workflow using these\n", n)
+	fmt.Println("programs (a Pig plan with the same operators, say) reuses them directly")
+}

@@ -1,0 +1,3 @@
+module pstorm
+
+go 1.22

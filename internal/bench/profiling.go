@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pstorm/internal/data"
+	"pstorm/internal/engine"
+	"pstorm/internal/profile"
+	"pstorm/internal/rbo"
+	"pstorm/internal/workloads"
+)
+
+// RunTable61 prints the workload inventory (Table 6.1).
+func RunTable61(e *Env) ([]*Table, error) {
+	t := &Table{
+		ID:      "table6.1",
+		Title:   "Benchmark of Hadoop MapReduce Jobs",
+		Columns: []string{"MapReduce Job", "Application Domain", "Data sets", "Splits", "Combiner", "Map CFG"},
+	}
+	for _, entry := range workloads.Benchmark() {
+		var dss, splits string
+		for i, dn := range entry.DatasetNames {
+			ds, err := workloads.DatasetByName(dn)
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 {
+				dss += ", "
+				splits += ", "
+			}
+			dss += dn
+			splits += fmt.Sprintf("%d", ds.Splits())
+		}
+		comb := "no"
+		if entry.Spec.HasCombiner() {
+			comb = "yes"
+		}
+		t.Rows = append(t.Rows, []string{
+			entry.Spec.Name, entry.Domain, dss, splits, comb, entry.Spec.MapCFG().String(),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// table62Jobs are the four jobs of Table 6.2 / Fig 6.3, all on the
+// 35 GB Wikipedia set.
+var table62Jobs = []string{"wordcount", "cooccurrence-pairs", "inverted-index", "bigram-relfreq"}
+
+func wikiDataset() (*data.Dataset, error) { return workloads.DatasetByName("wiki-35g") }
+
+// RunTable62 reproduces Table 6.2: default-configuration runtimes.
+func RunTable62(e *Env) ([]*Table, error) {
+	wiki, err := wikiDataset()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "table6.2",
+		Title:   "Runtimes with the Default Hadoop Configuration (35 GB Wikipedia)",
+		Columns: []string{"Job Name", "Runtime (min)", "Paper (min)"},
+	}
+	paper := map[string]string{
+		"wordcount": "12", "cooccurrence-pairs": "824",
+		"inverted-index": "100", "bigram-relfreq": "302",
+	}
+	for _, name := range table62Jobs {
+		spec, err := workloads.JobByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := e.DefaultRuntime(spec, wiki)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{name, fmtMin(ms), paper[name]})
+	}
+	t.Notes = append(t.Notes,
+		"absolute scale differs from the paper's EC2 testbed; the ordering (wordcount << inverted-index < bigram < co-occurrence) is the reproduced shape")
+	return []*Table{t}, nil
+}
+
+// fig41Jobs pairs each large-data benchmark job with its big dataset.
+var fig41Jobs = []struct{ job, ds string }{
+	{"wordcount", "wiki-35g"},
+	{"inverted-index", "wiki-35g"},
+	{"bigram-relfreq", "wiki-35g"},
+	{"cooccurrence-pairs", "wiki-35g"},
+	{"sort", "tera-35g"},
+	{"join", "tpch-35g"},
+	{"cloudburst", "genome-lakewash"},
+	{"pigmix-l2", "pigmix-35g"},
+}
+
+// RunFig41 reproduces Fig 4.1: the overhead of 10% profiling vs 1-task
+// sampling, as a fraction of the job's runtime under RBO-recommended
+// settings, plus the map slots each consumes.
+func RunFig41(e *Env) ([]*Table, error) {
+	overhead := &Table{
+		ID:      "fig4.1a",
+		Title:   "Profiling Overhead as a Fraction of the RBO Runtime",
+		Columns: []string{"Job", "10% profiling", "1-task sampling"},
+	}
+	slots := &Table{
+		ID:      "fig4.1b",
+		Title:   "Map Slots Consumed",
+		Columns: []string{"Job", "Splits", "10% profiling", "1-task sampling"},
+	}
+	for _, jd := range fig41Jobs {
+		spec, err := workloads.JobByName(jd.job)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := workloads.DatasetByName(jd.ds)
+		if err != nil {
+			return nil, err
+		}
+		// Baseline: runtime with RBO settings, profiling off.
+		st, err := engine.Measure(spec, ds, []int{0, 1}, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg := rbo.Recommend(rbo.JobHints{
+			MapSizeSel:          st.MapSizeSel,
+			MapOutRecWidth:      st.MapOutRecWidth,
+			HasCombiner:         spec.HasCombiner(),
+			CombinerAssociative: spec.CombinerAssociative,
+		}, rbo.ClusterHints{ReduceSlots: e.Cluster.ReduceSlots()})
+		base, err := e.Engine.Run(spec, ds, cfg, engine.RunOptions{})
+		if err != nil {
+			return nil, err
+		}
+		// Samples are collected under the submitted (RBO) configuration,
+		// matching the figure's baseline.
+		tenPct := int(math.Ceil(0.1 * float64(ds.Splits())))
+		_, cost10, err := e.Engine.CollectSample(spec, ds, cfg, tenPct)
+		if err != nil {
+			return nil, err
+		}
+		_, cost1, err := e.Engine.CollectSample(spec, ds, cfg, 1)
+		if err != nil {
+			return nil, err
+		}
+		overhead.Rows = append(overhead.Rows, []string{
+			jd.job, fmtPct(cost10 / base.RuntimeMs), fmtPct(cost1 / base.RuntimeMs),
+		})
+		slots.Rows = append(slots.Rows, []string{
+			jd.job, fmt.Sprintf("%d", ds.Splits()), fmt.Sprintf("%d", tenPct), "1",
+		})
+	}
+	overhead.Notes = append(overhead.Notes, "paper shape: 1-task sampling is a small fraction of the 10% profiling cost")
+	return []*Table{overhead, slots}, nil
+}
+
+// phaseTable renders one side's per-task phase breakdown for a set of
+// bank profiles.
+func phaseTable(id, title string, phases []string, sideOf func(*profile.Profile) *profile.Side, entries []BankEntry) *Table {
+	t := &Table{ID: id, Title: title}
+	t.Columns = append([]string{"Job / Dataset"}, phases...)
+	t.Columns = append(t.Columns, "task total (s)")
+	for _, b := range entries {
+		side := sideOf(b.Profile)
+		row := []string{b.Spec.Name + " / " + b.Dataset.Name}
+		for _, ph := range phases {
+			row = append(row, fmtF(side.PhaseMs[ph]/1000, 1))
+		}
+		row = append(row, fmtF(side.TaskTimeMs/1000, 1))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func (e *Env) bankEntries(want ...[2]string) ([]BankEntry, error) {
+	bank, err := e.Bank()
+	if err != nil {
+		return nil, err
+	}
+	var out []BankEntry
+	for _, w := range want {
+		found := false
+		for _, b := range bank {
+			if b.Spec.Name == w[0] && b.Dataset.Name == w[1] {
+				out = append(out, b)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("bench: no bank profile for %s on %s", w[0], w[1])
+		}
+	}
+	return out, nil
+}
+
+// RunFig43 reproduces Fig 4.3: word count vs word co-occurrence map
+// phase times differ because their map-function CFGs differ.
+func RunFig43(e *Env) ([]*Table, error) {
+	entries, err := e.bankEntries([2]string{"wordcount", "wiki-35g"}, [2]string{"cooccurrence-pairs", "wiki-35g"})
+	if err != nil {
+		return nil, err
+	}
+	t := phaseTable("fig4.3", "Map-Phase Times (s per task): Word Count vs Word Co-occurrence",
+		profile.MapPhases, func(p *profile.Profile) *profile.Side { return &p.Map }, entries)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("map CFGs: wordcount=%q, co-occurrence=%q — different structure, different MAP/SPILL cost",
+			entries[0].Profile.Map.StaticCFG, entries[1].Profile.Map.StaticCFG))
+	return []*Table{t}, nil
+}
+
+// RunFig45 reproduces Fig 4.5: co-occurrence and bigram relative
+// frequency show closely matching phase breakdowns on the same input —
+// the motivation for reusing one's profile for the other.
+func RunFig45(e *Env) ([]*Table, error) {
+	entries, err := e.bankEntries([2]string{"cooccurrence-pairs", "wiki-35g"}, [2]string{"bigram-relfreq", "wiki-35g"})
+	if err != nil {
+		return nil, err
+	}
+	mapT := phaseTable("fig4.5-map", "Map Phase Times (s per task): Co-occurrence vs Bigram Rel. Freq.",
+		profile.MapPhases, func(p *profile.Profile) *profile.Side { return &p.Map }, entries)
+	redT := phaseTable("fig4.5-reduce", "Reduce Phase Times (s per task): Co-occurrence vs Bigram Rel. Freq.",
+		profile.ReducePhases, func(p *profile.Profile) *profile.Side { return &p.Reduce }, entries)
+	return []*Table{mapT, redT}, nil
+}
+
+// RunFig46 reproduces Fig 4.6: the same job's shuffle time differs
+// across dataset sizes — the rationale for the input-size tie-break.
+func RunFig46(e *Env) ([]*Table, error) {
+	entries, err := e.bankEntries([2]string{"cooccurrence-pairs", "randomtext-1g"}, [2]string{"cooccurrence-pairs", "wiki-35g"})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig4.6",
+		Title:   "Shuffle Times of Word Co-occurrence on Different Data Sets",
+		Columns: []string{"Dataset", "Input", "Shuffle (s per reduce task)", "Reduce task total (s)"},
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Dataset.NominalBytes < entries[j].Dataset.NominalBytes
+	})
+	for _, b := range entries {
+		t.Rows = append(t.Rows, []string{
+			b.Dataset.Name,
+			fmt.Sprintf("%.1f GB", float64(b.Dataset.NominalBytes)/float64(data.GB)),
+			fmtF(b.Profile.Reduce.PhaseMs[profile.PhaseShuffle]/1000, 1),
+			fmtF(b.Profile.Reduce.TaskTimeMs/1000, 1),
+		})
+	}
+	return []*Table{t}, nil
+}

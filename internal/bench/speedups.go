@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+
+	"pstorm/internal/cbo"
+	"pstorm/internal/core"
+	"pstorm/internal/engine"
+	"pstorm/internal/matcher"
+	"pstorm/internal/mrjob"
+	"pstorm/internal/profile"
+	"pstorm/internal/rbo"
+	"pstorm/internal/workloads"
+)
+
+// runRBO executes the job under Appendix B rules and returns runtime.
+func (e *Env) runRBO(spec *mrjob.Spec, dsName string) (float64, error) {
+	ds, err := workloads.DatasetByName(dsName)
+	if err != nil {
+		return 0, err
+	}
+	st, err := engine.Measure(spec, ds, []int{0, 1}, 0)
+	if err != nil {
+		return 0, err
+	}
+	cfg := rbo.Recommend(rbo.JobHints{
+		MapSizeSel:          st.MapSizeSel,
+		MapOutRecWidth:      st.MapOutRecWidth,
+		HasCombiner:         spec.HasCombiner(),
+		CombinerAssociative: spec.CombinerAssociative,
+	}, rbo.ClusterHints{ReduceSlots: e.Cluster.ReduceSlots()})
+	run, err := e.Engine.Run(spec, ds, cfg, engine.RunOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return run.RuntimeMs, nil
+}
+
+// runCBOWith tunes the job with the given profile and executes it.
+func (e *Env) runCBOWith(spec *mrjob.Spec, dsName string, prof *profile.Profile) (float64, error) {
+	ds, err := workloads.DatasetByName(dsName)
+	if err != nil {
+		return 0, err
+	}
+	rec, err := cbo.Optimize(prof, ds.NominalBytes, e.Cluster, spec.HasCombiner(), e.CBO)
+	if err != nil {
+		return 0, err
+	}
+	run, err := e.Engine.Run(spec, ds, rec.Config, engine.RunOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return run.RuntimeMs, nil
+}
+
+// RunFig13 reproduces Fig 1.3: speedups for the word co-occurrence
+// pairs job on 35 GB Wikipedia, using (a) the RBO, (b) the Starfish CBO
+// given the job's own complete profile, and (c) the CBO given the
+// bigram relative frequency job's profile instead.
+func RunFig13(e *Env) ([]*Table, error) {
+	spec, err := workloads.JobByName("cooccurrence-pairs")
+	if err != nil {
+		return nil, err
+	}
+	wiki, err := wikiDataset()
+	if err != nil {
+		return nil, err
+	}
+	defMs, err := e.DefaultRuntime(spec, wiki)
+	if err != nil {
+		return nil, err
+	}
+
+	rboMs, err := e.runRBO(spec, "wiki-35g")
+	if err != nil {
+		return nil, err
+	}
+	own, err := e.bankEntries([2]string{"cooccurrence-pairs", "wiki-35g"})
+	if err != nil {
+		return nil, err
+	}
+	ownMs, err := e.runCBOWith(spec, "wiki-35g", own[0].Profile)
+	if err != nil {
+		return nil, err
+	}
+	bigram, err := e.bankEntries([2]string{"bigram-relfreq", "wiki-35g"})
+	if err != nil {
+		return nil, err
+	}
+	otherMs, err := e.runCBOWith(spec, "wiki-35g", bigram[0].Profile)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "fig1.3",
+		Title:   "Speedups of Word Co-occurrence Pairs Using Different Tuning Approaches",
+		Columns: []string{"Tuning approach", "Speedup vs default", "Paper"},
+		Rows: [][]string{
+			{"RBO", fmtF(defMs/rboMs, 2) + "x", "~4.5x"},
+			{"CBO with own complete profile", fmtF(defMs/ownMs, 2) + "x", "~9x"},
+			{"CBO with bigram rel. freq. profile", fmtF(defMs/otherMs, 2) + "x", "slightly below own-profile"},
+		},
+	}
+	return []*Table{t}, nil
+}
+
+// storeState builds the Fig 6.3 content states for a submission of job
+// j on dataset d: SD keeps everything; DD removes the (j, d) profile
+// but keeps the twin; NJ removes every profile of job j.
+func (e *Env) storeState(state, job, dsName string) (*core.Store, error) {
+	switch state {
+	case "SD":
+		return e.StoreWith(nil)
+	case "DD":
+		return e.StoreWith(func(b BankEntry) bool {
+			return !(b.Spec.Name == job && b.Dataset.Name == dsName)
+		})
+	case "NJ":
+		return e.StoreWith(func(b BankEntry) bool { return b.Spec.Name != job })
+	default:
+		return nil, fmt.Errorf("bench: unknown store state %q", state)
+	}
+}
+
+// RunFig63 reproduces Fig 6.3: speedups of the four Table 6.2 jobs
+// under the RBO and under PStorM-provided profiles in the SD, DD, and
+// NJ store states.
+func RunFig63(e *Env) ([]*Table, error) {
+	wiki, err := wikiDataset()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig6.3",
+		Title:   "Speedups of Different MR Jobs With Different Configuration Parameter Settings (35 GB Wikipedia)",
+		Columns: []string{"Job", "RBO", "PStorM-SD", "PStorM-DD", "PStorM-NJ", "match(SD/DD/NJ)"},
+	}
+	m := matcher.New()
+	for _, name := range table62Jobs {
+		spec, err := workloads.JobByName(name)
+		if err != nil {
+			return nil, err
+		}
+		defMs, err := e.DefaultRuntime(spec, wiki)
+		if err != nil {
+			return nil, err
+		}
+		rboMs, err := e.runRBO(spec, "wiki-35g")
+		if err != nil {
+			return nil, err
+		}
+		sample, err := e.Sample(spec, wiki)
+		if err != nil {
+			return nil, err
+		}
+
+		row := []string{name, fmtF(defMs/rboMs, 2) + "x"}
+		var matchDesc string
+		for _, state := range []string{"SD", "DD", "NJ"} {
+			st, err := e.storeState(state, name, "wiki-35g")
+			if err != nil {
+				return nil, err
+			}
+			res, err := m.Match(st, sample)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Matched() {
+				row = append(row, "no match")
+				matchDesc += state + ":none "
+				continue
+			}
+			ms, err := e.runCBOWith(spec, "wiki-35g", res.Profile)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtF(defMs/ms, 2)+"x")
+			kind := "whole"
+			if res.Composite {
+				kind = "composite"
+			}
+			matchDesc += fmt.Sprintf("%s:%s(%s) ", state, res.MapJobID, kind)
+		}
+		row = append(row, matchDesc)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: PStorM speedups >= RBO in every state; NJ (never-seen job, composite profile) close to SD; co-occurrence ~9x and ~2x the RBO")
+	return []*Table{t}, nil
+}

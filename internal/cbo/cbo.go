@@ -1,0 +1,121 @@
+// Package cbo implements the Starfish cost-based optimizer (§2.3.1): it
+// searches the space of the 14 configuration parameters of Table 2.1,
+// invoking the What-If engine at every candidate point, and recommends
+// the configuration with the lowest predicted runtime. The search is
+// recursive random search (the algorithm Starfish uses): global random
+// exploration to find promising regions, then local neighbourhood
+// exploitation around the incumbent, with restarts.
+package cbo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/conf"
+	"pstorm/internal/profile"
+	"pstorm/internal/whatif"
+)
+
+// Options tune the search effort.
+type Options struct {
+	// ExploreSamples is the number of uniform random samples per restart
+	// (default 60).
+	ExploreSamples int
+	// ExploitSteps is the number of local refinement steps around each
+	// incumbent (default 40).
+	ExploitSteps int
+	// Restarts is the number of explore/exploit rounds (default 3).
+	Restarts int
+	// Seed drives the search's randomness (the What-If predictions
+	// themselves are deterministic).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ExploreSamples <= 0 {
+		o.ExploreSamples = 60
+	}
+	if o.ExploitSteps <= 0 {
+		o.ExploitSteps = 40
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+	return o
+}
+
+// Recommendation is the optimizer's output.
+type Recommendation struct {
+	Config conf.Config
+	// PredictedMs is the What-If runtime of the recommended config.
+	PredictedMs float64
+	// DefaultMs is the What-If runtime of the default config, for
+	// reporting predicted speedup.
+	DefaultMs float64
+	// Evaluations is the number of What-If calls made.
+	Evaluations int
+}
+
+// PredictedSpeedup is DefaultMs / PredictedMs.
+func (r *Recommendation) PredictedSpeedup() float64 {
+	if r.PredictedMs <= 0 {
+		return 0
+	}
+	return r.DefaultMs / r.PredictedMs
+}
+
+// Optimize searches for the configuration minimizing the What-If
+// predicted runtime of the job represented by prof, processing
+// inputBytes on cl. The default configuration (with the job's own
+// combiner setting) is always evaluated, so the recommendation is never
+// worse than the default in predicted terms.
+func Optimize(prof *profile.Profile, inputBytes int64, cl *cluster.Cluster, hasCombiner bool, opt Options) (*Recommendation, error) {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed*2_654_435_761 + 99991))
+	space := conf.DefaultSpace(cl.ReduceSlots())
+
+	evals := 0
+	predict := func(c conf.Config) (float64, error) {
+		evals++
+		return whatif.PredictRuntime(prof, inputBytes, cl, c)
+	}
+
+	def := conf.Default()
+	def.UseCombiner = hasCombiner
+	defMs, err := predict(def)
+	if err != nil {
+		return nil, fmt.Errorf("cbo: evaluating default config: %w", err)
+	}
+
+	best, bestMs := def, defMs
+	for restart := 0; restart < opt.Restarts; restart++ {
+		// Exploration: uniform random samples over the space.
+		incumbent, incumbentMs := best, bestMs
+		for i := 0; i < opt.ExploreSamples; i++ {
+			c := space.Sample(rng)
+			ms, err := predict(c)
+			if err != nil {
+				continue // invalid corner of the space; skip
+			}
+			if ms < incumbentMs {
+				incumbent, incumbentMs = c, ms
+			}
+		}
+		// Exploitation: hill-climb in the incumbent's neighbourhood.
+		for i := 0; i < opt.ExploitSteps; i++ {
+			c := space.Neighbor(incumbent, rng)
+			ms, err := predict(c)
+			if err != nil {
+				continue
+			}
+			if ms < incumbentMs {
+				incumbent, incumbentMs = c, ms
+			}
+		}
+		if incumbentMs < bestMs {
+			best, bestMs = incumbent, incumbentMs
+		}
+	}
+	return &Recommendation{Config: best, PredictedMs: bestMs, DefaultMs: defMs, Evaluations: evals}, nil
+}

@@ -1,0 +1,111 @@
+// Package cluster describes the (simulated) Hadoop cluster a MapReduce
+// job runs on: topology, task slots, and the hardware cost baselines
+// from which task phase times are derived. The default cluster mirrors
+// the paper's testbed: 16 Amazon EC2 c1.medium nodes — one master and
+// 15 workers, each worker with 2 map slots, 2 reduce slots, and 300 MB
+// of task heap.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Cluster is an immutable description of the execution environment.
+type Cluster struct {
+	Name string
+
+	Workers            int // worker (TaskTracker) nodes
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	TaskHeapMB         int // max heap of a task JVM (mapred.child.java.opts)
+
+	// IO and network cost baselines, in nanoseconds per byte. These are
+	// the "true" hardware costs; measured profile cost factors are these
+	// values perturbed by per-node utilization noise.
+	ReadHDFSNsPerByte   float64
+	WriteHDFSNsPerByte  float64
+	ReadLocalNsPerByte  float64
+	WriteLocalNsPerByte float64
+	NetworkNsPerByte    float64
+
+	// CPUNsPerStep converts jobdsl interpreter steps into nanoseconds.
+	CPUNsPerStep float64
+	// SortNsPerRecord is the CPU cost of one record comparison+move
+	// during sorting/merging.
+	SortNsPerRecord float64
+	// SerializeNsPerByte is the CPU cost of (de)serializing record bytes.
+	SerializeNsPerByte float64
+
+	// Compression model (LZO-like): CPU costs per byte and the achieved
+	// output/input size ratio.
+	CompressNsPerByte   float64
+	DecompressNsPerByte float64
+	CompressionRatio    float64
+
+	// Fixed per-task scheduling/JVM overheads, in milliseconds.
+	TaskSetupMs   float64
+	TaskCleanupMs float64
+
+	// NoiseStdDev controls the multiplicative per-node utilization noise
+	// applied to task costs (§4.1.1: cost factors vary between samples
+	// of the same job because nodes are under- or over-utilized).
+	NoiseStdDev float64
+
+	// TaskFailureProb is the probability that a scheduled task fails and
+	// is re-executed (MapReduce's fault tolerance, §2.1). Zero by
+	// default: the evaluation experiments run failure-free, as the
+	// paper's did; the failure-headroom experiment turns it on to ground
+	// the Appendix B "reducers = 90% of slots" rule.
+	TaskFailureProb float64
+}
+
+// Default16 returns the paper's 16-node EC2 c1.medium cluster.
+func Default16() *Cluster {
+	return &Cluster{
+		Name:                "ec2-c1medium-16",
+		Workers:             15,
+		MapSlotsPerNode:     2,
+		ReduceSlotsPerNode:  2,
+		TaskHeapMB:          300,
+		ReadHDFSNsPerByte:   18, // ~55 MB/s effective HDFS read
+		WriteHDFSNsPerByte:  30, // replication makes writes dearer
+		ReadLocalNsPerByte:  12, // ~83 MB/s local disk read
+		WriteLocalNsPerByte: 15, // ~66 MB/s local disk write
+		NetworkNsPerByte:    35, // shared 1 GbE during shuffle
+		CPUNsPerStep:        15, // compiled-JVM-equivalent cost per DSL step
+		SortNsPerRecord:     80, // per record, per sort/merge pass
+		SerializeNsPerByte:  2.5,
+		CompressNsPerByte:   22,
+		DecompressNsPerByte: 10,
+		CompressionRatio:    0.35,
+		TaskSetupMs:         1500,
+		TaskCleanupMs:       700,
+		NoiseStdDev:         0.12,
+	}
+}
+
+// MapSlots returns the cluster-wide number of map slots.
+func (c *Cluster) MapSlots() int { return c.Workers * c.MapSlotsPerNode }
+
+// ReduceSlots returns the cluster-wide number of reduce slots.
+func (c *Cluster) ReduceSlots() int { return c.Workers * c.ReduceSlotsPerNode }
+
+// NodeNoise draws one multiplicative utilization factor for a task
+// placement. Values are centred on 1.0; a heavily loaded node yields a
+// factor well above 1. The distribution is a clamped exp(N(0, sigma)),
+// giving the right-skew typical of shared clusters.
+func (c *Cluster) NodeNoise(r *rand.Rand) float64 {
+	f := 1.0
+	if c.NoiseStdDev > 0 {
+		// exp of a normal sample: log-normal, median 1.
+		f = math.Exp(r.NormFloat64() * c.NoiseStdDev)
+	}
+	if f < 0.6 {
+		f = 0.6
+	}
+	if f > 2.5 {
+		f = 2.5
+	}
+	return f
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefault16Topology(t *testing.T) {
+	c := Default16()
+	if c.Workers != 15 {
+		t.Errorf("Workers = %d, want 15 (16 nodes minus the master)", c.Workers)
+	}
+	if c.MapSlots() != 30 || c.ReduceSlots() != 30 {
+		t.Errorf("slots = %d/%d, want 30/30", c.MapSlots(), c.ReduceSlots())
+	}
+	if c.TaskHeapMB != 300 {
+		t.Errorf("TaskHeapMB = %d, want 300", c.TaskHeapMB)
+	}
+}
+
+func TestNodeNoiseBounds(t *testing.T) {
+	c := Default16()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			f := c.NodeNoise(r)
+			if f < 0.6 || f > 2.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeNoiseCentredNearOne(t *testing.T) {
+	c := Default16()
+	r := rand.New(rand.NewSource(1))
+	sum := 0.0
+	n := 10000
+	for i := 0; i < n; i++ {
+		sum += c.NodeNoise(r)
+	}
+	mean := sum / float64(n)
+	if mean < 0.95 || mean < 1.0-0.1 || mean > 1.1 {
+		t.Errorf("mean noise = %.3f, want near 1", mean)
+	}
+}
+
+func TestNodeNoiseDisabled(t *testing.T) {
+	c := Default16()
+	c.NoiseStdDev = 0
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if f := c.NodeNoise(r); f != 1 {
+			t.Fatalf("noise with zero stddev = %v, want exactly 1", f)
+		}
+	}
+}
+
+func TestNodeNoiseVaries(t *testing.T) {
+	c := Default16()
+	r := rand.New(rand.NewSource(1))
+	a, b := c.NodeNoise(r), c.NodeNoise(r)
+	if a == b {
+		t.Error("consecutive noise draws identical (no variance)")
+	}
+}
+
+func TestCostBaselinesSane(t *testing.T) {
+	c := Default16()
+	if c.ReadLocalNsPerByte >= c.ReadHDFSNsPerByte {
+		t.Error("local reads should be cheaper than HDFS reads")
+	}
+	if c.WriteHDFSNsPerByte <= c.WriteLocalNsPerByte {
+		t.Error("HDFS writes (replicated) should cost more than local writes")
+	}
+	if c.CompressionRatio <= 0 || c.CompressionRatio >= 1 {
+		t.Errorf("compression ratio %v should be in (0,1)", c.CompressionRatio)
+	}
+}

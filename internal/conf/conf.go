@@ -1,0 +1,245 @@
+// Package conf models the Hadoop MapReduce configuration parameters that
+// the Starfish cost-based optimizer tunes (Table 2.1 of the PStorM paper).
+//
+// A Config is a plain value type; the zero value is NOT valid — use
+// Default() for the stock Hadoop settings the paper's Table 2.1 lists.
+package conf
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config holds the 14 job-level configuration parameters identified by the
+// Starfish system as having a major impact on MapReduce job performance.
+// Field names follow the Hadoop property names in Table 2.1.
+type Config struct {
+	// IOSortMB is io.sort.mb: size in MB of the map-side memory buffer
+	// where map output records are serialized before being spilled.
+	IOSortMB int
+
+	// IOSortRecordPercent is io.sort.record.percent: the fraction of the
+	// map-side buffer reserved for per-record metadata (16 bytes/record).
+	IOSortRecordPercent float64
+
+	// IOSortSpillPercent is io.sort.spill.percent: the fill threshold of
+	// either buffer region that triggers a background spill to disk.
+	IOSortSpillPercent float64
+
+	// IOSortFactor is io.sort.factor: the number of spill streams merged
+	// at once during the external merge sort.
+	IOSortFactor int
+
+	// UseCombiner is mapreduce.combine.class != NULL: whether the job's
+	// combiner (if it defines one) is applied during spills and merges.
+	UseCombiner bool
+
+	// MinSpillsForCombine is min.num.spills.for.combine: the minimum
+	// number of on-disk spills before the combiner runs during the merge.
+	MinSpillsForCombine int
+
+	// CompressMapOutput is mapred.compress.map.output: whether the
+	// intermediate (map output) data is compressed.
+	CompressMapOutput bool
+
+	// ReduceSlowstart is mapred.reduce.slowstart.completed.maps: the
+	// fraction of map tasks that must finish before reducers are scheduled.
+	ReduceSlowstart float64
+
+	// ReduceTasks is mapred.reduce.tasks: the number of reduce tasks.
+	ReduceTasks int
+
+	// ShuffleInputBufferPercent is mapred.job.shuffle.input.buffer.percent:
+	// the fraction of reduce-task heap used to buffer shuffled map output.
+	ShuffleInputBufferPercent float64
+
+	// ShuffleMergePercent is mapred.job.shuffle.merge.percent: the fill
+	// threshold of the shuffle buffer that triggers an in-memory merge.
+	ShuffleMergePercent float64
+
+	// InMemMergeThreshold is mapred.inmem.merge.threshold: the number of
+	// map-output segments accumulated in memory before a merge is forced.
+	InMemMergeThreshold int
+
+	// ReduceInputBufferPercent is mapred.job.reduce.input.buffer.percent:
+	// the fraction of reduce heap allowed to retain map output while the
+	// reduce function runs (0 means everything is fed from disk).
+	ReduceInputBufferPercent float64
+
+	// CompressOutput is mapred.output.compress: whether the final job
+	// output written to the DFS is compressed.
+	CompressOutput bool
+}
+
+// Default returns the stock Hadoop configuration of Table 2.1.
+func Default() Config {
+	return Config{
+		IOSortMB:                  100,
+		IOSortRecordPercent:       0.05,
+		IOSortSpillPercent:        0.80,
+		IOSortFactor:              10,
+		UseCombiner:               false,
+		MinSpillsForCombine:       3,
+		CompressMapOutput:         false,
+		ReduceSlowstart:           0.05,
+		ReduceTasks:               1,
+		ShuffleInputBufferPercent: 0.70,
+		ShuffleMergePercent:       0.66,
+		InMemMergeThreshold:       1000,
+		ReduceInputBufferPercent:  0,
+		CompressOutput:            false,
+	}
+}
+
+// Validate reports whether every parameter is inside its legal domain.
+func (c Config) Validate() error {
+	switch {
+	case c.IOSortMB < 1 || c.IOSortMB > 2048:
+		return fmt.Errorf("conf: io.sort.mb %d out of range [1,2048]", c.IOSortMB)
+	case c.IOSortRecordPercent <= 0 || c.IOSortRecordPercent >= 1:
+		return fmt.Errorf("conf: io.sort.record.percent %v out of range (0,1)", c.IOSortRecordPercent)
+	case c.IOSortSpillPercent <= 0 || c.IOSortSpillPercent > 1:
+		return fmt.Errorf("conf: io.sort.spill.percent %v out of range (0,1]", c.IOSortSpillPercent)
+	case c.IOSortFactor < 2:
+		return fmt.Errorf("conf: io.sort.factor %d must be >= 2", c.IOSortFactor)
+	case c.MinSpillsForCombine < 1:
+		return fmt.Errorf("conf: min.num.spills.for.combine %d must be >= 1", c.MinSpillsForCombine)
+	case c.ReduceSlowstart < 0 || c.ReduceSlowstart > 1:
+		return fmt.Errorf("conf: mapred.reduce.slowstart.completed.maps %v out of range [0,1]", c.ReduceSlowstart)
+	case c.ReduceTasks < 1:
+		return fmt.Errorf("conf: mapred.reduce.tasks %d must be >= 1", c.ReduceTasks)
+	case c.ShuffleInputBufferPercent <= 0 || c.ShuffleInputBufferPercent > 1:
+		return fmt.Errorf("conf: mapred.job.shuffle.input.buffer.percent %v out of range (0,1]", c.ShuffleInputBufferPercent)
+	case c.ShuffleMergePercent <= 0 || c.ShuffleMergePercent > 1:
+		return fmt.Errorf("conf: mapred.job.shuffle.merge.percent %v out of range (0,1]", c.ShuffleMergePercent)
+	case c.InMemMergeThreshold < 1:
+		return fmt.Errorf("conf: mapred.inmem.merge.threshold %d must be >= 1", c.InMemMergeThreshold)
+	case c.ReduceInputBufferPercent < 0 || c.ReduceInputBufferPercent > 1:
+		return fmt.Errorf("conf: mapred.job.reduce.input.buffer.percent %v out of range [0,1]", c.ReduceInputBufferPercent)
+	}
+	return nil
+}
+
+// String renders the configuration as the familiar Hadoop property list.
+func (c Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "io.sort.mb=%d ", c.IOSortMB)
+	fmt.Fprintf(&b, "io.sort.record.percent=%.3f ", c.IOSortRecordPercent)
+	fmt.Fprintf(&b, "io.sort.spill.percent=%.2f ", c.IOSortSpillPercent)
+	fmt.Fprintf(&b, "io.sort.factor=%d ", c.IOSortFactor)
+	fmt.Fprintf(&b, "combiner=%t ", c.UseCombiner)
+	fmt.Fprintf(&b, "min.num.spills.for.combine=%d ", c.MinSpillsForCombine)
+	fmt.Fprintf(&b, "mapred.compress.map.output=%t ", c.CompressMapOutput)
+	fmt.Fprintf(&b, "mapred.reduce.slowstart.completed.maps=%.2f ", c.ReduceSlowstart)
+	fmt.Fprintf(&b, "mapred.reduce.tasks=%d ", c.ReduceTasks)
+	fmt.Fprintf(&b, "mapred.job.shuffle.input.buffer.percent=%.2f ", c.ShuffleInputBufferPercent)
+	fmt.Fprintf(&b, "mapred.job.shuffle.merge.percent=%.2f ", c.ShuffleMergePercent)
+	fmt.Fprintf(&b, "mapred.inmem.merge.threshold=%d ", c.InMemMergeThreshold)
+	fmt.Fprintf(&b, "mapred.job.reduce.input.buffer.percent=%.2f ", c.ReduceInputBufferPercent)
+	fmt.Fprintf(&b, "mapred.output.compress=%t", c.CompressOutput)
+	return b.String()
+}
+
+// Space describes the search domain the cost-based optimizer explores.
+// Bounds are inclusive. MaxReduceTasks is cluster-dependent (the CBO caps
+// the reducer count at roughly 2x the cluster's reduce slots, mirroring
+// the Starfish search space).
+type Space struct {
+	MaxReduceTasks int
+}
+
+// DefaultSpace returns the search space for a cluster exposing the given
+// total number of reduce slots.
+func DefaultSpace(reduceSlots int) Space {
+	if reduceSlots < 1 {
+		reduceSlots = 1
+	}
+	return Space{MaxReduceTasks: 2 * reduceSlots}
+}
+
+// Sample draws one uniformly random configuration from the space.
+func (s Space) Sample(r *rand.Rand) Config {
+	sortMBs := []int{50, 100, 150, 200, 250, 300}
+	factors := []int{5, 10, 20, 50, 100}
+	c := Config{
+		IOSortMB:                  sortMBs[r.Intn(len(sortMBs))],
+		IOSortRecordPercent:       0.01 + r.Float64()*0.40,
+		IOSortSpillPercent:        0.50 + r.Float64()*0.45,
+		IOSortFactor:              factors[r.Intn(len(factors))],
+		UseCombiner:               r.Intn(2) == 1,
+		MinSpillsForCombine:       1 + r.Intn(5),
+		CompressMapOutput:         r.Intn(2) == 1,
+		ReduceSlowstart:           r.Float64(),
+		ReduceTasks:               1 + r.Intn(s.MaxReduceTasks),
+		ShuffleInputBufferPercent: 0.30 + r.Float64()*0.60,
+		ShuffleMergePercent:       0.30 + r.Float64()*0.60,
+		InMemMergeThreshold:       100 + r.Intn(1900),
+		ReduceInputBufferPercent:  r.Float64() * 0.8,
+		CompressOutput:            r.Intn(2) == 1,
+	}
+	return c
+}
+
+// Neighbor perturbs one or two parameters of c, returning a nearby point.
+// Used by the recursive-random-search exploitation phase.
+func (s Space) Neighbor(c Config, r *rand.Rand) Config {
+	n := c
+	for i := 0; i < 1+r.Intn(2); i++ {
+		switch r.Intn(14) {
+		case 0:
+			n.IOSortMB = clampInt(n.IOSortMB+(r.Intn(5)-2)*50, 50, 300)
+		case 1:
+			n.IOSortRecordPercent = clampF(n.IOSortRecordPercent+(r.Float64()-0.5)*0.1, 0.01, 0.41)
+		case 2:
+			n.IOSortSpillPercent = clampF(n.IOSortSpillPercent+(r.Float64()-0.5)*0.2, 0.50, 0.95)
+		case 3:
+			n.IOSortFactor = clampInt(n.IOSortFactor+(r.Intn(3)-1)*10, 2, 100)
+		case 4:
+			n.UseCombiner = !n.UseCombiner
+		case 5:
+			n.MinSpillsForCombine = clampInt(n.MinSpillsForCombine+r.Intn(3)-1, 1, 5)
+		case 6:
+			n.CompressMapOutput = !n.CompressMapOutput
+		case 7:
+			n.ReduceSlowstart = clampF(n.ReduceSlowstart+(r.Float64()-0.5)*0.3, 0, 1)
+		case 8:
+			d := 1 + r.Intn(4)
+			if r.Intn(2) == 0 {
+				d = -d
+			}
+			n.ReduceTasks = clampInt(n.ReduceTasks+d, 1, s.MaxReduceTasks)
+		case 9:
+			n.ShuffleInputBufferPercent = clampF(n.ShuffleInputBufferPercent+(r.Float64()-0.5)*0.2, 0.30, 0.90)
+		case 10:
+			n.ShuffleMergePercent = clampF(n.ShuffleMergePercent+(r.Float64()-0.5)*0.2, 0.30, 0.90)
+		case 11:
+			n.InMemMergeThreshold = clampInt(n.InMemMergeThreshold+(r.Intn(3)-1)*200, 100, 2000)
+		case 12:
+			n.ReduceInputBufferPercent = clampF(n.ReduceInputBufferPercent+(r.Float64()-0.5)*0.2, 0, 0.8)
+		case 13:
+			n.CompressOutput = !n.CompressOutput
+		}
+	}
+	return n
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,121 @@
+package conf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesTable21(t *testing.T) {
+	c := Default()
+	if c.IOSortMB != 100 || c.IOSortRecordPercent != 0.05 || c.IOSortSpillPercent != 0.80 ||
+		c.IOSortFactor != 10 || c.UseCombiner || c.MinSpillsForCombine != 3 ||
+		c.CompressMapOutput || c.ReduceSlowstart != 0.05 || c.ReduceTasks != 1 ||
+		c.ShuffleInputBufferPercent != 0.70 || c.ShuffleMergePercent != 0.66 ||
+		c.InMemMergeThreshold != 1000 || c.ReduceInputBufferPercent != 0 || c.CompressOutput {
+		t.Errorf("Default() deviates from Table 2.1: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Default() invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadValues(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"io.sort.mb low", func(c *Config) { c.IOSortMB = 0 }},
+		{"io.sort.mb high", func(c *Config) { c.IOSortMB = 5000 }},
+		{"record percent zero", func(c *Config) { c.IOSortRecordPercent = 0 }},
+		{"record percent one", func(c *Config) { c.IOSortRecordPercent = 1 }},
+		{"spill percent", func(c *Config) { c.IOSortSpillPercent = 1.5 }},
+		{"sort factor", func(c *Config) { c.IOSortFactor = 1 }},
+		{"min spills", func(c *Config) { c.MinSpillsForCombine = 0 }},
+		{"slowstart", func(c *Config) { c.ReduceSlowstart = -0.1 }},
+		{"reduce tasks", func(c *Config) { c.ReduceTasks = 0 }},
+		{"shuffle input buffer", func(c *Config) { c.ShuffleInputBufferPercent = 0 }},
+		{"shuffle merge", func(c *Config) { c.ShuffleMergePercent = 1.2 }},
+		{"inmem threshold", func(c *Config) { c.InMemMergeThreshold = 0 }},
+		{"reduce input buffer", func(c *Config) { c.ReduceInputBufferPercent = 2 }},
+	}
+	for _, m := range mutations {
+		c := Default()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad config", m.name)
+		}
+	}
+}
+
+func TestStringListsAllParameters(t *testing.T) {
+	s := Default().String()
+	for _, p := range []string{
+		"io.sort.mb", "io.sort.record.percent", "io.sort.spill.percent",
+		"io.sort.factor", "combiner", "min.num.spills.for.combine",
+		"mapred.compress.map.output", "mapred.reduce.slowstart.completed.maps",
+		"mapred.reduce.tasks", "mapred.job.shuffle.input.buffer.percent",
+		"mapred.job.shuffle.merge.percent", "mapred.inmem.merge.threshold",
+		"mapred.job.reduce.input.buffer.percent", "mapred.output.compress",
+	} {
+		if !strings.Contains(s, p+"=") {
+			t.Errorf("String() missing %s", p)
+		}
+	}
+}
+
+// Property: every sampled configuration is valid and inside the space.
+func TestSampleAlwaysValidProperty(t *testing.T) {
+	space := DefaultSpace(30)
+	prop := func(seed int64) bool {
+		c := space.Sample(rand.New(rand.NewSource(seed)))
+		return c.Validate() == nil && c.ReduceTasks >= 1 && c.ReduceTasks <= space.MaxReduceTasks
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: neighbours of valid configurations stay valid.
+func TestNeighborStaysValidProperty(t *testing.T) {
+	space := DefaultSpace(30)
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := space.Sample(r)
+		for i := 0; i < 20; i++ {
+			c = space.Neighbor(c, r)
+			if c.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborPerturbs(t *testing.T) {
+	space := DefaultSpace(30)
+	r := rand.New(rand.NewSource(7))
+	c := Default()
+	changed := 0
+	for i := 0; i < 50; i++ {
+		if space.Neighbor(c, r) != c {
+			changed++
+		}
+	}
+	if changed < 40 {
+		t.Errorf("Neighbor changed the config only %d/50 times", changed)
+	}
+}
+
+func TestDefaultSpaceClampsSlots(t *testing.T) {
+	if s := DefaultSpace(0); s.MaxReduceTasks < 1 {
+		t.Errorf("MaxReduceTasks = %d for zero slots", s.MaxReduceTasks)
+	}
+	if s := DefaultSpace(30); s.MaxReduceTasks != 60 {
+		t.Errorf("MaxReduceTasks = %d, want 60", s.MaxReduceTasks)
+	}
+}

@@ -1,0 +1,21 @@
+package core_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"pstorm/internal/hstore"
+)
+
+// newHTTPServer wraps an hstore server in an httptest server for tests
+// that exercise the remote transport.
+type httpFixture struct {
+	url   string
+	close func()
+}
+
+func newHTTPServer(t *testing.T, s *hstore.Server) *httpFixture {
+	t.Helper()
+	ts := httptest.NewServer(hstore.Handler(s))
+	return &httpFixture{url: ts.URL, close: ts.Close}
+}

@@ -1,0 +1,265 @@
+// Package core is PStorM itself: the profile store (Chapter 5) layered
+// on the hstore column store using the Table 5.1 data model, and the
+// submission workflow of Fig 1.2 that ties the sampler, the matcher,
+// and the Starfish-style cost-based optimizer together.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"pstorm/internal/hstore"
+	"pstorm/internal/matcher"
+	"pstorm/internal/profile"
+)
+
+// TableName is the single profiles table of the Table 5.1 data model:
+// one table, one column family, feature type as the row-key prefix.
+const TableName = "pstorm"
+
+// Row-key helpers. The data model of Table 5.1 keys rows as
+// "<FeatureType>/<JobID>" so rows of one feature type are contiguous —
+// the locality argument of §5.1/§5.2. Bounds rows use a "!" prefix so
+// they sort before (and never mix with) profile rows of the same type.
+func featureRowKey(ftype, jobID string) string { return ftype + "/" + jobID }
+func boundsRowKey(ftype string) string         { return "!bounds/" + ftype }
+
+const (
+	ftMeta        = "meta"
+	profileColumn = "profile"
+)
+
+// Store is the PStorM profile store.
+type Store struct {
+	client *hstore.Client
+
+	// mu serializes bounds maintenance (read-modify-write).
+	mu sync.Mutex
+}
+
+// NewStore opens (creating if necessary) the profile store on the given
+// hstore client.
+func NewStore(client *hstore.Client) (*Store, error) {
+	if err := client.CreateTable(TableName); err != nil {
+		// An existing table is fine: the store is shared across runs.
+		if _, _, gerr := client.Get(TableName, "!probe"); gerr != nil {
+			return nil, fmt.Errorf("core: opening profile store: %w", err)
+		}
+	}
+	return &Store{client: client}, nil
+}
+
+func fmtFloat(v float64) []byte {
+	return []byte(strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// PutProfile stores a complete profile under the Table 5.1 schema: one
+// row per (feature type, job), plus the serialized profile itself and
+// maintained min/max bounds per numeric feature.
+func (s *Store) PutProfile(p *profile.Profile) error {
+	if p == nil || p.JobID == "" {
+		return fmt.Errorf("core: profile must have a JobID")
+	}
+	raw, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	rows := []hstore.Row{
+		dynRow(matcher.FTDynMap, p.JobID, p.Map.DataFlow, profile.MapDataFlowFeatures, p.InputBytes),
+		dynRow(matcher.FTDynRed, p.JobID, p.Reduce.DataFlow, profile.ReduceDataFlowFeatures, p.InputBytes),
+		statRow(matcher.FTStatMap, p.JobID, p.Map.StaticCategorical, p.Map.StaticCFG, p.Map.StaticCallSig, p.Params),
+		statRow(matcher.FTStatRed, p.JobID, p.Reduce.StaticCategorical, p.Reduce.StaticCFG, p.Reduce.StaticCallSig, p.Params),
+		costRow(matcher.FTCostMap, p.JobID, p.Map.CostFactors, profile.MapCostFeatures),
+		costRow(matcher.FTCostRed, p.JobID, p.Reduce.CostFactors, profile.ReduceCostFeatures),
+		{Key: featureRowKey(ftMeta, p.JobID), Columns: map[string][]byte{profileColumn: raw}},
+	}
+	for _, r := range rows {
+		if err := s.client.PutRow(TableName, r); err != nil {
+			return err
+		}
+	}
+	// Maintain normalization bounds (§4.2: the store tracks the min and
+	// max observed value of each feature).
+	for _, upd := range []struct {
+		ftype    string
+		values   map[string]float64
+		features []string
+	}{
+		{matcher.FTDynMap, p.Map.DataFlow, profile.MapDataFlowFeatures},
+		{matcher.FTDynRed, p.Reduce.DataFlow, profile.ReduceDataFlowFeatures},
+		{matcher.FTCostMap, p.Map.CostFactors, profile.MapCostFeatures},
+		{matcher.FTCostRed, p.Reduce.CostFactors, profile.ReduceCostFeatures},
+	} {
+		if err := s.updateBounds(upd.ftype, upd.features, upd.values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dynRow(ftype, jobID string, values map[string]float64, features []string, inputBytes int64) hstore.Row {
+	cols := make(map[string][]byte, len(features)+1)
+	for _, f := range features {
+		cols[f] = fmtFloat(values[f])
+	}
+	cols[matcher.InputBytesColumn] = []byte(strconv.FormatInt(inputBytes, 10))
+	return hstore.Row{Key: featureRowKey(ftype, jobID), Columns: cols}
+}
+
+func statRow(ftype, jobID string, cat map[string]string, cfg, callSig string, params map[string]string) hstore.Row {
+	cols := make(map[string][]byte, len(cat)+len(params)+2)
+	for k, v := range cat {
+		cols[k] = []byte(v)
+	}
+	cols[matcher.CFGColumn] = []byte(cfg)
+	if callSig != "" {
+		cols[matcher.CallSigColumn] = []byte(callSig)
+	}
+	// Job parameters ride with the static features so the §7.2.1
+	// extension (parameters as static features) can match on them.
+	for k, v := range params {
+		cols[matcher.ParamColumnPrefix+k] = []byte(v)
+	}
+	return hstore.Row{Key: featureRowKey(ftype, jobID), Columns: cols}
+}
+
+func costRow(ftype, jobID string, values map[string]float64, features []string) hstore.Row {
+	cols := make(map[string][]byte, len(features))
+	for _, f := range features {
+		cols[f] = fmtFloat(values[f])
+	}
+	return hstore.Row{Key: featureRowKey(ftype, jobID), Columns: cols}
+}
+
+func (s *Store) updateBounds(ftype string, features []string, values map[string]float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row, ok, err := s.client.Get(TableName, boundsRowKey(ftype))
+	if err != nil {
+		return err
+	}
+	cols := make(map[string][]byte)
+	if ok {
+		cols = row.Columns
+	}
+	changed := make(map[string][]byte)
+	for _, f := range features {
+		v := values[f]
+		minKey, maxKey := f+".min", f+".max"
+		if raw, ok := cols[minKey]; ok {
+			if cur, err := strconv.ParseFloat(string(raw), 64); err == nil && cur <= v {
+				// keep current min
+			} else {
+				changed[minKey] = fmtFloat(v)
+			}
+		} else {
+			changed[minKey] = fmtFloat(v)
+		}
+		if raw, ok := cols[maxKey]; ok {
+			if cur, err := strconv.ParseFloat(string(raw), 64); err == nil && cur >= v {
+				// keep current max
+			} else {
+				changed[maxKey] = fmtFloat(v)
+			}
+		} else {
+			changed[maxKey] = fmtFloat(v)
+		}
+	}
+	for c, v := range changed {
+		if err := s.client.Put(TableName, boundsRowKey(ftype), c, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanFeatures implements matcher.Store: a prefix scan over one feature
+// type with the filter pushed down to the region server.
+func (s *Store) ScanFeatures(ftype string, f hstore.Filter) ([]matcher.Entry, error) {
+	start := ftype + "/"
+	end := ftype + "0" // '0' is the byte after '/'
+	rows, err := s.client.Scan(TableName, start, end, f, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]matcher.Entry, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, matcher.Entry{JobID: r.Key[len(start):], Row: r})
+	}
+	return out, nil
+}
+
+// GetFeatures implements matcher.Store.
+func (s *Store) GetFeatures(ftype, jobID string) (hstore.Row, bool, error) {
+	return s.client.Get(TableName, featureRowKey(ftype, jobID))
+}
+
+// Bounds implements matcher.Store.
+func (s *Store) Bounds(ftype string, features []string) ([]float64, []float64, error) {
+	row, ok, err := s.client.Get(TableName, boundsRowKey(ftype))
+	minB := make([]float64, len(features))
+	maxB := make([]float64, len(features))
+	if err != nil || !ok {
+		return minB, maxB, err
+	}
+	for i, f := range features {
+		if raw, ok := row.Columns[f+".min"]; ok {
+			minB[i], _ = strconv.ParseFloat(string(raw), 64)
+		}
+		if raw, ok := row.Columns[f+".max"]; ok {
+			maxB[i], _ = strconv.ParseFloat(string(raw), 64)
+		}
+	}
+	return minB, maxB, nil
+}
+
+// LoadProfile implements matcher.Store.
+func (s *Store) LoadProfile(jobID string) (*profile.Profile, error) {
+	row, ok, err := s.client.Get(TableName, featureRowKey(ftMeta, jobID))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: no stored profile for job %s", jobID)
+	}
+	return profile.Decode(row.Columns[profileColumn])
+}
+
+// DeleteProfile removes a stored profile: every feature row and the
+// serialized profile blob are tombstoned (§5: "updates consist of
+// adding new profiles ... and possibly deleting old profiles to free
+// up space"). Normalization bounds are high-water marks and are not
+// shrunk by deletion, matching the store's monotone min/max semantics.
+func (s *Store) DeleteProfile(jobID string) error {
+	for _, ft := range []string{
+		matcher.FTDynMap, matcher.FTDynRed, matcher.FTStatMap,
+		matcher.FTStatRed, matcher.FTCostMap, matcher.FTCostRed, ftMeta,
+	} {
+		if err := s.client.DeleteRow(TableName, featureRowKey(ft, jobID)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JobIDs lists every stored profile's job ID.
+func (s *Store) JobIDs() ([]string, error) {
+	rows, err := s.client.Scan(TableName, ftMeta+"/", ftMeta+"0", nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r.Key[len(ftMeta)+1:])
+	}
+	return out, nil
+}
+
+// Len returns the number of stored profiles.
+func (s *Store) Len() (int, error) {
+	ids, err := s.JobIDs()
+	return len(ids), err
+}
+
+var _ matcher.Store = (*Store)(nil)

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"pstorm/internal/cbo"
+	"pstorm/internal/cluster"
+	"pstorm/internal/conf"
+	"pstorm/internal/data"
+	"pstorm/internal/engine"
+	"pstorm/internal/matcher"
+	"pstorm/internal/mrjob"
+	"pstorm/internal/profile"
+)
+
+// System is the PStorM daemon of Fig 1.2: it receives job submissions,
+// runs the 1-task sampler, probes the profile store through the
+// matcher, and either (a) hands the matched profile to the cost-based
+// optimizer and runs the job tuned with profiling off, or (b) runs the
+// job with profiling on and stores the collected profile for future
+// submissions.
+type System struct {
+	Store   *Store
+	Engine  *engine.Engine
+	Matcher *matcher.Matcher
+	Cluster *cluster.Cluster
+
+	// CBO configures the optimizer search.
+	CBO cbo.Options
+
+	// SampleTasks is the sampler size; PStorM uses 1 (§3).
+	SampleTasks int
+}
+
+// NewSystem wires a PStorM system together.
+func NewSystem(store *Store, eng *engine.Engine) *System {
+	return &System{
+		Store:       store,
+		Engine:      eng,
+		Matcher:     matcher.New(),
+		Cluster:     eng.Cluster,
+		SampleTasks: 1,
+	}
+}
+
+// DefaultConfig is the configuration a job runs with when no tuning is
+// applied: Table 2.1 defaults, with the job's own combiner honoured
+// (the combiner is set in job code, not cluster configuration).
+func DefaultConfig(spec *mrjob.Spec) conf.Config {
+	c := conf.Default()
+	c.UseCombiner = spec.HasCombiner()
+	return c
+}
+
+// SubmitResult describes what happened to a submission.
+type SubmitResult struct {
+	// JobID is the executed run's ID.
+	JobID string
+	// Tuned reports whether a matching profile was found and the job ran
+	// with CBO-recommended settings.
+	Tuned bool
+	// Match is the matcher's verdict (always set).
+	Match *matcher.Result
+	// Config is the configuration the job executed with.
+	Config conf.Config
+	// RuntimeMs is the job's (simulated) runtime.
+	RuntimeMs float64
+	// SampleCostMs is the simulated cost of the 1-task sample collection.
+	SampleCostMs float64
+	// ProfileStored reports whether a new full profile was collected and
+	// stored (the no-match path).
+	ProfileStored bool
+	// StoredProfileID is the ID of the stored profile, if any.
+	StoredProfileID string
+	// PredictedMs is the CBO's predicted runtime for the chosen config
+	// (tuned path only).
+	PredictedMs float64
+	// OutputBytes estimates the job's total output size (reduce output
+	// across all reducers) — the input size of a downstream stage in a
+	// workflow (§7.2.5).
+	OutputBytes int64
+}
+
+// Submit runs the full PStorM workflow for one job submission.
+func (s *System) Submit(spec *mrjob.Spec, ds *data.Dataset) (*SubmitResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	defCfg := DefaultConfig(spec)
+
+	// 1. Collect the 1-task sample profile (map task + reducers over its
+	// output), with profiling on.
+	k := s.SampleTasks
+	if k < 1 {
+		k = 1
+	}
+	sample, sampleCost, err := s.Engine.CollectSample(spec, ds, defCfg, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling %s: %w", spec.Name, err)
+	}
+	// The sample probes the store for the submitted input's size, so
+	// tie-breaking compares against the full dataset, not the sample.
+	sample.InputBytes = ds.NominalBytes
+
+	// 2. Probe the profile store.
+	match, err := s.Matcher.Match(s.Store, sample)
+	if err != nil {
+		return nil, fmt.Errorf("core: matching %s: %w", spec.Name, err)
+	}
+
+	res := &SubmitResult{Match: match, SampleCostMs: sampleCost}
+
+	if match.Matched() {
+		// 3a. Tune with the CBO and run with profiling off.
+		rec, err := cbo.Optimize(match.Profile, ds.NominalBytes, s.Cluster, spec.HasCombiner(), s.CBO)
+		if err != nil {
+			return nil, fmt.Errorf("core: optimizing %s: %w", spec.Name, err)
+		}
+		run, err := s.Engine.Run(spec, ds, rec.Config, engine.RunOptions{})
+		if err != nil {
+			return nil, err
+		}
+		res.JobID = run.JobID
+		res.Tuned = true
+		res.Config = rec.Config
+		res.RuntimeMs = run.RuntimeMs
+		res.PredictedMs = rec.PredictedMs
+		res.OutputBytes = int64(run.ReduceModel.OutBytes * float64(rec.Config.ReduceTasks))
+		return res, nil
+	}
+
+	// 3b. No match: run with the submitted (default) configuration,
+	// profiler on, and store the collected profile.
+	run, err := s.Engine.Run(spec, ds, defCfg, engine.RunOptions{Profiling: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Store.PutProfile(run.Profile); err != nil {
+		return nil, fmt.Errorf("core: storing profile of %s: %w", spec.Name, err)
+	}
+	res.JobID = run.JobID
+	res.Config = defCfg
+	res.RuntimeMs = run.RuntimeMs
+	res.ProfileStored = true
+	res.StoredProfileID = run.Profile.JobID
+	res.OutputBytes = int64(run.ReduceModel.OutBytes * float64(defCfg.ReduceTasks))
+	return res, nil
+}
+
+// CollectAndStore executes the job with profiling on (default config)
+// and stores the profile — the bootstrap path used to seed the store
+// for experiments.
+func (s *System) CollectAndStore(spec *mrjob.Spec, ds *data.Dataset) (*profile.Profile, error) {
+	run, err := s.Engine.Run(spec, ds, DefaultConfig(spec), engine.RunOptions{Profiling: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Store.PutProfile(run.Profile); err != nil {
+		return nil, err
+	}
+	return run.Profile, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"pstorm/internal/data"
+	"pstorm/internal/engine"
+	"pstorm/internal/mrjob"
+)
+
+// Workflow support (§7.2.5): big-data analyses are usually chains of
+// MapReduce jobs emitted by Pig/Hive plans, not single jobs. A workflow
+// submission runs each stage through the full PStorM loop — sample,
+// match, tune, execute — feeding each stage's output to the next as a
+// derived dataset (a materialized sample of the stage's reduce output
+// plus the modelled output size). Profiles collected for stage programs
+// are stored like any other, so recurring workflows get every stage
+// tuned on resubmission — and stages shared between *different*
+// workflows reuse each other's profiles, which is where the paper
+// expects the biggest wins for query-generated plans.
+
+// StageResult is one stage's outcome within a workflow.
+type StageResult struct {
+	Spec *mrjob.Spec
+	// Input is the dataset the stage consumed (the original input for
+	// stage 0, derived datasets after).
+	Input *data.Dataset
+	// Submit is the stage's full submission outcome.
+	Submit *SubmitResult
+}
+
+// WorkflowResult aggregates a workflow submission.
+type WorkflowResult struct {
+	Stages []StageResult
+	// TotalRuntimeMs sums stage runtimes plus sampling costs.
+	TotalRuntimeMs float64
+	// TunedStages counts stages that ran with CBO settings.
+	TunedStages int
+}
+
+// SubmitWorkflow runs the job chain over the input dataset. The sample
+// pool for each derived stage input comes from really executing the
+// upstream stage's code over sampled records (engine.SampleOutput), and
+// its nominal size from the upstream run's modelled output.
+func (s *System) SubmitWorkflow(specs []*mrjob.Spec, input *data.Dataset) (*WorkflowResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: workflow needs at least one stage")
+	}
+	res := &WorkflowResult{}
+	cur := input
+	for i, spec := range specs {
+		sub, err := s.Submit(spec, cur)
+		if err != nil {
+			return nil, fmt.Errorf("core: workflow stage %d (%s): %w", i, spec.Name, err)
+		}
+		res.Stages = append(res.Stages, StageResult{Spec: spec, Input: cur, Submit: sub})
+		res.TotalRuntimeMs += sub.RuntimeMs + sub.SampleCostMs
+		if sub.Tuned {
+			res.TunedStages++
+		}
+		if i == len(specs)-1 {
+			break
+		}
+		// Materialize the next stage's input.
+		nSplits := cur.Splits()
+		sample := 2
+		if sample > nSplits {
+			sample = nSplits
+		}
+		splits := make([]int, sample)
+		for j := range splits {
+			splits[j] = j
+		}
+		pool, err := engine.SampleOutput(spec, cur, splits, 150)
+		if err != nil {
+			return nil, fmt.Errorf("core: sampling output of stage %d (%s): %w", i, spec.Name, err)
+		}
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("core: stage %d (%s) produced no output records", i, spec.Name)
+		}
+		outBytes := sub.OutputBytes
+		if outBytes < 1 {
+			outBytes = 1
+		}
+		cur = data.FromRecords(
+			fmt.Sprintf("%s-stage%d-out", spec.Name, i),
+			pool, outBytes, int64(i)*131+7,
+		)
+	}
+	return res, nil
+}

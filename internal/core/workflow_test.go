@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"testing"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/core"
+	"pstorm/internal/engine"
+	"pstorm/internal/mrjob"
+	"pstorm/internal/workloads"
+)
+
+func TestSubmitWorkflowChainsStages(t *testing.T) {
+	eng := engine.New(cluster.Default16(), 99)
+	sys := core.NewSystem(newStore(t), eng)
+	sys.CBO.ExploreSamples = 15
+	sys.CBO.ExploitSteps = 8
+	sys.CBO.Restarts = 1
+	sys.CBO.Seed = 4
+
+	wc, _ := workloads.JobByName("wordcount")
+	srt, _ := workloads.JobByName("sort") // consumes "key\tvalue" lines
+	input := mustDataset(t, "wiki-35g")
+
+	first, err := sys.SubmitWorkflow([]*mrjob.Spec{wc, srt}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Stages) != 2 {
+		t.Fatalf("stages = %d", len(first.Stages))
+	}
+	// First-ever run: nothing matches, both stage profiles get stored.
+	if first.TunedStages != 0 {
+		t.Errorf("first workflow run tuned %d stages, want 0", first.TunedStages)
+	}
+	for i, st := range first.Stages {
+		if !st.Submit.ProfileStored {
+			t.Errorf("stage %d did not store its profile", i)
+		}
+	}
+	// Stage 1's input is derived from stage 0's output.
+	stage2In := first.Stages[1].Input
+	if stage2In.Kind.String() != "derived" {
+		t.Errorf("stage 2 input kind = %v, want derived", stage2In.Kind)
+	}
+	if stage2In.NominalBytes != first.Stages[0].Submit.OutputBytes {
+		t.Errorf("stage 2 input size %d != stage 1 output estimate %d",
+			stage2In.NominalBytes, first.Stages[0].Submit.OutputBytes)
+	}
+	// Derived records look like "key\tvalue" lines sort can parse.
+	recs := stage2In.SampleRecords(0, 5)
+	if len(recs) == 0 {
+		t.Fatal("derived dataset yields no records")
+	}
+
+	// Second submission of the same workflow: both stages now match
+	// their own stored profiles and run tuned.
+	second, err := sys.SubmitWorkflow([]*mrjob.Spec{wc, srt}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.TunedStages != 2 {
+		for i, st := range second.Stages {
+			t.Logf("stage %d: tuned=%v map=%+v", i, st.Submit.Tuned, st.Submit.Match.MapReport)
+		}
+		t.Errorf("second workflow run tuned %d stages, want 2", second.TunedStages)
+	}
+	if second.TotalRuntimeMs >= first.TotalRuntimeMs {
+		t.Errorf("tuned workflow (%.0f ms) not faster than first (%.0f ms)",
+			second.TotalRuntimeMs, first.TotalRuntimeMs)
+	}
+}
+
+func TestSubmitWorkflowValidation(t *testing.T) {
+	eng := engine.New(cluster.Default16(), 1)
+	sys := core.NewSystem(newStore(t), eng)
+	if _, err := sys.SubmitWorkflow(nil, mustDataset(t, "tera-1g")); err == nil {
+		t.Error("empty workflow accepted")
+	}
+}

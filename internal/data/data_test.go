@@ -1,0 +1,211 @@
+package data
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleRecordsDeterministic(t *testing.T) {
+	for kind := KindRandomText; kind <= KindPigMix; kind++ {
+		d1 := New("d", kind, GB, 7)
+		d2 := New("d", kind, GB, 7)
+		a := d1.SampleRecords(3, 50)
+		b := d2.SampleRecords(3, 50)
+		if len(a) != 50 || len(b) != 50 {
+			t.Fatalf("%v: got %d/%d records", kind, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%v: record %d differs between identical datasets", kind, i)
+				break
+			}
+		}
+	}
+}
+
+func TestSampleRecordsVaryAcrossSplitsAndSeeds(t *testing.T) {
+	d := New("d", KindWikipedia, GB, 7)
+	a := d.SampleRecords(0, 20)
+	b := d.SampleRecords(1, 20)
+	if a[0].Value == b[0].Value {
+		t.Error("different splits produced identical first records")
+	}
+	other := New("d", KindWikipedia, GB, 8)
+	c := other.SampleRecords(0, 20)
+	if a[0].Value == c[0].Value {
+		t.Error("different seeds produced identical first records")
+	}
+}
+
+func TestSplitsMath(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		want  int
+	}{
+		{0, 1},
+		{1, 1},
+		{SplitBytes, 1},
+		{SplitBytes + 1, 2},
+		{35 * GB, 560},
+	}
+	for _, c := range cases {
+		d := New("d", KindTPCH, c.bytes, 1)
+		if got := d.Splits(); got != c.want {
+			t.Errorf("Splits(%d bytes) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestOffsetsAdvanceWithRecordLengths(t *testing.T) {
+	d := New("d", KindRandomText, GB, 3)
+	recs := d.SampleRecords(0, 10)
+	offset := int64(0)
+	for i, r := range recs {
+		if r.Key != itoa(offset) {
+			t.Fatalf("record %d key = %s, want %d", i, r.Key, offset)
+		}
+		offset += int64(len(r.Value)) + 1
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestRecordShapes(t *testing.T) {
+	checks := map[Kind]func(string) bool{
+		KindTPCH:    func(v string) bool { return strings.Count(v, "|") == 5 },
+		KindTeraGen: func(v string) bool { return len(v) == 99 && v[10] == '\t' },
+		KindRatings: func(v string) bool { return strings.Count(v, "::") == 3 },
+		KindGenome: func(v string) bool {
+			parts := strings.Split(v, "\t")
+			return len(parts) == 2 && len(parts[1]) == 100 && strings.Trim(parts[1], "ACGT") == ""
+		},
+		KindPigMix: func(v string) bool { return strings.Count(v, "\t") == 4 },
+		KindWebDocs: func(v string) bool {
+			return len(strings.Fields(v)) >= 3
+		},
+	}
+	for kind, ok := range checks {
+		d := New("d", kind, GB, 5)
+		for i, r := range d.SampleRecords(0, 30) {
+			if !ok(r.Value) {
+				t.Errorf("%v record %d has bad shape: %q", kind, i, r.Value)
+				break
+			}
+		}
+	}
+}
+
+func TestWebDocsTransactionsHaveDistinctItems(t *testing.T) {
+	d := New("d", KindWebDocs, GB, 5)
+	for _, r := range d.SampleRecords(0, 50) {
+		items := strings.Fields(r.Value)
+		seen := map[string]bool{}
+		for _, it := range items {
+			if seen[it] {
+				t.Fatalf("duplicate item %q in transaction %q", it, r.Value)
+			}
+			seen[it] = true
+		}
+	}
+}
+
+func TestTextZipfSkew(t *testing.T) {
+	d := New("d", KindWikipedia, GB, 11)
+	freq := map[string]int{}
+	total := 0
+	for _, r := range d.SampleRecords(0, 200) {
+		for _, w := range strings.Fields(r.Value) {
+			freq[w]++
+			total++
+		}
+	}
+	best := 0
+	for _, c := range freq {
+		if c > best {
+			best = c
+		}
+	}
+	// In Zipf text, the most frequent word should dominate: far more
+	// frequent than the uniform expectation.
+	uniform := total / len(freq)
+	if best < 5*uniform {
+		t.Errorf("top word count %d not >> uniform %d: text not Zipf-skewed", best, uniform)
+	}
+}
+
+func TestWikipediaLinesLongerThanRandomText(t *testing.T) {
+	wiki := New("w", KindWikipedia, GB, 1)
+	rnd := New("r", KindRandomText, GB, 1)
+	if wiki.AvgRecordBytes() < 4*rnd.AvgRecordBytes() {
+		t.Errorf("wikipedia records (%.0fB) should be much longer than random text (%.0fB)",
+			wiki.AvgRecordBytes(), rnd.AvgRecordBytes())
+	}
+}
+
+func TestNominalRecords(t *testing.T) {
+	d := New("d", KindTeraGen, GB, 1)
+	n := d.NominalRecords()
+	// TeraGen records are exactly 100 bytes (99 + newline).
+	want := int64(GB) / 100
+	if n < want*95/100 || n > want*105/100 {
+		t.Errorf("NominalRecords = %d, want about %d", n, want)
+	}
+}
+
+// Property: word(rank) is deterministic, non-empty, and injective over
+// a reasonable range.
+func TestWordInjectiveProperty(t *testing.T) {
+	seen := map[string]int{}
+	for rank := 0; rank < 50000; rank++ {
+		w := word(rank)
+		if w == "" {
+			t.Fatalf("word(%d) empty", rank)
+		}
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("word collision: ranks %d and %d both map to %q", prev, rank, w)
+		}
+		seen[w] = rank
+	}
+}
+
+// Property: AvgRecordBytes is positive and stable for any kind/seed.
+func TestAvgRecordBytesProperty(t *testing.T) {
+	prop := func(seed int64, kindRaw uint8) bool {
+		kind := Kind(int(kindRaw) % (int(KindPigMix) + 1))
+		d := New("d", kind, GB, seed)
+		a, b := d.AvgRecordBytes(), d.AvgRecordBytes()
+		return a > 0 && a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindRandomText: "random-text", KindWikipedia: "wikipedia", KindTPCH: "tpch",
+		KindTeraGen: "teragen", KindRatings: "ratings", KindWebDocs: "webdocs",
+		KindGenome: "genome", KindPigMix: "pigmix",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

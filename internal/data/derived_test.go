@@ -1,0 +1,91 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromRecordsSamplesPool(t *testing.T) {
+	pool := []Record{
+		{Key: "0", Value: "alpha\t1"},
+		{Key: "8", Value: "beta\t2"},
+		{Key: "15", Value: "gamma\t3"},
+	}
+	d := FromRecords("derived", pool, 10*SplitBytes, 7)
+	if d.Kind != KindDerived {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	if d.Splits() != 10 {
+		t.Errorf("splits = %d, want 10", d.Splits())
+	}
+	recs := d.SampleRecords(0, 50)
+	if len(recs) != 50 {
+		t.Fatalf("sampled %d records", len(recs))
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if !strings.Contains(r.Value, "\t") {
+			t.Fatalf("derived record %q lost its structure", r.Value)
+		}
+		seen[r.Value] = true
+	}
+	// All sampled values come from the pool.
+	for v := range seen {
+		found := false
+		for _, p := range pool {
+			if p.Value == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("sampled value %q not in the pool", v)
+		}
+	}
+	// Determinism per (split, n).
+	again := d.SampleRecords(0, 50)
+	for i := range recs {
+		if recs[i] != again[i] {
+			t.Fatal("derived sampling not deterministic")
+		}
+	}
+	// Different splits draw differently (statistically).
+	other := d.SampleRecords(3, 50)
+	diff := 0
+	for i := range recs {
+		if recs[i].Value != other[i].Value {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different splits produced identical samples")
+	}
+}
+
+func TestFromRecordsEmptyPool(t *testing.T) {
+	d := FromRecords("empty", nil, GB, 1)
+	if recs := d.SampleRecords(0, 10); len(recs) != 0 {
+		t.Errorf("empty pool yielded %d records", len(recs))
+	}
+}
+
+func TestFromRecordsCopiesPool(t *testing.T) {
+	pool := []Record{{Key: "0", Value: "original"}}
+	d := FromRecords("d", pool, GB, 1)
+	pool[0].Value = "mutated"
+	if recs := d.SampleRecords(0, 1); recs[0].Value != "original" {
+		t.Error("FromRecords aliases the caller's slice")
+	}
+}
+
+func TestDerivedOffsetsConsistent(t *testing.T) {
+	pool := []Record{{Key: "0", Value: "abc"}, {Key: "4", Value: "defgh"}}
+	d := FromRecords("d", pool, GB, 3)
+	recs := d.SampleRecords(1, 20)
+	offset := int64(0)
+	for i, r := range recs {
+		if r.Key != itoa(offset) {
+			t.Fatalf("record %d key = %s, want %d", i, r.Key, offset)
+		}
+		offset += int64(len(r.Value)) + 1
+	}
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"testing"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/conf"
+)
+
+// TestReducerHeadroomUnderFailures grounds the Appendix B rule
+// ("mapred.reduce.tasks = 90% of the reduce slots: whenever there is a
+// failed reduce task, there will be other available reduce slots to
+// take over"): with failures on, filling every slot makes a single
+// failure cost a whole extra wave, while 90% occupancy absorbs it.
+func TestReducerHeadroomUnderFailures(t *testing.T) {
+	cl := cluster.Default16()
+	cl.NoiseStdDev = 0
+	cl.TaskFailureProb = 0.04
+
+	mt := MapTaskModel{TotalMs: 100}
+	rt := ReduceTaskModel{TotalMs: 10_000, ShuffleMs: 1_000}
+
+	mean := func(reducers int) float64 {
+		cfg := conf.Default()
+		cfg.ReduceTasks = reducers
+		total := 0.0
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			total += ScheduleJob(mt, rt, 30, cfg, cl, newSeededRand(int64(i))).MakespanMs
+		}
+		return total / trials
+	}
+	full := mean(30)     // every slot occupied: zero headroom
+	headroom := mean(27) // the Appendix B rule
+	if headroom >= full {
+		t.Errorf("90%%-occupancy mean makespan %.0f not better than full occupancy %.0f under failures",
+			headroom, full)
+	}
+}
+
+func TestFailuresOffByDefault(t *testing.T) {
+	cl := cluster.Default16()
+	if cl.TaskFailureProb != 0 {
+		t.Fatal("failures must be off by default (the paper's experiments are failure-free)")
+	}
+	cl.NoiseStdDev = 0
+	mt := MapTaskModel{TotalMs: 100}
+	rt := ReduceTaskModel{TotalMs: 1000, ShuffleMs: 100}
+	a := ScheduleJob(mt, rt, 30, conf.Default(), cl, newSeededRand(1)).MakespanMs
+	b := ScheduleJob(mt, rt, 30, conf.Default(), cl, newSeededRand(2)).MakespanMs
+	if a != b {
+		t.Error("with noise and failures off, schedules must be identical")
+	}
+}
+
+func TestFailuresExtendMakespan(t *testing.T) {
+	cl := cluster.Default16()
+	cl.NoiseStdDev = 0
+	mt := MapTaskModel{TotalMs: 1000}
+	rt := ReduceTaskModel{TotalMs: 100, ShuffleMs: 10}
+	base := ScheduleJob(mt, rt, 60, conf.Default(), cl, newSeededRand(1)).MakespanMs
+
+	cl.TaskFailureProb = 0.2
+	total := 0.0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		total += ScheduleJob(mt, rt, 60, conf.Default(), cl, newSeededRand(int64(i))).MakespanMs
+	}
+	if mean := total / trials; mean <= base {
+		t.Errorf("mean makespan under 20%% failures (%.0f) not above failure-free (%.0f)", mean, base)
+	}
+}

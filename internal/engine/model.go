@@ -1,0 +1,423 @@
+package engine
+
+import (
+	"math"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/conf"
+	"pstorm/internal/profile"
+)
+
+// ModelInput carries everything the analytical phase model needs:
+// scale-free job statistics, cost factors, and hardware constants. The
+// engine fills it from freshly measured Stats; the What-If engine fills
+// it from a stored profile. This duality is the heart of the Starfish
+// design the paper builds on.
+type ModelInput struct {
+	// Job statistics (scale-free).
+	AvgInRecWidth   float64
+	MapSizeSel      float64
+	MapPairsSel     float64
+	MapOutRecWidth  float64
+	CombineSizeSel  float64
+	CombinePairsSel float64
+	CombineOutWidth float64
+	HeapsK          float64
+	HeapsBeta       float64
+	RedOutPerGroup  float64
+	RedSizeSel      float64
+	RedPairsSel     float64
+	RedInRecWidth   float64
+	RedOutRecWidth  float64
+	HasCombiner     bool
+
+	// Cost factors, ns/byte for IO and network, ns/record for CPU.
+	ReadHDFS   float64
+	WriteHDFS  float64
+	ReadLocal  float64
+	WriteLocal float64
+	Network    float64
+	MapCPU     float64 // per map input record
+	CombineCPU float64 // per combine input record
+	ReduceCPU  float64 // per reduce input record
+
+	// Hardware constants (taken from the cluster, not the profile).
+	SerializeNsPerByte  float64
+	SortNsPerRecord     float64
+	CompressNsPerByte   float64
+	DecompressNsPerByte float64
+	CompressionRatio    float64
+	TaskSetupMs         float64
+	TaskCleanupMs       float64
+	TaskHeapMB          int
+}
+
+// InputFromStats builds a ModelInput from freshly measured statistics
+// and the cluster's true cost baselines.
+func InputFromStats(st *Stats, cl *cluster.Cluster) ModelInput {
+	return ModelInput{
+		AvgInRecWidth:   st.AvgInRecWidth,
+		MapSizeSel:      st.MapSizeSel,
+		MapPairsSel:     st.MapPairsSel,
+		MapOutRecWidth:  st.MapOutRecWidth,
+		CombineSizeSel:  st.CombineSizeSel,
+		CombinePairsSel: st.CombinePairsSel,
+		CombineOutWidth: st.CombineOutWidth,
+		HeapsK:          st.HeapsK,
+		HeapsBeta:       st.HeapsBeta,
+		RedOutPerGroup:  st.RedOutPerGroupRecs,
+		RedSizeSel:      st.RedSizeSel,
+		RedPairsSel:     st.RedPairsSel,
+		RedInRecWidth:   st.RedInRecWidth,
+		RedOutRecWidth:  st.RedOutRecWidth,
+		HasCombiner:     st.CombineStepsPerRec > 0 || st.CombinePairsSel != 1 || st.CombineSizeSel != 1,
+
+		ReadHDFS:   cl.ReadHDFSNsPerByte,
+		WriteHDFS:  cl.WriteHDFSNsPerByte,
+		ReadLocal:  cl.ReadLocalNsPerByte,
+		WriteLocal: cl.WriteLocalNsPerByte,
+		Network:    cl.NetworkNsPerByte,
+		MapCPU:     st.MapStepsPerRec * cl.CPUNsPerStep,
+		CombineCPU: st.CombineStepsPerRec * cl.CPUNsPerStep,
+		ReduceCPU:  st.RedStepsPerRec * cl.CPUNsPerStep,
+
+		SerializeNsPerByte:  cl.SerializeNsPerByte,
+		SortNsPerRecord:     cl.SortNsPerRecord,
+		CompressNsPerByte:   cl.CompressNsPerByte,
+		DecompressNsPerByte: cl.DecompressNsPerByte,
+		CompressionRatio:    cl.CompressionRatio,
+		TaskSetupMs:         cl.TaskSetupMs,
+		TaskCleanupMs:       cl.TaskCleanupMs,
+		TaskHeapMB:          cl.TaskHeapMB,
+	}
+}
+
+// InputFromProfile builds a ModelInput from a stored profile, the way
+// the What-If engine consumes PStorM's output: data-flow statistics and
+// cost factors come from the profile, hardware constants from the
+// cluster the prediction targets.
+func InputFromProfile(p *profile.Profile, cl *cluster.Cluster) ModelInput {
+	mdf, rdf := p.Map.DataFlow, p.Reduce.DataFlow
+	mcf, rcf := p.Map.CostFactors, p.Reduce.CostFactors
+	hasComb := mdf[profile.CombinePairsSel] != 1 || mdf[profile.CombineSizeSel] != 1 || mcf[profile.CombineCPUCost] > 0
+	return ModelInput{
+		AvgInRecWidth:   orDefault(mdf[profile.MapInRecWidth], 100),
+		MapSizeSel:      mdf[profile.MapSizeSel],
+		MapPairsSel:     mdf[profile.MapPairsSel],
+		MapOutRecWidth:  orDefault(mdf[profile.MapOutRecWidth], 50),
+		CombineSizeSel:  orDefault(mdf[profile.CombineSizeSel], 1),
+		CombinePairsSel: orDefault(mdf[profile.CombinePairsSel], 1),
+		CombineOutWidth: orDefault(mdf[profile.CombineOutWidth], 50),
+		HeapsK:          orDefault(mdf[profile.KeyHeapsK], 1),
+		HeapsBeta:       orDefault(mdf[profile.KeyHeapsBeta], 1),
+		RedOutPerGroup:  rdf[profile.RedOutPerGroup],
+		RedSizeSel:      rdf[profile.RedSizeSel],
+		RedPairsSel:     rdf[profile.RedPairsSel],
+		RedInRecWidth:   orDefault(rdf[profile.RedInRecWidth], 50),
+		RedOutRecWidth:  orDefault(rdf[profile.RedOutRecWidth], 50),
+		HasCombiner:     hasComb,
+
+		ReadHDFS:   mcf[profile.ReadHDFSIOCost],
+		ReadLocal:  mcf[profile.ReadLocalIOCost],
+		WriteLocal: mcf[profile.WriteLocalIOCost],
+		WriteHDFS:  rcf[profile.WriteHDFSIOCost],
+		Network:    rcf[profile.NetworkCost],
+		MapCPU:     mcf[profile.MapCPUCost],
+		CombineCPU: mcf[profile.CombineCPUCost],
+		ReduceCPU:  rcf[profile.ReduceCPUCost],
+
+		SerializeNsPerByte:  cl.SerializeNsPerByte,
+		SortNsPerRecord:     cl.SortNsPerRecord,
+		CompressNsPerByte:   cl.CompressNsPerByte,
+		DecompressNsPerByte: cl.DecompressNsPerByte,
+		CompressionRatio:    cl.CompressionRatio,
+		TaskSetupMs:         cl.TaskSetupMs,
+		TaskCleanupMs:       cl.TaskCleanupMs,
+		TaskHeapMB:          cl.TaskHeapMB,
+	}
+}
+
+func orDefault(v, def float64) float64 {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// distinct estimates the number of distinct intermediate keys in a
+// stream of n records using the fitted Heaps model.
+func (in ModelInput) distinct(n float64) float64 {
+	if n <= 1 {
+		return math.Max(n, 0)
+	}
+	k, b := in.HeapsK, in.HeapsBeta
+	if k <= 0 {
+		k = 1
+	}
+	if b <= 0 || b > 1 {
+		b = 1
+	}
+	d := k * math.Pow(n, b)
+	if d > n {
+		d = n
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// MapTaskModel is the modelled behaviour of one map task.
+type MapTaskModel struct {
+	PhaseMs map[string]float64
+	TotalMs float64
+
+	// Final materialized output of the task, post-combine; bytes are
+	// on-disk (compressed if CompressMapOutput).
+	OutRecords      float64
+	OutBytesOnDisk  float64
+	OutBytesLogical float64 // uncompressed
+
+	Spills      int
+	MergePasses int
+}
+
+const nsPerMs = 1e6
+
+// ModelMapTask computes the phase times of one map task processing
+// splitBytes of input under cfg.
+func ModelMapTask(in ModelInput, cfg conf.Config, splitBytes float64) MapTaskModel {
+	ph := make(map[string]float64, 8)
+	inRecords := splitBytes / math.Max(in.AvgInRecWidth, 1)
+
+	// Heap pressure: the io.sort buffer is carved out of the task JVM's
+	// heap. Past ~40% of the heap, garbage collection starts stealing
+	// CPU from the map function and the sort — the cross-parameter
+	// interaction (§2.2) that simple io.sort.mb rules ignore.
+	heapRatio := float64(cfg.IOSortMB) / math.Max(float64(in.TaskHeapMB), 1)
+	gc := 1.0
+	if heapRatio > 0.4 {
+		gc = 1 + 5*(heapRatio-0.4)*(heapRatio-0.4)
+	}
+
+	// READ: stream the split off HDFS.
+	ph[profile.PhaseRead] = splitBytes * in.ReadHDFS / nsPerMs
+
+	// MAP: user code.
+	ph[profile.PhaseMap] = inRecords * in.MapCPU * gc / nsPerMs
+
+	outRecords := inRecords * in.MapPairsSel
+	outBytes := splitBytes * in.MapSizeSel
+	recWidth := math.Max(in.MapOutRecWidth, 1)
+
+	// COLLECT: serialize map output into the io.sort buffer.
+	ph[profile.PhaseCollect] = outBytes * in.SerializeNsPerByte * gc / nsPerMs
+
+	// SPILL: buffer accounting. The buffer holds record data in one
+	// region and 16-byte metadata entries in another; whichever fills
+	// first (to io.sort.spill.percent) triggers the spill.
+	bufBytes := float64(cfg.IOSortMB) * (1 << 20)
+	metaCap := bufBytes * cfg.IOSortRecordPercent * cfg.IOSortSpillPercent / 16
+	dataCap := bufBytes * (1 - cfg.IOSortRecordPercent) * cfg.IOSortSpillPercent / recWidth
+	recsPerSpill := math.Max(1, math.Min(metaCap, dataCap))
+	spills := int(math.Max(1, math.Ceil(outRecords/recsPerSpill)))
+
+	combine := cfg.UseCombiner && in.HasCombiner
+
+	spillRecsIn := outRecords
+	spillBytesIn := outBytes
+	var spillMs float64
+	// Sort cost: each spill quicksorts its records (GC pressure applies
+	// to this CPU-bound phase too).
+	n := math.Max(spillRecsIn/float64(spills), 2)
+	spillMs += spillRecsIn * math.Log2(n) * in.SortNsPerRecord * gc / nsPerMs
+
+	postRecs, postBytes := spillRecsIn, spillBytesIn
+	if combine {
+		// The combiner collapses each spill to its distinct keys (per
+		// the fitted Heaps growth model) times the combiner's own
+		// output-per-group behaviour.
+		spillMs += spillRecsIn * in.CombineCPU / nsPerMs
+		perSpillOut := in.distinct(n)
+		postRecs = math.Min(spillRecsIn, perSpillOut*float64(spills))
+		postBytes = postRecs * math.Max(in.CombineOutWidth, 1)
+	}
+	writeBytes := postBytes
+	if cfg.CompressMapOutput {
+		spillMs += postBytes * in.CompressNsPerByte / nsPerMs
+		writeBytes = postBytes * in.CompressionRatio
+	}
+	spillMs += writeBytes * in.WriteLocal / nsPerMs
+	ph[profile.PhaseSpill] = spillMs
+
+	// MERGE: combine the spill files into one map-output file.
+	mergePasses := 0
+	var mergeMs float64
+	if spills > 1 {
+		mergePasses = int(math.Ceil(math.Log(float64(spills)) / math.Log(float64(cfg.IOSortFactor))))
+		if mergePasses < 1 {
+			mergePasses = 1
+		}
+		perPassDisk := writeBytes
+		perPassCPU := postRecs * in.SortNsPerRecord
+		for p := 0; p < mergePasses; p++ {
+			mergeMs += perPassDisk * (in.ReadLocal + in.WriteLocal) / nsPerMs
+			mergeMs += perPassCPU / nsPerMs
+			if cfg.CompressMapOutput {
+				mergeMs += postBytes * (in.DecompressNsPerByte + in.CompressNsPerByte) / nsPerMs
+			}
+		}
+		// Combiner re-applied during the final merge when enough spills
+		// exist (min.num.spills.for.combine): the task output collapses
+		// to the task-wide distinct key count.
+		if combine && spills >= cfg.MinSpillsForCombine {
+			mergeMs += postRecs * in.CombineCPU / nsPerMs
+			taskDistinct := in.distinct(outRecords)
+			if taskDistinct < postRecs {
+				postRecs = taskDistinct
+				postBytes = postRecs * math.Max(in.CombineOutWidth, 1)
+			}
+			writeBytes = postBytes
+			if cfg.CompressMapOutput {
+				writeBytes = postBytes * in.CompressionRatio
+			}
+		}
+	}
+	ph[profile.PhaseMerge] = mergeMs
+
+	ph[profile.PhaseSetup] = in.TaskSetupMs
+	ph[profile.PhaseCleanup] = in.TaskCleanupMs
+
+	// Sum in canonical phase order: map iteration order would make the
+	// last bits of the total nondeterministic.
+	total := 0.0
+	for _, name := range profile.MapPhases {
+		total += ph[name]
+	}
+	return MapTaskModel{
+		PhaseMs:         ph,
+		TotalMs:         total,
+		OutRecords:      postRecs,
+		OutBytesOnDisk:  writeBytes,
+		OutBytesLogical: postBytes,
+		Spills:          spills,
+		MergePasses:     mergePasses,
+	}
+}
+
+// ReduceTaskModel is the modelled behaviour of one reduce task.
+type ReduceTaskModel struct {
+	PhaseMs map[string]float64
+	TotalMs float64
+	// ShuffleMs is broken out because shuffle overlaps the map phase in
+	// the scheduler.
+	ShuffleMs float64
+
+	InRecords  float64
+	InBytes    float64 // logical (uncompressed)
+	OutRecords float64
+	OutBytes   float64
+}
+
+// ModelReduceTask computes the phase times of one reduce task, given the
+// job-wide map output it shuffles a 1/R share of. totalRawRecords is the
+// pre-combine map output record count, from which the global distinct
+// key count (and hence the reduce group count) is estimated.
+func ModelReduceTask(in ModelInput, cfg conf.Config, totalOutRecords, totalOutBytesLogical, totalOutBytesDisk, totalRawRecords float64, numMaps int) ReduceTaskModel {
+	ph := make(map[string]float64, 8)
+	r := float64(cfg.ReduceTasks)
+	inRecs := totalOutRecords / r
+	inBytes := totalOutBytesLogical / r
+	inDisk := totalOutBytesDisk / r
+
+	heap := float64(in.TaskHeapMB) * (1 << 20)
+	shuffleBuf := heap * cfg.ShuffleInputBufferPercent
+
+	// SHUFFLE: copy the partition over the network; what does not fit in
+	// the shuffle buffer is merged to disk in background runs.
+	var shuffleMs float64
+	shuffleMs += inDisk * in.Network / nsPerMs
+	if cfg.CompressMapOutput {
+		shuffleMs += inBytes * in.DecompressNsPerByte / nsPerMs
+	}
+	diskBytes := math.Max(0, inBytes-shuffleBuf*cfg.ShuffleMergePercent)
+	if cfg.ReduceInputBufferPercent > 0 {
+		// Part of the input may be retained in memory for the reduce
+		// phase instead of being spilled.
+		diskBytes = math.Max(0, diskBytes-heap*cfg.ReduceInputBufferPercent)
+	}
+	// In-memory merge rounds triggered by segment count or buffer fill.
+	segs := float64(numMaps)
+	inMemMerges := math.Max(segs/float64(cfg.InMemMergeThreshold), diskBytes/math.Max(shuffleBuf*cfg.ShuffleMergePercent, 1))
+	if diskBytes > 0 {
+		shuffleMs += diskBytes * in.WriteLocal / nsPerMs
+		shuffleMs += math.Min(inMemMerges, 50) * (inRecs / math.Max(inMemMerges, 1)) * in.SortNsPerRecord / nsPerMs
+	}
+	ph[profile.PhaseShuffle] = shuffleMs
+
+	// SORT: external merge of on-disk runs down to io.sort.factor.
+	var sortMs float64
+	if diskBytes > 0 {
+		runBytes := math.Max(shuffleBuf*cfg.ShuffleMergePercent, 1)
+		runs := math.Max(1, diskBytes/runBytes)
+		passes := math.Ceil(math.Log(runs) / math.Log(float64(cfg.IOSortFactor)))
+		if passes < 1 {
+			passes = 1
+		}
+		diskRecs := inRecs * (diskBytes / math.Max(inBytes, 1))
+		for p := 0.0; p < passes; p++ {
+			sortMs += diskBytes * (in.ReadLocal + in.WriteLocal) / nsPerMs
+			sortMs += diskRecs * in.SortNsPerRecord / nsPerMs
+		}
+	} else {
+		// Pure in-memory merge.
+		sortMs += inRecs * in.SortNsPerRecord / nsPerMs
+	}
+	ph[profile.PhaseSort] = sortMs
+
+	// REDUCE: stream the merged input through the user reduce function.
+	reduceMs := inRecs * in.ReduceCPU / nsPerMs
+	if diskBytes > 0 {
+		reduceMs += diskBytes * in.ReadLocal / nsPerMs
+	}
+	ph[profile.PhaseReduce] = reduceMs
+
+	// WRITE: final output to HDFS. The reduce output is estimated from
+	// the number of key groups this reducer sees and the measured
+	// emissions per group; jobs without a per-group measurement fall
+	// back to the plain record selectivity.
+	groups := math.Min(inRecs, in.distinct(totalRawRecords)/r)
+	var outRecs, outBytes float64
+	if in.RedOutPerGroup > 0 {
+		outRecs = groups * in.RedOutPerGroup
+		outBytes = outRecs * math.Max(in.RedOutRecWidth, 1)
+	} else {
+		outRecs = inRecs * in.RedPairsSel
+		outBytes = inBytes * in.RedSizeSel
+	}
+	writeBytes := outBytes
+	var writeMs float64
+	if cfg.CompressOutput {
+		writeMs += outBytes * in.CompressNsPerByte / nsPerMs
+		writeBytes = outBytes * in.CompressionRatio
+	}
+	writeMs += writeBytes * in.WriteHDFS / nsPerMs
+	ph[profile.PhaseWrite] = writeMs
+
+	ph[profile.PhaseSetup] = in.TaskSetupMs
+	ph[profile.PhaseCleanup] = in.TaskCleanupMs
+
+	total := 0.0
+	for _, name := range profile.ReducePhases {
+		total += ph[name]
+	}
+	return ReduceTaskModel{
+		PhaseMs:    ph,
+		TotalMs:    total,
+		ShuffleMs:  shuffleMs,
+		InRecords:  inRecs,
+		InBytes:    inBytes,
+		OutRecords: outRecs,
+		OutBytes:   outBytes,
+	}
+}

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/conf"
+	"pstorm/internal/data"
+	"pstorm/internal/profile"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// wordcountishInput is a hand-built model input resembling an
+// aggregation job: expanding map, saturating key space, combiner.
+func wordcountishInput() ModelInput {
+	cl := cluster.Default16()
+	return ModelInput{
+		AvgInRecWidth:   500,
+		MapSizeSel:      3.5,
+		MapPairsSel:     120,
+		MapOutRecWidth:  22,
+		CombineSizeSel:  0.2,
+		CombinePairsSel: 0.2,
+		CombineOutWidth: 24,
+		HeapsK:          3.0,
+		HeapsBeta:       0.6,
+		RedOutPerGroup:  1,
+		RedSizeSel:      0.9,
+		RedPairsSel:     0.02,
+		RedInRecWidth:   24,
+		RedOutRecWidth:  24,
+		HasCombiner:     true,
+
+		ReadHDFS: cl.ReadHDFSNsPerByte, WriteHDFS: cl.WriteHDFSNsPerByte,
+		ReadLocal: cl.ReadLocalNsPerByte, WriteLocal: cl.WriteLocalNsPerByte,
+		Network: cl.NetworkNsPerByte,
+		MapCPU:  3000, CombineCPU: 80, ReduceCPU: 400,
+
+		SerializeNsPerByte: cl.SerializeNsPerByte, SortNsPerRecord: cl.SortNsPerRecord,
+		CompressNsPerByte: cl.CompressNsPerByte, DecompressNsPerByte: cl.DecompressNsPerByte,
+		CompressionRatio: cl.CompressionRatio,
+		TaskSetupMs:      cl.TaskSetupMs, TaskCleanupMs: cl.TaskCleanupMs,
+		TaskHeapMB: cl.TaskHeapMB,
+	}
+}
+
+func TestModelMapTaskPhasesPositive(t *testing.T) {
+	mt := ModelMapTask(wordcountishInput(), conf.Default(), float64(data.SplitBytes))
+	for _, ph := range profile.MapPhases {
+		if mt.PhaseMs[ph] < 0 {
+			t.Errorf("phase %s negative: %v", ph, mt.PhaseMs[ph])
+		}
+	}
+	if mt.TotalMs <= 0 || mt.OutRecords <= 0 || mt.OutBytesOnDisk <= 0 {
+		t.Errorf("degenerate model: %+v", mt)
+	}
+	sum := 0.0
+	for _, v := range mt.PhaseMs {
+		sum += v
+	}
+	if diff := mt.TotalMs - sum; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("TotalMs %v != phase sum %v", mt.TotalMs, sum)
+	}
+}
+
+func TestModelCombinerShrinksOutput(t *testing.T) {
+	in := wordcountishInput()
+	off := conf.Default()
+	off.UseCombiner = false
+	on := conf.Default()
+	on.UseCombiner = true
+	split := float64(data.SplitBytes)
+	mtOff := ModelMapTask(in, off, split)
+	mtOn := ModelMapTask(in, on, split)
+	if mtOn.OutRecords >= mtOff.OutRecords {
+		t.Errorf("combiner on: %v records, off: %v — should shrink", mtOn.OutRecords, mtOff.OutRecords)
+	}
+	if mtOn.OutBytesOnDisk >= mtOff.OutBytesOnDisk {
+		t.Errorf("combiner on: %v bytes, off: %v — should shrink", mtOn.OutBytesOnDisk, mtOff.OutBytesOnDisk)
+	}
+}
+
+func TestModelBiggerBufferFewerSpills(t *testing.T) {
+	in := wordcountishInput()
+	small := conf.Default()
+	small.IOSortMB = 50
+	big := conf.Default()
+	big.IOSortMB = 250
+	split := float64(data.SplitBytes)
+	if s, b := ModelMapTask(in, small, split).Spills, ModelMapTask(in, big, split).Spills; b >= s {
+		t.Errorf("io.sort.mb 250 gives %d spills vs %d at 50 — should shrink", b, s)
+	}
+}
+
+func TestModelRecordPercentBalancesMeta(t *testing.T) {
+	// Small records: raising io.sort.record.percent must reduce spills
+	// (the metadata region stops filling first — the §2.2 interaction).
+	in := wordcountishInput()
+	in.MapOutRecWidth = 20
+	lo := conf.Default()
+	lo.IOSortRecordPercent = 0.05
+	hi := conf.Default()
+	hi.IOSortRecordPercent = 0.35
+	split := float64(data.SplitBytes)
+	if l, h := ModelMapTask(in, lo, split).Spills, ModelMapTask(in, hi, split).Spills; h >= l {
+		t.Errorf("record.percent 0.35 gives %d spills vs %d at 0.05", h, l)
+	}
+}
+
+func TestModelCompressionShrinksShuffleBytes(t *testing.T) {
+	in := wordcountishInput()
+	plain := conf.Default()
+	comp := conf.Default()
+	comp.CompressMapOutput = true
+	split := float64(data.SplitBytes)
+	mp := ModelMapTask(in, plain, split)
+	mc := ModelMapTask(in, comp, split)
+	if mc.OutBytesOnDisk >= mp.OutBytesOnDisk {
+		t.Errorf("compressed output %v >= plain %v", mc.OutBytesOnDisk, mp.OutBytesOnDisk)
+	}
+	if mc.OutBytesLogical != mp.OutBytesLogical {
+		t.Errorf("logical bytes must be unaffected by compression")
+	}
+}
+
+func TestModelHeapPressurePenalizesHugeBuffers(t *testing.T) {
+	in := wordcountishInput()
+	mod := conf.Default()
+	mod.IOSortMB = 100
+	huge := conf.Default()
+	huge.IOSortMB = 280 // of a 300 MB heap
+	split := float64(data.SplitBytes)
+	mapMs := func(c conf.Config) float64 { return ModelMapTask(in, c, split).PhaseMs[profile.PhaseMap] }
+	if mapMs(huge) <= mapMs(mod) {
+		t.Error("280 MB buffer in a 300 MB heap should slow the map phase (GC pressure)")
+	}
+}
+
+func TestModelMoreReducersLessPerTaskWork(t *testing.T) {
+	in := wordcountishInput()
+	one := conf.Default()
+	many := conf.Default()
+	many.ReduceTasks = 27
+	mt := ModelMapTask(in, one, float64(data.SplitBytes))
+	tot := func(c conf.Config) ReduceTaskModel {
+		return ModelReduceTask(in, c, mt.OutRecords*560, mt.OutBytesLogical*560, mt.OutBytesOnDisk*560, 1e9, 560)
+	}
+	r1, r27 := tot(one), tot(many)
+	if r27.TotalMs >= r1.TotalMs {
+		t.Errorf("27 reducers per-task %v >= 1 reducer %v", r27.TotalMs, r1.TotalMs)
+	}
+	if r27.InBytes >= r1.InBytes {
+		t.Error("per-reducer input should shrink with more reducers")
+	}
+}
+
+func TestModelReduceOutputUsesGroups(t *testing.T) {
+	in := wordcountishInput()
+	cfg := conf.Default()
+	mt := ModelMapTask(in, cfg, float64(data.SplitBytes))
+	rt := ModelReduceTask(in, cfg, mt.OutRecords*100, mt.OutBytesLogical*100, mt.OutBytesOnDisk*100, 1e9, 100)
+	// Groups are bounded by the global distinct keys; with
+	// RedOutPerGroup=1 output records can never exceed input records.
+	if rt.OutRecords > rt.InRecords {
+		t.Errorf("reduce out %v > in %v with 1 record per group", rt.OutRecords, rt.InRecords)
+	}
+	if rt.OutRecords <= 0 {
+		t.Error("reduce output should be positive")
+	}
+}
+
+// Property: the map model is well formed across random valid configs.
+func TestModelMapTaskProperty(t *testing.T) {
+	in := wordcountishInput()
+	space := conf.DefaultSpace(30)
+	prop := func(seed int64) bool {
+		cfg := space.Sample(rand.New(rand.NewSource(seed)))
+		mt := ModelMapTask(in, cfg, float64(data.SplitBytes))
+		if mt.TotalMs <= 0 || mt.Spills < 1 || mt.OutRecords <= 0 {
+			return false
+		}
+		for _, v := range mt.PhaseMs {
+			if v < 0 {
+				return false
+			}
+		}
+		rt := ModelReduceTask(in, cfg, mt.OutRecords*50, mt.OutBytesLogical*50, mt.OutBytesOnDisk*50, 1e8, 50)
+		return rt.TotalMs > 0 && rt.ShuffleMs >= 0 && rt.OutBytes >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInputFromProfileRoundTrip(t *testing.T) {
+	cl := cluster.Default16()
+	ds := data.New("d", data.KindWikipedia, 2*data.GB, 3)
+	eng := New(cl, 7)
+	res, err := eng.Run(identitySpec(), ds, conf.Default(), RunOptions{Profiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := InputFromProfile(res.Profile, cl)
+	if in.MapPairsSel != res.Stats.MapPairsSel {
+		t.Errorf("MapPairsSel = %v, want %v", in.MapPairsSel, res.Stats.MapPairsSel)
+	}
+	if in.HeapsBeta != res.Stats.HeapsBeta || in.HeapsK != res.Stats.HeapsK {
+		t.Errorf("Heaps params not preserved: %v/%v vs %v/%v",
+			in.HeapsK, in.HeapsBeta, res.Stats.HeapsK, res.Stats.HeapsBeta)
+	}
+	if in.MapCPU <= 0 || in.ReadHDFS <= 0 {
+		t.Errorf("cost factors not carried: %+v", in)
+	}
+}
+
+// newSeededRand is a helper for tests needing many independent streams.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed*2654435761 + 99)) }

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"fmt"
+
+	"pstorm/internal/data"
+	"pstorm/internal/jobdsl"
+	"pstorm/internal/mrjob"
+)
+
+// SampleOutput executes the job's map/combine/reduce functions over
+// sampled records from the given splits and returns the job's reduce
+// output as records, one "key\tvalue" line each. Workflow chaining
+// (§7.2.5) materializes the next stage's derived dataset from this
+// sample.
+func SampleOutput(spec *mrjob.Spec, ds *data.Dataset, splits []int, recsPerSplit int) ([]data.Record, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	prog, err := spec.Program()
+	if err != nil {
+		return nil, err
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("engine: SampleOutput needs at least one split")
+	}
+	if recsPerSplit <= 0 {
+		recsPerSplit = 200
+	}
+	in := jobdsl.NewInterp(prog)
+	in.Params = spec.Params
+
+	var intermediate []kvPair
+	for _, split := range splits {
+		em := &collectEmitter{}
+		for _, rec := range ds.SampleRecords(split, recsPerSplit) {
+			if _, err := in.Call("map", []jobdsl.Value{jobdsl.Str(rec.Key), jobdsl.Str(rec.Value)}, em); err != nil {
+				return nil, fmt.Errorf("engine: map of job %q failed: %w", spec.Name, err)
+			}
+		}
+		pairs := em.pairs
+		if spec.HasCombiner() {
+			cem := &collectEmitter{}
+			for _, g := range groupPairs(pairs) {
+				vals := make([]jobdsl.Value, len(g.vals))
+				for i, v := range g.vals {
+					vals[i] = jobdsl.Str(v)
+				}
+				if _, err := in.Call("combine", []jobdsl.Value{jobdsl.Str(g.key), jobdsl.List(vals)}, cem); err != nil {
+					return nil, fmt.Errorf("engine: combine of job %q failed: %w", spec.Name, err)
+				}
+			}
+			pairs = cem.pairs
+		}
+		intermediate = append(intermediate, pairs...)
+	}
+
+	rem := &collectEmitter{}
+	for _, g := range groupPairs(intermediate) {
+		vals := make([]jobdsl.Value, len(g.vals))
+		for i, v := range g.vals {
+			vals[i] = jobdsl.Str(v)
+		}
+		if _, err := in.Call("reduce", []jobdsl.Value{jobdsl.Str(g.key), jobdsl.List(vals)}, rem); err != nil {
+			return nil, fmt.Errorf("engine: reduce of job %q failed: %w", spec.Name, err)
+		}
+	}
+	out := make([]data.Record, len(rem.pairs))
+	offset := int64(0)
+	for i, p := range rem.pairs {
+		line := p.k + "\t" + p.v
+		out[i] = data.Record{Key: fmt.Sprintf("%d", offset), Value: line}
+		offset += int64(len(line)) + 1
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"pstorm/internal/data"
+)
+
+func TestSampleOutputProducesReduceRecords(t *testing.T) {
+	ds := data.New("d", data.KindWikipedia, 2*data.GB, 5)
+	out, err := SampleOutput(expandSpec(), ds, []int{0, 1}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// expandSpec's reduce emits (key, count) once per key; there is a
+	// single key "k".
+	if len(out) != 1 {
+		t.Fatalf("got %d output records, want 1", len(out))
+	}
+	parts := strings.SplitN(out[0].Value, "\t", 2)
+	if parts[0] != "k" {
+		t.Errorf("output key = %q", parts[0])
+	}
+	if parts[1] != "300" { // 2 splits x 50 records x 3 emissions
+		t.Errorf("output value = %q, want 300", parts[1])
+	}
+}
+
+func TestSampleOutputIdentityPreservesRecords(t *testing.T) {
+	ds := data.New("d", data.KindTeraGen, data.GB, 1)
+	out, err := SampleOutput(identitySpec(), ds, []int{0}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 30 {
+		t.Fatalf("identity job output %d records, want 30", len(out))
+	}
+	for _, r := range out {
+		if !strings.Contains(r.Value, "\t") {
+			t.Fatalf("output record %q not key\\tvalue shaped", r.Value)
+		}
+	}
+}
+
+func TestSampleOutputFeedsDerivedDataset(t *testing.T) {
+	// The chaining contract: a derived dataset built from SampleOutput
+	// must be measurable by a downstream job.
+	ds := data.New("d", data.KindWikipedia, data.GB, 5)
+	out, err := SampleOutput(expandSpec(), ds, []int{0}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := data.FromRecords("stage2-in", out, 100<<20, 9)
+	st, err := Measure(identitySpec(), next, []int{0}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MapPairsSel != 1 {
+		t.Errorf("downstream measurement broken: %+v", st)
+	}
+}
+
+func TestSampleOutputErrors(t *testing.T) {
+	ds := data.New("d", data.KindTeraGen, data.GB, 1)
+	if _, err := SampleOutput(identitySpec(), ds, nil, 10); err == nil {
+		t.Error("no splits accepted")
+	}
+	bad := identitySpec()
+	bad.Source = "broken"
+	if _, err := SampleOutput(bad, ds, []int{0}, 10); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package hstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// bloom is a classic Bloom filter over row keys, attached to each
+// SSTable so point reads skip segments that cannot contain the row.
+type bloom struct {
+	bits []uint64
+	k    int // hash functions
+	m    uint64
+}
+
+// newBloom sizes a filter for n keys at roughly 1% false positives.
+func newBloom(n int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	// m = -n*ln(p)/ln(2)^2 with p = 0.01 => m ≈ 9.6 n; k ≈ 0.7 m/n ≈ 7.
+	m := uint64(math.Ceil(9.6 * float64(n)))
+	if m < 64 {
+		m = 64
+	}
+	return &bloom{bits: make([]uint64, (m+63)/64), k: 7, m: m}
+}
+
+// hashes derives k indexes via double hashing of two FNV variants.
+func (b *bloom) hashes(key string) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write([]byte(key))
+	a := h1.Sum64()
+	h2 := fnv.New64()
+	h2.Write([]byte(key))
+	c := h2.Sum64() | 1
+	return a, c
+}
+
+// Add inserts key.
+func (b *bloom) Add(key string) {
+	a, c := b.hashes(key)
+	for i := 0; i < b.k; i++ {
+		idx := (a + uint64(i)*c) % b.m
+		b.bits[idx/64] |= 1 << (idx % 64)
+	}
+}
+
+// MayContain reports whether the key could be present (no false
+// negatives).
+func (b *bloom) MayContain(key string) bool {
+	if b == nil || b.m == 0 {
+		return true
+	}
+	a, c := b.hashes(key)
+	for i := 0; i < b.k; i++ {
+		idx := (a + uint64(i)*c) % b.m
+		if b.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// encode serializes the filter: m, k, then the bit words.
+func (b *bloom) encode() []byte {
+	out := make([]byte, 16+8*len(b.bits))
+	binary.LittleEndian.PutUint64(out[0:], b.m)
+	binary.LittleEndian.PutUint64(out[8:], uint64(b.k))
+	for i, w := range b.bits {
+		binary.LittleEndian.PutUint64(out[16+8*i:], w)
+	}
+	return out
+}
+
+// decodeBloom parses an encoded filter.
+func decodeBloom(raw []byte) (*bloom, error) {
+	if len(raw) < 16 || (len(raw)-16)%8 != 0 {
+		return nil, fmt.Errorf("hstore: corrupt bloom filter (%d bytes)", len(raw))
+	}
+	b := &bloom{
+		m: binary.LittleEndian.Uint64(raw[0:]),
+		k: int(binary.LittleEndian.Uint64(raw[8:])),
+	}
+	n := (len(raw) - 16) / 8
+	if uint64(n*64) < b.m {
+		return nil, fmt.Errorf("hstore: bloom bit array too short: %d words for m=%d", n, b.m)
+	}
+	b.bits = make([]uint64, n)
+	for i := range b.bits {
+		b.bits[i] = binary.LittleEndian.Uint64(raw[16+8*i:])
+	}
+	return b, nil
+}

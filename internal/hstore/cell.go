@@ -1,0 +1,90 @@
+// Package hstore is a small column-family-oriented store in the HBase
+// mould, built as the substrate for the PStorM profile store (Chapter 5
+// of the paper). It provides the structural properties PStorM's design
+// depends on:
+//
+//   - rows sorted by row key, horizontally partitioned into key-range
+//     regions (so Table 5.1's "<FeatureType>/<JobID>" row keys give the
+//     matcher data locality);
+//   - one column family with free-form columns per row (extensibility);
+//   - a MemStore per region flushed into immutable, bloom-filtered,
+//     sparse-indexed segments (SSTables);
+//   - a META catalog mapping key ranges to regions;
+//   - server-side filter pushdown (§5.3): scan filters are serialized,
+//     evaluated at the region server, and only matching rows travel back
+//     to the client, with transferred bytes accounted so the pushdown
+//     ablation can measure the difference.
+package hstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cell is one (row, column, timestamp) → value entry. Within a row and
+// column, higher timestamps shadow lower ones. A Deleted cell is a
+// tombstone: it hides every older version of its column until a major
+// compaction drops both (the standard LSM delete).
+type Cell struct {
+	Row     string
+	Column  string
+	Ts      int64
+	Value   []byte
+	Deleted bool
+}
+
+// key orders cells by (row, column, descending ts), the HBase sort.
+func (c Cell) less(o Cell) bool {
+	if c.Row != o.Row {
+		return c.Row < o.Row
+	}
+	if c.Column != o.Column {
+		return c.Column < o.Column
+	}
+	return c.Ts > o.Ts
+}
+
+func (c Cell) String() string {
+	return fmt.Sprintf("%s:%s@%d=%q", c.Row, c.Column, c.Ts, c.Value)
+}
+
+// Row is a materialized row: its key and the latest value per column.
+type Row struct {
+	Key     string
+	Columns map[string][]byte
+}
+
+// Bytes returns the approximate wire size of the row (keys + values),
+// used for the transfer accounting of the pushdown experiment.
+func (r Row) Bytes() int64 {
+	n := int64(len(r.Key))
+	for c, v := range r.Columns {
+		n += int64(len(c) + len(v))
+	}
+	return n
+}
+
+// Clone deep-copies the row.
+func (r Row) Clone() Row {
+	out := Row{Key: r.Key, Columns: make(map[string][]byte, len(r.Columns))}
+	for c, v := range r.Columns {
+		out.Columns[c] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// String renders the row compactly for debugging.
+func (r Row) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s{", r.Key)
+	first := true
+	for c, v := range r.Columns {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%q", c, v)
+	}
+	b.WriteString("}")
+	return b.String()
+}

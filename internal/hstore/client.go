@@ -1,0 +1,336 @@
+package hstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is how applications talk to the store. Two transports exist:
+// in-process (Connect) and HTTP (Dial), sharing the same API so the
+// pushdown experiment can compare like with like. Scan supports both
+// server-side filtering (pushdown, §5.3) and client-side filtering
+// (fetch everything in range, filter locally) — the difference in bytes
+// transferred is exactly what §5.3 argues about.
+type Client struct {
+	transport transport
+}
+
+type transport interface {
+	put(table, row, column string, value []byte) error
+	deleteRow(table, row string) error
+	get(table, row string) (Row, bool, error)
+	scan(table, start, end string, filterWire []byte, limit int) ([]Row, error)
+	createTable(table string) error
+	flush(table string) error
+	stats() (TransferStats, error)
+}
+
+// Connect returns a client bound directly to an in-process server.
+func Connect(s *Server) *Client {
+	return &Client{transport: &localTransport{s: s}}
+}
+
+// Dial returns a client speaking the HTTP wire protocol to baseURL
+// (e.g. "http://127.0.0.1:8765").
+func Dial(baseURL string) *Client {
+	return &Client{transport: &httpTransport{base: baseURL, hc: &http.Client{}}}
+}
+
+// CreateTable creates a table.
+func (c *Client) CreateTable(table string) error { return c.transport.createTable(table) }
+
+// Put writes one cell.
+func (c *Client) Put(table, row, column string, value []byte) error {
+	return c.transport.put(table, row, column, value)
+}
+
+// PutRow writes all columns of a row.
+func (c *Client) PutRow(table string, r Row) error {
+	for col, v := range r.Columns {
+		if err := c.Put(table, r.Key, col, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get fetches one row.
+func (c *Client) Get(table, row string) (Row, bool, error) { return c.transport.get(table, row) }
+
+// DeleteRow tombstones every column of the row.
+func (c *Client) DeleteRow(table, row string) error { return c.transport.deleteRow(table, row) }
+
+// Flush flushes the table's memstores.
+func (c *Client) Flush(table string) error { return c.transport.flush(table) }
+
+// Stats returns the server's transfer counters.
+func (c *Client) Stats() (TransferStats, error) { return c.transport.stats() }
+
+// Scan returns the rows in [start, end) matching the filter, evaluated
+// at the server (pushdown). Limit 0 means unlimited.
+func (c *Client) Scan(table, start, end string, f Filter, limit int) ([]Row, error) {
+	wire, err := EncodeFilter(f)
+	if err != nil {
+		return nil, err
+	}
+	return c.transport.scan(table, start, end, wire, limit)
+}
+
+// ScanClientSide fetches every row in [start, end) from the server and
+// applies the filter locally — the non-pushdown baseline of §5.3.
+func (c *Client) ScanClientSide(table, start, end string, f Filter, limit int) ([]Row, error) {
+	all, err := c.transport.scan(table, start, end, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for _, r := range all {
+		if f == nil || f.Matches(r) {
+			out = append(out, r)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// In-process transport.
+
+type localTransport struct{ s *Server }
+
+func (t *localTransport) put(table, row, column string, value []byte) error {
+	return t.s.Put(table, row, column, value)
+}
+
+func (t *localTransport) get(table, row string) (Row, bool, error) { return t.s.Get(table, row) }
+
+func (t *localTransport) deleteRow(table, row string) error { return t.s.DeleteRow(table, row) }
+
+func (t *localTransport) scan(table, start, end string, filterWire []byte, limit int) ([]Row, error) {
+	var f Filter
+	if filterWire != nil {
+		var err error
+		f, err = DecodeFilter(filterWire)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t.s.Scan(table, start, end, f, limit)
+}
+
+func (t *localTransport) createTable(table string) error { return t.s.CreateTable(table) }
+func (t *localTransport) flush(table string) error       { return t.s.Flush(table) }
+func (t *localTransport) stats() (TransferStats, error)  { return t.s.Stats(), nil }
+
+// ---------------------------------------------------------------------
+// HTTP wire protocol.
+
+type putReq struct {
+	Table  string `json:"table"`
+	Row    string `json:"row"`
+	Column string `json:"column"`
+	Value  []byte `json:"value"`
+}
+
+type scanReq struct {
+	Table  string          `json:"table"`
+	Start  string          `json:"start"`
+	End    string          `json:"end"`
+	Filter json.RawMessage `json:"filter,omitempty"`
+	Limit  int             `json:"limit"`
+}
+
+type rowWire struct {
+	Key     string            `json:"key"`
+	Columns map[string][]byte `json:"columns"`
+}
+
+func toWire(r Row) rowWire   { return rowWire{Key: r.Key, Columns: r.Columns} }
+func fromWire(w rowWire) Row { return Row{Key: w.Key, Columns: w.Columns} }
+
+// Handler exposes the server over HTTP. Mount it on any mux.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	writeErr := func(w http.ResponseWriter, err error) {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+	writeJSON := func(w http.ResponseWriter, v interface{}) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux.HandleFunc("/v1/table", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("name")
+		if err := s.CreateTable(name); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/flush", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Flush(r.URL.Query().Get("table")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/put", func(w http.ResponseWriter, r *http.Request) {
+		var req putReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, err)
+			return
+		}
+		if err := s.Put(req.Table, req.Row, req.Column, req.Value); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/deleterow", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.DeleteRow(r.URL.Query().Get("table"), r.URL.Query().Get("row")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/get", func(w http.ResponseWriter, r *http.Request) {
+		row, ok, err := s.Get(r.URL.Query().Get("table"), r.URL.Query().Get("row"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]interface{}{"found": ok, "row": toWire(row)})
+	})
+	mux.HandleFunc("/v1/scan", func(w http.ResponseWriter, r *http.Request) {
+		var req scanReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, err)
+			return
+		}
+		var f Filter
+		if len(req.Filter) > 0 {
+			var err error
+			f, err = DecodeFilter(req.Filter)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+		}
+		rows, err := s.Scan(req.Table, req.Start, req.End, f, req.Limit)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		wires := make([]rowWire, len(rows))
+		for i, row := range rows {
+			wires[i] = toWire(row)
+		}
+		writeJSON(w, wires)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+type httpTransport struct {
+	base string
+	hc   *http.Client
+}
+
+func (t *httpTransport) post(path string, body interface{}, out interface{}) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := t.hc.Post(t.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("hstore: %s: %s", path, bytes.TrimSpace(payload))
+	}
+	if out != nil {
+		return json.Unmarshal(payload, out)
+	}
+	return nil
+}
+
+func (t *httpTransport) getURL(path string, out interface{}) error {
+	resp, err := t.hc.Get(t.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("hstore: %s: %s", path, bytes.TrimSpace(payload))
+	}
+	if out != nil {
+		return json.Unmarshal(payload, out)
+	}
+	return nil
+}
+
+func (t *httpTransport) put(table, row, column string, value []byte) error {
+	return t.post("/v1/put", putReq{Table: table, Row: row, Column: column, Value: value}, nil)
+}
+
+func (t *httpTransport) get(table, row string) (Row, bool, error) {
+	var resp struct {
+		Found bool    `json:"found"`
+		Row   rowWire `json:"row"`
+	}
+	if err := t.getURL("/v1/get?table="+table+"&row="+row, &resp); err != nil {
+		return Row{}, false, err
+	}
+	return fromWire(resp.Row), resp.Found, nil
+}
+
+func (t *httpTransport) scan(table, start, end string, filterWire []byte, limit int) ([]Row, error) {
+	req := scanReq{Table: table, Start: start, End: end, Limit: limit}
+	if filterWire != nil {
+		req.Filter = filterWire
+	}
+	var wires []rowWire
+	if err := t.post("/v1/scan", req, &wires); err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(wires))
+	for i, w := range wires {
+		rows[i] = fromWire(w)
+	}
+	return rows, nil
+}
+
+func (t *httpTransport) deleteRow(table, row string) error {
+	return t.getURL("/v1/deleterow?table="+table+"&row="+row, nil)
+}
+
+func (t *httpTransport) createTable(table string) error {
+	return t.getURL("/v1/table?name="+table, nil)
+}
+
+func (t *httpTransport) flush(table string) error {
+	return t.getURL("/v1/flush?table="+table, nil)
+}
+
+func (t *httpTransport) stats() (TransferStats, error) {
+	var s TransferStats
+	err := t.getURL("/v1/stats", &s)
+	return s, err
+}

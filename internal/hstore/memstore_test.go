@@ -1,0 +1,137 @@
+package hstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemStorePutAndOrder(t *testing.T) {
+	m := newMemStore(1)
+	m.Put(Cell{Row: "b", Column: "x", Ts: 1, Value: []byte("1")})
+	m.Put(Cell{Row: "a", Column: "y", Ts: 1, Value: []byte("2")})
+	m.Put(Cell{Row: "a", Column: "x", Ts: 1, Value: []byte("3")})
+	m.Put(Cell{Row: "a", Column: "x", Ts: 5, Value: []byte("4")}) // newer version first
+
+	cells := m.Cells()
+	want := []string{"a:x@5", "a:x@1", "a:y@1", "b:x@1"}
+	if len(cells) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(want))
+	}
+	for i, w := range want {
+		got := fmt.Sprintf("%s:%s@%d", cells[i].Row, cells[i].Column, cells[i].Ts)
+		if got != w {
+			t.Errorf("cell %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestMemStoreOverwriteSameVersion(t *testing.T) {
+	m := newMemStore(1)
+	m.Put(Cell{Row: "a", Column: "x", Ts: 1, Value: []byte("old")})
+	m.Put(Cell{Row: "a", Column: "x", Ts: 1, Value: []byte("new")})
+	cells := m.Cells()
+	if len(cells) != 1 || string(cells[0].Value) != "new" {
+		t.Errorf("got %v, want single cell with value new", cells)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestMemStoreScanRange(t *testing.T) {
+	m := newMemStore(1)
+	for _, row := range []string{"a", "b", "c", "d"} {
+		m.Put(Cell{Row: row, Column: "x", Ts: 1, Value: []byte(row)})
+	}
+	var got []string
+	m.scanRange("b", "d", func(c Cell) bool {
+		got = append(got, c.Row)
+		return true
+	})
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("scan [b,d) = %v, want [b c]", got)
+	}
+
+	got = nil
+	m.scanRange("b", "", func(c Cell) bool { got = append(got, c.Row); return true })
+	if len(got) != 3 {
+		t.Errorf("unbounded scan from b = %v, want 3 rows", got)
+	}
+
+	got = nil
+	m.scanRange("a", "z", func(c Cell) bool { got = append(got, c.Row); return false })
+	if len(got) != 1 {
+		t.Errorf("early-stop scan returned %d rows, want 1", len(got))
+	}
+}
+
+func TestMemStoreSizeGrows(t *testing.T) {
+	m := newMemStore(1)
+	if m.SizeBytes() != 0 {
+		t.Error("fresh memstore should be empty")
+	}
+	m.Put(Cell{Row: "a", Column: "x", Ts: 1, Value: make([]byte, 100)})
+	if m.SizeBytes() < 100 {
+		t.Errorf("SizeBytes = %d after 100-byte value", m.SizeBytes())
+	}
+}
+
+// Property: Cells() is always sorted under the cell order and contains
+// exactly the distinct (row, column, ts) triples inserted.
+func TestMemStoreSortedProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := newMemStore(seed)
+		inserted := map[string]bool{}
+		for i := 0; i < 200; i++ {
+			c := Cell{
+				Row:    fmt.Sprintf("r%02d", r.Intn(20)),
+				Column: fmt.Sprintf("c%d", r.Intn(5)),
+				Ts:     int64(r.Intn(3)),
+				Value:  []byte{byte(i)},
+			}
+			m.Put(c)
+			inserted[fmt.Sprintf("%s|%s|%d", c.Row, c.Column, c.Ts)] = true
+		}
+		cells := m.Cells()
+		if len(cells) != len(inserted) {
+			return false
+		}
+		for i := 1; i < len(cells); i++ {
+			if !cells[i-1].less(cells[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: seek lands on the first cell >= the probe position.
+func TestMemStoreSeekProperty(t *testing.T) {
+	m := newMemStore(9)
+	rows := []string{"apple", "banana", "cherry", "damson"}
+	for _, row := range rows {
+		m.Put(Cell{Row: row, Column: "c", Ts: 1, Value: []byte("v")})
+	}
+	cases := []struct{ probe, want string }{
+		{"", "apple"}, {"apple", "apple"}, {"apricot", "banana"},
+		{"cherry", "cherry"}, {"zzz", ""},
+	}
+	for _, c := range cases {
+		n := m.seek(c.probe, "")
+		got := ""
+		if n != nil {
+			got = n.cell.Row
+		}
+		if got != c.want {
+			t.Errorf("seek(%q) = %q, want %q", c.probe, got, c.want)
+		}
+	}
+	sort.Strings(rows) // silence unused-import lint paranoia; rows already sorted
+}

@@ -1,0 +1,309 @@
+package hstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// region is one horizontal partition of a table: the half-open row-key
+// range [startKey, endKey). Writes land in the memstore; when it grows
+// past flushBytes it is flushed to an immutable sstable. Reads merge
+// the memstore and all sstables, newest first.
+type region struct {
+	mu       sync.RWMutex
+	id       int
+	startKey string
+	endKey   string // "" = unbounded
+
+	mem        *memStore
+	sstables   []*sstable // newest first
+	flushBytes int64
+	totalBytes int64
+}
+
+func newRegion(id int, start, end string, flushBytes int64) *region {
+	if flushBytes <= 0 {
+		flushBytes = 4 << 20
+	}
+	return &region{
+		id:         id,
+		startKey:   start,
+		endKey:     end,
+		mem:        newMemStore(int64(id)*7919 + 1),
+		flushBytes: flushBytes,
+	}
+}
+
+// contains reports whether the row key falls in this region's range.
+func (g *region) contains(row string) bool {
+	if row < g.startKey {
+		return false
+	}
+	return g.endKey == "" || row < g.endKey
+}
+
+// put inserts one cell, flushing the memstore if it has grown too big.
+func (g *region) put(c Cell) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.mem.Put(c)
+	g.totalBytes += int64(len(c.Row) + len(c.Column) + len(c.Value))
+	if g.mem.SizeBytes() >= g.flushBytes {
+		g.flushLocked()
+	}
+}
+
+// Flush forces the memstore into a new sstable.
+func (g *region) flush() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.flushLocked()
+}
+
+func (g *region) flushLocked() {
+	cells := g.mem.Cells()
+	if len(cells) == 0 {
+		return
+	}
+	t := buildSSTable(cells)
+	g.sstables = append([]*sstable{t}, g.sstables...)
+	g.mem = newMemStore(int64(g.id)*7919 + int64(len(g.sstables))*13 + 1)
+}
+
+// cellIterator streams sorted cells.
+type cellIterator struct {
+	cells []Cell
+	pos   int
+}
+
+func (it *cellIterator) peek() (Cell, bool) {
+	if it.pos >= len(it.cells) {
+		return Cell{}, false
+	}
+	return it.cells[it.pos], true
+}
+
+func (it *cellIterator) next() { it.pos++ }
+
+// scanRows materializes rows in [startRow, endRow) passing them to fn
+// (latest timestamp wins per column); fn returning false stops early.
+func (g *region) scanRows(startRow, endRow string, fn func(Row) bool) {
+	g.mu.RLock()
+	// Snapshot sources under the lock; sstables are immutable and the
+	// memstore cell slice is a copy.
+	iters := make([]*cellIterator, 0, 1+len(g.sstables))
+	memCells := make([]Cell, 0, 64)
+	g.mem.scanRange(startRow, endRow, func(c Cell) bool {
+		memCells = append(memCells, c)
+		return true
+	})
+	iters = append(iters, &cellIterator{cells: memCells})
+	for _, t := range g.sstables {
+		var cs []Cell
+		t.scanRange(startRow, endRow, func(c Cell) bool {
+			cs = append(cs, c)
+			return true
+		})
+		iters = append(iters, &cellIterator{cells: cs})
+	}
+	g.mu.RUnlock()
+
+	// K-way merge: pick the smallest cell each round; within equal
+	// (row, column, ts) the earliest source (newest data) wins.
+	cur := Row{}
+	emit := func() bool {
+		if cur.Key == "" {
+			return true
+		}
+		// A row whose every column was tombstoned no longer exists.
+		if len(cur.Columns) == 0 {
+			cur = Row{}
+			return true
+		}
+		ok := fn(cur)
+		cur = Row{}
+		return ok
+	}
+	type colVer struct {
+		ts  int64
+		set bool
+	}
+	vers := make(map[string]colVer)
+	for {
+		best := -1
+		for i, it := range iters {
+			c, ok := it.peek()
+			if !ok {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			b, _ := iters[best].peek()
+			if c.less(b) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c, _ := iters[best].peek()
+		iters[best].next()
+		if c.Row != cur.Key {
+			if !emit() {
+				return
+			}
+			cur = Row{Key: c.Row, Columns: make(map[string][]byte)}
+			vers = make(map[string]colVer)
+		}
+		if cur.Columns == nil {
+			cur = Row{Key: c.Row, Columns: make(map[string][]byte)}
+		}
+		if v := vers[c.Column]; !v.set || c.Ts > v.ts {
+			if c.Deleted {
+				// A tombstone as the newest version hides the column.
+				delete(cur.Columns, c.Column)
+			} else {
+				cur.Columns[c.Column] = c.Value
+			}
+			vers[c.Column] = colVer{ts: c.Ts, set: true}
+		}
+	}
+	emit()
+}
+
+// get returns the materialized row. Bloom filters let the point read
+// skip every sstable that cannot contain the row; if the memstore also
+// has nothing for it, the read answers negatively without any scan.
+func (g *region) get(row string) (Row, bool) {
+	g.mu.RLock()
+	inMem := false
+	if n := g.mem.seek(row, ""); n != nil && n.cell.Row == row {
+		inMem = true
+	}
+	possible := inMem
+	if !possible {
+		for _, t := range g.sstables {
+			if t.mayContainRow(row) {
+				possible = true
+				break
+			}
+		}
+	}
+	g.mu.RUnlock()
+	if !possible {
+		return Row{}, false
+	}
+
+	var out Row
+	found := false
+	g.scanRows(row, row+"\x00", func(r Row) bool {
+		out = r
+		found = true
+		return false
+	})
+	return out, found
+}
+
+// splitPoint proposes a middle row key, or "" if the region holds too
+// few distinct rows to split.
+func (g *region) splitPoint() string {
+	var rows []string
+	g.scanRows(g.startKey, g.endKey, func(r Row) bool {
+		rows = append(rows, r.Key)
+		return true
+	})
+	if len(rows) < 2 {
+		return ""
+	}
+	return rows[len(rows)/2]
+}
+
+// split divides the region at the given key into two fresh regions.
+func (g *region) split(at string, leftID, rightID int) (*region, *region, error) {
+	if at <= g.startKey || (g.endKey != "" && at >= g.endKey) {
+		return nil, nil, fmt.Errorf("hstore: split key %q outside region [%q,%q)", at, g.startKey, g.endKey)
+	}
+	left := newRegion(leftID, g.startKey, at, g.flushBytes)
+	right := newRegion(rightID, at, g.endKey, g.flushBytes)
+	g.scanRows(g.startKey, g.endKey, func(r Row) bool {
+		target := left
+		if r.Key >= at {
+			target = right
+		}
+		for col, v := range r.Columns {
+			target.put(Cell{Row: r.Key, Column: col, Ts: 1, Value: v})
+		}
+		return true
+	})
+	return left, right, nil
+}
+
+// compact merges the memstore and every sstable into a single new
+// sstable, keeping only the newest version of each (row, column). This
+// bounds read amplification: a point read afterwards consults one
+// segment instead of one per flush. The whole operation holds the write
+// lock, so no concurrent write can slip between merge and swap.
+func (g *region) compact() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.flushLocked()
+	if len(g.sstables) <= 1 {
+		return
+	}
+	merged := mergeTables(g.sstables)
+	// Major compaction: tombstones have hidden everything older, so they
+	// can be dropped outright.
+	live := merged[:0]
+	for _, c := range merged {
+		if !c.Deleted {
+			live = append(live, c)
+		}
+	}
+	g.sstables = []*sstable{buildSSTable(live)}
+}
+
+// mergeTables merges sstables (newest first) into one sorted,
+// deduplicated cell stream: for each (row, column) only the newest
+// version survives, with newer tables winning timestamp ties.
+func mergeTables(tables []*sstable) []Cell {
+	var all []Cell
+	for _, t := range tables {
+		t.scanRange("", "", func(c Cell) bool {
+			all = append(all, c)
+			return true
+		})
+	}
+	// Stable sort keeps newer-table cells first among equal
+	// (row, column, ts) triples.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].less(all[j]) })
+	out := make([]Cell, 0, len(all))
+	for _, c := range all {
+		if n := len(out); n > 0 && c.Row == out[n-1].Row && c.Column == out[n-1].Column {
+			continue // shadowed version
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// segmentCount returns memstore presence plus sstable count, the read
+// amplification a point lookup faces.
+func (g *region) segmentCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := len(g.sstables)
+	if g.mem.Len() > 0 {
+		n++
+	}
+	return n
+}
+
+// sizeBytes returns the total bytes ever written to the region.
+func (g *region) sizeBytes() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.totalBytes
+}

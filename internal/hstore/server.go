@@ -1,0 +1,375 @@
+package hstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is a single-process region server plus master: it hosts
+// tables, each horizontally partitioned into key-range regions, and
+// maintains the META catalog mapping (table, startKey) to regions —
+// the structure §5.2 of the paper reasons about when comparing data
+// models.
+type Server struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	nextID int
+
+	// Transfer accounting for the filter-pushdown experiment (§5.3).
+	rowsScanned   atomic.Int64
+	rowsReturned  atomic.Int64
+	bytesReturned atomic.Int64
+
+	// MaxRegionBytes triggers a region split when exceeded (default 8 MB).
+	MaxRegionBytes int64
+	// FlushBytes is the per-region memstore flush threshold (default 4 MB).
+	FlushBytes int64
+
+	// wal, when non-nil, makes mutations durable (see OpenDurable).
+	wal *wal
+
+	clock atomic.Int64 // logical timestamp source
+}
+
+type table struct {
+	name    string
+	regions []*region // sorted by startKey
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{tables: make(map[string]*table)}
+}
+
+// CreateTable registers a new table with one region spanning all keys.
+// Creating an existing table is an error (HBase semantics).
+func (s *Server) CreateTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return fmt.Errorf("hstore: table %q already exists", name)
+	}
+	if s.wal != nil {
+		if err := s.wal.logCreateTable(name); err != nil {
+			return err
+		}
+	}
+	s.nextID++
+	s.tables[name] = &table{
+		name:    name,
+		regions: []*region{newRegion(s.nextID, "", "", s.flushBytes())},
+	}
+	return nil
+}
+
+// DropTable removes a table and its regions.
+func (s *Server) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("hstore: table %q does not exist", name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// Tables lists the table names.
+func (s *Server) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Server) flushBytes() int64 {
+	if s.FlushBytes > 0 {
+		return s.FlushBytes
+	}
+	return 4 << 20
+}
+
+func (s *Server) maxRegionBytes() int64 {
+	if s.MaxRegionBytes > 0 {
+		return s.MaxRegionBytes
+	}
+	return 8 << 20
+}
+
+func (s *Server) table(name string) (*table, error) {
+	s.mu.RLock()
+	t, ok := s.tables[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("hstore: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// regionFor locates the region owning the row (regions cover the whole
+// key space, so this always succeeds for an existing table).
+func (t *table) regionFor(row string) *region {
+	i := sort.Search(len(t.regions), func(i int) bool {
+		g := t.regions[i]
+		return g.endKey == "" || row < g.endKey
+	})
+	if i >= len(t.regions) {
+		i = len(t.regions) - 1
+	}
+	return t.regions[i]
+}
+
+// now issues a monotonically increasing logical timestamp.
+func (s *Server) now() int64 {
+	for {
+		prev := s.clock.Load()
+		next := time.Now().UnixNano()
+		if next <= prev {
+			next = prev + 1
+		}
+		if s.clock.CompareAndSwap(prev, next) {
+			return next
+		}
+	}
+}
+
+// Put writes one cell, durably when a WAL is armed.
+func (s *Server) Put(tableName, row, column string, value []byte) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	c := Cell{Row: row, Column: column, Ts: s.now(), Value: value}
+	if s.wal != nil {
+		if err := s.wal.logCell(tableName, c); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	g := t.regionFor(row)
+	s.mu.Unlock()
+	g.put(c)
+	if g.sizeBytes() > s.maxRegionBytes() {
+		s.trySplit(t, g)
+	}
+	return nil
+}
+
+// PutRow writes all columns of a row.
+func (s *Server) PutRow(tableName string, r Row) error {
+	cols := make([]string, 0, len(r.Columns))
+	for c := range r.Columns {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		if err := s.Put(tableName, r.Key, c, r.Columns[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trySplit splits a region that has outgrown the limit.
+func (s *Server) trySplit(t *table, g *region) {
+	at := g.splitPoint()
+	if at == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := -1
+	for i, r := range t.regions {
+		if r == g {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return // already split by a concurrent writer
+	}
+	s.nextID += 2
+	left, right, err := g.split(at, s.nextID-1, s.nextID)
+	if err != nil {
+		return
+	}
+	t.regions = append(t.regions[:idx], append([]*region{left, right}, t.regions[idx+1:]...)...)
+}
+
+// Delete writes a tombstone for one column of a row; older versions
+// become invisible and are dropped at the next major compaction.
+func (s *Server) Delete(tableName, row, column string) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	c := Cell{Row: row, Column: column, Ts: s.now(), Deleted: true}
+	if s.wal != nil {
+		if err := s.wal.logCell(tableName, c); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	g := t.regionFor(row)
+	s.mu.Unlock()
+	g.put(c)
+	return nil
+}
+
+// DeleteRow tombstones every current column of a row. A row with no
+// live columns no longer appears in reads.
+func (s *Server) DeleteRow(tableName, row string) error {
+	r, ok, err := s.Get(tableName, row)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	cols := make([]string, 0, len(r.Columns))
+	for c := range r.Columns {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		if err := s.Delete(tableName, row, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get fetches one row.
+func (s *Server) Get(tableName, row string) (Row, bool, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return Row{}, false, err
+	}
+	s.mu.RLock()
+	g := t.regionFor(row)
+	s.mu.RUnlock()
+	r, ok := g.get(row)
+	if ok {
+		s.rowsReturned.Add(1)
+		s.bytesReturned.Add(r.Bytes())
+	}
+	return r, ok, nil
+}
+
+// Scan streams rows with startRow <= key < endRow (endRow "" means
+// unbounded) through the filter, region by region in key order. Only
+// rows passing the filter are "returned" (and accounted); this is the
+// server-side half of the pushdown mechanism. Limit 0 means no limit.
+func (s *Server) Scan(tableName, startRow, endRow string, f Filter, limit int) ([]Row, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	regions := append([]*region(nil), t.regions...)
+	s.mu.RUnlock()
+
+	var out []Row
+	for _, g := range regions {
+		if endRow != "" && g.startKey >= endRow {
+			break
+		}
+		if g.endKey != "" && g.endKey <= startRow {
+			continue
+		}
+		stop := false
+		g.scanRows(startRow, endRow, func(r Row) bool {
+			s.rowsScanned.Add(1)
+			if f == nil || f.Matches(r) {
+				out = append(out, r.Clone())
+				s.rowsReturned.Add(1)
+				s.bytesReturned.Add(r.Bytes())
+				if limit > 0 && len(out) >= limit {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+		if stop {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Flush forces every region of the table to flush its memstore.
+func (s *Server) Flush(tableName string) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	regions := append([]*region(nil), t.regions...)
+	s.mu.RUnlock()
+	for _, g := range regions {
+		g.flush()
+	}
+	return nil
+}
+
+// MetaEntry is one catalog row, as in HBase's .META. table: the key is
+// (table, startKey, regionID) and the value names the serving region
+// server (always this server in the single-process build).
+type MetaEntry struct {
+	Table    string
+	StartKey string
+	EndKey   string
+	RegionID int
+	Server   string
+}
+
+// Meta returns the catalog.
+func (s *Server) Meta() []MetaEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []MetaEntry
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, g := range s.tables[n].regions {
+			out = append(out, MetaEntry{
+				Table: n, StartKey: g.startKey, EndKey: g.endKey,
+				RegionID: g.id, Server: "regionserver-0",
+			})
+		}
+	}
+	return out
+}
+
+// TransferStats reports the accounting counters.
+type TransferStats struct {
+	RowsScanned   int64
+	RowsReturned  int64
+	BytesReturned int64
+}
+
+// Stats returns a snapshot of the transfer counters.
+func (s *Server) Stats() TransferStats {
+	return TransferStats{
+		RowsScanned:   s.rowsScanned.Load(),
+		RowsReturned:  s.rowsReturned.Load(),
+		BytesReturned: s.bytesReturned.Load(),
+	}
+}
+
+// ResetStats zeroes the transfer counters.
+func (s *Server) ResetStats() {
+	s.rowsScanned.Store(0)
+	s.rowsReturned.Store(0)
+	s.bytesReturned.Store(0)
+}

@@ -1,0 +1,236 @@
+package hstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// sstable is an immutable sorted segment produced by flushing a
+// region's memstore (HBase's HFile). The encoded layout is
+//
+//	cells:  repeated [u32 rowLen | u32 colLen | i64 ts | u32 valLen | row | col | val]
+//	        (the top bit of colLen marks a tombstone)
+//	index:  repeated [u32 rowLen | row | u64 offset]   (one entry per indexInterval cells)
+//	bloom:  encoded bloom filter over row keys
+//	footer: [u64 indexOff | u64 bloomOff | u32 cellCount | u32 magic]
+type sstable struct {
+	data  []byte // the cell area only
+	index []indexEntry
+	bloom *bloom
+	count int
+
+	minRow, maxRow string
+}
+
+type indexEntry struct {
+	row    string
+	offset uint64
+}
+
+const (
+	sstMagic      = 0x50535432 // "PST2"
+	indexInterval = 64
+)
+
+// buildSSTable encodes sorted cells into a segment. Cells must already
+// be in (row, column, ts desc) order, as memstore.Cells produces.
+func buildSSTable(cells []Cell) *sstable {
+	t := &sstable{count: len(cells), bloom: newBloom(len(cells))}
+	var buf []byte
+	lastRow := ""
+	for i, c := range cells {
+		if i%indexInterval == 0 {
+			t.index = append(t.index, indexEntry{row: c.Row, offset: uint64(len(buf))})
+		}
+		if c.Row != lastRow {
+			t.bloom.Add(c.Row)
+			lastRow = c.Row
+		}
+		buf = appendCell(buf, c)
+	}
+	t.data = buf
+	if len(cells) > 0 {
+		t.minRow = cells[0].Row
+		t.maxRow = cells[len(cells)-1].Row
+	}
+	return t
+}
+
+const tombstoneBit = 1 << 31
+
+func appendCell(buf []byte, c Cell) []byte {
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(c.Row)))
+	colLen := uint32(len(c.Column))
+	if c.Deleted {
+		colLen |= tombstoneBit
+	}
+	binary.LittleEndian.PutUint32(hdr[4:], colLen)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(c.Ts))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(c.Value)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, c.Row...)
+	buf = append(buf, c.Column...)
+	buf = append(buf, c.Value...)
+	return buf
+}
+
+// readCell decodes the cell at offset, returning it and the following
+// offset. An offset at or past the end returns ok=false.
+func (t *sstable) readCell(off uint64) (Cell, uint64, bool) {
+	if off+20 > uint64(len(t.data)) {
+		return Cell{}, 0, false
+	}
+	rl := binary.LittleEndian.Uint32(t.data[off:])
+	rawCl := binary.LittleEndian.Uint32(t.data[off+4:])
+	deleted := rawCl&tombstoneBit != 0
+	cl := rawCl &^ uint32(tombstoneBit)
+	ts := int64(binary.LittleEndian.Uint64(t.data[off+8:]))
+	vl := binary.LittleEndian.Uint32(t.data[off+16:])
+	p := off + 20
+	end := p + uint64(rl) + uint64(cl) + uint64(vl)
+	if end > uint64(len(t.data)) {
+		return Cell{}, 0, false
+	}
+	c := Cell{
+		Row:     string(t.data[p : p+uint64(rl)]),
+		Column:  string(t.data[p+uint64(rl) : p+uint64(rl)+uint64(cl)]),
+		Ts:      ts,
+		Value:   t.data[end-uint64(vl) : end],
+		Deleted: deleted,
+	}
+	return c, end, true
+}
+
+// seekOffset returns the encoded offset from which a scan starting at
+// row must begin, via binary search on the sparse index.
+func (t *sstable) seekOffset(row string) uint64 {
+	i := sort.Search(len(t.index), func(i int) bool { return t.index[i].row >= row })
+	if i == 0 {
+		return 0
+	}
+	return t.index[i-1].offset
+}
+
+// scanRange streams cells with startRow <= row < endRow (endRow ""
+// unbounded); fn returning false stops the scan.
+func (t *sstable) scanRange(startRow, endRow string, fn func(Cell) bool) {
+	off := t.seekOffset(startRow)
+	for {
+		c, next, ok := t.readCell(off)
+		if !ok {
+			return
+		}
+		off = next
+		if c.Row < startRow {
+			continue
+		}
+		if endRow != "" && c.Row >= endRow {
+			return
+		}
+		if !fn(c) {
+			return
+		}
+	}
+}
+
+// mayContainRow consults the bloom filter and key range.
+func (t *sstable) mayContainRow(row string) bool {
+	if t.count == 0 || row < t.minRow || row > t.maxRow {
+		return false
+	}
+	return t.bloom.MayContain(row)
+}
+
+// encode serializes the whole table (cells + index + bloom + footer).
+func (t *sstable) encode() []byte {
+	out := append([]byte(nil), t.data...)
+	indexOff := uint64(len(out))
+	for _, e := range t.index {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(e.row)))
+		out = append(out, hdr[:]...)
+		out = append(out, e.row...)
+		var off [8]byte
+		binary.LittleEndian.PutUint64(off[:], e.offset)
+		out = append(out, off[:]...)
+	}
+	bloomOff := uint64(len(out))
+	out = append(out, t.bloom.encode()...)
+	var footer [24]byte
+	binary.LittleEndian.PutUint64(footer[0:], indexOff)
+	binary.LittleEndian.PutUint64(footer[8:], bloomOff)
+	binary.LittleEndian.PutUint32(footer[16:], uint32(t.count))
+	binary.LittleEndian.PutUint32(footer[20:], sstMagic)
+	return append(out, footer[:]...)
+}
+
+// decodeSSTable parses an encoded table.
+func decodeSSTable(raw []byte) (*sstable, error) {
+	if len(raw) < 24 {
+		return nil, fmt.Errorf("hstore: sstable too short (%d bytes)", len(raw))
+	}
+	f := raw[len(raw)-24:]
+	indexOff := binary.LittleEndian.Uint64(f[0:])
+	bloomOff := binary.LittleEndian.Uint64(f[8:])
+	count := binary.LittleEndian.Uint32(f[16:])
+	magic := binary.LittleEndian.Uint32(f[20:])
+	if magic != sstMagic {
+		return nil, fmt.Errorf("hstore: bad sstable magic %#x", magic)
+	}
+	if indexOff > bloomOff || bloomOff > uint64(len(raw)-24) {
+		return nil, fmt.Errorf("hstore: corrupt sstable footer")
+	}
+	t := &sstable{data: raw[:indexOff], count: int(count)}
+	// Index.
+	idx := raw[indexOff:bloomOff]
+	for len(idx) > 0 {
+		if len(idx) < 4 {
+			return nil, fmt.Errorf("hstore: corrupt sstable index")
+		}
+		rl := binary.LittleEndian.Uint32(idx)
+		if uint64(len(idx)) < 4+uint64(rl)+8 {
+			return nil, fmt.Errorf("hstore: corrupt sstable index entry")
+		}
+		row := string(idx[4 : 4+rl])
+		off := binary.LittleEndian.Uint64(idx[4+rl:])
+		t.index = append(t.index, indexEntry{row: row, offset: off})
+		idx = idx[4+rl+8:]
+	}
+	b, err := decodeBloom(raw[bloomOff : len(raw)-24])
+	if err != nil {
+		return nil, err
+	}
+	t.bloom = b
+	// Min/max rows from first and last cells.
+	if c, _, ok := t.readCell(0); ok {
+		t.minRow = c.Row
+	}
+	if len(t.index) > 0 {
+		last := t.index[len(t.index)-1].offset
+		for {
+			c, next, ok := t.readCell(last)
+			if !ok {
+				break
+			}
+			t.maxRow = c.Row
+			last = next
+		}
+	}
+	return t, nil
+}
+
+// writeFile persists the table; readFile loads it.
+func (t *sstable) writeFile(path string) error {
+	return os.WriteFile(path, t.encode(), 0o644)
+}
+
+func readSSTableFile(path string) (*sstable, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSSTable(raw)
+}

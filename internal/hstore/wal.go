@@ -1,0 +1,262 @@
+package hstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Write-ahead log. Checkpoints (SaveTo) capture a point-in-time image;
+// the WAL makes every individual Put/Delete durable in between, as a
+// long-lived profile store needs: months of accumulated profiles should
+// not depend on someone remembering to checkpoint. Records are
+// length-framed and replay stops cleanly at a torn tail (a crash mid-
+// append loses at most the record being written).
+//
+// Record layout (little endian):
+//
+//	u8  kind                 (1 = create table, 2 = cell)
+//	u32 tableLen | table
+//	-- kind 2 only --
+//	u32 rowLen   | row
+//	u32 colLen   | col       (top bit marks a tombstone)
+//	i64 ts
+//	u32 valLen   | val
+
+const walFileName = "wal.log"
+
+const (
+	walCreateTable byte = 1
+	walCell        byte = 2
+)
+
+// wal is an append-only log file.
+type wal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f}, nil
+}
+
+func appendU32String(buf []byte, s string) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	buf = append(buf, n[:]...)
+	return append(buf, s...)
+}
+
+func (w *wal) logCreateTable(table string) error {
+	buf := make([]byte, 0, 5+len(table))
+	buf = append(buf, walCreateTable)
+	buf = appendU32String(buf, table)
+	return w.write(buf)
+}
+
+func (w *wal) logCell(table string, c Cell) error {
+	buf := make([]byte, 0, 32+len(table)+len(c.Row)+len(c.Column)+len(c.Value))
+	buf = append(buf, walCell)
+	buf = appendU32String(buf, table)
+	buf = appendU32String(buf, c.Row)
+	var n [4]byte
+	colLen := uint32(len(c.Column))
+	if c.Deleted {
+		colLen |= tombstoneBit
+	}
+	binary.LittleEndian.PutUint32(n[:], colLen)
+	buf = append(buf, n[:]...)
+	buf = append(buf, c.Column...)
+	var ts [8]byte
+	binary.LittleEndian.PutUint64(ts[:], uint64(c.Ts))
+	buf = append(buf, ts[:]...)
+	binary.LittleEndian.PutUint32(n[:], uint32(len(c.Value)))
+	buf = append(buf, n[:]...)
+	buf = append(buf, c.Value...)
+	return w.write(buf)
+}
+
+func (w *wal) write(buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.f.Write(buf)
+	return err
+}
+
+// truncate resets the log (after a checkpoint has captured its effects).
+func (w *wal) truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(0, io.SeekStart)
+	return err
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// walReplayer decodes records from a log byte stream.
+type walReplayer struct {
+	buf []byte
+	off int
+}
+
+func (r *walReplayer) readU32String() (string, bool) {
+	if r.off+4 > len(r.buf) {
+		return "", false
+	}
+	n := int(binary.LittleEndian.Uint32(r.buf[r.off:]))
+	r.off += 4
+	if r.off+n > len(r.buf) {
+		return "", false
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s, true
+}
+
+// next decodes one record; done reports a clean (or torn-tail) end.
+func (r *walReplayer) next() (kind byte, table string, c Cell, done bool) {
+	if r.off >= len(r.buf) {
+		return 0, "", Cell{}, true
+	}
+	start := r.off
+	kind = r.buf[r.off]
+	r.off++
+	table, ok := r.readU32String()
+	if !ok {
+		r.off = start
+		return 0, "", Cell{}, true
+	}
+	if kind == walCreateTable {
+		return kind, table, Cell{}, false
+	}
+	row, ok := r.readU32String()
+	if !ok {
+		r.off = start
+		return 0, "", Cell{}, true
+	}
+	if r.off+4 > len(r.buf) {
+		r.off = start
+		return 0, "", Cell{}, true
+	}
+	rawCl := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	deleted := rawCl&tombstoneBit != 0
+	cl := int(rawCl &^ uint32(tombstoneBit))
+	if r.off+cl+8+4 > len(r.buf) {
+		r.off = start
+		return 0, "", Cell{}, true
+	}
+	col := string(r.buf[r.off : r.off+cl])
+	r.off += cl
+	ts := int64(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	vl := int(binary.LittleEndian.Uint32(r.buf[r.off:]))
+	r.off += 4
+	if r.off+vl > len(r.buf) {
+		r.off = start
+		return 0, "", Cell{}, true
+	}
+	val := append([]byte(nil), r.buf[r.off:r.off+vl]...)
+	r.off += vl
+	return kind, table, Cell{Row: row, Column: col, Ts: ts, Value: val, Deleted: deleted}, false
+}
+
+// EnableWAL makes every subsequent Put/Delete/CreateTable durable by
+// appending it to dir/wal.log. Call after LoadServer (or on a fresh
+// server); OpenDurable bundles the whole recovery sequence.
+func (s *Server) EnableWAL(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	w, err := openWAL(filepath.Join(dir, walFileName))
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.wal = w
+	s.mu.Unlock()
+	return nil
+}
+
+// replayWAL applies dir/wal.log (if present) to the server.
+func (s *Server) replayWAL(dir string) error {
+	raw, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	r := &walReplayer{buf: raw}
+	for {
+		kind, tbl, c, done := r.next()
+		if done {
+			return nil
+		}
+		switch kind {
+		case walCreateTable:
+			// Idempotent on replay over a checkpoint that already has it.
+			_ = s.createTableQuiet(tbl)
+		case walCell:
+			t, err := s.table(tbl)
+			if err != nil {
+				return fmt.Errorf("hstore: WAL references unknown table %q", tbl)
+			}
+			s.mu.Lock()
+			g := t.regionFor(c.Row)
+			s.mu.Unlock()
+			g.put(c)
+		default:
+			return fmt.Errorf("hstore: unknown WAL record kind %d", kind)
+		}
+	}
+}
+
+// createTableQuiet creates a table if absent (WAL replay helper).
+func (s *Server) createTableQuiet(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return nil
+	}
+	s.nextID++
+	s.tables[name] = &table{name: name, regions: []*region{newRegion(s.nextID, "", "", s.flushBytes())}}
+	return nil
+}
+
+// OpenDurable opens (or creates) a durable store in dir: the last
+// checkpoint is loaded, the write-ahead log replayed over it, and the
+// WAL re-armed so every subsequent mutation is durable. SaveTo
+// truncates the log after a successful checkpoint.
+func OpenDurable(dir string) (*Server, error) {
+	var s *Server
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		s, err = LoadServer(dir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		s = NewServer()
+	}
+	if err := s.replayWAL(dir); err != nil {
+		return nil, err
+	}
+	if err := s.EnableWAL(dir); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,287 @@
+package jobdsl
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// builtinFunc implements one built-in. Implementations panic with
+// *RuntimeError (via in.fail) on misuse.
+type builtinFunc func(in *Interp, args []Value, line int) Value
+
+// builtins is the DSL standard library. These mirror the helper
+// utilities the paper's Java benchmark jobs rely on (tokenizers, string
+// helpers, counters), kept deliberately small.
+var builtins map[string]builtinFunc
+
+func init() {
+	builtins = map[string]builtinFunc{
+		"emit":     biEmit,
+		"len":      biLen,
+		"tokenize": biTokenize,
+		"split":    biSplit,
+		"lower":    biLower,
+		"substr":   biSubstr,
+		"contains": biContains,
+		"toint":    biToInt,
+		"tostr":    biToStr,
+		"hash":     biHash,
+		"append":   biAppend,
+		"newmap":   biNewMap,
+		"put":      biPut,
+		"get":      biGet,
+		"haskey":   biHasKey,
+		"keys":     biKeys,
+		"sortlist": biSortList,
+		"min":      biMin,
+		"max":      biMax,
+		"param":    biParam,
+	}
+}
+
+// IsBuiltin reports whether name is a DSL built-in function.
+func IsBuiltin(name string) bool {
+	_, ok := builtins[name]
+	return ok
+}
+
+func (in *Interp) argc(args []Value, want int, name string, line int) {
+	if len(args) != want {
+		in.fail(line, "%s expects %d args, got %d", name, want, len(args))
+	}
+}
+
+func biEmit(in *Interp, args []Value, line int) Value {
+	in.argc(args, 2, "emit", line)
+	if in.emitter == nil {
+		in.fail(line, "emit called outside a map/combine/reduce context")
+	}
+	in.emitter.Emit(args[0].String(), args[1].String())
+	return Nil
+}
+
+func biLen(in *Interp, args []Value, line int) Value {
+	in.argc(args, 1, "len", line)
+	switch args[0].Kind {
+	case KindStr:
+		return Int(int64(len(args[0].S)))
+	case KindList:
+		return Int(int64(len(args[0].L)))
+	case KindMap:
+		return Int(int64(len(args[0].M)))
+	default:
+		in.fail(line, "len of %s", args[0].Kind)
+		return Nil
+	}
+}
+
+func biTokenize(in *Interp, args []Value, line int) Value {
+	in.argc(args, 1, "tokenize", line)
+	if args[0].Kind != KindStr {
+		in.fail(line, "tokenize expects a string")
+	}
+	fields := strings.Fields(args[0].S)
+	out := make([]Value, len(fields))
+	for i, f := range fields {
+		out[i] = Str(f)
+	}
+	return List(out)
+}
+
+func biSplit(in *Interp, args []Value, line int) Value {
+	in.argc(args, 2, "split", line)
+	if args[0].Kind != KindStr || args[1].Kind != KindStr {
+		in.fail(line, "split expects (string, string)")
+	}
+	parts := strings.Split(args[0].S, args[1].S)
+	out := make([]Value, len(parts))
+	for i, p := range parts {
+		out[i] = Str(p)
+	}
+	return List(out)
+}
+
+func biLower(in *Interp, args []Value, line int) Value {
+	in.argc(args, 1, "lower", line)
+	if args[0].Kind != KindStr {
+		in.fail(line, "lower expects a string")
+	}
+	return Str(strings.ToLower(args[0].S))
+}
+
+func biSubstr(in *Interp, args []Value, line int) Value {
+	in.argc(args, 3, "substr", line)
+	s := args[0]
+	if s.Kind != KindStr || args[1].Kind != KindInt || args[2].Kind != KindInt {
+		in.fail(line, "substr expects (string, int, int)")
+	}
+	i, j := args[1].I, args[2].I
+	if i < 0 {
+		i = 0
+	}
+	if j > int64(len(s.S)) {
+		j = int64(len(s.S))
+	}
+	if i > j {
+		i = j
+	}
+	return Str(s.S[i:j])
+}
+
+func biContains(in *Interp, args []Value, line int) Value {
+	in.argc(args, 2, "contains", line)
+	if args[0].Kind != KindStr || args[1].Kind != KindStr {
+		in.fail(line, "contains expects (string, string)")
+	}
+	return Bool(strings.Contains(args[0].S, args[1].S))
+}
+
+func biToInt(in *Interp, args []Value, line int) Value {
+	in.argc(args, 1, "toint", line)
+	switch args[0].Kind {
+	case KindInt:
+		return args[0]
+	case KindBool:
+		if args[0].B {
+			return Int(1)
+		}
+		return Int(0)
+	case KindStr:
+		n, err := strconv.ParseInt(strings.TrimSpace(args[0].S), 10, 64)
+		if err != nil {
+			in.fail(line, "toint: %q is not an integer", args[0].S)
+		}
+		return Int(n)
+	default:
+		in.fail(line, "toint of %s", args[0].Kind)
+		return Nil
+	}
+}
+
+func biToStr(in *Interp, args []Value, line int) Value {
+	in.argc(args, 1, "tostr", line)
+	return Str(args[0].String())
+}
+
+func biHash(in *Interp, args []Value, line int) Value {
+	in.argc(args, 1, "hash", line)
+	h := fnv.New32a()
+	h.Write([]byte(args[0].String()))
+	return Int(int64(h.Sum32()))
+}
+
+func biAppend(in *Interp, args []Value, line int) Value {
+	in.argc(args, 2, "append", line)
+	if args[0].Kind != KindList {
+		in.fail(line, "append expects a list first argument")
+	}
+	l := args[0].L
+	out := make([]Value, len(l), len(l)+1)
+	copy(out, l)
+	return List(append(out, args[1]))
+}
+
+func biNewMap(in *Interp, args []Value, line int) Value {
+	in.argc(args, 0, "newmap", line)
+	return NewMap()
+}
+
+func biPut(in *Interp, args []Value, line int) Value {
+	in.argc(args, 3, "put", line)
+	if args[0].Kind != KindMap {
+		in.fail(line, "put expects a map first argument")
+	}
+	args[0].M[args[1].String()] = args[2]
+	return args[0]
+}
+
+func biGet(in *Interp, args []Value, line int) Value {
+	in.argc(args, 2, "get", line)
+	if args[0].Kind != KindMap {
+		in.fail(line, "get expects a map first argument")
+	}
+	if v, ok := args[0].M[args[1].String()]; ok {
+		return v
+	}
+	return Nil
+}
+
+func biHasKey(in *Interp, args []Value, line int) Value {
+	in.argc(args, 2, "haskey", line)
+	if args[0].Kind != KindMap {
+		in.fail(line, "haskey expects a map first argument")
+	}
+	_, ok := args[0].M[args[1].String()]
+	return Bool(ok)
+}
+
+func biKeys(in *Interp, args []Value, line int) Value {
+	in.argc(args, 1, "keys", line)
+	if args[0].Kind != KindMap {
+		in.fail(line, "keys expects a map")
+	}
+	ks := make([]string, 0, len(args[0].M))
+	for k := range args[0].M {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	out := make([]Value, len(ks))
+	for i, k := range ks {
+		out[i] = Str(k)
+	}
+	return List(out)
+}
+
+func biSortList(in *Interp, args []Value, line int) Value {
+	in.argc(args, 1, "sortlist", line)
+	if args[0].Kind != KindList {
+		in.fail(line, "sortlist expects a list")
+	}
+	out := make([]Value, len(args[0].L))
+	copy(out, args[0].L)
+	allInt := true
+	for _, v := range out {
+		if v.Kind != KindInt {
+			allInt = false
+			break
+		}
+	}
+	if allInt {
+		sort.Slice(out, func(i, j int) bool { return out[i].I < out[j].I })
+	} else {
+		sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	}
+	return List(out)
+}
+
+func biParam(in *Interp, args []Value, line int) Value {
+	in.argc(args, 1, "param", line)
+	if args[0].Kind != KindStr {
+		in.fail(line, "param expects a string name")
+	}
+	v, ok := in.Params[args[0].S]
+	if !ok {
+		in.fail(line, "undefined job parameter %q", args[0].S)
+	}
+	return Str(v)
+}
+
+func biMin(in *Interp, args []Value, line int) Value {
+	in.argc(args, 2, "min", line)
+	a, b := in.wantInt(args[0], line), in.wantInt(args[1], line)
+	if a < b {
+		return Int(a)
+	}
+	return Int(b)
+}
+
+func biMax(in *Interp, args []Value, line int) Value {
+	in.argc(args, 2, "max", line)
+	a, b := in.wantInt(args[0], line), in.wantInt(args[1], line)
+	if a > b {
+		return Int(a)
+	}
+	return Int(b)
+}

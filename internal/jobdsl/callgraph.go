@@ -1,0 +1,128 @@
+package jobdsl
+
+import (
+	"sort"
+	"strings"
+)
+
+// Call-flow-graph analysis (§7.2.2 of the paper, implemented as the
+// proposed future-work extension).
+//
+// Two map functions can have identical control-flow graphs yet very
+// different behaviour if they call different helper functions. The
+// paper proposes adding the call flow graph — which functions call
+// which — to the static features, comparing the CFGs of corresponding
+// callees. In the DSL all calls are direct (no polymorphism), so the
+// extraction the paper says needs dynamic analysis in Java is fully
+// static here.
+
+// ExtractCallGraph returns, for every declared function, the sorted set
+// of user-declared functions it calls directly. Builtins are excluded.
+func ExtractCallGraph(prog *Program) map[string][]string {
+	out := make(map[string][]string, len(prog.Funcs))
+	for name, fn := range prog.Funcs {
+		set := make(map[string]bool)
+		collectCalls(fn.Body, prog, set)
+		callees := make([]string, 0, len(set))
+		for c := range set {
+			callees = append(callees, c)
+		}
+		sort.Strings(callees)
+		out[name] = callees
+	}
+	return out
+}
+
+func collectCalls(stmts []Stmt, prog *Program, set map[string]bool) {
+	for _, s := range stmts {
+		collectCallsStmt(s, prog, set)
+	}
+}
+
+func collectCallsStmt(s Stmt, prog *Program, set map[string]bool) {
+	switch s := s.(type) {
+	case *LetStmt:
+		collectCallsExpr(s.Expr, prog, set)
+	case *AssignStmt:
+		collectCallsExpr(s.Target, prog, set)
+		collectCallsExpr(s.Expr, prog, set)
+	case *ExprStmt:
+		collectCallsExpr(s.Expr, prog, set)
+	case *ReturnStmt:
+		if s.Expr != nil {
+			collectCallsExpr(s.Expr, prog, set)
+		}
+	case *IfStmt:
+		collectCallsExpr(s.Cond, prog, set)
+		collectCalls(s.Then, prog, set)
+		collectCalls(s.Else, prog, set)
+	case *WhileStmt:
+		collectCallsExpr(s.Cond, prog, set)
+		collectCalls(s.Body, prog, set)
+	case *ForStmt:
+		if s.Init != nil {
+			collectCallsStmt(s.Init, prog, set)
+		}
+		if s.Cond != nil {
+			collectCallsExpr(s.Cond, prog, set)
+		}
+		if s.Post != nil {
+			collectCallsStmt(s.Post, prog, set)
+		}
+		collectCalls(s.Body, prog, set)
+	}
+}
+
+func collectCallsExpr(e Expr, prog *Program, set map[string]bool) {
+	switch e := e.(type) {
+	case *ListLit:
+		for _, el := range e.Elems {
+			collectCallsExpr(el, prog, set)
+		}
+	case *UnaryExpr:
+		collectCallsExpr(e.X, prog, set)
+	case *BinaryExpr:
+		collectCallsExpr(e.L, prog, set)
+		collectCallsExpr(e.R, prog, set)
+	case *IndexExpr:
+		collectCallsExpr(e.X, prog, set)
+		collectCallsExpr(e.Index, prog, set)
+	case *CallExpr:
+		if _, userFunc := prog.Funcs[e.Name]; userFunc {
+			set[e.Name] = true
+		}
+		for _, a := range e.Args {
+			collectCallsExpr(a, prog, set)
+		}
+	}
+}
+
+// CallSignature produces the canonical static signature of a function
+// including its transitive callees: the root's CFG followed by each
+// reachable callee's CFG, in breadth-first call order. Helper names are
+// deliberately NOT part of the signature (renaming a helper must not
+// break matching, the same robustness argument as §4.1.3); only the
+// structure of what gets called matters. Recursion is cycle-safe.
+func CallSignature(prog *Program, root string) string {
+	fn, ok := prog.Funcs[root]
+	if !ok {
+		return ""
+	}
+	graph := ExtractCallGraph(prog)
+	var parts []string
+	parts = append(parts, ExtractCFG(fn).String())
+
+	visited := map[string]bool{root: true}
+	queue := append([]string(nil), graph[root]...)
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if visited[name] {
+			continue
+		}
+		visited[name] = true
+		parts = append(parts, "{"+ExtractCFG(prog.Funcs[name]).String()+"}")
+		queue = append(queue, graph[name]...)
+	}
+	return strings.Join(parts, " ")
+}

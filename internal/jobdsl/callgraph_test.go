@@ -1,0 +1,118 @@
+package jobdsl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtractCallGraph(t *testing.T) {
+	prog := MustParse(`
+func leaf(x) { return x; }
+func mid(x) { return leaf(x) + leaf(x + 1); }
+func map(key, line) {
+	emit(key, mid(len(line)));
+}
+func reduce(key, values) {
+	emit(key, len(values));
+}`)
+	g := ExtractCallGraph(prog)
+	if got := strings.Join(g["map"], ","); got != "mid" {
+		t.Errorf("map calls %q, want mid", got)
+	}
+	if got := strings.Join(g["mid"], ","); got != "leaf" {
+		t.Errorf("mid calls %q, want leaf", got)
+	}
+	if len(g["leaf"]) != 0 || len(g["reduce"]) != 0 {
+		t.Errorf("leaf/reduce should call nothing: %v / %v", g["leaf"], g["reduce"])
+	}
+}
+
+func TestCallGraphIgnoresBuiltins(t *testing.T) {
+	prog := MustParse(`func f(a) { emit(lower(a), len(a)); return hash(a); }`)
+	if g := ExtractCallGraph(prog); len(g["f"]) != 0 {
+		t.Errorf("builtins leaked into the call graph: %v", g["f"])
+	}
+}
+
+func TestCallSignatureIncludesHelpers(t *testing.T) {
+	prog := MustParse(`
+func helper(x) {
+	let s = 0;
+	while (x > 0) { s = s + x; x = x - 1; }
+	return s;
+}
+func map(key, line) {
+	emit(key, helper(len(line)));
+}
+func reduce(key, values) { emit(key, 1); }`)
+	sig := CallSignature(prog, "map")
+	if !strings.Contains(sig, "{B L(B) B}") {
+		t.Errorf("signature %q missing the helper's loop CFG", sig)
+	}
+	// The root's own CFG comes first.
+	if !strings.HasPrefix(sig, "B") {
+		t.Errorf("signature %q does not start with the root CFG", sig)
+	}
+}
+
+// TestCallSignatureDistinguishesSameBodyDifferentHelper is the §7.2.2
+// scenario: two map functions with identical CFGs calling structurally
+// different helpers must get different signatures.
+func TestCallSignatureDistinguishesSameBodyDifferentHelper(t *testing.T) {
+	loopHelper := MustParse(`
+func work(x) { let s = 0; while (x > 0) { s = s + 1; x = x - 1; } return s; }
+func map(key, line) { emit(key, work(len(line))); }
+func reduce(key, values) { emit(key, 1); }`)
+	flatHelper := MustParse(`
+func work(x) { return x * 3 + 1; }
+func map(key, line) { emit(key, work(len(line))); }
+func reduce(key, values) { emit(key, 1); }`)
+
+	a := ExtractCFG(loopHelper.Funcs["map"])
+	b := ExtractCFG(flatHelper.Funcs["map"])
+	if !a.Match(b) {
+		t.Fatal("setup broken: the two map bodies should have identical CFGs")
+	}
+	sa := CallSignature(loopHelper, "map")
+	sb := CallSignature(flatHelper, "map")
+	if sa == sb {
+		t.Errorf("call signatures identical (%q) despite different helpers", sa)
+	}
+}
+
+func TestCallSignatureRenamingHelperIsHarmless(t *testing.T) {
+	v1 := MustParse(`
+func stem(w) { while (len(w) > 4) { w = substr(w, 0, len(w) - 1); } return w; }
+func map(key, line) { emit(stem(line), 1); }
+func reduce(key, values) { emit(key, 1); }`)
+	v2 := MustParse(`
+func normalize(w) { while (len(w) > 4) { w = substr(w, 0, len(w) - 1); } return w; }
+func map(key, line) { emit(normalize(line), 1); }
+func reduce(key, values) { emit(key, 1); }`)
+	if CallSignature(v1, "map") != CallSignature(v2, "map") {
+		t.Error("renaming a helper changed the call signature (names must not matter, §4.1.3)")
+	}
+}
+
+func TestCallSignatureCycleSafe(t *testing.T) {
+	prog := MustParse(`
+func a(x) { if (x > 0) { return b(x - 1); } return 0; }
+func b(x) { if (x > 0) { return a(x - 1); } return 1; }
+func map(key, line) { emit(key, a(len(line))); }
+func reduce(key, values) { emit(key, 1); }`)
+	sig := CallSignature(prog, "map")
+	if sig == "" {
+		t.Fatal("cycle produced empty signature")
+	}
+	// a and b each appear exactly once.
+	if strings.Count(sig, "{") != 2 {
+		t.Errorf("signature %q should contain exactly the two helpers", sig)
+	}
+}
+
+func TestCallSignatureUnknownRoot(t *testing.T) {
+	prog := MustParse(`func f(a) { return a; }`)
+	if got := CallSignature(prog, "missing"); got != "" {
+		t.Errorf("unknown root gave %q", got)
+	}
+}

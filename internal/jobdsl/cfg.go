@@ -1,0 +1,174 @@
+package jobdsl
+
+import "strings"
+
+// Control-flow-graph extraction (§4.1.3 / §4.2 of the paper).
+//
+// The paper extracts CFGs of the map and reduce functions with the Soot
+// bytecode analyzer and describes them with the context-free grammar
+//
+//	CFG    -> Stmt CFG | Branch CFG | Loop CFG | ε
+//	Branch -> branch(CFG, CFG)
+//	Loop   -> loop(CFG)
+//
+// i.e. a CFG is a sequence whose elements are either straight-line
+// blocks, two-way branches, or loops. We extract the same structure
+// from the AST: consecutive simple statements collapse into a single
+// block node (so a for-loop and the equivalent while-loop produce
+// identical CFGs — the robustness property §4.1.3 calls out), if/else
+// becomes a Branch, and while/for become a Loop.
+//
+// Matching is the paper's conservative synchronized traversal: two CFGs
+// match iff their normalized structures are identical; the score is 0
+// or 1, never partial.
+
+// CFGNodeKind enumerates CFG node kinds.
+type CFGNodeKind int
+
+// CFG node kinds.
+const (
+	CFGBlock CFGNodeKind = iota // straight-line statement block
+	CFGBranch
+	CFGLoop
+)
+
+// CFGNode is one element of a CFG sequence. Branch nodes have exactly
+// two children sequences (then, else — else may be empty); Loop nodes
+// have one (the body).
+type CFGNode struct {
+	Kind CFGNodeKind
+	Then CFG // Branch: then-arm; Loop: body
+	Else CFG // Branch only
+}
+
+// CFG is a sequence of CFG nodes: the control-flow structure of one
+// function body.
+type CFG []CFGNode
+
+// ExtractCFG builds the control-flow graph of one function.
+func ExtractCFG(fn *FuncDecl) CFG {
+	if fn == nil {
+		return nil
+	}
+	return extractSeq(fn.Body)
+}
+
+func extractSeq(stmts []Stmt) CFG {
+	var out CFG
+	pendingBlock := false
+	flushBlock := func() {
+		if pendingBlock {
+			out = append(out, CFGNode{Kind: CFGBlock})
+			pendingBlock = false
+		}
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *IfStmt:
+			flushBlock()
+			out = append(out, CFGNode{
+				Kind: CFGBranch,
+				Then: extractSeq(s.Then),
+				Else: extractSeq(s.Else),
+			})
+		case *WhileStmt:
+			flushBlock()
+			out = append(out, CFGNode{Kind: CFGLoop, Then: extractSeq(s.Body)})
+		case *ForStmt:
+			// The init statement belongs to the preceding straight-line
+			// block; the condition+post are part of the loop structure,
+			// so a for-loop and the equivalent while-loop normalize to
+			// the same CFG.
+			if s.Init != nil {
+				pendingBlock = true
+			}
+			flushBlock()
+			out = append(out, CFGNode{Kind: CFGLoop, Then: extractSeq(s.Body)})
+		default:
+			pendingBlock = true
+		}
+	}
+	flushBlock()
+	return out
+}
+
+// Match reports whether two CFGs are structurally identical, using a
+// breadth-first synchronized traversal. Per §4.2 the result is binary.
+func (c CFG) Match(o CFG) bool {
+	type pair struct{ a, b CFG }
+	queue := []pair{{c, o}}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if len(p.a) != len(p.b) {
+			return false
+		}
+		for i := range p.a {
+			na, nb := p.a[i], p.b[i]
+			if na.Kind != nb.Kind {
+				return false
+			}
+			switch na.Kind {
+			case CFGBranch:
+				queue = append(queue, pair{na.Then, nb.Then}, pair{na.Else, nb.Else})
+			case CFGLoop:
+				queue = append(queue, pair{na.Then, nb.Then})
+			}
+		}
+	}
+	return true
+}
+
+// String returns a canonical textual form, e.g. "B L(B) B" for the word
+// count map function and "B L(BR(B L(B) B|) B)" for word co-occurrence.
+// Two CFGs match iff their String forms are equal.
+func (c CFG) String() string {
+	var b strings.Builder
+	c.write(&b)
+	return b.String()
+}
+
+func (c CFG) write(b *strings.Builder) {
+	for i, n := range c {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch n.Kind {
+		case CFGBlock:
+			b.WriteByte('B')
+		case CFGLoop:
+			b.WriteString("L(")
+			n.Then.write(b)
+			b.WriteByte(')')
+		case CFGBranch:
+			b.WriteString("BR(")
+			n.Then.write(b)
+			b.WriteByte('|')
+			n.Else.write(b)
+			b.WriteByte(')')
+		}
+	}
+}
+
+// Complexity is a rough structural weight of the CFG: 1 per block, plus
+// nested weights for branches and loops (loops count double to reflect
+// repeated execution). It is NOT used for matching — only as a job
+// metadata summary and for CPU-cost sanity checks in tests.
+func (c CFG) Complexity() int {
+	total := 0
+	for _, n := range c {
+		switch n.Kind {
+		case CFGBlock:
+			total++
+		case CFGBranch:
+			t, e := n.Then.Complexity(), n.Else.Complexity()
+			if e > t {
+				t = e
+			}
+			total += 1 + t
+		case CFGLoop:
+			total += 1 + 2*n.Then.Complexity()
+		}
+	}
+	return total
+}

@@ -1,0 +1,175 @@
+package jobdsl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cfgOf(t *testing.T, body string) CFG {
+	t.Helper()
+	prog, err := Parse("func f(a, b) {\n" + body + "\n}")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return ExtractCFG(prog.Funcs["f"])
+}
+
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"straight line", `let x = 1; x = 2; emit("a", x);`, "B"},
+		{"single loop", `let i = 0; while (i < 3) { i = i + 1; }`, "B L(B)"},
+		{"loop then tail", `for (let i = 0; i < 3; i = i + 1) { emit("a", i); } emit("b", 1);`, "B L(B) B"},
+		{"branch", `if (a > b) { emit("a", 1); }`, "BR(B|)"},
+		{"branch with else", `if (a > b) { emit("a", 1); } else { emit("b", 1); }`, "BR(B|B)"},
+		{"stmt then branch", `let x = 1; if (a > b) { emit("a", x); }`, "B BR(B|)"},
+		{"word count shape", `
+let words = tokenize(a);
+for (let i = 0; i < len(words); i = i + 1) {
+	emit(words[i], 1);
+}`, "B L(B)"},
+		{"co-occurrence shape", `
+let words = tokenize(a);
+for (let i = 0; i < len(words); i = i + 1) {
+	if (len(words[i]) > 0) {
+		for (let j = i + 1; j < len(words); j = j + 1) {
+			emit(words[i] + words[j], 1);
+		}
+	}
+}`, "B L(BR(B L(B)|))"},
+	}
+	for _, c := range cases {
+		if got := cfgOf(t, c.body).String(); got != c.want {
+			t.Errorf("%s: CFG = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCFGForWhileEquivalence verifies §4.1.3's robustness claim: the
+// same logic written with a for loop and a while loop yields identical
+// CFGs (where hashing source or byte code would differ).
+func TestCFGForWhileEquivalence(t *testing.T) {
+	forVersion := cfgOf(t, `
+let words = tokenize(a);
+for (let i = 0; i < len(words); i = i + 1) {
+	emit(words[i], 1);
+}`)
+	whileVersion := cfgOf(t, `
+let words = tokenize(a);
+let i = 0;
+while (i < len(words)) {
+	emit(words[i], 1);
+	i = i + 1;
+}`)
+	if !forVersion.Match(whileVersion) {
+		t.Errorf("for CFG %q does not match while CFG %q", forVersion, whileVersion)
+	}
+}
+
+func TestCFGMatchIsStructural(t *testing.T) {
+	a := cfgOf(t, `while (a > 0) { a = a - 1; }`)
+	b := cfgOf(t, `while (b < 100) { b = b * 2; emit("x", b); }`)
+	if !a.Match(b) {
+		t.Error("loops with different bodies but same structure should match")
+	}
+	c := cfgOf(t, `while (a > 0) { if (a > 5) { a = a - 2; } }`)
+	if a.Match(c) {
+		t.Error("loop vs loop-with-branch should not match")
+	}
+}
+
+func TestCFGMatchEmpty(t *testing.T) {
+	var empty CFG
+	if !empty.Match(nil) {
+		t.Error("two empty CFGs should match")
+	}
+	if empty.Match(cfgOf(t, "let x = 1;")) {
+		t.Error("empty vs non-empty should not match")
+	}
+}
+
+func TestExtractCFGNilFunc(t *testing.T) {
+	if got := ExtractCFG(nil); got != nil {
+		t.Errorf("ExtractCFG(nil) = %v, want nil", got)
+	}
+}
+
+func TestCFGComplexityOrdering(t *testing.T) {
+	flat := cfgOf(t, `let x = 1;`)
+	loop := cfgOf(t, `while (a > 0) { a = a - 1; }`)
+	nested := cfgOf(t, `while (a > 0) { while (b > 0) { b = b - 1; } a = a - 1; }`)
+	if !(flat.Complexity() < loop.Complexity() && loop.Complexity() < nested.Complexity()) {
+		t.Errorf("complexities not ordered: %d, %d, %d",
+			flat.Complexity(), loop.Complexity(), nested.Complexity())
+	}
+}
+
+// randomCFG builds arbitrary CFG trees for property testing.
+func randomCFG(r *rand.Rand, depth int) CFG {
+	n := r.Intn(3) + 1
+	out := make(CFG, 0, n)
+	for i := 0; i < n; i++ {
+		switch k := r.Intn(3); {
+		case k == 0 || depth >= 3:
+			out = append(out, CFGNode{Kind: CFGBlock})
+		case k == 1:
+			out = append(out, CFGNode{Kind: CFGLoop, Then: randomCFG(r, depth+1)})
+		default:
+			out = append(out, CFGNode{
+				Kind: CFGBranch,
+				Then: randomCFG(r, depth+1),
+				Else: randomCFG(r, depth+1),
+			})
+		}
+	}
+	return out
+}
+
+// Property: Match agrees exactly with canonical-string equality, and
+// every CFG matches itself.
+func TestCFGMatchStringEquivalenceProperty(t *testing.T) {
+	cfgGen := func(seed int64) CFG { return randomCFG(rand.New(rand.NewSource(seed)), 0) }
+	prop := func(s1, s2 int64) bool {
+		a, b := cfgGen(s1), cfgGen(s2)
+		if !a.Match(a) || !b.Match(b) {
+			return false
+		}
+		return a.Match(b) == (a.String() == b.String())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Match is symmetric.
+func TestCFGMatchSymmetryProperty(t *testing.T) {
+	prop := func(s1, s2 int64) bool {
+		a := randomCFG(rand.New(rand.NewSource(s1)), 0)
+		b := randomCFG(rand.New(rand.NewSource(s2)), 0)
+		return a.Match(b) == b.Match(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCFGDeterministicAcrossParses(t *testing.T) {
+	src := `
+func map(key, line) {
+	let words = tokenize(line);
+	for (let i = 0; i < len(words); i = i + 1) {
+		if (len(words[i]) > 2) { emit(words[i], 1); }
+	}
+}`
+	var prev string
+	for i := 0; i < 3; i++ {
+		prog := MustParse(src)
+		got := ExtractCFG(prog.Funcs["map"]).String()
+		if i > 0 && got != prev {
+			t.Fatalf("CFG differs across parses: %q vs %q", got, prev)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,412 @@
+package jobdsl
+
+import "fmt"
+
+// Emitter receives the key/value pairs produced by emit() calls during
+// map, combine, or reduce execution.
+type Emitter interface {
+	Emit(key, value string)
+}
+
+// EmitterFunc adapts a function to the Emitter interface.
+type EmitterFunc func(key, value string)
+
+// Emit calls f(key, value).
+func (f EmitterFunc) Emit(key, value string) { f(key, value) }
+
+// RuntimeError is an error raised during DSL execution.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("jobdsl: runtime error at line %d: %s", e.Line, e.Msg)
+}
+
+// Interp executes functions of a parsed Program. It counts abstract
+// execution steps (one per statement executed and expression evaluated),
+// which the execution engine converts into the per-record CPU cost
+// factors of the Starfish profile (Table 4.2). An Interp is not safe
+// for concurrent use; create one per goroutine.
+type Interp struct {
+	prog *Program
+
+	// MaxSteps bounds total execution to guard against runaway loops in
+	// user-supplied DSL code. Zero means the default of 50 million.
+	MaxSteps int64
+
+	// Params exposes job-level user parameters (such as the window size
+	// of the word co-occurrence job, §7.2.1) to DSL code via the param()
+	// builtin. May be nil.
+	Params map[string]string
+
+	steps   int64
+	emitter Emitter
+	depth   int
+}
+
+// NewInterp creates an interpreter over prog.
+func NewInterp(prog *Program) *Interp {
+	return &Interp{prog: prog}
+}
+
+// Steps returns the number of abstract steps executed since the last
+// ResetSteps (or construction).
+func (in *Interp) Steps() int64 { return in.steps }
+
+// ResetSteps zeroes the step counter.
+func (in *Interp) ResetSteps() { in.steps = 0 }
+
+// Call invokes the named function with the given arguments, routing
+// emit() output to em (which may be nil if the function never emits).
+func (in *Interp) Call(name string, args []Value, em Emitter) (result Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RuntimeError); ok {
+				err = re
+				return
+			}
+			panic(r)
+		}
+	}()
+	in.emitter = em
+	return in.callFunc(name, args, 0), nil
+}
+
+// scope is a lexical environment chain.
+type scope struct {
+	vars   map[string]Value
+	parent *scope
+}
+
+func (s *scope) lookup(name string) (*scope, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if _, ok := cur.vars[name]; ok {
+			return cur, true
+		}
+	}
+	return nil, false
+}
+
+// signal distinguishes normal fallthrough from an executed return.
+type signal int
+
+const (
+	sigNone signal = iota
+	sigReturn
+)
+
+func (in *Interp) fail(line int, format string, args ...interface{}) {
+	panic(&RuntimeError{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (in *Interp) tick(line int) {
+	in.steps++
+	max := in.MaxSteps
+	if max == 0 {
+		max = 50_000_000
+	}
+	if in.steps > max {
+		in.fail(line, "step limit %d exceeded (infinite loop?)", max)
+	}
+}
+
+func (in *Interp) callFunc(name string, args []Value, line int) Value {
+	fn, ok := in.prog.Funcs[name]
+	if !ok {
+		in.fail(line, "undefined function %q", name)
+	}
+	if len(args) != len(fn.Params) {
+		in.fail(line, "function %q expects %d args, got %d", name, len(fn.Params), len(args))
+	}
+	if in.depth >= 64 {
+		in.fail(line, "call depth limit exceeded")
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	sc := &scope{vars: make(map[string]Value, len(args))}
+	for i, p := range fn.Params {
+		sc.vars[p] = args[i]
+	}
+	ret, sig := in.execBlock(fn.Body, sc)
+	if sig == sigReturn {
+		return ret
+	}
+	return Nil
+}
+
+func (in *Interp) execBlock(stmts []Stmt, parent *scope) (Value, signal) {
+	sc := &scope{vars: make(map[string]Value), parent: parent}
+	for _, s := range stmts {
+		if v, sig := in.exec(s, sc); sig == sigReturn {
+			return v, sig
+		}
+	}
+	return Nil, sigNone
+}
+
+func (in *Interp) exec(s Stmt, sc *scope) (Value, signal) {
+	switch s := s.(type) {
+	case *LetStmt:
+		in.tick(s.Line)
+		sc.vars[s.Name] = in.eval(s.Expr, sc)
+	case *AssignStmt:
+		in.tick(s.Line)
+		v := in.eval(s.Expr, sc)
+		in.assign(s.Target, v, sc)
+	case *ExprStmt:
+		in.tick(s.Line)
+		in.eval(s.Expr, sc)
+	case *ReturnStmt:
+		in.tick(s.Line)
+		if s.Expr == nil {
+			return Nil, sigReturn
+		}
+		return in.eval(s.Expr, sc), sigReturn
+	case *IfStmt:
+		in.tick(s.Line)
+		if in.eval(s.Cond, sc).Truthy() {
+			return in.execBlock(s.Then, sc)
+		}
+		if s.Else != nil {
+			return in.execBlock(s.Else, sc)
+		}
+	case *WhileStmt:
+		for {
+			in.tick(s.Line)
+			if !in.eval(s.Cond, sc).Truthy() {
+				break
+			}
+			if v, sig := in.execBlock(s.Body, sc); sig == sigReturn {
+				return v, sig
+			}
+		}
+	case *ForStmt:
+		loopScope := &scope{vars: make(map[string]Value), parent: sc}
+		if s.Init != nil {
+			if v, sig := in.exec(s.Init, loopScope); sig == sigReturn {
+				return v, sig
+			}
+		}
+		for {
+			in.tick(s.Line)
+			if s.Cond != nil && !in.eval(s.Cond, loopScope).Truthy() {
+				break
+			}
+			if v, sig := in.execBlock(s.Body, loopScope); sig == sigReturn {
+				return v, sig
+			}
+			if s.Post != nil {
+				if v, sig := in.exec(s.Post, loopScope); sig == sigReturn {
+					return v, sig
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("jobdsl: unknown statement %T", s))
+	}
+	return Nil, sigNone
+}
+
+func (in *Interp) assign(target Expr, v Value, sc *scope) {
+	switch t := target.(type) {
+	case *IdentExpr:
+		holder, ok := sc.lookup(t.Name)
+		if !ok {
+			in.fail(t.Line, "assignment to undeclared variable %q", t.Name)
+		}
+		holder.vars[t.Name] = v
+	case *IndexExpr:
+		container := in.eval(t.X, sc)
+		idx := in.eval(t.Index, sc)
+		switch container.Kind {
+		case KindList:
+			if idx.Kind != KindInt {
+				in.fail(t.Line, "list index must be int, got %s", idx.Kind)
+			}
+			if idx.I < 0 || idx.I >= int64(len(container.L)) {
+				in.fail(t.Line, "list index %d out of range [0,%d)", idx.I, len(container.L))
+			}
+			// Slice headers share backing arrays, so this mutation is
+			// visible through every binding of the same list.
+			container.L[idx.I] = v
+		case KindMap:
+			container.M[idx.String()] = v
+		default:
+			in.fail(t.Line, "cannot index-assign into %s", container.Kind)
+		}
+	default:
+		in.fail(0, "invalid assignment target %T", target)
+	}
+}
+
+func (in *Interp) eval(e Expr, sc *scope) Value {
+	switch e := e.(type) {
+	case *IntLit:
+		in.tick(e.Line)
+		return Int(e.Val)
+	case *StrLit:
+		in.tick(e.Line)
+		return Str(e.Val)
+	case *BoolLit:
+		in.tick(e.Line)
+		return Bool(e.Val)
+	case *ListLit:
+		in.tick(e.Line)
+		elems := make([]Value, len(e.Elems))
+		for i, el := range e.Elems {
+			elems[i] = in.eval(el, sc)
+		}
+		return List(elems)
+	case *IdentExpr:
+		in.tick(e.Line)
+		holder, ok := sc.lookup(e.Name)
+		if !ok {
+			in.fail(e.Line, "undefined variable %q", e.Name)
+		}
+		return holder.vars[e.Name]
+	case *UnaryExpr:
+		in.tick(e.Line)
+		x := in.eval(e.X, sc)
+		switch e.Op {
+		case "-":
+			if x.Kind != KindInt {
+				in.fail(e.Line, "unary - needs int, got %s", x.Kind)
+			}
+			return Int(-x.I)
+		case "!":
+			return Bool(!x.Truthy())
+		}
+		in.fail(e.Line, "unknown unary operator %q", e.Op)
+	case *BinaryExpr:
+		in.tick(e.Line)
+		return in.evalBinary(e, sc)
+	case *IndexExpr:
+		in.tick(e.Line)
+		container := in.eval(e.X, sc)
+		idx := in.eval(e.Index, sc)
+		switch container.Kind {
+		case KindList:
+			if idx.Kind != KindInt {
+				in.fail(e.Line, "list index must be int, got %s", idx.Kind)
+			}
+			if idx.I < 0 || idx.I >= int64(len(container.L)) {
+				in.fail(e.Line, "list index %d out of range [0,%d)", idx.I, len(container.L))
+			}
+			return container.L[idx.I]
+		case KindStr:
+			if idx.Kind != KindInt {
+				in.fail(e.Line, "string index must be int, got %s", idx.Kind)
+			}
+			if idx.I < 0 || idx.I >= int64(len(container.S)) {
+				in.fail(e.Line, "string index %d out of range [0,%d)", idx.I, len(container.S))
+			}
+			return Str(string(container.S[idx.I]))
+		case KindMap:
+			if v, ok := container.M[idx.String()]; ok {
+				return v
+			}
+			return Nil
+		default:
+			in.fail(e.Line, "cannot index %s", container.Kind)
+		}
+	case *CallExpr:
+		in.tick(e.Line)
+		args := make([]Value, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = in.eval(a, sc)
+		}
+		if b, ok := builtins[e.Name]; ok {
+			return b(in, args, e.Line)
+		}
+		return in.callFunc(e.Name, args, e.Line)
+	}
+	panic(fmt.Sprintf("jobdsl: unknown expression %T", e))
+}
+
+func (in *Interp) evalBinary(e *BinaryExpr, sc *scope) Value {
+	// Short-circuit logic operators.
+	switch e.Op {
+	case "&&":
+		l := in.eval(e.L, sc)
+		if !l.Truthy() {
+			return Bool(false)
+		}
+		return Bool(in.eval(e.R, sc).Truthy())
+	case "||":
+		l := in.eval(e.L, sc)
+		if l.Truthy() {
+			return Bool(true)
+		}
+		return Bool(in.eval(e.R, sc).Truthy())
+	}
+	l := in.eval(e.L, sc)
+	r := in.eval(e.R, sc)
+	switch e.Op {
+	case "==":
+		return Bool(l.Equal(r))
+	case "!=":
+		return Bool(!l.Equal(r))
+	case "+":
+		if l.Kind == KindStr || r.Kind == KindStr {
+			return Str(l.String() + r.String())
+		}
+		return Int(in.wantInt(l, e.Line) + in.wantInt(r, e.Line))
+	case "-":
+		return Int(in.wantInt(l, e.Line) - in.wantInt(r, e.Line))
+	case "*":
+		return Int(in.wantInt(l, e.Line) * in.wantInt(r, e.Line))
+	case "/":
+		d := in.wantInt(r, e.Line)
+		if d == 0 {
+			in.fail(e.Line, "division by zero")
+		}
+		return Int(in.wantInt(l, e.Line) / d)
+	case "%":
+		d := in.wantInt(r, e.Line)
+		if d == 0 {
+			in.fail(e.Line, "modulo by zero")
+		}
+		return Int(in.wantInt(l, e.Line) % d)
+	case "<", "<=", ">", ">=":
+		var cmp int
+		switch {
+		case l.Kind == KindInt && r.Kind == KindInt:
+			switch {
+			case l.I < r.I:
+				cmp = -1
+			case l.I > r.I:
+				cmp = 1
+			}
+		case l.Kind == KindStr && r.Kind == KindStr:
+			switch {
+			case l.S < r.S:
+				cmp = -1
+			case l.S > r.S:
+				cmp = 1
+			}
+		default:
+			in.fail(e.Line, "cannot compare %s with %s", l.Kind, r.Kind)
+		}
+		switch e.Op {
+		case "<":
+			return Bool(cmp < 0)
+		case "<=":
+			return Bool(cmp <= 0)
+		case ">":
+			return Bool(cmp > 0)
+		default:
+			return Bool(cmp >= 0)
+		}
+	}
+	in.fail(e.Line, "unknown operator %q", e.Op)
+	return Nil
+}
+
+func (in *Interp) wantInt(v Value, line int) int64 {
+	if v.Kind != KindInt {
+		in.fail(line, "expected int, got %s (%s)", v.Kind, v.String())
+	}
+	return v.I
+}

@@ -1,0 +1,195 @@
+package jobdsl
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// TokenType enumerates lexical token categories.
+type TokenType int
+
+// Token types.
+const (
+	TokEOF TokenType = iota
+	TokIdent
+	TokInt
+	TokString
+	TokKeyword // func let if else while for return true false
+	TokOp      // operators and punctuation
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Type TokenType
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Type {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return strconv.Quote(t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"func": true, "let": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "true": true, "false": true,
+}
+
+// SyntaxError is a lexing or parsing error with a source position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("jobdsl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex converts the whole source into tokens.
+func lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		// Skip whitespace and comments.
+		for {
+			r := l.peek()
+			if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+				l.advance()
+				continue
+			}
+			if r == '/' && l.peek2() == '/' {
+				for l.pos < len(l.src) && l.peek() != '\n' {
+					l.advance()
+				}
+				continue
+			}
+			break
+		}
+		if l.pos >= len(l.src) {
+			toks = append(toks, Token{Type: TokEOF, Line: l.line, Col: l.col})
+			return toks, nil
+		}
+		line, col := l.line, l.col
+		r := l.peek()
+		switch {
+		case unicode.IsLetter(r) || r == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+				l.advance()
+			}
+			text := string(l.src[start:l.pos])
+			tt := TokIdent
+			if keywords[text] {
+				tt = TokKeyword
+			}
+			toks = append(toks, Token{Type: tt, Text: text, Line: line, Col: col})
+		case unicode.IsDigit(r):
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+			toks = append(toks, Token{Type: TokInt, Text: string(l.src[start:l.pos]), Line: line, Col: col})
+		case r == '"':
+			l.advance()
+			var b []rune
+			for {
+				if l.pos >= len(l.src) {
+					return nil, l.errf("unterminated string literal")
+				}
+				c := l.advance()
+				if c == '"' {
+					break
+				}
+				if c == '\\' {
+					if l.pos >= len(l.src) {
+						return nil, l.errf("unterminated escape")
+					}
+					e := l.advance()
+					switch e {
+					case 'n':
+						b = append(b, '\n')
+					case 't':
+						b = append(b, '\t')
+					case '\\':
+						b = append(b, '\\')
+					case '"':
+						b = append(b, '"')
+					default:
+						return nil, l.errf("unknown escape \\%c", e)
+					}
+					continue
+				}
+				b = append(b, c)
+			}
+			toks = append(toks, Token{Type: TokString, Text: string(b), Line: line, Col: col})
+		default:
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = string(l.src[l.pos : l.pos+2])
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				l.advance()
+				l.advance()
+				toks = append(toks, Token{Type: TokOp, Text: two, Line: line, Col: col})
+				continue
+			}
+			switch r {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '!', '(', ')', '{', '}', '[', ']', ',', ';':
+				l.advance()
+				toks = append(toks, Token{Type: TokOp, Text: string(r), Line: line, Col: col})
+			default:
+				return nil, l.errf("unexpected character %q", r)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package jobdsl
+
+import (
+	"strings"
+	"testing"
+)
+
+func tokens(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := tokens(t, `func map(a, b) { let x = 1 + 2; }`)
+	want := []struct {
+		ty   TokenType
+		text string
+	}{
+		{TokKeyword, "func"}, {TokIdent, "map"}, {TokOp, "("}, {TokIdent, "a"},
+		{TokOp, ","}, {TokIdent, "b"}, {TokOp, ")"}, {TokOp, "{"},
+		{TokKeyword, "let"}, {TokIdent, "x"}, {TokOp, "="}, {TokInt, "1"},
+		{TokOp, "+"}, {TokInt, "2"}, {TokOp, ";"}, {TokOp, "}"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Type != w.ty || toks[i].Text != w.text {
+			t.Errorf("token %d = (%v, %q), want (%v, %q)", i, toks[i].Type, toks[i].Text, w.ty, w.text)
+		}
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	toks := tokens(t, `== != <= >= && ||`)
+	ops := []string{"==", "!=", "<=", ">=", "&&", "||"}
+	for i, op := range ops {
+		if toks[i].Text != op {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, op)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks := tokens(t, `"a\tb\nc\"d\\e"`)
+	if toks[0].Type != TokString {
+		t.Fatalf("got %v, want string", toks[0].Type)
+	}
+	if got, want := toks[0].Text, "a\tb\nc\"d\\e"; got != want {
+		t.Errorf("string = %q, want %q", got, want)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := tokens(t, "1 // this is ignored\n2")
+	if len(toks) != 3 || toks[0].Text != "1" || toks[1].Text != "2" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := tokens(t, "a\n  bb\n   ccc")
+	wantPos := []struct{ line, col int }{{1, 1}, {2, 3}, {3, 4}}
+	for i, w := range wantPos {
+		if toks[i].Line != w.line || toks[i].Col != w.col {
+			t.Errorf("token %d at %d:%d, want %d:%d", i, toks[i].Line, toks[i].Col, w.line, w.col)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		src, wantErr string
+	}{
+		{`"unterminated`, "unterminated string"},
+		{`"bad \q escape"`, "unknown escape"},
+		{`@`, "unexpected character"},
+	}
+	for _, c := range cases {
+		if _, err := lex(c.src); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("lex(%q) error = %v, want containing %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks := tokens(t, "form format while whilex true truely")
+	wantTypes := []TokenType{TokIdent, TokIdent, TokKeyword, TokIdent, TokKeyword, TokIdent}
+	for i, w := range wantTypes {
+		if toks[i].Type != w {
+			t.Errorf("token %q type = %v, want %v", toks[i].Text, toks[i].Type, w)
+		}
+	}
+}
+
+func TestSyntaxErrorFormatting(t *testing.T) {
+	_, err := lex("\n\n  @")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("got %T, want *SyntaxError", err)
+	}
+	if se.Line != 3 || se.Col != 3 {
+		t.Errorf("error at %d:%d, want 3:3", se.Line, se.Col)
+	}
+	if !strings.Contains(se.Error(), "3:3") {
+		t.Errorf("Error() = %q, should include position", se.Error())
+	}
+}

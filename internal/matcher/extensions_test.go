@@ -1,0 +1,131 @@
+package matcher_test
+
+import (
+	"testing"
+
+	"pstorm/internal/matcher"
+	"pstorm/internal/profile"
+)
+
+// The §7.2 future-work extensions: call-flow-graph matching and job
+// parameters as static features.
+
+// withCallSig sets the call signatures on both sides.
+func withCallSig(p *profile.Profile, mapSig, redSig string) *profile.Profile {
+	p.Map.StaticCallSig = mapSig
+	p.Reduce.StaticCallSig = redSig
+	return p
+}
+
+func TestCallFlowGraphDistinguishesHelpers(t *testing.T) {
+	st := newStore(t)
+	// Two stored jobs: identical root CFGs and statics, but their map
+	// functions call structurally different helpers.
+	loopy := withCallSig(fab("loopy", "jobL", 1000, 1.0, 10, "B L(B)", "MapA"),
+		"B L(B) {B L(B) B}", "B")
+	flat := withCallSig(fab("flat", "jobF", 1000, 1.0, 10, "B L(B)", "MapA"),
+		"B L(B) {B}", "B")
+	putProfile(t, st, loopy)
+	putProfile(t, st, flat)
+
+	sub := withCallSig(fab("sub", "jobNew", 1000, 1.0, 10, "B L(B)", "MapA"),
+		"B L(B) {B L(B) B}", "B")
+
+	// Plain CFG matching cannot separate them: both pass stage 2 and
+	// share maximal Jaccard, so the tie-break decides arbitrarily.
+	plain := matcher.New()
+	resPlain, err := plain.Match(st, sampleLike(sub, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPlain.MapReport.AfterCFG != 2 {
+		t.Fatalf("plain CFG stage kept %d, want both", resPlain.MapReport.AfterCFG)
+	}
+
+	// Call-flow-graph matching keeps only the helper-compatible donor.
+	ext := matcher.New()
+	ext.UseCallFlowGraph = true
+	resExt, err := ext.Match(st, sampleLike(sub, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resExt.MapReport.AfterCFG != 1 {
+		t.Errorf("call-flow stage kept %d candidates, want 1", resExt.MapReport.AfterCFG)
+	}
+	if resExt.MapJobID != "loopy" {
+		t.Errorf("call-flow matching chose %s, want loopy", resExt.MapJobID)
+	}
+}
+
+func TestJobParamsPreferSameParameterProfile(t *testing.T) {
+	st := newStore(t)
+	// The same program stored at two window sizes; the probe ran with
+	// window 8. Without the extension both stored profiles are perfect
+	// static matches; with it, the same-parameter profile wins
+	// decisively.
+	w2 := fab("w2", "cooc", 1000, 1.0, 10, "B L(B)", "MapA")
+	w2.Params = map[string]string{"window": "2"}
+	w8 := fab("w8", "cooc", 1000, 1.02, 10.2, "B L(B)", "MapA")
+	w8.Params = map[string]string{"window": "8"}
+	putProfile(t, st, w2)
+	putProfile(t, st, w8)
+
+	sub := fab("sub", "cooc", 1000, 1.01, 10.1, "B L(B)", "MapA")
+	sub.Params = map[string]string{"window": "8"}
+
+	ext := matcher.New()
+	ext.IncludeJobParams = true
+	res, err := ext.Match(st, sampleLike(sub, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapJobID != "w8" {
+		t.Errorf("param-aware matching chose %s, want the window-8 profile", res.MapJobID)
+	}
+	// Stage 3 must have narrowed to the exact-parameter profile.
+	if res.MapReport.AfterJaccard != 1 {
+		t.Errorf("after Jaccard %d candidates, want 1", res.MapReport.AfterJaccard)
+	}
+}
+
+func TestJobParamsStillMatchWhenOnlyOtherParamStored(t *testing.T) {
+	// With only the window-2 profile stored, a window-8 probe should
+	// still match it (a related profile beats none) — the extension
+	// refines preference, it does not hard-veto.
+	st := newStore(t)
+	w2 := fab("w2", "cooc", 1000, 1.0, 10, "B L(B)", "MapA")
+	w2.Params = map[string]string{"window": "2"}
+	putProfile(t, st, w2)
+
+	sub := fab("sub", "cooc", 1000, 1.01, 10.1, "B L(B)", "MapA")
+	sub.Params = map[string]string{"window": "8"}
+
+	ext := matcher.New()
+	ext.IncludeJobParams = true
+	res, err := ext.Match(st, sampleLike(sub, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched() || res.MapJobID != "w2" {
+		t.Errorf("param-aware matching with no exact-param twin: %+v", res.MapReport)
+	}
+}
+
+func TestExtensionsSurviveStoreRoundTrip(t *testing.T) {
+	// Call signatures and params written by PutProfile come back through
+	// the static feature rows.
+	st := newStore(t)
+	p := withCallSig(fab("x", "jobX", 1000, 1.0, 10, "B", "MapX"), "B {B L(B)}", "B")
+	p.Params = map[string]string{"pattern": "zap"}
+	putProfile(t, st, p)
+	row, ok, err := st.GetFeatures(matcher.FTStatMap, "x")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if string(row.Columns[matcher.CallSigColumn]) != "B {B L(B)}" {
+		t.Errorf("call signature column = %q", row.Columns[matcher.CallSigColumn])
+	}
+	if string(row.Columns[matcher.ParamColumnPrefix+"pattern"]) != "zap" {
+		t.Errorf("param column = %q", row.Columns[matcher.ParamColumnPrefix+"pattern"])
+	}
+}

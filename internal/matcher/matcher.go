@@ -1,0 +1,601 @@
+// Package matcher implements the PStorM profile matcher (Chapter 4):
+// the domain-specific, multi-stage algorithm that, given the 1-task
+// sample profile and static features of a submitted MapReduce job,
+// selects the best-matching stored profile — independently for the map
+// side and the reduce side, composing the two winners into the profile
+// handed to the cost-based optimizer (§4.3, Fig 4.4).
+//
+// Stages per side:
+//
+//  1. Normalized Euclidean distance over the dynamic features (the
+//     data-flow statistics of Table 4.1) against every stored profile,
+//     keeping candidates within θ_Eucl. An empty result here is a
+//     matching failure.
+//  2. Conservative CFG matching (synchronized traversal, verdict 0/1).
+//  3. Jaccard similarity ≥ θ_Jacc over the categorical static features
+//     (Table 4.3).
+//     If stages 2–3 empty the candidate set, the job was never run on
+//     the cluster before: the alternative filter applies the Euclidean
+//     distance over the profile cost factors (Table 4.2) to the stage-1
+//     survivors instead.
+//  4. Ties are broken by closest input data size (Fig 4.6's rationale:
+//     the same job on different data sizes has different shuffle
+//     behaviour).
+package matcher
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"pstorm/internal/hstore"
+	"pstorm/internal/profile"
+)
+
+// Feature-type prefixes: the row-key prefixes of the Table 5.1 data
+// model, extended with the map/reduce split PStorM's matcher needs.
+const (
+	FTDynMap  = "dynmap"
+	FTDynRed  = "dynred"
+	FTStatMap = "statmap"
+	FTStatRed = "statred"
+	FTCostMap = "costmap"
+	FTCostRed = "costred"
+)
+
+// InputBytesColumn is the per-profile input size column stored with the
+// dynamic features, used only for tie-breaking (never in distances).
+const InputBytesColumn = "!INPUT_BYTES"
+
+// CFGColumn is the canonical-CFG column stored with the static features.
+const CFGColumn = "!CFG"
+
+// CallSigColumn stores the §7.2.2 call-flow-graph signature (the CFG
+// plus the CFGs of transitively called helpers).
+const CallSigColumn = "!CALLSIG"
+
+// ParamColumnPrefix prefixes job-parameter columns in the static rows
+// (the §7.2.1 extension).
+const ParamColumnPrefix = "!PARAM_"
+
+// Entry is one candidate returned from a feature scan.
+type Entry struct {
+	JobID string
+	Row   hstore.Row
+}
+
+// Store is the matcher's view of the profile store. The core package
+// implements it over the hstore client with server-side filter pushdown.
+type Store interface {
+	// ScanFeatures scans all rows of the given feature type through the
+	// (pushed-down) filter.
+	ScanFeatures(ftype string, f hstore.Filter) ([]Entry, error)
+	// GetFeatures point-reads one profile's feature row.
+	GetFeatures(ftype, jobID string) (hstore.Row, bool, error)
+	// Bounds returns the min/max observed value per feature, aligned
+	// with the features slice, for normalization (§4.2).
+	Bounds(ftype string, features []string) (min, max []float64, err error)
+	// LoadProfile fetches the full stored profile.
+	LoadProfile(jobID string) (*profile.Profile, error)
+}
+
+// Matcher holds the thresholds of the multi-stage workflow. The zero
+// value is NOT ready; use New for the paper's settings (θ_Jacc = 0.5,
+// θ_Eucl = sqrt(#features)/2 — half the maximum possible distance of
+// normalized vectors, Chapter 6).
+type Matcher struct {
+	// JaccardThreshold is θ_Jacc.
+	JaccardThreshold float64
+	// EuclideanFraction scales θ_Eucl = f * sqrt(#features). The paper
+	// uses 0.5.
+	EuclideanFraction float64
+
+	// StaticFirst inverts the filter order: CFG and Jaccard filters run
+	// before the dynamic-features filter. §4.3 argues this loses the
+	// composite-profile opportunity for unseen jobs (and wrongly matches
+	// the same program run with different user parameters); the
+	// filter-order ablation measures exactly that.
+	StaticFirst bool
+
+	// IncludeCostInStage1 appends the profile cost factors to the
+	// stage-1 Euclidean vector. §4.1.1 argues their high variance across
+	// sample profiles of the same job makes them poor primary matching
+	// features; the cost-factor ablation quantifies it.
+	IncludeCostInStage1 bool
+
+	// CostOnlyStage1 replaces the stage-1 dynamic features with the cost
+	// factors entirely — the sharpest form of the §4.1.1 ablation.
+	CostOnlyStage1 bool
+
+	// UseCallFlowGraph switches the stage-2 structural comparison from
+	// the function's own CFG to its call-flow-graph signature (§7.2.2):
+	// two functions with identical bodies but different helpers stop
+	// matching.
+	UseCallFlowGraph bool
+
+	// IncludeJobParams adds the submitted job's user parameters to the
+	// stage-3 Jaccard vector (§7.2.1): the same program run with a
+	// different window size or search pattern is no longer a perfect
+	// static match.
+	IncludeJobParams bool
+}
+
+// New returns a matcher with the paper's thresholds.
+func New() *Matcher {
+	return &Matcher{JaccardThreshold: 0.5, EuclideanFraction: 0.5}
+}
+
+// SideKind selects the map or reduce side.
+type SideKind int
+
+// Side kinds.
+const (
+	MapSide SideKind = iota
+	ReduceSide
+)
+
+func (s SideKind) String() string {
+	if s == MapSide {
+		return "map"
+	}
+	return "reduce"
+}
+
+// SideReport traces one side's trip through the matching workflow.
+type SideReport struct {
+	Side             SideKind
+	Stage1Candidates int
+	AfterCFG         int
+	AfterJaccard     int
+	UsedCostFallback bool
+	Winner           string
+	WinnerDistance   float64
+	Failed           bool
+
+	// CandidateIDs lists the stage-1 survivors with their dynamic
+	// distances, for diagnostics and the experiment harness.
+	CandidateIDs map[string]float64
+}
+
+// Result is the matcher's verdict for a submitted job.
+type Result struct {
+	// Profile is the matched (possibly composite) profile, nil when no
+	// match was found.
+	Profile *profile.Profile
+	// MapJobID / ReduceJobID identify the donor profiles.
+	MapJobID    string
+	ReduceJobID string
+	// Composite reports whether the two sides came from different jobs.
+	Composite bool
+
+	MapReport    SideReport
+	ReduceReport SideReport
+}
+
+// Matched reports whether a profile was found.
+func (r *Result) Matched() bool { return r.Profile != nil }
+
+// sideSpec bundles the per-side schema.
+type sideSpec struct {
+	kind        SideKind
+	ftDyn       string
+	ftStat      string
+	ftCost      string
+	dynFeatures []string
+	costFeats   []string
+}
+
+var mapSpec = sideSpec{
+	kind: MapSide, ftDyn: FTDynMap, ftStat: FTStatMap, ftCost: FTCostMap,
+	dynFeatures: profile.MapDataFlowFeatures, costFeats: profile.MapCostFeatures,
+}
+
+var redSpec = sideSpec{
+	kind: ReduceSide, ftDyn: FTDynRed, ftStat: FTStatRed, ftCost: FTCostRed,
+	dynFeatures: profile.ReduceDataFlowFeatures, costFeats: profile.ReduceCostFeatures,
+}
+
+// Match runs the full workflow (Fig 4.4) for a submitted job described
+// by its 1-task sample profile (which also carries the job's static
+// features; see profile.AttachStatics). The returned Result's Profile
+// is ready for the Starfish CBO.
+func (m *Matcher) Match(st Store, sample *profile.Profile) (*Result, error) {
+	if sample == nil {
+		return nil, fmt.Errorf("matcher: nil sample profile")
+	}
+	res := &Result{}
+	var err error
+	res.MapReport, err = m.matchSide(st, mapSpec, &sample.Map, sample.InputBytes, sample.Params)
+	if err != nil {
+		return nil, err
+	}
+	res.ReduceReport, err = m.matchSide(st, redSpec, &sample.Reduce, sample.InputBytes, sample.Params)
+	if err != nil {
+		return nil, err
+	}
+	if res.MapReport.Failed || res.ReduceReport.Failed {
+		return res, nil
+	}
+	res.MapJobID = res.MapReport.Winner
+	res.ReduceJobID = res.ReduceReport.Winner
+	res.Composite = res.MapJobID != res.ReduceJobID
+
+	mp, err := st.LoadProfile(res.MapJobID)
+	if err != nil {
+		return nil, fmt.Errorf("matcher: loading map donor %s: %w", res.MapJobID, err)
+	}
+	rp := mp
+	if res.Composite {
+		rp, err = st.LoadProfile(res.ReduceJobID)
+		if err != nil {
+			return nil, fmt.Errorf("matcher: loading reduce donor %s: %w", res.ReduceJobID, err)
+		}
+	}
+	res.Profile = profile.Compose(mp, rp)
+	return res, nil
+}
+
+// structuralWant returns the stage-2 comparison column and target: the
+// plain CFG by default, the call-flow-graph signature under the §7.2.2
+// extension.
+func (m *Matcher) structuralWant(side *profile.Side) (col, want string) {
+	if m.UseCallFlowGraph {
+		return CallSigColumn, side.StaticCallSig
+	}
+	return CFGColumn, side.StaticCFG
+}
+
+// jaccardWant returns the stage-3 categorical vector, extended with the
+// job parameters under the §7.2.1 extension.
+func (m *Matcher) jaccardWant(side *profile.Side, params map[string]string) map[string]string {
+	if !m.IncludeJobParams || len(params) == 0 {
+		return side.StaticCategorical
+	}
+	want := make(map[string]string, len(side.StaticCategorical)+len(params))
+	for k, v := range side.StaticCategorical {
+		want[k] = v
+	}
+	for k, v := range params {
+		want[ParamColumnPrefix+k] = v
+	}
+	return want
+}
+
+// matchSide runs the per-side workflow.
+func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBytes int64, params map[string]string) (SideReport, error) {
+	if m.StaticFirst {
+		return m.matchSideStaticFirst(st, spec, side, inputBytes, params)
+	}
+	rep := SideReport{Side: spec.kind}
+
+	// ----- Stage 1: Euclidean over dynamic features (pushed down). -----
+	dynFeats := spec.dynFeatures
+	if m.CostOnlyStage1 {
+		dynFeats = spec.costFeats
+	} else if m.IncludeCostInStage1 {
+		dynFeats = append(append([]string(nil), dynFeats...), spec.costFeats...)
+	}
+	target := make([]float64, len(dynFeats))
+	for i, f := range dynFeats {
+		if v, ok := side.DataFlow[f]; ok {
+			target[i] = v
+		} else {
+			target[i] = side.CostFactors[f]
+		}
+	}
+	dynFilter, err := m.stage1Filter(st, spec, dynFeats, target)
+	if err != nil {
+		return rep, err
+	}
+	cands, err := m.stage1Scan(st, spec, dynFilter)
+	if err != nil {
+		return rep, err
+	}
+	rep.Stage1Candidates = len(cands)
+	if len(cands) == 0 {
+		rep.Failed = true
+		return rep, nil
+	}
+	dynDist := make(map[string]float64, len(cands))
+	candIn := make(map[string]int64, len(cands))
+	rep.CandidateIDs = dynDist
+	for _, c := range cands {
+		dynDist[c.JobID] = dynFilter.Distance(c.Row)
+		if raw, ok := c.Row.Columns[InputBytesColumn]; ok {
+			if v, err := strconv.ParseInt(string(raw), 10, 64); err == nil {
+				candIn[c.JobID] = v
+			}
+		}
+	}
+
+	// ----- Stage 2: conservative CFG match. -----
+	cfgCol, cfgWant := m.structuralWant(side)
+	var afterCFG []Entry
+	statRows := make(map[string]hstore.Row, len(cands))
+	for _, c := range cands {
+		row, ok, err := st.GetFeatures(spec.ftStat, c.JobID)
+		if err != nil {
+			return rep, err
+		}
+		if !ok {
+			continue
+		}
+		statRows[c.JobID] = row
+		if string(row.Columns[cfgCol]) == cfgWant && cfgWant != "" {
+			afterCFG = append(afterCFG, c)
+		}
+	}
+	rep.AfterCFG = len(afterCFG)
+
+	// ----- Stage 3: Jaccard over categorical static features. -----
+	// Candidates below θ_Jacc are dropped; among the rest, only the
+	// best code match survives to the tie-break. (The input-size rule
+	// exists to pick between runs of the SAME code on different data
+	// sizes, Fig 4.6 — letting it override a better code match would
+	// hand a submission to whichever unrelated job happens to share its
+	// input, exactly the DD trap.)
+	var afterJac []Entry
+	jac := &hstore.JaccardFilter{Want: m.jaccardWant(side, params), Threshold: m.JaccardThreshold}
+	bestScore := -1.0
+	scores := make(map[string]float64, len(afterCFG))
+	for _, c := range afterCFG {
+		sc := jac.Score(statRows[c.JobID])
+		scores[c.JobID] = sc
+		if sc >= m.JaccardThreshold && sc > bestScore {
+			bestScore = sc
+		}
+	}
+	for _, c := range afterCFG {
+		if sc := scores[c.JobID]; sc >= m.JaccardThreshold && sc >= bestScore-1e-9 {
+			afterJac = append(afterJac, c)
+		}
+	}
+	rep.AfterJaccard = len(afterJac)
+
+	survivors := afterJac
+	if len(survivors) == 0 {
+		// ----- Alternative filter: cost factors over stage-1 set. -----
+		// The submitted job was never executed on this cluster; the
+		// cost factors, despite their variance, carry the information
+		// the What-If engine most depends on (§4.3).
+		rep.UsedCostFallback = true
+		costTarget := make([]float64, len(spec.costFeats))
+		for i, f := range spec.costFeats {
+			costTarget[i] = side.CostFactors[f]
+		}
+		cmin, cmax, err := st.Bounds(spec.ftCost, spec.costFeats)
+		if err != nil {
+			return rep, err
+		}
+		mergeBounds(cmin, cmax, costTarget)
+		costThr := m.EuclideanFraction * math.Sqrt(float64(len(spec.costFeats)))
+		costFilter := &hstore.EuclideanFilter{
+			Features: spec.costFeats, Target: costTarget,
+			Min: cmin, Max: cmax, Threshold: costThr,
+		}
+		for _, c := range cands {
+			row, ok, err := st.GetFeatures(spec.ftCost, c.JobID)
+			if err != nil {
+				return rep, err
+			}
+			if ok && costFilter.Matches(row) {
+				survivors = append(survivors, c)
+			}
+		}
+		if len(survivors) == 0 {
+			rep.Failed = true
+			return rep, nil
+		}
+	}
+
+	// ----- Tie-break: closest input data size. -----
+	best := survivors[0]
+	bestGap := int64(math.MaxInt64)
+	for _, c := range survivors {
+		gap := absInt64(candIn[c.JobID] - inputBytes)
+		if gap < bestGap || (gap == bestGap && dynDist[c.JobID] < dynDist[best.JobID]) {
+			best, bestGap = c, gap
+		}
+	}
+	rep.Winner = best.JobID
+	rep.WinnerDistance = dynDist[best.JobID]
+	return rep, nil
+}
+
+// stage1Filter builds the normalized Euclidean filter for the stage-1
+// feature list, fetching bounds from the right feature-type rows.
+func (m *Matcher) stage1Filter(st Store, spec sideSpec, feats []string, target []float64) (*hstore.EuclideanFilter, error) {
+	var minB, maxB []float64
+	var err error
+	if m.CostOnlyStage1 {
+		minB, maxB, err = st.Bounds(spec.ftCost, feats)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		nDyn := len(spec.dynFeatures)
+		minB, maxB, err = st.Bounds(spec.ftDyn, feats[:nDyn])
+		if err != nil {
+			return nil, err
+		}
+		if len(feats) > nDyn {
+			cmin, cmax, err := st.Bounds(spec.ftCost, feats[nDyn:])
+			if err != nil {
+				return nil, err
+			}
+			minB = append(minB, cmin...)
+			maxB = append(maxB, cmax...)
+		}
+	}
+	mergeBounds(minB, maxB, target)
+	thr := m.EuclideanFraction * math.Sqrt(float64(len(feats)))
+	return &hstore.EuclideanFilter{
+		Features: feats, Target: target,
+		Min: minB, Max: maxB, Threshold: thr,
+	}, nil
+}
+
+// stage1Scan evaluates the stage-1 filter. In the normal configuration
+// the filter is pushed down over the dynamic-feature rows; when cost
+// factors are mixed in (the ablation), the features span two row
+// families, so candidates are joined client-side first.
+func (m *Matcher) stage1Scan(st Store, spec sideSpec, f *hstore.EuclideanFilter) ([]Entry, error) {
+	if m.CostOnlyStage1 {
+		// The cost vector lives in one row family, so the filter pushes
+		// down over the cost rows; the dynamic row (for the input-size
+		// tie-break column) is joined afterwards.
+		hits, err := st.ScanFeatures(spec.ftCost, f)
+		if err != nil {
+			return nil, err
+		}
+		var out []Entry
+		for _, e := range hits {
+			dynRow, ok, err := st.GetFeatures(spec.ftDyn, e.JobID)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			joined := e.Row.Clone()
+			for c, v := range dynRow.Columns {
+				joined.Columns[c] = v
+			}
+			out = append(out, Entry{JobID: e.JobID, Row: joined})
+		}
+		return out, nil
+	}
+	if !m.IncludeCostInStage1 {
+		return st.ScanFeatures(spec.ftDyn, f)
+	}
+	all, err := st.ScanFeatures(spec.ftDyn, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, e := range all {
+		costRow, ok, err := st.GetFeatures(spec.ftCost, e.JobID)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		joined := e.Row.Clone()
+		for c, v := range costRow.Columns {
+			joined.Columns[c] = v
+		}
+		if f.Matches(joined) {
+			out = append(out, Entry{JobID: e.JobID, Row: joined})
+		}
+	}
+	return out, nil
+}
+
+// matchSideStaticFirst is the inverted filter order of the ablation:
+// CFG and Jaccard first, the dynamic-features filter last.
+func (m *Matcher) matchSideStaticFirst(st Store, spec sideSpec, side *profile.Side, inputBytes int64, params map[string]string) (SideReport, error) {
+	rep := SideReport{Side: spec.kind}
+
+	// Static stages over the whole store, CFG pushed down.
+	cfgCol, cfgWant := m.structuralWant(side)
+	cfgF := &hstore.ColumnEqualsFilter{Column: cfgCol, Value: cfgWant}
+	statCands, err := st.ScanFeatures(spec.ftStat, cfgF)
+	if err != nil {
+		return rep, err
+	}
+	rep.AfterCFG = len(statCands)
+	jac := &hstore.JaccardFilter{Want: m.jaccardWant(side, params), Threshold: m.JaccardThreshold}
+	var afterJac []Entry
+	for _, c := range statCands {
+		if jac.Matches(c.Row) {
+			afterJac = append(afterJac, c)
+		}
+	}
+	rep.AfterJaccard = len(afterJac)
+	if len(afterJac) == 0 {
+		rep.Failed = true
+		return rep, nil
+	}
+
+	// Dynamic filter over the static survivors.
+	target := make([]float64, len(spec.dynFeatures))
+	for i, f := range spec.dynFeatures {
+		target[i] = side.DataFlow[f]
+	}
+	dynFilter, err := m.stage1Filter(st, spec, spec.dynFeatures, target)
+	if err != nil {
+		return rep, err
+	}
+	dynDist := make(map[string]float64)
+	candIn := make(map[string]int64)
+	rep.CandidateIDs = dynDist
+	var survivors []Entry
+	for _, c := range afterJac {
+		row, ok, err := st.GetFeatures(spec.ftDyn, c.JobID)
+		if err != nil {
+			return rep, err
+		}
+		if !ok {
+			continue
+		}
+		if raw, ok := row.Columns[InputBytesColumn]; ok {
+			if v, perr := strconv.ParseInt(string(raw), 10, 64); perr == nil {
+				candIn[c.JobID] = v
+			}
+		}
+		if d := dynFilter.Distance(row); d <= dynFilter.Threshold {
+			dynDist[c.JobID] = d
+			survivors = append(survivors, Entry{JobID: c.JobID, Row: row})
+		}
+	}
+	rep.Stage1Candidates = len(survivors)
+	if len(survivors) == 0 {
+		rep.Failed = true
+		return rep, nil
+	}
+	best := survivors[0]
+	bestGap := int64(math.MaxInt64)
+	for _, c := range survivors {
+		gap := absInt64(candIn[c.JobID] - inputBytes)
+		if gap < bestGap || (gap == bestGap && dynDist[c.JobID] < dynDist[best.JobID]) {
+			best, bestGap = c, gap
+		}
+	}
+	rep.Winner = best.JobID
+	rep.WinnerDistance = dynDist[best.JobID]
+	return rep, nil
+}
+
+// mergeBounds prepares the normalization bounds for a filter: it widens
+// the store's observed min/max with the probe's own values (the sample
+// is itself an observation), then floors each feature's span at a
+// fraction of its magnitude. Without the floor, a nearly-degenerate
+// range
+// would amplify sub-percent measurement noise into full-scale
+// normalized distances; and a feature with a sub-50% spread across the
+// whole store carries no real discriminative signal anyway.
+func mergeBounds(minB, maxB, target []float64) {
+	const relFloor = 0.5
+	for i, v := range target {
+		if v < minB[i] {
+			minB[i] = v
+		}
+		if v > maxB[i] {
+			maxB[i] = v
+		}
+		scale := math.Max(math.Abs(minB[i]), math.Abs(maxB[i]))
+		if span := maxB[i] - minB[i]; span < relFloor*scale {
+			pad := (relFloor*scale - span) / 2
+			minB[i] -= pad
+			maxB[i] += pad
+		}
+	}
+}
+
+func absInt64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,285 @@
+package matcher_test
+
+import (
+	"testing"
+
+	"pstorm/internal/core"
+	"pstorm/internal/hstore"
+	"pstorm/internal/matcher"
+	"pstorm/internal/profile"
+)
+
+// The matcher is tested against the real core.Store implementation over
+// an in-process hstore; fabricated profiles give precise control over
+// every stage of the workflow.
+
+func newStore(t *testing.T) matcher.Store {
+	t.Helper()
+	st, err := core.NewStore(hstore.Connect(hstore.NewServer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func putProfile(t *testing.T, st matcher.Store, p *profile.Profile) {
+	t.Helper()
+	if err := st.(*core.Store).PutProfile(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fab builds a fabricated profile. dyn scales the dynamic features;
+// cfgStr/catSuffix control the static features; cost scales cost
+// factors.
+func fab(jobID, jobName string, inputBytes int64, dyn, cost float64, cfgStr, mapper string) *profile.Profile {
+	p := &profile.Profile{
+		JobID: jobID, JobName: jobName, DatasetName: "ds",
+		InputBytes: inputBytes, NumMapTasks: 4, NumReduceTasks: 1,
+		Map: profile.NewSide(), Reduce: profile.NewSide(), Complete: true,
+	}
+	for i, f := range profile.MapDataFlowFeatures {
+		p.Map.DataFlow[f] = dyn * float64(i+1)
+	}
+	for i, f := range profile.ReduceDataFlowFeatures {
+		p.Reduce.DataFlow[f] = dyn * float64(i+1) / 2
+	}
+	for i, f := range profile.MapCostFeatures {
+		p.Map.CostFactors[f] = cost * float64(i+1)
+	}
+	for i, f := range profile.ReduceCostFeatures {
+		p.Reduce.CostFactors[f] = cost * float64(i+1)
+	}
+	p.Map.StaticCategorical = map[string]string{
+		"IN_FORMATTER": "TextInputFormat", "MAPPER": mapper,
+		"MAP_IN_KEY": "LongWritable", "MAP_IN_VAL": "Text",
+		"MAP_OUT_KEY": "Text", "MAP_OUT_VAL": "IntWritable", "COMBINER": "C",
+	}
+	p.Map.StaticCFG = cfgStr
+	p.Reduce.StaticCategorical = map[string]string{
+		"RED_IN_KEY": "Text", "RED_IN_VAL": "IntWritable", "REDUCER": mapper + "R",
+		"RED_OUT_KEY": "Text", "RED_OUT_VAL": "IntWritable", "OUT_FORMATTER": "TextOutputFormat",
+	}
+	p.Reduce.StaticCFG = cfgStr
+	return p
+}
+
+// sampleLike derives a sample profile resembling stored profile p.
+func sampleLike(p *profile.Profile, inputBytes int64) *profile.Profile {
+	s := p.Clone()
+	s.Complete = false
+	s.SampledMapTasks = 1
+	s.InputBytes = inputBytes
+	return s
+}
+
+func TestMatchExactTwin(t *testing.T) {
+	st := newStore(t)
+	self := fab("self", "jobA", 1000, 1.0, 10, "B L(B)", "MapA")
+	other := fab("other", "jobB", 1000, 5.0, 50, "B", "MapB")
+	putProfile(t, st, self)
+	putProfile(t, st, other)
+
+	res, err := matcher.New().Match(st, sampleLike(self, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched() || res.MapJobID != "self" || res.ReduceJobID != "self" {
+		t.Fatalf("match = %+v, want self on both sides", res)
+	}
+	if res.Composite {
+		t.Error("same donor should not be composite")
+	}
+	if res.MapReport.UsedCostFallback || res.ReduceReport.UsedCostFallback {
+		t.Error("exact twin should match without the cost fallback")
+	}
+}
+
+func TestMatchFailsOnEmptyStore(t *testing.T) {
+	st := newStore(t)
+	res, err := matcher.New().Match(st, sampleLike(fab("x", "jobA", 1000, 1, 10, "B", "M"), 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched() {
+		t.Error("empty store produced a match")
+	}
+	if !res.MapReport.Failed || res.MapReport.Stage1Candidates != 0 {
+		t.Errorf("map report = %+v", res.MapReport)
+	}
+}
+
+func TestMatchStage1FiltersDistantDynamics(t *testing.T) {
+	st := newStore(t)
+	// Two stored profiles with wildly different dynamics; the sample
+	// matches one of them.
+	near := fab("near", "jobA", 1000, 1.0, 10, "B L(B)", "MapA")
+	far := fab("far", "jobB", 1000, 100.0, 10, "B L(B)", "MapA") // same statics!
+	putProfile(t, st, near)
+	putProfile(t, st, far)
+	res, err := matcher.New().Match(st, sampleLike(near, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapJobID != "near" {
+		t.Errorf("matched %s, want near (far should fail the dynamic filter)", res.MapJobID)
+	}
+	if res.MapReport.Stage1Candidates != 1 {
+		t.Errorf("stage 1 kept %d candidates, want 1", res.MapReport.Stage1Candidates)
+	}
+}
+
+func TestMatchCostFallbackForUnseenJob(t *testing.T) {
+	st := newStore(t)
+	// The stored job shares dynamics and costs but has a different CFG
+	// and mapper: an unseen-job scenario where stages 2-3 empty the set
+	// and the cost fallback must recover the donor.
+	donor := fab("donor", "jobB", 1000, 1.0, 10, "B L(B L(B))", "OtherMapper")
+	putProfile(t, st, donor)
+
+	sub := fab("sub", "jobNew", 1000, 1.05, 10.5, "B L(B)", "NewMapper")
+	res, err := matcher.New().Match(st, sampleLike(sub, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched() || res.MapJobID != "donor" {
+		t.Fatalf("unseen job did not fall back to cost matching: %+v", res.MapReport)
+	}
+	if !res.MapReport.UsedCostFallback {
+		t.Error("fallback flag not set")
+	}
+}
+
+func TestMatchCompositeProfile(t *testing.T) {
+	st := newStore(t)
+	// mapDonor matches the sample's map side statically; redDonor
+	// matches the reduce side; neither matches both.
+	mapDonor := fab("mapDonor", "jobM", 1000, 1.0, 10, "B L(B)", "MapX")
+	mapDonor.Reduce.StaticCFG = "B BR(B|B)" // reduce side differs
+	mapDonor.Reduce.StaticCategorical["REDUCER"] = "Strange"
+	mapDonor.Reduce.StaticCategorical["RED_OUT_VAL"] = "Weird"
+	mapDonor.Reduce.StaticCategorical["OUT_FORMATTER"] = "Odd"
+	mapDonor.Reduce.StaticCategorical["RED_IN_KEY"] = "Off"
+	redDonor := fab("redDonor", "jobR", 1000, 1.0, 10, "B L(B)", "MapY")
+	redDonor.Map.StaticCFG = "B BR(B|)" // map side differs
+	putProfile(t, st, mapDonor)
+	putProfile(t, st, redDonor)
+
+	sub := fab("sub", "jobNew", 1000, 1.0, 10, "B L(B)", "MapX")
+	sub.Reduce.StaticCategorical = redDonor.Reduce.StaticCategorical
+	sub.Reduce.StaticCFG = redDonor.Reduce.StaticCFG
+	res, err := matcher.New().Match(st, sampleLike(sub, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched() || !res.Composite {
+		t.Fatalf("expected a composite match: %+v", res)
+	}
+	if res.MapJobID != "mapDonor" || res.ReduceJobID != "redDonor" {
+		t.Errorf("composite donors = %s/%s", res.MapJobID, res.ReduceJobID)
+	}
+	// The composite profile really has the two donors' sides.
+	if res.Profile.Map.StaticCFG != "B L(B)" || res.Profile.Reduce.StaticCFG != redDonor.Reduce.StaticCFG {
+		t.Error("composite profile sides wrong")
+	}
+}
+
+func TestMatchInputSizeTieBreak(t *testing.T) {
+	st := newStore(t)
+	smallRun := fab("small", "jobA", 1_000, 1.0, 10, "B L(B)", "MapA")
+	bigRun := fab("big", "jobA", 1_000_000, 1.0, 10, "B L(B)", "MapA")
+	putProfile(t, st, smallRun)
+	putProfile(t, st, bigRun)
+
+	sub := sampleLike(bigRun, 900_000)
+	res, err := matcher.New().Match(st, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapJobID != "big" {
+		t.Errorf("tie-break chose %s, want the closer input size (big)", res.MapJobID)
+	}
+	sub2 := sampleLike(smallRun, 2_000)
+	res2, err := matcher.New().Match(st, sub2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MapJobID != "small" {
+		t.Errorf("tie-break chose %s, want small", res2.MapJobID)
+	}
+}
+
+func TestMatchBestJaccardBeatsInputSize(t *testing.T) {
+	st := newStore(t)
+	// A perfect code twin at a different input size must beat a
+	// half-matching job at the exact input size (the DD trap).
+	twin := fab("twin", "jobA", 1_000, 1.0, 10, "B L(B)", "MapA")
+	sameSize := fab("samesize", "jobB", 1_000_000, 1.0, 10, "B L(B)", "DifferentMapper")
+	sameSize.Map.StaticCategorical["MAP_OUT_KEY"] = "Other"
+	sameSize.Map.StaticCategorical["MAP_OUT_VAL"] = "Other"
+	putProfile(t, st, twin)
+	putProfile(t, st, sameSize)
+
+	res, err := matcher.New().Match(st, sampleLike(twin, 1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapJobID != "twin" {
+		t.Errorf("matched %s, want the exact-code twin despite the size gap", res.MapJobID)
+	}
+}
+
+func TestMatchStaticFirstVariant(t *testing.T) {
+	st := newStore(t)
+	donor := fab("donor", "jobB", 1000, 1.0, 10, "B L(B L(B))", "OtherMapper")
+	putProfile(t, st, donor)
+	// An unseen job: static-first fails outright (no CFG match), while
+	// dynamic-first recovers via the cost fallback.
+	sub := fab("sub", "jobNew", 1000, 1.0, 10, "B L(B)", "NewMapper")
+
+	dyn := matcher.New()
+	res, err := dyn.Match(st, sampleLike(sub, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched() {
+		t.Fatal("dynamic-first should fall back and match")
+	}
+
+	stat := matcher.New()
+	stat.StaticFirst = true
+	res2, err := stat.Match(st, sampleLike(sub, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Matched() {
+		t.Error("static-first should fail for an unseen CFG")
+	}
+}
+
+func TestMatchCostOnlyStage1(t *testing.T) {
+	st := newStore(t)
+	self := fab("self", "jobA", 1000, 1.0, 10, "B L(B)", "MapA")
+	putProfile(t, st, self)
+	m := matcher.New()
+	m.CostOnlyStage1 = true
+	res, err := m.Match(st, sampleLike(self, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched() || res.MapJobID != "self" {
+		t.Errorf("cost-only stage 1 failed to match the twin: %+v", res.MapReport)
+	}
+}
+
+func TestMatchNilSample(t *testing.T) {
+	if _, err := matcher.New().Match(newStore(t), nil); err == nil {
+		t.Error("nil sample accepted")
+	}
+}
+
+func TestSideKindString(t *testing.T) {
+	if matcher.MapSide.String() != "map" || matcher.ReduceSide.String() != "reduce" {
+		t.Error("SideKind strings wrong")
+	}
+}

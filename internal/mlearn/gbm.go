@@ -1,0 +1,295 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Distribution selects the GBM loss.
+type Distribution int
+
+// Supported losses, as in R's gbm.
+const (
+	// Gaussian minimizes squared error.
+	Gaussian Distribution = iota
+	// Laplace minimizes absolute error.
+	Laplace
+)
+
+func (d Distribution) String() string {
+	if d == Laplace {
+		return "laplace"
+	}
+	return "gaussian"
+}
+
+// GBMOptions mirror the gbm() parameters used in Appendix A and §6.1.2.
+type GBMOptions struct {
+	// NTrees is n.trees.
+	NTrees int
+	// Shrinkage is the learning rate.
+	Shrinkage float64
+	// InteractionDepth is the per-tree depth.
+	InteractionDepth int
+	// BagFraction subsamples rows per iteration.
+	BagFraction float64
+	// TrainFraction is the share of data used for fitting; the rest is
+	// held out (gbm's train.fraction).
+	TrainFraction float64
+	// MinObsInNode is the minimum observations per leaf.
+	MinObsInNode int
+	// CVFolds selects the best iteration by k-fold cross validation when
+	// > 1 (gbm.perf(method="cv")).
+	CVFolds int
+	// Dist selects the loss.
+	Dist Distribution
+	// Seed drives subsampling and fold assignment.
+	Seed int64
+}
+
+// GBRT1 .. GBRT4 are the four parameter settings evaluated in §6.1.2.
+func GBRT1() GBMOptions {
+	return GBMOptions{NTrees: 2000, Shrinkage: 0.005, InteractionDepth: 3,
+		BagFraction: 0.5, TrainFraction: 0.5, MinObsInNode: 10, CVFolds: 10, Dist: Gaussian}
+}
+
+// GBRT2 switches the loss to Laplace.
+func GBRT2() GBMOptions {
+	o := GBRT1()
+	o.Dist = Laplace
+	return o
+}
+
+// GBRT3 uses more, slower iterations and 80% training data.
+func GBRT3() GBMOptions {
+	o := GBRT2()
+	o.NTrees = 10000
+	o.Shrinkage = 0.001
+	o.TrainFraction = 0.8
+	return o
+}
+
+// GBRT4 trains on 100% of the data (the overfitting setting).
+func GBRT4() GBMOptions {
+	o := GBRT3()
+	o.TrainFraction = 1.0
+	return o
+}
+
+// GBM is a fitted gradient-boosted regression model.
+type GBM struct {
+	init     float64
+	trees    []*RegressionTree
+	shrink   float64
+	bestIter int
+	dist     Distribution
+}
+
+// FitGBM trains a model on X, y.
+func FitGBM(X [][]float64, y []float64, opt GBMOptions) (*GBM, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("mlearn: need matching non-empty X (%d) and y (%d)", len(X), len(y))
+	}
+	if opt.NTrees <= 0 {
+		opt.NTrees = 100
+	}
+	if opt.Shrinkage <= 0 {
+		opt.Shrinkage = 0.1
+	}
+	if opt.BagFraction <= 0 || opt.BagFraction > 1 {
+		opt.BagFraction = 0.5
+	}
+	if opt.TrainFraction <= 0 || opt.TrainFraction > 1 {
+		opt.TrainFraction = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed*60013 + 7))
+
+	// Hold out (1 - train.fraction) of the rows.
+	perm := rng.Perm(len(X))
+	nTrain := int(opt.TrainFraction * float64(len(X)))
+	if nTrain < 2 {
+		nTrain = min2(2, len(X))
+	}
+	trainIdx := perm[:nTrain]
+
+	// Cross-validated best iteration.
+	bestIter := opt.NTrees
+	if opt.CVFolds > 1 && nTrain >= 2*opt.CVFolds {
+		bestIter = cvBestIter(X, y, trainIdx, opt, rng)
+	}
+
+	m := fitBoosted(X, y, trainIdx, opt, rng, opt.NTrees)
+	m.bestIter = bestIter
+	return m, nil
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// fitBoosted runs the boosting loop over the given row subset.
+func fitBoosted(X [][]float64, y []float64, idx []int, opt GBMOptions, rng *rand.Rand, nTrees int) *GBM {
+	m := &GBM{shrink: opt.Shrinkage, dist: opt.Dist}
+	// Initial prediction: mean (Gaussian) or median (Laplace).
+	sub := make([]float64, len(idx))
+	for i, r := range idx {
+		sub[i] = y[r]
+	}
+	if opt.Dist == Laplace {
+		m.init = median(sub)
+	} else {
+		m.init = meanOf(sub)
+	}
+	f := make([]float64, len(X))
+	for _, r := range idx {
+		f[r] = m.init
+	}
+	grad := make([]float64, len(X))
+	bag := int(opt.BagFraction * float64(len(idx)))
+	if bag < 2 {
+		bag = min2(2, len(idx))
+	}
+	treeOpt := TreeOptions{MaxDepth: opt.InteractionDepth, MinLeaf: opt.MinObsInNode}
+	for t := 0; t < nTrees; t++ {
+		// Pseudo-residuals.
+		for _, r := range idx {
+			switch opt.Dist {
+			case Laplace:
+				if y[r] > f[r] {
+					grad[r] = 1
+				} else if y[r] < f[r] {
+					grad[r] = -1
+				} else {
+					grad[r] = 0
+				}
+			default:
+				grad[r] = y[r] - f[r]
+			}
+		}
+		// Subsample.
+		bagIdx := make([]int, bag)
+		p := rng.Perm(len(idx))
+		for i := 0; i < bag; i++ {
+			bagIdx[i] = idx[p[i]]
+		}
+		bx := make([][]float64, bag)
+		by := make([]float64, bag)
+		for i, r := range bagIdx {
+			bx[i] = X[r]
+			by[i] = grad[r]
+		}
+		tree, err := FitTree(bx, by, treeOpt)
+		if err != nil {
+			break
+		}
+		m.trees = append(m.trees, tree)
+		for _, r := range idx {
+			f[r] += opt.Shrinkage * tree.Predict(X[r])
+		}
+	}
+	return m
+}
+
+// cvBestIter estimates the loss-minimizing iteration by k-fold CV.
+// Evaluation points are spaced logarithmically to keep it cheap.
+func cvBestIter(X [][]float64, y []float64, idx []int, opt GBMOptions, rng *rand.Rand) int {
+	folds := opt.CVFolds
+	assign := make([]int, len(idx))
+	for i := range assign {
+		assign[i] = i % folds
+	}
+	rng.Shuffle(len(assign), func(i, j int) { assign[i], assign[j] = assign[j], assign[i] })
+
+	checkpoints := iterCheckpoints(opt.NTrees)
+	losses := make([]float64, len(checkpoints))
+	for fold := 0; fold < folds; fold++ {
+		var tr, te []int
+		for i, r := range idx {
+			if assign[i] == fold {
+				te = append(te, r)
+			} else {
+				tr = append(tr, r)
+			}
+		}
+		if len(tr) < 4 || len(te) == 0 {
+			continue
+		}
+		m := fitBoosted(X, y, tr, opt, rng, opt.NTrees)
+		for ci, it := range checkpoints {
+			var loss float64
+			for _, r := range te {
+				pred := m.predictAt(X[r], it)
+				d := y[r] - pred
+				if opt.Dist == Laplace {
+					loss += math.Abs(d)
+				} else {
+					loss += d * d
+				}
+			}
+			losses[ci] += loss
+		}
+	}
+	best := checkpoints[0]
+	bestLoss := losses[0]
+	for ci, it := range checkpoints {
+		if losses[ci] < bestLoss {
+			best, bestLoss = it, losses[ci]
+		}
+	}
+	return best
+}
+
+func iterCheckpoints(n int) []int {
+	var out []int
+	for it := 10; it < n; it = it * 3 / 2 {
+		out = append(out, it)
+	}
+	return append(out, n)
+}
+
+// predictAt evaluates the model truncated to the first iters trees.
+func (m *GBM) predictAt(x []float64, iters int) float64 {
+	if iters > len(m.trees) {
+		iters = len(m.trees)
+	}
+	f := m.init
+	for t := 0; t < iters; t++ {
+		f += m.shrink * m.trees[t].Predict(x)
+	}
+	return f
+}
+
+// Predict evaluates the model at the CV-selected best iteration.
+func (m *GBM) Predict(x []float64) float64 { return m.predictAt(x, m.bestIter) }
+
+// BestIter reports the iteration count used by Predict.
+func (m *GBM) BestIter() int { return m.bestIter }
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}

@@ -1,0 +1,198 @@
+// Package mrjob defines the specification of a MapReduce job: its map,
+// combine, and reduce functions (written in the jobdsl language), the
+// framework "customizable parts" that serve as static features in
+// PStorM's matcher (Table 4.3 — input/output formatters, mapper and
+// reducer class names, key/value types), and job-level user parameters.
+package mrjob
+
+import (
+	"fmt"
+	"sync"
+
+	"pstorm/internal/jobdsl"
+)
+
+// Spec describes one MapReduce job. A Spec is immutable after
+// construction; Program(), MapCFG(), and ReduceCFG() lazily parse and
+// cache the DSL source and are safe for concurrent use.
+type Spec struct {
+	// Name identifies the job (e.g. "wordcount"). Two submissions of the
+	// same program may carry the same Name; identity for profile-store
+	// purposes is the JobID assigned at execution time, not the Name.
+	Name string
+
+	// Source is the jobdsl program text. It must declare functions "map"
+	// and "reduce"; it may declare "combine" and any helpers.
+	Source string
+
+	// The customizable framework parts of Table 4.3. These play the role
+	// of Java class names and Writable type names.
+	InFormatter  string // e.g. "TextInputFormat", "CompositeInputFormat"
+	OutFormatter string // e.g. "TextOutputFormat"
+	Mapper       string // mapper class name
+	Reducer      string // reducer class name
+	Combiner     string // combiner class name, "" if the job has none
+	MapInKey     string // e.g. "LongWritable"
+	MapInVal     string // e.g. "Text"
+	MapOutKey    string
+	MapOutVal    string
+	RedOutKey    string
+	RedOutVal    string
+
+	// CombinerAssociative marks the reduce function as associative and
+	// commutative (sum/min/max-like), the condition under which the
+	// Appendix B combiner rule fires.
+	CombinerAssociative bool
+
+	// MapCPUWeight and ReduceCPUWeight calibrate the per-record CPU cost
+	// of the map/reduce functions relative to the DSL step count. The
+	// interpreter's step counter measures control-flow work faithfully
+	// but underestimates jobs whose inner loop is a heavy native library
+	// call (stemming in an indexer, alignment scoring in CloudBurst).
+	// Zero means 1.0.
+	MapCPUWeight    float64
+	ReduceCPUWeight float64
+
+	// Params are user-provided job parameters (window size, search
+	// keyword, ...), visible to DSL code through param("name").
+	Params map[string]string
+
+	once       sync.Once
+	prog       *jobdsl.Program
+	progErr    error
+	mapCFG     jobdsl.CFG
+	redCFG     jobdsl.CFG
+	mapCallSig string
+	redCallSig string
+}
+
+// Validate checks that the spec is well formed: the source parses and
+// declares map and reduce (and combine, if a Combiner name is set).
+func (s *Spec) Validate() error {
+	prog, err := s.Program()
+	if err != nil {
+		return err
+	}
+	if _, ok := prog.Funcs["map"]; !ok {
+		return fmt.Errorf("mrjob: job %q: source does not declare func map", s.Name)
+	}
+	if _, ok := prog.Funcs["reduce"]; !ok {
+		return fmt.Errorf("mrjob: job %q: source does not declare func reduce", s.Name)
+	}
+	if s.Combiner != "" {
+		if _, ok := prog.Funcs["combine"]; !ok {
+			return fmt.Errorf("mrjob: job %q: Combiner %q set but source does not declare func combine", s.Name, s.Combiner)
+		}
+	}
+	for _, fn := range []struct {
+		name string
+		want int
+	}{{"map", 2}, {"reduce", 2}} {
+		if f := prog.Funcs[fn.name]; f != nil && len(f.Params) != fn.want {
+			return fmt.Errorf("mrjob: job %q: func %s must take %d parameters, has %d", s.Name, fn.name, fn.want, len(f.Params))
+		}
+	}
+	if f := prog.Funcs["combine"]; f != nil && len(f.Params) != 2 {
+		return fmt.Errorf("mrjob: job %q: func combine must take 2 parameters, has %d", s.Name, len(f.Params))
+	}
+	if problems := jobdsl.Check(prog); len(problems) > 0 {
+		return fmt.Errorf("mrjob: job %q: static analysis found %d problem(s), first: %s",
+			s.Name, len(problems), problems[0])
+	}
+	return nil
+}
+
+func (s *Spec) parse() {
+	s.prog, s.progErr = jobdsl.Parse(s.Source)
+	if s.progErr != nil {
+		return
+	}
+	s.mapCFG = jobdsl.ExtractCFG(s.prog.Funcs["map"])
+	s.redCFG = jobdsl.ExtractCFG(s.prog.Funcs["reduce"])
+	s.mapCallSig = jobdsl.CallSignature(s.prog, "map")
+	s.redCallSig = jobdsl.CallSignature(s.prog, "reduce")
+}
+
+// Program returns the parsed DSL program.
+func (s *Spec) Program() (*jobdsl.Program, error) {
+	s.once.Do(s.parse)
+	return s.prog, s.progErr
+}
+
+// MapCFG returns the control-flow graph of the map function (empty if
+// the source does not parse; call Validate first).
+func (s *Spec) MapCFG() jobdsl.CFG {
+	s.once.Do(s.parse)
+	return s.mapCFG
+}
+
+// ReduceCFG returns the control-flow graph of the reduce function.
+func (s *Spec) ReduceCFG() jobdsl.CFG {
+	s.once.Do(s.parse)
+	return s.redCFG
+}
+
+// MapCallSignature returns the call-flow-graph signature of the map
+// function: its CFG plus the CFGs of every helper it transitively calls
+// (§7.2.2).
+func (s *Spec) MapCallSignature() string {
+	s.once.Do(s.parse)
+	return s.mapCallSig
+}
+
+// ReduceCallSignature is the reduce-side counterpart.
+func (s *Spec) ReduceCallSignature() string {
+	s.once.Do(s.parse)
+	return s.redCallSig
+}
+
+// HasCombiner reports whether the job declares a combiner.
+func (s *Spec) HasCombiner() bool { return s.Combiner != "" }
+
+// StaticFeatures are the categorical features of Table 4.3, split by
+// side because PStorM matches map profiles and reduce profiles
+// independently (§4.3). CFG strings are carried separately from the
+// categorical vector because CFG similarity is computed by synchronized
+// traversal, not by the Jaccard index.
+type StaticFeatures struct {
+	// Categorical holds name → value for the Jaccard-matched features.
+	Categorical map[string]string
+	// CFG is the canonical string form of the side's control-flow graph.
+	CFG string
+	// CallSig is the call-flow-graph signature (§7.2.2): the CFG plus
+	// the CFGs of transitively called helpers.
+	CallSig string
+}
+
+// MapStaticFeatures returns the map-side static feature vector.
+func (s *Spec) MapStaticFeatures() StaticFeatures {
+	return StaticFeatures{
+		Categorical: map[string]string{
+			"IN_FORMATTER": s.InFormatter,
+			"MAPPER":       s.Mapper,
+			"MAP_IN_KEY":   s.MapInKey,
+			"MAP_IN_VAL":   s.MapInVal,
+			"MAP_OUT_KEY":  s.MapOutKey,
+			"MAP_OUT_VAL":  s.MapOutVal,
+			"COMBINER":     s.Combiner,
+		},
+		CFG:     s.MapCFG().String(),
+		CallSig: s.MapCallSignature(),
+	}
+}
+
+// ReduceStaticFeatures returns the reduce-side static feature vector.
+func (s *Spec) ReduceStaticFeatures() StaticFeatures {
+	return StaticFeatures{
+		Categorical: map[string]string{
+			"RED_IN_KEY":    s.MapOutKey,
+			"RED_IN_VAL":    s.MapOutVal,
+			"REDUCER":       s.Reducer,
+			"RED_OUT_KEY":   s.RedOutKey,
+			"RED_OUT_VAL":   s.RedOutVal,
+			"OUT_FORMATTER": s.OutFormatter,
+		},
+		CFG:     s.ReduceCFG().String(),
+		CallSig: s.ReduceCallSignature(),
+	}
+}

@@ -1,0 +1,126 @@
+package mrjob
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func validSpec() *Spec {
+	return &Spec{
+		Name: "t",
+		Source: `
+func map(key, value) { emit(key, value); }
+func combine(key, values) { emit(key, len(values)); }
+func reduce(key, values) { emit(key, len(values)); }
+`,
+		InFormatter: "TextInputFormat", OutFormatter: "TextOutputFormat",
+		Mapper: "M", Reducer: "R", Combiner: "C",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "Text", MapOutVal: "IntWritable",
+		RedOutKey: "Text", RedOutVal: "IntWritable",
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"syntax error", func(s *Spec) { s.Source = "garbage" }, "expected"},
+		{"missing map", func(s *Spec) { s.Source = `func reduce(k, v) {}` }, "does not declare func map"},
+		{"missing reduce", func(s *Spec) { s.Source = `func map(k, v) {}` }, "does not declare func reduce"},
+		{"combiner declared but absent", func(s *Spec) {
+			s.Source = `func map(k, v) {} func reduce(k, v) {}`
+		}, "does not declare func combine"},
+		{"map arity", func(s *Spec) {
+			s.Source = `func map(k) {} func reduce(k, v) {} func combine(k, v) {}`
+		}, "must take 2 parameters"},
+		{"combine arity", func(s *Spec) {
+			s.Source = `func map(k, v) {} func reduce(k, v) {} func combine(k) {}`
+		}, "must take 2 parameters"},
+	}
+	for _, c := range cases {
+		s := validSpec()
+		c.mut(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCFGAccessors(t *testing.T) {
+	s := validSpec()
+	if got := s.MapCFG().String(); got != "B" {
+		t.Errorf("map CFG = %q, want B", got)
+	}
+	if got := s.ReduceCFG().String(); got != "B" {
+		t.Errorf("reduce CFG = %q", got)
+	}
+}
+
+func TestStaticFeatureVectors(t *testing.T) {
+	s := validSpec()
+	ms := s.MapStaticFeatures()
+	wantMap := map[string]string{
+		"IN_FORMATTER": "TextInputFormat", "MAPPER": "M",
+		"MAP_IN_KEY": "LongWritable", "MAP_IN_VAL": "Text",
+		"MAP_OUT_KEY": "Text", "MAP_OUT_VAL": "IntWritable", "COMBINER": "C",
+	}
+	for k, v := range wantMap {
+		if ms.Categorical[k] != v {
+			t.Errorf("map static %s = %q, want %q", k, ms.Categorical[k], v)
+		}
+	}
+	if ms.CFG != "B" {
+		t.Errorf("map static CFG = %q", ms.CFG)
+	}
+	rs := s.ReduceStaticFeatures()
+	wantRed := map[string]string{
+		"RED_IN_KEY": "Text", "RED_IN_VAL": "IntWritable", "REDUCER": "R",
+		"RED_OUT_KEY": "Text", "RED_OUT_VAL": "IntWritable", "OUT_FORMATTER": "TextOutputFormat",
+	}
+	for k, v := range wantRed {
+		if rs.Categorical[k] != v {
+			t.Errorf("reduce static %s = %q, want %q", k, rs.Categorical[k], v)
+		}
+	}
+}
+
+func TestHasCombiner(t *testing.T) {
+	s := validSpec()
+	if !s.HasCombiner() {
+		t.Error("spec with Combiner name should report HasCombiner")
+	}
+	s2 := validSpec()
+	s2.Combiner = ""
+	if s2.HasCombiner() {
+		t.Error("spec without Combiner name should not report HasCombiner")
+	}
+}
+
+func TestConcurrentParseIsSafe(t *testing.T) {
+	s := validSpec()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.MapCFG()
+			_, _ = s.Program()
+			_ = s.ReduceCFG()
+		}()
+	}
+	wg.Wait()
+	if _, err := s.Program(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package profile models Starfish execution profiles: the fine-grained
+// data-flow statistics (Table 4.1), cost factors (Table 4.2), and
+// per-phase timings collected from an instrumented MapReduce job run.
+// Profiles are what PStorM stores, matches, and hands to the cost-based
+// optimizer; a profile is split into an independent map side and reduce
+// side so the matcher can compose the map profile of one job with the
+// reduce profile of another (§4.3).
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pstorm/internal/conf"
+	"pstorm/internal/mrjob"
+)
+
+// Data-flow statistic feature names (Table 4.1 plus the record-width
+// statistics a Starfish profile also carries). Selectivities are
+// output/input ratios; widths are average bytes per record.
+const (
+	MapSizeSel      = "MAP_SIZE_SEL"
+	MapPairsSel     = "MAP_PAIRS_SEL"
+	CombineSizeSel  = "COMBINE_SIZE_SEL"
+	CombinePairsSel = "COMBINE_PAIRS_SEL"
+	RedSizeSel      = "RED_SIZE_SEL"
+	RedPairsSel     = "RED_PAIRS_SEL"
+	MapInRecWidth   = "MAP_IN_REC_WIDTH"
+	MapOutRecWidth  = "MAP_OUT_REC_WIDTH"
+	RedInRecWidth   = "RED_IN_REC_WIDTH"
+	RedOutRecWidth  = "RED_OUT_REC_WIDTH"
+
+	// Auxiliary statistics a Starfish profile also records. They feed
+	// the What-If engine's data-flow extrapolation but are NOT part of
+	// the matcher's dynamic feature vectors (Table 4.1 defines those).
+	CombineOutWidth = "COMBINE_OUT_REC_WIDTH"
+	KeyHeapsK       = "KEY_HEAPS_K"
+	KeyHeapsBeta    = "KEY_HEAPS_BETA"
+	RedOutPerGroup  = "RED_OUT_PER_GROUP"
+)
+
+// Cost factor feature names (Table 4.2). IO and network costs are in
+// nanoseconds per byte; CPU costs in nanoseconds per record.
+const (
+	ReadHDFSIOCost   = "READ_HDFS_IO_COST"
+	WriteHDFSIOCost  = "WRITE_HDFS_IO_COST"
+	ReadLocalIOCost  = "READ_LOCAL_IO_COST"
+	WriteLocalIOCost = "WRITE_LOCAL_IO_COST"
+	NetworkCost      = "NETWORK_COST"
+	MapCPUCost       = "MAP_CPU_COST"
+	ReduceCPUCost    = "REDUCE_CPU_COST"
+	CombineCPUCost   = "COMBINE_CPU_COST"
+)
+
+// MapDataFlowFeatures is the canonical ordering of map-side data-flow
+// statistics used to build dynamic feature vectors for matching.
+// MAP_IN_REC_WIDTH is deliberately absent: the input record width is a
+// property of the dataset, not of the job, and using it would stop the
+// same job's profiles on different corpora from matching (the DD state).
+var MapDataFlowFeatures = []string{
+	MapSizeSel, MapPairsSel, CombineSizeSel, CombinePairsSel,
+	MapOutRecWidth,
+}
+
+// ReduceDataFlowFeatures is the reduce-side counterpart.
+var ReduceDataFlowFeatures = []string{
+	RedSizeSel, RedPairsSel, RedInRecWidth, RedOutRecWidth,
+}
+
+// MapCostFeatures orders the map-side cost factors.
+var MapCostFeatures = []string{
+	ReadHDFSIOCost, ReadLocalIOCost, WriteLocalIOCost, MapCPUCost, CombineCPUCost,
+}
+
+// ReduceCostFeatures orders the reduce-side cost factors.
+var ReduceCostFeatures = []string{
+	ReadLocalIOCost, WriteLocalIOCost, WriteHDFSIOCost, NetworkCost, ReduceCPUCost,
+}
+
+// Phase names for the per-phase timing breakdown (Fig 4.3/4.5/4.6).
+const (
+	PhaseSetup   = "SETUP"
+	PhaseRead    = "READ"
+	PhaseMap     = "MAP"
+	PhaseCollect = "COLLECT" // serialize into the map-side buffer
+	PhaseSpill   = "SPILL"   // sort + (combine) + write spill files
+	PhaseMerge   = "MERGE"   // merge spills into the final map output
+	PhaseShuffle = "SHUFFLE"
+	PhaseSort    = "SORT" // reduce-side merge sort
+	PhaseReduce  = "REDUCE"
+	PhaseWrite   = "WRITE"
+	PhaseCleanup = "CLEANUP"
+)
+
+// MapPhases orders the map-task phases for display.
+var MapPhases = []string{PhaseSetup, PhaseRead, PhaseMap, PhaseCollect, PhaseSpill, PhaseMerge, PhaseCleanup}
+
+// ReducePhases orders the reduce-task phases for display.
+var ReducePhases = []string{PhaseSetup, PhaseShuffle, PhaseSort, PhaseReduce, PhaseWrite, PhaseCleanup}
+
+// Side is one half of a job profile: the map side or the reduce side.
+// DataFlow and CostFactors are keyed by the feature-name constants
+// above; PhaseMs holds average per-task phase times in milliseconds.
+type Side struct {
+	DataFlow    map[string]float64 `json:"dataflow"`
+	CostFactors map[string]float64 `json:"costfactors"`
+	PhaseMs     map[string]float64 `json:"phase_ms"`
+	// StaticCategorical and StaticCFG are the side's static features
+	// (Table 4.3), recorded with the profile so stored profiles carry
+	// the code signature of the job they came from. StaticCallSig is
+	// the §7.2.2 call-flow-graph extension.
+	StaticCategorical map[string]string `json:"static"`
+	StaticCFG         string            `json:"cfg"`
+	StaticCallSig     string            `json:"callsig,omitempty"`
+	// TaskTimeMs is the average total task time on this side.
+	TaskTimeMs float64 `json:"task_time_ms"`
+	// Tasks is the number of tasks this side executed.
+	Tasks int `json:"tasks"`
+}
+
+// NewSide returns a Side with all maps allocated.
+func NewSide() Side {
+	return Side{
+		DataFlow:          make(map[string]float64),
+		CostFactors:       make(map[string]float64),
+		PhaseMs:           make(map[string]float64),
+		StaticCategorical: make(map[string]string),
+	}
+}
+
+// Clone deep-copies the side.
+func (s Side) Clone() Side {
+	c := NewSide()
+	for k, v := range s.DataFlow {
+		c.DataFlow[k] = v
+	}
+	for k, v := range s.CostFactors {
+		c.CostFactors[k] = v
+	}
+	for k, v := range s.PhaseMs {
+		c.PhaseMs[k] = v
+	}
+	for k, v := range s.StaticCategorical {
+		c.StaticCategorical[k] = v
+	}
+	c.StaticCFG = s.StaticCFG
+	c.StaticCallSig = s.StaticCallSig
+	c.TaskTimeMs = s.TaskTimeMs
+	c.Tasks = s.Tasks
+	return c
+}
+
+// Profile is a complete (or sampled) execution profile of one MapReduce
+// job run, in the shape Starfish collects (Fig 1.1).
+type Profile struct {
+	// JobID uniquely identifies the run the profile was collected from.
+	JobID string `json:"job_id"`
+	// JobName is the job's human name ("wordcount"). Matching never uses
+	// it — PStorM must work for previously unseen jobs — but experiments
+	// use it as ground truth for accuracy scoring.
+	JobName string `json:"job_name"`
+	// DatasetName records the input the run processed (ground truth for
+	// the SD/DD experiment states; not used by the matcher).
+	DatasetName string `json:"dataset_name"`
+
+	InputBytes   int64 `json:"input_bytes"`
+	InputRecords int64 `json:"input_records"`
+
+	NumMapTasks    int `json:"num_map_tasks"`
+	NumReduceTasks int `json:"num_reduce_tasks"`
+
+	// Config is the configuration the run executed with.
+	Config conf.Config `json:"config"`
+
+	Map    Side `json:"map"`
+	Reduce Side `json:"reduce"`
+
+	// Complete is true for a full profiling run, false for a sample.
+	Complete bool `json:"complete"`
+	// SampledMapTasks is the number of profiled map tasks (equals
+	// NumMapTasks when Complete).
+	SampledMapTasks int `json:"sampled_map_tasks"`
+
+	// RuntimeMs is the observed job makespan in simulated milliseconds.
+	RuntimeMs float64 `json:"runtime_ms"`
+
+	// Params are the job-level user parameters the run executed with
+	// (window sizes, search patterns, ...). The §7.2.1 extension adds
+	// them to the static feature vector.
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Clone deep-copies the profile.
+func (p *Profile) Clone() *Profile {
+	c := *p
+	c.Map = p.Map.Clone()
+	c.Reduce = p.Reduce.Clone()
+	if p.Params != nil {
+		c.Params = make(map[string]string, len(p.Params))
+		for k, v := range p.Params {
+			c.Params[k] = v
+		}
+	}
+	return &c
+}
+
+// Compose builds a composite profile from the map side of mp and the
+// reduce side of rp (§4.3: the two sides of an MR job are independent,
+// so a composite profile is a valid profile for a previously unseen
+// job). Job-level fields are taken from the map-side donor, which also
+// determines the input data size the What-If engine scales from.
+func Compose(mp, rp *Profile) *Profile {
+	c := mp.Clone()
+	c.Reduce = rp.Reduce.Clone()
+	c.NumReduceTasks = rp.NumReduceTasks
+	c.JobID = fmt.Sprintf("composite(%s,%s)", mp.JobID, rp.JobID)
+	if mp.JobID == rp.JobID {
+		c.JobID = mp.JobID
+	}
+	return c
+}
+
+// MarshalJSON / Unmarshal helpers: profiles cross the profile-store
+// boundary as JSON documents.
+
+// Encode serializes the profile.
+func (p *Profile) Encode() ([]byte, error) { return json.Marshal(p) }
+
+// Decode deserializes a profile.
+func Decode(b []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	return &p, nil
+}
+
+// AttachStatics records the job's static features on both profile sides.
+func (p *Profile) AttachStatics(spec *mrjob.Spec) {
+	ms := spec.MapStaticFeatures()
+	rs := spec.ReduceStaticFeatures()
+	p.Map.StaticCategorical = ms.Categorical
+	p.Map.StaticCFG = ms.CFG
+	p.Map.StaticCallSig = ms.CallSig
+	p.Reduce.StaticCategorical = rs.Categorical
+	p.Reduce.StaticCFG = rs.CFG
+	p.Reduce.StaticCallSig = rs.CallSig
+	if len(spec.Params) > 0 {
+		p.Params = make(map[string]string, len(spec.Params))
+		for k, v := range spec.Params {
+			p.Params[k] = v
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pstorm/internal/conf"
+	"pstorm/internal/mrjob"
+)
+
+// sampleProfile builds a populated profile for tests.
+func sampleProfile(seed int64) *Profile {
+	r := rand.New(rand.NewSource(seed))
+	p := &Profile{
+		JobID:           "job-1",
+		JobName:         "wordcount",
+		DatasetName:     "wiki",
+		InputBytes:      1 << 30,
+		InputRecords:    1 << 20,
+		NumMapTasks:     16,
+		NumReduceTasks:  1,
+		Config:          conf.Default(),
+		Map:             NewSide(),
+		Reduce:          NewSide(),
+		Complete:        true,
+		SampledMapTasks: 16,
+		RuntimeMs:       123456,
+	}
+	for _, f := range MapDataFlowFeatures {
+		p.Map.DataFlow[f] = r.Float64() * 10
+	}
+	for _, f := range MapCostFeatures {
+		p.Map.CostFactors[f] = r.Float64() * 100
+	}
+	for _, ph := range MapPhases {
+		p.Map.PhaseMs[ph] = r.Float64() * 1000
+	}
+	p.Map.StaticCategorical["MAPPER"] = "TokenCounterMapper"
+	p.Map.StaticCFG = "B L(B)"
+	p.Map.TaskTimeMs = 5000
+	p.Map.Tasks = 16
+	for _, f := range ReduceDataFlowFeatures {
+		p.Reduce.DataFlow[f] = r.Float64()
+	}
+	for _, f := range ReduceCostFeatures {
+		p.Reduce.CostFactors[f] = r.Float64() * 100
+	}
+	p.Reduce.StaticCategorical["REDUCER"] = "IntSumReducer"
+	p.Reduce.StaticCFG = "B L(B)"
+	return p
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := sampleProfile(seed)
+		raw, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		q, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		return profilesEqual(p, q)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func profilesEqual(a, b *Profile) bool {
+	if a.JobID != b.JobID || a.JobName != b.JobName || a.InputBytes != b.InputBytes ||
+		a.RuntimeMs != b.RuntimeMs || a.Complete != b.Complete {
+		return false
+	}
+	return sidesEqual(a.Map, b.Map) && sidesEqual(a.Reduce, b.Reduce)
+}
+
+func sidesEqual(a, b Side) bool {
+	if len(a.DataFlow) != len(b.DataFlow) || len(a.CostFactors) != len(b.CostFactors) {
+		return false
+	}
+	for k, v := range a.DataFlow {
+		if b.DataFlow[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.CostFactors {
+		if b.CostFactors[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.StaticCategorical {
+		if b.StaticCategorical[k] != v {
+			return false
+		}
+	}
+	return a.StaticCFG == b.StaticCFG && a.TaskTimeMs == b.TaskTimeMs
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := sampleProfile(1)
+	c := p.Clone()
+	c.Map.DataFlow[MapSizeSel] = -999
+	c.Map.StaticCategorical["MAPPER"] = "Other"
+	c.Reduce.PhaseMs[PhaseShuffle] = -1
+	if p.Map.DataFlow[MapSizeSel] == -999 {
+		t.Error("Clone shares DataFlow map")
+	}
+	if p.Map.StaticCategorical["MAPPER"] == "Other" {
+		t.Error("Clone shares StaticCategorical map")
+	}
+	if p.Reduce.PhaseMs[PhaseShuffle] == -1 {
+		t.Error("Clone shares PhaseMs map")
+	}
+}
+
+func TestComposeTakesMapFromFirstReduceFromSecond(t *testing.T) {
+	mp := sampleProfile(1)
+	mp.JobID = "map-donor"
+	rp := sampleProfile(2)
+	rp.JobID = "reduce-donor"
+	rp.NumReduceTasks = 7
+
+	c := Compose(mp, rp)
+	if !sidesEqual(c.Map, mp.Map) {
+		t.Error("composite map side != map donor's")
+	}
+	if !sidesEqual(c.Reduce, rp.Reduce) {
+		t.Error("composite reduce side != reduce donor's")
+	}
+	if c.NumReduceTasks != 7 {
+		t.Errorf("composite reduce tasks = %d, want donor's 7", c.NumReduceTasks)
+	}
+	if c.InputBytes != mp.InputBytes {
+		t.Error("composite input size should come from the map donor")
+	}
+	if c.JobID == mp.JobID || c.JobID == rp.JobID {
+		t.Errorf("composite JobID %q should be distinct", c.JobID)
+	}
+}
+
+func TestComposeSameDonorKeepsID(t *testing.T) {
+	p := sampleProfile(3)
+	c := Compose(p, p)
+	if c.JobID != p.JobID {
+		t.Errorf("Compose(p, p).JobID = %q, want %q", c.JobID, p.JobID)
+	}
+}
+
+func TestComposeDoesNotAliasDonors(t *testing.T) {
+	mp, rp := sampleProfile(1), sampleProfile(2)
+	c := Compose(mp, rp)
+	c.Map.DataFlow[MapSizeSel] = -1
+	c.Reduce.DataFlow[RedSizeSel] = -1
+	if mp.Map.DataFlow[MapSizeSel] == -1 || rp.Reduce.DataFlow[RedSizeSel] == -1 {
+		t.Error("Compose aliases donor maps")
+	}
+}
+
+func TestFeatureListsDisjointWhereExpected(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range MapDataFlowFeatures {
+		if seen[f] {
+			t.Errorf("duplicate feature %s", f)
+		}
+		seen[f] = true
+	}
+	for _, f := range ReduceDataFlowFeatures {
+		if seen[f] {
+			t.Errorf("reduce feature %s collides with map list", f)
+		}
+	}
+	// MAP_IN_REC_WIDTH is deliberately NOT a matching feature (it is a
+	// dataset property); regression-guard that it stays out.
+	for _, f := range MapDataFlowFeatures {
+		if f == MapInRecWidth {
+			t.Error("MAP_IN_REC_WIDTH must not be a matching feature (see DD state)")
+		}
+	}
+}
+
+func TestAttachStatics(t *testing.T) {
+	spec := &mrjob.Spec{
+		Name: "t",
+		Source: `
+func helper(x) { let s = 0; while (x > 0) { s = s + x; x = x - 1; } return s; }
+func map(key, line) { emit(key, helper(len(line))); }
+func reduce(key, values) { emit(key, len(values)); }
+`,
+		InFormatter: "TextInputFormat", OutFormatter: "TextOutputFormat",
+		Mapper: "M", Reducer: "R",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "Text", MapOutVal: "IntWritable",
+		RedOutKey: "Text", RedOutVal: "IntWritable",
+		Params: map[string]string{"window": "2"},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := &Profile{JobID: "x", Map: NewSide(), Reduce: NewSide()}
+	p.AttachStatics(spec)
+	if p.Map.StaticCategorical["MAPPER"] != "M" {
+		t.Error("map statics not attached")
+	}
+	if p.Map.StaticCFG != "B" {
+		t.Errorf("map CFG = %q", p.Map.StaticCFG)
+	}
+	if p.Map.StaticCallSig == p.Map.StaticCFG {
+		t.Error("call signature should include the helper's CFG")
+	}
+	if p.Params["window"] != "2" {
+		t.Error("job params not recorded on the profile")
+	}
+	// The profile's params are a copy, not an alias.
+	spec.Params["window"] = "9"
+	if p.Params["window"] != "2" {
+		t.Error("profile params alias the spec's map")
+	}
+	// Clone deep-copies params and call signatures.
+	c := p.Clone()
+	c.Params["window"] = "7"
+	if p.Params["window"] != "2" {
+		t.Error("Clone aliases Params")
+	}
+	if c.Map.StaticCallSig != p.Map.StaticCallSig {
+		t.Error("Clone lost the call signature")
+	}
+}

@@ -1,0 +1,85 @@
+// Package rbo implements the rule-based optimizer of Appendix B: five
+// heuristic rules gathered from Hadoop tuning guides, applied when their
+// diagnostic conditions are met. Like any heuristic approach, the rules
+// make assumptions that do not hold for every job — the paper (and our
+// Fig 6.3 reproduction) shows the RBO can even degrade performance.
+package rbo
+
+import "pstorm/internal/conf"
+
+// JobHints are the coarse job characteristics a Hadoop administrator
+// would know when applying tuning rules: rough selectivities (from a
+// quick look at a prior run's counters) and whether the reduce function
+// is associative and commutative.
+type JobHints struct {
+	// MapSizeSel is the expected intermediate/input size ratio.
+	MapSizeSel float64
+	// MapOutRecWidth is the expected intermediate record size in bytes.
+	MapOutRecWidth float64
+	// HasCombiner reports whether the job declares a combiner.
+	HasCombiner bool
+	// CombinerAssociative reports whether the reduce function is
+	// associative and commutative (sum/min/max-like).
+	CombinerAssociative bool
+}
+
+// ClusterHints are the cluster facts the rules consult.
+type ClusterHints struct {
+	// ReduceSlots is the cluster-wide number of reduce slots.
+	ReduceSlots int
+}
+
+// Recommend applies the Appendix B rules to the default configuration.
+func Recommend(job JobHints, cl ClusterHints) conf.Config {
+	c := conf.Default()
+	// A job that ships a combiner runs with it unless tuning says
+	// otherwise (the combiner is part of the job code, not the cluster
+	// config).
+	c.UseCombiner = job.HasCombiner
+
+	// Rule: mapred.compress.map.output — enable LZO compression of the
+	// intermediate data when it is non-negligible or larger than the
+	// input, trading CPU for disk and network IO.
+	if job.MapSizeSel >= 0.8 {
+		c.CompressMapOutput = true
+	}
+
+	// Rule: combiner usage — always enable the combiner whenever the
+	// reduce function is associative and commutative.
+	if job.CombinerAssociative {
+		c.UseCombiner = true
+	}
+
+	// Rule: io.sort.mb — increase the map-side buffer for jobs that
+	// generate more intermediate data than input data, reducing the
+	// number of spills.
+	if job.MapSizeSel > 1.0 {
+		c.IOSortMB = 200
+	}
+
+	// Rule: io.sort.record.percent — when intermediate records are
+	// small, reserve more of the buffer for per-record metadata so the
+	// metadata region does not fill first. The guides suggest sizing the
+	// metadata share as 16/(16+recordsize), capped conservatively.
+	if job.MapOutRecWidth > 0 && job.MapOutRecWidth < 100 {
+		p := 16 / (16 + job.MapOutRecWidth)
+		if p > 0.3 {
+			p = 0.3
+		}
+		if p < 0.05 {
+			p = 0.05
+		}
+		c.IOSortRecordPercent = p
+	}
+
+	// Rule: mapred.reduce.tasks — set the number of reducers to 90% of
+	// the cluster's reduce slots so all reducers run in one wave with
+	// headroom for failures.
+	r := int(0.9 * float64(cl.ReduceSlots))
+	if r < 1 {
+		r = 1
+	}
+	c.ReduceTasks = r
+
+	return c
+}

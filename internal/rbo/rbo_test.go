@@ -1,0 +1,83 @@
+package rbo
+
+import (
+	"testing"
+
+	"pstorm/internal/conf"
+)
+
+func TestCompressionRule(t *testing.T) {
+	cl := ClusterHints{ReduceSlots: 30}
+	big := Recommend(JobHints{MapSizeSel: 3.5}, cl)
+	if !big.CompressMapOutput {
+		t.Error("expanding intermediate data should trigger compression")
+	}
+	small := Recommend(JobHints{MapSizeSel: 0.3}, cl)
+	if small.CompressMapOutput {
+		t.Error("tiny intermediate data should not trigger compression")
+	}
+}
+
+func TestCombinerRule(t *testing.T) {
+	cl := ClusterHints{ReduceSlots: 30}
+	assoc := Recommend(JobHints{CombinerAssociative: true, HasCombiner: true}, cl)
+	if !assoc.UseCombiner {
+		t.Error("associative reduce should enable the combiner")
+	}
+	// A job that ships a combiner keeps it even without the rule firing.
+	shipped := Recommend(JobHints{HasCombiner: true}, cl)
+	if !shipped.UseCombiner {
+		t.Error("job-shipped combiner should stay on")
+	}
+	none := Recommend(JobHints{}, cl)
+	if none.UseCombiner {
+		t.Error("no combiner, no rule: should stay off")
+	}
+}
+
+func TestIOSortMBRule(t *testing.T) {
+	cl := ClusterHints{ReduceSlots: 30}
+	if got := Recommend(JobHints{MapSizeSel: 2.0}, cl).IOSortMB; got <= conf.Default().IOSortMB {
+		t.Errorf("expanding job should get a larger buffer, got %d", got)
+	}
+	if got := Recommend(JobHints{MapSizeSel: 0.5}, cl).IOSortMB; got != conf.Default().IOSortMB {
+		t.Errorf("shrinking job should keep the default buffer, got %d", got)
+	}
+}
+
+func TestRecordPercentRule(t *testing.T) {
+	cl := ClusterHints{ReduceSlots: 30}
+	small := Recommend(JobHints{MapOutRecWidth: 20}, cl)
+	if small.IOSortRecordPercent <= conf.Default().IOSortRecordPercent {
+		t.Errorf("small records should raise record.percent, got %v", small.IOSortRecordPercent)
+	}
+	if small.IOSortRecordPercent > 0.3 {
+		t.Errorf("record.percent %v above the rule's cap", small.IOSortRecordPercent)
+	}
+	big := Recommend(JobHints{MapOutRecWidth: 500}, cl)
+	if big.IOSortRecordPercent != conf.Default().IOSortRecordPercent {
+		t.Errorf("large records should keep the default, got %v", big.IOSortRecordPercent)
+	}
+}
+
+func TestReducerRule(t *testing.T) {
+	if got := Recommend(JobHints{}, ClusterHints{ReduceSlots: 30}).ReduceTasks; got != 27 {
+		t.Errorf("reducers = %d, want 27 (90%% of 30 slots)", got)
+	}
+	if got := Recommend(JobHints{}, ClusterHints{ReduceSlots: 0}).ReduceTasks; got < 1 {
+		t.Errorf("reducers = %d on an empty cluster", got)
+	}
+}
+
+func TestRecommendationsAlwaysValid(t *testing.T) {
+	hints := []JobHints{
+		{}, {MapSizeSel: 10, MapOutRecWidth: 5, HasCombiner: true, CombinerAssociative: true},
+		{MapSizeSel: 0.01, MapOutRecWidth: 10000},
+	}
+	for _, h := range hints {
+		c := Recommend(h, ClusterHints{ReduceSlots: 30})
+		if err := c.Validate(); err != nil {
+			t.Errorf("hints %+v produced invalid config: %v", h, err)
+		}
+	}
+}

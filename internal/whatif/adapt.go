@@ -1,0 +1,53 @@
+package whatif
+
+import (
+	"fmt"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/profile"
+)
+
+// Cross-cluster profile adaptation (§7.2.3 of the paper, implemented as
+// the proposed future-work extension).
+//
+// Profiles collected on one cluster carry that cluster's cost factors.
+// Handing them unadapted to the What-If engine on a different cluster
+// skews every prediction: a profile from a slow-disk cluster makes the
+// optimizer over-weight IO avoidance everywhere. The data-flow
+// statistics, being properties of the job and its data, transfer as-is;
+// the cost factors are rescaled by the ratio of the two clusters'
+// hardware baselines, preserving each run's measured deviation from its
+// own cluster's baseline (interference, data layout) as a multiplier.
+
+// AdaptProfile returns a copy of p with its cost factors translated
+// from the cluster it was collected on to the target cluster.
+func AdaptProfile(p *profile.Profile, from, to *cluster.Cluster) (*profile.Profile, error) {
+	if p == nil {
+		return nil, fmt.Errorf("whatif: nil profile")
+	}
+	if from == nil || to == nil {
+		return nil, fmt.Errorf("whatif: AdaptProfile needs both clusters")
+	}
+	out := p.Clone()
+
+	scale := func(factors map[string]float64, name string, fromBase, toBase float64) {
+		v, ok := factors[name]
+		if !ok || fromBase <= 0 {
+			return
+		}
+		// v = fromBase * deviation; carry the deviation to the target.
+		factors[name] = toBase * (v / fromBase)
+	}
+
+	for _, side := range []map[string]float64{out.Map.CostFactors, out.Reduce.CostFactors} {
+		scale(side, profile.ReadHDFSIOCost, from.ReadHDFSNsPerByte, to.ReadHDFSNsPerByte)
+		scale(side, profile.WriteHDFSIOCost, from.WriteHDFSNsPerByte, to.WriteHDFSNsPerByte)
+		scale(side, profile.ReadLocalIOCost, from.ReadLocalNsPerByte, to.ReadLocalNsPerByte)
+		scale(side, profile.WriteLocalIOCost, from.WriteLocalNsPerByte, to.WriteLocalNsPerByte)
+		scale(side, profile.NetworkCost, from.NetworkNsPerByte, to.NetworkNsPerByte)
+		scale(side, profile.MapCPUCost, from.CPUNsPerStep, to.CPUNsPerStep)
+		scale(side, profile.CombineCPUCost, from.CPUNsPerStep, to.CPUNsPerStep)
+		scale(side, profile.ReduceCPUCost, from.CPUNsPerStep, to.CPUNsPerStep)
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package whatif
+
+import (
+	"math"
+	"testing"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/conf"
+	"pstorm/internal/engine"
+	"pstorm/internal/profile"
+	"pstorm/internal/workloads"
+)
+
+// slowCluster is a smaller, slower environment than Default16: half the
+// workers, disks at half the throughput, a slower network.
+func slowCluster() *cluster.Cluster {
+	c := cluster.Default16()
+	c.Name = "ec2-small-8"
+	c.Workers = 7
+	c.ReadHDFSNsPerByte *= 2
+	c.WriteHDFSNsPerByte *= 2
+	c.ReadLocalNsPerByte *= 2
+	c.WriteLocalNsPerByte *= 2
+	c.NetworkNsPerByte *= 1.5
+	c.CPUNsPerStep *= 1.4
+	return c
+}
+
+func TestAdaptProfileRescalesCostFactors(t *testing.T) {
+	slow := slowCluster()
+	fast := cluster.Default16()
+	spec, _ := workloads.JobByName("wordcount")
+	ds, _ := workloads.DatasetByName("randomtext-1g")
+	eng := engine.New(slow, 42)
+	cfg := conf.Default()
+	cfg.UseCombiner = true
+	run, err := eng.Run(spec, ds, cfg, engine.RunOptions{Profiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := run.Profile
+
+	adapted, err := AdaptProfile(foreign, slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The factor-of-two disk slowdown is removed, the run's own deviation
+	// from baseline is preserved.
+	ratio := foreign.Map.CostFactors[profile.ReadHDFSIOCost] / adapted.Map.CostFactors[profile.ReadHDFSIOCost]
+	if math.Abs(ratio-2) > 1e-9 {
+		t.Errorf("HDFS read cost rescaled by %v, want exactly 2", ratio)
+	}
+	cpuRatio := foreign.Map.CostFactors[profile.MapCPUCost] / adapted.Map.CostFactors[profile.MapCPUCost]
+	if math.Abs(cpuRatio-1.4) > 1e-9 {
+		t.Errorf("CPU cost rescaled by %v, want 1.4", cpuRatio)
+	}
+	// Data flow is untouched.
+	if adapted.Map.DataFlow[profile.MapPairsSel] != foreign.Map.DataFlow[profile.MapPairsSel] {
+		t.Error("adaptation must not touch data-flow statistics")
+	}
+	// The donor profile is not mutated.
+	if foreign.Map.CostFactors[profile.ReadHDFSIOCost] == adapted.Map.CostFactors[profile.ReadHDFSIOCost] {
+		t.Error("AdaptProfile mutated its input")
+	}
+}
+
+// TestAdaptationImprovesCrossClusterPrediction is the §7.2.3 payoff: a
+// profile collected on the slow cluster predicts runtimes on the fast
+// cluster far better after adaptation.
+func TestAdaptationImprovesCrossClusterPrediction(t *testing.T) {
+	slow := slowCluster()
+	fast := cluster.Default16()
+	spec, _ := workloads.JobByName("cooccurrence-pairs")
+	ds, _ := workloads.DatasetByName("randomtext-1g")
+	cfg := conf.Default()
+	cfg.UseCombiner = true
+
+	slowEng := engine.New(slow, 42)
+	foreignRun, err := slowEng.Run(spec, ds, cfg, engine.RunOptions{Profiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastEng := engine.New(fast, 43)
+	nativeRun, err := fastEng.Run(spec, ds, cfg, engine.RunOptions{Profiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := nativeRun.RuntimeMs / 1.3 // remove instrumentation overhead
+
+	raw, err := PredictRuntime(foreignRun.Profile, ds.NominalBytes, fast, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapted, err := AdaptProfile(foreignRun.Profile, slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptedMs, err := PredictRuntime(adapted, ds.NominalBytes, fast, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawErr := math.Abs(raw-truth) / truth
+	adaptedErr := math.Abs(adaptedMs-truth) / truth
+	if adaptedErr >= rawErr {
+		t.Errorf("adaptation did not help: raw err %.2f, adapted err %.2f (truth %.0f, raw %.0f, adapted %.0f)",
+			rawErr, adaptedErr, truth, raw, adaptedMs)
+	}
+	if adaptedErr > 0.5 {
+		t.Errorf("adapted prediction still %v%% off", int(adaptedErr*100))
+	}
+}
+
+func TestAdaptProfileErrors(t *testing.T) {
+	if _, err := AdaptProfile(nil, cluster.Default16(), cluster.Default16()); err == nil {
+		t.Error("nil profile accepted")
+	}
+	p := &profile.Profile{Map: profile.NewSide(), Reduce: profile.NewSide()}
+	if _, err := AdaptProfile(p, nil, cluster.Default16()); err == nil {
+		t.Error("nil source cluster accepted")
+	}
+}

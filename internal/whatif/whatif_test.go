@@ -1,0 +1,147 @@
+package whatif
+
+import (
+	"math"
+	"testing"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/conf"
+	"pstorm/internal/data"
+	"pstorm/internal/engine"
+	"pstorm/internal/workloads"
+)
+
+func collect(t *testing.T, jobName, dsName string, seed int64) (*engine.Engine, *data.Dataset, *enginePair) {
+	t.Helper()
+	cl := cluster.Default16()
+	eng := engine.New(cl, seed)
+	spec, err := workloads.JobByName(jobName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := workloads.DatasetByName(dsName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := conf.Default()
+	cfg.UseCombiner = spec.HasCombiner()
+	run, err := eng.Run(spec, ds, cfg, engine.RunOptions{Profiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ds, &enginePair{run: run, cfg: cfg}
+}
+
+type enginePair struct {
+	run *engine.RunResult
+	cfg conf.Config
+}
+
+// TestPredictionTracksObservedRuntime: the What-If engine, given a
+// job's own complete profile and the same <d, r, c>, must predict a
+// runtime close to the simulated observation (modulo profiling overhead
+// and node noise).
+func TestPredictionTracksObservedRuntime(t *testing.T) {
+	for _, job := range []string{"wordcount", "cooccurrence-pairs", "sort"} {
+		dsName := "wiki-35g"
+		if job == "sort" {
+			dsName = "tera-1g"
+		}
+		eng, ds, p := collect(t, job, dsName, 42)
+		pred, err := PredictRuntime(p.run.Profile, ds.NominalBytes, eng.Cluster, p.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The profiled observation carries the 1.3x instrumentation
+		// slowdown; compare against the unprofiled expectation.
+		observed := p.run.RuntimeMs / 1.3
+		ratio := pred / observed
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s: prediction %v vs observed %v (ratio %.2f) — out of tolerance",
+				job, pred, observed, ratio)
+		}
+	}
+}
+
+func TestPredictionRespondsToReducerCount(t *testing.T) {
+	eng, ds, p := collect(t, "cooccurrence-pairs", "wiki-35g", 7)
+	one := p.cfg
+	many := p.cfg
+	many.ReduceTasks = 27
+	p1, err := PredictRuntime(p.run.Profile, ds.NominalBytes, eng.Cluster, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p27, err := PredictRuntime(p.run.Profile, ds.NominalBytes, eng.Cluster, many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p27 >= p1 {
+		t.Errorf("27 reducers predicted %v >= 1 reducer %v for a shuffle-heavy job", p27, p1)
+	}
+	if p1/p27 < 2 {
+		t.Errorf("reducer speedup prediction %.2fx too small for co-occurrence", p1/p27)
+	}
+}
+
+func TestPredictionScalesWithInputSize(t *testing.T) {
+	eng, ds, p := collect(t, "wordcount", "wiki-35g", 7)
+	small, err := PredictRuntime(p.run.Profile, ds.NominalBytes/8, eng.Cluster, p.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := PredictRuntime(p.run.Profile, ds.NominalBytes, eng.Cluster, p.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small >= big {
+		t.Errorf("1/8 input predicted %v >= full input %v", small, big)
+	}
+}
+
+func TestPredictionDeterministic(t *testing.T) {
+	eng, ds, p := collect(t, "wordcount", "wiki-35g", 7)
+	a, _ := PredictRuntime(p.run.Profile, ds.NominalBytes, eng.Cluster, p.cfg)
+	b, _ := PredictRuntime(p.run.Profile, ds.NominalBytes, eng.Cluster, p.cfg)
+	if a != b {
+		t.Errorf("What-If predictions differ: %v vs %v", a, b)
+	}
+}
+
+func TestPredictDefaultsToProfileInput(t *testing.T) {
+	eng, ds, p := collect(t, "wordcount", "wiki-35g", 7)
+	explicit, err := Predict(Question{Profile: p.run.Profile, InputBytes: ds.NominalBytes, Cluster: eng.Cluster, Config: p.cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	implicit, err := Predict(Question{Profile: p.run.Profile, Cluster: eng.Cluster, Config: p.cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(explicit.RuntimeMs-implicit.RuntimeMs) > 1e-9 {
+		t.Errorf("implicit input size gave %v, explicit %v", implicit.RuntimeMs, explicit.RuntimeMs)
+	}
+	if implicit.NumMapTasks != ds.Splits() {
+		t.Errorf("NumMapTasks = %d, want %d", implicit.NumMapTasks, ds.Splits())
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	eng, _, p := collect(t, "wordcount", "wiki-35g", 7)
+	if _, err := Predict(Question{Profile: nil, Cluster: eng.Cluster, Config: p.cfg}); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if _, err := Predict(Question{Profile: p.run.Profile, Cluster: nil, Config: p.cfg}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	bad := p.cfg
+	bad.ReduceTasks = 0
+	if _, err := Predict(Question{Profile: p.run.Profile, Cluster: eng.Cluster, Config: bad}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	orphan := p.run.Profile.Clone()
+	orphan.InputBytes = 0
+	if _, err := Predict(Question{Profile: orphan, Cluster: eng.Cluster, Config: p.cfg}); err == nil {
+		t.Error("profile without input size and no explicit size accepted")
+	}
+}

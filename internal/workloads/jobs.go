@@ -1,0 +1,445 @@
+// Package workloads defines the benchmark of Table 6.1: the MapReduce
+// jobs (written in the jobdsl language) and the datasets they run on.
+// Job code deliberately shares components across jobs — the word count,
+// word co-occurrence, and bigram relative frequency jobs all reuse the
+// same summing combiner/reducer, exactly the kind of reuse inside an
+// organization that PStorM's matcher exploits.
+package workloads
+
+import (
+	"strconv"
+
+	"pstorm/internal/mrjob"
+)
+
+// Shared summing reducer/combiner source, appended to the jobs that
+// reuse it (word count, co-occurrence pairs, bigram relative frequency,
+// frequent itemset passes, several PigMix queries).
+const sumReduceSrc = `
+func combine(key, values) {
+	let sum = 0;
+	for (let i = 0; i < len(values); i = i + 1) {
+		sum = sum + toint(values[i]);
+	}
+	emit(key, sum);
+}
+
+func reduce(key, values) {
+	let sum = 0;
+	for (let i = 0; i < len(values); i = i + 1) {
+		sum = sum + toint(values[i]);
+	}
+	emit(key, sum);
+}
+`
+
+// WordCount counts word occurrences (Algorithm 1 of the paper).
+func WordCount() *mrjob.Spec {
+	return &mrjob.Spec{
+		Name: "wordcount",
+		Source: `
+func map(key, line) {
+	let words = tokenize(line);
+	for (let i = 0; i < len(words); i = i + 1) {
+		emit(lower(words[i]), 1);
+	}
+}
+` + sumReduceSrc,
+		InFormatter: "TextInputFormat", OutFormatter: "TextOutputFormat",
+		Mapper: "TokenCounterMapper", Reducer: "IntSumReducer", Combiner: "IntSumReducer",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "Text", MapOutVal: "IntWritable",
+		RedOutKey: "Text", RedOutVal: "IntWritable",
+		CombinerAssociative: true,
+	}
+}
+
+// CoOccurrencePairs counts co-occurring word pairs inside a sliding
+// window (Algorithm 2). The window size is a user parameter (§7.2.1).
+func CoOccurrencePairs(window int) *mrjob.Spec {
+	return &mrjob.Spec{
+		Name: "cooccurrence-pairs",
+		Source: `
+func map(key, line) {
+	let window = toint(param("window"));
+	let words = tokenize(line);
+	for (let i = 0; i < len(words); i = i + 1) {
+		if (len(words[i]) > 0) {
+			let hi = min(i + window, len(words) - 1);
+			for (let j = i + 1; j <= hi; j = j + 1) {
+				emit(lower(words[i]) + ":" + lower(words[j]), 1);
+			}
+		}
+	}
+}
+` + sumReduceSrc,
+		InFormatter: "TextInputFormat", OutFormatter: "TextOutputFormat",
+		Mapper: "PairsOccurrenceMapper", Reducer: "IntSumReducer", Combiner: "IntSumReducer",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "PairOfStrings", MapOutVal: "IntWritable",
+		RedOutKey: "PairOfStrings", RedOutVal: "IntWritable",
+		CombinerAssociative: true,
+		Params:              map[string]string{"window": strconv.Itoa(window)},
+	}
+}
+
+// CoOccurrenceStripes is the stripes formulation: the map function
+// accumulates, per word, an associative array of its neighbours.
+func CoOccurrenceStripes(window int) *mrjob.Spec {
+	return &mrjob.Spec{
+		Name: "cooccurrence-stripes",
+		Source: `
+func map(key, line) {
+	let window = toint(param("window"));
+	let words = tokenize(line);
+	for (let i = 0; i < len(words); i = i + 1) {
+		if (len(words[i]) > 0) {
+			let stripe = newmap();
+			let hi = min(i + window, len(words) - 1);
+			for (let j = i + 1; j <= hi; j = j + 1) {
+				let w = lower(words[j]);
+				if (haskey(stripe, w)) {
+					put(stripe, w, toint(get(stripe, w)) + 1);
+				} else {
+					put(stripe, w, 1);
+				}
+			}
+			emit(lower(words[i]), tostr(stripe));
+		}
+	}
+}
+
+// mergestripe parses a serialized stripe "{a:1,b:2}" into acc.
+func mergestripe(acc, s) {
+	let body = substr(s, 1, len(s) - 1);
+	if (len(body) > 0) {
+		let entries = split(body, ",");
+		for (let i = 0; i < len(entries); i = i + 1) {
+			let kv = split(entries[i], ":");
+			let w = kv[0];
+			let n = toint(kv[1]);
+			if (haskey(acc, w)) {
+				put(acc, w, toint(get(acc, w)) + n);
+			} else {
+				put(acc, w, n);
+			}
+		}
+	}
+	return acc;
+}
+
+func combine(key, values) {
+	let acc = newmap();
+	for (let i = 0; i < len(values); i = i + 1) {
+		acc = mergestripe(acc, values[i]);
+	}
+	emit(key, tostr(acc));
+}
+
+func reduce(key, values) {
+	let acc = newmap();
+	for (let i = 0; i < len(values); i = i + 1) {
+		acc = mergestripe(acc, values[i]);
+	}
+	emit(key, tostr(acc));
+}
+`,
+		InFormatter: "TextInputFormat", OutFormatter: "TextOutputFormat",
+		Mapper: "StripesOccurrenceMapper", Reducer: "StripesReducer", Combiner: "StripesReducer",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "Text", MapOutVal: "HashMapWritable",
+		RedOutKey: "Text", RedOutVal: "HashMapWritable",
+		CombinerAssociative: true,
+		Params:              map[string]string{"window": strconv.Itoa(window)},
+	}
+}
+
+// BigramRelativeFrequency counts bigram frequencies relative to the
+// frequency of the first word (the pair-with-marginal pattern). With a
+// window of 2, its runtime behaviour closely tracks CoOccurrencePairs —
+// the paper's motivating example for profile reuse (Fig 1.3, §4.3).
+func BigramRelativeFrequency() *mrjob.Spec {
+	return &mrjob.Spec{
+		Name: "bigram-relfreq",
+		Source: `
+func map(key, line) {
+	let words = tokenize(line);
+	for (let i = 0; i + 1 < len(words); i = i + 1) {
+		let a = lower(words[i]);
+		let b = lower(words[i + 1]);
+		emit(a + ":" + b, 1);
+		emit(a + ":*", 1);
+	}
+}
+` + sumReduceSrc,
+		InFormatter: "TextInputFormat", OutFormatter: "TextOutputFormat",
+		Mapper: "BigramMapper", Reducer: "IntSumReducer", Combiner: "IntSumReducer",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "PairOfStrings", MapOutVal: "IntWritable",
+		RedOutKey: "PairOfStrings", RedOutVal: "FloatWritable",
+		CombinerAssociative: true,
+	}
+}
+
+// InvertedIndex builds word -> posting-list mappings.
+func InvertedIndex() *mrjob.Spec {
+	return &mrjob.Spec{
+		Name: "inverted-index",
+		Source: `
+func map(key, line) {
+	let docid = hash(key + "#" + line) % 10000;
+	let words = tokenize(line);
+	let tf = newmap();
+	for (let i = 0; i < len(words); i = i + 1) {
+		let w = lower(words[i]);
+		if (len(w) >= 4) {
+			if (haskey(tf, w)) {
+				put(tf, w, toint(get(tf, w)) + 1);
+			} else {
+				put(tf, w, 1);
+			}
+		}
+	}
+	let terms = keys(tf);
+	for (let i = 0; i < len(terms); i = i + 1) {
+		emit(terms[i], docid + ":" + get(tf, terms[i]));
+	}
+}
+
+func reduce(key, values) {
+	let postings = "";
+	for (let i = 0; i < len(values); i = i + 1) {
+		postings = postings + values[i] + " ";
+	}
+	emit(key, postings);
+}
+`,
+		InFormatter: "TextInputFormat", OutFormatter: "MapFileOutputFormat",
+		Mapper: "InvertedIndexMapper", Reducer: "PostingsReducer",
+		// Indexing mappers spend most of their time in tokenization and
+		// stemming library code, far heavier than the DSL step count.
+		MapCPUWeight: 40,
+		MapInKey:     "LongWritable", MapInVal: "Text",
+		MapOutKey: "Text", MapOutVal: "IntWritable",
+		RedOutKey: "Text", RedOutVal: "ArrayListWritable",
+	}
+}
+
+// Sort is the identity TeraSort-style job over 100-byte records.
+func Sort() *mrjob.Spec {
+	return &mrjob.Spec{
+		Name: "sort",
+		Source: `
+func map(key, line) {
+	let parts = split(line, "\t");
+	emit(parts[0], parts[1]);
+}
+
+func reduce(key, values) {
+	for (let i = 0; i < len(values); i = i + 1) {
+		emit(key, values[i]);
+	}
+}
+`,
+		InFormatter: "KeyValueTextInputFormat", OutFormatter: "TextOutputFormat",
+		Mapper: "IdentityMapper", Reducer: "IdentityReducer",
+		MapInKey: "Text", MapInVal: "Text",
+		MapOutKey: "Text", MapOutVal: "Text",
+		RedOutKey: "Text", RedOutVal: "Text",
+	}
+}
+
+// Join is a repartition join over TPC-H-like rows: every row contributes
+// its lineitem side, and one in three keys also carries an orders side.
+func Join() *mrjob.Spec {
+	return &mrjob.Spec{
+		Name: "join",
+		Source: `
+func map(key, line) {
+	let f = split(line, "|");
+	emit(f[0], "L|" + f[3] + "|" + f[4]);
+	if (toint(f[0]) % 3 == 0) {
+		emit(f[0], "O|" + f[1] + "|" + f[5]);
+	}
+}
+
+func reduce(key, values) {
+	let left = [];
+	let right = [];
+	for (let i = 0; i < len(values); i = i + 1) {
+		if (substr(values[i], 0, 1) == "L") {
+			left = append(left, values[i]);
+		} else {
+			right = append(right, values[i]);
+		}
+	}
+	for (let i = 0; i < len(left); i = i + 1) {
+		for (let j = 0; j < len(right); j = j + 1) {
+			emit(key, left[i] + "#" + right[j]);
+		}
+	}
+}
+`,
+		InFormatter: "CompositeInputFormat", OutFormatter: "TextOutputFormat",
+		Mapper: "TaggedJoinMapper", Reducer: "RepartitionJoinReducer",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "Text", MapOutVal: "TaggedWritable",
+		RedOutKey: "Text", RedOutVal: "Text",
+	}
+}
+
+// FrequentItemsets returns the three chained jobs of the Apriori-style
+// frequent itemset mining workload (the paper notes this job is "a
+// chain of three MR jobs" whose profiles have no twins in the store).
+func FrequentItemsets() []*mrjob.Spec {
+	pass1 := &mrjob.Spec{
+		Name: "fim-pass1",
+		Source: `
+func map(key, line) {
+	let items = tokenize(line);
+	for (let i = 0; i < len(items); i = i + 1) {
+		emit(items[i], 1);
+	}
+}
+` + sumReduceSrc,
+		InFormatter: "TextInputFormat", OutFormatter: "SequenceFileOutputFormat",
+		Mapper: "ItemCountMapper", Reducer: "IntSumReducer", Combiner: "IntSumReducer",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "Text", MapOutVal: "IntWritable",
+		RedOutKey: "Text", RedOutVal: "IntWritable",
+		CombinerAssociative: true,
+	}
+	pass2 := &mrjob.Spec{
+		Name: "fim-pass2",
+		Source: `
+func map(key, line) {
+	let items = sortlist(tokenize(line));
+	for (let i = 0; i < len(items); i = i + 1) {
+		for (let j = i + 1; j < len(items); j = j + 1) {
+			emit(items[i] + "," + items[j], 1);
+		}
+	}
+}
+` + sumReduceSrc,
+		InFormatter: "TextInputFormat", OutFormatter: "SequenceFileOutputFormat",
+		Mapper: "PairCandidateMapper", Reducer: "IntSumReducer", Combiner: "IntSumReducer",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "Text", MapOutVal: "IntWritable",
+		RedOutKey: "Text", RedOutVal: "IntWritable",
+		CombinerAssociative: true,
+	}
+	pass3 := &mrjob.Spec{
+		Name: "fim-pass3",
+		Source: `
+func map(key, line) {
+	let items = sortlist(tokenize(line));
+	let n = min(len(items), 8);
+	for (let i = 0; i < n; i = i + 1) {
+		for (let j = i + 1; j < n; j = j + 1) {
+			for (let k = j + 1; k < n; k = k + 1) {
+				emit(items[i] + "," + items[j] + "," + items[k], 1);
+			}
+		}
+	}
+}
+` + sumReduceSrc,
+		InFormatter: "TextInputFormat", OutFormatter: "SequenceFileOutputFormat",
+		Mapper: "TripleCandidateMapper", Reducer: "IntSumReducer", Combiner: "IntSumReducer",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "Text", MapOutVal: "IntWritable",
+		RedOutKey: "Text", RedOutVal: "IntWritable",
+		CombinerAssociative: true,
+	}
+	return []*mrjob.Spec{pass1, pass2, pass3}
+}
+
+// ItemCF groups ratings by user and pairs up co-rated items — the
+// item-based collaborative-filtering co-occurrence build.
+func ItemCF() *mrjob.Spec {
+	return &mrjob.Spec{
+		Name: "itemcf",
+		Source: `
+func map(key, line) {
+	let f = split(line, "::");
+	emit(f[0], f[1] + ":" + f[2]);
+}
+
+func reduce(key, values) {
+	for (let i = 0; i < len(values); i = i + 1) {
+		for (let j = i + 1; j < len(values); j = j + 1) {
+			emit(values[i] + "|" + values[j], 1);
+		}
+	}
+}
+`,
+		InFormatter: "TextInputFormat", OutFormatter: "SequenceFileOutputFormat",
+		Mapper: "UserVectorMapper", Reducer: "CooccurrenceReducer",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "VarLongWritable", MapOutVal: "VarLongWritable",
+		RedOutKey: "PairOfLongs", RedOutVal: "IntWritable",
+	}
+}
+
+// CloudBurst is the simplified seed-and-extend genome read-mapping job:
+// the map function emits k-mer seeds per read, the reduce function pairs
+// reads sharing a seed.
+func CloudBurst() *mrjob.Spec {
+	return &mrjob.Spec{
+		Name: "cloudburst",
+		Source: `
+func map(key, line) {
+	let f = split(line, "\t");
+	let read = f[1];
+	let k = 16;
+	for (let i = 0; i + k <= len(read); i = i + 8) {
+		emit(substr(read, i, i + k), f[0]);
+	}
+}
+
+func reduce(key, values) {
+	for (let i = 0; i < len(values); i = i + 1) {
+		for (let j = i + 1; j < len(values); j = j + 1) {
+			if (values[i] != values[j]) {
+				emit(values[i] + "|" + values[j], key);
+			}
+		}
+	}
+}
+`,
+		InFormatter: "SequenceFileInputFormat", OutFormatter: "SequenceFileOutputFormat",
+		Mapper: "MerMapper", Reducer: "AlignmentReducer",
+		// Seed extraction and alignment scoring are the CPU-heavy native
+		// kernels of CloudBurst.
+		MapCPUWeight: 10, ReduceCPUWeight: 25,
+		MapInKey: "IntWritable", MapInVal: "BytesWritable",
+		MapOutKey: "BytesWritable", MapOutVal: "BytesWritable",
+		RedOutKey: "Text", RedOutVal: "Text",
+	}
+}
+
+// Grep emits lines matching a user-provided pattern. It is not part of
+// Table 6.1 but supports the §7.2.1 user-parameter sensitivity study.
+func Grep(pattern string) *mrjob.Spec {
+	return &mrjob.Spec{
+		Name: "grep",
+		Source: `
+func map(key, line) {
+	if (contains(line, param("pattern"))) {
+		emit(param("pattern"), line);
+	}
+}
+
+func reduce(key, values) {
+	for (let i = 0; i < len(values); i = i + 1) {
+		emit(key, values[i]);
+	}
+}
+`,
+		InFormatter: "TextInputFormat", OutFormatter: "TextOutputFormat",
+		Mapper: "RegexMapper", Reducer: "IdentityReducer",
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: "Text", MapOutVal: "Text",
+		RedOutKey: "Text", RedOutVal: "Text",
+		Params: map[string]string{"pattern": pattern},
+	}
+}

@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pstorm/internal/mrjob"
+)
+
+// PigMix returns the PigMix-style query jobs. The paper's benchmark runs
+// the 17 PigMix queries; each compiles to one or more MapReduce jobs
+// whose mappers/reducers fall into a handful of relational shapes. We
+// implement the eight distinct shapes (projection+filter, group-count,
+// group-sum, distinct, string filter, order-by, composite-key rollup,
+// and global aggregate) — together they cover the plan shapes the Pig
+// compiler emits for the suite. Rows are tab-separated:
+// user \t action \t word \t num \t page.
+func PigMix() []*mrjob.Spec {
+	specs := []*mrjob.Spec{
+		pigmixSpec(1, "projection+filter", `
+func map(key, line) {
+	let f = split(line, "\t");
+	if (toint(f[1]) > 50) {
+		emit(f[4], f[0]);
+	}
+}
+
+func reduce(key, values) {
+	for (let i = 0; i < len(values); i = i + 1) {
+		emit(key, values[i]);
+	}
+}
+`, "PigMapOnlyFilter", "IdentityReducer", false),
+
+		pigmixSpec(2, "group-count", `
+func map(key, line) {
+	let f = split(line, "\t");
+	emit(f[0], 1);
+}
+`+sumReduceSrc, "PigGroupMapper", "IntSumReducer", true),
+
+		pigmixSpec(3, "group-sum", `
+func map(key, line) {
+	let f = split(line, "\t");
+	emit(f[4], toint(f[1]));
+}
+`+sumReduceSrc, "PigSumMapper", "LongSumReducer", true),
+
+		pigmixSpec(4, "distinct", `
+func map(key, line) {
+	let f = split(line, "\t");
+	emit(f[4] + "|" + f[0], 1);
+}
+
+func reduce(key, values) {
+	emit(key, 1);
+}
+`, "PigDistinctMapper", "DistinctReducer", false),
+
+		pigmixSpec(5, "string-filter", `
+func map(key, line) {
+	let f = split(line, "\t");
+	if (contains(f[2], "b") || contains(f[2], "c")) {
+		emit(f[2], f[3]);
+	}
+}
+
+func reduce(key, values) {
+	let n = 0;
+	for (let i = 0; i < len(values); i = i + 1) {
+		n = n + 1;
+	}
+	emit(key, n);
+}
+`, "PigFilterMapper", "CountReducer", false),
+
+		pigmixSpec(6, "order-by", `
+func map(key, line) {
+	let f = split(line, "\t");
+	let k = 1000000 + toint(f[3]);
+	emit(k, line);
+}
+
+func reduce(key, values) {
+	for (let i = 0; i < len(values); i = i + 1) {
+		emit(key, values[i]);
+	}
+}
+`, "PigOrderMapper", "IdentityReducer", false),
+
+		pigmixSpec(7, "composite-rollup", `
+func map(key, line) {
+	let f = split(line, "\t");
+	emit(f[0] + "|" + f[4], toint(f[1]));
+}
+`+sumReduceSrc, "PigRollupMapper", "IntSumReducer", true),
+
+		pigmixSpec(8, "global-aggregate", `
+func map(key, line) {
+	let f = split(line, "\t");
+	emit("total", toint(f[3]));
+}
+`+sumReduceSrc, "PigGlobalAggMapper", "LongSumReducer", true),
+	}
+	return specs
+}
+
+// pigmixTypes gives each query shape the intermediate and output types
+// the Pig compiler would emit for it; distinct schemas are part of what
+// makes the queries distinguishable statically.
+var pigmixTypes = map[int][4]string{
+	1: {"Text", "Text", "Text", "Text"},
+	2: {"Text", "IntWritable", "Text", "IntWritable"},
+	3: {"Text", "LongWritable", "Text", "LongWritable"},
+	4: {"PairOfStrings", "NullWritable", "PairOfStrings", "IntWritable"},
+	5: {"Text", "VarIntWritable", "Text", "IntWritable"},
+	6: {"LongWritable", "Text", "LongWritable", "Text"},
+	7: {"PairOfStrings", "IntWritable", "PairOfStrings", "IntWritable"},
+	8: {"NullWritable", "LongWritable", "NullWritable", "LongWritable"},
+}
+
+func pigmixSpec(n int, shape, src, mapper, reducer string, combiner bool) *mrjob.Spec {
+	ty := pigmixTypes[n]
+	s := &mrjob.Spec{
+		Name:        fmt.Sprintf("pigmix-l%d", n),
+		Source:      src,
+		InFormatter: "PigTextInputFormat", OutFormatter: "PigTextOutputFormat",
+		Mapper: mapper, Reducer: reducer,
+		MapInKey: "LongWritable", MapInVal: "Text",
+		MapOutKey: ty[0], MapOutVal: ty[1],
+		RedOutKey: ty[2], RedOutVal: ty[3],
+		Params: map[string]string{"shape": shape},
+	}
+	if combiner {
+		s.Combiner = reducer
+		s.CombinerAssociative = true
+	}
+	return s
+}
