@@ -2,14 +2,17 @@
 //
 // Usage:
 //
-//	pstorm-bench [-seed N] [-run id[,id...]] [-list]
+//	pstorm-bench [-seed N] [-run id[,id...]] [-list] [-json]
 //
 // With no -run flag every experiment runs, in the paper's order. The
 // experiment IDs follow the paper (table6.1, fig6.3, ...) plus the
-// ablations (ablation-pushdown, ...).
+// ablations (ablation-pushdown, ...) and the systems experiments
+// (dstore-scale). -json additionally writes each experiment's tables to
+// BENCH_<id>.json in the current directory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +26,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "experiment seed (fixed seed = identical tables)")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	asJSON := flag.Bool("json", false, "also write each experiment's tables to BENCH_<id>.json")
 	flag.Parse()
 
 	if *list {
@@ -60,9 +64,36 @@ func main() {
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
+		if *asJSON {
+			name := "BENCH_" + r.ID + ".json"
+			if err := writeJSON(name, *seed, r, tables); err != nil {
+				fmt.Fprintf(os.Stderr, "pstorm-bench: writing %s: %v\n", name, err)
+				failed = true
+			} else {
+				fmt.Printf("(wrote %s)\n", name)
+			}
+		}
 		fmt.Printf("(%s took %.1fs)\n\n", r.ID, time.Since(start).Seconds())
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// benchJSON is the machine-readable form of one experiment's output.
+type benchJSON struct {
+	Experiment string         `json:"experiment"`
+	Desc       string         `json:"desc"`
+	Seed       int64          `json:"seed"`
+	Tables     []*bench.Table `json:"tables"`
+}
+
+func writeJSON(name string, seed int64, r bench.Runner, tables []*bench.Table) error {
+	raw, err := json.MarshalIndent(benchJSON{
+		Experiment: r.ID, Desc: r.Desc, Seed: seed, Tables: tables,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(name, append(raw, '\n'), 0o644)
 }

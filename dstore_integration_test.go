@@ -1,0 +1,55 @@
+package pstorm_test
+
+import (
+	"testing"
+
+	"pstorm"
+)
+
+// TestStoreServersBackend runs the quickstart flow against a profile
+// store backed by an in-process dstore cluster (3 region servers,
+// replication 2) instead of a single hstore: submit once profiled, then
+// watch the second submission get tuned from the replicated store.
+func TestStoreServersBackend(t *testing.T) {
+	sys, err := pstorm.Open(pstorm.Options{Seed: 42, StoreServers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.StoreCluster() == nil {
+		t.Fatal("StoreCluster() is nil for a StoreServers system")
+	}
+
+	job := pstorm.CoOccurrencePairs(2)
+	ds, err := pstorm.DatasetByName("randomtext-1g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sys.Submit(job, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Tuned || !first.ProfileStored {
+		t.Fatalf("first submission: %s", pstorm.Describe(first))
+	}
+	second, err := sys.Submit(job, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Tuned {
+		t.Fatalf("second submission not tuned: %s", pstorm.Describe(second))
+	}
+
+	// The profile rows live sharded across region servers; the cluster
+	// must report more than one server holding primaries.
+	status := sys.StoreCluster().Master.Status()
+	withPrimaries := 0
+	for _, s := range status {
+		if s.Primaries > 0 {
+			withPrimaries++
+		}
+	}
+	if withPrimaries < 2 {
+		t.Fatalf("profile table not sharded: %+v", status)
+	}
+}

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pstorm/internal/core"
+	"pstorm/internal/dstore"
+	"pstorm/internal/hstore"
+)
+
+// Feature-type prefixes of the Table 5.1 row-key layout, used to shape
+// the synthetic workload like real PutProfile traffic.
+var dstoreFtypes = []string{"costmap", "costred", "dynmap", "dynred", "meta", "statmap", "statred"}
+
+const (
+	dstoreJobs    = 60  // profiles written per configuration (7 rows each)
+	dstoreGets    = 400 // random point reads per configuration
+	dstoreValueSz = 160 // bytes per feature cell
+)
+
+// RunDStoreScale measures the sharded profile store at 1, 2, and 4
+// region servers: write and read throughput through the routing client,
+// bytes shipped by a region move, and — with more than one server —
+// recovery time after the primary of a region is killed, asserting no
+// acked row is lost. Row counts and bytes are deterministic under the
+// seed; the time columns measure this machine.
+func RunDStoreScale(e *Env) ([]*Table, error) {
+	t := &Table{
+		ID:    "dstore-scale",
+		Title: "Distributed profile store: scaling and failover",
+		Columns: []string{"servers", "puts/s", "gets/s", "scanrows/s", "scan MB",
+			"move bytes", "recover ms", "rows", "lost"},
+		Notes: []string{
+			fmt.Sprintf("%d synthetic profiles x %d rows, %d point gets per configuration; replication 2",
+				dstoreJobs, len(dstoreFtypes), dstoreGets),
+			"recover ms: kill the primary of the meta region, time until reads resume through the promoted follower",
+		},
+	}
+	for _, n := range []int{1, 2, 4} {
+		row, err := runDStoreConfig(e.Seed, n)
+		if err != nil {
+			return nil, fmt.Errorf("bench: dstore-scale servers=%d: %w", n, err)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}, nil
+}
+
+func runDStoreConfig(seed int64, servers int) ([]string, error) {
+	c, err := dstore.StartLocalCluster(dstore.LocalOptions{
+		Servers:           servers,
+		Replication:       2,
+		HeartbeatTimeout:  150 * time.Millisecond,
+		HeartbeatInterval: 40 * time.Millisecond,
+		Background:        true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	cl := c.Client()
+	cl.RetryBase = 2 * time.Millisecond
+	if err := cl.CreateTable(core.TableName); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	val := func() []byte {
+		b := make([]byte, dstoreValueSz)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return b
+	}
+
+	// Write phase: one batch per profile, shaped like PutProfile.
+	totalRows := 0
+	start := time.Now()
+	for j := 0; j < dstoreJobs; j++ {
+		jobID := fmt.Sprintf("job-%04d", j)
+		rows := make([]hstore.Row, 0, len(dstoreFtypes))
+		for _, ft := range dstoreFtypes {
+			rows = append(rows, hstore.Row{
+				Key:     ft + "/" + jobID,
+				Columns: map[string][]byte{"f": val()},
+			})
+		}
+		if err := cl.BatchPut(core.TableName, rows); err != nil {
+			return nil, err
+		}
+		totalRows += len(rows)
+	}
+	putsPerSec := float64(totalRows) / time.Since(start).Seconds()
+
+	// Read phase.
+	start = time.Now()
+	for i := 0; i < dstoreGets; i++ {
+		ft := dstoreFtypes[rng.Intn(len(dstoreFtypes))]
+		jobID := fmt.Sprintf("job-%04d", rng.Intn(dstoreJobs))
+		if _, ok, err := cl.Get(core.TableName, ft+"/"+jobID); err != nil || !ok {
+			return nil, fmt.Errorf("get %s/%s: ok=%v err=%v", ft, jobID, ok, err)
+		}
+	}
+	getsPerSec := float64(dstoreGets) / time.Since(start).Seconds()
+
+	// Scan phase, with per-phase transfer counters: reset first so the
+	// bytes column is the scans' traffic alone, not the gets'.
+	if err := cl.ResetStats(); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	scanned := 0
+	for _, ft := range dstoreFtypes {
+		rows, err := cl.Scan(core.TableName, ft+"/", ft+"0", nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		scanned += len(rows)
+	}
+	scanPerSec := float64(scanned) / time.Since(start).Seconds()
+	st, err := cl.Stats()
+	if err != nil {
+		return nil, err
+	}
+
+	// Move: ship one region to a server holding no copy (bytes > 0 needs
+	// at least 3 servers; with 2 every server already follows).
+	var moved int64
+	if servers > 1 {
+		m, err := cl.Meta()
+		if err != nil {
+			return nil, err
+		}
+		g := m.Tables[core.TableName][0]
+		holds := map[string]bool{g.Primary: true}
+		for _, f := range g.Followers {
+			holds[f] = true
+		}
+		target := g.Followers[0]
+		for _, p := range m.Servers {
+			if !holds[p.ID] {
+				target = p.ID
+				break
+			}
+		}
+		if moved, err = c.Master.MoveRegion(core.TableName, g.ID, target); err != nil {
+			return nil, err
+		}
+	}
+
+	// Failover: kill the primary of the meta region and time until a row
+	// it owned reads again through the promoted follower.
+	recoverMs := "n/a"
+	if servers > 1 {
+		m, err := cl.Meta()
+		if err != nil {
+			return nil, err
+		}
+		probe := "meta/job-0000"
+		g, errRoute := routeOf(m, core.TableName, probe)
+		if errRoute != nil {
+			return nil, errRoute
+		}
+		c.KillServer(g.Primary)
+		start = time.Now()
+		for {
+			if _, ok, err := cl.Get(core.TableName, probe); err == nil && ok {
+				break
+			}
+			if time.Since(start) > 10*time.Second {
+				return nil, fmt.Errorf("no recovery after killing %s", g.Primary)
+			}
+		}
+		recoverMs = fmt.Sprintf("%.0f", float64(time.Since(start).Microseconds())/1000)
+	}
+
+	// Zero lost rows: every acked row must still be visible.
+	after := 0
+	for _, ft := range dstoreFtypes {
+		rows, err := cl.Scan(core.TableName, ft+"/", ft+"0", nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		after += len(rows)
+	}
+	return []string{
+		fmt.Sprintf("%d", servers),
+		fmtF(putsPerSec, 0),
+		fmtF(getsPerSec, 0),
+		fmtF(scanPerSec, 0),
+		fmtF(float64(st.BytesReturned)/(1<<20), 2),
+		fmt.Sprintf("%d", moved),
+		recoverMs,
+		fmt.Sprintf("%d", after),
+		fmt.Sprintf("%d", totalRows-after),
+	}, nil
+}
+
+// routeOf finds the region owning row in a META snapshot.
+func routeOf(m dstore.Meta, table, row string) (dstore.RegionInfo, error) {
+	for _, g := range m.Tables[table] {
+		if g.StartKey <= row && (g.EndKey == "" || row < g.EndKey) {
+			return g, nil
+		}
+	}
+	return dstore.RegionInfo{}, fmt.Errorf("bench: no region for %s/%q", table, row)
+}

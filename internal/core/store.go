@@ -30,17 +30,30 @@ const (
 	profileColumn = "profile"
 )
 
+// KV is the column-store surface the profile store needs. Both
+// *hstore.Client (single server) and *dstore.Client (sharded,
+// replicated cluster) satisfy it, so one Store implementation serves
+// every deployment shape.
+type KV interface {
+	CreateTable(table string) error
+	Put(table, row, column string, value []byte) error
+	PutRow(table string, r hstore.Row) error
+	Get(table, row string) (hstore.Row, bool, error)
+	Scan(table, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
+	DeleteRow(table, row string) error
+}
+
 // Store is the PStorM profile store.
 type Store struct {
-	client *hstore.Client
+	client KV
 
 	// mu serializes bounds maintenance (read-modify-write).
 	mu sync.Mutex
 }
 
 // NewStore opens (creating if necessary) the profile store on the given
-// hstore client.
-func NewStore(client *hstore.Client) (*Store, error) {
+// column-store client.
+func NewStore(client KV) (*Store, error) {
 	if err := client.CreateTable(TableName); err != nil {
 		// An existing table is fine: the store is shared across runs.
 		if _, _, gerr := client.Get(TableName, "!probe"); gerr != nil {

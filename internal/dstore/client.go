@@ -1,0 +1,388 @@
+package dstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstorm/internal/hstore"
+)
+
+// Client is the routing client: it caches META, routes every operation
+// to the primary of the owning region, and on a stale route
+// (NotServing, dead server, failed replication) refreshes META from the
+// master and retries with exponential backoff. Its method set matches
+// hstore.Client, so core.NewStore accepts either.
+type Client struct {
+	master MasterConn
+	reg    *Registry
+
+	// MaxAttempts bounds the retry loop per operation (default 12).
+	MaxAttempts int
+	// RetryBase is the first backoff step; step k sleeps
+	// min(RetryBase<<k, 100ms) (default 1ms). The schedule is
+	// deterministic — no jitter — so tests and benchmarks reproduce.
+	RetryBase time.Duration
+
+	mu     sync.RWMutex
+	meta   Meta
+	loaded bool
+
+	retries atomic.Int64
+}
+
+// NewClient returns a routing client speaking to the master and
+// resolving region servers through reg.
+func NewClient(master MasterConn, reg *Registry) *Client {
+	return &Client{master: master, reg: reg}
+}
+
+// Retries reports how many times operations re-routed after a
+// retryable failure — the observable cost of moves and failovers.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 12
+}
+
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.RetryBase
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base << uint(attempt)
+	if max := 100 * time.Millisecond; d > max {
+		d = max
+	}
+	return d
+}
+
+// Refresh refetches META from the master.
+func (c *Client) Refresh() error {
+	meta, err := c.master.Meta()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.meta = meta
+	c.loaded = true
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Client) invalidate() {
+	c.mu.Lock()
+	c.loaded = false
+	c.mu.Unlock()
+}
+
+func (c *Client) cachedMeta() (Meta, error) {
+	c.mu.RLock()
+	if c.loaded {
+		m := c.meta
+		c.mu.RUnlock()
+		return m, nil
+	}
+	c.mu.RUnlock()
+	if err := c.Refresh(); err != nil {
+		return Meta{}, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.meta, nil
+}
+
+// Meta returns the client's current routing view (refreshing if empty).
+func (c *Client) Meta() (Meta, error) { return c.cachedMeta() }
+
+func (c *Client) peerByID(m Meta, id string) (Peer, error) {
+	for _, p := range m.Servers {
+		if p.ID == id {
+			return p, nil
+		}
+	}
+	return Peer{}, fmt.Errorf("dstore: META names unknown server %q", id)
+}
+
+// route finds the region owning row and a connection to its primary.
+func (c *Client) route(table, row string) (RegionInfo, ServerConn, error) {
+	m, err := c.cachedMeta()
+	if err != nil {
+		return RegionInfo{}, nil, err
+	}
+	g, err := c.routeIn(m, table, row)
+	if err != nil {
+		return RegionInfo{}, nil, err
+	}
+	p, err := c.peerByID(m, g.Primary)
+	if err != nil {
+		return RegionInfo{}, nil, err
+	}
+	conn, err := c.reg.Resolve(p)
+	if err != nil {
+		return RegionInfo{}, nil, err
+	}
+	return g, conn, nil
+}
+
+// withRetry runs op, refreshing META and backing off after each
+// retryable failure.
+func (c *Client) withRetry(op func() error) error {
+	var err error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if err = op(); err == nil || !retryable(err) {
+			return err
+		}
+		c.retries.Add(1)
+		c.invalidate()
+		time.Sleep(c.backoff(attempt))
+	}
+	return fmt.Errorf("dstore: giving up after %d attempts: %w", c.maxAttempts(), err)
+}
+
+// CreateTable asks the master to lay out a new table.
+func (c *Client) CreateTable(table string) error {
+	err := c.master.CreateTable(table)
+	c.invalidate()
+	return err
+}
+
+// Put writes one cell through the owning primary.
+func (c *Client) Put(table, row, column string, value []byte) error {
+	return c.withRetry(func() error {
+		_, conn, err := c.route(table, row)
+		if err != nil {
+			return err
+		}
+		return conn.Put(table, row, column, value)
+	})
+}
+
+// PutRow writes all columns of a row in one replication round.
+func (c *Client) PutRow(table string, r hstore.Row) error {
+	return c.withRetry(func() error {
+		_, conn, err := c.route(table, r.Key)
+		if err != nil {
+			return err
+		}
+		return conn.BatchPut(table, []hstore.Row{r})
+	})
+}
+
+// BatchPut writes many rows, grouped per primary server so each server
+// sees one batch per round; failed groups are retried with a refreshed
+// META view until every row is acked or attempts run out.
+func (c *Client) BatchPut(table string, rows []hstore.Row) error {
+	remaining := rows
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		m, err := c.cachedMeta()
+		if err != nil {
+			return err
+		}
+		groups := make(map[string][]hstore.Row)
+		for _, r := range remaining {
+			g, err := c.routeIn(m, table, r.Key)
+			if err != nil {
+				return err
+			}
+			groups[g.Primary] = append(groups[g.Primary], r)
+		}
+		var failed []hstore.Row
+		ids := make([]string, 0, len(groups))
+		for id := range groups {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			p, err := c.peerByID(m, id)
+			if err != nil {
+				return err
+			}
+			conn, err := c.reg.Resolve(p)
+			if err != nil {
+				return err
+			}
+			if err := conn.BatchPut(table, groups[id]); err != nil {
+				if !retryable(err) {
+					return err
+				}
+				lastErr = err
+				failed = append(failed, groups[id]...)
+			}
+		}
+		if len(failed) == 0 {
+			return nil
+		}
+		remaining = failed
+		c.retries.Add(1)
+		c.invalidate()
+		time.Sleep(c.backoff(attempt))
+	}
+	return fmt.Errorf("dstore: batch put gave up with %d rows unacked: %w", len(remaining), lastErr)
+}
+
+// routeIn locates the owning region in an already-fetched META view.
+func (c *Client) routeIn(m Meta, table, row string) (RegionInfo, error) {
+	regions, ok := m.Tables[table]
+	if !ok {
+		return RegionInfo{}, fmt.Errorf("dstore: table %q does not exist", table)
+	}
+	i := sort.Search(len(regions), func(i int) bool {
+		g := regions[i]
+		return g.EndKey == "" || row < g.EndKey
+	})
+	if i >= len(regions) {
+		return RegionInfo{}, fmt.Errorf("dstore: no region for %s/%q", table, row)
+	}
+	return regions[i], nil
+}
+
+// Get fetches one row.
+func (c *Client) Get(table, row string) (hstore.Row, bool, error) {
+	var out hstore.Row
+	var found bool
+	err := c.withRetry(func() error {
+		_, conn, err := c.route(table, row)
+		if err != nil {
+			return err
+		}
+		out, found, err = conn.Get(table, row)
+		return err
+	})
+	return out, found, err
+}
+
+// DeleteRow tombstones every column of the row.
+func (c *Client) DeleteRow(table, row string) error {
+	return c.withRetry(func() error {
+		_, conn, err := c.route(table, row)
+		if err != nil {
+			return err
+		}
+		return conn.DeleteRow(table, row)
+	})
+}
+
+// Scan returns the rows of [start, end) matching the filter, fanning
+// out region by region in key order with the filter pushed down to each
+// primary. A stale route anywhere restarts the whole scan against fresh
+// META (partial fan-out results are discarded, never returned).
+func (c *Client) Scan(table, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	var out []hstore.Row
+	err := c.withRetry(func() error {
+		out = out[:0]
+		m, err := c.cachedMeta()
+		if err != nil {
+			return err
+		}
+		regions, ok := m.Tables[table]
+		if !ok {
+			return fmt.Errorf("dstore: table %q does not exist", table)
+		}
+		for _, g := range regions {
+			if end != "" && g.StartKey >= end {
+				break
+			}
+			if g.EndKey != "" && g.EndKey <= start {
+				continue
+			}
+			s, e := start, end
+			if s < g.StartKey {
+				s = g.StartKey
+			}
+			if g.EndKey != "" && (e == "" || e > g.EndKey) {
+				e = g.EndKey
+			}
+			p, err := c.peerByID(m, g.Primary)
+			if err != nil {
+				return err
+			}
+			conn, err := c.reg.Resolve(p)
+			if err != nil {
+				return err
+			}
+			rem := 0
+			if limit > 0 {
+				rem = limit - len(out)
+			}
+			rows, err := conn.Scan(table, g.ID, s, e, f, rem)
+			if err != nil {
+				return err
+			}
+			out = append(out, rows...)
+			if limit > 0 && len(out) >= limit {
+				out = out[:limit]
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Flush flushes every region server named by META.
+func (c *Client) Flush(table string) error {
+	return c.forEachServer(func(conn ServerConn) error {
+		err := conn.Flush(table)
+		if retryable(err) {
+			return nil // a dead server has nothing worth flushing
+		}
+		return err
+	})
+}
+
+// Stats sums the transfer counters of every live region server.
+func (c *Client) Stats() (hstore.TransferStats, error) {
+	var total hstore.TransferStats
+	err := c.forEachServer(func(conn ServerConn) error {
+		st, err := conn.Stats()
+		if err != nil {
+			if retryable(err) {
+				return nil
+			}
+			return err
+		}
+		total.RowsScanned += st.RowsScanned
+		total.RowsReturned += st.RowsReturned
+		total.BytesReturned += st.BytesReturned
+		return nil
+	})
+	return total, err
+}
+
+// ResetStats zeroes the counters of every live region server.
+func (c *Client) ResetStats() error {
+	return c.forEachServer(func(conn ServerConn) error {
+		err := conn.ResetStats()
+		if retryable(err) {
+			return nil
+		}
+		return err
+	})
+}
+
+func (c *Client) forEachServer(fn func(ServerConn) error) error {
+	m, err := c.cachedMeta()
+	if err != nil {
+		return err
+	}
+	for _, p := range m.Servers {
+		conn, err := c.reg.Resolve(p)
+		if err != nil {
+			return err
+		}
+		if err := fn(conn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

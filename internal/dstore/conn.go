@@ -1,0 +1,143 @@
+package dstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pstorm/internal/hstore"
+)
+
+// ServerConn is how the master and the routing client reach one region
+// server, over either transport.
+type ServerConn interface {
+	// Data plane.
+	Put(table, row, column string, value []byte) error
+	BatchPut(table string, rows []hstore.Row) error
+	Apply(table string, cells []hstore.Cell) error
+	Get(table, row string) (hstore.Row, bool, error)
+	Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
+	DeleteRow(table, row string) error
+	Flush(table string) error
+	Stats() (hstore.TransferStats, error)
+	ResetStats() error
+
+	// Control plane (master-driven).
+	Install(snap *hstore.RegionSnapshot, serving bool) error
+	Export(table string, regionID int) (*hstore.RegionSnapshot, error)
+	Drop(table string, regionID int) error
+	SetServing(table string, regionID int, serving bool) error
+	SetFollowers(table string, regionID int, followers []Peer) error
+}
+
+// MasterConn is how region servers and clients reach the master.
+type MasterConn interface {
+	Join(p Peer) error
+	Heartbeat(id string) error
+	Meta() (Meta, error)
+	CreateTable(table string) error
+}
+
+// Registry resolves Peers to ServerConns: in-process servers register
+// themselves and are reached directly; peers with an address get a
+// cached HTTP connection. Master, region servers, and clients of one
+// process share a Registry.
+type Registry struct {
+	// Timeout bounds each HTTP request of resolved remote conns
+	// (default hstore.DefaultDialTimeout).
+	Timeout time.Duration
+
+	mu     sync.RWMutex
+	local  map[string]*RegionServer
+	remote map[string]*httpServerConn
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		local:  make(map[string]*RegionServer),
+		remote: make(map[string]*httpServerConn),
+	}
+}
+
+// Register makes an in-process region server resolvable by ID.
+func (r *Registry) Register(rs *RegionServer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.local[rs.ID()] = rs
+}
+
+// Resolve returns a connection to the peer.
+func (r *Registry) Resolve(p Peer) (ServerConn, error) {
+	r.mu.RLock()
+	if p.Addr == "" {
+		rs, ok := r.local[p.ID]
+		r.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("dstore: unknown in-process server %q", p.ID)
+		}
+		return &directConn{rs: rs}, nil
+	}
+	if c, ok := r.remote[p.Addr]; ok {
+		r.mu.RUnlock()
+		return c, nil
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.remote[p.Addr]; ok {
+		return c, nil
+	}
+	c := newHTTPServerConn(p.Addr, r.Timeout)
+	r.remote[p.Addr] = c
+	return c, nil
+}
+
+// directConn adapts an in-process *RegionServer to ServerConn.
+type directConn struct{ rs *RegionServer }
+
+func (c *directConn) Put(table, row, column string, value []byte) error {
+	return c.rs.Put(table, row, column, value)
+}
+func (c *directConn) BatchPut(table string, rows []hstore.Row) error {
+	return c.rs.BatchPut(table, rows)
+}
+func (c *directConn) Apply(table string, cells []hstore.Cell) error {
+	return c.rs.Apply(table, cells)
+}
+func (c *directConn) Get(table, row string) (hstore.Row, bool, error) {
+	return c.rs.Get(table, row)
+}
+func (c *directConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	return c.rs.Scan(table, regionID, start, end, f, limit)
+}
+func (c *directConn) DeleteRow(table, row string) error { return c.rs.DeleteRow(table, row) }
+func (c *directConn) Flush(table string) error          { return c.rs.Flush(table) }
+func (c *directConn) Stats() (hstore.TransferStats, error) {
+	return c.rs.Stats()
+}
+func (c *directConn) ResetStats() error { return c.rs.ResetStats() }
+func (c *directConn) Install(snap *hstore.RegionSnapshot, serving bool) error {
+	return c.rs.Install(snap, serving)
+}
+func (c *directConn) Export(table string, regionID int) (*hstore.RegionSnapshot, error) {
+	return c.rs.Export(table, regionID)
+}
+func (c *directConn) Drop(table string, regionID int) error { return c.rs.Drop(table, regionID) }
+func (c *directConn) SetServing(table string, regionID int, serving bool) error {
+	return c.rs.SetServing(table, regionID, serving)
+}
+func (c *directConn) SetFollowers(table string, regionID int, followers []Peer) error {
+	return c.rs.SetFollowers(table, regionID, followers)
+}
+
+// directMaster adapts an in-process *Master to MasterConn.
+type directMaster struct{ m *Master }
+
+func (c *directMaster) Join(p Peer) error              { return c.m.Join(p) }
+func (c *directMaster) Heartbeat(id string) error      { return c.m.Heartbeat(id) }
+func (c *directMaster) Meta() (Meta, error)            { return c.m.Meta(), nil }
+func (c *directMaster) CreateTable(table string) error { return c.m.CreateTable(table) }
+
+// ConnectMaster returns a MasterConn bound to an in-process master.
+func ConnectMaster(m *Master) MasterConn { return &directMaster{m: m} }

@@ -1,0 +1,99 @@
+// Package dstore turns the single-process hstore into a deployable
+// cluster — the shape the paper assumes when it puts the profile store
+// on HBase so every job on a shared cluster can feed and probe it (§5).
+//
+// Topology (HBase's, miniaturized):
+//
+//   - one Master owns the META catalog: the key-range regions of every
+//     table and which region server is primary (serving) and which are
+//     followers (fenced replicas) for each. It tracks server liveness
+//     through heartbeats, promotes a follower when a primary's
+//     heartbeat lapses, re-replicates under-replicated regions, and
+//     moves regions between servers (export snapshot → install → flip
+//     META → drop source) for rebalancing.
+//
+//   - N RegionServers, each wrapping an hstore.Server that hosts a
+//     subset of regions. The primary copy of a region is serving;
+//     follower copies are fenced. Writes are replicated synchronously:
+//     the primary stamps the cell, applies it locally, and forwards the
+//     identical cell to every follower before acking — so a promoted
+//     follower has every acked write.
+//
+//   - a routing Client holding a client-side META cache. Operations
+//     route to the primary of the owning region; on NotServing (stale
+//     route: the region moved or is fenced) or a dead-server transport
+//     error, the client refreshes META from the master and retries with
+//     backoff. Multi-row writes are batched per region server.
+//
+// Everything runs over two interchangeable transports: direct in-process
+// calls (tests, benchmarks, pstorm.Open) and HTTP/JSON (cmd/pstormd),
+// chosen per Peer by whether it carries an address.
+//
+// Consistency caveats (documented, deliberate): replication carries no
+// epoch fencing, so a primary that is slow — rather than dead — can
+// apply a straggler write to followers after a promotion; and a region
+// move re-acks in-flight batches, so retried batch writes may re-apply
+// rows with a newer timestamp. Both keep acked data readable (no lost
+// rows); neither provides linearizability across failover. The paper's
+// workload (append-mostly profiles keyed by unique job IDs) never
+// notices.
+package dstore
+
+import (
+	"errors"
+	"fmt"
+
+	"pstorm/internal/hstore"
+)
+
+// Peer identifies one region server. Addr empty means in-process (the
+// shared Registry resolves the ID); non-empty means HTTP at that base
+// URL.
+type Peer struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+}
+
+// RegionInfo is one META catalog entry: a key range and who serves it.
+type RegionInfo struct {
+	ID        int      `json:"id"`
+	Table     string   `json:"table"`
+	StartKey  string   `json:"start_key"`
+	EndKey    string   `json:"end_key"`
+	Primary   string   `json:"primary"`
+	Followers []string `json:"followers,omitempty"`
+}
+
+// Meta is the routing view a client caches: catalog plus the peer list
+// needed to reach the named servers. Epoch increments on every change,
+// so a client can tell a refreshed view from the one that just failed.
+type Meta struct {
+	Epoch   int64                   `json:"epoch"`
+	Tables  map[string][]RegionInfo `json:"tables"`
+	Servers []Peer                  `json:"servers"`
+}
+
+// errStopped marks operations against a stopped (simulated-dead)
+// region server; it is retryable, like a connection refused.
+var errStopped = errors.New("dstore: region server stopped")
+
+// errTransport wraps network-level failures of the HTTP transport.
+var errTransport = errors.New("dstore: transport error")
+
+// errReplication wraps a primary's failure to reach a follower; the
+// client retries while the master prunes the dead follower.
+var errReplication = errors.New("dstore: replication failed")
+
+// retryable reports whether the routing client should refresh META and
+// retry after err: stale routes (NotServing), dead or unreachable
+// servers, and failed replication all heal through the master.
+func retryable(err error) bool {
+	return hstore.IsNotServing(err) ||
+		errors.Is(err, errStopped) ||
+		errors.Is(err, errTransport) ||
+		errors.Is(err, errReplication)
+}
+
+func regionKey(table string, regionID int) string {
+	return fmt.Sprintf("%s/%d", table, regionID)
+}

@@ -1,0 +1,432 @@
+package dstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"pstorm/internal/hstore"
+)
+
+func queryEscape(s string) string { return url.QueryEscape(s) }
+
+// HTTP wire protocol. Every endpoint is JSON over POST/GET under /d/.
+// NotServing maps to 409 (the client re-routes), a stopped server to
+// 503, anything else to 400 — so retryability survives the wire.
+
+type wireRow struct {
+	Key     string            `json:"key"`
+	Columns map[string][]byte `json:"columns"`
+}
+
+func rowToWire(r hstore.Row) wireRow   { return wireRow{Key: r.Key, Columns: r.Columns} }
+func rowFromWire(w wireRow) hstore.Row { return hstore.Row{Key: w.Key, Columns: w.Columns} }
+func rowsToWire(rs []hstore.Row) []wireRow {
+	out := make([]wireRow, len(rs))
+	for i, r := range rs {
+		out[i] = rowToWire(r)
+	}
+	return out
+}
+func rowsFromWire(ws []wireRow) []hstore.Row {
+	out := make([]hstore.Row, len(ws))
+	for i, w := range ws {
+		out[i] = rowFromWire(w)
+	}
+	return out
+}
+
+type putWire struct {
+	Table  string `json:"table"`
+	Row    string `json:"row"`
+	Column string `json:"column"`
+	Value  []byte `json:"value"`
+}
+
+type batchWire struct {
+	Table string    `json:"table"`
+	Rows  []wireRow `json:"rows"`
+}
+
+type applyWire struct {
+	Table string        `json:"table"`
+	Cells []hstore.Cell `json:"cells"`
+}
+
+type scanWire struct {
+	Table  string          `json:"table"`
+	Region int             `json:"region"`
+	Start  string          `json:"start"`
+	End    string          `json:"end"`
+	Filter json.RawMessage `json:"filter,omitempty"`
+	Limit  int             `json:"limit"`
+}
+
+type installWire struct {
+	Snapshot *hstore.RegionSnapshot `json:"snapshot"`
+	Serving  bool                   `json:"serving"`
+}
+
+type followersWire struct {
+	Table  string `json:"table"`
+	Region int    `json:"region"`
+	Peers  []Peer `json:"peers"`
+}
+
+func writeHTTPErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case hstore.IsNotServing(err):
+		code = http.StatusConflict
+	case retryable(err):
+		code = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSONBody(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func decodeBody(r *http.Request, v interface{}) error {
+	return json.NewDecoder(r.Body).Decode(v)
+}
+
+// RegionServerHandler exposes a region server over HTTP.
+func RegionServerHandler(rs *RegionServer) http.Handler {
+	mux := http.NewServeMux()
+	ok := func(w http.ResponseWriter, err error) {
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, map[string]string{"status": "ok"})
+	}
+	mux.HandleFunc("/d/put", func(w http.ResponseWriter, r *http.Request) {
+		var req putWire
+		if err := decodeBody(r, &req); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		ok(w, rs.Put(req.Table, req.Row, req.Column, req.Value))
+	})
+	mux.HandleFunc("/d/batchput", func(w http.ResponseWriter, r *http.Request) {
+		var req batchWire
+		if err := decodeBody(r, &req); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		ok(w, rs.BatchPut(req.Table, rowsFromWire(req.Rows)))
+	})
+	mux.HandleFunc("/d/apply", func(w http.ResponseWriter, r *http.Request) {
+		var req applyWire
+		if err := decodeBody(r, &req); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		ok(w, rs.Apply(req.Table, req.Cells))
+	})
+	mux.HandleFunc("/d/get", func(w http.ResponseWriter, r *http.Request) {
+		row, found, err := rs.Get(r.URL.Query().Get("table"), r.URL.Query().Get("row"))
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, map[string]interface{}{"found": found, "row": rowToWire(row)})
+	})
+	mux.HandleFunc("/d/scan", func(w http.ResponseWriter, r *http.Request) {
+		var req scanWire
+		if err := decodeBody(r, &req); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		var f hstore.Filter
+		if len(req.Filter) > 0 {
+			var err error
+			if f, err = hstore.DecodeFilter(req.Filter); err != nil {
+				writeHTTPErr(w, err)
+				return
+			}
+		}
+		rows, err := rs.Scan(req.Table, req.Region, req.Start, req.End, f, req.Limit)
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, rowsToWire(rows))
+	})
+	mux.HandleFunc("/d/deleterow", func(w http.ResponseWriter, r *http.Request) {
+		ok(w, rs.DeleteRow(r.URL.Query().Get("table"), r.URL.Query().Get("row")))
+	})
+	mux.HandleFunc("/d/flush", func(w http.ResponseWriter, r *http.Request) {
+		ok(w, rs.Flush(r.URL.Query().Get("table")))
+	})
+	mux.HandleFunc("/d/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("reset") == "1" {
+			if err := rs.ResetStats(); err != nil {
+				writeHTTPErr(w, err)
+				return
+			}
+		}
+		st, err := rs.Stats()
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, st)
+	})
+	mux.HandleFunc("/d/install", func(w http.ResponseWriter, r *http.Request) {
+		var req installWire
+		if err := decodeBody(r, &req); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		ok(w, rs.Install(req.Snapshot, req.Serving))
+	})
+	mux.HandleFunc("/d/export", func(w http.ResponseWriter, r *http.Request) {
+		region, _ := strconv.Atoi(r.URL.Query().Get("region"))
+		snap, err := rs.Export(r.URL.Query().Get("table"), region)
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, snap)
+	})
+	mux.HandleFunc("/d/drop", func(w http.ResponseWriter, r *http.Request) {
+		region, _ := strconv.Atoi(r.URL.Query().Get("region"))
+		ok(w, rs.Drop(r.URL.Query().Get("table"), region))
+	})
+	mux.HandleFunc("/d/serving", func(w http.ResponseWriter, r *http.Request) {
+		region, _ := strconv.Atoi(r.URL.Query().Get("region"))
+		serving := r.URL.Query().Get("serving") == "true"
+		ok(w, rs.SetServing(r.URL.Query().Get("table"), region, serving))
+	})
+	mux.HandleFunc("/d/followers", func(w http.ResponseWriter, r *http.Request) {
+		var req followersWire
+		if err := decodeBody(r, &req); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		ok(w, rs.SetFollowers(req.Table, req.Region, req.Peers))
+	})
+	return mux
+}
+
+// MasterHandler exposes a master over HTTP.
+func MasterHandler(m *Master) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/d/join", func(w http.ResponseWriter, r *http.Request) {
+		var p Peer
+		if err := decodeBody(r, &p); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		if err := m.Join(p); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/d/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Heartbeat(r.URL.Query().Get("id")); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/d/meta", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONBody(w, m.Meta())
+	})
+	mux.HandleFunc("/d/createtable", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.CreateTable(r.URL.Query().Get("name")); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/d/move", func(w http.ResponseWriter, r *http.Request) {
+		region, _ := strconv.Atoi(r.URL.Query().Get("region"))
+		n, err := m.MoveRegion(r.URL.Query().Get("table"), region, r.URL.Query().Get("to"))
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, map[string]int64{"bytes_moved": n})
+	})
+	mux.HandleFunc("/d/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONBody(w, m.Status())
+	})
+	return mux
+}
+
+// httpJSON is the shared request helper: POST body (or GET when body is
+// nil), decode into out, map status codes back to typed errors.
+type httpJSON struct {
+	base string
+	hc   *http.Client
+}
+
+func newHTTPJSON(base string, timeout time.Duration) *httpJSON {
+	if timeout <= 0 {
+		timeout = hstore.DefaultDialTimeout
+	}
+	return &httpJSON{base: base, hc: &http.Client{Timeout: timeout}}
+}
+
+func (h *httpJSON) call(path string, body interface{}, out interface{}) error {
+	var resp *http.Response
+	var err error
+	if body != nil {
+		raw, merr := json.Marshal(body)
+		if merr != nil {
+			return merr
+		}
+		resp, err = h.hc.Post(h.base+path, "application/json", bytes.NewReader(raw))
+	} else {
+		resp, err = h.hc.Get(h.base + path)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", errTransport, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errTransport, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out != nil {
+			return json.Unmarshal(payload, out)
+		}
+		return nil
+	case http.StatusConflict:
+		return &hstore.NotServingError{Table: "remote", Row: string(bytes.TrimSpace(payload))}
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", errStopped, bytes.TrimSpace(payload))
+	default:
+		return fmt.Errorf("dstore: %s: %s", path, bytes.TrimSpace(payload))
+	}
+}
+
+// httpServerConn speaks to a remote region server.
+type httpServerConn struct{ h *httpJSON }
+
+func newHTTPServerConn(base string, timeout time.Duration) *httpServerConn {
+	return &httpServerConn{h: newHTTPJSON(base, timeout)}
+}
+
+func (c *httpServerConn) Put(table, row, column string, value []byte) error {
+	return c.h.call("/d/put", putWire{Table: table, Row: row, Column: column, Value: value}, nil)
+}
+
+func (c *httpServerConn) BatchPut(table string, rows []hstore.Row) error {
+	return c.h.call("/d/batchput", batchWire{Table: table, Rows: rowsToWire(rows)}, nil)
+}
+
+func (c *httpServerConn) Apply(table string, cells []hstore.Cell) error {
+	return c.h.call("/d/apply", applyWire{Table: table, Cells: cells}, nil)
+}
+
+func (c *httpServerConn) Get(table, row string) (hstore.Row, bool, error) {
+	var resp struct {
+		Found bool    `json:"found"`
+		Row   wireRow `json:"row"`
+	}
+	if err := c.h.call("/d/get?table="+queryEscape(table)+"&row="+queryEscape(row), nil, &resp); err != nil {
+		return hstore.Row{}, false, err
+	}
+	return rowFromWire(resp.Row), resp.Found, nil
+}
+
+func (c *httpServerConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	req := scanWire{Table: table, Region: regionID, Start: start, End: end, Limit: limit}
+	if f != nil {
+		wire, err := hstore.EncodeFilter(f)
+		if err != nil {
+			return nil, err
+		}
+		req.Filter = wire
+	}
+	var ws []wireRow
+	if err := c.h.call("/d/scan", req, &ws); err != nil {
+		return nil, err
+	}
+	return rowsFromWire(ws), nil
+}
+
+func (c *httpServerConn) DeleteRow(table, row string) error {
+	return c.h.call("/d/deleterow?table="+queryEscape(table)+"&row="+queryEscape(row), nil, nil)
+}
+
+func (c *httpServerConn) Flush(table string) error {
+	return c.h.call("/d/flush?table="+queryEscape(table), nil, nil)
+}
+
+func (c *httpServerConn) Stats() (hstore.TransferStats, error) {
+	var st hstore.TransferStats
+	err := c.h.call("/d/stats", nil, &st)
+	return st, err
+}
+
+func (c *httpServerConn) ResetStats() error {
+	var st hstore.TransferStats
+	return c.h.call("/d/stats?reset=1", nil, &st)
+}
+
+func (c *httpServerConn) Install(snap *hstore.RegionSnapshot, serving bool) error {
+	return c.h.call("/d/install", installWire{Snapshot: snap, Serving: serving}, nil)
+}
+
+func (c *httpServerConn) Export(table string, regionID int) (*hstore.RegionSnapshot, error) {
+	var snap hstore.RegionSnapshot
+	err := c.h.call(fmt.Sprintf("/d/export?table=%s&region=%d", queryEscape(table), regionID), nil, &snap)
+	if err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+func (c *httpServerConn) Drop(table string, regionID int) error {
+	return c.h.call(fmt.Sprintf("/d/drop?table=%s&region=%d", queryEscape(table), regionID), nil, nil)
+}
+
+func (c *httpServerConn) SetServing(table string, regionID int, serving bool) error {
+	return c.h.call(fmt.Sprintf("/d/serving?table=%s&region=%d&serving=%t", queryEscape(table), regionID, serving), nil, nil)
+}
+
+func (c *httpServerConn) SetFollowers(table string, regionID int, followers []Peer) error {
+	return c.h.call("/d/followers", followersWire{Table: table, Region: regionID, Peers: followers}, nil)
+}
+
+// httpMasterConn speaks to a remote master.
+type httpMasterConn struct{ h *httpJSON }
+
+// DialMaster returns a MasterConn speaking HTTP to a pstormd master.
+// timeout 0 uses hstore.DefaultDialTimeout.
+func DialMaster(base string, timeout time.Duration) MasterConn {
+	return &httpMasterConn{h: newHTTPJSON(base, timeout)}
+}
+
+func (c *httpMasterConn) Join(p Peer) error { return c.h.call("/d/join", p, nil) }
+
+func (c *httpMasterConn) Heartbeat(id string) error {
+	return c.h.call("/d/heartbeat?id="+queryEscape(id), nil, nil)
+}
+
+func (c *httpMasterConn) Meta() (Meta, error) {
+	var m Meta
+	err := c.h.call("/d/meta", nil, &m)
+	return m, err
+}
+
+func (c *httpMasterConn) CreateTable(table string) error {
+	return c.h.call("/d/createtable?name="+queryEscape(table), nil, nil)
+}

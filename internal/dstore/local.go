@@ -1,0 +1,121 @@
+package dstore
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultSplits are the split points pstorm uses for its profile table:
+// row keys are "<ftype>/<jobID>" with ftypes costmap, costred, dynmap,
+// dynred, meta, statmap, statred (plus "!bounds/..." rows), so these
+// cuts spread the feature families across regions.
+var DefaultSplits = []string{"dyn", "meta", "stat"}
+
+// LocalOptions configures StartLocalCluster.
+type LocalOptions struct {
+	// Servers is the number of region servers (default 3).
+	Servers int
+	// Replication is copies per region, primary included (default 2,
+	// clamped to Servers).
+	Replication int
+	// HeartbeatTimeout is how long the master waits before declaring a
+	// silent server dead (default 2s).
+	HeartbeatTimeout time.Duration
+	// Splits are the region split points for created tables (default
+	// DefaultSplits).
+	Splits []string
+	// Background starts the master's liveness loop and per-server
+	// heartbeats. Leave false in deterministic tests and drive
+	// Heartbeat/CheckLiveness manually.
+	Background bool
+	// HeartbeatInterval is the background heartbeat period (default
+	// HeartbeatTimeout/4).
+	HeartbeatInterval time.Duration
+}
+
+// LocalCluster is a whole dstore deployment in one process: a master
+// plus N region servers sharing a Registry, plus a routing client.
+// It exists for tests and benchmarks; pstormd wires the same pieces
+// over TCP.
+type LocalCluster struct {
+	Master  *Master
+	Reg     *Registry
+	Servers []*RegionServer
+
+	client *Client
+}
+
+// StartLocalCluster builds and joins a cluster.
+func StartLocalCluster(opts LocalOptions) (*LocalCluster, error) {
+	if opts.Servers <= 0 {
+		opts.Servers = 3
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = 2
+	}
+	if opts.Replication > opts.Servers {
+		opts.Replication = opts.Servers
+	}
+	if opts.Splits == nil {
+		opts.Splits = DefaultSplits
+	}
+	reg := NewRegistry()
+	m := NewMaster(reg, MasterOptions{
+		HeartbeatTimeout: opts.HeartbeatTimeout,
+		Replication:      opts.Replication,
+		DefaultSplits:    opts.Splits,
+	})
+	c := &LocalCluster{Master: m, Reg: reg}
+	mc := ConnectMaster(m)
+	for i := 0; i < opts.Servers; i++ {
+		rs := NewRegionServer(fmt.Sprintf("rs-%d", i), reg)
+		if err := m.Join(Peer{ID: rs.ID()}); err != nil {
+			return nil, err
+		}
+		c.Servers = append(c.Servers, rs)
+	}
+	if opts.Background {
+		interval := opts.HeartbeatInterval
+		if interval <= 0 {
+			interval = m.opts.heartbeatTimeout() / 4
+		}
+		for _, rs := range c.Servers {
+			rs.StartHeartbeats(mc, interval)
+		}
+		m.Start()
+	}
+	c.client = NewClient(mc, reg)
+	return c, nil
+}
+
+// Client returns the cluster's routing client.
+func (c *LocalCluster) Client() *Client { return c.client }
+
+// Server returns the region server with the given ID, or nil.
+func (c *LocalCluster) Server(id string) *RegionServer {
+	for _, rs := range c.Servers {
+		if rs.ID() == id {
+			return rs
+		}
+	}
+	return nil
+}
+
+// KillServer stops a region server by ID, simulating a crash. Returns
+// false if no such server exists (or it is already stopped).
+func (c *LocalCluster) KillServer(id string) bool {
+	rs := c.Server(id)
+	if rs == nil || rs.Stopped() {
+		return false
+	}
+	rs.Stop()
+	return true
+}
+
+// Close stops the master loop and every region server.
+func (c *LocalCluster) Close() {
+	c.Master.Close()
+	for _, rs := range c.Servers {
+		rs.Stop()
+	}
+}

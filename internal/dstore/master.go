@@ -1,0 +1,587 @@
+package dstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pstorm/internal/hstore"
+)
+
+// MasterOptions tune the master.
+type MasterOptions struct {
+	// HeartbeatTimeout is how long a server may go silent before it is
+	// declared dead and failed over (default 2s).
+	HeartbeatTimeout time.Duration
+	// Replication is the copies-per-region target, primary included
+	// (default 2, capped at the number of live servers).
+	Replication int
+	// DefaultSplits are the region boundary keys used when CreateTable
+	// is called without explicit splits (nil: one region per table).
+	DefaultSplits []string
+	// Now is the clock (default time.Now); tests inject their own.
+	Now func() time.Time
+}
+
+func (o MasterOptions) heartbeatTimeout() time.Duration {
+	if o.HeartbeatTimeout > 0 {
+		return o.HeartbeatTimeout
+	}
+	return 2 * time.Second
+}
+
+func (o MasterOptions) replication() int {
+	if o.Replication > 0 {
+		return o.Replication
+	}
+	return 2
+}
+
+type member struct {
+	peer     Peer
+	conn     ServerConn
+	lastBeat time.Time
+	alive    bool
+}
+
+// Master owns the META catalog and region→server assignment: liveness
+// via heartbeats, follower promotion on primary death, re-replication,
+// and region moves.
+type Master struct {
+	opts MasterOptions
+	reg  *Registry
+
+	mu           sync.Mutex
+	servers      map[string]*member
+	order        []string // join order, for deterministic placement
+	tables       map[string][]*RegionInfo
+	epoch        int64
+	nextRegionID int
+
+	loopStop chan struct{}
+	loopOnce sync.Once
+}
+
+// NewMaster creates a master resolving servers through reg.
+func NewMaster(reg *Registry, opts MasterOptions) *Master {
+	return &Master{
+		opts:         opts,
+		reg:          reg,
+		servers:      make(map[string]*member),
+		tables:       make(map[string][]*RegionInfo),
+		nextRegionID: 1,
+		loopStop:     make(chan struct{}),
+	}
+}
+
+func (m *Master) now() time.Time {
+	if m.opts.Now != nil {
+		return m.opts.Now()
+	}
+	return time.Now()
+}
+
+// Join registers a region server. Joining is idempotent; a re-join of a
+// previously dead ID revives it as an empty server (its old regions
+// were failed over and are not reclaimed).
+func (m *Master) Join(p Peer) error {
+	conn, err := m.reg.Resolve(p)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mem, ok := m.servers[p.ID]; ok {
+		mem.lastBeat = m.now()
+		mem.alive = true
+		return nil
+	}
+	m.servers[p.ID] = &member{peer: p, conn: conn, lastBeat: m.now(), alive: true}
+	m.order = append(m.order, p.ID)
+	m.epoch++
+	return nil
+}
+
+// Heartbeat records liveness for a server.
+func (m *Master) Heartbeat(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.servers[id]
+	if !ok {
+		return fmt.Errorf("dstore: heartbeat from unknown server %q", id)
+	}
+	mem.lastBeat = m.now()
+	mem.alive = true
+	return nil
+}
+
+// Meta snapshots the routing view.
+func (m *Master) Meta() Meta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Meta{Epoch: m.epoch, Tables: make(map[string][]RegionInfo, len(m.tables))}
+	for t, regions := range m.tables {
+		rs := make([]RegionInfo, len(regions))
+		for i, g := range regions {
+			rs[i] = *g
+			rs[i].Followers = append([]string(nil), g.Followers...)
+		}
+		out.Tables[t] = rs
+	}
+	for _, id := range m.order {
+		out.Servers = append(out.Servers, m.servers[id].peer)
+	}
+	return out
+}
+
+// Epoch returns the current META epoch.
+func (m *Master) Epoch() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// aliveIDs returns live server IDs in join order.
+func (m *Master) aliveIDs() []string {
+	var out []string
+	for _, id := range m.order {
+		if m.servers[id].alive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CreateTable lays the table out with the default splits and
+// replication: region i gets primary servers[i mod n] and the next
+// replication-1 servers as followers.
+func (m *Master) CreateTable(table string) error {
+	return m.CreateTableSplits(table, m.opts.DefaultSplits)
+}
+
+// CreateTableSplits creates a table with explicit region boundaries:
+// splits [k1, k2] yields regions ["", k1), [k1, k2), [k2, "").
+func (m *Master) CreateTableSplits(table string, splits []string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tables[table]; ok {
+		return fmt.Errorf("dstore: table %q already exists", table)
+	}
+	alive := m.aliveIDs()
+	if len(alive) == 0 {
+		return fmt.Errorf("dstore: no live region servers")
+	}
+	repl := m.opts.replication()
+	if repl > len(alive) {
+		repl = len(alive)
+	}
+	splits = append([]string(nil), splits...)
+	sort.Strings(splits)
+	bounds := append([]string{""}, splits...)
+	var regions []*RegionInfo
+	for i, start := range bounds {
+		end := ""
+		if i+1 < len(bounds) {
+			end = bounds[i+1]
+		}
+		g := &RegionInfo{
+			ID:       m.nextRegionID,
+			Table:    table,
+			StartKey: start,
+			EndKey:   end,
+			Primary:  alive[i%len(alive)],
+		}
+		m.nextRegionID++
+		for j := 1; j < repl; j++ {
+			g.Followers = append(g.Followers, alive[(i+j)%len(alive)])
+		}
+		if err := m.installRegionLocked(g); err != nil {
+			return err
+		}
+		regions = append(regions, g)
+	}
+	m.tables[table] = regions
+	m.epoch++
+	return nil
+}
+
+// installRegionLocked creates the empty copies of a new region on its
+// primary and followers and wires the replication chain.
+func (m *Master) installRegionLocked(g *RegionInfo) error {
+	empty := &hstore.RegionSnapshot{Table: g.Table, RegionID: g.ID, StartKey: g.StartKey, EndKey: g.EndKey}
+	if err := m.servers[g.Primary].conn.Install(empty, true); err != nil {
+		return fmt.Errorf("dstore: installing region %d primary on %s: %w", g.ID, g.Primary, err)
+	}
+	for _, f := range g.Followers {
+		if err := m.servers[f].conn.Install(empty, false); err != nil {
+			return fmt.Errorf("dstore: installing region %d follower on %s: %w", g.ID, f, err)
+		}
+	}
+	return m.setFollowersLocked(g)
+}
+
+func (m *Master) setFollowersLocked(g *RegionInfo) error {
+	peers := make([]Peer, 0, len(g.Followers))
+	for _, f := range g.Followers {
+		peers = append(peers, m.servers[f].peer)
+	}
+	return m.servers[g.Primary].conn.SetFollowers(g.Table, g.ID, peers)
+}
+
+// CheckLiveness declares servers whose heartbeat lapsed dead (as of
+// now), promotes followers of their primary regions, prunes them from
+// follower sets, and re-replicates under-replicated regions onto spare
+// live servers. It returns the IDs of servers newly declared dead.
+// pstormd and background local clusters call it on a timer; tests call
+// it directly with a chosen clock.
+func (m *Master) CheckLiveness(now time.Time) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var died []string
+	for _, id := range m.order {
+		mem := m.servers[id]
+		if mem.alive && now.Sub(mem.lastBeat) > m.opts.heartbeatTimeout() {
+			mem.alive = false
+			died = append(died, id)
+		}
+	}
+	if len(died) > 0 {
+		m.failoverLocked()
+	}
+	m.repairLocked()
+	return died
+}
+
+// failoverLocked walks every region and repairs assignments that name
+// dead servers: dead followers are pruned; a dead primary is replaced
+// by its first live follower, whose fenced copy is promoted to serving.
+func (m *Master) failoverLocked() {
+	changed := false
+	for _, regions := range m.tables {
+		for _, g := range regions {
+			live := g.Followers[:0]
+			for _, f := range g.Followers {
+				if m.servers[f].alive {
+					live = append(live, f)
+				} else {
+					changed = true
+				}
+			}
+			g.Followers = live
+			if m.servers[g.Primary].alive {
+				if changed {
+					m.setFollowersLocked(g) //nolint:errcheck — next CheckLiveness retries
+				}
+				continue
+			}
+			if len(g.Followers) == 0 {
+				// No live copy; the region is unavailable until an
+				// operator restores a server. Leave META pointing at
+				// the corpse so clients keep retrying.
+				continue
+			}
+			promoted := g.Followers[0]
+			g.Followers = g.Followers[1:]
+			g.Primary = promoted
+			changed = true
+			// Followers before serving: writes acked by the promoted
+			// primary must already fan out to the surviving replicas.
+			m.setFollowersLocked(g) //nolint:errcheck — next CheckLiveness retries
+			if err := m.servers[promoted].conn.SetServing(g.Table, g.ID, true); err != nil {
+				continue
+			}
+		}
+	}
+	if changed {
+		m.epoch++
+	}
+}
+
+// repairLocked restores the replication factor of under-replicated
+// regions by seeding fresh followers on live servers that do not yet
+// hold a copy: install an empty fenced region, join the replication
+// chain (so new writes flow), then backfill from a primary snapshot.
+func (m *Master) repairLocked() {
+	repl := m.opts.replication()
+	alive := m.aliveIDs()
+	if len(alive) < 2 {
+		return
+	}
+	changed := false
+	for _, regions := range m.tables {
+		for _, g := range regions {
+			if !m.servers[g.Primary].alive {
+				continue
+			}
+			for len(g.Followers)+1 < repl {
+				cand := m.pickCandidateLocked(g, alive)
+				if cand == "" {
+					break
+				}
+				empty := &hstore.RegionSnapshot{Table: g.Table, RegionID: g.ID, StartKey: g.StartKey, EndKey: g.EndKey}
+				if err := m.servers[cand].conn.Install(empty, false); err != nil {
+					break
+				}
+				g.Followers = append(g.Followers, cand)
+				if err := m.setFollowersLocked(g); err != nil {
+					g.Followers = g.Followers[:len(g.Followers)-1]
+					break
+				}
+				snap, err := m.servers[g.Primary].conn.Export(g.Table, g.ID)
+				if err == nil {
+					err = m.servers[cand].conn.Apply(g.Table, snap.Cells)
+				}
+				if err != nil {
+					// Roll the recruit back; retried next round.
+					g.Followers = g.Followers[:len(g.Followers)-1]
+					m.setFollowersLocked(g)                  //nolint:errcheck
+					m.servers[cand].conn.Drop(g.Table, g.ID) //nolint:errcheck
+					break
+				}
+				changed = true
+			}
+		}
+	}
+	if changed {
+		m.epoch++
+	}
+}
+
+// pickCandidateLocked chooses a live server that holds no copy of g,
+// preferring the one with the fewest primary regions.
+func (m *Master) pickCandidateLocked(g *RegionInfo, alive []string) string {
+	holds := map[string]bool{g.Primary: true}
+	for _, f := range g.Followers {
+		holds[f] = true
+	}
+	counts := m.primaryCountsLocked()
+	best := ""
+	for _, id := range alive {
+		if holds[id] {
+			continue
+		}
+		if best == "" || counts[id] < counts[best] {
+			best = id
+		}
+	}
+	return best
+}
+
+func (m *Master) primaryCountsLocked() map[string]int {
+	counts := make(map[string]int, len(m.servers))
+	for id := range m.servers {
+		counts[id] = 0
+	}
+	for _, regions := range m.tables {
+		for _, g := range regions {
+			counts[g.Primary]++
+		}
+	}
+	return counts
+}
+
+// MoveRegion moves a region's primary to another live server and
+// returns the snapshot bytes shipped. If the target already follows the
+// region, the move is a promotion flip (zero bytes moved); otherwise the
+// source is fenced, its snapshot exported and installed on the target,
+// META flipped, and the source copy dropped.
+func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, err := m.regionLocked(table, regionID)
+	if err != nil {
+		return 0, err
+	}
+	dst, ok := m.servers[to]
+	if !ok || !dst.alive {
+		return 0, fmt.Errorf("dstore: move target %q not a live server", to)
+	}
+	if to == g.Primary {
+		return 0, nil
+	}
+	src := m.servers[g.Primary]
+
+	for i, f := range g.Followers {
+		if f != to {
+			continue
+		}
+		// Promotion flip: the target already holds a synchronously
+		// replicated copy. Fence the old primary first so no write can
+		// land there after the flip, and give the target its follower
+		// set while it is still fenced — a write acked by the new
+		// primary before its followers were wired up would be
+		// unreplicated, and a later flip back would lose it.
+		if err := src.conn.SetServing(table, regionID, false); err != nil {
+			return 0, fmt.Errorf("dstore: fencing %s: %w", g.Primary, err)
+		}
+		oldPrimary := g.Primary
+		g.Followers[i] = g.Primary
+		g.Primary = to
+		if err := m.setFollowersLocked(g); err != nil {
+			g.Primary = oldPrimary
+			g.Followers[i] = to
+			src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
+			return 0, err
+		}
+		if err := dst.conn.SetServing(table, regionID, true); err != nil {
+			g.Primary = oldPrimary
+			g.Followers[i] = to
+			dst.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
+			src.conn.SetServing(table, regionID, true)  //nolint:errcheck — undo fence
+			return 0, err
+		}
+		src.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
+		m.epoch++
+		return 0, nil
+	}
+
+	// Full move: fence → export → wire followers → install → flip →
+	// drop. The target learns its follower set before it serves, for
+	// the same reason as the flip above.
+	if err := src.conn.SetServing(table, regionID, false); err != nil {
+		return 0, fmt.Errorf("dstore: fencing %s: %w", g.Primary, err)
+	}
+	snap, err := src.conn.Export(table, regionID)
+	if err != nil {
+		src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
+		return 0, err
+	}
+	oldPrimary := g.Primary
+	g.Primary = to
+	if err := m.setFollowersLocked(g); err != nil {
+		g.Primary = oldPrimary
+		src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
+		return 0, err
+	}
+	if err := dst.conn.Install(snap, true); err != nil {
+		g.Primary = oldPrimary
+		dst.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
+		src.conn.SetServing(table, regionID, true)  //nolint:errcheck — undo fence
+		return 0, err
+	}
+	m.epoch++
+	src.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
+	src.conn.Drop(table, regionID)              //nolint:errcheck — orphan copy, harmless
+	return snap.Bytes(), nil
+}
+
+// Rebalance evens primary-region counts across live servers with
+// promotion flips where possible and full moves otherwise, returning
+// total bytes shipped.
+func (m *Master) Rebalance() (int64, error) {
+	var moved int64
+	for {
+		m.mu.Lock()
+		counts := m.primaryCountsLocked()
+		alive := m.aliveIDs()
+		if len(alive) < 2 {
+			m.mu.Unlock()
+			return moved, nil
+		}
+		maxID, minID := alive[0], alive[0]
+		for _, id := range alive {
+			if counts[id] > counts[maxID] {
+				maxID = id
+			}
+			if counts[id] < counts[minID] {
+				minID = id
+			}
+		}
+		if counts[maxID]-counts[minID] <= 1 {
+			m.mu.Unlock()
+			return moved, nil
+		}
+		// Pick one region of the overloaded server to shed. Capture its
+		// identity under the lock; MoveRegion re-locks and re-validates.
+		pickTable, pickID := "", 0
+		for _, regions := range m.tables {
+			for _, g := range regions {
+				if g.Primary == maxID {
+					pickTable, pickID = g.Table, g.ID
+					break
+				}
+			}
+			if pickTable != "" {
+				break
+			}
+		}
+		m.mu.Unlock()
+		if pickTable == "" {
+			return moved, nil
+		}
+		n, err := m.MoveRegion(pickTable, pickID, minID)
+		if err != nil {
+			return moved, err
+		}
+		moved += n
+	}
+}
+
+func (m *Master) regionLocked(table string, regionID int) (*RegionInfo, error) {
+	regions, ok := m.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("dstore: table %q does not exist", table)
+	}
+	for _, g := range regions {
+		if g.ID == regionID {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("dstore: region %d not in table %q", regionID, table)
+}
+
+// ServerStatus is one row of the master's operator view.
+type ServerStatus struct {
+	Peer      Peer      `json:"peer"`
+	Alive     bool      `json:"alive"`
+	LastBeat  time.Time `json:"last_beat"`
+	Primaries int       `json:"primaries"`
+	Follows   int       `json:"follows"`
+}
+
+// Status reports per-server liveness and region counts.
+func (m *Master) Status() []ServerStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	follows := make(map[string]int)
+	for _, regions := range m.tables {
+		for _, g := range regions {
+			for _, f := range g.Followers {
+				follows[f]++
+			}
+		}
+	}
+	counts := m.primaryCountsLocked()
+	out := make([]ServerStatus, 0, len(m.order))
+	for _, id := range m.order {
+		mem := m.servers[id]
+		out = append(out, ServerStatus{
+			Peer: mem.peer, Alive: mem.alive, LastBeat: mem.lastBeat,
+			Primaries: counts[id], Follows: follows[id],
+		})
+	}
+	return out
+}
+
+// Start runs the liveness check on a background timer (half the
+// heartbeat timeout). Close stops it.
+func (m *Master) Start() {
+	go func() {
+		t := time.NewTicker(m.opts.heartbeatTimeout() / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.loopStop:
+				return
+			case <-t.C:
+				m.CheckLiveness(m.now())
+			}
+		}
+	}()
+}
+
+// Close stops the background liveness loop.
+func (m *Master) Close() {
+	m.loopOnce.Do(func() { close(m.loopStop) })
+}

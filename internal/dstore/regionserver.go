@@ -1,0 +1,348 @@
+package dstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstorm/internal/hstore"
+)
+
+// RegionServer hosts a subset of regions on an embedded hstore.Server
+// and replicates writes synchronously to its followers. It is the unit
+// the master assigns regions to, fails over, and rebalances.
+type RegionServer struct {
+	id  string
+	hs  *hstore.Server
+	reg *Registry
+
+	mu        sync.RWMutex
+	followers map[string][]Peer // regionKey -> follower peers
+
+	stopped atomic.Bool
+	hbStop  chan struct{}
+	hbOnce  sync.Once
+}
+
+// NewRegionServer creates a region server with an empty store. Auto
+// split is disabled: region boundaries belong to the master's catalog.
+func NewRegionServer(id string, reg *Registry) *RegionServer {
+	hs := hstore.NewServer()
+	hs.NoAutoSplit = true
+	rs := &RegionServer{
+		id:        id,
+		hs:        hs,
+		reg:       reg,
+		followers: make(map[string][]Peer),
+		hbStop:    make(chan struct{}),
+	}
+	reg.Register(rs)
+	return rs
+}
+
+// ID returns the server's identity.
+func (rs *RegionServer) ID() string { return rs.id }
+
+// HStore exposes the embedded store (tests and stats).
+func (rs *RegionServer) HStore() *hstore.Server { return rs.hs }
+
+// Stop simulates a crash: every subsequent operation — including
+// replication traffic from primaries — fails until the process is
+// replaced. There is no Start; a recovered node rejoins as a fresh
+// server.
+func (rs *RegionServer) Stop() {
+	rs.stopped.Store(true)
+	rs.hbOnce.Do(func() { close(rs.hbStop) })
+}
+
+// Stopped reports whether the server has been stopped.
+func (rs *RegionServer) Stopped() bool { return rs.stopped.Load() }
+
+func (rs *RegionServer) check() error {
+	if rs.stopped.Load() {
+		return fmt.Errorf("%s: %w", rs.id, errStopped)
+	}
+	return nil
+}
+
+// StartHeartbeats sends heartbeats to the master every interval until
+// the server stops. Used by pstormd and background local clusters;
+// deterministic tests call mc.Heartbeat themselves.
+func (rs *RegionServer) StartHeartbeats(mc MasterConn, interval time.Duration) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rs.hbStop:
+				return
+			case <-t.C:
+				mc.Heartbeat(rs.id) //nolint:errcheck — a missed beat is what timeouts are for
+			}
+		}
+	}()
+}
+
+func (rs *RegionServer) followersFor(table string, regionID int) []Peer {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	return rs.followers[regionKey(table, regionID)]
+}
+
+// replicate forwards stamped cells of one region to every follower,
+// synchronously; an unreachable follower fails the write (the client
+// retries while the master prunes the follower from the set).
+func (rs *RegionServer) replicate(table string, regionID int, cells []hstore.Cell) error {
+	for _, p := range rs.followersFor(table, regionID) {
+		conn, err := rs.reg.Resolve(p)
+		if err != nil {
+			return fmt.Errorf("%w: resolving follower %s: %v", errReplication, p.ID, err)
+		}
+		if err := conn.Apply(table, cells); err != nil {
+			return fmt.Errorf("%w: region %d to %s: %v", errReplication, regionID, p.ID, err)
+		}
+	}
+	return nil
+}
+
+func (rs *RegionServer) regionIDFor(table, row string) (int, error) {
+	me, ok := rs.hs.LookupRegion(table, row)
+	if !ok {
+		return 0, &hstore.NotServingError{Table: table, Row: row}
+	}
+	return me.RegionID, nil
+}
+
+// ackCheck guards the ack of a client write: if the owning region is no
+// longer serving here, a concurrent move fenced and demoted this
+// primary between the local write and now, and the replication fan-out
+// may have missed the new primary (a flip clears the follower set, a
+// full move exports before the cell landed). Returning NotServing makes
+// the client retry against the new primary; the re-put is idempotent.
+// Conversely, serving observed true here means the fence — which every
+// move performs before export or follower rewiring — had not yet
+// happened, so the local write and its replication fan-out both
+// preceded it and the cells are in every surviving copy.
+func (rs *RegionServer) ackCheck(table, row string) error {
+	me, ok := rs.hs.LookupRegion(table, row)
+	if !ok || !me.Serving {
+		return &hstore.NotServingError{Table: table, Row: row}
+	}
+	return nil
+}
+
+// Put writes one cell to the primary copy and its followers.
+func (rs *RegionServer) Put(table, row, column string, value []byte) error {
+	if err := rs.check(); err != nil {
+		return err
+	}
+	c, err := rs.hs.PutCell(table, row, column, value)
+	if err != nil {
+		return err
+	}
+	id, err := rs.regionIDFor(table, row)
+	if err != nil {
+		return err
+	}
+	if err := rs.replicate(table, id, []hstore.Cell{c}); err != nil {
+		return err
+	}
+	return rs.ackCheck(table, row)
+}
+
+// BatchPut writes whole rows, one replication round per touched region.
+// Rows are applied in order; on error, earlier rows of the batch may
+// already be applied — the routing client simply retries the batch
+// (re-puts are idempotent: same columns, newer timestamps).
+func (rs *RegionServer) BatchPut(table string, rows []hstore.Row) error {
+	if err := rs.check(); err != nil {
+		return err
+	}
+	perRegion := make(map[int][]hstore.Cell)
+	for _, r := range rows {
+		id, err := rs.regionIDFor(table, r.Key)
+		if err != nil {
+			return err
+		}
+		cols := make([]string, 0, len(r.Columns))
+		for c := range r.Columns {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			c, err := rs.hs.PutCell(table, r.Key, col, r.Columns[col])
+			if err != nil {
+				return err
+			}
+			perRegion[id] = append(perRegion[id], c)
+		}
+	}
+	ids := make([]int, 0, len(perRegion))
+	for id := range perRegion {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := rs.replicate(table, id, perRegion[id]); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		if err := rs.ackCheck(table, perRegion[id][0].Row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply receives replicated cells from a primary (or a snapshot
+// backfill) and applies them to the local — typically fenced — copy.
+func (rs *RegionServer) Apply(table string, cells []hstore.Cell) error {
+	if err := rs.check(); err != nil {
+		return err
+	}
+	return rs.hs.Apply(table, cells)
+}
+
+// Get reads one row from a serving (primary) copy.
+func (rs *RegionServer) Get(table, row string) (hstore.Row, bool, error) {
+	if err := rs.check(); err != nil {
+		return hstore.Row{}, false, err
+	}
+	return rs.hs.Get(table, row)
+}
+
+// Scan reads [start, end) of one region the caller believes this server
+// is primary for. The region ID pins the route: if the region moved or
+// is fenced, the scan fails NotServing instead of silently returning a
+// subset.
+func (rs *RegionServer) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	if err := rs.check(); err != nil {
+		return nil, err
+	}
+	me, ok := rs.hs.LookupRegion(table, start)
+	if !ok || me.RegionID != regionID || !me.Serving {
+		return nil, &hstore.NotServingError{Table: table, Row: start}
+	}
+	// Clamp to the region's bounds so the hstore coverage check sees a
+	// fully hosted range.
+	if start < me.StartKey {
+		start = me.StartKey
+	}
+	if me.EndKey != "" && (end == "" || end > me.EndKey) {
+		end = me.EndKey
+	}
+	return rs.hs.Scan(table, start, end, f, limit)
+}
+
+// DeleteRow tombstones every column of a row, replicating the
+// tombstones so followers converge.
+func (rs *RegionServer) DeleteRow(table, row string) error {
+	if err := rs.check(); err != nil {
+		return err
+	}
+	r, ok, err := rs.hs.Get(table, row)
+	if err != nil || !ok {
+		return err
+	}
+	id, err := rs.regionIDFor(table, row)
+	if err != nil {
+		return err
+	}
+	cols := make([]string, 0, len(r.Columns))
+	for c := range r.Columns {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	cells := make([]hstore.Cell, 0, len(cols))
+	for _, col := range cols {
+		c, err := rs.hs.DeleteCell(table, row, col)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, c)
+	}
+	if err := rs.replicate(table, id, cells); err != nil {
+		return err
+	}
+	return rs.ackCheck(table, row)
+}
+
+// Flush flushes every hosted region of the table.
+func (rs *RegionServer) Flush(table string) error {
+	if err := rs.check(); err != nil {
+		return err
+	}
+	return rs.hs.Flush(table)
+}
+
+// Stats returns the embedded store's transfer counters.
+func (rs *RegionServer) Stats() (hstore.TransferStats, error) {
+	if err := rs.check(); err != nil {
+		return hstore.TransferStats{}, err
+	}
+	return rs.hs.Stats(), nil
+}
+
+// ResetStats zeroes the transfer counters.
+func (rs *RegionServer) ResetStats() error {
+	if err := rs.check(); err != nil {
+		return err
+	}
+	rs.hs.ResetStats()
+	return nil
+}
+
+// Install hosts a region from a snapshot (serving=true for a primary,
+// false for a follower replica).
+func (rs *RegionServer) Install(snap *hstore.RegionSnapshot, serving bool) error {
+	if err := rs.check(); err != nil {
+		return err
+	}
+	return rs.hs.InstallRegion(snap, serving)
+}
+
+// Export snapshots a hosted region for a move or re-replication.
+func (rs *RegionServer) Export(table string, regionID int) (*hstore.RegionSnapshot, error) {
+	if err := rs.check(); err != nil {
+		return nil, err
+	}
+	return rs.hs.ExportRegion(table, regionID)
+}
+
+// Drop removes a hosted region and its follower set.
+func (rs *RegionServer) Drop(table string, regionID int) error {
+	if err := rs.check(); err != nil {
+		return err
+	}
+	rs.mu.Lock()
+	delete(rs.followers, regionKey(table, regionID))
+	rs.mu.Unlock()
+	return rs.hs.DropRegion(table, regionID)
+}
+
+// SetServing fences or unfences a hosted region.
+func (rs *RegionServer) SetServing(table string, regionID int, serving bool) error {
+	if err := rs.check(); err != nil {
+		return err
+	}
+	return rs.hs.SetServing(table, regionID, serving)
+}
+
+// SetFollowers replaces the follower set this server replicates the
+// region's writes to (master-driven).
+func (rs *RegionServer) SetFollowers(table string, regionID int, followers []Peer) error {
+	if err := rs.check(); err != nil {
+		return err
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(followers) == 0 {
+		delete(rs.followers, regionKey(table, regionID))
+	} else {
+		rs.followers[regionKey(table, regionID)] = append([]Peer(nil), followers...)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 )
 
 // Client is how applications talk to the store. Two transports exist:
@@ -26,6 +27,7 @@ type transport interface {
 	createTable(table string) error
 	flush(table string) error
 	stats() (TransferStats, error)
+	resetStats() error
 }
 
 // Connect returns a client bound directly to an in-process server.
@@ -33,10 +35,20 @@ func Connect(s *Server) *Client {
 	return &Client{transport: &localTransport{s: s}}
 }
 
+// DefaultDialTimeout bounds every request a Dial-ed client makes. A
+// hung region server must fail the call, not wedge the matcher forever.
+const DefaultDialTimeout = 10 * time.Second
+
 // Dial returns a client speaking the HTTP wire protocol to baseURL
-// (e.g. "http://127.0.0.1:8765").
+// (e.g. "http://127.0.0.1:8765"), with DefaultDialTimeout per request.
 func Dial(baseURL string) *Client {
-	return &Client{transport: &httpTransport{base: baseURL, hc: &http.Client{}}}
+	return DialWith(baseURL, DefaultDialTimeout)
+}
+
+// DialWith is Dial with an explicit per-request timeout; 0 disables the
+// timeout (not recommended outside tests).
+func DialWith(baseURL string, timeout time.Duration) *Client {
+	return &Client{transport: &httpTransport{base: baseURL, hc: &http.Client{Timeout: timeout}}}
 }
 
 // CreateTable creates a table.
@@ -68,6 +80,10 @@ func (c *Client) Flush(table string) error { return c.transport.flush(table) }
 
 // Stats returns the server's transfer counters.
 func (c *Client) Stats() (TransferStats, error) { return c.transport.stats() }
+
+// ResetStats zeroes the server's transfer counters, so an experiment
+// can read them per-phase instead of cumulatively.
+func (c *Client) ResetStats() error { return c.transport.resetStats() }
 
 // Scan returns the rows in [start, end) matching the filter, evaluated
 // at the server (pushdown). Limit 0 means unlimited.
@@ -126,6 +142,7 @@ func (t *localTransport) scan(table, start, end string, filterWire []byte, limit
 func (t *localTransport) createTable(table string) error { return t.s.CreateTable(table) }
 func (t *localTransport) flush(table string) error       { return t.s.Flush(table) }
 func (t *localTransport) stats() (TransferStats, error)  { return t.s.Stats(), nil }
+func (t *localTransport) resetStats() error              { t.s.ResetStats(); return nil }
 
 // ---------------------------------------------------------------------
 // HTTP wire protocol.
@@ -234,6 +251,9 @@ func Handler(s *Server) http.Handler {
 		writeJSON(w, wires)
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("reset") == "1" {
+			s.ResetStats()
+		}
 		writeJSON(w, s.Stats())
 	})
 	return mux
@@ -333,4 +353,9 @@ func (t *httpTransport) stats() (TransferStats, error) {
 	var s TransferStats
 	err := t.getURL("/v1/stats", &s)
 	return s, err
+}
+
+func (t *httpTransport) resetStats() error {
+	var s TransferStats
+	return t.getURL("/v1/stats?reset=1", &s)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // region is one horizontal partition of a table: the half-open row-key
@@ -20,19 +21,27 @@ type region struct {
 	sstables   []*sstable // newest first
 	flushBytes int64
 	totalBytes int64
+
+	// serving gates client-facing reads and writes. A fenced region
+	// (serving=false) is either a replication follower or mid-move;
+	// clients get NotServingError and must re-route. Replication Apply
+	// bypasses the fence.
+	serving atomic.Bool
 }
 
 func newRegion(id int, start, end string, flushBytes int64) *region {
 	if flushBytes <= 0 {
 		flushBytes = 4 << 20
 	}
-	return &region{
+	g := &region{
 		id:         id,
 		startKey:   start,
 		endKey:     end,
 		mem:        newMemStore(int64(id)*7919 + 1),
 		flushBytes: flushBytes,
 	}
+	g.serving.Store(true)
+	return g
 }
 
 // contains reports whether the row key falls in this region's range.
@@ -228,6 +237,8 @@ func (g *region) split(at string, leftID, rightID int) (*region, *region, error)
 	}
 	left := newRegion(leftID, g.startKey, at, g.flushBytes)
 	right := newRegion(rightID, at, g.endKey, g.flushBytes)
+	left.serving.Store(g.serving.Load())
+	right.serving.Store(g.serving.Load())
 	g.scanRows(g.startKey, g.endKey, func(r Row) bool {
 		target := left
 		if r.Key >= at {
@@ -285,6 +296,39 @@ func mergeTables(tables []*sstable) []Cell {
 			continue // shadowed version
 		}
 		out = append(out, c)
+	}
+	return out
+}
+
+// exportCells returns the newest live cell of every (row, column) in
+// the region, timestamps preserved — the payload of a RegionSnapshot.
+// Tombstoned columns are omitted entirely: the importing side starts
+// from nothing, so there is no older version left to hide.
+func (g *region) exportCells() []Cell {
+	g.mu.RLock()
+	all := append([]Cell(nil), g.mem.Cells()...)
+	for _, t := range g.sstables { // newest first
+		t.scanRange("", "", func(c Cell) bool {
+			all = append(all, c)
+			return true
+		})
+	}
+	g.mu.RUnlock()
+	// Stable sort keeps newer sources first among equal (row, column,
+	// ts) triples, matching read semantics.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].less(all[j]) })
+	out := make([]Cell, 0, len(all))
+	lastRow, lastCol := "", ""
+	first := true
+	for _, c := range all {
+		if !first && c.Row == lastRow && c.Column == lastCol {
+			continue // shadowed older version
+		}
+		first = false
+		lastRow, lastCol = c.Row, c.Column
+		if !c.Deleted {
+			out = append(out, c)
+		}
 	}
 	return out
 }

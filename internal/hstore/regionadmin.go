@@ -1,0 +1,181 @@
+package hstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NotServingError reports that the addressed row (or scan range) is not
+// currently served by this server: the owning region was never hosted
+// here, has been moved away, or is fenced for a move/failover. Clients
+// holding a routing cache should treat it as "my route is stale":
+// refresh the route and retry — exactly HBase's
+// NotServingRegionException contract.
+type NotServingError struct {
+	Table string
+	Row   string
+}
+
+func (e *NotServingError) Error() string {
+	return fmt.Sprintf("hstore: region for %s/%q not serving here", e.Table, e.Row)
+}
+
+// IsNotServing reports whether err is (or wraps) a NotServingError.
+func IsNotServing(err error) bool {
+	if err == nil {
+		return false
+	}
+	var nse *NotServingError
+	return errors.As(err, &nse)
+}
+
+// RegionSnapshot is an immutable export of one region: its bounds plus
+// the newest live cell of every (row, column), timestamps preserved.
+// It is the unit of region movement and re-replication in dstore: the
+// source exports, the target installs, META flips.
+type RegionSnapshot struct {
+	Table    string `json:"table"`
+	RegionID int    `json:"region_id"`
+	StartKey string `json:"start_key"`
+	EndKey   string `json:"end_key"`
+	Cells    []Cell `json:"cells"`
+}
+
+// Bytes approximates the snapshot's wire size, for the bytes-moved
+// accounting of rebalancing benchmarks.
+func (snap *RegionSnapshot) Bytes() int64 {
+	n := int64(len(snap.Table) + len(snap.StartKey) + len(snap.EndKey) + 8)
+	for _, c := range snap.Cells {
+		n += int64(len(c.Row)+len(c.Column)+len(c.Value)) + 9
+	}
+	return n
+}
+
+// ExportRegion snapshots one hosted region. The region does not need to
+// be serving (moves fence the region first, then export).
+func (s *Server) ExportRegion(table string, regionID int) (*RegionSnapshot, error) {
+	g, err := s.regionByID(table, regionID)
+	if err != nil {
+		return nil, err
+	}
+	return &RegionSnapshot{
+		Table:    table,
+		RegionID: regionID,
+		StartKey: g.startKey,
+		EndKey:   g.endKey,
+		Cells:    g.exportCells(),
+	}, nil
+}
+
+// InstallRegion adds a region with the snapshot's bounds and contents
+// to this server, creating an empty table shell first if the table is
+// unknown here. serving=false installs a fenced replica (the follower
+// state in dstore); client-facing reads and writes on it fail with
+// NotServingError until SetServing(true), while replicated Apply
+// traffic is always accepted.
+func (s *Server) InstallRegion(snap *RegionSnapshot, serving bool) error {
+	if snap == nil || snap.Table == "" {
+		return fmt.Errorf("hstore: install needs a table name")
+	}
+	s.mu.Lock()
+	t, ok := s.tables[snap.Table]
+	if !ok {
+		t = &table{name: snap.Table}
+		s.tables[snap.Table] = t
+	}
+	for _, g := range t.regions {
+		if g.id == snap.RegionID {
+			s.mu.Unlock()
+			return fmt.Errorf("hstore: region %d already hosted for table %q", snap.RegionID, snap.Table)
+		}
+		if rangesOverlap(g.startKey, g.endKey, snap.StartKey, snap.EndKey) {
+			s.mu.Unlock()
+			return fmt.Errorf("hstore: region [%q,%q) overlaps hosted region %d [%q,%q)",
+				snap.StartKey, snap.EndKey, g.id, g.startKey, g.endKey)
+		}
+	}
+	g := newRegion(snap.RegionID, snap.StartKey, snap.EndKey, s.flushBytes())
+	g.serving.Store(serving)
+	if snap.RegionID >= s.nextID {
+		s.nextID = snap.RegionID + 1
+	}
+	t.regions = append(t.regions, g)
+	sort.Slice(t.regions, func(i, j int) bool { return t.regions[i].startKey < t.regions[j].startKey })
+	s.mu.Unlock()
+
+	for _, c := range snap.Cells {
+		s.bumpClock(c.Ts)
+		g.put(c)
+	}
+	return nil
+}
+
+// DropRegion removes a hosted region and its data (the final step of a
+// region move, after the target has installed the snapshot).
+func (s *Server) DropRegion(table string, regionID int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return fmt.Errorf("hstore: table %q does not exist", table)
+	}
+	for i, g := range t.regions {
+		if g.id == regionID {
+			t.regions = append(t.regions[:i], t.regions[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("hstore: region %d not hosted for table %q", regionID, table)
+}
+
+// SetServing fences (false) or unfences (true) one hosted region for
+// client-facing traffic. Replication Apply ignores the flag.
+func (s *Server) SetServing(table string, regionID int, serving bool) error {
+	g, err := s.regionByID(table, regionID)
+	if err != nil {
+		return err
+	}
+	g.serving.Store(serving)
+	return nil
+}
+
+// LookupRegion returns the catalog entry of the hosted region owning
+// the row, if any.
+func (s *Server) LookupRegion(table, row string) (MetaEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return MetaEntry{}, false
+	}
+	g := t.regionFor(row)
+	if g == nil {
+		return MetaEntry{}, false
+	}
+	return MetaEntry{
+		Table: table, StartKey: g.startKey, EndKey: g.endKey,
+		RegionID: g.id, Server: localServerName, Serving: g.serving.Load(),
+	}, true
+}
+
+func (s *Server) regionByID(table string, regionID int) (*region, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("hstore: table %q does not exist", table)
+	}
+	for _, g := range t.regions {
+		if g.id == regionID {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("hstore: region %d not hosted for table %q", regionID, table)
+}
+
+// rangesOverlap reports whether [s1,e1) and [s2,e2) intersect, with ""
+// as the unbounded end key.
+func rangesOverlap(s1, e1, s2, e2 string) bool {
+	return (e2 == "" || s1 < e2) && (e1 == "" || s2 < e1)
+}

@@ -27,6 +27,10 @@ type Server struct {
 	MaxRegionBytes int64
 	// FlushBytes is the per-region memstore flush threshold (default 4 MB).
 	FlushBytes int64
+	// NoAutoSplit disables size-triggered region splits. dstore region
+	// servers set it: their region boundaries belong to the master's
+	// catalog and must not drift underneath it.
+	NoAutoSplit bool
 
 	// wal, when non-nil, makes mutations durable (see OpenDurable).
 	wal *wal
@@ -112,17 +116,22 @@ func (s *Server) table(name string) (*table, error) {
 	return t, nil
 }
 
-// regionFor locates the region owning the row (regions cover the whole
-// key space, so this always succeeds for an existing table).
+// regionFor locates the hosted region owning the row, or nil when the
+// row falls in a key range this server does not host (possible once
+// regions are installed/dropped individually by a dstore master; a
+// standalone server's regions always cover the whole key space).
 func (t *table) regionFor(row string) *region {
 	i := sort.Search(len(t.regions), func(i int) bool {
 		g := t.regions[i]
 		return g.endKey == "" || row < g.endKey
 	})
 	if i >= len(t.regions) {
-		i = len(t.regions) - 1
+		return nil
 	}
-	return t.regions[i]
+	if g := t.regions[i]; g.contains(row) {
+		return g
+	}
+	return nil
 }
 
 // now issues a monotonically increasing logical timestamp.
@@ -141,24 +150,66 @@ func (s *Server) now() int64 {
 
 // Put writes one cell, durably when a WAL is armed.
 func (s *Server) Put(tableName, row, column string, value []byte) error {
+	_, err := s.PutCell(tableName, row, column, value)
+	return err
+}
+
+// PutCell writes one cell and returns it with its assigned timestamp,
+// so a replicating caller can forward the identical cell to followers
+// (Apply) and keep replicas byte-for-byte equal.
+func (s *Server) PutCell(tableName, row, column string, value []byte) (Cell, error) {
+	c := Cell{Row: row, Column: column, Ts: s.now(), Value: value}
+	return c, s.applyCell(tableName, c, true)
+}
+
+// applyCell is the single write path: WAL first, then the owning
+// region. clientFacing writes respect the region's serving fence;
+// replication traffic (Apply) does not, because fences gate client
+// routing, not master-driven data movement.
+func (s *Server) applyCell(tableName string, c Cell, clientFacing bool) error {
 	t, err := s.table(tableName)
 	if err != nil {
 		return err
 	}
-	c := Cell{Row: row, Column: column, Ts: s.now(), Value: value}
 	if s.wal != nil {
 		if err := s.wal.logCell(tableName, c); err != nil {
 			return err
 		}
 	}
 	s.mu.Lock()
-	g := t.regionFor(row)
+	g := t.regionFor(c.Row)
 	s.mu.Unlock()
+	if g == nil || (clientFacing && !g.serving.Load()) {
+		return &NotServingError{Table: tableName, Row: c.Row}
+	}
 	g.put(c)
-	if g.sizeBytes() > s.maxRegionBytes() {
+	if !s.NoAutoSplit && g.sizeBytes() > s.maxRegionBytes() {
 		s.trySplit(t, g)
 	}
 	return nil
+}
+
+// Apply writes pre-stamped cells — the replication and snapshot-install
+// path. The server clock is advanced past every applied timestamp so
+// subsequent local writes cannot be shadowed by replicated history.
+func (s *Server) Apply(tableName string, cells []Cell) error {
+	for _, c := range cells {
+		s.bumpClock(c.Ts)
+		if err := s.applyCell(tableName, c, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bumpClock advances the logical clock to at least ts.
+func (s *Server) bumpClock(ts int64) {
+	for {
+		prev := s.clock.Load()
+		if ts <= prev || s.clock.CompareAndSwap(prev, ts) {
+			return
+		}
+	}
 }
 
 // PutRow writes all columns of a row.
@@ -205,21 +256,15 @@ func (s *Server) trySplit(t *table, g *region) {
 // Delete writes a tombstone for one column of a row; older versions
 // become invisible and are dropped at the next major compaction.
 func (s *Server) Delete(tableName, row, column string) error {
-	t, err := s.table(tableName)
-	if err != nil {
-		return err
-	}
+	_, err := s.DeleteCell(tableName, row, column)
+	return err
+}
+
+// DeleteCell writes a tombstone and returns it stamped, for replication
+// (the delete-side twin of PutCell).
+func (s *Server) DeleteCell(tableName, row, column string) (Cell, error) {
 	c := Cell{Row: row, Column: column, Ts: s.now(), Deleted: true}
-	if s.wal != nil {
-		if err := s.wal.logCell(tableName, c); err != nil {
-			return err
-		}
-	}
-	s.mu.Lock()
-	g := t.regionFor(row)
-	s.mu.Unlock()
-	g.put(c)
-	return nil
+	return c, s.applyCell(tableName, c, true)
 }
 
 // DeleteRow tombstones every current column of a row. A row with no
@@ -254,6 +299,9 @@ func (s *Server) Get(tableName, row string) (Row, bool, error) {
 	s.mu.RLock()
 	g := t.regionFor(row)
 	s.mu.RUnlock()
+	if g == nil || !g.serving.Load() {
+		return Row{}, false, &NotServingError{Table: tableName, Row: row}
+	}
 	r, ok := g.get(row)
 	if ok {
 		s.rowsReturned.Add(1)
@@ -274,6 +322,36 @@ func (s *Server) Scan(tableName, startRow, endRow string, f Filter, limit int) (
 	s.mu.RLock()
 	regions := append([]*region(nil), t.regions...)
 	s.mu.RUnlock()
+
+	// The scan range must be fully covered by serving regions; a gap or
+	// a fenced region means a routing client holds a stale view of who
+	// serves what, and silently returning partial results would read as
+	// missing rows. (A standalone server always covers the key space.)
+	cursor := startRow
+	covered := false
+	for _, g := range regions {
+		if endRow != "" && g.startKey >= endRow {
+			break
+		}
+		if g.endKey != "" && g.endKey <= cursor {
+			continue
+		}
+		if g.startKey > cursor || !g.serving.Load() {
+			return nil, &NotServingError{Table: tableName, Row: cursor}
+		}
+		if g.endKey == "" {
+			covered = true
+			break
+		}
+		cursor = g.endKey
+		if endRow != "" && cursor >= endRow {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return nil, &NotServingError{Table: tableName, Row: cursor}
+	}
 
 	var out []Row
 	for _, g := range regions {
@@ -319,6 +397,10 @@ func (s *Server) Flush(tableName string) error {
 	return nil
 }
 
+// localServerName names this server in catalog entries when no dstore
+// master has assigned it an identity.
+const localServerName = "regionserver-0"
+
 // MetaEntry is one catalog row, as in HBase's .META. table: the key is
 // (table, startKey, regionID) and the value names the serving region
 // server (always this server in the single-process build).
@@ -328,6 +410,7 @@ type MetaEntry struct {
 	EndKey   string
 	RegionID int
 	Server   string
+	Serving  bool
 }
 
 // Meta returns the catalog.
@@ -344,7 +427,7 @@ func (s *Server) Meta() []MetaEntry {
 		for _, g := range s.tables[n].regions {
 			out = append(out, MetaEntry{
 				Table: n, StartKey: g.startKey, EndKey: g.endKey,
-				RegionID: g.id, Server: "regionserver-0",
+				RegionID: g.id, Server: localServerName, Serving: g.serving.Load(),
 			})
 		}
 	}

@@ -29,6 +29,7 @@ import (
 	"pstorm/internal/conf"
 	"pstorm/internal/core"
 	"pstorm/internal/data"
+	"pstorm/internal/dstore"
 	"pstorm/internal/engine"
 	"pstorm/internal/hstore"
 	"pstorm/internal/matcher"
@@ -78,6 +79,16 @@ type Options struct {
 	// StoreURL, when set, connects the profile store to a remote hstore
 	// server over HTTP instead of an in-process one.
 	StoreURL string
+	// StoreServers, when > 0, backs the profile store with an in-process
+	// dstore cluster of that many region servers (replication 2, the
+	// profile table split across them). Takes precedence over StoreURL
+	// and DataDir. Close() shuts the cluster down.
+	StoreServers int
+	// MasterURL, when set, connects the profile store to a running
+	// pstormd master over HTTP; region servers must carry addresses in
+	// META (i.e. have joined with -addr). Takes precedence over
+	// StoreServers.
+	MasterURL string
 	// DataDir, when set, makes the in-process profile store durable: the
 	// last checkpoint in the directory is reopened, the write-ahead log
 	// replayed over it, and every subsequent mutation logged — so stored
@@ -96,7 +107,8 @@ type System struct {
 	core    *core.System
 	engine  *engine.Engine
 	store   *core.Store
-	server  *hstore.Server // nil for remote stores
+	server  *hstore.Server       // nil unless backed by one in-process hstore
+	cluster *dstore.LocalCluster // nil unless backed by an in-process dstore cluster
 	dataDir string
 }
 
@@ -110,23 +122,40 @@ func Open(opt Options) (*System, error) {
 		cl = DefaultCluster()
 	}
 	eng := engine.New(cl, opt.Seed)
-	var client *hstore.Client
+	var client core.KV
 	var server *hstore.Server
-	if opt.StoreURL != "" {
+	var dcluster *dstore.LocalCluster
+	switch {
+	case opt.MasterURL != "":
+		client = dstore.NewClient(dstore.DialMaster(opt.MasterURL, 0), dstore.NewRegistry())
+	case opt.StoreServers > 0:
+		var err error
+		dcluster, err = dstore.StartLocalCluster(dstore.LocalOptions{
+			Servers:    opt.StoreServers,
+			Background: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		client = dcluster.Client()
+	case opt.StoreURL != "":
 		client = hstore.Dial(opt.StoreURL)
-	} else if opt.DataDir != "" {
+	case opt.DataDir != "":
 		var err error
 		server, err = hstore.OpenDurable(opt.DataDir)
 		if err != nil {
 			return nil, err
 		}
 		client = hstore.Connect(server)
-	} else {
+	default:
 		server = hstore.NewServer()
 		client = hstore.Connect(server)
 	}
 	store, err := core.NewStore(client)
 	if err != nil {
+		if dcluster != nil {
+			dcluster.Close()
+		}
 		return nil, err
 	}
 	sys := core.NewSystem(store, eng)
@@ -138,8 +167,22 @@ func Open(opt Options) (*System, error) {
 	if opt.SampleTasks > 0 {
 		sys.SampleTasks = opt.SampleTasks
 	}
-	return &System{core: sys, engine: eng, store: store, server: server, dataDir: opt.DataDir}, nil
+	return &System{core: sys, engine: eng, store: store, server: server, cluster: dcluster, dataDir: opt.DataDir}, nil
 }
+
+// Close releases store resources. It matters for StoreServers systems
+// (stops the cluster's master loop and region servers); elsewhere it is
+// a no-op.
+func (s *System) Close() {
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+}
+
+// StoreCluster exposes the in-process dstore cluster backing the
+// profile store when Options.StoreServers was used (nil otherwise) —
+// benchmarks and tests use it to kill servers and move regions.
+func (s *System) StoreCluster() *dstore.LocalCluster { return s.cluster }
 
 // Checkpoint folds the profile store into a compact on-disk image in
 // Options.DataDir and truncates the write-ahead log. Mutations are
