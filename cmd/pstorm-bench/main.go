@@ -2,13 +2,15 @@
 //
 // Usage:
 //
-//	pstorm-bench [-seed N] [-run id[,id...]] [-list] [-json]
+//	pstorm-bench [-seed N] [-run id[,id...]] [-list] [-json] [-metrics]
 //
 // With no -run flag every experiment runs, in the paper's order. The
 // experiment IDs follow the paper (table6.1, fig6.3, ...) plus the
 // ablations (ablation-pushdown, ...) and the systems experiments
 // (dstore-scale). -json additionally writes each experiment's tables to
-// BENCH_<id>.json in the current directory.
+// BENCH_<id>.json in the current directory; -metrics appends the
+// observability snapshots an experiment records (retry/failover
+// counters, latency histograms, traced events) to that JSON.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"pstorm/internal/bench"
+	"pstorm/internal/obs"
 )
 
 func main() {
@@ -27,6 +30,7 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	asJSON := flag.Bool("json", false, "also write each experiment's tables to BENCH_<id>.json")
+	withMetrics := flag.Bool("metrics", false, "with -json: include recorded observability snapshots in the BENCH JSON")
 	flag.Parse()
 
 	if *list {
@@ -64,9 +68,13 @@ func main() {
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
+		metrics := env.DrainMetrics()
+		if !*withMetrics {
+			metrics = nil
+		}
 		if *asJSON {
 			name := "BENCH_" + r.ID + ".json"
-			if err := writeJSON(name, *seed, r, tables); err != nil {
+			if err := writeJSON(name, *seed, r, tables, metrics); err != nil {
 				fmt.Fprintf(os.Stderr, "pstorm-bench: writing %s: %v\n", name, err)
 				failed = true
 			} else {
@@ -82,15 +90,16 @@ func main() {
 
 // benchJSON is the machine-readable form of one experiment's output.
 type benchJSON struct {
-	Experiment string         `json:"experiment"`
-	Desc       string         `json:"desc"`
-	Seed       int64          `json:"seed"`
-	Tables     []*bench.Table `json:"tables"`
+	Experiment string                  `json:"experiment"`
+	Desc       string                  `json:"desc"`
+	Seed       int64                   `json:"seed"`
+	Tables     []*bench.Table          `json:"tables"`
+	Metrics    map[string]obs.Snapshot `json:"metrics,omitempty"`
 }
 
-func writeJSON(name string, seed int64, r bench.Runner, tables []*bench.Table) error {
+func writeJSON(name string, seed int64, r bench.Runner, tables []*bench.Table, metrics map[string]obs.Snapshot) error {
 	raw, err := json.MarshalIndent(benchJSON{
-		Experiment: r.ID, Desc: r.Desc, Seed: seed, Tables: tables,
+		Experiment: r.ID, Desc: r.Desc, Seed: seed, Tables: tables, Metrics: metrics,
 	}, "", "  ")
 	if err != nil {
 		return err

@@ -19,15 +19,18 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"time"
 
 	"pstorm/internal/core"
 	"pstorm/internal/dstore"
+	"pstorm/internal/obs"
 )
 
 func main() {
@@ -39,18 +42,19 @@ func main() {
 	hbTimeout := flag.Duration("hb-timeout", 2*time.Second, "master: heartbeat timeout before failover")
 	hbEvery := flag.Duration("hb-every", 500*time.Millisecond, "region: heartbeat interval")
 	repl := flag.Int("replication", 2, "master: copies per region, primary included")
-	demo := flag.Bool("demo", false, "run a master and three region servers over loopback, seed the table, print status")
+	demo := flag.Bool("demo", false, "run a master and three region servers over loopback, seed the table, kill and replace a primary, print status")
+	hold := flag.Bool("hold", false, "demo: keep serving /metrics after the walkthrough instead of exiting")
 	flag.Parse()
 
-	if err := run(*role, *listen, *id, *master, *addr, *hbTimeout, *hbEvery, *repl, *demo); err != nil {
+	if err := run(*role, *listen, *id, *master, *addr, *hbTimeout, *hbEvery, *repl, *demo, *hold); err != nil {
 		fmt.Fprintln(os.Stderr, "pstormd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(role, listen, id, masterURL, addr string, hbTimeout, hbEvery time.Duration, repl int, demo bool) error {
+func run(role, listen, id, masterURL, addr string, hbTimeout, hbEvery time.Duration, repl int, demo, hold bool) error {
 	if demo {
-		return runDemo(hbTimeout, hbEvery, repl)
+		return runDemo(hbTimeout, hbEvery, repl, hold)
 	}
 	switch role {
 	case "master":
@@ -66,7 +70,7 @@ func run(role, listen, id, masterURL, addr string, hbTimeout, hbEvery time.Durat
 		defer m.Close()
 		fmt.Printf("pstormd master listening on %s (replication %d, heartbeat timeout %s)\n",
 			listen, repl, hbTimeout)
-		return http.ListenAndServe(listen, dstore.MasterHandler(m))
+		return http.ListenAndServe(listen, withObs(dstore.MasterHandler(m), m.Obs().Snapshot))
 	case "region":
 		if listen == "" || id == "" || masterURL == "" || addr == "" {
 			return fmt.Errorf("region needs -listen, -id, -master, and -addr")
@@ -78,17 +82,31 @@ func run(role, listen, id, masterURL, addr string, hbTimeout, hbEvery time.Durat
 		}
 		rs.StartHeartbeats(mc, hbEvery)
 		fmt.Printf("pstormd region server %s listening on %s (master %s)\n", id, listen, masterURL)
-		return http.ListenAndServe(listen, dstore.RegionServerHandler(rs))
+		gather := func() obs.Snapshot {
+			return obs.Merge(rs.Obs().Snapshot(), rs.HStore().Obs().Snapshot())
+		}
+		return http.ListenAndServe(listen, withObs(dstore.RegionServerHandler(rs), gather))
 	default:
 		return fmt.Errorf("need -role master, -role region, or -demo (see -h)")
 	}
 }
 
+// withObs wraps a node's wire-protocol handler with the /metrics and
+// /debug/events observability endpoints.
+func withObs(h http.Handler, gather func() obs.Snapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	obs.Mount(mux, gather)
+	return mux
+}
+
 // runDemo stands up a full cluster over loopback TCP — master plus
 // three region servers, all speaking the HTTP wire protocol — creates
-// the profile table through a routing client, writes and reads a few
-// rows, and prints the master's view.
-func runDemo(hbTimeout, hbEvery time.Duration, repl int) error {
+// the profile table through a routing client, writes and reads rows,
+// then kills a primary mid-stream, lets the master fail over, joins a
+// replacement server, and prints the metrics the cycle produced. The
+// whole walkthrough is observable at the printed /metrics URL.
+func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
 	m := dstore.NewMaster(dstore.NewRegistry(), dstore.MasterOptions{
 		HeartbeatTimeout: hbTimeout,
 		Replication:      repl,
@@ -96,14 +114,29 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int) error {
 	})
 	m.Start()
 	defer m.Close()
-	masterURL, err := serveLoopback(dstore.MasterHandler(m))
+
+	var (
+		servers []*dstore.RegionServer
+		cl      *dstore.Client
+	)
+	gather := func() obs.Snapshot {
+		snaps := []obs.Snapshot{m.Obs().Snapshot()}
+		for _, rs := range servers {
+			snaps = append(snaps, rs.Obs().Snapshot(), rs.HStore().Obs().Snapshot())
+		}
+		if cl != nil {
+			snaps = append(snaps, cl.Obs().Snapshot())
+		}
+		return obs.Merge(snaps...)
+	}
+	masterURL, err := serveLoopback(withObs(dstore.MasterHandler(m), gather))
 	if err != nil {
 		return err
 	}
 	fmt.Println("master:", masterURL)
+	fmt.Printf("metrics: %s/metrics   events: %s/debug/events\n", masterURL, masterURL)
 
-	for i := 0; i < 3; i++ {
-		id := fmt.Sprintf("rs-%d", i)
+	startServer := func(id string) error {
 		rs := dstore.NewRegionServer(id, dstore.NewRegistry())
 		u, err := serveLoopback(dstore.RegionServerHandler(rs))
 		if err != nil {
@@ -114,10 +147,17 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int) error {
 			return err
 		}
 		rs.StartHeartbeats(mc, hbEvery)
+		servers = append(servers, rs)
 		fmt.Printf("region server %s: %s\n", id, u)
+		return nil
+	}
+	for i := 0; i < 3; i++ {
+		if err := startServer(fmt.Sprintf("rs-%d", i)); err != nil {
+			return err
+		}
 	}
 
-	cl := dstore.NewClient(dstore.DialMaster(masterURL, 0), dstore.NewRegistry())
+	cl = dstore.NewClient(dstore.DialMaster(masterURL, 0), dstore.NewRegistry())
 	if err := cl.CreateTable(core.TableName); err != nil {
 		return err
 	}
@@ -132,16 +172,99 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int) error {
 		return err
 	}
 	fmt.Printf("\nwrote 10 rows through the routing client; scan sees %d\n\n", len(rows))
+	printMeta(cl)
+
+	// Kill the primary of the "meta" region and keep writing: the client
+	// retries against the corpse until the master declares it dead and
+	// promotes a follower, then the writes land on the new primary.
 	meta, err := cl.Meta()
 	if err != nil {
 		return err
+	}
+	victim := ""
+	for _, g := range meta.Tables[core.TableName] {
+		if g.StartKey == "meta" {
+			victim = g.Primary
+		}
+	}
+	for _, rs := range servers {
+		if rs.ID() == victim {
+			rs.Stop()
+		}
+	}
+	fmt.Printf("\nkilled %s (primary of the \"meta\" region); writing 5 more rows through the outage...\n", victim)
+	for i := 10; i < 15; i++ {
+		row := fmt.Sprintf("meta/demo-job-%02d", i)
+		// A single retry budget can run out before the master declares
+		// the primary dead; ErrExhausted tells an outage apart from a
+		// real store error, so the demo just budgets again.
+		for budget := 0; ; budget++ {
+			err := cl.Put(core.TableName, row, "profile", []byte(fmt.Sprintf("{\"job\":%d}", i)))
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, dstore.ErrExhausted) || budget >= 20 {
+				return err
+			}
+		}
+	}
+	if err := startServer("rs-3"); err != nil { // recovery: a fresh node joins
+		return err
+	}
+	deadline := time.Now().Add(10 * hbTimeout)
+	for time.Now().Before(deadline) {
+		if gather().Counters["dstore_master_rereplications_total"] > 0 {
+			break
+		}
+		time.Sleep(hbTimeout / 4)
+	}
+	rows, err = cl.Scan(core.TableName, "meta/", "meta0", nil, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("all %d rows readable after failover\n\n", len(rows))
+	printMeta(cl)
+
+	snap := gather()
+	fmt.Println("\nmetrics after the kill/recover cycle:")
+	for _, k := range []string{
+		"dstore_master_server_deaths_total", "dstore_master_failovers_total",
+		"dstore_master_rereplications_total", "dstore_client_retries_total",
+		"dstore_client_meta_refresh_total",
+	} {
+		fmt.Printf("  %-40s %d\n", k, snap.Counters[k])
+	}
+	hists := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		hists = append(hists, name)
+	}
+	sort.Strings(hists)
+	for _, name := range hists {
+		if h := snap.Histograms[name]; h.Count > 0 {
+			fmt.Printf("  %-40s count=%d sum=%.2f\n", name, h.Count, h.Sum)
+		}
+	}
+	fmt.Println("\ntraced events:")
+	for _, e := range snap.Events {
+		fmt.Printf("  #%d %s %v\n", e.Seq, e.Type, e.Fields)
+	}
+	if hold {
+		fmt.Printf("\nholding; curl %s/metrics (Ctrl-C to exit)\n", masterURL)
+		select {}
+	}
+	return nil
+}
+
+func printMeta(cl *dstore.Client) {
+	meta, err := cl.Meta()
+	if err != nil {
+		return
 	}
 	fmt.Printf("META epoch %d, table %q regions:\n", meta.Epoch, core.TableName)
 	for _, g := range meta.Tables[core.TableName] {
 		fmt.Printf("  region %d [%q, %q) primary=%s followers=%v\n",
 			g.ID, g.StartKey, g.EndKey, g.Primary, g.Followers)
 	}
-	return nil
 }
 
 func serveLoopback(h http.Handler) (string, error) {

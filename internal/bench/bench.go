@@ -18,6 +18,7 @@ import (
 	"pstorm/internal/engine"
 	"pstorm/internal/hstore"
 	"pstorm/internal/mrjob"
+	"pstorm/internal/obs"
 	"pstorm/internal/profile"
 	"pstorm/internal/workloads"
 )
@@ -126,6 +127,30 @@ type Env struct {
 	samples    map[string]*profile.Profile
 	defRun     map[string]float64
 	storeCache map[string]*matcherStoreCacheEntry
+	metrics    map[string]obs.Snapshot
+}
+
+// RecordMetrics stashes an observability snapshot under a key (e.g.
+// "dstore-scale/servers=4"); pstorm-bench -metrics drains them into the
+// experiment's BENCH JSON.
+func (e *Env) RecordMetrics(key string, snap obs.Snapshot) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.metrics == nil {
+		e.metrics = make(map[string]obs.Snapshot)
+	}
+	e.metrics[key] = snap
+}
+
+// DrainMetrics returns the snapshots recorded since the last drain and
+// clears them, so sequential experiments attribute metrics to the run
+// that produced them.
+func (e *Env) DrainMetrics() map[string]obs.Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.metrics
+	e.metrics = nil
+	return out
 }
 
 // BankEntry is one complete profile in the bank.

@@ -39,7 +39,7 @@ func RunDStoreScale(e *Env) ([]*Table, error) {
 		},
 	}
 	for _, n := range []int{1, 2, 4} {
-		row, err := runDStoreConfig(e.Seed, n)
+		row, err := runDStoreConfig(e, e.Seed, n)
 		if err != nil {
 			return nil, fmt.Errorf("bench: dstore-scale servers=%d: %w", n, err)
 		}
@@ -48,7 +48,7 @@ func RunDStoreScale(e *Env) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-func runDStoreConfig(seed int64, servers int) ([]string, error) {
+func runDStoreConfig(e *Env, seed int64, servers int) ([]string, error) {
 	c, err := dstore.StartLocalCluster(dstore.LocalOptions{
 		Servers:           servers,
 		Replication:       2,
@@ -185,6 +185,7 @@ func runDStoreConfig(seed int64, servers int) ([]string, error) {
 		}
 		after += len(rows)
 	}
+	e.RecordMetrics(fmt.Sprintf("dstore-scale/servers=%d", servers), c.Snapshot())
 	return []string{
 		fmt.Sprintf("%d", servers),
 		fmtF(putsPerSec, 0),

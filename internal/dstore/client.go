@@ -2,13 +2,27 @@ package dstore
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pstorm/internal/hstore"
+	"pstorm/internal/obs"
 )
+
+// clientSeq distinguishes the RNG seeds of clients created in one
+// process, so concurrent clients never share a jitter schedule.
+var clientSeq atomic.Int64
+
+// splitmix64 spreads consecutive seeds across the whole 64-bit space.
+func splitmix64(x int64) int64 {
+	z := uint64(x) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
 
 // Client is the routing client: it caches META, routes every operation
 // to the primary of the owning region, and on a stale route
@@ -21,27 +35,67 @@ type Client struct {
 
 	// MaxAttempts bounds the retry loop per operation (default 12).
 	MaxAttempts int
-	// RetryBase is the first backoff step; step k sleeps
-	// min(RetryBase<<k, 100ms) (default 1ms). The schedule is
-	// deterministic — no jitter — so tests and benchmarks reproduce.
+	// RetryBase is the first backoff step; step k sleeps a uniformly
+	// random duration in [0, min(RetryBase<<k, 100ms)] — full jitter,
+	// so clients retrying against the same recovering server spread out
+	// instead of arriving in lockstep (default base 1ms). The RNG is
+	// seeded per client: reproducible within a process, distinct across
+	// clients.
 	RetryBase time.Duration
 
 	mu     sync.RWMutex
 	meta   Meta
 	loaded bool
 
-	retries atomic.Int64
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	o             *obs.Registry
+	mRetries      *obs.Counter
+	mRefreshes    *obs.Counter
+	mGiveUps      *obs.Counter
+	hBackoffMs    *obs.Histogram
+	opCounters    map[string]*obs.Counter
+	opCountersMu  sync.Mutex
+	refreshPerOpH *obs.Histogram
 }
 
 // NewClient returns a routing client speaking to the master and
 // resolving region servers through reg.
 func NewClient(master MasterConn, reg *Registry) *Client {
-	return &Client{master: master, reg: reg}
+	o := obs.NewRegistry()
+	return &Client{
+		master:        master,
+		reg:           reg,
+		rng:           rand.New(rand.NewSource(splitmix64(clientSeq.Add(1)))),
+		o:             o,
+		mRetries:      o.Counter("dstore_client_retries_total"),
+		mRefreshes:    o.Counter("dstore_client_meta_refresh_total"),
+		mGiveUps:      o.Counter("dstore_client_giveup_total"),
+		hBackoffMs:    o.Histogram("dstore_client_backoff_ms", nil),
+		opCounters:    make(map[string]*obs.Counter),
+		refreshPerOpH: o.Histogram("dstore_client_meta_refresh_per_op", []float64{0, 1, 2, 4, 8}),
+	}
+}
+
+// Obs exposes the client's metrics registry.
+func (c *Client) Obs() *obs.Registry { return c.o }
+
+// countOp bumps the per-operation counter.
+func (c *Client) countOp(op string) {
+	c.opCountersMu.Lock()
+	ctr, ok := c.opCounters[op]
+	if !ok {
+		ctr = c.o.Counter("dstore_client_ops_total", "op", op)
+		c.opCounters[op] = ctr
+	}
+	c.opCountersMu.Unlock()
+	ctr.Inc()
 }
 
 // Retries reports how many times operations re-routed after a
 // retryable failure — the observable cost of moves and failovers.
-func (c *Client) Retries() int64 { return c.retries.Load() }
+func (c *Client) Retries() int64 { return c.mRetries.Value() }
 
 func (c *Client) maxAttempts() int {
 	if c.MaxAttempts > 0 {
@@ -50,20 +104,41 @@ func (c *Client) maxAttempts() int {
 	return 12
 }
 
+// backoff returns the sleep before retry k: full jitter over the
+// exponential schedule, uniform in [0, min(RetryBase<<k, 100ms)]. The
+// upper bound is deterministic; the draw is not, by design — see
+// RetryBase.
 func (c *Client) backoff(attempt int) time.Duration {
+	d := c.backoffCap(attempt)
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d) + 1))
+	c.rngMu.Unlock()
+	return j
+}
+
+// backoffCap is the deterministic upper bound of the attempt's backoff.
+func (c *Client) backoffCap(attempt int) time.Duration {
 	base := c.RetryBase
 	if base <= 0 {
 		base = time.Millisecond
 	}
 	d := base << uint(attempt)
-	if max := 100 * time.Millisecond; d > max {
+	if max := 100 * time.Millisecond; d > max || d <= 0 {
 		d = max
 	}
 	return d
 }
 
+// sleepBackoff draws, records, and sleeps one backoff step.
+func (c *Client) sleepBackoff(attempt int) {
+	d := c.backoff(attempt)
+	c.hBackoffMs.Observe(float64(d) / float64(time.Millisecond))
+	time.Sleep(d)
+}
+
 // Refresh refetches META from the master.
 func (c *Client) Refresh() error {
+	c.mRefreshes.Inc()
 	meta, err := c.master.Meta()
 	if err != nil {
 		return err
@@ -131,18 +206,27 @@ func (c *Client) route(table, row string) (RegionInfo, ServerConn, error) {
 }
 
 // withRetry runs op, refreshing META and backing off after each
-// retryable failure.
-func (c *Client) withRetry(op func() error) error {
+// retryable failure. Exhausting the attempt budget on a retryable error
+// wraps it in ErrExhausted, so callers can tell a liveness problem
+// ("the cluster never healed while I retried") from a plain store
+// error.
+func (c *Client) withRetry(opName string, op func() error) error {
+	c.countOp(opName)
+	refreshesBefore := c.mRefreshes.Value()
+	defer func() {
+		c.refreshPerOpH.Observe(float64(c.mRefreshes.Value() - refreshesBefore))
+	}()
 	var err error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
 		if err = op(); err == nil || !retryable(err) {
 			return err
 		}
-		c.retries.Add(1)
+		c.mRetries.Inc()
 		c.invalidate()
-		time.Sleep(c.backoff(attempt))
+		c.sleepBackoff(attempt)
 	}
-	return fmt.Errorf("dstore: giving up after %d attempts: %w", c.maxAttempts(), err)
+	c.mGiveUps.Inc()
+	return fmt.Errorf("%w: giving up after %d attempts: %w", ErrExhausted, c.maxAttempts(), err)
 }
 
 // CreateTable asks the master to lay out a new table.
@@ -154,7 +238,7 @@ func (c *Client) CreateTable(table string) error {
 
 // Put writes one cell through the owning primary.
 func (c *Client) Put(table, row, column string, value []byte) error {
-	return c.withRetry(func() error {
+	return c.withRetry("put", func() error {
 		_, conn, err := c.route(table, row)
 		if err != nil {
 			return err
@@ -165,7 +249,7 @@ func (c *Client) Put(table, row, column string, value []byte) error {
 
 // PutRow writes all columns of a row in one replication round.
 func (c *Client) PutRow(table string, r hstore.Row) error {
-	return c.withRetry(func() error {
+	return c.withRetry("putrow", func() error {
 		_, conn, err := c.route(table, r.Key)
 		if err != nil {
 			return err
@@ -178,6 +262,7 @@ func (c *Client) PutRow(table string, r hstore.Row) error {
 // sees one batch per round; failed groups are retried with a refreshed
 // META view until every row is acked or attempts run out.
 func (c *Client) BatchPut(table string, rows []hstore.Row) error {
+	c.countOp("batchput")
 	remaining := rows
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
@@ -220,11 +305,12 @@ func (c *Client) BatchPut(table string, rows []hstore.Row) error {
 			return nil
 		}
 		remaining = failed
-		c.retries.Add(1)
+		c.mRetries.Inc()
 		c.invalidate()
-		time.Sleep(c.backoff(attempt))
+		c.sleepBackoff(attempt)
 	}
-	return fmt.Errorf("dstore: batch put gave up with %d rows unacked: %w", len(remaining), lastErr)
+	c.mGiveUps.Inc()
+	return fmt.Errorf("%w: batch put gave up with %d rows unacked: %w", ErrExhausted, len(remaining), lastErr)
 }
 
 // routeIn locates the owning region in an already-fetched META view.
@@ -247,7 +333,7 @@ func (c *Client) routeIn(m Meta, table, row string) (RegionInfo, error) {
 func (c *Client) Get(table, row string) (hstore.Row, bool, error) {
 	var out hstore.Row
 	var found bool
-	err := c.withRetry(func() error {
+	err := c.withRetry("get", func() error {
 		_, conn, err := c.route(table, row)
 		if err != nil {
 			return err
@@ -260,7 +346,7 @@ func (c *Client) Get(table, row string) (hstore.Row, bool, error) {
 
 // DeleteRow tombstones every column of the row.
 func (c *Client) DeleteRow(table, row string) error {
-	return c.withRetry(func() error {
+	return c.withRetry("deleterow", func() error {
 		_, conn, err := c.route(table, row)
 		if err != nil {
 			return err
@@ -275,7 +361,7 @@ func (c *Client) DeleteRow(table, row string) error {
 // META (partial fan-out results are discarded, never returned).
 func (c *Client) Scan(table, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	var out []hstore.Row
-	err := c.withRetry(func() error {
+	err := c.withRetry("scan", func() error {
 		out = out[:0]
 		m, err := c.cachedMeta()
 		if err != nil {

@@ -84,6 +84,14 @@ var errTransport = errors.New("dstore: transport error")
 // client retries while the master prunes the dead follower.
 var errReplication = errors.New("dstore: replication failed")
 
+// ErrExhausted marks a routing-client operation that kept hitting
+// retryable failures until its attempt budget ran out. It wraps the
+// final retryable error, so errors.Is distinguishes "gave up after N
+// attempts" (a cluster liveness problem — nothing healed while the
+// client retried) from a non-retryable store error, which surfaces
+// unwrapped.
+var ErrExhausted = errors.New("dstore: retry attempts exhausted")
+
 // retryable reports whether the routing client should refresh META and
 // retry after err: stale routes (NotServing), dead or unreachable
 // servers, and failed replication all heal through the master.

@@ -1,0 +1,133 @@
+package dstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFaultInjectionKillPrimaryMidBurst crashes the primary of a region
+// in the middle of a concurrent write burst, heals the cluster through
+// the master's normal death/failover path, and then holds the system to
+// account with its own metrics: every acked write is readable, the
+// master counted exactly the one injected death, the failover count
+// matches the regions the victim led, and the client visibly retried
+// through the outage.
+func TestFaultInjectionKillPrimaryMidBurst(t *testing.T) {
+	c, clock := startCluster(t, 3, []string{"m"})
+	cl := c.Client()
+	cl.RetryBase = time.Microsecond
+
+	m, err := cl.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := m.Tables["t"][0].Primary // owns every "k..." burst key
+	victimRegions := 0
+	for _, g := range m.Tables["t"] {
+		if g.Primary == victim {
+			victimRegions++
+		}
+	}
+
+	const (
+		writers       = 4
+		keysPerWriter = 40
+	)
+	var (
+		ackedMu  sync.Mutex
+		acked    = make(map[string]string)
+		killOnce sync.Once
+		killGate = make(chan struct{})
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keysPerWriter; i++ {
+				key := fmt.Sprintf("k%d-%03d", w, i)
+				val := fmt.Sprintf("v%d-%03d", w, i)
+				for {
+					err := cl.Put("t", key, "c", []byte(val))
+					if err == nil {
+						break
+					}
+					// During the outage window a whole retry budget can
+					// drain before the master declares the primary dead;
+					// ErrExhausted says "keep budgeting", anything else is
+					// a real failure.
+					if !errors.Is(err, ErrExhausted) {
+						t.Errorf("Put(%q): %v", key, err)
+						return
+					}
+				}
+				ackedMu.Lock()
+				acked[key] = val
+				ackedMu.Unlock()
+				if i == 10 {
+					killOnce.Do(func() { close(killGate) })
+				}
+			}
+		}(w)
+	}
+
+	// Inject the fault mid-burst, then heal: advance the virtual clock
+	// past the heartbeat timeout, beat the survivors, and let the master
+	// declare the victim dead and promote followers. The clock and the
+	// master's liveness path stay on this goroutine only.
+	<-killGate
+	if !c.KillServer(victim) {
+		t.Fatalf("KillServer(%s) found nothing to kill", victim)
+	}
+	clock.advance(3 * time.Second)
+	beatAll(t, c)
+	died := c.Master.CheckLiveness(clock.advance(0))
+	if len(died) != 1 || died[0] != victim {
+		t.Fatalf("CheckLiveness declared %v dead, want [%s]", died, victim)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every acked write must be readable after the failover.
+	for key, val := range acked {
+		r, ok, err := cl.Get("t", key)
+		if err != nil || !ok {
+			t.Fatalf("acked key %q unreadable after failover: ok=%v err=%v", key, ok, err)
+		}
+		if string(r.Columns["c"]) != val {
+			t.Fatalf("acked key %q = %q, want %q", key, r.Columns["c"], val)
+		}
+	}
+	if len(acked) != writers*keysPerWriter {
+		t.Fatalf("acked %d keys, want %d", len(acked), writers*keysPerWriter)
+	}
+
+	// The observability layer must tie out with the injected fault.
+	snap := c.Snapshot()
+	if got := snap.Counters["dstore_master_server_deaths_total"]; got != 1 {
+		t.Fatalf("dstore_master_server_deaths_total = %d, want 1", got)
+	}
+	if got := snap.Counters["dstore_master_failovers_total"]; got != int64(victimRegions) {
+		t.Fatalf("dstore_master_failovers_total = %d, want %d (regions %s led)", got, victimRegions, victim)
+	}
+	if snap.Counters["dstore_client_retries_total"] == 0 {
+		t.Fatal("dstore_client_retries_total = 0; the burst never observed the outage")
+	}
+	var sawDead, sawFailover bool
+	for _, e := range snap.Events {
+		switch {
+		case e.Type == "server_dead" && e.Fields["server"] == victim:
+			sawDead = true
+		case e.Type == "failover" && e.Fields["from"] == victim:
+			sawFailover = true
+		}
+	}
+	if !sawDead || !sawFailover {
+		t.Fatalf("event log missing the fault: server_dead=%v failover=%v (events %v)", sawDead, sawFailover, snap.Events)
+	}
+}

@@ -3,6 +3,8 @@ package dstore
 import (
 	"fmt"
 	"time"
+
+	"pstorm/internal/obs"
 )
 
 // DefaultSplits are the split points pstorm uses for its profile table:
@@ -110,6 +112,21 @@ func (c *LocalCluster) KillServer(id string) bool {
 	}
 	rs.Stop()
 	return true
+}
+
+// Snapshot merges the observability state of every cluster component:
+// master (failover/move events), each region server (latency
+// histograms, plus its embedded hstore's LSM counters), and the
+// routing client (retries, backoff, give-ups).
+func (c *LocalCluster) Snapshot() obs.Snapshot {
+	snaps := []obs.Snapshot{c.Master.Obs().Snapshot()}
+	for _, rs := range c.Servers {
+		snaps = append(snaps, rs.Obs().Snapshot(), rs.HStore().Obs().Snapshot())
+	}
+	if c.client != nil {
+		snaps = append(snaps, c.client.Obs().Snapshot())
+	}
+	return obs.Merge(snaps...)
 }
 
 // Close stops the master loop and every region server.

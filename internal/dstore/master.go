@@ -3,10 +3,12 @@ package dstore
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"pstorm/internal/hstore"
+	"pstorm/internal/obs"
 )
 
 // MasterOptions tune the master.
@@ -61,19 +63,42 @@ type Master struct {
 
 	loopStop chan struct{}
 	loopOnce sync.Once
+
+	o           *obs.Registry
+	cHeartbeats *obs.Counter
+	cJoins      *obs.Counter
+	cDeaths     *obs.Counter
+	cFailovers  *obs.Counter
+	cMoves      *obs.Counter
+	cRepairs    *obs.Counter
 }
 
 // NewMaster creates a master resolving servers through reg.
 func NewMaster(reg *Registry, opts MasterOptions) *Master {
-	return &Master{
+	o := obs.NewRegistry()
+	m := &Master{
 		opts:         opts,
 		reg:          reg,
 		servers:      make(map[string]*member),
 		tables:       make(map[string][]*RegionInfo),
 		nextRegionID: 1,
 		loopStop:     make(chan struct{}),
+		o:            o,
+		cHeartbeats:  o.Counter("dstore_master_heartbeats_total"),
+		cJoins:       o.Counter("dstore_master_joins_total"),
+		cDeaths:      o.Counter("dstore_master_server_deaths_total"),
+		cFailovers:   o.Counter("dstore_master_failovers_total"),
+		cMoves:       o.Counter("dstore_master_moves_total"),
+		cRepairs:     o.Counter("dstore_master_rereplications_total"),
 	}
+	// Event timestamps follow the injected clock so deterministic tests
+	// see deterministic traces.
+	o.Now = m.now
+	return m
 }
+
+// Obs exposes the master's metrics registry and event log.
+func (m *Master) Obs() *obs.Registry { return m.o }
 
 func (m *Master) now() time.Time {
 	if m.opts.Now != nil {
@@ -100,6 +125,8 @@ func (m *Master) Join(p Peer) error {
 	m.servers[p.ID] = &member{peer: p, conn: conn, lastBeat: m.now(), alive: true}
 	m.order = append(m.order, p.ID)
 	m.epoch++
+	m.cJoins.Inc()
+	m.o.Emit("join", map[string]string{"server": p.ID})
 	return nil
 }
 
@@ -113,6 +140,7 @@ func (m *Master) Heartbeat(id string) error {
 	}
 	mem.lastBeat = m.now()
 	mem.alive = true
+	m.cHeartbeats.Inc()
 	return nil
 }
 
@@ -244,6 +272,8 @@ func (m *Master) CheckLiveness(now time.Time) []string {
 		if mem.alive && now.Sub(mem.lastBeat) > m.opts.heartbeatTimeout() {
 			mem.alive = false
 			died = append(died, id)
+			m.cDeaths.Inc()
+			m.o.Emit("server_dead", map[string]string{"server": id})
 		}
 	}
 	if len(died) > 0 {
@@ -282,9 +312,15 @@ func (m *Master) failoverLocked() {
 				continue
 			}
 			promoted := g.Followers[0]
+			dead := g.Primary
 			g.Followers = g.Followers[1:]
 			g.Primary = promoted
 			changed = true
+			m.cFailovers.Inc()
+			m.o.Emit("failover", map[string]string{
+				"table": g.Table, "region": strconv.Itoa(g.ID),
+				"from": dead, "to": promoted,
+			})
 			// Followers before serving: writes acked by the promoted
 			// primary must already fan out to the surviving replicas.
 			m.setFollowersLocked(g) //nolint:errcheck — next CheckLiveness retries
@@ -340,6 +376,10 @@ func (m *Master) repairLocked() {
 					break
 				}
 				changed = true
+				m.cRepairs.Inc()
+				m.o.Emit("rereplicate", map[string]string{
+					"table": g.Table, "region": strconv.Itoa(g.ID), "to": cand,
+				})
 			}
 		}
 	}
@@ -433,6 +473,11 @@ func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error
 		}
 		src.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
 		m.epoch++
+		m.cMoves.Inc()
+		m.o.Emit("move", map[string]string{
+			"table": table, "region": strconv.Itoa(regionID),
+			"from": oldPrimary, "to": to, "kind": "flip",
+		})
 		return 0, nil
 	}
 
@@ -461,6 +506,11 @@ func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error
 		return 0, err
 	}
 	m.epoch++
+	m.cMoves.Inc()
+	m.o.Emit("move", map[string]string{
+		"table": table, "region": strconv.Itoa(regionID),
+		"from": oldPrimary, "to": to, "kind": "full",
+	})
 	src.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
 	src.conn.Drop(table, regionID)              //nolint:errcheck — orphan copy, harmless
 	return snap.Bytes(), nil

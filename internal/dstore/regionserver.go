@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pstorm/internal/hstore"
+	"pstorm/internal/obs"
 )
 
 // RegionServer hosts a subset of regions on an embedded hstore.Server
@@ -24,6 +25,15 @@ type RegionServer struct {
 	stopped atomic.Bool
 	hbStop  chan struct{}
 	hbOnce  sync.Once
+
+	o           *obs.Registry
+	hPutMs      *obs.Histogram
+	hGetMs      *obs.Histogram
+	hReplMs     *obs.Histogram
+	cNotServing *obs.Counter
+	cReplCells  *obs.Counter
+	cApplies    *obs.Counter
+	cHeartbeats *obs.Counter
 }
 
 // NewRegionServer creates a region server with an empty store. Auto
@@ -31,15 +41,36 @@ type RegionServer struct {
 func NewRegionServer(id string, reg *Registry) *RegionServer {
 	hs := hstore.NewServer()
 	hs.NoAutoSplit = true
+	o := obs.NewRegistry()
 	rs := &RegionServer{
-		id:        id,
-		hs:        hs,
-		reg:       reg,
-		followers: make(map[string][]Peer),
-		hbStop:    make(chan struct{}),
+		id:          id,
+		hs:          hs,
+		reg:         reg,
+		followers:   make(map[string][]Peer),
+		hbStop:      make(chan struct{}),
+		o:           o,
+		hPutMs:      o.Histogram("dstore_rs_put_latency_ms", nil, "server", id),
+		hGetMs:      o.Histogram("dstore_rs_get_latency_ms", nil, "server", id),
+		hReplMs:     o.Histogram("dstore_rs_replication_latency_ms", nil, "server", id),
+		cNotServing: o.Counter("dstore_rs_notserving_total", "server", id),
+		cReplCells:  o.Counter("dstore_rs_replicated_cells_total", "server", id),
+		cApplies:    o.Counter("dstore_rs_apply_total", "server", id),
+		cHeartbeats: o.Counter("dstore_rs_heartbeats_sent_total", "server", id),
 	}
 	reg.Register(rs)
 	return rs
+}
+
+// Obs exposes the server's metrics registry. The embedded hstore keeps
+// its own (HStore().Obs()); snapshots merge both.
+func (rs *RegionServer) Obs() *obs.Registry { return rs.o }
+
+// countNotServing records a client-visible NotServing rejection.
+func (rs *RegionServer) countNotServing(err error) error {
+	if hstore.IsNotServing(err) {
+		rs.cNotServing.Inc()
+	}
+	return err
 }
 
 // ID returns the server's identity.
@@ -79,6 +110,7 @@ func (rs *RegionServer) StartHeartbeats(mc MasterConn, interval time.Duration) {
 			case <-rs.hbStop:
 				return
 			case <-t.C:
+				rs.cHeartbeats.Inc()
 				mc.Heartbeat(rs.id) //nolint:errcheck — a missed beat is what timeouts are for
 			}
 		}
@@ -95,7 +127,13 @@ func (rs *RegionServer) followersFor(table string, regionID int) []Peer {
 // synchronously; an unreachable follower fails the write (the client
 // retries while the master prunes the follower from the set).
 func (rs *RegionServer) replicate(table string, regionID int, cells []hstore.Cell) error {
-	for _, p := range rs.followersFor(table, regionID) {
+	followers := rs.followersFor(table, regionID)
+	if len(followers) == 0 {
+		return nil
+	}
+	start := time.Now()
+	defer rs.hReplMs.ObserveSince(start)
+	for _, p := range followers {
 		conn, err := rs.reg.Resolve(p)
 		if err != nil {
 			return fmt.Errorf("%w: resolving follower %s: %v", errReplication, p.ID, err)
@@ -103,6 +141,7 @@ func (rs *RegionServer) replicate(table string, regionID int, cells []hstore.Cel
 		if err := conn.Apply(table, cells); err != nil {
 			return fmt.Errorf("%w: region %d to %s: %v", errReplication, regionID, p.ID, err)
 		}
+		rs.cReplCells.Add(int64(len(cells)))
 	}
 	return nil
 }
@@ -138,18 +177,20 @@ func (rs *RegionServer) Put(table, row, column string, value []byte) error {
 	if err := rs.check(); err != nil {
 		return err
 	}
+	start := time.Now()
+	defer rs.hPutMs.ObserveSince(start)
 	c, err := rs.hs.PutCell(table, row, column, value)
 	if err != nil {
-		return err
+		return rs.countNotServing(err)
 	}
 	id, err := rs.regionIDFor(table, row)
 	if err != nil {
-		return err
+		return rs.countNotServing(err)
 	}
 	if err := rs.replicate(table, id, []hstore.Cell{c}); err != nil {
 		return err
 	}
-	return rs.ackCheck(table, row)
+	return rs.countNotServing(rs.ackCheck(table, row))
 }
 
 // BatchPut writes whole rows, one replication round per touched region.
@@ -160,11 +201,13 @@ func (rs *RegionServer) BatchPut(table string, rows []hstore.Row) error {
 	if err := rs.check(); err != nil {
 		return err
 	}
+	start := time.Now()
+	defer rs.hPutMs.ObserveSince(start)
 	perRegion := make(map[int][]hstore.Cell)
 	for _, r := range rows {
 		id, err := rs.regionIDFor(table, r.Key)
 		if err != nil {
-			return err
+			return rs.countNotServing(err)
 		}
 		cols := make([]string, 0, len(r.Columns))
 		for c := range r.Columns {
@@ -191,7 +234,7 @@ func (rs *RegionServer) BatchPut(table string, rows []hstore.Row) error {
 	}
 	for _, id := range ids {
 		if err := rs.ackCheck(table, perRegion[id][0].Row); err != nil {
-			return err
+			return rs.countNotServing(err)
 		}
 	}
 	return nil
@@ -203,6 +246,7 @@ func (rs *RegionServer) Apply(table string, cells []hstore.Cell) error {
 	if err := rs.check(); err != nil {
 		return err
 	}
+	rs.cApplies.Inc()
 	return rs.hs.Apply(table, cells)
 }
 
@@ -211,7 +255,10 @@ func (rs *RegionServer) Get(table, row string) (hstore.Row, bool, error) {
 	if err := rs.check(); err != nil {
 		return hstore.Row{}, false, err
 	}
-	return rs.hs.Get(table, row)
+	start := time.Now()
+	defer rs.hGetMs.ObserveSince(start)
+	r, ok, err := rs.hs.Get(table, row)
+	return r, ok, rs.countNotServing(err)
 }
 
 // Scan reads [start, end) of one region the caller believes this server
@@ -224,6 +271,7 @@ func (rs *RegionServer) Scan(table string, regionID int, start, end string, f hs
 	}
 	me, ok := rs.hs.LookupRegion(table, start)
 	if !ok || me.RegionID != regionID || !me.Serving {
+		rs.cNotServing.Inc()
 		return nil, &hstore.NotServingError{Table: table, Row: start}
 	}
 	// Clamp to the region's bounds so the hstore coverage check sees a

@@ -19,6 +19,7 @@ import (
 	"pstorm/internal/conf"
 	"pstorm/internal/data"
 	"pstorm/internal/mrjob"
+	"pstorm/internal/obs"
 	"pstorm/internal/profile"
 )
 
@@ -48,11 +49,29 @@ type Engine struct {
 
 	mu         sync.Mutex
 	runCounter int
+
+	o *obs.Registry
 }
 
 // New returns an engine over cl with the given seed.
 func New(cl *cluster.Cluster, seed int64) *Engine {
-	return &Engine{Cluster: cl, Seed: seed}
+	return &Engine{Cluster: cl, Seed: seed, o: obs.NewRegistry()}
+}
+
+// Obs exposes the engine's metrics registry (nil on a zero-value
+// Engine, which is fine: instrumentation is a no-op then).
+func (e *Engine) Obs() *obs.Registry { return e.o }
+
+// runMode names a run for the per-mode counters.
+func runMode(opt RunOptions) string {
+	switch {
+	case opt.SampleMapTasks > 0:
+		return "sample"
+	case opt.Profiling:
+		return "profiled"
+	default:
+		return "plain"
+	}
 }
 
 // RunOptions selects the execution mode.
@@ -172,6 +191,14 @@ func (e *Engine) Run(spec *mrjob.Spec, ds *data.Dataset, cfg conf.Config, opt Ru
 	}
 
 	sched := ScheduleJob(mt, rt, numMaps, cfg, e.Cluster, rng)
+
+	e.o.Counter("engine_runs_total", "mode", runMode(opt)).Inc()
+	// Simulated times span µs to hours; exponential buckets fit better
+	// than the latency defaults.
+	simBuckets := obs.ExpBuckets(100, 4, 12)
+	e.o.Histogram("engine_job_runtime_ms", simBuckets).Observe(sched.MakespanMs)
+	e.o.Histogram("engine_map_task_ms", simBuckets).Observe(mt.TotalMs)
+	e.o.Histogram("engine_reduce_task_ms", simBuckets).Observe(rt.TotalMs)
 
 	res := &RunResult{
 		JobID:       jobID,

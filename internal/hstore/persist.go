@@ -125,7 +125,7 @@ func LoadServer(dir string) (*Server, error) {
 	for _, mt := range m.Tables {
 		t := &table{name: mt.Name}
 		for _, mr := range mt.Regions {
-			g := newRegion(mr.ID, mr.StartKey, mr.EndKey, s.flushBytes())
+			g := newRegion(mr.ID, mr.StartKey, mr.EndKey, s.flushBytes(), s.stats)
 			if mr.File != "" {
 				seg, err := readSSTableFile(filepath.Join(dir, mr.File))
 				if err != nil {
@@ -140,7 +140,7 @@ func LoadServer(dir string) (*Server, error) {
 			}
 		}
 		if len(t.regions) == 0 {
-			t.regions = []*region{newRegion(s.nextID, "", "", s.flushBytes())}
+			t.regions = []*region{newRegion(s.nextID, "", "", s.flushBytes(), s.stats)}
 			s.nextID++
 		}
 		s.tables[mt.Name] = t

@@ -27,9 +27,13 @@ type region struct {
 	// clients get NotServingError and must re-route. Replication Apply
 	// bypasses the fence.
 	serving atomic.Bool
+
+	// stats reports flushes, compactions, and bloom probes to the
+	// owning server; nil is a no-op.
+	stats *storeStats
 }
 
-func newRegion(id int, start, end string, flushBytes int64) *region {
+func newRegion(id int, start, end string, flushBytes int64, stats *storeStats) *region {
 	if flushBytes <= 0 {
 		flushBytes = 4 << 20
 	}
@@ -39,6 +43,7 @@ func newRegion(id int, start, end string, flushBytes int64) *region {
 		endKey:     end,
 		mem:        newMemStore(int64(id)*7919 + 1),
 		flushBytes: flushBytes,
+		stats:      stats,
 	}
 	g.serving.Store(true)
 	return g
@@ -78,6 +83,7 @@ func (g *region) flushLocked() {
 	t := buildSSTable(cells)
 	g.sstables = append([]*sstable{t}, g.sstables...)
 	g.mem = newMemStore(int64(g.id)*7919 + int64(len(g.sstables))*13 + 1)
+	g.stats.flush()
 }
 
 // cellIterator streams sorted cells.
@@ -195,7 +201,9 @@ func (g *region) get(row string) (Row, bool) {
 	possible := inMem
 	if !possible {
 		for _, t := range g.sstables {
-			if t.mayContainRow(row) {
+			hit := t.mayContainRow(row)
+			g.stats.bloom(!hit)
+			if hit {
 				possible = true
 				break
 			}
@@ -235,8 +243,8 @@ func (g *region) split(at string, leftID, rightID int) (*region, *region, error)
 	if at <= g.startKey || (g.endKey != "" && at >= g.endKey) {
 		return nil, nil, fmt.Errorf("hstore: split key %q outside region [%q,%q)", at, g.startKey, g.endKey)
 	}
-	left := newRegion(leftID, g.startKey, at, g.flushBytes)
-	right := newRegion(rightID, at, g.endKey, g.flushBytes)
+	left := newRegion(leftID, g.startKey, at, g.flushBytes, g.stats)
+	right := newRegion(rightID, at, g.endKey, g.flushBytes, g.stats)
 	left.serving.Store(g.serving.Load())
 	right.serving.Store(g.serving.Load())
 	g.scanRows(g.startKey, g.endKey, func(r Row) bool {
@@ -264,6 +272,7 @@ func (g *region) compact() {
 	if len(g.sstables) <= 1 {
 		return
 	}
+	g.stats.compaction()
 	merged := mergeTables(g.sstables)
 	// Major compaction: tombstones have hidden everything older, so they
 	// can be dropped outright.

@@ -95,7 +95,7 @@ func (s *Server) InstallRegion(snap *RegionSnapshot, serving bool) error {
 				snap.StartKey, snap.EndKey, g.id, g.startKey, g.endKey)
 		}
 	}
-	g := newRegion(snap.RegionID, snap.StartKey, snap.EndKey, s.flushBytes())
+	g := newRegion(snap.RegionID, snap.StartKey, snap.EndKey, s.flushBytes(), s.stats)
 	g.serving.Store(serving)
 	if snap.RegionID >= s.nextID {
 		s.nextID = snap.RegionID + 1

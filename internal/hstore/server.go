@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pstorm/internal/obs"
 )
 
 // Server is a single-process region server plus master: it hosts
@@ -35,7 +37,47 @@ type Server struct {
 	// wal, when non-nil, makes mutations durable (see OpenDurable).
 	wal *wal
 
-	clock atomic.Int64 // logical timestamp source
+	// WallClock, when non-nil, replaces time.Now for the one-time
+	// seeding of the logical clock (tests inject a fixed epoch).
+	WallClock func() time.Time
+
+	clock    atomic.Int64 // logical timestamp source
+	seedOnce sync.Once    // guards the wall-clock seeding of clock
+
+	o     *obs.Registry
+	stats *storeStats
+}
+
+// storeStats carries the LSM-path counters regions report into. The
+// handles are obs counters so snapshots pick them up directly; a nil
+// *storeStats (regions built outside a server in tests) is a no-op.
+type storeStats struct {
+	flushes     *obs.Counter
+	compactions *obs.Counter
+	bloomChecks *obs.Counter
+	bloomSkips  *obs.Counter
+}
+
+func (st *storeStats) flush() {
+	if st != nil {
+		st.flushes.Inc()
+	}
+}
+
+func (st *storeStats) compaction() {
+	if st != nil {
+		st.compactions.Inc()
+	}
+}
+
+func (st *storeStats) bloom(skipped bool) {
+	if st == nil {
+		return
+	}
+	st.bloomChecks.Inc()
+	if skipped {
+		st.bloomSkips.Inc()
+	}
 }
 
 type table struct {
@@ -45,7 +87,40 @@ type table struct {
 
 // NewServer creates an empty server.
 func NewServer() *Server {
-	return &Server{tables: make(map[string]*table)}
+	o := obs.NewRegistry()
+	s := &Server{
+		tables: make(map[string]*table),
+		o:      o,
+		stats: &storeStats{
+			flushes:     o.Counter("hstore_flushes_total"),
+			compactions: o.Counter("hstore_compactions_total"),
+			bloomChecks: o.Counter("hstore_bloom_checks_total"),
+			bloomSkips:  o.Counter("hstore_bloom_skips_total"),
+		},
+	}
+	o.GaugeFunc("hstore_memstore_bytes", s.memstoreBytes)
+	return s
+}
+
+// Obs exposes the server's metrics registry. The bloom hit rate is
+// hstore_bloom_skips_total / hstore_bloom_checks_total — a skip is a
+// probe that saved an sstable read.
+func (s *Server) Obs() *obs.Registry { return s.o }
+
+// memstoreBytes sums the unflushed memstore bytes of every hosted
+// region (collected lazily at snapshot time).
+func (s *Server) memstoreBytes() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, t := range s.tables {
+		for _, g := range t.regions {
+			g.mu.RLock()
+			total += g.mem.SizeBytes()
+			g.mu.RUnlock()
+		}
+	}
+	return float64(total)
 }
 
 // CreateTable registers a new table with one region spanning all keys.
@@ -64,7 +139,7 @@ func (s *Server) CreateTable(name string) error {
 	s.nextID++
 	s.tables[name] = &table{
 		name:    name,
-		regions: []*region{newRegion(s.nextID, "", "", s.flushBytes())},
+		regions: []*region{newRegion(s.nextID, "", "", s.flushBytes(), s.stats)},
 	}
 	return nil
 }
@@ -134,18 +209,21 @@ func (t *table) regionFor(row string) *region {
 	return nil
 }
 
-// now issues a monotonically increasing logical timestamp.
+// now issues a monotonically increasing logical timestamp. The clock
+// is an atomic counter, seeded once from the wall clock so timestamps
+// of a restarted server sort after everything it persisted (replay and
+// Apply bump the counter past every durable cell, and the wall clock
+// moved forward besides). After seeding, stamping is a single atomic
+// add — no CAS loop, no syscall per write.
 func (s *Server) now() int64 {
-	for {
-		prev := s.clock.Load()
-		next := time.Now().UnixNano()
-		if next <= prev {
-			next = prev + 1
+	s.seedOnce.Do(func() {
+		wall := time.Now
+		if s.WallClock != nil {
+			wall = s.WallClock
 		}
-		if s.clock.CompareAndSwap(prev, next) {
-			return next
-		}
-	}
+		s.bumpClock(wall().UnixNano())
+	})
+	return s.clock.Add(1)
 }
 
 // Put writes one cell, durably when a WAL is armed.

@@ -219,6 +219,9 @@ func (s *Server) replayWAL(dir string) error {
 			s.mu.Lock()
 			g := t.regionFor(c.Row)
 			s.mu.Unlock()
+			// Advance the logical clock past every replayed stamp so
+			// post-restart writes cannot be shadowed by durable history.
+			s.bumpClock(c.Ts)
 			g.put(c)
 		default:
 			return fmt.Errorf("hstore: unknown WAL record kind %d", kind)
@@ -234,7 +237,7 @@ func (s *Server) createTableQuiet(name string) error {
 		return nil
 	}
 	s.nextID++
-	s.tables[name] = &table{name: name, regions: []*region{newRegion(s.nextID, "", "", s.flushBytes())}}
+	s.tables[name] = &table{name: name, regions: []*region{newRegion(s.nextID, "", "", s.flushBytes(), s.stats)}}
 	return nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"strconv"
 
 	"pstorm/internal/hstore"
+	"pstorm/internal/obs"
 	"pstorm/internal/profile"
 )
 
@@ -118,6 +119,10 @@ type Matcher struct {
 	// different window size or search pattern is no longer a perfect
 	// static match.
 	IncludeJobParams bool
+
+	// Obs, when non-nil, receives match-outcome counters
+	// (matcher_match_total{outcome=...} and per-side stage counters).
+	Obs *obs.Registry
 }
 
 // New returns a matcher with the paper's thresholds.
@@ -213,7 +218,10 @@ func (m *Matcher) Match(st Store, sample *profile.Profile) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.countSide(res.MapReport)
+	m.countSide(res.ReduceReport)
 	if res.MapReport.Failed || res.ReduceReport.Failed {
+		m.Obs.Counter("matcher_match_total", "outcome", "none").Inc()
 		return res, nil
 	}
 	res.MapJobID = res.MapReport.Winner
@@ -232,7 +240,24 @@ func (m *Matcher) Match(st Store, sample *profile.Profile) (*Result, error) {
 		}
 	}
 	res.Profile = profile.Compose(mp, rp)
+	outcome := "whole"
+	if res.Composite {
+		outcome = "composite"
+	}
+	m.Obs.Counter("matcher_match_total", "outcome", outcome).Inc()
 	return res, nil
+}
+
+// countSide records one side's trip through the workflow (no-op when
+// Obs is nil).
+func (m *Matcher) countSide(rep SideReport) {
+	side := rep.Side.String()
+	if rep.UsedCostFallback {
+		m.Obs.Counter("matcher_cost_fallback_total", "side", side).Inc()
+	}
+	if rep.Failed {
+		m.Obs.Counter("matcher_side_failed_total", "side", side).Inc()
+	}
 }
 
 // structuralWant returns the stage-2 comparison column and target: the

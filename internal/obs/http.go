@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Mount wires the two observability endpoints onto a mux:
+//
+//	GET /metrics       Prometheus text exposition of the gathered snapshot
+//	GET /debug/events  JSON array of buffered events; ?after=SEQ and
+//	                   ?limit=N page through the log
+//
+// gather is called per request so the response is always current; it
+// typically merges the snapshots of every registry in the process.
+func Mount(mux *http.ServeMux, gather func() Snapshot) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		gather().WritePrometheus(w) //nolint:errcheck — client went away
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		after, _ := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+		events := gather().Events
+		filtered := events[:0:0]
+		for _, e := range events {
+			if e.Seq > after {
+				filtered = append(filtered, e)
+			}
+		}
+		if limit > 0 && len(filtered) > limit {
+			filtered = filtered[len(filtered)-limit:]
+		}
+		if filtered == nil {
+			filtered = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(filtered) //nolint:errcheck — client went away
+	})
+}
+
+// Handler returns a standalone handler serving only the observability
+// endpoints — for processes without an existing mux.
+func Handler(gather func() Snapshot) http.Handler {
+	mux := http.NewServeMux()
+	Mount(mux, gather)
+	return mux
+}

@@ -34,6 +34,7 @@ import (
 	"pstorm/internal/hstore"
 	"pstorm/internal/matcher"
 	"pstorm/internal/mrjob"
+	"pstorm/internal/obs"
 	"pstorm/internal/profile"
 	"pstorm/internal/rbo"
 	"pstorm/internal/whatif"
@@ -60,6 +61,9 @@ type (
 	SubmitResult = core.SubmitResult
 	// WorkflowResult aggregates a multi-stage workflow submission.
 	WorkflowResult = core.WorkflowResult
+	// Metrics is a point-in-time observability snapshot: counters,
+	// gauges, histograms, and traced events (see System.Snapshot).
+	Metrics = obs.Snapshot
 )
 
 // DefaultConfig returns the Table 2.1 defaults with the job's own
@@ -109,6 +113,7 @@ type System struct {
 	store   *core.Store
 	server  *hstore.Server       // nil unless backed by one in-process hstore
 	cluster *dstore.LocalCluster // nil unless backed by an in-process dstore cluster
+	dclient *dstore.Client       // nil unless connected to a remote master
 	dataDir string
 }
 
@@ -125,9 +130,11 @@ func Open(opt Options) (*System, error) {
 	var client core.KV
 	var server *hstore.Server
 	var dcluster *dstore.LocalCluster
+	var dclient *dstore.Client
 	switch {
 	case opt.MasterURL != "":
-		client = dstore.NewClient(dstore.DialMaster(opt.MasterURL, 0), dstore.NewRegistry())
+		dclient = dstore.NewClient(dstore.DialMaster(opt.MasterURL, 0), dstore.NewRegistry())
+		client = dclient
 	case opt.StoreServers > 0:
 		var err error
 		dcluster, err = dstore.StartLocalCluster(dstore.LocalOptions{
@@ -167,7 +174,32 @@ func Open(opt Options) (*System, error) {
 	if opt.SampleTasks > 0 {
 		sys.SampleTasks = opt.SampleTasks
 	}
-	return &System{core: sys, engine: eng, store: store, server: server, cluster: dcluster, dataDir: opt.DataDir}, nil
+	sys.Matcher.Obs = obs.NewRegistry()
+	return &System{core: sys, engine: eng, store: store, server: server, cluster: dcluster, dclient: dclient, dataDir: opt.DataDir}, nil
+}
+
+// Snapshot merges the observability state of every component this
+// System owns: engine run counters and simulated-time histograms,
+// matcher outcome counters, and — depending on how the profile store is
+// backed — the in-process hstore's LSM counters or the whole dstore
+// cluster's metrics and event trace. For a MasterURL system only the
+// local routing client's metrics are included (the servers export their
+// own via pstormd's /metrics).
+func (s *System) Snapshot() Metrics {
+	snaps := []obs.Snapshot{
+		s.engine.Obs().Snapshot(),
+		s.core.Matcher.Obs.Snapshot(),
+	}
+	if s.server != nil {
+		snaps = append(snaps, s.server.Obs().Snapshot())
+	}
+	if s.cluster != nil {
+		snaps = append(snaps, s.cluster.Snapshot())
+	}
+	if s.dclient != nil {
+		snaps = append(snaps, s.dclient.Obs().Snapshot())
+	}
+	return obs.Merge(snaps...)
 }
 
 // Close releases store resources. It matters for StoreServers systems
