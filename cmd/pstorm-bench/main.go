@@ -58,7 +58,7 @@ func main() {
 			failed = true
 			continue
 		}
-		start := time.Now()
+		start := time.Now() //pstorm:allow clockcheck reporting real elapsed wall time per experiment
 		tables, err := r.Run(env)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pstorm-bench: %s: %v\n", r.ID, err)
@@ -81,6 +81,7 @@ func main() {
 				fmt.Printf("(wrote %s)\n", name)
 			}
 		}
+		//pstorm:allow clockcheck reporting real elapsed wall time per experiment
 		fmt.Printf("(%s took %.1fs)\n\n", r.ID, time.Since(start).Seconds())
 	}
 	if failed {

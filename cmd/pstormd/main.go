@@ -211,8 +211,8 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
 	if err := startServer("rs-3"); err != nil { // recovery: a fresh node joins
 		return err
 	}
-	deadline := time.Now().Add(10 * hbTimeout)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(10 * hbTimeout) //pstorm:allow clockcheck demo waits out a real wall-clock recovery deadline
+	for time.Now().Before(deadline) {          //pstorm:allow clockcheck demo waits out a real wall-clock recovery deadline
 		if gather().Counters["dstore_master_rereplications_total"] > 0 {
 			break
 		}

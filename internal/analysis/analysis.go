@@ -1,0 +1,201 @@
+// Package analysis is pstorm's project-specific static analysis suite.
+// It enforces, by tooling, the invariants the profile store's
+// determinism and concurrency story depends on — invariants that were
+// previously guarded only by reviewer memory:
+//
+//   - clockcheck: no bare time.Now()/time.Since() calls; clocks are
+//     injected (MasterOptions.Now, hstore WallClock, obs.Registry.Now)
+//     so deterministic tests and reproducible profiles stay possible.
+//   - randcheck: no global math/rand package-level calls; every
+//     component draws from its own seeded *rand.Rand so two runs with
+//     the same seed produce byte-identical profiles and models.
+//   - lockcheck: no mutex held across a network/RPC call in the same
+//     function — a latency/deadlock hazard in the master and region
+//     servers.
+//   - walerrcheck: no discarded error from WAL/persist/flush/fsync
+//     path calls; durability errors must be handled or returned.
+//   - obscheck: metric and event names are compile-time constants in
+//     lowercase_snake form, and one name is never registered as two
+//     different metric kinds.
+//
+// Justified exceptions carry a line directive, on the finding's line
+// or the line above:
+//
+//	//pstorm:allow <checker> <reason>
+//
+// The reason is mandatory and an unknown checker name in a directive
+// is itself reported, so the exception list stays auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one report from one checker.
+type Finding struct {
+	Checker string
+	Pos     token.Position
+	Msg     string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Checker, f.Msg)
+}
+
+// Checker inspects the loaded module and reports findings.
+type Checker interface {
+	// Name is the identifier used in output and //pstorm:allow directives.
+	Name() string
+	// Doc is a one-line description of the enforced invariant.
+	Doc() string
+	// Check runs over every package at once (some checks, like metric
+	// name uniqueness, are cross-package).
+	Check(pkgs []*Package, report func(pos token.Position, msg string))
+}
+
+// Checkers returns the full suite, in output order.
+func Checkers() []Checker {
+	return []Checker{
+		clockCheck{},
+		randCheck{},
+		lockCheck{},
+		walErrCheck{},
+		obsCheck{},
+	}
+}
+
+// directiveChecker is the pseudo-checker name for problems with
+// //pstorm:allow directives themselves. Those findings are not
+// suppressible.
+const directiveChecker = "directive"
+
+const directivePrefix = "//pstorm:allow"
+
+type directive struct {
+	pos     token.Position
+	checker string
+	reason  string
+}
+
+// collectDirectives scans every comment of every file for
+// //pstorm:allow lines. Malformed directives (missing reason, unknown
+// checker name) are reported as findings so exceptions cannot rot
+// silently.
+func collectDirectives(pkgs []*Package, known map[string]bool, report func(Finding)) map[string]map[int][]directive {
+	byFile := make(map[string]map[int][]directive)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, directivePrefix)
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						report(Finding{directiveChecker, pos, "pstorm:allow directive needs a checker name and a reason"})
+						continue
+					}
+					name := fields[0]
+					if !known[name] {
+						report(Finding{directiveChecker, pos, fmt.Sprintf("pstorm:allow names unknown checker %q", name)})
+						continue
+					}
+					reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+					if reason == "" {
+						report(Finding{directiveChecker, pos, fmt.Sprintf("pstorm:allow %s needs a reason", name)})
+						continue
+					}
+					m := byFile[pos.Filename]
+					if m == nil {
+						m = make(map[int][]directive)
+						byFile[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], directive{pos, name, reason})
+				}
+			}
+		}
+	}
+	return byFile
+}
+
+// suppressed reports whether a finding is covered by a directive on
+// its own line or the line immediately above.
+func suppressed(f Finding, dirs map[string]map[int][]directive) bool {
+	if f.Checker == directiveChecker {
+		return false
+	}
+	m := dirs[f.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range m[line] {
+			if d.checker == f.Checker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run executes the given checkers over pkgs and returns the surviving
+// (non-suppressed) findings sorted by position. A nil checkers slice
+// runs the full suite.
+func Run(pkgs []*Package, checkers []Checker) []Finding {
+	if checkers == nil {
+		checkers = Checkers()
+	}
+	known := make(map[string]bool)
+	for _, c := range Checkers() {
+		known[c.Name()] = true
+	}
+	var all []Finding
+	collect := func(f Finding) { all = append(all, f) }
+	dirs := collectDirectives(pkgs, known, collect)
+	for _, c := range checkers {
+		name := c.Name()
+		c.Check(pkgs, func(pos token.Position, msg string) {
+			collect(Finding{name, pos, msg})
+		})
+	}
+	out := all[:0]
+	for _, f := range all {
+		if !suppressed(f, dirs) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Checker < b.Checker
+	})
+	return out
+}
+
+// calleeFunc resolves the static callee of a call expression, or nil
+// for calls through function values, conversions, and built-ins.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// clockCheck flags bare calls to time.Now and time.Since. Profiles are
+// deterministic, comparable measurements; a stray wall-clock read in a
+// data or retry path silently breaks reproducibility (the PR 2 hstore
+// cell-clock bug). Taking the *value* time.Now — the idiom every
+// injectable clock here uses for its default (MasterOptions.Now,
+// hstore Server.WallClock, obs.Registry.Now) — is allowed; only call
+// expressions are flagged.
+type clockCheck struct{}
+
+func (clockCheck) Name() string { return "clockcheck" }
+func (clockCheck) Doc() string {
+	return "no bare time.Now()/time.Since() calls; inject a clock or annotate"
+}
+
+func (clockCheck) Check(pkgs []*Package, report func(token.Position, string)) {
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				switch fn.Name() {
+				case "Now", "Since":
+					report(pkg.Fset.Position(call.Pos()),
+						fmt.Sprintf("bare time.%s() — route through an injectable clock (MasterOptions.Now / WallClock / obs.Registry.Now) or annotate //pstorm:allow clockcheck <reason>", fn.Name()))
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockCheck flags network/RPC calls made while a sync.Mutex or
+// sync.RWMutex is held in the same function: a slow or hung peer then
+// stalls every other caller of that lock (and a re-entrant path
+// deadlocks). The master and region servers are the hot spots — their
+// catalog and follower-set locks must never wrap an http.Client.Do,
+// net.Dial, or a dstore client/conn call. The analysis is
+// intraprocedural and order-based: Lock(), then a network call before
+// the matching Unlock() (or with the Unlock deferred), is a finding.
+type lockCheck struct{}
+
+func (lockCheck) Name() string { return "lockcheck" }
+func (lockCheck) Doc() string {
+	return "no mutex held across a network/RPC call in the same function"
+}
+
+type lockEvent struct {
+	pos  token.Pos
+	kind int    // 0 lock, 1 unlock, 2 deferred unlock, 3 net call
+	key  string // lock receiver expression, or callee description for net calls
+}
+
+func (lockCheck) Check(pkgs []*Package, report func(token.Position, string)) {
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						checkLockScope(pkg, fn.Body, report)
+					}
+				case *ast.FuncLit:
+					checkLockScope(pkg, fn.Body, report)
+					return false // its body was just handled as its own scope
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkLockScope walks one function body (excluding nested function
+// literals, which are separate scopes with separate lock lifetimes)
+// and reports net calls made while any lock is held.
+func checkLockScope(pkg *Package, body *ast.BlockStmt, report func(token.Position, string)) {
+	deferred := make(map[*ast.CallExpr]bool)
+	var events []lockEvent
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			deferred[x.Call] = true
+		case *ast.CallExpr:
+			if key, name, ok := mutexOp(pkg, x); ok {
+				switch {
+				case name == "Lock" || name == "RLock":
+					events = append(events, lockEvent{x.Pos(), 0, key})
+				case deferred[x]:
+					events = append(events, lockEvent{x.Pos(), 2, key})
+				default:
+					events = append(events, lockEvent{x.Pos(), 1, key})
+				}
+				return true
+			}
+			if desc, ok := netCall(pkg, x); ok {
+				events = append(events, lockEvent{x.Pos(), 3, desc})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := make(map[string]bool)
+	for _, e := range events {
+		switch e.kind {
+		case 0:
+			held[e.key] = true
+		case 1:
+			delete(held, e.key)
+		case 2:
+			held[e.key] = true // deferred unlock: held for the rest of the function
+		case 3:
+			if len(held) > 0 {
+				locks := make([]string, 0, len(held))
+				for k := range held {
+					locks = append(locks, k)
+				}
+				sort.Strings(locks)
+				report(pkg.Fset.Position(e.pos),
+					fmt.Sprintf("%s called while %s is held — release the lock before network/RPC calls", e.key, strings.Join(locks, ", ")))
+			}
+		}
+	}
+}
+
+// mutexOp reports whether call is a Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex, and returns the lock's receiver
+// expression as its identity.
+func mutexOp(pkg *Package, call *ast.CallExpr) (key, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// netCall reports whether the call crosses (or can cross) the network:
+// net.Dial*, anything in net/http, or a method on one of the module's
+// RPC boundary types — a *Client or *...Conn declared in a dstore or
+// hstore package.
+func netCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	desc := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := recvTypeName(sig); named != nil {
+			desc = named.Name() + "." + fn.Name()
+			p := named.Pkg().Path()
+			if strings.HasSuffix(p, "/dstore") || strings.HasSuffix(p, "/hstore") {
+				ln := strings.ToLower(named.Name())
+				if strings.HasSuffix(ln, "client") || strings.HasSuffix(ln, "conn") {
+					return desc, true
+				}
+			}
+		}
+	} else {
+		desc = fn.Pkg().Name() + "." + fn.Name()
+	}
+	switch fn.Pkg().Path() {
+	case "net":
+		return desc, strings.HasPrefix(fn.Name(), "Dial")
+	case "net/http":
+		return desc, true
+	}
+	return "", false
+}
+
+// recvTypeName returns the named type of a method receiver, looking
+// through pointers.
+func recvTypeName(sig *types.Signature) *types.TypeName {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}

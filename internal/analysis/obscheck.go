@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// obsCheck validates observability names at every obs.Registry call
+// site: metric names and event types must be compile-time string
+// constants in lowercase_snake form, and one name must never be
+// registered as two different metric kinds (a counter in one file and
+// a gauge in another silently split or shadow each other when
+// snapshots merge). Dynamic names (concatenation, Sprintf) defeat
+// grep, dashboards, and the merge logic — variability belongs in
+// label values, which stay unchecked.
+type obsCheck struct{}
+
+func (obsCheck) Name() string { return "obscheck" }
+func (obsCheck) Doc() string {
+	return "obs metric/event names are constant lowercase_snake and kind-unique"
+}
+
+var snakeName = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// obsRegistrars maps obs.Registry method names to the metric kind they
+// register. Emit's event types share the spelling rules but not the
+// uniqueness rule (one event type is emitted from many sites).
+var obsRegistrars = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"GaugeFunc": "gauge_func",
+	"Histogram": "histogram",
+	"Emit":      "",
+}
+
+func (obsCheck) Check(pkgs []*Package, report func(token.Position, string)) {
+	type reg struct {
+		kind string
+		pos  token.Position
+	}
+	byName := make(map[string][]reg)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil {
+					return true
+				}
+				named := recvTypeName(sig)
+				if named == nil || named.Name() != "Registry" {
+					return true
+				}
+				kind, isRegistrar := obsRegistrars[fn.Name()]
+				if !isRegistrar {
+					return true
+				}
+				pos := pkg.Fset.Position(call.Args[0].Pos())
+				tv, hasTV := pkg.Info.Types[call.Args[0]]
+				if !hasTV || tv.Value == nil || tv.Value.Kind() != constant.String {
+					report(pos, fmt.Sprintf("obs name passed to %s must be a compile-time string constant, not built at the call site (got %s) — put variability in label values", fn.Name(), types.ExprString(call.Args[0])))
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				if !snakeName.MatchString(name) {
+					report(pos, fmt.Sprintf("obs name %q is not lowercase_snake (want %s)", name, snakeName))
+					return true
+				}
+				if kind != "" {
+					byName[name] = append(byName[name], reg{kind, pos})
+				}
+				return true
+			})
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		regs := byName[name]
+		kinds := make(map[string]bool)
+		for _, r := range regs {
+			kinds[r.kind] = true
+		}
+		if len(kinds) < 2 {
+			continue
+		}
+		list := make([]string, 0, len(kinds))
+		for k := range kinds {
+			list = append(list, k)
+		}
+		sort.Strings(list)
+		for _, r := range regs {
+			report(r.pos, fmt.Sprintf("metric %q registered as multiple kinds (%s) — pick one kind per name", name, strings.Join(list, ", ")))
+		}
+	}
+}

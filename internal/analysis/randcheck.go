@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// randCheck flags package-level math/rand calls (rand.Intn,
+// rand.Float64, rand.Seed, ...). The global source is shared mutable
+// state: concurrent components draw from it in scheduling order, so
+// two runs with the same seed diverge — the retry-lockstep bug PR 2
+// fixed in the dstore client. Constructing seeded generators
+// (rand.New, rand.NewSource, rand.NewZipf) and calling methods on a
+// *rand.Rand is the required pattern and stays allowed.
+type randCheck struct{}
+
+// randConstructors are the package-level functions that build seeded
+// generators rather than touching the global source.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func (randCheck) Name() string { return "randcheck" }
+func (randCheck) Doc() string {
+	return "no global math/rand calls; use a per-component seeded *rand.Rand"
+}
+
+func (randCheck) Check(pkgs []*Package, report func(token.Position, string)) {
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods on *rand.Rand / *rand.Zipf are fine
+				}
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				report(pkg.Fset.Position(call.Pos()),
+					fmt.Sprintf("global math/rand call rand.%s — draw from a seeded *rand.Rand so equal seeds give identical runs", fn.Name()))
+				return true
+			})
+		}
+	}
+}

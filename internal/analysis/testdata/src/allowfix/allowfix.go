@@ -1,0 +1,15 @@
+// Package allowfix exercises the //pstorm:allow directive: both the
+// same-line and line-above forms suppress a finding, so the whole
+// package must come back clean.
+package allowfix
+
+import "time"
+
+func sameLine() time.Time {
+	return time.Now() //pstorm:allow clockcheck fixture demonstrates same-line suppression
+}
+
+func lineAbove() time.Time {
+	//pstorm:allow clockcheck fixture demonstrates line-above suppression
+	return time.Now()
+}

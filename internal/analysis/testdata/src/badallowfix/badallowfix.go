@@ -1,0 +1,16 @@
+// Package badallowfix exercises directive validation: an unknown
+// checker name and a missing reason are findings in their own right,
+// and a malformed directive suppresses nothing.
+package badallowfix
+
+import "time"
+
+func unknownChecker() time.Time {
+	//pstorm:allow nosuchchecker this checker does not exist
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	//pstorm:allow clockcheck
+	return time.Now()
+}

@@ -1,0 +1,31 @@
+// Package clockfix exercises clockcheck: bare time.Now()/time.Since()
+// calls are findings; taking time.Now as a value (the injectable-clock
+// default idiom) is not.
+package clockfix
+
+import "time"
+
+// Taking the function value is the injection idiom — allowed.
+var defaultNow = time.Now
+
+type options struct {
+	Now func() time.Time
+}
+
+var opts = options{Now: time.Now} // allowed: value, not a call
+
+func stamp() time.Time {
+	return time.Now() // want `bare time\.Now\(\)`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `bare time\.Since\(\)`
+}
+
+func injected(o options) time.Time {
+	now := defaultNow
+	if o.Now != nil {
+		now = o.Now
+	}
+	return now() // allowed: call through an injected clock variable
+}

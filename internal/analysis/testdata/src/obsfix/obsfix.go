@@ -1,0 +1,20 @@
+// Package obsfix exercises obscheck: obs names must be constant
+// lowercase_snake, and one name must keep one metric kind.
+package obsfix
+
+import "pstorm/internal/obs"
+
+const promotedName = "requests_total" // named constants are fine
+
+func register(r *obs.Registry, shard string) {
+	r.Counter(promotedName, "shard", shard) // allowed: constant name, variable label value
+	r.Histogram("op_latency_ms", nil)       // allowed
+	r.Emit("region_moved", nil)             // allowed
+
+	r.Counter("BadCamelCase")   // want `not lowercase_snake`
+	r.Gauge("trailing_dash-")   // want `not lowercase_snake`
+	r.Counter("dyn_" + shard)   // want `must be a compile-time string constant`
+	r.Emit("evt."+shard, nil)   // want `must be a compile-time string constant`
+	r.Counter("kind_collision") // want `registered as multiple kinds`
+	r.Gauge("kind_collision")   // want `registered as multiple kinds`
+}

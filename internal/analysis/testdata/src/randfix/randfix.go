@@ -1,0 +1,23 @@
+// Package randfix exercises randcheck: package-level math/rand calls
+// share the global source and are findings; seeded *rand.Rand
+// construction and methods are not.
+package randfix
+
+import "math/rand"
+
+func globalDraw() int {
+	return rand.Intn(10) // want `global math/rand call rand\.Intn`
+}
+
+func globalSeed() {
+	rand.Seed(42) // want `global math/rand call rand\.Seed`
+}
+
+var unlucky = rand.Float64() // want `global math/rand call rand\.Float64`
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // allowed: constructors
+	z := rand.NewZipf(r, 1.1, 1, 100)   // allowed: constructor
+	_ = z.Uint64()                      // allowed: method on seeded generator
+	return r.Intn(10)                   // allowed: method on seeded generator
+}

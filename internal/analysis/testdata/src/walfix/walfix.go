@@ -1,0 +1,45 @@
+// Package walfix exercises walerrcheck: discarded errors from
+// WAL/flush/sync/persist-path calls are findings.
+package walfix
+
+import "os"
+
+type wal struct {
+	f *os.File
+}
+
+func (w *wal) logCell(b []byte) error {
+	_, err := w.f.Write(b)
+	return err
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+func flushAll(w *wal) error { return nil }
+
+func bareStatement(w *wal) {
+	w.logCell(nil) // want `discarded error from durability call wal\.logCell`
+}
+
+func blankAssign(w *wal) {
+	_ = w.f.Sync() // want `discarded error from durability call File\.Sync`
+}
+
+func deferredClose(w *wal) {
+	defer w.close() // want `discarded error from durability call wal\.close`
+}
+
+func namedFunc(w *wal) {
+	flushAll(w) // want `discarded error from durability call flushAll`
+}
+
+func handled(w *wal) error {
+	if err := w.logCell(nil); err != nil { // allowed: error checked
+		return err
+	}
+	return w.f.Sync() // allowed: error returned
+}
+
+func unrelated(w *wal) {
+	w.f.Name() // allowed: no error returned, not a durability call
+}

@@ -16,6 +16,7 @@ import (
 // matches the regions the victim led, and the client visibly retried
 // through the outage.
 func TestFaultInjectionKillPrimaryMidBurst(t *testing.T) {
+	checkGoroutineLeak(t) // before startCluster, so it runs after its Close cleanup
 	c, clock := startCluster(t, 3, []string{"m"})
 	cl := c.Client()
 	cl.RetryBase = time.Microsecond

@@ -104,7 +104,7 @@ func (m *Master) now() time.Time {
 	if m.opts.Now != nil {
 		return m.opts.Now()
 	}
-	return time.Now()
+	return time.Now() //pstorm:allow clockcheck this is the injection point's default when MasterOptions.Now is unset
 }
 
 // Join registers a region server. Joining is idempotent; a re-join of a
@@ -426,6 +426,14 @@ func (m *Master) primaryCountsLocked() map[string]int {
 // region, the move is a promotion flip (zero bytes moved); otherwise the
 // source is fenced, its snapshot exported and installed on the target,
 // META flipped, and the source copy dropped.
+//
+// The whole choreography runs under the catalog lock: the fence, the
+// META mutation, and the rollbacks must be atomic with respect to
+// concurrent liveness checks and other moves, so the conn RPCs below
+// are individually annotated for lockcheck. The known cost is that a
+// slow peer stalls heartbeats for the duration of one move; lifting
+// the RPCs out requires a per-region move lease and is tracked as
+// future work rather than bolted on here.
 func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -452,6 +460,7 @@ func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error
 		// set while it is still fenced — a write acked by the new
 		// primary before its followers were wired up would be
 		// unreplicated, and a later flip back would lose it.
+		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 		if err := src.conn.SetServing(table, regionID, false); err != nil {
 			return 0, fmt.Errorf("dstore: fencing %s: %w", g.Primary, err)
 		}
@@ -461,16 +470,21 @@ func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error
 		if err := m.setFollowersLocked(g); err != nil {
 			g.Primary = oldPrimary
 			g.Followers[i] = to
+			//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 			src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
 			return 0, err
 		}
+		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 		if err := dst.conn.SetServing(table, regionID, true); err != nil {
 			g.Primary = oldPrimary
 			g.Followers[i] = to
+			//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 			dst.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
-			src.conn.SetServing(table, regionID, true)  //nolint:errcheck — undo fence
+			//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
+			src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
 			return 0, err
 		}
+		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 		src.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
 		m.epoch++
 		m.cMoves.Inc()
@@ -484,11 +498,14 @@ func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error
 	// Full move: fence → export → wire followers → install → flip →
 	// drop. The target learns its follower set before it serves, for
 	// the same reason as the flip above.
+	//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 	if err := src.conn.SetServing(table, regionID, false); err != nil {
 		return 0, fmt.Errorf("dstore: fencing %s: %w", g.Primary, err)
 	}
+	//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 	snap, err := src.conn.Export(table, regionID)
 	if err != nil {
+		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 		src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
 		return 0, err
 	}
@@ -496,13 +513,17 @@ func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error
 	g.Primary = to
 	if err := m.setFollowersLocked(g); err != nil {
 		g.Primary = oldPrimary
+		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 		src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
 		return 0, err
 	}
+	//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 	if err := dst.conn.Install(snap, true); err != nil {
 		g.Primary = oldPrimary
+		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 		dst.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
-		src.conn.SetServing(table, regionID, true)  //nolint:errcheck — undo fence
+		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
+		src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
 		return 0, err
 	}
 	m.epoch++
@@ -511,8 +532,10 @@ func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error
 		"table": table, "region": strconv.Itoa(regionID),
 		"from": oldPrimary, "to": to, "kind": "full",
 	})
+	//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 	src.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
-	src.conn.Drop(table, regionID)              //nolint:errcheck — orphan copy, harmless
+	//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
+	src.conn.Drop(table, regionID) //nolint:errcheck — orphan copy, harmless
 	return snap.Bytes(), nil
 }
 

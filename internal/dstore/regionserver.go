@@ -26,6 +26,10 @@ type RegionServer struct {
 	hbStop  chan struct{}
 	hbOnce  sync.Once
 
+	// now feeds the latency histograms (default time.Now); tests
+	// inject a fake clock, mirroring MasterOptions.Now.
+	now func() time.Time
+
 	o           *obs.Registry
 	hPutMs      *obs.Histogram
 	hGetMs      *obs.Histogram
@@ -48,6 +52,7 @@ func NewRegionServer(id string, reg *Registry) *RegionServer {
 		reg:         reg,
 		followers:   make(map[string][]Peer),
 		hbStop:      make(chan struct{}),
+		now:         time.Now,
 		o:           o,
 		hPutMs:      o.Histogram("dstore_rs_put_latency_ms", nil, "server", id),
 		hGetMs:      o.Histogram("dstore_rs_get_latency_ms", nil, "server", id),
@@ -64,6 +69,12 @@ func NewRegionServer(id string, reg *Registry) *RegionServer {
 // Obs exposes the server's metrics registry. The embedded hstore keeps
 // its own (HStore().Obs()); snapshots merge both.
 func (rs *RegionServer) Obs() *obs.Registry { return rs.o }
+
+// sinceMs returns milliseconds elapsed since start on the server's
+// clock, for latency histograms.
+func (rs *RegionServer) sinceMs(start time.Time) float64 {
+	return float64(rs.now().Sub(start)) / float64(time.Millisecond)
+}
 
 // countNotServing records a client-visible NotServing rejection.
 func (rs *RegionServer) countNotServing(err error) error {
@@ -131,8 +142,8 @@ func (rs *RegionServer) replicate(table string, regionID int, cells []hstore.Cel
 	if len(followers) == 0 {
 		return nil
 	}
-	start := time.Now()
-	defer rs.hReplMs.ObserveSince(start)
+	start := rs.now()
+	defer func() { rs.hReplMs.Observe(rs.sinceMs(start)) }()
 	for _, p := range followers {
 		conn, err := rs.reg.Resolve(p)
 		if err != nil {
@@ -177,8 +188,8 @@ func (rs *RegionServer) Put(table, row, column string, value []byte) error {
 	if err := rs.check(); err != nil {
 		return err
 	}
-	start := time.Now()
-	defer rs.hPutMs.ObserveSince(start)
+	start := rs.now()
+	defer func() { rs.hPutMs.Observe(rs.sinceMs(start)) }()
 	c, err := rs.hs.PutCell(table, row, column, value)
 	if err != nil {
 		return rs.countNotServing(err)
@@ -201,8 +212,8 @@ func (rs *RegionServer) BatchPut(table string, rows []hstore.Row) error {
 	if err := rs.check(); err != nil {
 		return err
 	}
-	start := time.Now()
-	defer rs.hPutMs.ObserveSince(start)
+	start := rs.now()
+	defer func() { rs.hPutMs.Observe(rs.sinceMs(start)) }()
 	perRegion := make(map[int][]hstore.Cell)
 	for _, r := range rows {
 		id, err := rs.regionIDFor(table, r.Key)
@@ -255,8 +266,8 @@ func (rs *RegionServer) Get(table, row string) (hstore.Row, bool, error) {
 	if err := rs.check(); err != nil {
 		return hstore.Row{}, false, err
 	}
-	start := time.Now()
-	defer rs.hGetMs.ObserveSince(start)
+	start := rs.now()
+	defer func() { rs.hGetMs.Observe(rs.sinceMs(start)) }()
 	r, ok, err := rs.hs.Get(table, row)
 	return r, ok, rs.countNotServing(err)
 }

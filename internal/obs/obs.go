@@ -118,6 +118,7 @@ func (h *Histogram) ObserveSince(start time.Time) {
 	if h == nil {
 		return
 	}
+	//pstorm:allow clockcheck monotonic latency helper measuring real elapsed time; data-path timestamps go through Registry.Now
 	h.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 }
 
