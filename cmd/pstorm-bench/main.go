@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,7 +32,19 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	asJSON := flag.Bool("json", false, "also write each experiment's tables to BENCH_<id>.json")
 	withMetrics := flag.Bool("metrics", false, "with -json: include recorded observability snapshots in the BENCH JSON")
+	tune := flag.Bool("tune", false, "benchmark the tuning pipeline (sequential vs parallel+cached) and write BENCH_tune.json")
+	tuneWorkers := flag.String("tune-workers", "1,2,4,8", "with -tune: comma-separated worker counts")
+	tuneBudget := flag.Int("tune-budget", 0, "with -tune: What-If evaluation budget per tune (0: full search)")
+	tuneRepeats := flag.Int("tune-repeats", 8, "with -tune: times the tuning workload is repeated per row")
 	flag.Parse()
+
+	if *tune {
+		if err := runTuneBench(*seed, *tuneWorkers, *tuneBudget, *tuneRepeats); err != nil {
+			fmt.Fprintln(os.Stderr, "pstorm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range bench.Experiments() {
@@ -87,6 +100,34 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runTuneBench drives the tuning-pipeline benchmark and always writes
+// BENCH_tune.json (the point of the mode is the machine-checkable
+// speedup and determinism evidence).
+func runTuneBench(seed int64, workersCSV string, budget, repeats int) error {
+	var workers []int
+	for _, s := range strings.Split(workersCSV, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || w < 1 {
+			return fmt.Errorf("bad -tune-workers entry %q", s)
+		}
+		workers = append(workers, w)
+	}
+	env := bench.NewEnv(seed)
+	tables, err := bench.RunTuneBenchWith(env, workers, budget, repeats)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+	r := bench.Runner{ID: "tune", Desc: "Tuning pipeline: sequential vs parallel+cached evaluation core"}
+	if err := writeJSON("BENCH_tune.json", seed, r, tables, nil); err != nil {
+		return err
+	}
+	fmt.Println("(wrote BENCH_tune.json)")
+	return nil
 }
 
 // benchJSON is the machine-readable form of one experiment's output.

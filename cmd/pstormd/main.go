@@ -19,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,9 +30,13 @@ import (
 	"sort"
 	"time"
 
+	"pstorm/internal/cbo"
+	"pstorm/internal/cluster"
+	"pstorm/internal/conf"
 	"pstorm/internal/core"
 	"pstorm/internal/dstore"
 	"pstorm/internal/obs"
+	"pstorm/internal/whatif"
 )
 
 func main() {
@@ -61,16 +67,29 @@ func run(role, listen, id, masterURL, addr string, hbTimeout, hbEvery time.Durat
 		if listen == "" {
 			return fmt.Errorf("master needs -listen")
 		}
-		m := dstore.NewMaster(dstore.NewRegistry(), dstore.MasterOptions{
+		reg := dstore.NewRegistry()
+		m := dstore.NewMaster(reg, dstore.MasterOptions{
 			HeartbeatTimeout: hbTimeout,
 			Replication:      repl,
 			DefaultSplits:    dstore.DefaultSplits,
 		})
 		m.Start()
 		defer m.Close()
+		// The master also serves /tune: it is the node every client
+		// already knows, and the routing client it tunes through reaches
+		// the region servers the same way any external client would.
+		tuneObs := obs.NewRegistry()
+		mux := http.NewServeMux()
+		mux.Handle("/", dstore.MasterHandler(m))
+		mux.Handle("/tune", tuneHandler(func() core.KV {
+			return dstore.NewClient(dstore.ConnectMaster(m), reg)
+		}, tuneObs))
+		gather := func() obs.Snapshot {
+			return obs.Merge(m.Obs().Snapshot(), tuneObs.Snapshot())
+		}
 		fmt.Printf("pstormd master listening on %s (replication %d, heartbeat timeout %s)\n",
 			listen, repl, hbTimeout)
-		return http.ListenAndServe(listen, withObs(dstore.MasterHandler(m), m.Obs().Snapshot))
+		return http.ListenAndServe(listen, withObs(mux, gather))
 	case "region":
 		if listen == "" || id == "" || masterURL == "" || addr == "" {
 			return fmt.Errorf("region needs -listen, -id, -master, and -addr")
@@ -89,6 +108,95 @@ func run(role, listen, id, masterURL, addr string, hbTimeout, hbEvery time.Durat
 	default:
 		return fmt.Errorf("need -role master, -role region, or -demo (see -h)")
 	}
+}
+
+// tuneReq is the /tune request body. Workers, budget, and deadline map
+// onto the tuning pipeline's TuneOptions; input_bytes defaults to the
+// stored profile's own input size.
+type tuneReq struct {
+	JobID      string `json:"job_id"`
+	InputBytes int64  `json:"input_bytes"`
+	Workers    int    `json:"workers"`
+	Budget     int    `json:"budget"`
+	DeadlineMs int64  `json:"deadline_ms"`
+	Seed       int64  `json:"seed"`
+}
+
+// tuneResp is the /tune response body.
+type tuneResp struct {
+	JobID       string      `json:"job_id"`
+	Config      conf.Config `json:"config"`
+	PredictedMs float64     `json:"predicted_ms"`
+	DefaultMs   float64     `json:"default_ms"`
+	Evaluations int         `json:"evaluations"`
+}
+
+// tuneHandler serves tuning requests: load the named profile through a
+// fresh routing client, run the parallel cost-based optimizer on it,
+// and return the recommendation. One memoizing evaluator is shared
+// across all requests, so repeat tunes of hot profiles are answered
+// mostly from cache.
+func tuneHandler(newKV func() core.KV, o *obs.Registry) http.Handler {
+	cl := cluster.Default16()
+	eval := whatif.NewEvaluator(whatif.EvaluatorOptions{Obs: o})
+	now := time.Now
+	evalCtr := o.Counter("tune_evaluations_total")
+	latH := o.Histogram("tune_latency_ms", nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req tuneReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.JobID == "" {
+			http.Error(w, "job_id required", http.StatusBadRequest)
+			return
+		}
+		st, err := core.NewStore(newKV())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		prof, err := st.LoadProfile(req.JobID)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if req.InputBytes <= 0 {
+			req.InputBytes = prof.InputBytes
+		}
+		ctx := r.Context()
+		if req.DeadlineMs > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+			defer cancel()
+		}
+		start := now()
+		rec, err := cbo.OptimizeContext(ctx, prof, req.InputBytes, cl, core.ProfileHasCombiner(prof), cbo.Options{
+			Seed: req.Seed, Workers: req.Workers, MaxEvaluations: req.Budget, Evaluator: eval,
+		})
+		if err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				code = http.StatusGatewayTimeout
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		evalCtr.Add(int64(rec.Evaluations))
+		latH.Observe(float64(now().Sub(start)) / float64(time.Millisecond))
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(tuneResp{
+			JobID: req.JobID, Config: rec.Config, PredictedMs: rec.PredictedMs,
+			DefaultMs: rec.DefaultMs, Evaluations: rec.Evaluations,
+		}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 }
 
 // withObs wraps a node's wire-protocol handler with the /metrics and

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/core"
+	"pstorm/internal/engine"
+	"pstorm/internal/hstore"
+	"pstorm/internal/obs"
+	"pstorm/internal/workloads"
+)
+
+func tuneServer(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	srv := hstore.NewServer()
+	st, err := core.NewStore(hstore.Connect(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(cluster.Default16(), 13)
+	spec, _ := workloads.JobByName("wordcount")
+	ds, _ := workloads.DatasetByName("randomtext-1g")
+	run, err := eng.Run(spec, ds, core.DefaultConfig(spec), engine.RunOptions{Profiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutProfile(run.Profile); err != nil {
+		t.Fatal(err)
+	}
+	h := tuneHandler(func() core.KV { return hstore.Connect(srv) }, obs.NewRegistry())
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts, run.Profile.JobID
+}
+
+func postTune(t *testing.T, ts *httptest.Server, req tuneReq) (*http.Response, tuneResp) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out tuneResp
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestTuneEndpoint(t *testing.T) {
+	ts, jobID := tuneServer(t)
+	resp, rec := postTune(t, ts, tuneReq{JobID: jobID, Workers: 4, Budget: 60, Seed: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /tune = %d", resp.StatusCode)
+	}
+	if rec.Evaluations == 0 || rec.Evaluations > 60 {
+		t.Errorf("evaluations = %d, want 1..60", rec.Evaluations)
+	}
+	if rec.PredictedMs <= 0 || rec.PredictedMs > rec.DefaultMs {
+		t.Errorf("predicted %v vs default %v: recommendation worse than default", rec.PredictedMs, rec.DefaultMs)
+	}
+	// Same seed, different worker count: the recommendation is
+	// bit-identical (and the shared evaluator answers from cache).
+	resp2, rec2 := postTune(t, ts, tuneReq{JobID: jobID, Workers: 1, Budget: 60, Seed: 3})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST /tune = %d", resp2.StatusCode)
+	}
+	if rec2.Config != rec.Config || rec2.PredictedMs != rec.PredictedMs {
+		t.Error("repeat tune at a different worker count diverged")
+	}
+}
+
+func TestTuneEndpointErrors(t *testing.T) {
+	ts, jobID := tuneServer(t)
+	if resp, err := http.Get(ts.URL); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /tune = %d, want 405", resp.StatusCode)
+	}
+	if resp, _ := postTune(t, ts, tuneReq{}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty job_id = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postTune(t, ts, tuneReq{JobID: "nope"}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postTune(t, ts, tuneReq{JobID: jobID, DeadlineMs: -1}); resp.StatusCode != http.StatusOK {
+		// A negative deadline is simply "no deadline".
+		t.Errorf("negative deadline = %d, want 200", resp.StatusCode)
+	}
+}

@@ -97,6 +97,7 @@ func Experiments() []Runner {
 		{"ablation-datamodel", "Data model: Table 5.1 vs OpenTSDB-style vs table-per-type", RunAblationDataModel},
 		{"ablation-pushdown", "Filter pushdown vs client-side filtering", RunAblationPushdown},
 		{"dstore-scale", "Distributed store scaling: throughput, bytes moved, failover recovery", RunDStoreScale},
+		{"tune", "Tuning pipeline: sequential vs parallel+cached evaluation core", RunTuneBench},
 		{"ext-crosscluster", "Extension (§7.2.3): cross-cluster profile adaptation", RunExtCrossCluster},
 		{"ext-thresholds", "Sensitivity of matching accuracy to the two thresholds", RunExtThresholds},
 	}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pstorm/internal/cbo"
+	"pstorm/internal/whatif"
+)
+
+// RunTuneBench benchmarks the tuning pipeline: the same bank of
+// profiles tuned repeatedly at each worker count, sequential-uncached
+// at workers=1 (the legacy path) and through the shared memoizing
+// Evaluator at workers>1. It reports evaluations/sec, cache hit ratio,
+// and whether every configuration reproduced the workers=1
+// recommendation bit-identically.
+func RunTuneBench(e *Env) ([]*Table, error) {
+	return RunTuneBenchWith(e, []int{1, 2, 4, 8}, 0, 8)
+}
+
+// RunTuneBenchWith is RunTuneBench with explicit worker counts, an
+// evaluation budget per tune (0: the full search), and the number of
+// times the whole workload is repeated — the repeats model the
+// multi-tenant resubmission pattern the Evaluator exists for.
+func RunTuneBenchWith(e *Env, workers []int, budget, repeats int) ([]*Table, error) {
+	bank, err := e.Bank()
+	if err != nil {
+		return nil, err
+	}
+	if len(bank) > 6 {
+		bank = bank[:6]
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	now := time.Now
+
+	baseline := make([]*cbo.Recommendation, len(bank))
+	t := &Table{
+		ID:    "tune",
+		Title: "Tuning pipeline: sequential vs parallel+cached evaluation core",
+		Columns: []string{"workers", "cached", "tunes", "evals", "elapsed_ms",
+			"evals_per_sec", "speedup_vs_w1", "hit_ratio", "identical"},
+		Notes: []string{
+			fmt.Sprintf("%d profiles x %d repeats per row; workers=1 is the sequential uncached legacy path", len(bank), repeats),
+			"recommendations are bit-identical across worker counts by construction; the identical column verifies it",
+			"on a single-CPU host the speedup comes from memoized repeat tunes; worker parallelism adds on multi-core hosts",
+		},
+	}
+
+	var baseRate float64
+	for _, w := range workers {
+		var eval *whatif.Evaluator
+		if w > 1 {
+			eval = whatif.NewEvaluator(whatif.EvaluatorOptions{})
+		}
+		opts := e.CBO
+		opts.Workers = w
+		opts.MaxEvaluations = budget
+		opts.Evaluator = eval
+
+		totalEvals, tunes := 0, 0
+		identical := true
+		start := now()
+		for rep := 0; rep < repeats; rep++ {
+			for i, b := range bank {
+				rec, err := cbo.OptimizeContext(context.Background(), b.Profile, b.Dataset.NominalBytes,
+					e.Cluster, b.Spec.HasCombiner(), opts)
+				if err != nil {
+					return nil, fmt.Errorf("bench: tuning %s (workers=%d): %w", b.Spec.Name, w, err)
+				}
+				totalEvals += rec.Evaluations
+				tunes++
+				if baseline[i] == nil {
+					baseline[i] = rec
+				} else if rec.Config != baseline[i].Config ||
+					rec.PredictedMs != baseline[i].PredictedMs ||
+					rec.Evaluations != baseline[i].Evaluations {
+					identical = false
+				}
+			}
+		}
+		elapsed := now().Sub(start)
+		sec := elapsed.Seconds()
+		if sec <= 0 {
+			sec = 1e-9
+		}
+		rate := float64(totalEvals) / sec
+		if baseRate == 0 {
+			baseRate = rate
+		}
+		hitRatio := 0.0
+		if h, m := eval.Hits(), eval.Misses(); h+m > 0 {
+			hitRatio = float64(h) / float64(h+m)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w),
+			fmt.Sprintf("%v", eval != nil),
+			fmt.Sprintf("%d", tunes),
+			fmt.Sprintf("%d", totalEvals),
+			fmtF(float64(elapsed)/float64(time.Millisecond), 1),
+			fmtF(rate, 0),
+			fmtF(rate/baseRate, 2),
+			fmtF(hitRatio, 3),
+			fmt.Sprintf("%v", identical),
+		})
+	}
+	return []*Table{t}, nil
+}

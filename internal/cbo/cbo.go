@@ -5,17 +5,33 @@
 // recursive random search (the algorithm Starfish uses): global random
 // exploration to find promising regions, then local neighbourhood
 // exploitation around the incumbent, with restarts.
+//
+// The search runs as deterministic batch-parallel rounds: the
+// candidates of every explore/exploit round are generated up front from
+// the seeded RNG, evaluated by a worker pool, and reduced in
+// candidate-index order — so the recommendation is bit-identical at any
+// worker count, and the worker count only changes wall-clock time.
 package cbo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"pstorm/internal/cluster"
 	"pstorm/internal/conf"
 	"pstorm/internal/profile"
 	"pstorm/internal/whatif"
 )
+
+// exploitBatch is the fixed exploitation round size. It must not depend
+// on Options.Workers: the incumbent a neighbour is generated from
+// advances only at round boundaries, so a worker-count-dependent batch
+// size would change the search trajectory.
+const exploitBatch = 8
 
 // Options tune the search effort.
 type Options struct {
@@ -30,6 +46,18 @@ type Options struct {
 	// Seed drives the search's randomness (the What-If predictions
 	// themselves are deterministic).
 	Seed int64
+	// Workers is the width of the What-If evaluation worker pool
+	// (default GOMAXPROCS). The recommendation is identical at every
+	// worker count; see the package comment.
+	Workers int
+	// MaxEvaluations caps the total number of What-If evaluations,
+	// truncating rounds deterministically in candidate order (0: the
+	// full ExploreSamples/ExploitSteps/Restarts effort).
+	MaxEvaluations int
+	// Evaluator, when non-nil, memoizes What-If evaluations — share one
+	// across tunes so resubmissions of the same profile are answered
+	// from cache. Nil computes every prediction directly.
+	Evaluator *whatif.Evaluator
 }
 
 func (o Options) withDefaults() Options {
@@ -41,6 +69,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Restarts <= 0 {
 		o.Restarts = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -71,51 +102,182 @@ func (r *Recommendation) PredictedSpeedup() float64 {
 // combiner setting) is always evaluated, so the recommendation is never
 // worse than the default in predicted terms.
 func Optimize(prof *profile.Profile, inputBytes int64, cl *cluster.Cluster, hasCombiner bool, opt Options) (*Recommendation, error) {
+	return OptimizeContext(context.Background(), prof, inputBytes, cl, hasCombiner, opt)
+}
+
+// OptimizeContext is Optimize with cancellation: a cancelled or expired
+// context aborts the search promptly (no further evaluations are
+// started) and returns the context's error.
+func OptimizeContext(ctx context.Context, prof *profile.Profile, inputBytes int64, cl *cluster.Cluster, hasCombiner bool, opt Options) (*Recommendation, error) {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed*2_654_435_761 + 99991))
 	space := conf.DefaultSpace(cl.ReduceSlots())
+	s := &search{ctx: ctx, prof: prof, inputBytes: inputBytes, cl: cl, opt: opt}
 
-	evals := 0
-	predict := func(c conf.Config) (float64, error) {
-		evals++
-		return whatif.PredictRuntime(prof, inputBytes, cl, c)
-	}
-
-	def := conf.Default()
+	def := whatif.Quantize(conf.Default())
 	def.UseCombiner = hasCombiner
-	defMs, err := predict(def)
-	if err != nil {
-		return nil, fmt.Errorf("cbo: evaluating default config: %w", err)
+	defRes := s.evalRound([]conf.Config{def})
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+	if defRes[0].err != nil {
+		return nil, fmt.Errorf("cbo: evaluating default config: %w", defRes[0].err)
+	}
+	defMs := defRes[0].ms
 
 	best, bestMs := def, defMs
-	for restart := 0; restart < opt.Restarts; restart++ {
-		// Exploration: uniform random samples over the space.
+	for restart := 0; restart < opt.Restarts && !s.exhausted(); restart++ {
 		incumbent, incumbentMs := best, bestMs
-		for i := 0; i < opt.ExploreSamples; i++ {
-			c := space.Sample(rng)
-			ms, err := predict(c)
-			if err != nil {
-				continue // invalid corner of the space; skip
-			}
-			if ms < incumbentMs {
-				incumbent, incumbentMs = c, ms
+
+		// Exploration: uniform random samples over the space, generated
+		// up front, evaluated in parallel, reduced in index order.
+		explore := make([]conf.Config, opt.ExploreSamples)
+		for i := range explore {
+			explore[i] = whatif.Quantize(space.Sample(rng))
+		}
+		explore = s.truncate(explore)
+		for i, r := range s.evalRound(explore) {
+			if r.err == nil && r.ms < incumbentMs {
+				incumbent, incumbentMs = explore[i], r.ms
 			}
 		}
-		// Exploitation: hill-climb in the incumbent's neighbourhood.
-		for i := 0; i < opt.ExploitSteps; i++ {
-			c := space.Neighbor(incumbent, rng)
-			ms, err := predict(c)
-			if err != nil {
-				continue
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		// Exploitation: hill-climb in the incumbent's neighbourhood, in
+		// fixed-size rounds. Within a round every neighbour derives from
+		// the same incumbent; the incumbent advances at round edges.
+		for done := 0; done < opt.ExploitSteps && !s.exhausted(); {
+			n := exploitBatch
+			if rem := opt.ExploitSteps - done; n > rem {
+				n = rem
 			}
-			if ms < incumbentMs {
-				incumbent, incumbentMs = c, ms
+			done += n
+			batch := make([]conf.Config, n)
+			for i := range batch {
+				batch[i] = whatif.Quantize(space.Neighbor(incumbent, rng))
+			}
+			batch = s.truncate(batch)
+			for i, r := range s.evalRound(batch) {
+				if r.err == nil && r.ms < incumbentMs {
+					incumbent, incumbentMs = batch[i], r.ms
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 		}
 		if incumbentMs < bestMs {
 			best, bestMs = incumbent, incumbentMs
 		}
 	}
-	return &Recommendation{Config: best, PredictedMs: bestMs, DefaultMs: defMs, Evaluations: evals}, nil
+	return &Recommendation{Config: best, PredictedMs: bestMs, DefaultMs: defMs, Evaluations: s.evals}, nil
+}
+
+// search carries one OptimizeContext invocation's state.
+type search struct {
+	ctx        context.Context
+	prof       *profile.Profile
+	inputBytes int64
+	cl         *cluster.Cluster
+	opt        Options
+	evals      int
+}
+
+// exhausted reports whether the evaluation budget is spent.
+func (s *search) exhausted() bool {
+	return s.opt.MaxEvaluations > 0 && s.evals >= s.opt.MaxEvaluations
+}
+
+// truncate clips a generated batch to the remaining evaluation budget.
+// Generation happens before clipping so the RNG stream is identical
+// with and without a budget.
+func (s *search) truncate(batch []conf.Config) []conf.Config {
+	if s.opt.MaxEvaluations <= 0 {
+		return batch
+	}
+	rem := s.opt.MaxEvaluations - s.evals
+	if rem < 0 {
+		rem = 0
+	}
+	if len(batch) > rem {
+		batch = batch[:rem]
+	}
+	return batch
+}
+
+type evalResult struct {
+	ms  float64
+	err error
+}
+
+// evalRound evaluates one candidate batch and returns per-candidate
+// results aligned with the batch. Candidates the memoizing evaluator
+// already knows are answered inline (a map lookup — no goroutines);
+// only the misses go to the worker pool. A cancelled context stops
+// workers from starting further evaluations; candidates skipped that
+// way carry the context error.
+func (s *search) evalRound(batch []conf.Config) []evalResult {
+	out := make([]evalResult, len(batch))
+	if len(batch) == 0 {
+		return out
+	}
+	s.evals += len(batch)
+	pending := make([]int, 0, len(batch))
+	if ev := s.opt.Evaluator; ev != nil {
+		for i, c := range batch {
+			if ms, ok := ev.Cached(s.prof, s.inputBytes, s.cl, c); ok {
+				out[i] = evalResult{ms: ms}
+			} else {
+				pending = append(pending, i)
+			}
+		}
+	} else {
+		for i := range batch {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return out
+	}
+	workers := s.opt.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(pending) {
+					return
+				}
+				i := pending[k]
+				if err := s.ctx.Err(); err != nil {
+					out[i] = evalResult{err: err}
+					continue
+				}
+				out[i] = s.eval(batch[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// eval answers one What-If question, through the memoizing evaluator
+// when one is configured.
+func (s *search) eval(c conf.Config) evalResult {
+	var ms float64
+	var err error
+	if s.opt.Evaluator != nil {
+		ms, err = s.opt.Evaluator.PredictRuntime(s.prof, s.inputBytes, s.cl, c)
+	} else {
+		ms, err = whatif.PredictRuntime(s.prof, s.inputBytes, s.cl, c)
+	}
+	return evalResult{ms: ms, err: err}
 }

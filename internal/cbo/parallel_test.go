@@ -1,0 +1,99 @@
+package cbo
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pstorm/internal/whatif"
+)
+
+// The parallel search must be bit-identical at every worker count and
+// across runs: the whole point of the batch-round design is that the
+// worker pool only changes wall-clock time, never the recommendation.
+func TestOptimizeIdenticalAcrossWorkerCounts(t *testing.T) {
+	run, cl, in := profileFor(t, "cooccurrence-pairs", "wiki-35g")
+	var want *Recommendation
+	for _, workers := range []int{1, 4, 16} {
+		for attempt := 0; attempt < 2; attempt++ {
+			rec, err := Optimize(run.Profile, in, cl, true, Options{Seed: 11, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if want == nil {
+				want = rec
+				continue
+			}
+			if rec.Config != want.Config {
+				t.Errorf("workers=%d attempt=%d: config diverged from workers=1", workers, attempt)
+			}
+			if rec.PredictedMs != want.PredictedMs || rec.DefaultMs != want.DefaultMs {
+				t.Errorf("workers=%d attempt=%d: predicted %v/%v, want %v/%v",
+					workers, attempt, rec.PredictedMs, rec.DefaultMs, want.PredictedMs, want.DefaultMs)
+			}
+			if rec.Evaluations != want.Evaluations {
+				t.Errorf("workers=%d attempt=%d: %d evaluations, want %d",
+					workers, attempt, rec.Evaluations, want.Evaluations)
+			}
+		}
+	}
+}
+
+// A shared memoizing evaluator must not change the recommendation
+// either — cached answers are exact, so cached and uncached searches
+// agree bit-for-bit even when tunes repeat.
+func TestOptimizeIdenticalWithEvaluator(t *testing.T) {
+	run, cl, in := profileFor(t, "wordcount", "wiki-35g")
+	plain, err := Optimize(run.Profile, in, cl, true, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := whatif.NewEvaluator(whatif.EvaluatorOptions{})
+	for i := 0; i < 2; i++ {
+		rec, err := Optimize(run.Profile, in, cl, true, Options{Seed: 9, Workers: 4, Evaluator: eval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Config != plain.Config || rec.PredictedMs != plain.PredictedMs || rec.Evaluations != plain.Evaluations {
+			t.Errorf("run %d through evaluator diverged from the uncached search", i)
+		}
+	}
+	if eval.Hits() == 0 {
+		t.Error("repeat tune produced no cache hits")
+	}
+}
+
+func TestOptimizeContextCancellation(t *testing.T) {
+	run, cl, in := profileFor(t, "wordcount", "wiki-35g")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done() // the deadline has certainly expired
+	start := time.Now()
+	_, err := OptimizeContext(ctx, run.Profile, in, cl, true, Options{Seed: 1, Workers: 4})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline returned %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled search took %v to return", elapsed)
+	}
+}
+
+func TestOptimizeMaxEvaluationsBudget(t *testing.T) {
+	run, cl, in := profileFor(t, "wordcount", "wiki-35g")
+	rec, err := Optimize(run.Profile, in, cl, true, Options{Seed: 2, MaxEvaluations: 25, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Evaluations > 25 {
+		t.Errorf("budget 25 exceeded: %d evaluations", rec.Evaluations)
+	}
+	// The truncation must be deterministic too.
+	again, err := Optimize(run.Profile, in, cl, true, Options{Seed: 2, MaxEvaluations: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Config != again.Config || rec.Evaluations != again.Evaluations {
+		t.Error("budgeted search not deterministic across worker counts")
+	}
+}

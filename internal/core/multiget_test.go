@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"testing"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/core"
+	"pstorm/internal/engine"
+	"pstorm/internal/hstore"
+)
+
+// plainKV hides hstore.Client's MultiGet so the store must take its
+// per-row fallback path.
+type plainKV struct{ core.KV }
+
+func TestStoreMultiGetFeatures(t *testing.T) {
+	eng := engine.New(cluster.Default16(), 7)
+	profs := []string{"wordcount", "grep", "bigram-relfreq"}
+
+	batched := newStore(t)
+	srv := hstore.NewServer()
+	fallback, err := core.NewStore(plainKV{hstore.Connect(srv)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, len(profs))
+	for _, job := range profs {
+		p := collectProfile(t, eng, job, "wiki-35g")
+		ids = append(ids, p.JobID)
+		if err := batched.PutProfile(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := fallback.PutProfile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := append([]string{"no-such-job"}, ids...)
+
+	for name, st := range map[string]*core.Store{"batched": batched, "fallback": fallback} {
+		rows, err := st.MultiGetFeatures("dynmap", req)
+		if err != nil {
+			t.Fatalf("%s: MultiGetFeatures: %v", name, err)
+		}
+		if len(rows) != len(ids) {
+			t.Fatalf("%s: got %d rows, want %d (missing IDs must be absent)", name, len(rows), len(ids))
+		}
+		for _, id := range ids {
+			got, ok := rows[id]
+			if !ok {
+				t.Fatalf("%s: job %s missing from result", name, id)
+			}
+			want, found, err := st.GetFeatures("dynmap", id)
+			if err != nil || !found {
+				t.Fatalf("%s: GetFeatures(%s): found=%v err=%v", name, id, found, err)
+			}
+			if len(got.Columns) != len(want.Columns) {
+				t.Errorf("%s: job %s: multi-get row has %d columns, point-get %d",
+					name, id, len(got.Columns), len(want.Columns))
+			}
+			for col, v := range want.Columns {
+				if string(got.Columns[col]) != string(v) {
+					t.Errorf("%s: job %s column %s: %q != %q", name, id, col, got.Columns[col], v)
+				}
+			}
+		}
+		if rows, err := st.MultiGetFeatures("dynmap", nil); err != nil || len(rows) != 0 {
+			t.Errorf("%s: empty request: rows=%v err=%v", name, rows, err)
+		}
+	}
+}

@@ -43,6 +43,13 @@ type KV interface {
 	DeleteRow(table, row string) error
 }
 
+// multiGetKV is the optional batched point-read upgrade of KV. Both
+// *hstore.Client and *dstore.Client implement it; a KV without it falls
+// back to per-row Gets.
+type multiGetKV interface {
+	MultiGet(table string, rows []string) ([]hstore.Row, []bool, error)
+}
+
 // Store is the PStorM profile store.
 type Store struct {
 	client KV
@@ -208,6 +215,39 @@ func (s *Store) GetFeatures(ftype, jobID string) (hstore.Row, bool, error) {
 	return s.client.Get(TableName, featureRowKey(ftype, jobID))
 }
 
+// MultiGetFeatures implements matcher.MultiGetStore: one feature row per
+// job ID, fetched in a single round trip per shard when the underlying
+// client supports batched reads.
+func (s *Store) MultiGetFeatures(ftype string, jobIDs []string) (map[string]hstore.Row, error) {
+	out := make(map[string]hstore.Row, len(jobIDs))
+	if mg, ok := s.client.(multiGetKV); ok {
+		keys := make([]string, len(jobIDs))
+		for i, id := range jobIDs {
+			keys[i] = featureRowKey(ftype, id)
+		}
+		rows, found, err := mg.MultiGet(TableName, keys)
+		if err != nil {
+			return nil, err
+		}
+		for i, id := range jobIDs {
+			if found[i] {
+				out[id] = rows[i]
+			}
+		}
+		return out, nil
+	}
+	for _, id := range jobIDs {
+		row, ok, err := s.client.Get(TableName, featureRowKey(ftype, id))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[id] = row
+		}
+	}
+	return out, nil
+}
+
 // Bounds implements matcher.Store.
 func (s *Store) Bounds(ftype string, features []string) ([]float64, []float64, error) {
 	row, ok, err := s.client.Get(TableName, boundsRowKey(ftype))
@@ -276,3 +316,4 @@ func (s *Store) Len() (int, error) {
 }
 
 var _ matcher.Store = (*Store)(nil)
+var _ matcher.MultiGetStore = (*Store)(nil)

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"pstorm/internal/cbo"
 	"pstorm/internal/cluster"
@@ -10,7 +12,9 @@ import (
 	"pstorm/internal/engine"
 	"pstorm/internal/matcher"
 	"pstorm/internal/mrjob"
+	"pstorm/internal/obs"
 	"pstorm/internal/profile"
+	"pstorm/internal/whatif"
 )
 
 // System is the PStorM daemon of Fig 1.2: it receives job submissions,
@@ -30,6 +34,19 @@ type System struct {
 
 	// SampleTasks is the sampler size; PStorM uses 1 (§3).
 	SampleTasks int
+
+	// Evaluator memoizes What-If evaluations across tunes (nil: every
+	// tune computes its predictions from scratch).
+	Evaluator *whatif.Evaluator
+
+	// Obs, when non-nil, receives the tuning metrics
+	// (tune_evaluations_total, tune_evaluations_per_tune,
+	// tune_latency_ms).
+	Obs *obs.Registry
+
+	// Now is the clock used for tune latency measurement (injectable for
+	// tests; NewSystem sets the wall clock).
+	Now func() time.Time
 }
 
 // NewSystem wires a PStorM system together.
@@ -40,7 +57,74 @@ func NewSystem(store *Store, eng *engine.Engine) *System {
 		Matcher:     matcher.New(),
 		Cluster:     eng.Cluster,
 		SampleTasks: 1,
+		Now:         time.Now,
 	}
+}
+
+// TuneOptions bound one tuning request.
+type TuneOptions struct {
+	// Workers overrides the optimizer's worker-pool width for this tune
+	// (0: the system's CBO setting, defaulting to GOMAXPROCS).
+	Workers int
+	// Budget caps the tune's What-If evaluations (0: the full search
+	// effort).
+	Budget int
+	// Deadline bounds the tune's wall-clock time; past it the search
+	// aborts with context.DeadlineExceeded (0: no deadline beyond the
+	// caller's context).
+	Deadline time.Duration
+}
+
+// ProfileHasCombiner derives combiner presence from a profile's static
+// features: the map side records the combiner's identity (possibly via
+// profile composition) under the COMBINER categorical, empty when the
+// job has none.
+func ProfileHasCombiner(p *profile.Profile) bool {
+	return p != nil && p.Map.StaticCategorical["COMBINER"] != ""
+}
+
+// Tune runs the cost-based optimizer over a (matched or stored) profile
+// for the given input size. Combiner presence is derived from the
+// profile itself — callers no longer pass it.
+func (s *System) Tune(ctx context.Context, prof *profile.Profile, inputBytes int64, opt TuneOptions) (*cbo.Recommendation, error) {
+	return s.tune(ctx, prof, inputBytes, ProfileHasCombiner(prof), opt)
+}
+
+// tune is the shared optimizer entry: every tuning path (Tune, Submit)
+// funnels through it so options, cancellation, the shared evaluator,
+// and the obs instrumentation are applied uniformly.
+func (s *System) tune(ctx context.Context, prof *profile.Profile, inputBytes int64, hasCombiner bool, opt TuneOptions) (*cbo.Recommendation, error) {
+	copts := s.CBO
+	if opt.Workers > 0 {
+		copts.Workers = opt.Workers
+	}
+	if opt.Budget > 0 {
+		copts.MaxEvaluations = opt.Budget
+	}
+	if copts.Evaluator == nil {
+		copts.Evaluator = s.Evaluator
+	}
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
+	}
+	var start time.Time
+	if s.Now != nil {
+		start = s.Now()
+	}
+	rec, err := cbo.OptimizeContext(ctx, prof, inputBytes, s.Cluster, hasCombiner, copts)
+	if err != nil {
+		return nil, err
+	}
+	if s.Obs != nil {
+		s.Obs.Counter("tune_evaluations_total").Add(int64(rec.Evaluations))
+		s.Obs.Histogram("tune_evaluations_per_tune", []float64{1, 50, 100, 200, 400, 800}).Observe(float64(rec.Evaluations))
+		if s.Now != nil {
+			s.Obs.Histogram("tune_latency_ms", nil).Observe(float64(s.Now().Sub(start)) / float64(time.Millisecond))
+		}
+	}
+	return rec, nil
 }
 
 // DefaultConfig is the configuration a job runs with when no tuning is
@@ -83,6 +167,14 @@ type SubmitResult struct {
 
 // Submit runs the full PStorM workflow for one job submission.
 func (s *System) Submit(spec *mrjob.Spec, ds *data.Dataset) (*SubmitResult, error) {
+	return s.SubmitContext(context.Background(), spec, ds, TuneOptions{})
+}
+
+// SubmitContext is Submit with cancellation and per-submission tuning
+// options: the context and options bound the optimizer search on the
+// tuned path (sampling and execution are simulated and effectively
+// instant).
+func (s *System) SubmitContext(ctx context.Context, spec *mrjob.Spec, ds *data.Dataset, opt TuneOptions) (*SubmitResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,8 +203,10 @@ func (s *System) Submit(spec *mrjob.Spec, ds *data.Dataset) (*SubmitResult, erro
 	res := &SubmitResult{Match: match, SampleCostMs: sampleCost}
 
 	if match.Matched() {
-		// 3a. Tune with the CBO and run with profiling off.
-		rec, err := cbo.Optimize(match.Profile, ds.NominalBytes, s.Cluster, spec.HasCombiner(), s.CBO)
+		// 3a. Tune with the CBO and run with profiling off. The submitted
+		// spec knows its own combiner, so it is authoritative over the
+		// matched profile's static features.
+		rec, err := s.tune(ctx, match.Profile, ds.NominalBytes, spec.HasCombiner(), opt)
 		if err != nil {
 			return nil, fmt.Errorf("core: optimizing %s: %w", spec.Name, err)
 		}

@@ -313,6 +313,77 @@ func (c *Client) BatchPut(table string, rows []hstore.Row) error {
 	return fmt.Errorf("%w: batch put gave up with %d rows unacked: %w", ErrExhausted, len(remaining), lastErr)
 }
 
+// MultiGet point-reads many rows, grouped per primary server so each
+// server answers one batch per round. Both result slices are aligned
+// with the requested keys; failed groups are retried with a refreshed
+// META view until every row is answered or attempts run out.
+func (c *Client) MultiGet(table string, rows []string) ([]hstore.Row, []bool, error) {
+	c.countOp("multiget")
+	out := make([]hstore.Row, len(rows))
+	found := make([]bool, len(rows))
+	remaining := make([]int, len(rows))
+	for i := range rows {
+		remaining[i] = i
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		m, err := c.cachedMeta()
+		if err != nil {
+			return nil, nil, err
+		}
+		groups := make(map[string][]int)
+		for _, i := range remaining {
+			g, err := c.routeIn(m, table, rows[i])
+			if err != nil {
+				return nil, nil, err
+			}
+			groups[g.Primary] = append(groups[g.Primary], i)
+		}
+		var failed []int
+		ids := make([]string, 0, len(groups))
+		for id := range groups {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			p, err := c.peerByID(m, id)
+			if err != nil {
+				return nil, nil, err
+			}
+			conn, err := c.reg.Resolve(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			idx := groups[id]
+			keys := make([]string, len(idx))
+			for k, i := range idx {
+				keys[k] = rows[i]
+			}
+			got, ok, err := conn.BatchGet(table, keys)
+			if err != nil {
+				if !retryable(err) {
+					return nil, nil, err
+				}
+				lastErr = err
+				failed = append(failed, idx...)
+				continue
+			}
+			for k, i := range idx {
+				out[i], found[i] = got[k], ok[k]
+			}
+		}
+		if len(failed) == 0 {
+			return out, found, nil
+		}
+		remaining = failed
+		c.mRetries.Inc()
+		c.invalidate()
+		c.sleepBackoff(attempt)
+	}
+	c.mGiveUps.Inc()
+	return nil, nil, fmt.Errorf("%w: multi-get gave up with %d rows unanswered: %w", ErrExhausted, len(remaining), lastErr)
+}
+
 // routeIn locates the owning region in an already-fetched META view.
 func (c *Client) routeIn(m Meta, table, row string) (RegionInfo, error) {
 	regions, ok := m.Tables[table]

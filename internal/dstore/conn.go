@@ -16,6 +16,7 @@ type ServerConn interface {
 	BatchPut(table string, rows []hstore.Row) error
 	Apply(table string, cells []hstore.Cell) error
 	Get(table, row string) (hstore.Row, bool, error)
+	BatchGet(table string, rows []string) ([]hstore.Row, []bool, error)
 	Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
 	DeleteRow(table, row string) error
 	Flush(table string) error
@@ -107,6 +108,9 @@ func (c *directConn) Apply(table string, cells []hstore.Cell) error {
 }
 func (c *directConn) Get(table, row string) (hstore.Row, bool, error) {
 	return c.rs.Get(table, row)
+}
+func (c *directConn) BatchGet(table string, rows []string) ([]hstore.Row, []bool, error) {
+	return c.rs.BatchGet(table, rows)
 }
 func (c *directConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	return c.rs.Scan(table, regionID, start, end, f, limit)

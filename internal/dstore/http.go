@@ -53,6 +53,16 @@ type batchWire struct {
 	Rows  []wireRow `json:"rows"`
 }
 
+type batchGetWire struct {
+	Table string   `json:"table"`
+	Rows  []string `json:"rows"`
+}
+
+type batchGetRespWire struct {
+	Found []bool    `json:"found"`
+	Rows  []wireRow `json:"rows"`
+}
+
 type applyWire struct {
 	Table string        `json:"table"`
 	Cells []hstore.Cell `json:"cells"`
@@ -141,6 +151,19 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 			return
 		}
 		writeJSONBody(w, map[string]interface{}{"found": found, "row": rowToWire(row)})
+	})
+	mux.HandleFunc("/d/batchget", func(w http.ResponseWriter, r *http.Request) {
+		var req batchGetWire
+		if err := decodeBody(r, &req); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		rows, found, err := rs.BatchGet(req.Table, req.Rows)
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, batchGetRespWire{Found: found, Rows: rowsToWire(rows)})
 	})
 	mux.HandleFunc("/d/scan", func(w http.ResponseWriter, r *http.Request) {
 		var req scanWire
@@ -344,6 +367,14 @@ func (c *httpServerConn) Get(table, row string) (hstore.Row, bool, error) {
 		return hstore.Row{}, false, err
 	}
 	return rowFromWire(resp.Row), resp.Found, nil
+}
+
+func (c *httpServerConn) BatchGet(table string, rows []string) ([]hstore.Row, []bool, error) {
+	var resp batchGetRespWire
+	if err := c.h.call("/d/batchget", batchGetWire{Table: table, Rows: rows}, &resp); err != nil {
+		return nil, nil, err
+	}
+	return rowsFromWire(resp.Rows), resp.Found, nil
 }
 
 func (c *httpServerConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {

@@ -1,0 +1,85 @@
+package dstore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestMultiGetGroupsAcrossRegions(t *testing.T) {
+	c, _ := startCluster(t, 3, []string{"g", "p"})
+	cl := c.Client()
+	keys := []string{"alpha", "golf", "papa", "zulu"}
+	for i, k := range keys {
+		if err := cl.Put("t", k, "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := []string{"zulu", "nope", "alpha", "papa", "golf", "qqq"}
+	rows, found, err := cl.MultiGet("t", req)
+	if err != nil {
+		t.Fatalf("MultiGet: %v", err)
+	}
+	if len(rows) != len(req) || len(found) != len(req) {
+		t.Fatalf("MultiGet returned %d rows / %d flags for %d keys", len(rows), len(found), len(req))
+	}
+	wantFound := []bool{true, false, true, true, true, false}
+	for i, k := range req {
+		if found[i] != wantFound[i] {
+			t.Errorf("key %q: found=%v, want %v", k, found[i], wantFound[i])
+		}
+		if found[i] {
+			one, ok, err := cl.Get("t", k)
+			if err != nil || !ok {
+				t.Fatalf("Get(%q): ok=%v err=%v", k, ok, err)
+			}
+			if string(rows[i].Columns["c"]) != string(one.Columns["c"]) {
+				t.Errorf("key %q: MultiGet row disagrees with Get", k)
+			}
+		}
+	}
+	if cl.Retries() != 0 {
+		t.Errorf("healthy-cluster MultiGet retried %d times", cl.Retries())
+	}
+}
+
+func TestMultiGetSurvivesFailover(t *testing.T) {
+	c, clock := startCluster(t, 3, []string{"m"})
+	cl := c.Client()
+	cl.RetryBase = time.Microsecond
+
+	const n = 30
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%02d", i)
+		if err := cl.Put("t", keys[i], "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, _ := cl.Meta()
+	victim := m.Tables["t"][0].Primary
+	if !c.KillServer(victim) {
+		t.Fatalf("KillServer(%s) found nothing to kill", victim)
+	}
+	clock.advance(3 * time.Second)
+	beatAll(t, c)
+	if died := c.Master.CheckLiveness(clock.advance(0)); len(died) != 1 || died[0] != victim {
+		t.Fatalf("CheckLiveness declared %v dead, want [%s]", died, victim)
+	}
+
+	rows, found, err := cl.MultiGet("t", keys)
+	if err != nil {
+		t.Fatalf("MultiGet after failover: %v", err)
+	}
+	for i, k := range keys {
+		if !found[i] {
+			t.Fatalf("key %q lost in failover", k)
+		}
+		if want := fmt.Sprintf("v%d", i); string(rows[i].Columns["c"]) != want {
+			t.Fatalf("key %q = %q, want %q", k, rows[i].Columns["c"], want)
+		}
+	}
+	if cl.Retries() == 0 {
+		t.Error("expected the multi-get to have retried through the failover")
+	}
+}

@@ -272,6 +272,28 @@ func (rs *RegionServer) Get(table, row string) (hstore.Row, bool, error) {
 	return r, ok, rs.countNotServing(err)
 }
 
+// BatchGet point-reads many rows in one request. Both result slices are
+// aligned with the requested keys; any row failing (e.g. a region this
+// server stopped serving) fails the whole batch, so the client retries
+// the batch against fresh META.
+func (rs *RegionServer) BatchGet(table string, rows []string) ([]hstore.Row, []bool, error) {
+	if err := rs.check(); err != nil {
+		return nil, nil, err
+	}
+	start := rs.now()
+	defer func() { rs.hGetMs.Observe(rs.sinceMs(start)) }()
+	out := make([]hstore.Row, len(rows))
+	found := make([]bool, len(rows))
+	for i, row := range rows {
+		r, ok, err := rs.hs.Get(table, row)
+		if err != nil {
+			return nil, nil, rs.countNotServing(err)
+		}
+		out[i], found[i] = r, ok
+	}
+	return out, found, nil
+}
+
 // Scan reads [start, end) of one region the caller believes this server
 // is primary for. The region ID pins the route: if the region moved or
 // is fenced, the scan fails NotServing instead of silently returning a

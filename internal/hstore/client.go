@@ -23,6 +23,7 @@ type transport interface {
 	put(table, row, column string, value []byte) error
 	deleteRow(table, row string) error
 	get(table, row string) (Row, bool, error)
+	multiGet(table string, rows []string) ([]Row, []bool, error)
 	scan(table, start, end string, filterWire []byte, limit int) ([]Row, error)
 	createTable(table string) error
 	flush(table string) error
@@ -71,6 +72,13 @@ func (c *Client) PutRow(table string, r Row) error {
 
 // Get fetches one row.
 func (c *Client) Get(table, row string) (Row, bool, error) { return c.transport.get(table, row) }
+
+// MultiGet fetches many rows in one round trip. Both result slices are
+// aligned with the requested keys: found[i] reports whether rows[i]
+// exists, and missing rows are zero-valued.
+func (c *Client) MultiGet(table string, rows []string) ([]Row, []bool, error) {
+	return c.transport.multiGet(table, rows)
+}
 
 // DeleteRow tombstones every column of the row.
 func (c *Client) DeleteRow(table, row string) error { return c.transport.deleteRow(table, row) }
@@ -125,6 +133,19 @@ func (t *localTransport) put(table, row, column string, value []byte) error {
 
 func (t *localTransport) get(table, row string) (Row, bool, error) { return t.s.Get(table, row) }
 
+func (t *localTransport) multiGet(table string, rows []string) ([]Row, []bool, error) {
+	out := make([]Row, len(rows))
+	found := make([]bool, len(rows))
+	for i, key := range rows {
+		r, ok, err := t.s.Get(table, key)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i], found[i] = r, ok
+	}
+	return out, found, nil
+}
+
 func (t *localTransport) deleteRow(table, row string) error { return t.s.DeleteRow(table, row) }
 
 func (t *localTransport) scan(table, start, end string, filterWire []byte, limit int) ([]Row, error) {
@@ -160,6 +181,16 @@ type scanReq struct {
 	End    string          `json:"end"`
 	Filter json.RawMessage `json:"filter,omitempty"`
 	Limit  int             `json:"limit"`
+}
+
+type multiGetReq struct {
+	Table string   `json:"table"`
+	Rows  []string `json:"rows"`
+}
+
+type multiGetResp struct {
+	Found []bool    `json:"found"`
+	Rows  []rowWire `json:"rows"`
 }
 
 type rowWire struct {
@@ -223,6 +254,24 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		writeJSON(w, map[string]interface{}{"found": ok, "row": toWire(row)})
+	})
+	mux.HandleFunc("/v1/multiget", func(w http.ResponseWriter, r *http.Request) {
+		var req multiGetReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, err)
+			return
+		}
+		resp := multiGetResp{Found: make([]bool, len(req.Rows)), Rows: make([]rowWire, len(req.Rows))}
+		for i, key := range req.Rows {
+			row, ok, err := s.Get(req.Table, key)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			resp.Found[i] = ok
+			resp.Rows[i] = toWire(row)
+		}
+		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/v1/scan", func(w http.ResponseWriter, r *http.Request) {
 		var req scanReq
@@ -319,6 +368,18 @@ func (t *httpTransport) get(table, row string) (Row, bool, error) {
 		return Row{}, false, err
 	}
 	return fromWire(resp.Row), resp.Found, nil
+}
+
+func (t *httpTransport) multiGet(table string, rows []string) ([]Row, []bool, error) {
+	var resp multiGetResp
+	if err := t.post("/v1/multiget", multiGetReq{Table: table, Rows: rows}, &resp); err != nil {
+		return nil, nil, err
+	}
+	out := make([]Row, len(resp.Rows))
+	for i, w := range resp.Rows {
+		out[i] = fromWire(w)
+	}
+	return out, resp.Found, nil
 }
 
 func (t *httpTransport) scan(table, start, end string, filterWire []byte, limit int) ([]Row, error) {

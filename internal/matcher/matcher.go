@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 
 	"pstorm/internal/hstore"
 	"pstorm/internal/obs"
@@ -78,6 +79,44 @@ type Store interface {
 	Bounds(ftype string, features []string) (min, max []float64, err error)
 	// LoadProfile fetches the full stored profile.
 	LoadProfile(jobID string) (*profile.Profile, error)
+}
+
+// MultiGetStore is the optional batched-read upgrade of Store: a store
+// that can fetch many feature rows in one round trip implements it, and
+// the matcher prefers it over per-candidate GetFeatures calls wherever
+// it reads a row per stage-1 survivor.
+type MultiGetStore interface {
+	Store
+	// MultiGetFeatures point-reads one feature row per job ID, returning
+	// only the rows that exist, keyed by job ID.
+	MultiGetFeatures(ftype string, jobIDs []string) (map[string]hstore.Row, error)
+}
+
+// getFeatureRows fetches one feature row per candidate — in a single
+// round trip when the store supports MultiGetStore, per-row otherwise.
+// Missing rows are simply absent from the result.
+func getFeatureRows(st Store, ftype string, cands []Entry) (map[string]hstore.Row, error) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	if mg, ok := st.(MultiGetStore); ok {
+		ids := make([]string, len(cands))
+		for i, c := range cands {
+			ids[i] = c.JobID
+		}
+		return mg.MultiGetFeatures(ftype, ids)
+	}
+	rows := make(map[string]hstore.Row, len(cands))
+	for _, c := range cands {
+		row, ok, err := st.GetFeatures(ftype, c.JobID)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows[c.JobID] = row
+		}
+	}
+	return rows, nil
 }
 
 // Matcher holds the thresholds of the multi-stage workflow. The zero
@@ -209,14 +248,25 @@ func (m *Matcher) Match(st Store, sample *profile.Profile) (*Result, error) {
 		return nil, fmt.Errorf("matcher: nil sample profile")
 	}
 	res := &Result{}
-	var err error
-	res.MapReport, err = m.matchSide(st, mapSpec, &sample.Map, sample.InputBytes, sample.Params)
-	if err != nil {
-		return nil, err
+	// The two sides are independent trips through the workflow against
+	// disjoint row families, so they run concurrently.
+	var wg sync.WaitGroup
+	var mapErr, redErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		res.MapReport, mapErr = m.matchSide(st, mapSpec, &sample.Map, sample.InputBytes, sample.Params)
+	}()
+	go func() {
+		defer wg.Done()
+		res.ReduceReport, redErr = m.matchSide(st, redSpec, &sample.Reduce, sample.InputBytes, sample.Params)
+	}()
+	wg.Wait()
+	if mapErr != nil {
+		return nil, mapErr
 	}
-	res.ReduceReport, err = m.matchSide(st, redSpec, &sample.Reduce, sample.InputBytes, sample.Params)
-	if err != nil {
-		return nil, err
+	if redErr != nil {
+		return nil, redErr
 	}
 	m.countSide(res.MapReport)
 	m.countSide(res.ReduceReport)
@@ -335,17 +385,16 @@ func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBy
 
 	// ----- Stage 2: conservative CFG match. -----
 	cfgCol, cfgWant := m.structuralWant(side)
+	statRows, err := getFeatureRows(st, spec.ftStat, cands)
+	if err != nil {
+		return rep, err
+	}
 	var afterCFG []Entry
-	statRows := make(map[string]hstore.Row, len(cands))
 	for _, c := range cands {
-		row, ok, err := st.GetFeatures(spec.ftStat, c.JobID)
-		if err != nil {
-			return rep, err
-		}
+		row, ok := statRows[c.JobID]
 		if !ok {
 			continue
 		}
-		statRows[c.JobID] = row
 		if string(row.Columns[cfgCol]) == cfgWant && cfgWant != "" {
 			afterCFG = append(afterCFG, c)
 		}
@@ -398,12 +447,12 @@ func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBy
 			Features: spec.costFeats, Target: costTarget,
 			Min: cmin, Max: cmax, Threshold: costThr,
 		}
+		costRows, err := getFeatureRows(st, spec.ftCost, cands)
+		if err != nil {
+			return rep, err
+		}
 		for _, c := range cands {
-			row, ok, err := st.GetFeatures(spec.ftCost, c.JobID)
-			if err != nil {
-				return rep, err
-			}
-			if ok && costFilter.Matches(row) {
+			if row, ok := costRows[c.JobID]; ok && costFilter.Matches(row) {
 				survivors = append(survivors, c)
 			}
 		}
@@ -473,12 +522,13 @@ func (m *Matcher) stage1Scan(st Store, spec sideSpec, f *hstore.EuclideanFilter)
 		if err != nil {
 			return nil, err
 		}
+		dynRows, err := getFeatureRows(st, spec.ftDyn, hits)
+		if err != nil {
+			return nil, err
+		}
 		var out []Entry
 		for _, e := range hits {
-			dynRow, ok, err := st.GetFeatures(spec.ftDyn, e.JobID)
-			if err != nil {
-				return nil, err
-			}
+			dynRow, ok := dynRows[e.JobID]
 			if !ok {
 				continue
 			}
@@ -497,12 +547,13 @@ func (m *Matcher) stage1Scan(st Store, spec sideSpec, f *hstore.EuclideanFilter)
 	if err != nil {
 		return nil, err
 	}
+	costRows, err := getFeatureRows(st, spec.ftCost, all)
+	if err != nil {
+		return nil, err
+	}
 	var out []Entry
 	for _, e := range all {
-		costRow, ok, err := st.GetFeatures(spec.ftCost, e.JobID)
-		if err != nil {
-			return nil, err
-		}
+		costRow, ok := costRows[e.JobID]
 		if !ok {
 			continue
 		}
@@ -555,12 +606,13 @@ func (m *Matcher) matchSideStaticFirst(st Store, spec sideSpec, side *profile.Si
 	dynDist := make(map[string]float64)
 	candIn := make(map[string]int64)
 	rep.CandidateIDs = dynDist
+	dynRows, err := getFeatureRows(st, spec.ftDyn, afterJac)
+	if err != nil {
+		return rep, err
+	}
 	var survivors []Entry
 	for _, c := range afterJac {
-		row, ok, err := st.GetFeatures(spec.ftDyn, c.JobID)
-		if err != nil {
-			return rep, err
-		}
+		row, ok := dynRows[c.JobID]
 		if !ok {
 			continue
 		}

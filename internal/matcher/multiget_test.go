@@ -1,0 +1,78 @@
+package matcher_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pstorm/internal/hstore"
+	"pstorm/internal/matcher"
+)
+
+// countingStore wraps a MultiGetStore and counts the batched and
+// per-row feature reads the matcher issues. The counters are
+// mutex-guarded because Match reads both sides concurrently.
+type countingStore struct {
+	matcher.MultiGetStore
+	mu        sync.Mutex
+	multiGets int
+	gets      int
+}
+
+func (c *countingStore) MultiGetFeatures(ftype string, jobIDs []string) (map[string]hstore.Row, error) {
+	c.mu.Lock()
+	c.multiGets++
+	c.mu.Unlock()
+	return c.MultiGetStore.MultiGetFeatures(ftype, jobIDs)
+}
+
+func (c *countingStore) GetFeatures(ftype, jobID string) (hstore.Row, bool, error) {
+	c.mu.Lock()
+	c.gets++
+	c.mu.Unlock()
+	return c.MultiGetStore.GetFeatures(ftype, jobID)
+}
+
+// plainStore strips the MultiGetStore upgrade so the matcher falls back
+// to per-candidate point reads.
+type plainStore struct{ matcher.Store }
+
+func TestMatchBatchesStage2Reads(t *testing.T) {
+	st := newStore(t)
+	for i := 0; i < 4; i++ {
+		putProfile(t, st, fab(fmt.Sprintf("stored-%d", i), "job", 1<<30, float64(i+1), 1, "cfg", "M"))
+	}
+	sample := sampleLike(fab("sample", "job", 1<<30, 2, 1, "cfg", "M"), 1<<30)
+
+	cs := &countingStore{MultiGetStore: st.(matcher.MultiGetStore)}
+	m, err := matcher.New().Match(cs, sample)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if !m.Matched() {
+		t.Fatal("no match found")
+	}
+	if cs.multiGets == 0 {
+		t.Error("matcher never used the batched MultiGetFeatures path")
+	}
+	if cs.gets != 0 {
+		t.Errorf("matcher fell back to %d per-row GetFeatures calls despite MultiGetStore", cs.gets)
+	}
+
+	// The batched path must be invisible in the result: a store without
+	// the upgrade matches the same donors at the same distances.
+	plain, err := matcher.New().Match(plainStore{Store: st}, sample)
+	if err != nil {
+		t.Fatalf("Match (plain): %v", err)
+	}
+	if m.MapJobID != plain.MapJobID || m.ReduceJobID != plain.ReduceJobID {
+		t.Errorf("batched match chose (%s, %s), per-row match chose (%s, %s)",
+			m.MapJobID, m.ReduceJobID, plain.MapJobID, plain.ReduceJobID)
+	}
+	if m.MapReport.WinnerDistance != plain.MapReport.WinnerDistance ||
+		m.ReduceReport.WinnerDistance != plain.ReduceReport.WinnerDistance {
+		t.Errorf("batched distances (%v, %v) != per-row distances (%v, %v)",
+			m.MapReport.WinnerDistance, m.ReduceReport.WinnerDistance,
+			plain.MapReport.WinnerDistance, plain.ReduceReport.WinnerDistance)
+	}
+}

@@ -22,6 +22,7 @@
 package pstorm
 
 import (
+	"context"
 	"fmt"
 
 	"pstorm/internal/cbo"
@@ -64,6 +65,11 @@ type (
 	// Metrics is a point-in-time observability snapshot: counters,
 	// gauges, histograms, and traced events (see System.Snapshot).
 	Metrics = obs.Snapshot
+	// TuneOptions bound one tuning request: worker-pool width,
+	// evaluation budget, and wall-clock deadline.
+	TuneOptions = core.TuneOptions
+	// Recommendation is the cost-based optimizer's full verdict.
+	Recommendation = cbo.Recommendation
 )
 
 // DefaultConfig returns the Table 2.1 defaults with the job's own
@@ -175,6 +181,8 @@ func Open(opt Options) (*System, error) {
 		sys.SampleTasks = opt.SampleTasks
 	}
 	sys.Matcher.Obs = obs.NewRegistry()
+	sys.Obs = obs.NewRegistry()
+	sys.Evaluator = whatif.NewEvaluator(whatif.EvaluatorOptions{Obs: sys.Obs})
 	return &System{core: sys, engine: eng, store: store, server: server, cluster: dcluster, dclient: dclient, dataDir: opt.DataDir}, nil
 }
 
@@ -189,6 +197,7 @@ func (s *System) Snapshot() Metrics {
 	snaps := []obs.Snapshot{
 		s.engine.Obs().Snapshot(),
 		s.core.Matcher.Obs.Snapshot(),
+		s.core.Obs.Snapshot(),
 	}
 	if s.server != nil {
 		snaps = append(snaps, s.server.Obs().Snapshot())
@@ -274,12 +283,31 @@ func (s *System) Match(job *Job, ds *Dataset) (*MatchResult, error) {
 
 // Tune returns the configuration the cost-based optimizer recommends
 // for running the job with the given profile.
+//
+// Deprecated: the hasCombiner flag is ignored — combiner presence is
+// derived from the profile's own static features. Use TuneProfile,
+// which also supports cancellation and per-tune options.
 func (s *System) Tune(prof *Profile, ds *Dataset, hasCombiner bool) (Config, float64, error) {
-	rec, err := cbo.Optimize(prof, ds.NominalBytes, s.engine.Cluster, hasCombiner, s.core.CBO)
+	_ = hasCombiner
+	rec, err := s.TuneProfile(context.Background(), prof, ds, TuneOptions{})
 	if err != nil {
 		return Config{}, 0, err
 	}
 	return rec.Config, rec.PredictedMs, nil
+}
+
+// TuneProfile runs the cost-based optimizer over a profile for the
+// dataset's nominal size. The search runs on the system's parallel
+// evaluation core: opt bounds its worker count, evaluation budget, and
+// deadline, and ctx cancels it.
+func (s *System) TuneProfile(ctx context.Context, prof *Profile, ds *Dataset, opt TuneOptions) (*Recommendation, error) {
+	return s.core.Tune(ctx, prof, ds.NominalBytes, opt)
+}
+
+// SubmitWith is Submit with cancellation and per-submission tuning
+// options.
+func (s *System) SubmitWith(ctx context.Context, job *Job, ds *Dataset, opt TuneOptions) (*SubmitResult, error) {
+	return s.core.SubmitContext(ctx, job, ds, opt)
 }
 
 // TuneRuleBased returns the Appendix B rule-based recommendation.
