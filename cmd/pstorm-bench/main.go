@@ -36,7 +36,16 @@ func main() {
 	tuneWorkers := flag.String("tune-workers", "1,2,4,8", "with -tune: comma-separated worker counts")
 	tuneBudget := flag.Int("tune-budget", 0, "with -tune: What-If evaluation budget per tune (0: full search)")
 	tuneRepeats := flag.Int("tune-repeats", 8, "with -tune: times the tuning workload is repeated per row")
+	chaosMode := flag.Bool("chaos", false, "run the deterministic chaos experiment and write BENCH_chaos.json")
 	flag.Parse()
+
+	if *chaosMode {
+		if err := runChaosBench(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "pstorm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *tune {
 		if err := runTuneBench(*seed, *tuneWorkers, *tuneBudget, *tuneRepeats); err != nil {
@@ -127,6 +136,29 @@ func runTuneBench(seed int64, workersCSV string, budget, repeats int) error {
 		return err
 	}
 	fmt.Println("(wrote BENCH_tune.json)")
+	return nil
+}
+
+// runChaosBench drives the deterministic chaos experiment and always
+// writes BENCH_chaos.json (the point of the mode is the machine-checkable
+// zero-wrong-reads and schedule-replay evidence).
+func runChaosBench(seed int64) error {
+	env := bench.NewEnv(seed)
+	r, ok := bench.Lookup("chaos")
+	if !ok {
+		return fmt.Errorf("chaos experiment not registered")
+	}
+	tables, err := r.Run(env)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+	if err := writeJSON("BENCH_chaos.json", seed, r, tables, env.DrainMetrics()); err != nil {
+		return err
+	}
+	fmt.Println("(wrote BENCH_chaos.json)")
 	return nil
 }
 

@@ -11,6 +11,13 @@ func register(r *obs.Registry, shard string) {
 	r.Histogram("op_latency_ms", nil)       // allowed
 	r.Emit("region_moved", nil)             // allowed
 
+	// The fault-tolerance metric family: constant names, one kind each.
+	r.Counter("store_corruptions_detected_total")      // allowed
+	r.Gauge("breaker_state", "server", shard)          // allowed
+	r.Counter("hedged_reads_total")                    // allowed
+	r.Counter("quarantine_rebuilds_total")             // allowed
+	r.Counter("matcher_degraded_total", "side", shard) // allowed
+
 	r.Counter("BadCamelCase")   // want `not lowercase_snake`
 	r.Gauge("trailing_dash-")   // want `not lowercase_snake`
 	r.Counter("dyn_" + shard)   // want `must be a compile-time string constant`

@@ -1,0 +1,288 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"pstorm/internal/dstore"
+	"pstorm/internal/hstore"
+)
+
+// scenarioClock hand-cranks the master's liveness clock so the
+// scenario is independent of wall time.
+type scenarioClock struct{ t time.Time }
+
+func (c *scenarioClock) now() time.Time { return c.t }
+func (c *scenarioClock) advance(d time.Duration) {
+	c.t = c.t.Add(d)
+}
+
+type scenarioResult struct {
+	schedule []string
+	wrong    []string // consistency violations observed (must stay empty)
+	acked    int
+	corrupts int64
+	rebuilds int64
+}
+
+// runScenario drives a 3-server cluster through the full disaster reel
+// — dropped and delayed RPCs, an sstable corruption, a server crash, a
+// partition — under one seed, checking on every read that the store
+// either answers with the exact bytes written or fails cleanly.
+func runScenario(t *testing.T, seed int64) scenarioResult {
+	t.Helper()
+	eng := New(Options{
+		Seed:        seed,
+		DropProb:    0.08,
+		LatencyProb: 0.05,
+		Latency:     200 * time.Microsecond,
+	})
+	eng.Disarm()
+	clock := &scenarioClock{t: time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)}
+	c, err := dstore.StartLocalCluster(dstore.LocalOptions{
+		Servers:          3,
+		Replication:      2,
+		HeartbeatTimeout: 2 * time.Second,
+		WrapConn:         eng.WrapConn,
+		Now:              clock.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.Client()
+	cl.RetryBase = 50 * time.Microsecond
+	cl.MaxAttempts = 8
+	// Breakers and hedges are wall-clock driven; they stay off here so
+	// the fault schedule is a pure function of the seed (they have their
+	// own tests in dstore).
+	cl.BreakerThreshold = -1
+	if err := cl.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keys spread over three region families: a… < dyn, dyn ≤ k… < meta,
+	// x… ≥ stat.
+	key := func(i int) string { return fmt.Sprintf("%c%03d", "akx"[i%3], i) }
+	val := func(k string) string { return "v-" + k }
+
+	res := scenarioResult{}
+	acked := map[string]bool{}
+	put := func(k string) {
+		if err := cl.Put("t", k, "c", []byte(val(k))); err == nil {
+			acked[k] = true
+		}
+	}
+	// check tolerates unavailability while chaos is armed — what it
+	// never tolerates is a successful answer with wrong content: missing
+	// acked writes or damaged bytes.
+	check := func(k string) {
+		row, found, err := cl.Get("t", k)
+		if err != nil {
+			return
+		}
+		if !found {
+			if acked[k] {
+				res.wrong = append(res.wrong, k+": acked write read as missing")
+			}
+			return
+		}
+		if got := string(row.Columns["c"]); got != val(k) {
+			res.wrong = append(res.wrong, fmt.Sprintf("%s: read %q, want %q", k, got, val(k)))
+		}
+	}
+	checkBatch := func(keys []string) {
+		rows, found, err := cl.MultiGet("t", keys)
+		if err != nil {
+			return
+		}
+		for i, k := range keys {
+			if !found[i] {
+				if acked[k] {
+					res.wrong = append(res.wrong, k+": acked write missing from multi-get")
+				}
+				continue
+			}
+			if got := string(rows[i].Columns["c"]); got != val(k) {
+				res.wrong = append(res.wrong, fmt.Sprintf("%s: multi-get read %q", k, got))
+			}
+		}
+	}
+	beatLive := func() {
+		for _, rs := range c.Servers {
+			if !rs.Stopped() {
+				if err := c.Master.Heartbeat(rs.ID()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Phase 0 (disarmed): seed data and flush so corruption has
+	// sstables to land in.
+	for i := 0; i < 60; i++ {
+		k := key(i)
+		if err := cl.Put("t", k, "c", []byte(val(k))); err != nil {
+			t.Fatal(err)
+		}
+		acked[k] = true
+	}
+	for _, rs := range c.Servers {
+		if err := rs.HStore().Flush("t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 1: faults on, mixed workload.
+	eng.Arm()
+	for i := 60; i < 110; i++ {
+		put(key(i))
+		check(key(i))
+		check(key((i * 13) % 60))
+	}
+
+	// Disaster 1: rot in the k-region primary's sstable. The latch trips
+	// on a direct read of the damaged copy (no transport draws), then
+	// the master's health rounds — themselves subject to drops — must
+	// evict the copy and promote the healthy follower.
+	meta := c.Master.Meta()
+	var kreg dstore.RegionInfo
+	for _, ri := range meta.Tables["t"] {
+		if ri.StartKey == "dyn" {
+			kreg = ri
+		}
+	}
+	if kreg.Primary == "" {
+		t.Fatal("no dyn..meta region in META")
+	}
+	ps := c.Server(kreg.Primary)
+	if !ps.HStore().CorruptRegionData("t", kreg.ID, 64) {
+		t.Fatal("CorruptRegionData found no sstable to damage")
+	}
+	if _, _, err := ps.HStore().Get("t", key(58)); !hstore.IsCorruption(err) {
+		t.Fatalf("read of damaged copy: err=%v, want CorruptionError", err)
+	}
+	healed := 0
+	for i := 0; i < 40 && healed == 0; i++ {
+		healed = c.Master.CheckHealth()
+	}
+	if healed == 0 {
+		t.Fatal("quarantined region never rebuilt despite 40 health rounds")
+	}
+
+	// Disaster 2: crash the server holding no copy of the k-region.
+	killID := ""
+	for _, rs := range c.Servers {
+		id := rs.ID()
+		if id == kreg.Primary {
+			continue
+		}
+		follower := false
+		for _, f := range kreg.Followers {
+			if f == id {
+				follower = true
+			}
+		}
+		if !follower {
+			killID = id
+		}
+	}
+	if killID == "" || !c.KillServer(killID) {
+		t.Fatalf("could not pick and kill a server outside the k-region group (killID=%q)", killID)
+	}
+	clock.advance(3 * time.Second)
+	beatLive()
+	for i := 0; i < 40; i++ {
+		c.Master.CheckLiveness(clock.now())
+	}
+
+	// Disaster 3: partition the old corrupt-copy holder (it still serves
+	// other regions). Reads during the cut may fail; they must not lie.
+	eng.Partition(kreg.Primary)
+	for i := 0; i < 15; i++ {
+		check(key((i * 7) % 110))
+	}
+	eng.Heal(kreg.Primary)
+
+	// Phase 2: more workload on the degraded cluster.
+	for i := 110; i < 150; i++ {
+		put(key(i))
+		check(key(i))
+		check(key((i * 17) % 150))
+	}
+	batch := make([]string, 0, 20)
+	for i := 0; i < 20; i++ {
+		batch = append(batch, key(i))
+	}
+	checkBatch(batch)
+
+	// Faults off; let the cluster converge, then audit every acked key
+	// with zero tolerance.
+	eng.Disarm()
+	clock.advance(500 * time.Millisecond)
+	beatLive()
+	for i := 0; i < 3; i++ {
+		c.Master.CheckLiveness(clock.now())
+		c.Master.CheckHealth()
+	}
+	keys := make([]string, 0, len(acked))
+	for k := range acked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		row, found, err := cl.Get("t", k)
+		if err != nil {
+			t.Fatalf("after heal, read of %s failed: %v", k, err)
+		}
+		if !found {
+			t.Fatalf("acked write %s lost", k)
+		}
+		if got := string(row.Columns["c"]); got != val(k) {
+			t.Fatalf("acked write %s healed to wrong bytes %q", k, got)
+		}
+	}
+	checkBatch(keys)
+
+	snap := c.Snapshot()
+	res.schedule = eng.Schedule()
+	res.acked = len(acked)
+	res.corrupts = snap.Counters["store_corruptions_detected_total"]
+	res.rebuilds = snap.Counters["quarantine_rebuilds_total"]
+	return res
+}
+
+// TestChaosScenario is the end-to-end acceptance run: a seeded fault
+// barrage against a live cluster with zero wrong reads, detected and
+// healed corruption, and a fault schedule that replays identically.
+func TestChaosScenario(t *testing.T) {
+	const seed = 20260805
+	r1 := runScenario(t, seed)
+	if len(r1.wrong) > 0 {
+		t.Fatalf("consistency violations under chaos:\n%v", r1.wrong)
+	}
+	if len(r1.schedule) == 0 {
+		t.Fatal("no faults injected — the scenario exercised nothing")
+	}
+	if r1.corrupts < 1 {
+		t.Fatalf("store_corruptions_detected_total = %d, want >= 1", r1.corrupts)
+	}
+	if r1.rebuilds < 1 {
+		t.Fatalf("quarantine_rebuilds_total = %d, want >= 1", r1.rebuilds)
+	}
+
+	r2 := runScenario(t, seed)
+	if len(r2.wrong) > 0 {
+		t.Fatalf("consistency violations on replay:\n%v", r2.wrong)
+	}
+	if !reflect.DeepEqual(r1.schedule, r2.schedule) {
+		t.Fatalf("same-seed fault schedules differ:\nrun1 (%d): %v\nrun2 (%d): %v",
+			len(r1.schedule), r1.schedule, len(r2.schedule), r2.schedule)
+	}
+	if r1.acked != r2.acked {
+		t.Fatalf("same-seed runs acked different write counts: %d vs %d", r1.acked, r2.acked)
+	}
+}

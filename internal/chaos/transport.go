@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"pstorm/internal/dstore"
+	"pstorm/internal/hstore"
+)
+
+// WrapConn decorates a resolved server connection with the engine's
+// transport faults; install it as Registry.WrapConn before the cluster
+// resolves anything. Fault sites are keyed per (server, method), so a
+// drop schedule for rs-1's Gets is independent of rs-2's Puts.
+//
+// Partition rejections are not logged to the schedule: partitions are
+// explicit test actions (Partition/Heal), not scheduled draws.
+func (e *Engine) WrapConn(id string, conn dstore.ServerConn) dstore.ServerConn {
+	return &faultConn{e: e, id: id, inner: conn}
+}
+
+type faultConn struct {
+	e     *Engine
+	id    string
+	inner dstore.ServerConn
+}
+
+// gate applies the engine's transport faults to one RPC: partition
+// check first, then an injected-latency draw, then a drop draw.
+func (c *faultConn) gate(method string) error {
+	if c.e.isPartitioned(c.id) {
+		return fmt.Errorf("chaos: %s partitioned: %w", c.id, dstore.ErrInjected)
+	}
+	site := c.id + "/" + method
+	n, h, armed := c.e.draw(site)
+	if !armed {
+		return nil
+	}
+	if hit(splitmix64(h^0x1a7e57), c.e.opts.LatencyProb) {
+		c.e.record(site, n, "latency")
+		time.Sleep(c.e.latency())
+	}
+	if hit(h, c.e.opts.DropProb) {
+		c.e.record(site, n, "drop")
+		return fmt.Errorf("chaos: dropped %s to %s: %w", method, c.id, dstore.ErrInjected)
+	}
+	return nil
+}
+
+func (c *faultConn) Put(table, row, column string, value []byte) error {
+	if err := c.gate("put"); err != nil {
+		return err
+	}
+	return c.inner.Put(table, row, column, value)
+}
+
+func (c *faultConn) BatchPut(table string, rows []hstore.Row) error {
+	if err := c.gate("batchput"); err != nil {
+		return err
+	}
+	return c.inner.BatchPut(table, rows)
+}
+
+func (c *faultConn) Apply(table string, cells []hstore.Cell) error {
+	if err := c.gate("apply"); err != nil {
+		return err
+	}
+	return c.inner.Apply(table, cells)
+}
+
+func (c *faultConn) Get(table, row string) (hstore.Row, bool, error) {
+	if err := c.gate("get"); err != nil {
+		return hstore.Row{}, false, err
+	}
+	return c.inner.Get(table, row)
+}
+
+func (c *faultConn) FollowerGet(table, row string) (hstore.Row, bool, error) {
+	if err := c.gate("fget"); err != nil {
+		return hstore.Row{}, false, err
+	}
+	return c.inner.FollowerGet(table, row)
+}
+
+func (c *faultConn) BatchGet(table string, rows []string) ([]hstore.Row, []bool, error) {
+	if err := c.gate("batchget"); err != nil {
+		return nil, nil, err
+	}
+	return c.inner.BatchGet(table, rows)
+}
+
+func (c *faultConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	if err := c.gate("scan"); err != nil {
+		return nil, err
+	}
+	return c.inner.Scan(table, regionID, start, end, f, limit)
+}
+
+func (c *faultConn) DeleteRow(table, row string) error {
+	if err := c.gate("deleterow"); err != nil {
+		return err
+	}
+	return c.inner.DeleteRow(table, row)
+}
+
+func (c *faultConn) Flush(table string) error {
+	if err := c.gate("flush"); err != nil {
+		return err
+	}
+	return c.inner.Flush(table)
+}
+
+func (c *faultConn) Stats() (hstore.TransferStats, error) {
+	if err := c.gate("stats"); err != nil {
+		return hstore.TransferStats{}, err
+	}
+	return c.inner.Stats()
+}
+
+func (c *faultConn) ResetStats() error {
+	if err := c.gate("resetstats"); err != nil {
+		return err
+	}
+	return c.inner.ResetStats()
+}
+
+func (c *faultConn) Health() (dstore.HealthReport, error) {
+	if err := c.gate("health"); err != nil {
+		return dstore.HealthReport{}, err
+	}
+	return c.inner.Health()
+}
+
+func (c *faultConn) Install(snap *hstore.RegionSnapshot, serving bool) error {
+	if err := c.gate("install"); err != nil {
+		return err
+	}
+	return c.inner.Install(snap, serving)
+}
+
+func (c *faultConn) Export(table string, regionID int) (*hstore.RegionSnapshot, error) {
+	if err := c.gate("export"); err != nil {
+		return nil, err
+	}
+	return c.inner.Export(table, regionID)
+}
+
+func (c *faultConn) Drop(table string, regionID int) error {
+	if err := c.gate("drop"); err != nil {
+		return err
+	}
+	return c.inner.Drop(table, regionID)
+}
+
+func (c *faultConn) SetServing(table string, regionID int, serving bool) error {
+	if err := c.gate("setserving"); err != nil {
+		return err
+	}
+	return c.inner.SetServing(table, regionID, serving)
+}
+
+func (c *faultConn) SetFollowers(table string, regionID int, followers []dstore.Peer) error {
+	if err := c.gate("setfollowers"); err != nil {
+		return err
+	}
+	return c.inner.SetFollowers(table, regionID, followers)
+}

@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/core"
+	"pstorm/internal/engine"
+	"pstorm/internal/hstore"
+	"pstorm/internal/workloads"
+)
+
+var errStoreDown = errors.New("store unavailable: retry budget exhausted")
+
+// faultyKV passes through to a real store until failWrites is set, then
+// rejects every write — the shape of a store outage that begins after
+// the system is already up.
+type faultyKV struct {
+	core.KV
+	failWrites bool
+}
+
+func (f *faultyKV) Put(table, row, column string, value []byte) error {
+	if f.failWrites {
+		return errStoreDown
+	}
+	return f.KV.Put(table, row, column, value)
+}
+
+func (f *faultyKV) PutRow(table string, r hstore.Row) error {
+	if f.failWrites {
+		return errStoreDown
+	}
+	return f.KV.PutRow(table, r)
+}
+
+// TestSubmitDegradesWhenStoreUnwritable: a no-match submission whose
+// profile cannot be stored must still succeed — the job already ran —
+// tagged Degraded, with no profile-stored claim. Once the store heals,
+// the next submission collects and stores normally.
+func TestSubmitDegradesWhenStoreUnwritable(t *testing.T) {
+	kv := &faultyKV{KV: hstore.Connect(hstore.NewServer())}
+	st, err := core.NewStore(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(st, engine.New(cluster.Default16(), 1))
+	spec, err := workloads.JobByName("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := workloads.DatasetByName("randomtext-1g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kv.failWrites = true
+	res, err := sys.Submit(spec, ds)
+	if err != nil {
+		t.Fatalf("Submit must degrade when the store is unwritable, not fail: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("SubmitResult.Degraded = false with an unwritable store")
+	}
+	if res.ProfileStored || res.StoredProfileID != "" {
+		t.Fatalf("result claims a stored profile (%q) despite write failures", res.StoredProfileID)
+	}
+	if res.JobID == "" || res.RuntimeMs <= 0 {
+		t.Fatalf("degraded submission lost its run results: %+v", res)
+	}
+
+	kv.failWrites = false
+	res2, err := sys.Submit(spec, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Degraded {
+		t.Fatal("submission still degraded after the store healed")
+	}
+	if !res2.ProfileStored {
+		t.Fatal("healed store did not get the re-collected profile")
+	}
+}

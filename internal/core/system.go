@@ -163,6 +163,11 @@ type SubmitResult struct {
 	// across all reducers) — the input size of a downstream stage in a
 	// workflow (§7.2.5).
 	OutputBytes int64
+	// Degraded reports that the submission completed on a partially
+	// available store: the matcher fell back to stage-1-only matching,
+	// or the collected profile could not be stored. The job still ran
+	// with the best profile (or default config) available.
+	Degraded bool
 }
 
 // Submit runs the full PStorM workflow for one job submission.
@@ -200,7 +205,7 @@ func (s *System) SubmitContext(ctx context.Context, spec *mrjob.Spec, ds *data.D
 		return nil, fmt.Errorf("core: matching %s: %w", spec.Name, err)
 	}
 
-	res := &SubmitResult{Match: match, SampleCostMs: sampleCost}
+	res := &SubmitResult{Match: match, SampleCostMs: sampleCost, Degraded: match.Degraded}
 
 	if match.Matched() {
 		// 3a. Tune with the CBO and run with profiling off. The submitted
@@ -230,13 +235,18 @@ func (s *System) SubmitContext(ctx context.Context, spec *mrjob.Spec, ds *data.D
 		return nil, err
 	}
 	if err := s.Store.PutProfile(run.Profile); err != nil {
-		return nil, fmt.Errorf("core: storing profile of %s: %w", spec.Name, err)
+		// The job already ran; a store outage must not retroactively turn
+		// the submission into a failure. The collected profile is lost
+		// (future submissions of this job re-collect it) and the result
+		// is tagged degraded.
+		res.Degraded = true
+	} else {
+		res.ProfileStored = true
+		res.StoredProfileID = run.Profile.JobID
 	}
 	res.JobID = run.JobID
 	res.Config = defCfg
 	res.RuntimeMs = run.RuntimeMs
-	res.ProfileStored = true
-	res.StoredProfileID = run.Profile.JobID
 	res.OutputBytes = int64(run.ReduceModel.OutBytes * float64(defCfg.ReduceTasks))
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -42,6 +43,29 @@ type Client struct {
 	// seeded per client: reproducible within a process, distinct across
 	// clients.
 	RetryBase time.Duration
+	// OpBudget bounds one operation's wall-clock time across all its
+	// retries: once the budget is spent, the next retryable failure
+	// surfaces as ErrExhausted even with attempts left (0 = attempts
+	// only).
+	OpBudget time.Duration
+	// BreakerThreshold is how many consecutive transport-class failures
+	// open a server's circuit breaker (default 5; negative disables
+	// breakers entirely).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects calls before
+	// half-opening to probe the server (default 100ms).
+	BreakerCooldown time.Duration
+	// HedgeDelay, when positive, arms hedged reads: a Get that has not
+	// heard from the primary after this delay fires a follower read and
+	// returns whichever answers first. Tune it to a tail quantile of
+	// the primary's latency so hedges fire only on stragglers (0 =
+	// off). Followers hold every acked write (replication is
+	// synchronous), so a hedged answer is as fresh as any
+	// non-linearizable read here.
+	HedgeDelay time.Duration
+	// Now is the clock used by op budgets and breakers; tests inject a
+	// seeded clock (defaults to the wall clock).
+	Now func() time.Time
 
 	mu     sync.RWMutex
 	meta   Meta
@@ -50,10 +74,14 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	breakersMu sync.Mutex
+	breakers   map[string]*breaker
+
 	o             *obs.Registry
 	mRetries      *obs.Counter
 	mRefreshes    *obs.Counter
 	mGiveUps      *obs.Counter
+	mHedged       *obs.Counter
 	hBackoffMs    *obs.Histogram
 	opCounters    map[string]*obs.Counter
 	opCountersMu  sync.Mutex
@@ -72,7 +100,9 @@ func NewClient(master MasterConn, reg *Registry) *Client {
 		mRetries:      o.Counter("dstore_client_retries_total"),
 		mRefreshes:    o.Counter("dstore_client_meta_refresh_total"),
 		mGiveUps:      o.Counter("dstore_client_giveup_total"),
+		mHedged:       o.Counter("hedged_reads_total"),
 		hBackoffMs:    o.Histogram("dstore_client_backoff_ms", nil),
+		breakers:      make(map[string]*breaker),
 		opCounters:    make(map[string]*obs.Counter),
 		refreshPerOpH: o.Histogram("dstore_client_meta_refresh_per_op", []float64{0, 1, 2, 4, 8}),
 	}
@@ -129,11 +159,106 @@ func (c *Client) backoffCap(attempt int) time.Duration {
 	return d
 }
 
-// sleepBackoff draws, records, and sleeps one backoff step.
-func (c *Client) sleepBackoff(attempt int) {
+// sleepBackoff draws, records, and sleeps one backoff step,
+// returning early with the context's error if it is canceled mid-sleep.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
 	d := c.backoff(attempt)
 	c.hBackoffMs.Observe(float64(d) / float64(time.Millisecond))
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// nowFn is the clock used by op budgets and breakers.
+func (c *Client) nowFn() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now() //pstorm:allow clockcheck this is the injection point's default when Client.Now is unset
+}
+
+// budgetDeadline returns the operation's wall-clock cutoff, or zero
+// when no budget is configured.
+func (c *Client) budgetDeadline() time.Time {
+	if c.OpBudget <= 0 {
+		return time.Time{}
+	}
+	return c.nowFn().Add(c.OpBudget)
+}
+
+// budgetSpent reports whether the cutoff has passed.
+func (c *Client) budgetSpent(deadline time.Time) bool {
+	return !deadline.IsZero() && !c.nowFn().Before(deadline)
+}
+
+// breakerFor returns the server's circuit breaker, creating it on
+// first use, or nil when breakers are disabled.
+func (c *Client) breakerFor(id string) *breaker {
+	if c.BreakerThreshold < 0 {
+		return nil
+	}
+	c.breakersMu.Lock()
+	defer c.breakersMu.Unlock()
+	if c.breakers == nil {
+		c.breakers = make(map[string]*breaker)
+	}
+	b, ok := c.breakers[id]
+	if !ok {
+		th := c.BreakerThreshold
+		if th == 0 {
+			th = 5
+		}
+		cd := c.BreakerCooldown
+		if cd <= 0 {
+			cd = 100 * time.Millisecond
+		}
+		b = &breaker{
+			threshold: th,
+			cooldown:  cd,
+			now:       c.nowFn,
+			gauge:     c.o.Gauge("breaker_state", "server", id),
+		}
+		c.breakers[id] = b
+	}
+	return b
+}
+
+// BreakerState reports the named server's current breaker state
+// (breakerClosed when breakers are disabled or the server is unknown).
+func (c *Client) BreakerState(id string) int {
+	if c.BreakerThreshold < 0 {
+		return breakerClosed
+	}
+	c.breakersMu.Lock()
+	b, ok := c.breakers[id]
+	c.breakersMu.Unlock()
+	if !ok {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// do runs one call against the named server through its circuit
+// breaker: an open breaker rejects the call locally (errBreakerOpen,
+// retryable) and every admitted call's outcome trains the breaker.
+func (c *Client) do(id string, call func() error) error {
+	br := c.breakerFor(id)
+	if br == nil {
+		return call()
+	}
+	if !br.allow() {
+		return errBreakerOpen
+	}
+	err := call()
+	br.record(breakerFailure(err))
+	return err
 }
 
 // Refresh refetches META from the master.
@@ -211,19 +336,39 @@ func (c *Client) route(table, row string) (RegionInfo, ServerConn, error) {
 // ("the cluster never healed while I retried") from a plain store
 // error.
 func (c *Client) withRetry(opName string, op func() error) error {
+	return c.withRetryCtx(context.Background(), opName, op)
+}
+
+// withRetryCtx is withRetry under a context and the op's wall-clock
+// budget. Cancellation consumes no attempt and surfaces as the
+// context's own error wrapped (errors.Is(err, context.Canceled)), not
+// as ErrExhausted: the caller gave up, the cluster did not fail.
+// Spending OpBudget, by contrast, is ErrExhausted — the cluster never
+// healed within the time the caller was willing to wait.
+func (c *Client) withRetryCtx(ctx context.Context, opName string, op func() error) error {
 	c.countOp(opName)
 	refreshesBefore := c.mRefreshes.Value()
 	defer func() {
 		c.refreshPerOpH.Observe(float64(c.mRefreshes.Value() - refreshesBefore))
 	}()
+	deadline := c.budgetDeadline()
 	var err error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("dstore: %s interrupted: %w", opName, cerr)
+		}
 		if err = op(); err == nil || !retryable(err) {
 			return err
 		}
 		c.mRetries.Inc()
 		c.invalidate()
-		c.sleepBackoff(attempt)
+		if c.budgetSpent(deadline) {
+			c.mGiveUps.Inc()
+			return fmt.Errorf("%w: %s spent its %v budget: %w", ErrExhausted, opName, c.OpBudget, err)
+		}
+		if cerr := c.sleepBackoff(ctx, attempt); cerr != nil {
+			return fmt.Errorf("dstore: %s interrupted: %w", opName, cerr)
+		}
 	}
 	c.mGiveUps.Inc()
 	return fmt.Errorf("%w: giving up after %d attempts: %w", ErrExhausted, c.maxAttempts(), err)
@@ -238,23 +383,33 @@ func (c *Client) CreateTable(table string) error {
 
 // Put writes one cell through the owning primary.
 func (c *Client) Put(table, row, column string, value []byte) error {
-	return c.withRetry("put", func() error {
-		_, conn, err := c.route(table, row)
+	return c.PutCtx(context.Background(), table, row, column, value)
+}
+
+// PutCtx is Put under a context: cancellation aborts the retry loop
+// without consuming an attempt.
+func (c *Client) PutCtx(ctx context.Context, table, row, column string, value []byte) error {
+	return c.withRetryCtx(ctx, "put", func() error {
+		g, conn, err := c.route(table, row)
 		if err != nil {
 			return err
 		}
-		return conn.Put(table, row, column, value)
+		return c.do(g.Primary, func() error {
+			return conn.Put(table, row, column, value)
+		})
 	})
 }
 
 // PutRow writes all columns of a row in one replication round.
 func (c *Client) PutRow(table string, r hstore.Row) error {
 	return c.withRetry("putrow", func() error {
-		_, conn, err := c.route(table, r.Key)
+		g, conn, err := c.route(table, r.Key)
 		if err != nil {
 			return err
 		}
-		return conn.BatchPut(table, []hstore.Row{r})
+		return c.do(g.Primary, func() error {
+			return conn.BatchPut(table, []hstore.Row{r})
+		})
 	})
 }
 
@@ -262,10 +417,21 @@ func (c *Client) PutRow(table string, r hstore.Row) error {
 // sees one batch per round; failed groups are retried with a refreshed
 // META view until every row is acked or attempts run out.
 func (c *Client) BatchPut(table string, rows []hstore.Row) error {
+	return c.BatchPutCtx(context.Background(), table, rows)
+}
+
+// BatchPutCtx is BatchPut under a context and the op's wall-clock
+// budget; cancellation aborts between rounds without consuming an
+// attempt.
+func (c *Client) BatchPutCtx(ctx context.Context, table string, rows []hstore.Row) error {
 	c.countOp("batchput")
+	deadline := c.budgetDeadline()
 	remaining := rows
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("dstore: batch put interrupted: %w", cerr)
+		}
 		m, err := c.cachedMeta()
 		if err != nil {
 			return err
@@ -293,7 +459,9 @@ func (c *Client) BatchPut(table string, rows []hstore.Row) error {
 			if err != nil {
 				return err
 			}
-			if err := conn.BatchPut(table, groups[id]); err != nil {
+			if err := c.do(id, func() error {
+				return conn.BatchPut(table, groups[id])
+			}); err != nil {
 				if !retryable(err) {
 					return err
 				}
@@ -307,7 +475,13 @@ func (c *Client) BatchPut(table string, rows []hstore.Row) error {
 		remaining = failed
 		c.mRetries.Inc()
 		c.invalidate()
-		c.sleepBackoff(attempt)
+		if c.budgetSpent(deadline) {
+			c.mGiveUps.Inc()
+			return fmt.Errorf("%w: batch put spent its %v budget with %d rows unacked: %w", ErrExhausted, c.OpBudget, len(remaining), lastErr)
+		}
+		if cerr := c.sleepBackoff(ctx, attempt); cerr != nil {
+			return fmt.Errorf("dstore: batch put interrupted: %w", cerr)
+		}
 	}
 	c.mGiveUps.Inc()
 	return fmt.Errorf("%w: batch put gave up with %d rows unacked: %w", ErrExhausted, len(remaining), lastErr)
@@ -318,7 +492,15 @@ func (c *Client) BatchPut(table string, rows []hstore.Row) error {
 // with the requested keys; failed groups are retried with a refreshed
 // META view until every row is answered or attempts run out.
 func (c *Client) MultiGet(table string, rows []string) ([]hstore.Row, []bool, error) {
+	return c.MultiGetCtx(context.Background(), table, rows)
+}
+
+// MultiGetCtx is MultiGet under a context and the op's wall-clock
+// budget; cancellation aborts between rounds without consuming an
+// attempt.
+func (c *Client) MultiGetCtx(ctx context.Context, table string, rows []string) ([]hstore.Row, []bool, error) {
 	c.countOp("multiget")
+	deadline := c.budgetDeadline()
 	out := make([]hstore.Row, len(rows))
 	found := make([]bool, len(rows))
 	remaining := make([]int, len(rows))
@@ -327,6 +509,9 @@ func (c *Client) MultiGet(table string, rows []string) ([]hstore.Row, []bool, er
 	}
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, fmt.Errorf("dstore: multi-get interrupted: %w", cerr)
+		}
 		m, err := c.cachedMeta()
 		if err != nil {
 			return nil, nil, err
@@ -359,7 +544,13 @@ func (c *Client) MultiGet(table string, rows []string) ([]hstore.Row, []bool, er
 			for k, i := range idx {
 				keys[k] = rows[i]
 			}
-			got, ok, err := conn.BatchGet(table, keys)
+			var got []hstore.Row
+			var ok []bool
+			err = c.do(id, func() error {
+				var e error
+				got, ok, e = conn.BatchGet(table, keys)
+				return e
+			})
 			if err != nil {
 				if !retryable(err) {
 					return nil, nil, err
@@ -378,7 +569,13 @@ func (c *Client) MultiGet(table string, rows []string) ([]hstore.Row, []bool, er
 		remaining = failed
 		c.mRetries.Inc()
 		c.invalidate()
-		c.sleepBackoff(attempt)
+		if c.budgetSpent(deadline) {
+			c.mGiveUps.Inc()
+			return nil, nil, fmt.Errorf("%w: multi-get spent its %v budget with %d rows unanswered: %w", ErrExhausted, c.OpBudget, len(remaining), lastErr)
+		}
+		if cerr := c.sleepBackoff(ctx, attempt); cerr != nil {
+			return nil, nil, fmt.Errorf("dstore: multi-get interrupted: %w", cerr)
+		}
 	}
 	c.mGiveUps.Inc()
 	return nil, nil, fmt.Errorf("%w: multi-get gave up with %d rows unanswered: %w", ErrExhausted, len(remaining), lastErr)
@@ -402,27 +599,140 @@ func (c *Client) routeIn(m Meta, table, row string) (RegionInfo, error) {
 
 // Get fetches one row.
 func (c *Client) Get(table, row string) (hstore.Row, bool, error) {
+	return c.GetCtx(context.Background(), table, row)
+}
+
+// GetCtx is Get under a context: cancellation aborts the retry loop
+// without consuming an attempt. With HedgeDelay set, a slow primary
+// races a follower read (see getOnce).
+func (c *Client) GetCtx(ctx context.Context, table, row string) (hstore.Row, bool, error) {
 	var out hstore.Row
 	var found bool
-	err := c.withRetry("get", func() error {
-		_, conn, err := c.route(table, row)
+	err := c.withRetryCtx(ctx, "get", func() error {
+		r, ok, err := c.getOnce(table, row)
 		if err != nil {
 			return err
 		}
-		out, found, err = conn.Get(table, row)
-		return err
+		out, found = r, ok
+		return nil
 	})
 	return out, found, err
+}
+
+// getResult carries one read attempt's answer over a channel.
+type getResult struct {
+	row   hstore.Row
+	found bool
+	err   error
+}
+
+// getOnce performs a single routed read attempt, hedged when armed.
+func (c *Client) getOnce(table, row string) (hstore.Row, bool, error) {
+	m, err := c.cachedMeta()
+	if err != nil {
+		return hstore.Row{}, false, err
+	}
+	g, err := c.routeIn(m, table, row)
+	if err != nil {
+		return hstore.Row{}, false, err
+	}
+	p, err := c.peerByID(m, g.Primary)
+	if err != nil {
+		return hstore.Row{}, false, err
+	}
+	conn, err := c.reg.Resolve(p)
+	if err != nil {
+		return hstore.Row{}, false, err
+	}
+	if c.HedgeDelay <= 0 || len(g.Followers) == 0 {
+		var r hstore.Row
+		var ok bool
+		err := c.do(g.Primary, func() error {
+			var e error
+			r, ok, e = conn.Get(table, row)
+			return e
+		})
+		return r, ok, err
+	}
+	return c.hedgedGet(m, g, conn, table, row)
+}
+
+// hedgedGet asks the primary, and if it has not answered within
+// HedgeDelay, fires a fence-bypassing read at the first follower and
+// returns whichever succeeds first (preferring the primary on a tie).
+// Both result channels are buffered so the losing goroutine always
+// completes and exits — no leak regardless of which side wins.
+func (c *Client) hedgedGet(m Meta, g RegionInfo, primary ServerConn, table, row string) (hstore.Row, bool, error) {
+	prim := make(chan getResult, 1)
+	go func() {
+		var r hstore.Row
+		var ok bool
+		err := c.do(g.Primary, func() error {
+			var e error
+			r, ok, e = primary.Get(table, row)
+			return e
+		})
+		prim <- getResult{r, ok, err}
+	}()
+	t := time.NewTimer(c.HedgeDelay)
+	defer t.Stop()
+	select {
+	case pr := <-prim:
+		return pr.row, pr.found, pr.err
+	case <-t.C:
+	}
+	fid := g.Followers[0]
+	fp, err := c.peerByID(m, fid)
+	if err != nil {
+		pr := <-prim
+		return pr.row, pr.found, pr.err
+	}
+	fconn, err := c.reg.Resolve(fp)
+	if err != nil {
+		pr := <-prim
+		return pr.row, pr.found, pr.err
+	}
+	c.mHedged.Inc()
+	hed := make(chan getResult, 1)
+	go func() {
+		var r hstore.Row
+		var ok bool
+		err := c.do(fid, func() error {
+			var e error
+			r, ok, e = fconn.FollowerGet(table, row)
+			return e
+		})
+		hed <- getResult{r, ok, err}
+	}()
+	select {
+	case pr := <-prim:
+		if pr.err == nil {
+			return pr.row, pr.found, nil
+		}
+		hr := <-hed
+		if hr.err == nil {
+			return hr.row, hr.found, nil
+		}
+		return pr.row, pr.found, pr.err
+	case hr := <-hed:
+		if hr.err == nil {
+			return hr.row, hr.found, nil
+		}
+		pr := <-prim
+		return pr.row, pr.found, pr.err
+	}
 }
 
 // DeleteRow tombstones every column of the row.
 func (c *Client) DeleteRow(table, row string) error {
 	return c.withRetry("deleterow", func() error {
-		_, conn, err := c.route(table, row)
+		g, conn, err := c.route(table, row)
 		if err != nil {
 			return err
 		}
-		return conn.DeleteRow(table, row)
+		return c.do(g.Primary, func() error {
+			return conn.DeleteRow(table, row)
+		})
 	})
 }
 
@@ -468,8 +778,12 @@ func (c *Client) Scan(table, start, end string, f hstore.Filter, limit int) ([]h
 			if limit > 0 {
 				rem = limit - len(out)
 			}
-			rows, err := conn.Scan(table, g.ID, s, e, f, rem)
-			if err != nil {
+			var rows []hstore.Row
+			if err := c.do(g.Primary, func() error {
+				var serr error
+				rows, serr = conn.Scan(table, g.ID, s, e, f, rem)
+				return serr
+			}); err != nil {
 				return err
 			}
 			out = append(out, rows...)

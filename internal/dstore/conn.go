@@ -16,12 +16,17 @@ type ServerConn interface {
 	BatchPut(table string, rows []hstore.Row) error
 	Apply(table string, cells []hstore.Cell) error
 	Get(table, row string) (hstore.Row, bool, error)
+	// FollowerGet reads a row ignoring the serving fence — the hedged-
+	// read path against follower replicas.
+	FollowerGet(table, row string) (hstore.Row, bool, error)
 	BatchGet(table string, rows []string) ([]hstore.Row, []bool, error)
 	Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
 	DeleteRow(table, row string) error
 	Flush(table string) error
 	Stats() (hstore.TransferStats, error)
 	ResetStats() error
+	// Health reports self-diagnosed damage (quarantined region copies).
+	Health() (HealthReport, error)
 
 	// Control plane (master-driven).
 	Install(snap *hstore.RegionSnapshot, serving bool) error
@@ -48,6 +53,13 @@ type Registry struct {
 	// (default hstore.DefaultDialTimeout).
 	Timeout time.Duration
 
+	// WrapConn, when set, decorates every resolved connection — the
+	// chaos harness's seam for injecting drops, latency, and
+	// partitions between any caller and any server. Set it before the
+	// cluster starts resolving; it must be deterministic per (id,
+	// conn) for replayable fault schedules.
+	WrapConn func(id string, conn ServerConn) ServerConn
+
 	mu     sync.RWMutex
 	local  map[string]*RegionServer
 	remote map[string]*httpServerConn
@@ -68,8 +80,20 @@ func (r *Registry) Register(rs *RegionServer) {
 	r.local[rs.ID()] = rs
 }
 
-// Resolve returns a connection to the peer.
+// Resolve returns a connection to the peer, decorated by WrapConn when
+// one is installed.
 func (r *Registry) Resolve(p Peer) (ServerConn, error) {
+	c, err := r.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if r.WrapConn != nil {
+		return r.WrapConn(p.ID, c), nil
+	}
+	return c, nil
+}
+
+func (r *Registry) resolve(p Peer) (ServerConn, error) {
 	r.mu.RLock()
 	if p.Addr == "" {
 		rs, ok := r.local[p.ID]
@@ -109,6 +133,9 @@ func (c *directConn) Apply(table string, cells []hstore.Cell) error {
 func (c *directConn) Get(table, row string) (hstore.Row, bool, error) {
 	return c.rs.Get(table, row)
 }
+func (c *directConn) FollowerGet(table, row string) (hstore.Row, bool, error) {
+	return c.rs.FollowerGet(table, row)
+}
 func (c *directConn) BatchGet(table string, rows []string) ([]hstore.Row, []bool, error) {
 	return c.rs.BatchGet(table, rows)
 }
@@ -120,7 +147,8 @@ func (c *directConn) Flush(table string) error          { return c.rs.Flush(tabl
 func (c *directConn) Stats() (hstore.TransferStats, error) {
 	return c.rs.Stats()
 }
-func (c *directConn) ResetStats() error { return c.rs.ResetStats() }
+func (c *directConn) ResetStats() error             { return c.rs.ResetStats() }
+func (c *directConn) Health() (HealthReport, error) { return c.rs.Health() }
 func (c *directConn) Install(snap *hstore.RegionSnapshot, serving bool) error {
 	return c.rs.Install(snap, serving)
 }

@@ -73,6 +73,12 @@ type Meta struct {
 	Servers []Peer                  `json:"servers"`
 }
 
+// HealthReport is a region server's self-diagnosis, polled by the
+// master: region copies quarantined after checksum failures.
+type HealthReport struct {
+	Quarantined []hstore.QuarantinedRegion `json:"quarantined,omitempty"`
+}
+
 // errStopped marks operations against a stopped (simulated-dead)
 // region server; it is retryable, like a connection refused.
 var errStopped = errors.New("dstore: region server stopped")
@@ -83,6 +89,12 @@ var errTransport = errors.New("dstore: transport error")
 // errReplication wraps a primary's failure to reach a follower; the
 // client retries while the master prunes the dead follower.
 var errReplication = errors.New("dstore: replication failed")
+
+// ErrInjected marks a fault deliberately injected by a chaos harness
+// (internal/chaos): a dropped request, a partition, a forced timeout.
+// It is retryable — from the client's perspective an injected fault is
+// indistinguishable from a flaky network, and must heal the same way.
+var ErrInjected = errors.New("dstore: injected fault")
 
 // ErrExhausted marks a routing-client operation that kept hitting
 // retryable failures until its attempt budget ran out. It wraps the
@@ -99,7 +111,9 @@ func retryable(err error) bool {
 	return hstore.IsNotServing(err) ||
 		errors.Is(err, errStopped) ||
 		errors.Is(err, errTransport) ||
-		errors.Is(err, errReplication)
+		errors.Is(err, errReplication) ||
+		errors.Is(err, ErrInjected) ||
+		errors.Is(err, errBreakerOpen)
 }
 
 func regionKey(table string, regionID int) string {

@@ -152,6 +152,22 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 		}
 		writeJSONBody(w, map[string]interface{}{"found": found, "row": rowToWire(row)})
 	})
+	mux.HandleFunc("/d/fget", func(w http.ResponseWriter, r *http.Request) {
+		row, found, err := rs.FollowerGet(r.URL.Query().Get("table"), r.URL.Query().Get("row"))
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, map[string]interface{}{"found": found, "row": rowToWire(row)})
+	})
+	mux.HandleFunc("/d/health", func(w http.ResponseWriter, r *http.Request) {
+		h, err := rs.Health()
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, h)
+	})
 	mux.HandleFunc("/d/batchget", func(w http.ResponseWriter, r *http.Request) {
 		var req batchGetWire
 		if err := decodeBody(r, &req); err != nil {
@@ -367,6 +383,23 @@ func (c *httpServerConn) Get(table, row string) (hstore.Row, bool, error) {
 		return hstore.Row{}, false, err
 	}
 	return rowFromWire(resp.Row), resp.Found, nil
+}
+
+func (c *httpServerConn) FollowerGet(table, row string) (hstore.Row, bool, error) {
+	var resp struct {
+		Found bool    `json:"found"`
+		Row   wireRow `json:"row"`
+	}
+	if err := c.h.call("/d/fget?table="+queryEscape(table)+"&row="+queryEscape(row), nil, &resp); err != nil {
+		return hstore.Row{}, false, err
+	}
+	return rowFromWire(resp.Row), resp.Found, nil
+}
+
+func (c *httpServerConn) Health() (HealthReport, error) {
+	var h HealthReport
+	err := c.h.call("/d/health", nil, &h)
+	return h, err
 }
 
 func (c *httpServerConn) BatchGet(table string, rows []string) ([]hstore.Row, []bool, error) {

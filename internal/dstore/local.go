@@ -33,6 +33,12 @@ type LocalOptions struct {
 	// HeartbeatInterval is the background heartbeat period (default
 	// HeartbeatTimeout/4).
 	HeartbeatInterval time.Duration
+	// WrapConn, when set, is installed on the cluster's Registry before
+	// anything resolves — the chaos harness's transport hook.
+	WrapConn func(id string, conn ServerConn) ServerConn
+	// Now, when set, is the master's clock (deterministic chaos tests
+	// drive liveness and health checks against it).
+	Now func() time.Time
 }
 
 // LocalCluster is a whole dstore deployment in one process: a master
@@ -62,10 +68,12 @@ func StartLocalCluster(opts LocalOptions) (*LocalCluster, error) {
 		opts.Splits = DefaultSplits
 	}
 	reg := NewRegistry()
+	reg.WrapConn = opts.WrapConn
 	m := NewMaster(reg, MasterOptions{
 		HeartbeatTimeout: opts.HeartbeatTimeout,
 		Replication:      opts.Replication,
 		DefaultSplits:    opts.Splits,
+		Now:              opts.Now,
 	})
 	c := &LocalCluster{Master: m, Reg: reg}
 	mc := ConnectMaster(m)

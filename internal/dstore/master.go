@@ -60,6 +60,11 @@ type Master struct {
 	tables       map[string][]*RegionInfo
 	epoch        int64
 	nextRegionID int
+	// pendingSync holds regions whose primary has not yet confirmed its
+	// replication chain and serving fence (a SetFollowers/SetServing RPC
+	// failed mid-failover or mid-rebuild); every liveness and health
+	// round re-pushes them until the primary acks.
+	pendingSync map[regionRef]bool
 
 	loopStop chan struct{}
 	loopOnce sync.Once
@@ -71,6 +76,7 @@ type Master struct {
 	cFailovers  *obs.Counter
 	cMoves      *obs.Counter
 	cRepairs    *obs.Counter
+	cRebuilds   *obs.Counter
 }
 
 // NewMaster creates a master resolving servers through reg.
@@ -81,6 +87,7 @@ func NewMaster(reg *Registry, opts MasterOptions) *Master {
 		reg:          reg,
 		servers:      make(map[string]*member),
 		tables:       make(map[string][]*RegionInfo),
+		pendingSync:  make(map[regionRef]bool),
 		nextRegionID: 1,
 		loopStop:     make(chan struct{}),
 		o:            o,
@@ -90,6 +97,7 @@ func NewMaster(reg *Registry, opts MasterOptions) *Master {
 		cFailovers:   o.Counter("dstore_master_failovers_total"),
 		cMoves:       o.Counter("dstore_master_moves_total"),
 		cRepairs:     o.Counter("dstore_master_rereplications_total"),
+		cRebuilds:    o.Counter("quarantine_rebuilds_total"),
 	}
 	// Event timestamps follow the injected clock so deterministic tests
 	// see deterministic traces.
@@ -280,7 +288,56 @@ func (m *Master) CheckLiveness(now time.Time) []string {
 		m.failoverLocked()
 	}
 	m.repairLocked()
+	m.syncPendingLocked()
 	return died
+}
+
+// regionRef names one region for the pending-sync set.
+type regionRef struct {
+	table string
+	id    int
+}
+
+func (m *Master) pendSyncLocked(g *RegionInfo) {
+	m.pendingSync[regionRef{g.Table, g.ID}] = true
+}
+
+// syncPendingLocked re-pushes the replication chain and serving fence
+// of every region left pending by a failed RPC. Refs are retried in
+// sorted order so the RPC sequence — and with it a chaos harness's
+// fault schedule — is deterministic.
+func (m *Master) syncPendingLocked() {
+	if len(m.pendingSync) == 0 {
+		return
+	}
+	refs := make([]regionRef, 0, len(m.pendingSync))
+	for r := range m.pendingSync {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].table != refs[j].table {
+			return refs[i].table < refs[j].table
+		}
+		return refs[i].id < refs[j].id
+	})
+	for _, ref := range refs {
+		g, err := m.regionLocked(ref.table, ref.id)
+		if err != nil {
+			delete(m.pendingSync, ref) // region vanished; nothing to sync
+			continue
+		}
+		if !m.servers[g.Primary].alive {
+			continue // failover will reassign; keep it pending
+		}
+		if m.setFollowersLocked(g) != nil {
+			continue
+		}
+		//pstorm:allow lockcheck chain/fence re-sync is atomic under the catalog lock (same contract as MoveRegion)
+		if err := m.servers[g.Primary].conn.SetServing(ref.table, ref.id, true); err != nil {
+			continue
+		}
+		delete(m.pendingSync, ref)
+	}
 }
 
 // failoverLocked walks every region and repairs assignments that name
@@ -301,7 +358,9 @@ func (m *Master) failoverLocked() {
 			g.Followers = live
 			if m.servers[g.Primary].alive {
 				if changed {
-					m.setFollowersLocked(g) //nolint:errcheck — next CheckLiveness retries
+					if m.setFollowersLocked(g) != nil {
+						m.pendSyncLocked(g)
+					}
 				}
 				continue
 			}
@@ -322,10 +381,15 @@ func (m *Master) failoverLocked() {
 				"from": dead, "to": promoted,
 			})
 			// Followers before serving: writes acked by the promoted
-			// primary must already fan out to the surviving replicas.
-			m.setFollowersLocked(g) //nolint:errcheck — next CheckLiveness retries
+			// primary must already fan out to the surviving replicas. A
+			// failed push pends the region — syncPendingLocked retries
+			// until the new primary confirms its chain and fence, so a
+			// dropped RPC cannot leave the region fenced forever.
+			if m.setFollowersLocked(g) != nil {
+				m.pendSyncLocked(g)
+			}
 			if err := m.servers[promoted].conn.SetServing(g.Table, g.ID, true); err != nil {
-				continue
+				m.pendSyncLocked(g)
 			}
 		}
 	}
@@ -386,6 +450,142 @@ func (m *Master) repairLocked() {
 	if changed {
 		m.epoch++
 	}
+}
+
+// CheckHealth polls every live server's Health report and rebuilds
+// region copies the servers have quarantined after checksum failures.
+// The polling happens outside the catalog lock — a hung server must
+// not stall heartbeats — and the resulting rebuilds re-validate the
+// catalog under the lock. It returns the number of copies rebuilt (or
+// evicted; re-replication restores the copy count on the next
+// CheckLiveness round). pstormd and background local clusters call it
+// alongside CheckLiveness; deterministic tests call it directly.
+func (m *Master) CheckHealth() int {
+	type probe struct {
+		id   string
+		conn ServerConn
+	}
+	m.mu.Lock()
+	probes := make([]probe, 0, len(m.order))
+	for _, id := range m.order {
+		if mem := m.servers[id]; mem.alive {
+			probes = append(probes, probe{id, mem.conn})
+		}
+	}
+	m.mu.Unlock()
+
+	type finding struct {
+		server string
+		q      hstore.QuarantinedRegion
+	}
+	var findings []finding
+	quarantined := make(map[string]map[string]bool) // regionKey -> servers with a bad copy
+	for _, p := range probes {
+		h, err := p.conn.Health()
+		if err != nil {
+			continue // dead or unreachable: the liveness path owns that case
+		}
+		for _, q := range h.Quarantined {
+			findings = append(findings, finding{p.id, q})
+			k := regionKey(q.Table, q.RegionID)
+			if quarantined[k] == nil {
+				quarantined[k] = make(map[string]bool)
+			}
+			quarantined[k][p.id] = true
+		}
+	}
+	rebuilt := 0
+	for _, f := range findings {
+		if m.rebuildQuarantined(f.server, f.q.Table, f.q.RegionID, quarantined[regionKey(f.q.Table, f.q.RegionID)]) {
+			rebuilt++
+		}
+	}
+	m.mu.Lock()
+	m.syncPendingLocked()
+	m.mu.Unlock()
+	return rebuilt
+}
+
+// rebuildQuarantined evicts one quarantined region copy: a quarantined
+// primary hands off to a healthy follower (promotion, as in failover)
+// and a quarantined follower is pruned; either way the corrupt copy is
+// dropped from its server and re-replication restores the copy count
+// from the surviving healthy data. badCopies names every server whose
+// copy of this region is also quarantined, so promotion never picks a
+// copy that is corrupt too.
+//
+// Like MoveRegion, the choreography is atomic under the catalog lock —
+// the fence flips and META mutation must not interleave with
+// concurrent failovers — so the conn RPCs are annotated for lockcheck.
+func (m *Master) rebuildQuarantined(server, table string, regionID int, badCopies map[string]bool) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, err := m.regionLocked(table, regionID)
+	if err != nil {
+		return false // table or region vanished since the poll
+	}
+	mem, ok := m.servers[server]
+	if !ok {
+		return false
+	}
+	if g.Primary == server {
+		promoted := ""
+		for _, f := range g.Followers {
+			if m.servers[f].alive && !badCopies[f] {
+				promoted = f
+				break
+			}
+		}
+		if promoted == "" {
+			// No healthy replica to rebuild from; the region stays
+			// unavailable (reads keep failing retryable) rather than
+			// serving corrupt bytes.
+			return false
+		}
+		live := make([]string, 0, len(g.Followers))
+		for _, f := range g.Followers {
+			if f != promoted {
+				live = append(live, f)
+			}
+		}
+		g.Primary = promoted
+		g.Followers = live
+		// Followers before serving, as in failover: writes acked by the
+		// promoted primary must already fan out to surviving replicas.
+		// Failures pend the region for syncPendingLocked to retry.
+		if m.setFollowersLocked(g) != nil {
+			m.pendSyncLocked(g)
+		}
+		//pstorm:allow lockcheck quarantine rebuild is atomic under the catalog lock (same contract as MoveRegion)
+		if err := m.servers[promoted].conn.SetServing(table, regionID, true); err != nil {
+			m.pendSyncLocked(g)
+		}
+	} else {
+		idx := -1
+		for i, f := range g.Followers {
+			if f == server {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			return false // already evicted
+		}
+		g.Followers = append(g.Followers[:idx], g.Followers[idx+1:]...)
+		if m.setFollowersLocked(g) != nil {
+			m.pendSyncLocked(g)
+		}
+	}
+	// Drop the corrupt copy; a failure leaves an orphan the next health
+	// round retries (the copy stays quarantined, so it is never read).
+	//pstorm:allow lockcheck quarantine rebuild is atomic under the catalog lock (same contract as MoveRegion)
+	mem.conn.Drop(table, regionID) //nolint:errcheck
+	m.epoch++
+	m.cRebuilds.Inc()
+	m.o.Emit("quarantine_rebuild", map[string]string{
+		"table": table, "region": strconv.Itoa(regionID), "server": server,
+	})
+	return true
 }
 
 // pickCandidateLocked chooses a live server that holds no copy of g,
@@ -649,6 +849,7 @@ func (m *Master) Start() {
 				return
 			case <-t.C:
 				m.CheckLiveness(m.now())
+				m.CheckHealth()
 			}
 		}
 	}()

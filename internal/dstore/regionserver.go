@@ -84,6 +84,20 @@ func (rs *RegionServer) countNotServing(err error) error {
 	return err
 }
 
+// guard translates client-visible store errors. A CorruptionError means
+// the embedded hstore just quarantined a region copy: the client sees
+// NotServing (a retryable "route away from me"), while the master
+// learns the real reason through Health and rebuilds the copy from a
+// healthy replica. The corruption itself is already counted by the
+// hstore's store_corruptions_detected_total.
+func (rs *RegionServer) guard(table, row string, err error) error {
+	if hstore.IsCorruption(err) {
+		rs.cNotServing.Inc()
+		return &hstore.NotServingError{Table: table, Row: row}
+	}
+	return rs.countNotServing(err)
+}
+
 // ID returns the server's identity.
 func (rs *RegionServer) ID() string { return rs.id }
 
@@ -192,7 +206,7 @@ func (rs *RegionServer) Put(table, row, column string, value []byte) error {
 	defer func() { rs.hPutMs.Observe(rs.sinceMs(start)) }()
 	c, err := rs.hs.PutCell(table, row, column, value)
 	if err != nil {
-		return rs.countNotServing(err)
+		return rs.guard(table, row, err)
 	}
 	id, err := rs.regionIDFor(table, row)
 	if err != nil {
@@ -228,7 +242,7 @@ func (rs *RegionServer) BatchPut(table string, rows []hstore.Row) error {
 		for _, col := range cols {
 			c, err := rs.hs.PutCell(table, r.Key, col, r.Columns[col])
 			if err != nil {
-				return err
+				return rs.guard(table, r.Key, err)
 			}
 			perRegion[id] = append(perRegion[id], c)
 		}
@@ -269,7 +283,33 @@ func (rs *RegionServer) Get(table, row string) (hstore.Row, bool, error) {
 	start := rs.now()
 	defer func() { rs.hGetMs.Observe(rs.sinceMs(start)) }()
 	r, ok, err := rs.hs.Get(table, row)
-	return r, ok, rs.countNotServing(err)
+	return r, ok, rs.guard(table, row, err)
+}
+
+// FollowerGet reads one row from this server regardless of the serving
+// fence — the hedged-read path. Synchronous replication guarantees a
+// follower copy holds every acked write, so the answer is as good as
+// the primary's (modulo a write racing the hedge, which the primary
+// read also races).
+func (rs *RegionServer) FollowerGet(table, row string) (hstore.Row, bool, error) {
+	if err := rs.check(); err != nil {
+		return hstore.Row{}, false, err
+	}
+	start := rs.now()
+	defer func() { rs.hGetMs.Observe(rs.sinceMs(start)) }()
+	r, ok, err := rs.hs.GetAny(table, row)
+	return r, ok, rs.guard(table, row, err)
+}
+
+// Health reports this server's self-diagnosis: region copies it has
+// quarantined after checksum failures. The master polls it (outside
+// its catalog lock) and rebuilds quarantined copies from healthy
+// replicas.
+func (rs *RegionServer) Health() (HealthReport, error) {
+	if err := rs.check(); err != nil {
+		return HealthReport{}, err
+	}
+	return HealthReport{Quarantined: rs.hs.Quarantined()}, nil
 }
 
 // BatchGet point-reads many rows in one request. Both result slices are
@@ -287,7 +327,7 @@ func (rs *RegionServer) BatchGet(table string, rows []string) ([]hstore.Row, []b
 	for i, row := range rows {
 		r, ok, err := rs.hs.Get(table, row)
 		if err != nil {
-			return nil, nil, rs.countNotServing(err)
+			return nil, nil, rs.guard(table, row, err)
 		}
 		out[i], found[i] = r, ok
 	}
@@ -315,7 +355,11 @@ func (rs *RegionServer) Scan(table string, regionID int, start, end string, f hs
 	if me.EndKey != "" && (end == "" || end > me.EndKey) {
 		end = me.EndKey
 	}
-	return rs.hs.Scan(table, start, end, f, limit)
+	rows, err := rs.hs.Scan(table, start, end, f, limit)
+	if err != nil {
+		return nil, rs.guard(table, start, err)
+	}
+	return rows, nil
 }
 
 // DeleteRow tombstones every column of a row, replicating the
@@ -326,7 +370,7 @@ func (rs *RegionServer) DeleteRow(table, row string) error {
 	}
 	r, ok, err := rs.hs.Get(table, row)
 	if err != nil || !ok {
-		return err
+		return rs.guard(table, row, err)
 	}
 	id, err := rs.regionIDFor(table, row)
 	if err != nil {

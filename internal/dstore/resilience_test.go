@@ -1,0 +1,383 @@
+package dstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pstorm/internal/hstore"
+)
+
+// TestBreakerStateMachine drives the breaker through its whole cycle
+// with a manual clock: failures to threshold open it, the cooldown
+// admits one half-open probe, and the probe's outcome decides.
+func TestBreakerStateMachine(t *testing.T) {
+	clock := newTestClock()
+	c := NewClient(nil, nil)
+	c.BreakerThreshold = 3
+	c.BreakerCooldown = 100 * time.Millisecond
+	c.Now = clock.now
+	b := c.breakerFor("rs-x")
+
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatalf("breaker rejected call %d while closed", i)
+		}
+		b.record(true)
+	}
+	if b.allow() {
+		t.Fatal("breaker still admitting after threshold failures")
+	}
+	if got := c.BreakerState("rs-x"); got != breakerOpen {
+		t.Fatalf("state = %d, want open(%d)", got, breakerOpen)
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	clock.advance(101 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker did not half-open after cooldown")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	// Probe fails: back to open, cooldown restarts.
+	b.record(true)
+	if b.allow() {
+		t.Fatal("breaker admitted right after failed probe")
+	}
+	clock.advance(101 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker did not half-open again")
+	}
+	// Probe succeeds: closed, calls flow again.
+	b.record(false)
+	if got := c.BreakerState("rs-x"); got != breakerClosed {
+		t.Fatalf("state after successful probe = %d, want closed(%d)", got, breakerClosed)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+// TestBreakerIgnoresApplicationErrors: a NotServing answer proves the
+// server is alive and must close (not trip) the breaker.
+func TestBreakerIgnoresApplicationErrors(t *testing.T) {
+	if breakerFailure(&hstore.NotServingError{Table: "t", Row: "r"}) {
+		t.Error("NotServing classified as a transport failure")
+	}
+	if breakerFailure(errReplication) {
+		t.Error("replication failure classified as a transport failure")
+	}
+	if !breakerFailure(fmt.Errorf("rs-1: %w", errStopped)) {
+		t.Error("stopped server not classified as a transport failure")
+	}
+	if !breakerFailure(fmt.Errorf("x: %w", ErrInjected)) {
+		t.Error("injected fault not classified as a transport failure")
+	}
+}
+
+// TestClientBreakerTripsOnDeadServer: hammering a dead primary opens
+// its breaker; after failover the new primary's breaker is untouched
+// and reads succeed.
+func TestClientBreakerTripsOnDeadServer(t *testing.T) {
+	c, clock := startCluster(t, 3, nil)
+	cl := c.Client()
+	cl.MaxAttempts = 4
+	cl.RetryBase = time.Nanosecond
+	cl.BreakerThreshold = 2
+	cl.Now = clock.now // cooldown never elapses: the clock only moves when we say so
+
+	if err := cl.Put("t", "k", "c", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cl.Meta()
+	g, err := cl.routeIn(m, "t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := g.Primary
+	if !c.KillServer(dead) {
+		t.Fatal("KillServer failed")
+	}
+	if _, _, err := cl.Get("t", "k"); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("Get against dead primary: err=%v, want ErrExhausted", err)
+	}
+	if got := cl.BreakerState(dead); got != breakerOpen {
+		t.Fatalf("breaker for dead server = %d, want open(%d)", got, breakerOpen)
+	}
+
+	// Failover, then reads flow to the promoted follower.
+	clock.advance(3 * time.Second)
+	beatAll(t, c)
+	c.Master.CheckLiveness(clock.now())
+	row, ok, err := cl.Get("t", "k")
+	if err != nil || !ok || string(row.Columns["c"]) != "v" {
+		t.Fatalf("Get after failover: row=%v ok=%v err=%v", row, ok, err)
+	}
+}
+
+// TestCtxCancelStopsRetriesWithoutExhausted: cancellation surfaces the
+// context's own error — never ErrExhausted — and consumes no attempts.
+func TestCtxCancelStopsRetriesWithoutExhausted(t *testing.T) {
+	c, _ := startCluster(t, 3, nil)
+	cl := c.Client()
+	if err := cl.Put("t", "k", "c", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	retriesBefore := cl.Retries()
+	if _, _, err := cl.GetCtx(ctx, "t", "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetCtx on canceled ctx: err=%v, want context.Canceled", err)
+	} else if errors.Is(err, ErrExhausted) {
+		t.Fatalf("cancellation misreported as exhaustion: %v", err)
+	}
+	if cl.Retries() != retriesBefore {
+		t.Error("canceled call consumed retry attempts")
+	}
+	if err := cl.PutCtx(ctx, "t", "k", "c", []byte("w")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PutCtx: err=%v, want context.Canceled", err)
+	}
+	if _, _, err := cl.MultiGetCtx(ctx, "t", []string{"k"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MultiGetCtx: err=%v, want context.Canceled", err)
+	}
+	if err := cl.BatchPutCtx(ctx, "t", []hstore.Row{{Key: "k"}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BatchPutCtx: err=%v, want context.Canceled", err)
+	}
+}
+
+// TestCtxCancelMidBackoff: a cancellation arriving while the client
+// sleeps between retries interrupts the sleep promptly.
+func TestCtxCancelMidBackoff(t *testing.T) {
+	c, _ := startCluster(t, 2, nil)
+	cl := c.Client()
+	cl.RetryBase = time.Hour // without interruption the test would hang
+	cl.BreakerThreshold = -1
+	if err := cl.Put("t", "k", "c", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range c.Servers {
+		rs.Stop()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cl.GetCtx(ctx, "t", "k")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it reach the backoff sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err=%v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+// TestOpBudgetExhausts: a wall-clock budget cuts the retry loop short
+// with ErrExhausted even when attempts remain.
+func TestOpBudgetExhausts(t *testing.T) {
+	c, clock := startCluster(t, 2, nil)
+	cl := c.Client()
+	cl.RetryBase = time.Nanosecond
+	cl.BreakerThreshold = -1
+	cl.OpBudget = 50 * time.Millisecond
+	cl.Now = func() time.Time { return clock.advance(30 * time.Millisecond) }
+	if err := cl.Put("t", "k", "c", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range c.Servers {
+		rs.Stop()
+	}
+	_, _, err := cl.Get("t", "k")
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err=%v, want ErrExhausted", err)
+	}
+	// The budget (2 clock ticks) must have fired well before the 12
+	// default attempts.
+	if got := cl.Retries(); got >= 12 {
+		t.Fatalf("budget did not cut retries short: %d retries", got)
+	}
+}
+
+// slowConn delays reads on one wrapped connection — the straggling
+// primary a hedged read exists to cover.
+type slowConn struct {
+	ServerConn
+	delay time.Duration
+}
+
+func (s *slowConn) Get(table, row string) (hstore.Row, bool, error) {
+	time.Sleep(s.delay)
+	return s.ServerConn.Get(table, row)
+}
+
+// TestHedgedReadCoversSlowPrimary: with the primary answering slowly,
+// an armed hedge fires a follower read and the operation completes at
+// follower latency with the correct value.
+func TestHedgedReadCoversSlowPrimary(t *testing.T) {
+	c, _ := startCluster(t, 2, nil)
+	cl := c.Client()
+	if err := cl.Put("t", "k", "c", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cl.Meta()
+	g, err := cl.routeIn(m, "t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Followers) == 0 {
+		t.Fatal("region has no follower to hedge against")
+	}
+	slow := g.Primary
+	c.Reg.WrapConn = func(id string, conn ServerConn) ServerConn {
+		if id == slow {
+			return &slowConn{ServerConn: conn, delay: 300 * time.Millisecond}
+		}
+		return conn
+	}
+	cl.HedgeDelay = 5 * time.Millisecond
+
+	row, ok, err := cl.Get("t", "k")
+	if err != nil || !ok || string(row.Columns["c"]) != "v" {
+		t.Fatalf("hedged Get: row=%v ok=%v err=%v", row, ok, err)
+	}
+	if n := cl.Obs().Snapshot().Counters["hedged_reads_total"]; n == 0 {
+		t.Error("hedged read not counted")
+	}
+}
+
+// TestQuarantineRebuildHealsCorruptPrimary is the full self-healing
+// loop: a bit flip on the primary's sstable latches quarantine, the
+// master's health poll promotes the healthy follower and drops the
+// corrupt copy, re-replication restores the copy count, and every row
+// reads back correct — the corruption never reaches a client.
+func TestQuarantineRebuildHealsCorruptPrimary(t *testing.T) {
+	c, clock := startCluster(t, 3, nil)
+	cl := c.Client()
+	for i := 0; i < 10; i++ {
+		if err := cl.Put("t", fmt.Sprintf("k%02d", i), "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush("t"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cl.Meta()
+	g, err := cl.routeIn(m, "t", "k00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt, follower := g.Primary, g.Followers[0]
+	hs := c.Server(corrupt).HStore()
+	if !hs.CorruptRegionData("t", g.ID, 1000) {
+		t.Fatal("CorruptRegionData found nothing to damage")
+	}
+	// A read trips the checksum, latches quarantine, and surfaces as
+	// NotServing (retryable) — never as wrong bytes.
+	if _, _, err := hs.Get("t", "k00"); !hstore.IsCorruption(err) {
+		t.Fatalf("direct read of corrupt region: err=%v, want CorruptionError", err)
+	}
+	if len(hs.Quarantined()) != 1 {
+		t.Fatalf("Quarantined() = %v, want one region", hs.Quarantined())
+	}
+
+	if rebuilt := c.Master.CheckHealth(); rebuilt != 1 {
+		t.Fatalf("CheckHealth rebuilt %d copies, want 1", rebuilt)
+	}
+	g2, err := cl.routeIn(c.Master.Meta(), "t", "k00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Primary != follower {
+		t.Fatalf("promoted primary = %s, want healthy follower %s", g2.Primary, follower)
+	}
+	for _, f := range g2.Followers {
+		if f == corrupt {
+			t.Fatalf("corrupt server still listed as follower: %v", g2.Followers)
+		}
+	}
+	if len(c.Server(corrupt).HStore().Quarantined()) != 0 {
+		t.Error("corrupt copy not dropped from its server")
+	}
+	if n := c.Master.Obs().Snapshot().Counters["quarantine_rebuilds_total"]; n != 1 {
+		t.Fatalf("quarantine_rebuilds_total = %d, want 1", n)
+	}
+
+	// Every row still reads back correct through the client.
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		row, ok, err := cl.Get("t", k)
+		if err != nil || !ok || string(row.Columns["c"]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%s) after rebuild: row=%v ok=%v err=%v", k, row, ok, err)
+		}
+	}
+
+	// The liveness pass re-replicates the region onto a fresh follower.
+	beatAll(t, c)
+	c.Master.CheckLiveness(clock.now())
+	g3, err := cl.routeIn(c.Master.Meta(), "t", "k00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g3.Followers) != 1 {
+		t.Fatalf("replication not restored: followers=%v", g3.Followers)
+	}
+}
+
+// TestQuarantineRebuildPrunesCorruptFollower: damage on a follower
+// copy is evicted without touching the primary.
+func TestQuarantineRebuildPrunesCorruptFollower(t *testing.T) {
+	c, clock := startCluster(t, 3, nil)
+	cl := c.Client()
+	for i := 0; i < 10; i++ {
+		if err := cl.Put("t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush("t"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cl.routeIn(c.Master.Meta(), "t", "k00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, bad := g.Primary, g.Followers[0]
+	hs := c.Server(bad).HStore()
+	if !hs.CorruptRegionData("t", g.ID, 4) {
+		t.Fatal("CorruptRegionData found nothing to damage")
+	}
+	// Latch via a fence-bypassing read (the copy is fenced as a
+	// follower, so a plain Get would refuse before reading data).
+	if _, _, err := hs.GetAny("t", "k00"); !hstore.IsCorruption(err) {
+		t.Fatalf("GetAny on corrupt follower: err=%v, want CorruptionError", err)
+	}
+	if rebuilt := c.Master.CheckHealth(); rebuilt != 1 {
+		t.Fatalf("CheckHealth rebuilt %d, want 1", rebuilt)
+	}
+	g2, err := cl.routeIn(c.Master.Meta(), "t", "k00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Primary != primary {
+		t.Fatalf("primary changed from %s to %s on follower eviction", primary, g2.Primary)
+	}
+	for _, f := range g2.Followers {
+		if f == bad {
+			t.Fatal("corrupt follower still in the follower set")
+		}
+	}
+	// Re-replication restores the copy count.
+	beatAll(t, c)
+	c.Master.CheckLiveness(clock.now())
+	g3, _ := cl.routeIn(c.Master.Meta(), "t", "k00")
+	if len(g3.Followers) != 1 {
+		t.Fatalf("replication not restored: followers=%v", g3.Followers)
+	}
+}

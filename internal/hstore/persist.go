@@ -3,7 +3,6 @@ package hstore
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 )
@@ -38,7 +37,8 @@ const manifestName = "MANIFEST.json"
 // SaveTo checkpoints the whole server into dir (created if needed).
 // Existing contents of dir are replaced.
 func (s *Server) SaveTo(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := s.fsys()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	s.mu.RLock()
@@ -60,7 +60,11 @@ func (s *Server) SaveTo(dir string) error {
 		for _, g := range tables[n] {
 			// Compaction folds the memstore and all segments into one
 			// sstable; the region then has exactly one file to persist.
-			g.compact()
+			// A quarantined or corrupt region must not be checkpointed:
+			// the checkpoint would immortalize garbage.
+			if err := g.compact(); err != nil {
+				return withTable(err, n)
+			}
 			g.mu.RLock()
 			var seg *sstable
 			if len(g.sstables) > 0 {
@@ -70,7 +74,7 @@ func (s *Server) SaveTo(dir string) error {
 			g.mu.RUnlock()
 			if seg != nil && seg.count > 0 {
 				mr.File = fmt.Sprintf("%s-region%04d.sst", sanitize(n), mr.ID)
-				if err := seg.writeFile(filepath.Join(dir, mr.File)); err != nil {
+				if err := seg.writeFile(fsys, filepath.Join(dir, mr.File)); err != nil {
 					return err
 				}
 			}
@@ -82,7 +86,7 @@ func (s *Server) SaveTo(dir string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
+	if err := fsys.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
 		return err
 	}
 	// The checkpoint now covers everything the WAL recorded.
@@ -110,7 +114,15 @@ func sanitize(name string) string {
 
 // LoadServer reopens a server previously checkpointed with SaveTo.
 func LoadServer(dir string) (*Server, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	return loadServerFS(dir, OSFS)
+}
+
+// loadServerFS is LoadServer over an injectable filesystem. Every
+// sstable file's checksums are verified as it is read back; a corrupt
+// file fails the load with a CorruptionError (and is counted) rather
+// than being served as data.
+func loadServerFS(dir string, fsys FS) (*Server, error) {
+	raw, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("hstore: opening checkpoint: %w", err)
 	}
@@ -122,13 +134,17 @@ func LoadServer(dir string) (*Server, error) {
 		return nil, fmt.Errorf("hstore: unsupported manifest version %d", m.Version)
 	}
 	s := NewServer()
+	s.FS = fsys
 	for _, mt := range m.Tables {
 		t := &table{name: mt.Name}
 		for _, mr := range mt.Regions {
 			g := newRegion(mr.ID, mr.StartKey, mr.EndKey, s.flushBytes(), s.stats)
 			if mr.File != "" {
-				seg, err := readSSTableFile(filepath.Join(dir, mr.File))
+				seg, err := readSSTableFile(fsys, filepath.Join(dir, mr.File))
 				if err != nil {
+					if IsCorruption(err) {
+						s.stats.corruption()
+					}
 					return nil, fmt.Errorf("hstore: region %d of %q: %w", mr.ID, mt.Name, err)
 				}
 				g.sstables = []*sstable{seg}
@@ -158,7 +174,9 @@ func (s *Server) Compact(tableName string) error {
 	regions := append([]*region(nil), t.regions...)
 	s.mu.RUnlock()
 	for _, g := range regions {
-		g.compact()
+		if err := g.compact(); err != nil {
+			return withTable(err, tableName)
+		}
 	}
 	return nil
 }

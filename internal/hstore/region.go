@@ -1,6 +1,7 @@
 package hstore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -28,8 +29,14 @@ type region struct {
 	// bypasses the fence.
 	serving atomic.Bool
 
-	// stats reports flushes, compactions, and bloom probes to the
-	// owning server; nil is a no-op.
+	// quarantined latches when any read finds a checksum mismatch in
+	// this region's data. A quarantined copy never serves again: reads
+	// and writes fail with CorruptionError until a dstore master drops
+	// it and rebuilds from a healthy replica.
+	quarantined atomic.Bool
+
+	// stats reports flushes, compactions, bloom probes, and detected
+	// corruptions to the owning server; nil is a no-op.
 	stats *storeStats
 }
 
@@ -55,6 +62,27 @@ func (g *region) contains(row string) bool {
 		return false
 	}
 	return g.endKey == "" || row < g.endKey
+}
+
+// corruptionDetected quarantines the region (first detection counts)
+// and stamps the error with the region ID.
+func (g *region) corruptionDetected(err error) error {
+	if !g.quarantined.Swap(true) {
+		g.stats.corruption()
+	}
+	var ce *CorruptionError
+	if errors.As(err, &ce) && ce.Region == 0 {
+		ce.Region = g.id
+	}
+	return err
+}
+
+// checkQuarantine refuses service on a region already known corrupt.
+func (g *region) checkQuarantine() error {
+	if g.quarantined.Load() {
+		return &CorruptionError{Region: g.id, Detail: "region quarantined after checksum mismatch"}
+	}
+	return nil
 }
 
 // put inserts one cell, flushing the memstore if it has grown too big.
@@ -103,7 +131,13 @@ func (it *cellIterator) next() { it.pos++ }
 
 // scanRows materializes rows in [startRow, endRow) passing them to fn
 // (latest timestamp wins per column); fn returning false stops early.
-func (g *region) scanRows(startRow, endRow string, fn func(Row) bool) {
+// A checksum mismatch in any touched sstable block quarantines the
+// region and aborts the scan with a CorruptionError — partial garbage
+// is never surfaced.
+func (g *region) scanRows(startRow, endRow string, fn func(Row) bool) error {
+	if err := g.checkQuarantine(); err != nil {
+		return err
+	}
 	g.mu.RLock()
 	// Snapshot sources under the lock; sstables are immutable and the
 	// memstore cell slice is a copy.
@@ -116,10 +150,13 @@ func (g *region) scanRows(startRow, endRow string, fn func(Row) bool) {
 	iters = append(iters, &cellIterator{cells: memCells})
 	for _, t := range g.sstables {
 		var cs []Cell
-		t.scanRange(startRow, endRow, func(c Cell) bool {
+		if err := t.scanRange(startRow, endRow, func(c Cell) bool {
 			cs = append(cs, c)
 			return true
-		})
+		}); err != nil {
+			g.mu.RUnlock()
+			return g.corruptionDetected(err)
+		}
 		iters = append(iters, &cellIterator{cells: cs})
 	}
 	g.mu.RUnlock()
@@ -168,7 +205,7 @@ func (g *region) scanRows(startRow, endRow string, fn func(Row) bool) {
 		iters[best].next()
 		if c.Row != cur.Key {
 			if !emit() {
-				return
+				return nil
 			}
 			cur = Row{Key: c.Row, Columns: make(map[string][]byte)}
 			vers = make(map[string]colVer)
@@ -187,12 +224,16 @@ func (g *region) scanRows(startRow, endRow string, fn func(Row) bool) {
 		}
 	}
 	emit()
+	return nil
 }
 
 // get returns the materialized row. Bloom filters let the point read
 // skip every sstable that cannot contain the row; if the memstore also
 // has nothing for it, the read answers negatively without any scan.
-func (g *region) get(row string) (Row, bool) {
+func (g *region) get(row string) (Row, bool, error) {
+	if err := g.checkQuarantine(); err != nil {
+		return Row{}, false, err
+	}
 	g.mu.RLock()
 	inMem := false
 	if n := g.mem.seek(row, ""); n != nil && n.cell.Row == row {
@@ -211,31 +252,36 @@ func (g *region) get(row string) (Row, bool) {
 	}
 	g.mu.RUnlock()
 	if !possible {
-		return Row{}, false
+		return Row{}, false, nil
 	}
 
 	var out Row
 	found := false
-	g.scanRows(row, row+"\x00", func(r Row) bool {
+	err := g.scanRows(row, row+"\x00", func(r Row) bool {
 		out = r
 		found = true
 		return false
 	})
-	return out, found
+	if err != nil {
+		return Row{}, false, err
+	}
+	return out, found, nil
 }
 
 // splitPoint proposes a middle row key, or "" if the region holds too
 // few distinct rows to split.
-func (g *region) splitPoint() string {
+func (g *region) splitPoint() (string, error) {
 	var rows []string
-	g.scanRows(g.startKey, g.endKey, func(r Row) bool {
+	if err := g.scanRows(g.startKey, g.endKey, func(r Row) bool {
 		rows = append(rows, r.Key)
 		return true
-	})
-	if len(rows) < 2 {
-		return ""
+	}); err != nil {
+		return "", err
 	}
-	return rows[len(rows)/2]
+	if len(rows) < 2 {
+		return "", nil
+	}
+	return rows[len(rows)/2], nil
 }
 
 // split divides the region at the given key into two fresh regions.
@@ -247,7 +293,7 @@ func (g *region) split(at string, leftID, rightID int) (*region, *region, error)
 	right := newRegion(rightID, at, g.endKey, g.flushBytes, g.stats)
 	left.serving.Store(g.serving.Load())
 	right.serving.Store(g.serving.Load())
-	g.scanRows(g.startKey, g.endKey, func(r Row) bool {
+	if err := g.scanRows(g.startKey, g.endKey, func(r Row) bool {
 		target := left
 		if r.Key >= at {
 			target = right
@@ -256,7 +302,9 @@ func (g *region) split(at string, leftID, rightID int) (*region, *region, error)
 			target.put(Cell{Row: r.Key, Column: col, Ts: 1, Value: v})
 		}
 		return true
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 	return left, right, nil
 }
 
@@ -265,15 +313,21 @@ func (g *region) split(at string, leftID, rightID int) (*region, *region, error)
 // bounds read amplification: a point read afterwards consults one
 // segment instead of one per flush. The whole operation holds the write
 // lock, so no concurrent write can slip between merge and swap.
-func (g *region) compact() {
+func (g *region) compact() error {
+	if err := g.checkQuarantine(); err != nil {
+		return err
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.flushLocked()
 	if len(g.sstables) <= 1 {
-		return
+		return nil
 	}
 	g.stats.compaction()
-	merged := mergeTables(g.sstables)
+	merged, err := mergeTables(g.sstables)
+	if err != nil {
+		return g.corruptionDetected(err)
+	}
 	// Major compaction: tombstones have hidden everything older, so they
 	// can be dropped outright.
 	live := merged[:0]
@@ -283,18 +337,21 @@ func (g *region) compact() {
 		}
 	}
 	g.sstables = []*sstable{buildSSTable(live)}
+	return nil
 }
 
 // mergeTables merges sstables (newest first) into one sorted,
 // deduplicated cell stream: for each (row, column) only the newest
 // version survives, with newer tables winning timestamp ties.
-func mergeTables(tables []*sstable) []Cell {
+func mergeTables(tables []*sstable) ([]Cell, error) {
 	var all []Cell
 	for _, t := range tables {
-		t.scanRange("", "", func(c Cell) bool {
+		if err := t.scanRange("", "", func(c Cell) bool {
 			all = append(all, c)
 			return true
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 	// Stable sort keeps newer-table cells first among equal
 	// (row, column, ts) triples.
@@ -306,21 +363,29 @@ func mergeTables(tables []*sstable) []Cell {
 		}
 		out = append(out, c)
 	}
-	return out
+	return out, nil
 }
 
 // exportCells returns the newest live cell of every (row, column) in
 // the region, timestamps preserved — the payload of a RegionSnapshot.
 // Tombstoned columns are omitted entirely: the importing side starts
-// from nothing, so there is no older version left to hide.
-func (g *region) exportCells() []Cell {
+// from nothing, so there is no older version left to hide. A corrupt
+// copy refuses to export: snapshots for replication must come from a
+// healthy replica.
+func (g *region) exportCells() ([]Cell, error) {
+	if err := g.checkQuarantine(); err != nil {
+		return nil, err
+	}
 	g.mu.RLock()
 	all := append([]Cell(nil), g.mem.Cells()...)
 	for _, t := range g.sstables { // newest first
-		t.scanRange("", "", func(c Cell) bool {
+		if err := t.scanRange("", "", func(c Cell) bool {
 			all = append(all, c)
 			return true
-		})
+		}); err != nil {
+			g.mu.RUnlock()
+			return nil, g.corruptionDetected(err)
+		}
 	}
 	g.mu.RUnlock()
 	// Stable sort keeps newer sources first among equal (row, column,
@@ -339,7 +404,7 @@ func (g *region) exportCells() []Cell {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // segmentCount returns memstore presence plus sstable count, the read

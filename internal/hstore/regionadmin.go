@@ -59,12 +59,16 @@ func (s *Server) ExportRegion(table string, regionID int) (*RegionSnapshot, erro
 	if err != nil {
 		return nil, err
 	}
+	cells, err := g.exportCells()
+	if err != nil {
+		return nil, withTable(err, table)
+	}
 	return &RegionSnapshot{
 		Table:    table,
 		RegionID: regionID,
 		StartKey: g.startKey,
 		EndKey:   g.endKey,
-		Cells:    g.exportCells(),
+		Cells:    cells,
 	}, nil
 }
 

@@ -37,6 +37,12 @@ type Server struct {
 	// wal, when non-nil, makes mutations durable (see OpenDurable).
 	wal *wal
 
+	// FS replaces the real filesystem for WAL/checkpoint I/O; nil means
+	// the OS. The chaos harness injects fault-carrying filesystems here.
+	FS FS
+	// WALSync fsyncs every WAL record before the write is acknowledged.
+	WALSync bool
+
 	// WallClock, when non-nil, replaces time.Now for the one-time
 	// seeding of the logical clock (tests inject a fixed epoch).
 	WallClock func() time.Time
@@ -56,6 +62,7 @@ type storeStats struct {
 	compactions *obs.Counter
 	bloomChecks *obs.Counter
 	bloomSkips  *obs.Counter
+	corruptions *obs.Counter
 }
 
 func (st *storeStats) flush() {
@@ -67,6 +74,12 @@ func (st *storeStats) flush() {
 func (st *storeStats) compaction() {
 	if st != nil {
 		st.compactions.Inc()
+	}
+}
+
+func (st *storeStats) corruption() {
+	if st != nil {
+		st.corruptions.Inc()
 	}
 }
 
@@ -96,6 +109,7 @@ func NewServer() *Server {
 			compactions: o.Counter("hstore_compactions_total"),
 			bloomChecks: o.Counter("hstore_bloom_checks_total"),
 			bloomSkips:  o.Counter("hstore_bloom_skips_total"),
+			corruptions: o.Counter("store_corruptions_detected_total"),
 		},
 	}
 	o.GaugeFunc("hstore_memstore_bytes", s.memstoreBytes)
@@ -260,6 +274,13 @@ func (s *Server) applyCell(tableName string, c Cell, clientFacing bool) error {
 	if g == nil || (clientFacing && !g.serving.Load()) {
 		return &NotServingError{Table: tableName, Row: c.Row}
 	}
+	if clientFacing {
+		// A quarantined copy refuses acked writes: they could be lost
+		// when the region is rebuilt from a healthy replica.
+		if err := g.checkQuarantine(); err != nil {
+			return withTable(err, tableName)
+		}
+	}
 	g.put(c)
 	if !s.NoAutoSplit && g.sizeBytes() > s.maxRegionBytes() {
 		s.trySplit(t, g)
@@ -307,8 +328,10 @@ func (s *Server) PutRow(tableName string, r Row) error {
 
 // trySplit splits a region that has outgrown the limit.
 func (s *Server) trySplit(t *table, g *region) {
-	at := g.splitPoint()
-	if at == "" {
+	at, err := g.splitPoint()
+	if err != nil || at == "" {
+		// A corrupt region cannot be split safely; reads will surface
+		// the corruption and trigger quarantine handling.
 		return
 	}
 	s.mu.Lock()
@@ -380,7 +403,37 @@ func (s *Server) Get(tableName, row string) (Row, bool, error) {
 	if g == nil || !g.serving.Load() {
 		return Row{}, false, &NotServingError{Table: tableName, Row: row}
 	}
-	r, ok := g.get(row)
+	r, ok, err := g.get(row)
+	if err != nil {
+		return Row{}, false, withTable(err, tableName)
+	}
+	if ok {
+		s.rowsReturned.Add(1)
+		s.bytesReturned.Add(r.Bytes())
+	}
+	return r, ok, nil
+}
+
+// GetAny fetches one row regardless of the region's serving fence —
+// the hedged-read path: replication is synchronous, so a fenced
+// follower copy holds every acked write and can answer point reads
+// when the primary is slow or partitioned. Quarantined copies still
+// refuse: checksums outrank availability.
+func (s *Server) GetAny(tableName, row string) (Row, bool, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return Row{}, false, err
+	}
+	s.mu.RLock()
+	g := t.regionFor(row)
+	s.mu.RUnlock()
+	if g == nil {
+		return Row{}, false, &NotServingError{Table: tableName, Row: row}
+	}
+	r, ok, err := g.get(row)
+	if err != nil {
+		return Row{}, false, withTable(err, tableName)
+	}
 	if ok {
 		s.rowsReturned.Add(1)
 		s.bytesReturned.Add(r.Bytes())
@@ -440,7 +493,7 @@ func (s *Server) Scan(tableName, startRow, endRow string, f Filter, limit int) (
 			continue
 		}
 		stop := false
-		g.scanRows(startRow, endRow, func(r Row) bool {
+		if err := g.scanRows(startRow, endRow, func(r Row) bool {
 			s.rowsScanned.Add(1)
 			if f == nil || f.Matches(r) {
 				out = append(out, r.Clone())
@@ -452,7 +505,9 @@ func (s *Server) Scan(tableName, startRow, endRow string, f Filter, limit int) (
 				}
 			}
 			return true
-		})
+		}); err != nil {
+			return nil, withTable(err, tableName)
+		}
 		if stop {
 			break
 		}

@@ -2,24 +2,37 @@ package hstore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"os"
 	"sort"
 )
 
 // sstable is an immutable sorted segment produced by flushing a
-// region's memstore (HBase's HFile). The encoded layout is
+// region's memstore (HBase's HFile). The cell area is divided into
+// fixed-size blocks, each covered by a CRC32C checksum computed at
+// build time and verified on every read that touches the block — a
+// flipped bit (in memory or on disk) surfaces as a CorruptionError,
+// never as data. The encoded layout is
 //
 //	cells:  repeated [u32 rowLen | u32 colLen | i64 ts | u32 valLen | row | col | val]
 //	        (the top bit of colLen marks a tombstone)
 //	index:  repeated [u32 rowLen | row | u64 offset]   (one entry per indexInterval cells)
 //	bloom:  encoded bloom filter over row keys
-//	footer: [u64 indexOff | u64 bloomOff | u32 cellCount | u32 magic]
+//	crcs:   [u32 blockSize | u32 nBlocks | nBlocks * u32 crc32c(block)]
+//	footer: [u64 indexOff | u64 bloomOff | u64 crcOff | u32 cellCount | u32 magic]
+//	file:   u32 crc32c(everything before this field)
+//
+// The trailing whole-file checksum catches corruption anywhere in the
+// encoded form (index, bloom, footer) at load time; the per-block CRCs
+// keep guarding the in-memory cell area afterwards.
 type sstable struct {
 	data  []byte // the cell area only
 	index []indexEntry
 	bloom *bloom
 	count int
+
+	blockSize uint64   // checksummed block granularity over data
+	crcs      []uint32 // crc32c of each blockSize-sized block of data
 
 	minRow, maxRow string
 }
@@ -30,8 +43,10 @@ type indexEntry struct {
 }
 
 const (
-	sstMagic      = 0x50535432 // "PST2"
+	sstMagic      = 0x50535433 // "PST3" (PST2 lacked checksums)
 	indexInterval = 64
+	sstBlockSize  = 4096
+	sstFooterLen  = 8 + 8 + 8 + 4 + 4 + 4 // offsets + count + magic + file CRC
 )
 
 // buildSSTable encodes sorted cells into a segment. Cells must already
@@ -51,11 +66,69 @@ func buildSSTable(cells []Cell) *sstable {
 		buf = appendCell(buf, c)
 	}
 	t.data = buf
+	t.checksum()
 	if len(cells) > 0 {
 		t.minRow = cells[0].Row
 		t.maxRow = cells[len(cells)-1].Row
 	}
 	return t
+}
+
+// checksum (re)computes the per-block CRC table over the cell area.
+func (t *sstable) checksum() {
+	t.blockSize = sstBlockSize
+	n := (uint64(len(t.data)) + t.blockSize - 1) / t.blockSize
+	t.crcs = make([]uint32, n)
+	for i := uint64(0); i < n; i++ {
+		t.crcs[i] = crc32c(t.block(i))
+	}
+}
+
+// block returns the i-th checksummed slice of the cell area.
+func (t *sstable) block(i uint64) []byte {
+	lo := i * t.blockSize
+	hi := lo + t.blockSize
+	if hi > uint64(len(t.data)) {
+		hi = uint64(len(t.data))
+	}
+	return t.data[lo:hi]
+}
+
+// blockVerifier checks cell-area blocks against their build-time CRCs,
+// remembering which blocks it already verified so a scan pays for each
+// block once, not once per cell.
+type blockVerifier struct {
+	t    *sstable
+	seen []bool
+}
+
+func (v *blockVerifier) verify(from, to uint64) error {
+	t := v.t
+	if t.blockSize == 0 || len(t.crcs) == 0 {
+		return nil // zero-value table (tests); nothing to check against
+	}
+	if to > uint64(len(t.data)) {
+		to = uint64(len(t.data))
+	}
+	if from >= to {
+		return nil
+	}
+	if v.seen == nil {
+		v.seen = make([]bool, len(t.crcs))
+	}
+	for i := from / t.blockSize; i <= (to-1)/t.blockSize; i++ {
+		if i >= uint64(len(t.crcs)) {
+			return &CorruptionError{Detail: fmt.Sprintf("sstable block %d past checksum table (%d blocks)", i, len(t.crcs))}
+		}
+		if v.seen[i] {
+			continue
+		}
+		if got := crc32c(t.block(i)); got != t.crcs[i] {
+			return &CorruptionError{Detail: fmt.Sprintf("sstable block %d checksum mismatch (got %#x want %#x)", i, got, t.crcs[i])}
+		}
+		v.seen[i] = true
+	}
+	return nil
 }
 
 const tombstoneBit = 1 << 31
@@ -77,11 +150,21 @@ func appendCell(buf []byte, c Cell) []byte {
 	return buf
 }
 
-// readCell decodes the cell at offset, returning it and the following
-// offset. An offset at or past the end returns ok=false.
-func (t *sstable) readCell(off uint64) (Cell, uint64, bool) {
+// readCell decodes the cell at offset through the verifier, returning
+// it and the following offset. An offset exactly at the end returns
+// ok=false with no error (the clean end of a scan); anything
+// structurally impossible, or a block failing its checksum, is a
+// CorruptionError.
+func (t *sstable) readCell(v *blockVerifier, off uint64) (Cell, uint64, bool, error) {
+	if off >= uint64(len(t.data)) {
+		return Cell{}, 0, false, nil
+	}
 	if off+20 > uint64(len(t.data)) {
-		return Cell{}, 0, false
+		return Cell{}, 0, false, &CorruptionError{Detail: fmt.Sprintf("sstable cell header torn at offset %d", off)}
+	}
+	// Verify the header's blocks before trusting the lengths in it.
+	if err := v.verify(off, off+20); err != nil {
+		return Cell{}, 0, false, err
 	}
 	rl := binary.LittleEndian.Uint32(t.data[off:])
 	rawCl := binary.LittleEndian.Uint32(t.data[off+4:])
@@ -92,7 +175,10 @@ func (t *sstable) readCell(off uint64) (Cell, uint64, bool) {
 	p := off + 20
 	end := p + uint64(rl) + uint64(cl) + uint64(vl)
 	if end > uint64(len(t.data)) {
-		return Cell{}, 0, false
+		return Cell{}, 0, false, &CorruptionError{Detail: fmt.Sprintf("sstable cell at offset %d overruns data area", off)}
+	}
+	if err := v.verify(off, end); err != nil {
+		return Cell{}, 0, false, err
 	}
 	c := Cell{
 		Row:     string(t.data[p : p+uint64(rl)]),
@@ -101,7 +187,7 @@ func (t *sstable) readCell(off uint64) (Cell, uint64, bool) {
 		Value:   t.data[end-uint64(vl) : end],
 		Deleted: deleted,
 	}
-	return c, end, true
+	return c, end, true, nil
 }
 
 // seekOffset returns the encoded offset from which a scan starting at
@@ -115,23 +201,28 @@ func (t *sstable) seekOffset(row string) uint64 {
 }
 
 // scanRange streams cells with startRow <= row < endRow (endRow ""
-// unbounded); fn returning false stops the scan.
-func (t *sstable) scanRange(startRow, endRow string, fn func(Cell) bool) {
+// unbounded); fn returning false stops the scan. Every block the scan
+// touches is checksum-verified (once) before its cells are surfaced.
+func (t *sstable) scanRange(startRow, endRow string, fn func(Cell) bool) error {
+	v := &blockVerifier{t: t}
 	off := t.seekOffset(startRow)
 	for {
-		c, next, ok := t.readCell(off)
+		c, next, ok, err := t.readCell(v, off)
+		if err != nil {
+			return err
+		}
 		if !ok {
-			return
+			return nil
 		}
 		off = next
 		if c.Row < startRow {
 			continue
 		}
 		if endRow != "" && c.Row >= endRow {
-			return
+			return nil
 		}
 		if !fn(c) {
-			return
+			return nil
 		}
 	}
 }
@@ -144,7 +235,8 @@ func (t *sstable) mayContainRow(row string) bool {
 	return t.bloom.MayContain(row)
 }
 
-// encode serializes the whole table (cells + index + bloom + footer).
+// encode serializes the whole table (cells + index + bloom + block CRCs
+// + footer + whole-file CRC).
 func (t *sstable) encode() []byte {
 	out := append([]byte(nil), t.data...)
 	indexOff := uint64(len(out))
@@ -159,59 +251,102 @@ func (t *sstable) encode() []byte {
 	}
 	bloomOff := uint64(len(out))
 	out = append(out, t.bloom.encode()...)
-	var footer [24]byte
+	crcOff := uint64(len(out))
+	var w [8]byte
+	binary.LittleEndian.PutUint32(w[0:], uint32(t.blockSize))
+	binary.LittleEndian.PutUint32(w[4:], uint32(len(t.crcs)))
+	out = append(out, w[:]...)
+	for _, sum := range t.crcs {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], sum)
+		out = append(out, b[:]...)
+	}
+	var footer [sstFooterLen]byte
 	binary.LittleEndian.PutUint64(footer[0:], indexOff)
 	binary.LittleEndian.PutUint64(footer[8:], bloomOff)
-	binary.LittleEndian.PutUint32(footer[16:], uint32(t.count))
-	binary.LittleEndian.PutUint32(footer[20:], sstMagic)
-	return append(out, footer[:]...)
+	binary.LittleEndian.PutUint64(footer[16:], crcOff)
+	binary.LittleEndian.PutUint32(footer[24:], uint32(t.count))
+	binary.LittleEndian.PutUint32(footer[28:], sstMagic)
+	out = append(out, footer[:sstFooterLen-4]...)
+	binary.LittleEndian.PutUint32(footer[sstFooterLen-4:], crc32c(out))
+	return append(out, footer[sstFooterLen-4:]...)
 }
 
-// decodeSSTable parses an encoded table.
+// decodeSSTable parses an encoded table, verifying the whole-file
+// checksum before trusting any offset in it.
 func decodeSSTable(raw []byte) (*sstable, error) {
-	if len(raw) < 24 {
-		return nil, fmt.Errorf("hstore: sstable too short (%d bytes)", len(raw))
+	if len(raw) < sstFooterLen {
+		return nil, &CorruptionError{Detail: fmt.Sprintf("sstable too short (%d bytes)", len(raw))}
 	}
-	f := raw[len(raw)-24:]
+	fileSum := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32c(raw[:len(raw)-4]); got != fileSum {
+		return nil, &CorruptionError{Detail: fmt.Sprintf("sstable file checksum mismatch (got %#x want %#x)", got, fileSum)}
+	}
+	f := raw[len(raw)-sstFooterLen:]
 	indexOff := binary.LittleEndian.Uint64(f[0:])
 	bloomOff := binary.LittleEndian.Uint64(f[8:])
-	count := binary.LittleEndian.Uint32(f[16:])
-	magic := binary.LittleEndian.Uint32(f[20:])
+	crcOff := binary.LittleEndian.Uint64(f[16:])
+	count := binary.LittleEndian.Uint32(f[24:])
+	magic := binary.LittleEndian.Uint32(f[28:])
 	if magic != sstMagic {
-		return nil, fmt.Errorf("hstore: bad sstable magic %#x", magic)
+		return nil, &CorruptionError{Detail: fmt.Sprintf("bad sstable magic %#x", magic)}
 	}
-	if indexOff > bloomOff || bloomOff > uint64(len(raw)-24) {
-		return nil, fmt.Errorf("hstore: corrupt sstable footer")
+	body := uint64(len(raw) - sstFooterLen)
+	if indexOff > bloomOff || bloomOff > crcOff || crcOff > body {
+		return nil, &CorruptionError{Detail: "corrupt sstable footer offsets"}
 	}
 	t := &sstable{data: raw[:indexOff], count: int(count)}
 	// Index.
 	idx := raw[indexOff:bloomOff]
 	for len(idx) > 0 {
 		if len(idx) < 4 {
-			return nil, fmt.Errorf("hstore: corrupt sstable index")
+			return nil, &CorruptionError{Detail: "corrupt sstable index"}
 		}
 		rl := binary.LittleEndian.Uint32(idx)
 		if uint64(len(idx)) < 4+uint64(rl)+8 {
-			return nil, fmt.Errorf("hstore: corrupt sstable index entry")
+			return nil, &CorruptionError{Detail: "corrupt sstable index entry"}
 		}
 		row := string(idx[4 : 4+rl])
 		off := binary.LittleEndian.Uint64(idx[4+rl:])
 		t.index = append(t.index, indexEntry{row: row, offset: off})
 		idx = idx[4+rl+8:]
 	}
-	b, err := decodeBloom(raw[bloomOff : len(raw)-24])
+	b, err := decodeBloom(raw[bloomOff:crcOff])
 	if err != nil {
 		return nil, err
 	}
 	t.bloom = b
+	// Block CRC table.
+	crcSec := raw[crcOff:body]
+	if len(crcSec) < 8 {
+		return nil, &CorruptionError{Detail: "corrupt sstable checksum section"}
+	}
+	t.blockSize = uint64(binary.LittleEndian.Uint32(crcSec[0:]))
+	n := binary.LittleEndian.Uint32(crcSec[4:])
+	if t.blockSize == 0 || uint64(len(crcSec)) != 8+uint64(n)*4 {
+		return nil, &CorruptionError{Detail: "corrupt sstable checksum table"}
+	}
+	t.crcs = make([]uint32, n)
+	for i := range t.crcs {
+		t.crcs[i] = binary.LittleEndian.Uint32(crcSec[8+i*4:])
+	}
+	if want := (uint64(len(t.data)) + t.blockSize - 1) / t.blockSize; uint64(n) != want {
+		return nil, &CorruptionError{Detail: fmt.Sprintf("sstable checksum table has %d blocks, want %d", n, want)}
+	}
 	// Min/max rows from first and last cells.
-	if c, _, ok := t.readCell(0); ok {
+	v := &blockVerifier{t: t}
+	if c, _, ok, err := t.readCell(v, 0); err != nil {
+		return nil, err
+	} else if ok {
 		t.minRow = c.Row
 	}
 	if len(t.index) > 0 {
 		last := t.index[len(t.index)-1].offset
 		for {
-			c, next, ok := t.readCell(last)
+			c, next, ok, err := t.readCell(v, last)
+			if err != nil {
+				return nil, err
+			}
 			if !ok {
 				break
 			}
@@ -222,15 +357,23 @@ func decodeSSTable(raw []byte) (*sstable, error) {
 	return t, nil
 }
 
-// writeFile persists the table; readFile loads it.
-func (t *sstable) writeFile(path string) error {
-	return os.WriteFile(path, t.encode(), 0o644)
+// writeFile persists the table; readSSTableFile loads it.
+func (t *sstable) writeFile(fsys FS, path string) error {
+	return fsys.WriteFile(path, t.encode(), 0o644)
 }
 
-func readSSTableFile(path string) (*sstable, error) {
-	raw, err := os.ReadFile(path)
+func readSSTableFile(fsys FS, path string) (*sstable, error) {
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return decodeSSTable(raw)
+	t, err := decodeSSTable(raw)
+	if err != nil {
+		var ce *CorruptionError
+		if errors.As(err, &ce) {
+			ce.Path = path
+		}
+		return nil, err
+	}
+	return t, nil
 }

@@ -158,10 +158,10 @@ func TestSSTableFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "seg1.sst")
 	tbl := buildSSTable(makeCells(120, 7))
-	if err := tbl.writeFile(path); err != nil {
+	if err := tbl.writeFile(OSFS, path); err != nil {
 		t.Fatal(err)
 	}
-	back, err := readSSTableFile(path)
+	back, err := readSSTableFile(OSFS, path)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,118 @@
+package matcher_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pstorm/internal/hstore"
+	"pstorm/internal/matcher"
+)
+
+var errOutage = errors.New("store unavailable: retry budget exhausted")
+
+// outageStore fails every read whose feature type starts with one of
+// the down prefixes — the shape of a partial store outage where some
+// regions' retry budgets exhaust while others answer fine. Embedding
+// the plain Store interface also strips the MultiGetStore upgrade, so
+// the matcher takes the per-row path through these wrappers.
+type outageStore struct {
+	matcher.Store
+	down []string
+}
+
+func (o *outageStore) offline(ftype string) bool {
+	for _, p := range o.down {
+		if strings.HasPrefix(ftype, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *outageStore) ScanFeatures(ftype string, f hstore.Filter) ([]matcher.Entry, error) {
+	if o.offline(ftype) {
+		return nil, errOutage
+	}
+	return o.Store.ScanFeatures(ftype, f)
+}
+
+func (o *outageStore) GetFeatures(ftype, jobID string) (hstore.Row, bool, error) {
+	if o.offline(ftype) {
+		return hstore.Row{}, false, errOutage
+	}
+	return o.Store.GetFeatures(ftype, jobID)
+}
+
+func (o *outageStore) Bounds(ftype string, features []string) ([]float64, []float64, error) {
+	if o.offline(ftype) {
+		return nil, nil, errOutage
+	}
+	return o.Store.Bounds(ftype, features)
+}
+
+// TestMatchDegradesOnStatOutage: when the static feature rows are
+// unreachable, Match must not error — it falls back to stage-1-only
+// matching, still picks the dynamically closest donor, and tags the
+// result Degraded.
+func TestMatchDegradesOnStatOutage(t *testing.T) {
+	st := newStore(t)
+	for i := 0; i < 3; i++ {
+		putProfile(t, st, fab(fmt.Sprintf("stored-%d", i), "job", 1<<30, float64(i+1), 10, "B L(B)", "M"))
+	}
+	sample := sampleLike(fab("sample", "job", 1<<30, 2, 10, "B L(B)", "M"), 1<<30)
+
+	res, err := matcher.New().Match(&outageStore{Store: st, down: []string{"stat"}}, sample)
+	if err != nil {
+		t.Fatalf("Match must degrade on a stat-row outage, not error: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("Result.Degraded = false after stage-2 rows were unreachable")
+	}
+	if !res.MapReport.Degraded || !res.ReduceReport.Degraded {
+		t.Fatalf("side reports not degraded: map=%v reduce=%v", res.MapReport.Degraded, res.ReduceReport.Degraded)
+	}
+	if !res.Matched() {
+		t.Fatal("degraded match returned no profile")
+	}
+	// stored-1 (dyn scale 2) is the exact dynamic twin of the sample;
+	// the stage-1-only tie-break must land on it.
+	if res.MapJobID != "stored-1" || res.ReduceJobID != "stored-1" {
+		t.Fatalf("degraded winner = %s/%s, want stored-1 on both sides", res.MapJobID, res.ReduceJobID)
+	}
+}
+
+// TestMatchDegradesOnCostOutage: outage confined to the cost-factor
+// rows only bites when the cost fallback is needed (no CFG survivor) —
+// and then it degrades too instead of erroring.
+func TestMatchDegradesOnCostOutage(t *testing.T) {
+	st := newStore(t)
+	// Stored profiles share dynamics but differ in CFG, so stage 2 kills
+	// every candidate and the matcher reaches for the cost fallback.
+	putProfile(t, st, fab("stored-0", "job", 1<<30, 2, 10, "OTHER CFG", "OtherMapper"))
+	sample := sampleLike(fab("sample", "job", 1<<30, 2, 10, "B L(B)", "M"), 1<<30)
+
+	res, err := matcher.New().Match(&outageStore{Store: st, down: []string{"cost"}}, sample)
+	if err != nil {
+		t.Fatalf("Match must degrade on a cost-row outage, not error: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("Result.Degraded = false after cost fallback rows were unreachable")
+	}
+	if !res.Matched() {
+		t.Fatal("degraded match returned no profile")
+	}
+}
+
+// TestMatchStillFailsOnStage1Outage: losing the dynamic rows leaves
+// nothing to fall back on; that outage stays a hard error.
+func TestMatchStillFailsOnStage1Outage(t *testing.T) {
+	st := newStore(t)
+	putProfile(t, st, fab("stored-0", "job", 1<<30, 2, 10, "B", "M"))
+	sample := sampleLike(fab("sample", "job", 1<<30, 2, 10, "B", "M"), 1<<30)
+
+	if _, err := matcher.New().Match(&outageStore{Store: st, down: []string{"dyn", "!bounds"}}, sample); err == nil {
+		t.Fatal("Match succeeded with stage-1 rows unreachable")
+	}
+}

@@ -195,6 +195,11 @@ type SideReport struct {
 	Winner           string
 	WinnerDistance   float64
 	Failed           bool
+	// Degraded reports that the static/cost feature rows could not be
+	// fetched (store partially unavailable after the retry budget), so
+	// the side fell back to stage-1-only matching: the winner is the
+	// best dynamic-distance candidate, unrefined by CFG or Jaccard.
+	Degraded bool
 
 	// CandidateIDs lists the stage-1 survivors with their dynamic
 	// distances, for diagnostics and the experiment harness.
@@ -211,6 +216,9 @@ type Result struct {
 	ReduceJobID string
 	// Composite reports whether the two sides came from different jobs.
 	Composite bool
+	// Degraded reports that at least one side matched in stage-1-only
+	// fallback mode because later-stage feature rows were unreachable.
+	Degraded bool
 
 	MapReport    SideReport
 	ReduceReport SideReport
@@ -270,6 +278,7 @@ func (m *Matcher) Match(st Store, sample *profile.Profile) (*Result, error) {
 	}
 	m.countSide(res.MapReport)
 	m.countSide(res.ReduceReport)
+	res.Degraded = res.MapReport.Degraded || res.ReduceReport.Degraded
 	if res.MapReport.Failed || res.ReduceReport.Failed {
 		m.Obs.Counter("matcher_match_total", "outcome", "none").Inc()
 		return res, nil
@@ -307,6 +316,9 @@ func (m *Matcher) countSide(rep SideReport) {
 	}
 	if rep.Failed {
 		m.Obs.Counter("matcher_side_failed_total", "side", side).Inc()
+	}
+	if rep.Degraded {
+		m.Obs.Counter("matcher_degraded_total", "side", side).Inc()
 	}
 }
 
@@ -384,10 +396,17 @@ func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBy
 	}
 
 	// ----- Stage 2: conservative CFG match. -----
+	// A fetch failure here means the static rows are unreachable after
+	// the client's whole retry budget — a store outage, not a miss.
+	// Rather than failing the match (and with it the whole tuning run),
+	// degrade to stage-1-only: the dynamic-distance winner is still a
+	// defensible profile, just unrefined by the code-identity stages.
 	cfgCol, cfgWant := m.structuralWant(side)
 	statRows, err := getFeatureRows(st, spec.ftStat, cands)
 	if err != nil {
-		return rep, err
+		rep.Degraded = true
+		rep.Winner, rep.WinnerDistance = pickWinner(cands, dynDist, candIn, inputBytes)
+		return rep, nil
 	}
 	var afterCFG []Entry
 	for _, c := range cands {
@@ -439,7 +458,9 @@ func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBy
 		}
 		cmin, cmax, err := st.Bounds(spec.ftCost, spec.costFeats)
 		if err != nil {
-			return rep, err
+			rep.Degraded = true
+			rep.Winner, rep.WinnerDistance = pickWinner(cands, dynDist, candIn, inputBytes)
+			return rep, nil
 		}
 		mergeBounds(cmin, cmax, costTarget)
 		costThr := m.EuclideanFraction * math.Sqrt(float64(len(spec.costFeats)))
@@ -449,7 +470,9 @@ func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBy
 		}
 		costRows, err := getFeatureRows(st, spec.ftCost, cands)
 		if err != nil {
-			return rep, err
+			rep.Degraded = true
+			rep.Winner, rep.WinnerDistance = pickWinner(cands, dynDist, candIn, inputBytes)
+			return rep, nil
 		}
 		for _, c := range cands {
 			if row, ok := costRows[c.JobID]; ok && costFilter.Matches(row) {
@@ -463,6 +486,13 @@ func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBy
 	}
 
 	// ----- Tie-break: closest input data size. -----
+	rep.Winner, rep.WinnerDistance = pickWinner(survivors, dynDist, candIn, inputBytes)
+	return rep, nil
+}
+
+// pickWinner applies the Fig 4.6 tie-break — closest input data size,
+// then smallest dynamic distance — over the surviving candidates.
+func pickWinner(survivors []Entry, dynDist map[string]float64, candIn map[string]int64, inputBytes int64) (string, float64) {
 	best := survivors[0]
 	bestGap := int64(math.MaxInt64)
 	for _, c := range survivors {
@@ -471,9 +501,7 @@ func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBy
 			best, bestGap = c, gap
 		}
 	}
-	rep.Winner = best.JobID
-	rep.WinnerDistance = dynDist[best.JobID]
-	return rep, nil
+	return best.JobID, dynDist[best.JobID]
 }
 
 // stage1Filter builds the normalized Euclidean filter for the stage-1
@@ -594,21 +622,27 @@ func (m *Matcher) matchSideStaticFirst(st Store, spec sideSpec, side *profile.Si
 		return rep, nil
 	}
 
-	// Dynamic filter over the static survivors.
+	// Dynamic filter over the static survivors. If the dynamic rows are
+	// unreachable (store outage, not a miss), degrade to the static
+	// verdict alone instead of failing the match.
 	target := make([]float64, len(spec.dynFeatures))
 	for i, f := range spec.dynFeatures {
 		target[i] = side.DataFlow[f]
 	}
 	dynFilter, err := m.stage1Filter(st, spec, spec.dynFeatures, target)
 	if err != nil {
-		return rep, err
+		rep.Degraded = true
+		rep.Winner, rep.WinnerDistance = pickWinner(afterJac, nil, nil, inputBytes)
+		return rep, nil
 	}
 	dynDist := make(map[string]float64)
 	candIn := make(map[string]int64)
 	rep.CandidateIDs = dynDist
 	dynRows, err := getFeatureRows(st, spec.ftDyn, afterJac)
 	if err != nil {
-		return rep, err
+		rep.Degraded = true
+		rep.Winner, rep.WinnerDistance = pickWinner(afterJac, nil, nil, inputBytes)
+		return rep, nil
 	}
 	var survivors []Entry
 	for _, c := range afterJac {

@@ -24,6 +24,7 @@ package pstorm
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"pstorm/internal/cbo"
 	"pstorm/internal/cluster"
@@ -114,13 +115,14 @@ type Options struct {
 // System is a running PStorM deployment: engine + profile store +
 // matcher + optimizer (Fig 1.2).
 type System struct {
-	core    *core.System
-	engine  *engine.Engine
-	store   *core.Store
-	server  *hstore.Server       // nil unless backed by one in-process hstore
-	cluster *dstore.LocalCluster // nil unless backed by an in-process dstore cluster
-	dclient *dstore.Client       // nil unless connected to a remote master
-	dataDir string
+	core      *core.System
+	engine    *engine.Engine
+	store     *core.Store
+	server    *hstore.Server       // nil unless backed by one in-process hstore
+	cluster   *dstore.LocalCluster // nil unless backed by an in-process dstore cluster
+	dclient   *dstore.Client       // nil unless connected to a remote master
+	dataDir   string
+	closeOnce sync.Once
 }
 
 // Open assembles a System.
@@ -213,11 +215,15 @@ func (s *System) Snapshot() Metrics {
 
 // Close releases store resources. It matters for StoreServers systems
 // (stops the cluster's master loop and region servers); elsewhere it is
-// a no-op.
+// a no-op. Close is idempotent and safe after servers have already been
+// killed (e.g. by a chaos scenario): stopping a stopped server is a
+// no-op and the master loop shuts down exactly once.
 func (s *System) Close() {
-	if s.cluster != nil {
-		s.cluster.Close()
-	}
+	s.closeOnce.Do(func() {
+		if s.cluster != nil {
+			s.cluster.Close()
+		}
+	})
 }
 
 // StoreCluster exposes the in-process dstore cluster backing the
