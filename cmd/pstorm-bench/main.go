@@ -37,7 +37,20 @@ func main() {
 	tuneBudget := flag.Int("tune-budget", 0, "with -tune: What-If evaluation budget per tune (0: full search)")
 	tuneRepeats := flag.Int("tune-repeats", 8, "with -tune: times the tuning workload is repeated per row")
 	chaosMode := flag.Bool("chaos", false, "run the deterministic chaos experiment and write BENCH_chaos.json")
+	serveMode := flag.Bool("serve", false, "benchmark the multi-tenant serving tier (gateway fleet) and write BENCH_serve.json")
+	serveQPS := flag.Float64("serve-qps", 150, "with -serve: open-loop target request rate per phase")
+	serveSteady := flag.Duration("serve-steady", 2*time.Second, "with -serve: steady (in-quota) phase duration")
+	serveOverload := flag.Duration("serve-overload", 1500*time.Millisecond, "with -serve: noisy-tenant overload phase duration")
+	serveGateways := flag.Int("serve-gateways", 2, "with -serve: gateway instances sharing the one cluster")
 	flag.Parse()
+
+	if *serveMode {
+		if err := runServeBench(*seed, *serveQPS, *serveSteady, *serveOverload, *serveGateways); err != nil {
+			fmt.Fprintln(os.Stderr, "pstorm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaosMode {
 		if err := runChaosBench(*seed); err != nil {
@@ -136,6 +149,29 @@ func runTuneBench(seed int64, workersCSV string, budget, repeats int) error {
 		return err
 	}
 	fmt.Println("(wrote BENCH_tune.json)")
+	return nil
+}
+
+// runServeBench drives the serving-tier benchmark and always writes
+// BENCH_serve.json (the point of the mode is the machine-checkable
+// coalescing and quota-shedding evidence: the experiment itself errors
+// when a serving contract is violated).
+func runServeBench(seed int64, qps float64, steady, overload time.Duration, gateways int) error {
+	env := bench.NewEnv(seed)
+	tables, err := bench.RunServeBenchWith(env, bench.ServeOptions{
+		QPS: qps, Steady: steady, Overload: overload, Gateways: gateways,
+	})
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	r := bench.Runner{ID: "serve", Desc: "Serving tier: gateway fleet, coalescing, quota shedding under open-loop load"}
+	if err := writeJSON("BENCH_serve.json", seed, r, tables, env.DrainMetrics()); err != nil {
+		return err
+	}
+	fmt.Println("(wrote BENCH_serve.json)")
 	return nil
 }
 

@@ -16,6 +16,17 @@
 // servers on the first CreateTable and fails regions over when a server
 // goes silent. Point pstorm.Options.MasterURL (or pstorm-bench) at the
 // master to use the cluster as a profile store.
+//
+// The gateway role is the multi-tenant serving tier: a stateless front
+// door (request coalescing, per-tenant namespacing, quotas, admission
+// control) over an existing cluster's master. Any number of gateways
+// can serve one cluster:
+//
+//	pstormd -role gateway -listen :9800 -master http://host:9700
+//
+// Every role drains gracefully on SIGTERM/SIGINT: the listener closes
+// immediately, in-flight requests get up to -drain to finish, and only
+// then is the node's own state torn down.
 package main
 
 import (
@@ -27,7 +38,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"pstorm/internal/cbo"
@@ -35,79 +48,205 @@ import (
 	"pstorm/internal/conf"
 	"pstorm/internal/core"
 	"pstorm/internal/dstore"
+	"pstorm/internal/gateway"
+	"pstorm/internal/httperr"
 	"pstorm/internal/obs"
 	"pstorm/internal/whatif"
 )
 
+// daemonConfig is the flag set one pstormd process runs with.
+type daemonConfig struct {
+	role      string
+	listen    string
+	id        string
+	masterURL string
+	addr      string
+	hbTimeout time.Duration
+	hbEvery   time.Duration
+	repl      int
+	drain     time.Duration
+	demo      bool
+	hold      bool
+
+	// gateway role knobs: the default tenant contract and the global
+	// admission ceiling.
+	gwRate           float64
+	gwBurst          float64
+	gwTenantInflight int
+	gwMaxInflight    int
+}
+
 func main() {
-	role := flag.String("role", "", "node role: master or region")
-	listen := flag.String("listen", "", "address to listen on (e.g. :9700)")
-	id := flag.String("id", "", "region server identity (unique per cluster)")
-	master := flag.String("master", "", "master base URL (region role)")
-	addr := flag.String("addr", "", "this region server's base URL as peers reach it")
-	hbTimeout := flag.Duration("hb-timeout", 2*time.Second, "master: heartbeat timeout before failover")
-	hbEvery := flag.Duration("hb-every", 500*time.Millisecond, "region: heartbeat interval")
-	repl := flag.Int("replication", 2, "master: copies per region, primary included")
-	demo := flag.Bool("demo", false, "run a master and three region servers over loopback, seed the table, kill and replace a primary, print status")
-	hold := flag.Bool("hold", false, "demo: keep serving /metrics after the walkthrough instead of exiting")
+	var cfg daemonConfig
+	flag.StringVar(&cfg.role, "role", "", "node role: master, region, or gateway")
+	flag.StringVar(&cfg.listen, "listen", "", "address to listen on (e.g. :9700)")
+	flag.StringVar(&cfg.id, "id", "", "region server identity (unique per cluster)")
+	flag.StringVar(&cfg.masterURL, "master", "", "master base URL (region and gateway roles)")
+	flag.StringVar(&cfg.addr, "addr", "", "this region server's base URL as peers reach it")
+	flag.DurationVar(&cfg.hbTimeout, "hb-timeout", 2*time.Second, "master: heartbeat timeout before failover")
+	flag.DurationVar(&cfg.hbEvery, "hb-every", 500*time.Millisecond, "region: heartbeat interval")
+	flag.IntVar(&cfg.repl, "replication", 2, "master: copies per region, primary included")
+	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful shutdown: how long in-flight requests may finish after SIGTERM")
+	flag.Float64Var(&cfg.gwRate, "gw-rate", 0, "gateway: default per-tenant request rate limit in req/s (0 = unlimited)")
+	flag.Float64Var(&cfg.gwBurst, "gw-burst", 0, "gateway: default per-tenant burst (0 = max(rate, 1))")
+	flag.IntVar(&cfg.gwTenantInflight, "gw-tenant-inflight", 0, "gateway: default per-tenant concurrency ceiling (0 = unlimited)")
+	flag.IntVar(&cfg.gwMaxInflight, "gw-max-inflight", 0, "gateway: global concurrency ceiling across tenants (0 = unlimited)")
+	flag.BoolVar(&cfg.demo, "demo", false, "run a master and three region servers over loopback, seed the table, kill and replace a primary, print status")
+	flag.BoolVar(&cfg.hold, "hold", false, "demo: keep serving /metrics after the walkthrough instead of exiting")
 	flag.Parse()
 
-	if err := run(*role, *listen, *id, *master, *addr, *hbTimeout, *hbEvery, *repl, *demo, *hold); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pstormd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(role, listen, id, masterURL, addr string, hbTimeout, hbEvery time.Duration, repl int, demo, hold bool) error {
-	if demo {
-		return runDemo(hbTimeout, hbEvery, repl, hold)
+func run(cfg daemonConfig) error {
+	if cfg.demo {
+		return runDemo(cfg.hbTimeout, cfg.hbEvery, cfg.repl, cfg.hold)
 	}
-	switch role {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	switch cfg.role {
 	case "master":
-		if listen == "" {
+		if cfg.listen == "" {
 			return fmt.Errorf("master needs -listen")
 		}
 		reg := dstore.NewRegistry()
 		m := dstore.NewMaster(reg, dstore.MasterOptions{
-			HeartbeatTimeout: hbTimeout,
-			Replication:      repl,
+			HeartbeatTimeout: cfg.hbTimeout,
+			Replication:      cfg.repl,
 			DefaultSplits:    dstore.DefaultSplits,
 		})
 		m.Start()
-		defer m.Close()
-		// The master also serves /tune: it is the node every client
-		// already knows, and the routing client it tunes through reaches
-		// the region servers the same way any external client would.
+		// The master also serves /tune and the multi-tenant gateway: it
+		// is the node every client already knows, and the routing client
+		// it serves through reaches the region servers the same way any
+		// external client would.
 		tuneObs := obs.NewRegistry()
+		gwKV := dstore.NewClient(dstore.ConnectMaster(m), reg)
+		gw, err := gateway.New(gateway.Options{
+			KV:  gwKV,
+			Obs: tuneObs,
+			DefaultTenant: gateway.TenantConfig{
+				RatePerSec:  cfg.gwRate,
+				Burst:       cfg.gwBurst,
+				MaxInflight: cfg.gwTenantInflight,
+			},
+			MaxInflight: cfg.gwMaxInflight,
+			DegradedFn:  gwKV.AnyBreakerOpen,
+		})
+		if err != nil {
+			m.Close()
+			return err
+		}
 		mux := http.NewServeMux()
 		mux.Handle("/", dstore.MasterHandler(m))
 		mux.Handle("/tune", tuneHandler(func() core.KV {
 			return dstore.NewClient(dstore.ConnectMaster(m), reg)
 		}, tuneObs))
+		gw.Mount(mux)
 		gather := func() obs.Snapshot {
-			return obs.Merge(m.Obs().Snapshot(), tuneObs.Snapshot())
+			return obs.Merge(m.Obs().Snapshot(), tuneObs.Snapshot(), gwKV.Obs().Snapshot())
+		}
+		ln, err := net.Listen("tcp", cfg.listen)
+		if err != nil {
+			m.Close()
+			return err
 		}
 		fmt.Printf("pstormd master listening on %s (replication %d, heartbeat timeout %s)\n",
-			listen, repl, hbTimeout)
-		return http.ListenAndServe(listen, withObs(mux, gather))
+			cfg.listen, cfg.repl, cfg.hbTimeout)
+		return serveGraceful(ctx, ln, withObs(mux, gather), cfg.drain, m.Close)
 	case "region":
-		if listen == "" || id == "" || masterURL == "" || addr == "" {
+		if cfg.listen == "" || cfg.id == "" || cfg.masterURL == "" || cfg.addr == "" {
 			return fmt.Errorf("region needs -listen, -id, -master, and -addr")
 		}
-		rs := dstore.NewRegionServer(id, dstore.NewRegistry())
-		mc := dstore.DialMaster(masterURL, 0)
-		if err := mc.Join(dstore.Peer{ID: id, Addr: addr}); err != nil {
+		rs := dstore.NewRegionServer(cfg.id, dstore.NewRegistry())
+		mc := dstore.DialMaster(cfg.masterURL, 0)
+		if err := mc.Join(dstore.Peer{ID: cfg.id, Addr: cfg.addr}); err != nil {
 			return fmt.Errorf("joining master: %w", err)
 		}
-		rs.StartHeartbeats(mc, hbEvery)
-		fmt.Printf("pstormd region server %s listening on %s (master %s)\n", id, listen, masterURL)
+		rs.StartHeartbeats(mc, cfg.hbEvery)
+		fmt.Printf("pstormd region server %s listening on %s (master %s)\n", cfg.id, cfg.listen, cfg.masterURL)
 		gather := func() obs.Snapshot {
 			return obs.Merge(rs.Obs().Snapshot(), rs.HStore().Obs().Snapshot())
 		}
-		return http.ListenAndServe(listen, withObs(dstore.RegionServerHandler(rs), gather))
+		ln, err := net.Listen("tcp", cfg.listen)
+		if err != nil {
+			rs.Stop()
+			return err
+		}
+		return serveGraceful(ctx, ln, withObs(dstore.RegionServerHandler(rs), gather), cfg.drain, rs.Stop)
+	case "gateway":
+		if cfg.listen == "" || cfg.masterURL == "" {
+			return fmt.Errorf("gateway needs -listen and -master")
+		}
+		kv := dstore.NewClient(dstore.DialMaster(cfg.masterURL, 0), dstore.NewRegistry())
+		o := obs.NewRegistry()
+		gw, err := gateway.New(gateway.Options{
+			KV:  kv,
+			Obs: o,
+			DefaultTenant: gateway.TenantConfig{
+				RatePerSec:  cfg.gwRate,
+				Burst:       cfg.gwBurst,
+				MaxInflight: cfg.gwTenantInflight,
+			},
+			MaxInflight: cfg.gwMaxInflight,
+			DegradedFn:  kv.AnyBreakerOpen,
+		})
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		gw.Mount(mux)
+		gather := func() obs.Snapshot {
+			return obs.Merge(o.Snapshot(), kv.Obs().Snapshot())
+		}
+		ln, err := net.Listen("tcp", cfg.listen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pstormd gateway listening on %s (master %s)\n", cfg.listen, cfg.masterURL)
+		return serveGraceful(ctx, ln, withObs(mux, gather), cfg.drain, nil)
 	default:
-		return fmt.Errorf("need -role master, -role region, or -demo (see -h)")
+		return fmt.Errorf("need -role master, -role region, -role gateway, or -demo (see -h)")
 	}
+}
+
+// serveGraceful serves h on ln until ctx is canceled (the SIGTERM /
+// SIGINT path in run), then drains: the listener closes so new
+// connections are refused, in-flight requests get up to drain to
+// finish, and only after the drain completes (or its deadline forces
+// the remaining connections closed) does onStopped tear down the
+// node's own state. A clean drain returns nil.
+func serveGraceful(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration, onStopped func()) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener died on its own; nothing is serving anymore.
+		if onStopped != nil {
+			onStopped()
+		}
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if err != nil {
+		// Drain deadline passed: force the stragglers closed.
+		_ = srv.Close()
+	}
+	if onStopped != nil {
+		onStopped()
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "pstormd: drain deadline (%s) passed; closed remaining connections\n", drain)
+		return nil
+	}
+	return err
 }
 
 // tuneReq is the /tune request body. Workers, budget, and deadline map
@@ -144,26 +283,26 @@ func tuneHandler(newKV func() core.KV, o *obs.Registry) http.Handler {
 	latH := o.Histogram("tune_latency_ms", nil)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			httperr.Write(w, http.StatusMethodNotAllowed, httperr.CodeBadRequest, "POST only", false)
 			return
 		}
 		var req tuneReq
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			httperr.Write(w, http.StatusBadRequest, httperr.CodeBadRequest, err.Error(), false)
 			return
 		}
 		if req.JobID == "" {
-			http.Error(w, "job_id required", http.StatusBadRequest)
+			httperr.Write(w, http.StatusBadRequest, httperr.CodeBadRequest, "job_id required", false)
 			return
 		}
 		st, err := core.NewStore(newKV())
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeWireErr(w, err)
 			return
 		}
 		prof, err := st.LoadProfile(req.JobID)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			writeWireErr(w, err)
 			return
 		}
 		if req.InputBytes <= 0 {
@@ -180,11 +319,7 @@ func tuneHandler(newKV func() core.KV, o *obs.Registry) http.Handler {
 			Seed: req.Seed, Workers: req.Workers, MaxEvaluations: req.Budget, Evaluator: eval,
 		})
 		if err != nil {
-			code := http.StatusInternalServerError
-			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				code = http.StatusGatewayTimeout
-			}
-			http.Error(w, err.Error(), code)
+			writeWireErr(w, err)
 			return
 		}
 		evalCtr.Add(int64(rec.Evaluations))
@@ -194,9 +329,29 @@ func tuneHandler(newKV func() core.KV, o *obs.Registry) http.Handler {
 			JobID: req.JobID, Config: rec.Config, PredictedMs: rec.PredictedMs,
 			DefaultMs: rec.DefaultMs, Evaluations: rec.Evaluations,
 		}); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			httperr.Write(w, http.StatusInternalServerError, httperr.CodeInternal, err.Error(), false)
 		}
 	})
+}
+
+// writeWireErr maps an error from the tuning pipeline or the store
+// onto the shared JSON error envelope — the same shape the gateway
+// endpoints and the dstore wire protocol emit, so a client parses one
+// error format everywhere. Deadlines are never a bare 504: they carry
+// the envelope's deadline code.
+func writeWireErr(w http.ResponseWriter, err error) {
+	status, code, degraded := http.StatusInternalServerError, httperr.CodeInternal, false
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status, code = http.StatusGatewayTimeout, httperr.CodeDeadline
+	case errors.Is(err, context.Canceled):
+		status, code = http.StatusGatewayTimeout, httperr.CodeCanceled
+	case errors.Is(err, core.ErrNotFound):
+		status, code = http.StatusNotFound, httperr.CodeNotFound
+	case errors.Is(err, dstore.ErrExhausted):
+		status, code, degraded = http.StatusServiceUnavailable, httperr.CodeUnavailable, true
+	}
+	httperr.Write(w, status, code, err.Error(), degraded)
 }
 
 // withObs wraps a node's wire-protocol handler with the /metrics and

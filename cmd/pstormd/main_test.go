@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"pstorm/internal/core"
 	"pstorm/internal/engine"
 	"pstorm/internal/hstore"
+	"pstorm/internal/httperr"
 	"pstorm/internal/obs"
 	"pstorm/internal/workloads"
 )
@@ -90,6 +92,13 @@ func TestTuneEndpointErrors(t *testing.T) {
 	}
 	if resp, _ := postTune(t, ts, tuneReq{JobID: "nope"}); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown job = %d, want 404", resp.StatusCode)
+	} else {
+		// Errors carry the shared JSON envelope, not bare text.
+		raw, _ := io.ReadAll(resp.Body)
+		e, ok := httperr.Parse(raw)
+		if !ok || e.Code != httperr.CodeNotFound {
+			t.Errorf("404 body = %q, want envelope code %q", raw, httperr.CodeNotFound)
+		}
 	}
 	if resp, _ := postTune(t, ts, tuneReq{JobID: jobID, DeadlineMs: -1}); resp.StatusCode != http.StatusOK {
 		// A negative deadline is simply "no deadline".

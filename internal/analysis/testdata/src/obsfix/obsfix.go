@@ -18,6 +18,17 @@ func register(r *obs.Registry, shard string) {
 	r.Counter("quarantine_rebuilds_total")             // allowed
 	r.Counter("matcher_degraded_total", "side", shard) // allowed
 
+	// The serving-tier metric family: constant names, one kind each.
+	r.Counter("gateway_requests_total", "endpoint", shard)            // allowed
+	r.Counter("gateway_coalesce_hits_total")                          // allowed
+	r.Counter("gateway_coalesce_leaders_total")                       // allowed
+	r.Counter("gateway_shed_total", "reason", shard, "tenant", shard) // allowed
+	r.Counter("gateway_degrade_trips_total")                          // allowed
+	r.GaugeFunc("gateway_inflight", func() float64 { return 0 })      // allowed
+	r.GaugeFunc("gateway_tenants", func() float64 { return 0 })       // allowed
+	r.Gauge("gateway_tenant_inflight", "tenant", shard)               // allowed
+	r.Histogram("gateway_request_latency_ms", nil, "endpoint", shard) // allowed
+
 	r.Counter("BadCamelCase")   // want `not lowercase_snake`
 	r.Gauge("trailing_dash-")   // want `not lowercase_snake`
 	r.Counter("dyn_" + shard)   // want `must be a compile-time string constant`

@@ -98,6 +98,7 @@ func Experiments() []Runner {
 		{"ablation-pushdown", "Filter pushdown vs client-side filtering", RunAblationPushdown},
 		{"dstore-scale", "Distributed store scaling: throughput, bytes moved, failover recovery", RunDStoreScale},
 		{"tune", "Tuning pipeline: sequential vs parallel+cached evaluation core", RunTuneBench},
+		{"serve", "Serving tier: gateway fleet, coalescing, quota shedding under open-loop load", RunServeBench},
 		{"chaos", "Deterministic chaos: fault barrage vs detections, heals, zero wrong reads", RunChaos},
 		{"ext-crosscluster", "Extension (§7.2.3): cross-cluster profile adaptation", RunExtCrossCluster},
 		{"ext-thresholds", "Sensitivity of matching accuracy to the two thresholds", RunExtThresholds},

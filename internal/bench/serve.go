@@ -1,0 +1,331 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/core"
+	"pstorm/internal/dstore"
+	"pstorm/internal/engine"
+	"pstorm/internal/gateway"
+	"pstorm/internal/obs"
+	"pstorm/internal/workloads"
+)
+
+// ServeOptions configure the serving-tier benchmark.
+type ServeOptions struct {
+	// QPS is the open-loop target request rate per phase (default 150).
+	QPS float64
+	// Steady is the in-quota phase duration (default 2s).
+	Steady time.Duration
+	// Overload is the noisy-tenant phase duration (default 1500ms).
+	Overload time.Duration
+	// Gateways is the fleet size sharing the one cluster (default 2).
+	Gateways int
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.QPS <= 0 {
+		o.QPS = 150
+	}
+	if o.Steady <= 0 {
+		o.Steady = 2 * time.Second
+	}
+	if o.Overload <= 0 {
+		o.Overload = 1500 * time.Millisecond
+	}
+	if o.Gateways <= 0 {
+		o.Gateways = 2
+	}
+	return o
+}
+
+// RunServeBench benchmarks the multi-tenant serving tier: a fleet of
+// gateways over one dstore cluster, driven open-loop (requests fire on
+// the target-QPS schedule regardless of completions) with mixed
+// submit/match/tune/what-if traffic. Two phases: a steady phase where
+// every tenant is inside its quota (coalescing does the work), then an
+// overload phase where a noisy rate-limited tenant floods the fleet
+// and must be shed with 429s while the in-quota tenant's tail latency
+// stays bounded. Latency percentiles come from the gateways' own obs
+// histograms, per phase via snapshot deltas.
+func RunServeBench(e *Env) ([]*Table, error) {
+	return RunServeBenchWith(e, ServeOptions{})
+}
+
+// serveCounts are one tenant's client-side outcomes in one phase.
+type serveCounts struct {
+	sent  atomic.Int64
+	ok    atomic.Int64
+	shed  atomic.Int64 // 429 responses
+	other atomic.Int64 // anything else (errors, non-2xx non-429)
+}
+
+// RunServeBenchWith is RunServeBench with explicit load parameters.
+func RunServeBenchWith(e *Env, opt ServeOptions) ([]*Table, error) {
+	opt = opt.withDefaults()
+	now := time.Now
+
+	c, err := dstore.StartLocalCluster(dstore.LocalOptions{Servers: 3, Replication: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	mc := dstore.ConnectMaster(c.Master)
+
+	// The fleet: every instance stateless beyond caches, with its own
+	// routing client, sharing nothing but the cluster. The noisy tenant
+	// is rate-limited and best-effort; the steady tenant has priority.
+	tenants := map[string]gateway.TenantConfig{
+		"tenant-a": {Priority: 1},
+		"noisy":    {RatePerSec: 5, Burst: 5, Priority: 0},
+	}
+	regs := make([]*obs.Registry, opt.Gateways)
+	fleet := make([]*httptest.Server, opt.Gateways)
+	for i := range fleet {
+		kv := dstore.NewClient(mc, c.Reg)
+		o := obs.NewRegistry()
+		gw, err := gateway.New(gateway.Options{
+			KV:         kv,
+			Engine:     engine.New(cluster.Default16(), e.Seed+int64(i)),
+			Seed:       e.Seed,
+			Obs:        o,
+			Tenants:    tenants,
+			DegradedFn: kv.AnyBreakerOpen,
+		})
+		if err != nil {
+			return nil, err
+		}
+		regs[i] = o
+		fleet[i] = httptest.NewServer(gw.Handler())
+		defer fleet[i].Close()
+	}
+	snapFleet := func() obs.Snapshot {
+		snaps := make([]obs.Snapshot, len(regs))
+		for i, r := range regs {
+			snaps[i] = r.Snapshot()
+		}
+		return obs.Merge(snaps...)
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	defer client.CloseIdleConnections()
+	do := func(gwIdx int, method, path, tenant string, body any, counts *serveCounts) {
+		var rd io.Reader
+		if body != nil {
+			raw, _ := json.Marshal(body)
+			rd = bytes.NewReader(raw)
+		}
+		req, err := http.NewRequest(method, fleet[gwIdx%len(fleet)].URL+path, rd)
+		if err != nil {
+			counts.other.Add(1)
+			return
+		}
+		req.Header.Set(gateway.TenantHeader, tenant)
+		resp, err := client.Do(req)
+		if err != nil {
+			counts.other.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck — draining for connection reuse
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			counts.ok.Add(1)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			counts.shed.Add(1)
+		default:
+			counts.other.Add(1)
+		}
+	}
+
+	// Seed: one profiled submission through gateway 0 gives the steady
+	// tenant a stored profile to tune against.
+	var seeded struct {
+		StoredProfileID string `json:"stored_profile_id"`
+		ProfileStored   bool   `json:"profile_stored"`
+	}
+	{
+		raw, _ := json.Marshal(map[string]any{"job": "wordcount", "dataset": "randomtext-1g"})
+		req, err := http.NewRequest(http.MethodPost, fleet[0].URL+"/g/submit", bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set(gateway.TenantHeader, "tenant-a")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("bench serve: seeding submit: status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &seeded); err != nil {
+			return nil, err
+		}
+		if !seeded.ProfileStored {
+			return nil, fmt.Errorf("bench serve: seeding submit stored no profile")
+		}
+	}
+	spec, err := workloads.JobByName("wordcount")
+	if err != nil {
+		return nil, err
+	}
+	matchBody := map[string]any{"job": "wordcount", "dataset": "randomtext-1g"}
+	whatifBody := map[string]any{"job_id": seeded.StoredProfileID, "config": core.DefaultConfig(spec)}
+
+	// runPhase drives the open-loop schedule: requests fire on the tick
+	// schedule regardless of completions. Tune ticks fire a burst of
+	// identical requests (one fresh tune per burst, same coalescing
+	// key, same gateway instance) — the duplicate-heavy pattern the
+	// coalescer exists for. In overload each tick also fires a
+	// noisy-tenant request, far past that tenant's quota.
+	const tuneBurst = 5
+	runPhase := func(dur time.Duration, withNoisy bool, a, noisy *serveCounts) {
+		// Per 4 ticks: 2 tune bursts + match + whatif + profiles =
+		// 2*tuneBurst+3 requests, paced so the aggregate hits QPS.
+		perTick := float64(2*tuneBurst+3) / 4
+		interval := time.Duration(perTick / opt.QPS * float64(time.Second))
+		var wg sync.WaitGroup
+		i := 0
+		//pstorm:allow clockcheck open-loop driver paces real wall-clock request schedule
+		for next, end := now(), now().Add(dur); next.Before(end); next = next.Add(interval) {
+			if d := next.Sub(now()); d > 0 {
+				time.Sleep(d)
+			}
+			gwIdx := i % len(fleet) // coalescing is per instance: a burst targets one gateway
+			switch i % 4 {
+			case 0, 1:
+				// Full-search tunes (no budget cap) with a per-burst
+				// seed and input size: the fresh input size misses the
+				// What-If cache, so every burst is one genuine
+				// evaluation wide enough for its duplicates to land
+				// inside it.
+				body := map[string]any{
+					"job_id":      seeded.StoredProfileID,
+					"seed":        i + 1,
+					"input_bytes": int64(1)<<30 + int64(i)<<20,
+					// A parallel search yields the scheduler at its channel
+					// ops, so duplicate requests can attach to the flight
+					// even on a single-CPU host. Workers are excluded from
+					// the coalescing key (recommendations are bit-identical
+					// at any width).
+					"workers": 4,
+				}
+				// Start gate: spawn the whole burst first, then release it
+				// at once, so the duplicates overlap the leader's flight
+				// instead of trickling in behind goroutine-launch skew.
+				start := make(chan struct{})
+				for b := 0; b < tuneBurst; b++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						<-start
+						a.sent.Add(1)
+						do(gwIdx, http.MethodPost, "/g/tune", "tenant-a", body, a)
+					}()
+				}
+				close(start)
+			case 2:
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					a.sent.Add(1)
+					do(gwIdx, http.MethodPost, "/g/match", "tenant-a", matchBody, a)
+				}()
+				go func() {
+					defer wg.Done()
+					a.sent.Add(1)
+					do(gwIdx, http.MethodPost, "/g/whatif", "tenant-a", whatifBody, a)
+				}()
+			default:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					a.sent.Add(1)
+					do(gwIdx, http.MethodGet, "/g/profiles", "tenant-a", nil, a)
+				}()
+			}
+			if withNoisy {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					noisy.sent.Add(1)
+					do(gwIdx+1, http.MethodGet, "/g/profiles", "noisy", nil, noisy)
+				}()
+			}
+			i++
+		}
+		wg.Wait()
+	}
+
+	var steadyA, steadyNoisy, overA, overNoisy serveCounts
+	base := snapFleet()
+	runPhase(opt.Steady, false, &steadyA, &steadyNoisy)
+	afterSteady := snapFleet()
+	runPhase(opt.Overload, true, &overA, &overNoisy)
+	afterOver := snapFleet()
+
+	latKey := `gateway_request_latency_ms{endpoint="tune",tenant="tenant-a"}`
+	steadyLat := afterSteady.Histograms[latKey].Sub(base.Histograms[latKey])
+	overLat := afterOver.Histograms[latKey].Sub(afterSteady.Histograms[latKey])
+
+	coalesceHits := afterOver.Counters["gateway_coalesce_hits_total"]
+	coalesceLeaders := afterOver.Counters["gateway_coalesce_leaders_total"]
+	hitRate := 0.0
+	if total := coalesceHits + coalesceLeaders; total > 0 {
+		hitRate = float64(coalesceHits) / float64(total)
+	}
+
+	ms := func(v float64) string { return fmt.Sprintf("%.2f", v) }
+	cnt := func(v int64) string { return fmt.Sprintf("%d", v) }
+	t := &Table{
+		ID:    "serve",
+		Title: "Serving tier: fleet of gateways, open-loop mixed traffic, quota shedding",
+		Columns: []string{"phase", "tenant", "sent", "ok", "shed_429", "other",
+			"p50_ms", "p99_ms", "p999_ms"},
+		Rows: [][]string{
+			{"steady", "tenant-a", cnt(steadyA.sent.Load()), cnt(steadyA.ok.Load()), cnt(steadyA.shed.Load()), cnt(steadyA.other.Load()),
+				ms(steadyLat.Quantile(0.50)), ms(steadyLat.Quantile(0.99)), ms(steadyLat.Quantile(0.999))},
+			{"overload", "tenant-a", cnt(overA.sent.Load()), cnt(overA.ok.Load()), cnt(overA.shed.Load()), cnt(overA.other.Load()),
+				ms(overLat.Quantile(0.50)), ms(overLat.Quantile(0.99)), ms(overLat.Quantile(0.999))},
+			{"overload", "noisy", cnt(overNoisy.sent.Load()), cnt(overNoisy.ok.Load()), cnt(overNoisy.shed.Load()), cnt(overNoisy.other.Load()),
+				"-", "-", "-"},
+		},
+		Notes: []string{
+			fmt.Sprintf("%d gateways over one 3-server dstore cluster; open-loop at %.0f req/s per schedule", opt.Gateways, opt.QPS),
+			fmt.Sprintf("coalesce leaders=%d hits=%d (hit-rate %.2f): identical in-flight requests share one evaluation", coalesceLeaders, coalesceHits, hitRate),
+			"latency percentiles are server-side, from the gateways' own obs histograms (per-phase snapshot deltas)",
+			fmt.Sprintf("noisy tenant quota: %.0f req/s, priority 0; tenant-a: unlimited, priority 1", tenants["noisy"].RatePerSec),
+		},
+	}
+
+	e.RecordMetrics("serve/steady", afterSteady)
+	e.RecordMetrics("serve/final", afterOver)
+
+	// The bench is self-checking: these are the serving tier's load
+	// contracts, and CI runs this experiment as a smoke test.
+	if coalesceHits == 0 {
+		return []*Table{t}, fmt.Errorf("bench serve: no coalesce hits — duplicate in-flight requests are not sharing evaluations")
+	}
+	if steadyA.shed.Load() != 0 || overA.shed.Load() != 0 {
+		return []*Table{t}, fmt.Errorf("bench serve: in-quota tenant was shed (%d steady, %d overload 429s)",
+			steadyA.shed.Load(), overA.shed.Load())
+	}
+	if overNoisy.shed.Load() == 0 {
+		return []*Table{t}, fmt.Errorf("bench serve: noisy tenant was never shed under overload")
+	}
+	if p99 := overLat.Quantile(0.99); p99 > 5000 {
+		return []*Table{t}, fmt.Errorf("bench serve: in-quota tenant p99 %.0fms under overload — tail latency unbounded", p99)
+	}
+	return []*Table{t}, nil
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -18,17 +19,80 @@ import (
 // one table, one column family, feature type as the row-key prefix.
 const TableName = "pstorm"
 
-// Row-key helpers. The data model of Table 5.1 keys rows as
+// Row-key layout. The data model of Table 5.1 keys rows as
 // "<FeatureType>/<JobID>" so rows of one feature type are contiguous —
 // the locality argument of §5.1/§5.2. Bounds rows use a "!" prefix so
 // they sort before (and never mix with) profile rows of the same type.
-func featureRowKey(ftype, jobID string) string { return ftype + "/" + jobID }
-func boundsRowKey(ftype string) string         { return "!bounds/" + ftype }
+//
+// Tenant-namespaced stores insert the tenant between the feature type
+// and the job ID: "<FeatureType>/<tenant>!<JobID>". The "!" separator
+// (0x21) sorts below every character a tenant ID may contain, so one
+// tenant's rows form a contiguous range under each feature type —
+// scans stay prefix-bounded per tenant — and no tenant's range can
+// contain another's ("a" and "ab" cannot collide). Normalization
+// bounds are namespaced the same way: each tenant sees only its own
+// feature population.
+
+// tenantSep separates the tenant namespace from the job ID in row
+// keys; tenantSepEnd is the next byte, bounding a tenant's scan range.
+const (
+	tenantSep    = "!"
+	tenantSepEnd = "\""
+)
+
+// ValidateTenant checks a tenant ID for use as a key namespace:
+// nonempty, at most 64 bytes, and only lowercase alphanumerics plus
+// "-", "_", and "." — every allowed byte sorts above the "!" separator,
+// which the prefix-isolation argument above depends on.
+func ValidateTenant(tenant string) error {
+	if tenant == "" {
+		return fmt.Errorf("core: empty tenant id")
+	}
+	if len(tenant) > 64 {
+		return fmt.Errorf("core: tenant id longer than 64 bytes")
+	}
+	for i := 0; i < len(tenant); i++ {
+		c := tenant[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("core: tenant id %q: byte %q not in [a-z0-9._-]", tenant, c)
+		}
+	}
+	return nil
+}
+
+func (s *Store) featureRowKey(ftype, jobID string) string {
+	if s.ns == "" {
+		return ftype + "/" + jobID
+	}
+	return ftype + "/" + s.ns + tenantSep + jobID
+}
+
+func (s *Store) boundsRowKey(ftype string) string {
+	if s.ns == "" {
+		return "!bounds/" + ftype
+	}
+	return "!bounds/" + s.ns + tenantSep + ftype
+}
+
+// featureRange returns the scan bounds covering exactly this store's
+// rows of one feature type.
+func (s *Store) featureRange(ftype string) (start, end string) {
+	if s.ns == "" {
+		return ftype + "/", ftype + "0" // '0' is the byte after '/'
+	}
+	return ftype + "/" + s.ns + tenantSep, ftype + "/" + s.ns + tenantSepEnd
+}
 
 const (
 	ftMeta        = "meta"
 	profileColumn = "profile"
 )
+
+// ErrNotFound marks a lookup of a profile that is not in the store —
+// callers (the HTTP serving tier) translate it to 404 rather than 500.
+var ErrNotFound = errors.New("not found")
 
 // KV is the column-store surface the profile store needs. Both
 // *hstore.Client (single server) and *dstore.Client (sharded,
@@ -54,6 +118,12 @@ type multiGetKV interface {
 type Store struct {
 	client KV
 
+	// ns is the tenant namespace ("" = the shared, single-tenant store).
+	// Namespaced stores share one table and one KV client; the namespace
+	// is woven into every row key, so two stores with different ns values
+	// can never read or clobber each other's rows.
+	ns string
+
 	// mu serializes bounds maintenance (read-modify-write).
 	mu sync.Mutex
 }
@@ -69,6 +139,27 @@ func NewStore(client KV) (*Store, error) {
 	}
 	return &Store{client: client}, nil
 }
+
+// NewTenantStore opens the profile store scoped to one tenant's
+// namespace: every row the store reads or writes carries the tenant in
+// its key, so tenants sharing a cluster are fully isolated — profiles,
+// scans, and normalization bounds alike. The gateway serving tier opens
+// one per tenant at the core.Store boundary.
+func NewTenantStore(client KV, tenant string) (*Store, error) {
+	if err := ValidateTenant(tenant); err != nil {
+		return nil, err
+	}
+	st, err := NewStore(client)
+	if err != nil {
+		return nil, err
+	}
+	st.ns = tenant
+	return st, nil
+}
+
+// Tenant returns the store's tenant namespace ("" for the shared
+// store).
+func (s *Store) Tenant() string { return s.ns }
 
 func fmtFloat(v float64) []byte {
 	return []byte(strconv.FormatFloat(v, 'g', -1, 64))
@@ -86,13 +177,13 @@ func (s *Store) PutProfile(p *profile.Profile) error {
 		return err
 	}
 	rows := []hstore.Row{
-		dynRow(matcher.FTDynMap, p.JobID, p.Map.DataFlow, profile.MapDataFlowFeatures, p.InputBytes),
-		dynRow(matcher.FTDynRed, p.JobID, p.Reduce.DataFlow, profile.ReduceDataFlowFeatures, p.InputBytes),
-		statRow(matcher.FTStatMap, p.JobID, p.Map.StaticCategorical, p.Map.StaticCFG, p.Map.StaticCallSig, p.Params),
-		statRow(matcher.FTStatRed, p.JobID, p.Reduce.StaticCategorical, p.Reduce.StaticCFG, p.Reduce.StaticCallSig, p.Params),
-		costRow(matcher.FTCostMap, p.JobID, p.Map.CostFactors, profile.MapCostFeatures),
-		costRow(matcher.FTCostRed, p.JobID, p.Reduce.CostFactors, profile.ReduceCostFeatures),
-		{Key: featureRowKey(ftMeta, p.JobID), Columns: map[string][]byte{profileColumn: raw}},
+		dynRow(s.featureRowKey(matcher.FTDynMap, p.JobID), p.Map.DataFlow, profile.MapDataFlowFeatures, p.InputBytes),
+		dynRow(s.featureRowKey(matcher.FTDynRed, p.JobID), p.Reduce.DataFlow, profile.ReduceDataFlowFeatures, p.InputBytes),
+		statRow(s.featureRowKey(matcher.FTStatMap, p.JobID), p.Map.StaticCategorical, p.Map.StaticCFG, p.Map.StaticCallSig, p.Params),
+		statRow(s.featureRowKey(matcher.FTStatRed, p.JobID), p.Reduce.StaticCategorical, p.Reduce.StaticCFG, p.Reduce.StaticCallSig, p.Params),
+		costRow(s.featureRowKey(matcher.FTCostMap, p.JobID), p.Map.CostFactors, profile.MapCostFeatures),
+		costRow(s.featureRowKey(matcher.FTCostRed, p.JobID), p.Reduce.CostFactors, profile.ReduceCostFeatures),
+		{Key: s.featureRowKey(ftMeta, p.JobID), Columns: map[string][]byte{profileColumn: raw}},
 	}
 	for _, r := range rows {
 		if err := s.client.PutRow(TableName, r); err != nil {
@@ -118,16 +209,16 @@ func (s *Store) PutProfile(p *profile.Profile) error {
 	return nil
 }
 
-func dynRow(ftype, jobID string, values map[string]float64, features []string, inputBytes int64) hstore.Row {
+func dynRow(key string, values map[string]float64, features []string, inputBytes int64) hstore.Row {
 	cols := make(map[string][]byte, len(features)+1)
 	for _, f := range features {
 		cols[f] = fmtFloat(values[f])
 	}
 	cols[matcher.InputBytesColumn] = []byte(strconv.FormatInt(inputBytes, 10))
-	return hstore.Row{Key: featureRowKey(ftype, jobID), Columns: cols}
+	return hstore.Row{Key: key, Columns: cols}
 }
 
-func statRow(ftype, jobID string, cat map[string]string, cfg, callSig string, params map[string]string) hstore.Row {
+func statRow(key string, cat map[string]string, cfg, callSig string, params map[string]string) hstore.Row {
 	cols := make(map[string][]byte, len(cat)+len(params)+2)
 	for k, v := range cat {
 		cols[k] = []byte(v)
@@ -141,21 +232,21 @@ func statRow(ftype, jobID string, cat map[string]string, cfg, callSig string, pa
 	for k, v := range params {
 		cols[matcher.ParamColumnPrefix+k] = []byte(v)
 	}
-	return hstore.Row{Key: featureRowKey(ftype, jobID), Columns: cols}
+	return hstore.Row{Key: key, Columns: cols}
 }
 
-func costRow(ftype, jobID string, values map[string]float64, features []string) hstore.Row {
+func costRow(key string, values map[string]float64, features []string) hstore.Row {
 	cols := make(map[string][]byte, len(features))
 	for _, f := range features {
 		cols[f] = fmtFloat(values[f])
 	}
-	return hstore.Row{Key: featureRowKey(ftype, jobID), Columns: cols}
+	return hstore.Row{Key: key, Columns: cols}
 }
 
 func (s *Store) updateBounds(ftype string, features []string, values map[string]float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	row, ok, err := s.client.Get(TableName, boundsRowKey(ftype))
+	row, ok, err := s.client.Get(TableName, s.boundsRowKey(ftype))
 	if err != nil {
 		return err
 	}
@@ -187,7 +278,7 @@ func (s *Store) updateBounds(ftype string, features []string, values map[string]
 		}
 	}
 	for c, v := range changed {
-		if err := s.client.Put(TableName, boundsRowKey(ftype), c, v); err != nil {
+		if err := s.client.Put(TableName, s.boundsRowKey(ftype), c, v); err != nil {
 			return err
 		}
 	}
@@ -197,8 +288,7 @@ func (s *Store) updateBounds(ftype string, features []string, values map[string]
 // ScanFeatures implements matcher.Store: a prefix scan over one feature
 // type with the filter pushed down to the region server.
 func (s *Store) ScanFeatures(ftype string, f hstore.Filter) ([]matcher.Entry, error) {
-	start := ftype + "/"
-	end := ftype + "0" // '0' is the byte after '/'
+	start, end := s.featureRange(ftype)
 	rows, err := s.client.Scan(TableName, start, end, f, 0)
 	if err != nil {
 		return nil, err
@@ -212,7 +302,7 @@ func (s *Store) ScanFeatures(ftype string, f hstore.Filter) ([]matcher.Entry, er
 
 // GetFeatures implements matcher.Store.
 func (s *Store) GetFeatures(ftype, jobID string) (hstore.Row, bool, error) {
-	return s.client.Get(TableName, featureRowKey(ftype, jobID))
+	return s.client.Get(TableName, s.featureRowKey(ftype, jobID))
 }
 
 // MultiGetFeatures implements matcher.MultiGetStore: one feature row per
@@ -223,7 +313,7 @@ func (s *Store) MultiGetFeatures(ftype string, jobIDs []string) (map[string]hsto
 	if mg, ok := s.client.(multiGetKV); ok {
 		keys := make([]string, len(jobIDs))
 		for i, id := range jobIDs {
-			keys[i] = featureRowKey(ftype, id)
+			keys[i] = s.featureRowKey(ftype, id)
 		}
 		rows, found, err := mg.MultiGet(TableName, keys)
 		if err != nil {
@@ -237,7 +327,7 @@ func (s *Store) MultiGetFeatures(ftype string, jobIDs []string) (map[string]hsto
 		return out, nil
 	}
 	for _, id := range jobIDs {
-		row, ok, err := s.client.Get(TableName, featureRowKey(ftype, id))
+		row, ok, err := s.client.Get(TableName, s.featureRowKey(ftype, id))
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +340,7 @@ func (s *Store) MultiGetFeatures(ftype string, jobIDs []string) (map[string]hsto
 
 // Bounds implements matcher.Store.
 func (s *Store) Bounds(ftype string, features []string) ([]float64, []float64, error) {
-	row, ok, err := s.client.Get(TableName, boundsRowKey(ftype))
+	row, ok, err := s.client.Get(TableName, s.boundsRowKey(ftype))
 	minB := make([]float64, len(features))
 	maxB := make([]float64, len(features))
 	if err != nil || !ok {
@@ -269,12 +359,12 @@ func (s *Store) Bounds(ftype string, features []string) ([]float64, []float64, e
 
 // LoadProfile implements matcher.Store.
 func (s *Store) LoadProfile(jobID string) (*profile.Profile, error) {
-	row, ok, err := s.client.Get(TableName, featureRowKey(ftMeta, jobID))
+	row, ok, err := s.client.Get(TableName, s.featureRowKey(ftMeta, jobID))
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("core: no stored profile for job %s", jobID)
+		return nil, fmt.Errorf("core: no stored profile for job %s: %w", jobID, ErrNotFound)
 	}
 	return profile.Decode(row.Columns[profileColumn])
 }
@@ -289,22 +379,24 @@ func (s *Store) DeleteProfile(jobID string) error {
 		matcher.FTDynMap, matcher.FTDynRed, matcher.FTStatMap,
 		matcher.FTStatRed, matcher.FTCostMap, matcher.FTCostRed, ftMeta,
 	} {
-		if err := s.client.DeleteRow(TableName, featureRowKey(ft, jobID)); err != nil {
+		if err := s.client.DeleteRow(TableName, s.featureRowKey(ft, jobID)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// JobIDs lists every stored profile's job ID.
+// JobIDs lists every stored profile's job ID (within the store's
+// namespace).
 func (s *Store) JobIDs() ([]string, error) {
-	rows, err := s.client.Scan(TableName, ftMeta+"/", ftMeta+"0", nil, 0)
+	start, end := s.featureRange(ftMeta)
+	rows, err := s.client.Scan(TableName, start, end, nil, 0)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]string, 0, len(rows))
 	for _, r := range rows {
-		out = append(out, r.Key[len(ftMeta)+1:])
+		out = append(out, r.Key[len(start):])
 	}
 	return out, nil
 }

@@ -73,6 +73,10 @@ type TuneOptions struct {
 	// aborts with context.DeadlineExceeded (0: no deadline beyond the
 	// caller's context).
 	Deadline time.Duration
+	// Seed overrides the optimizer's search seed for this tune (0: the
+	// system's CBO seed). The recommendation is a deterministic
+	// function of (profile, input size, cluster, seed, budget).
+	Seed int64
 }
 
 // ProfileHasCombiner derives combiner presence from a profile's static
@@ -100,6 +104,9 @@ func (s *System) tune(ctx context.Context, prof *profile.Profile, inputBytes int
 	}
 	if opt.Budget > 0 {
 		copts.MaxEvaluations = opt.Budget
+	}
+	if opt.Seed != 0 {
+		copts.Seed = opt.Seed
 	}
 	if copts.Evaluator == nil {
 		copts.Evaluator = s.Evaluator

@@ -245,6 +245,31 @@ func (c *Client) BreakerState(id string) int {
 	return b.state
 }
 
+// AnyBreakerOpen reports whether any server's circuit breaker is
+// currently open — the client-side signal that some slice of the store
+// is rejecting traffic. Serving tiers use it to enter degraded-mode
+// load shedding before op budgets start blowing.
+func (c *Client) AnyBreakerOpen() bool {
+	if c.BreakerThreshold < 0 {
+		return false
+	}
+	c.breakersMu.Lock()
+	breakers := make([]*breaker, 0, len(c.breakers))
+	for _, b := range c.breakers {
+		breakers = append(breakers, b)
+	}
+	c.breakersMu.Unlock()
+	for _, b := range breakers {
+		b.mu.Lock()
+		open := b.state == breakerOpen
+		b.mu.Unlock()
+		if open {
+			return true
+		}
+	}
+	return false
+}
+
 // do runs one call against the named server through its circuit
 // breaker: an open breaker rejects the call locally (errBreakerOpen,
 // retryable) and every admitted call's outcome trains the breaker.

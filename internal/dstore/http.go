@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pstorm/internal/hstore"
+	"pstorm/internal/httperr"
 )
 
 func queryEscape(s string) string { return url.QueryEscape(s) }
@@ -89,14 +90,14 @@ type followersWire struct {
 }
 
 func writeHTTPErr(w http.ResponseWriter, err error) {
-	code := http.StatusBadRequest
+	status, code := http.StatusBadRequest, httperr.CodeBadRequest
 	switch {
 	case hstore.IsNotServing(err):
-		code = http.StatusConflict
+		status, code = http.StatusConflict, httperr.CodeNotServing
 	case retryable(err):
-		code = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, httperr.CodeUnavailable
 	}
-	http.Error(w, err.Error(), code)
+	httperr.Write(w, status, code, err.Error(), false)
 }
 
 func writeJSONBody(w http.ResponseWriter, v interface{}) {
@@ -340,6 +341,12 @@ func (h *httpJSON) call(path string, body interface{}, out interface{}) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", errTransport, err)
 	}
+	// Error bodies are the shared JSON envelope; bare text (an old peer,
+	// a proxy) still round-trips as the message.
+	msg := string(bytes.TrimSpace(payload))
+	if e, ok := httperr.Parse(payload); ok {
+		msg = e.Message
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 		if out != nil {
@@ -347,11 +354,11 @@ func (h *httpJSON) call(path string, body interface{}, out interface{}) error {
 		}
 		return nil
 	case http.StatusConflict:
-		return &hstore.NotServingError{Table: "remote", Row: string(bytes.TrimSpace(payload))}
+		return &hstore.NotServingError{Table: "remote", Row: msg}
 	case http.StatusServiceUnavailable:
-		return fmt.Errorf("%w: %s", errStopped, bytes.TrimSpace(payload))
+		return fmt.Errorf("%w: %s", errStopped, msg)
 	default:
-		return fmt.Errorf("dstore: %s: %s", path, bytes.TrimSpace(payload))
+		return fmt.Errorf("dstore: %s: %s", path, msg)
 	}
 }
 

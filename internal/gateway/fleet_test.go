@@ -1,0 +1,119 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pstorm/internal/cluster"
+	"pstorm/internal/dstore"
+	"pstorm/internal/engine"
+)
+
+// TestFleetTwoGatewaysOneCluster is the fleet-mode topology: two
+// stateless gateway instances, each with its own routing client, serve
+// one shared dstore cluster over loopback HTTP. A profile submitted
+// through one gateway is tunable through the other (gateways hold no
+// durable state), and tenant isolation holds across instances.
+func TestFleetTwoGatewaysOneCluster(t *testing.T) {
+	c, err := dstore.StartLocalCluster(dstore.LocalOptions{Servers: 3, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	mc := dstore.ConnectMaster(c.Master)
+	fleet := make([]*httptest.Server, 2)
+	for i := range fleet {
+		// Each instance gets its own client (its own breakers, caches,
+		// retries) — exactly what distinct pstormd -role gateway
+		// processes would hold.
+		kv := dstore.NewClient(mc, c.Reg)
+		gw, err := New(Options{
+			KV:         kv,
+			Engine:     engine.New(cluster.Default16(), int64(20+i)),
+			Seed:       9,
+			DegradedFn: kv.AnyBreakerOpen,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet[i] = httptest.NewServer(gw.Handler())
+		defer fleet[i].Close()
+	}
+
+	// Submit through gateway 0: the profile lands in the shared store
+	// under tenant acme.
+	status, raw, _ := doReq(t, http.MethodPost, fleet[0].URL+"/g/submit", "acme",
+		SubmitRequest{Job: "wordcount", Dataset: "randomtext-1g"})
+	if status != http.StatusOK {
+		t.Fatalf("submit via gw0: status %d: %s", status, raw)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if !sub.ProfileStored {
+		t.Fatalf("submit did not store a profile: %+v", sub)
+	}
+
+	// Tune through gateway 1: a different instance, no shared memory —
+	// only the cluster connects them.
+	status, raw, _ = doReq(t, http.MethodPost, fleet[1].URL+"/g/tune", "acme",
+		TuneRequest{JobID: sub.StoredProfileID, Budget: 6})
+	if status != http.StatusOK {
+		t.Fatalf("tune via gw1: status %d: %s", status, raw)
+	}
+	var rec TuneResponse
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.PredictedMs <= 0 || rec.PredictedMs > rec.DefaultMs {
+		t.Errorf("gw1 recommendation predicted %v vs default %v", rec.PredictedMs, rec.DefaultMs)
+	}
+
+	// Both instances agree: the same tune through gateway 0 is
+	// bit-identical (deterministic optimizer over the same profile).
+	status, raw, _ = doReq(t, http.MethodPost, fleet[0].URL+"/g/tune", "acme",
+		TuneRequest{JobID: sub.StoredProfileID, Budget: 6})
+	if status != http.StatusOK {
+		t.Fatalf("tune via gw0: status %d: %s", status, raw)
+	}
+	var rec0 TuneResponse
+	if err := json.Unmarshal(raw, &rec0); err != nil {
+		t.Fatal(err)
+	}
+	if rec0.Config != rec.Config || rec0.PredictedMs != rec.PredictedMs {
+		t.Error("the two gateway instances produced different recommendations for the same request")
+	}
+
+	// Tenant isolation holds across instances: globex on gateway 1
+	// cannot see acme's profile, and its listing is empty.
+	status, _, _ = doReq(t, http.MethodPost, fleet[1].URL+"/g/tune", "globex",
+		TuneRequest{JobID: sub.StoredProfileID, Budget: 6})
+	if status != http.StatusNotFound {
+		t.Fatalf("cross-tenant tune via gw1: status %d, want 404", status)
+	}
+	var pr ProfilesResponse
+	status, raw, _ = doReq(t, http.MethodGet, fleet[1].URL+"/g/profiles", "acme", nil)
+	if status != http.StatusOK {
+		t.Fatalf("profiles via gw1: status %d", status)
+	}
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.JobIDs) != 1 || pr.JobIDs[0] != sub.StoredProfileID {
+		t.Errorf("acme profiles via gw1 = %v, want [%s]", pr.JobIDs, sub.StoredProfileID)
+	}
+	status, raw, _ = doReq(t, http.MethodGet, fleet[1].URL+"/g/profiles", "globex", nil)
+	if status != http.StatusOK {
+		t.Fatalf("globex profiles via gw1: status %d", status)
+	}
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.JobIDs) != 0 {
+		t.Errorf("globex profiles via gw1 = %v, want empty", pr.JobIDs)
+	}
+}

@@ -1,0 +1,78 @@
+// Package httperr is the JSON error envelope every HTTP surface of the
+// repo speaks: the pstormd /tune endpoint, the dstore /d/* wire
+// protocol, and the gateway serving tier. One shape everywhere means a
+// client can always distinguish "the store is degraded but answering"
+// from "your request is malformed" without parsing prose, and a shed
+// request always carries a machine-readable code plus Retry-After.
+//
+// The envelope is:
+//
+//	{"error": {"code": "deadline", "message": "...", "degraded": false}}
+//
+// Codes are stable lowercase_snake identifiers, not HTTP reasons: the
+// HTTP status says what the transport should do (retry, back off, give
+// up); the code says what actually happened.
+package httperr
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Stable error codes.
+const (
+	CodeBadRequest   = "bad_request"   // malformed or unresolvable request
+	CodeNotFound     = "not_found"     // named profile/job/dataset does not exist
+	CodeDeadline     = "deadline"      // the request's deadline elapsed mid-work
+	CodeCanceled     = "canceled"      // the caller went away
+	CodeUnavailable  = "unavailable"   // the store (or a dependency) is down
+	CodeNotServing   = "not_serving"   // region moved or fenced; re-route and retry
+	CodeRateLimited  = "rate_limited"  // tenant over its token-bucket quota
+	CodeOverCapacity = "over_capacity" // concurrency ceiling hit (tenant or global)
+	CodeShedDegraded = "shed_degraded" // load-shed: store degraded, tenant priority too low
+	CodeInternal     = "internal"      // everything else
+)
+
+// Error is the envelope body.
+type Error struct {
+	Code     string `json:"code"`
+	Message  string `json:"message"`
+	Degraded bool   `json:"degraded,omitempty"`
+}
+
+// Envelope is the wire shape: the error nested under one key so a
+// success body can never be mistaken for a failure.
+type Envelope struct {
+	Error Error `json:"error"`
+}
+
+// Write sends the envelope with the given HTTP status.
+func Write(w http.ResponseWriter, status int, code, message string, degraded bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(Envelope{Error: Error{Code: code, Message: message, Degraded: degraded}})
+}
+
+// WriteRetryAfter is Write plus a Retry-After header (rounded up to
+// whole seconds, minimum 1) — the shape of every 429 the gateway sheds.
+func WriteRetryAfter(w http.ResponseWriter, status int, code, message string, degraded bool, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	Write(w, status, code, message, degraded)
+}
+
+// Parse decodes an envelope from a response body. ok is false when the
+// body is not an envelope (legacy plain-text error or foreign JSON) —
+// callers fall back to the raw text then.
+func Parse(body []byte) (Error, bool) {
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+		return Error{}, false
+	}
+	return env.Error, true
+}
