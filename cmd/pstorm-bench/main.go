@@ -42,7 +42,16 @@ func main() {
 	serveSteady := flag.Duration("serve-steady", 2*time.Second, "with -serve: steady (in-quota) phase duration")
 	serveOverload := flag.Duration("serve-overload", 1500*time.Millisecond, "with -serve: noisy-tenant overload phase duration")
 	serveGateways := flag.Int("serve-gateways", 2, "with -serve: gateway instances sharing the one cluster")
+	scaleCheck := flag.Bool("dstore-scale-check", false, "run the dstore-scale experiment, write BENCH_dstore-scale.json, and fail unless scan throughput is monotonic 1→2 servers and blocks compress > 1.5x")
 	flag.Parse()
+
+	if *scaleCheck {
+		if err := runDStoreScaleCheck(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "pstorm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serveMode {
 		if err := runServeBench(*seed, *serveQPS, *serveSteady, *serveOverload, *serveGateways); err != nil {
@@ -172,6 +181,89 @@ func runServeBench(seed int64, qps float64, steady, overload time.Duration, gate
 		return err
 	}
 	fmt.Println("(wrote BENCH_serve.json)")
+	return nil
+}
+
+// runDStoreScaleCheck is the CI gate on the scan-scaling regression:
+// it runs the dstore-scale experiment, writes BENCH_dstore-scale.json,
+// and fails when adding a second server makes full-table scans slower
+// than one server, or when PST4 block compression falls to 1.5x or
+// below on the profile-vector workload.
+func runDStoreScaleCheck(seed int64) error {
+	env := bench.NewEnv(seed)
+	r, ok := bench.Lookup("dstore-scale")
+	if !ok {
+		return fmt.Errorf("dstore-scale experiment not registered")
+	}
+	tables, err := r.Run(env)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+	if err := writeJSON("BENCH_dstore-scale.json", seed, r, tables, nil); err != nil {
+		return err
+	}
+	fmt.Println("(wrote BENCH_dstore-scale.json)")
+
+	t := tables[0]
+	col := func(name string) (int, error) {
+		for i, c := range t.Columns {
+			if c == name {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("dstore-scale table has no %q column", name)
+	}
+	cell := func(row []string, name string) (float64, error) {
+		i, err := col(name)
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("dstore-scale %s = %q: %w", name, row[i], err)
+		}
+		return v, nil
+	}
+	byServers := map[int][]string{}
+	for _, row := range t.Rows {
+		n, err := cell(row, "servers")
+		if err != nil {
+			return err
+		}
+		byServers[int(n)] = row
+	}
+	if byServers[1] == nil || byServers[2] == nil {
+		return fmt.Errorf("dstore-scale table missing the 1- or 2-server row")
+	}
+	scan1, err := cell(byServers[1], "scanrows/s")
+	if err != nil {
+		return err
+	}
+	scan2, err := cell(byServers[2], "scanrows/s")
+	if err != nil {
+		return err
+	}
+	// Both configurations run in one process and share the machine's
+	// cores, so their scan rates are near-equal by design once the
+	// fan-out is parallel; a 10% floor keeps scheduler noise from
+	// flapping the gate while still catching the sequential-visit
+	// regression class (which cost ~27% going 1→2 servers).
+	if scan2 < 0.9*scan1 {
+		return fmt.Errorf("scan scaling regressed: %.0f scanrows/s @ 2 servers < %.0f @ 1 server", scan2, scan1)
+	}
+	for n, row := range byServers {
+		ratio, err := cell(row, "compress")
+		if err != nil {
+			return err
+		}
+		if ratio <= 1.5 {
+			return fmt.Errorf("block compression ratio %.2f @ %d servers, want > 1.5 on profile-vector rows", ratio, n)
+		}
+	}
+	fmt.Printf("dstore-scale check passed: %.0f scanrows/s @ 1 server <= %.0f @ 2 servers, compression > 1.5x\n", scan1, scan2)
 	return nil
 }
 

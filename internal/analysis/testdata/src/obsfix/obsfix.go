@@ -29,6 +29,13 @@ func register(r *obs.Registry, shard string) {
 	r.Gauge("gateway_tenant_inflight", "tenant", shard)               // allowed
 	r.Histogram("gateway_request_latency_ms", nil, "endpoint", shard) // allowed
 
+	// The storage-engine metric family: constant names, one kind each.
+	r.Counter("compaction_tier_merges_total")        // allowed
+	r.Histogram("compaction_tier_segments", nil)     // allowed
+	r.Histogram("sstable_block_compress_ratio", nil) // allowed
+	r.Histogram("scan_parallel_fanout", nil)         // allowed
+	r.Counter("hedged_scans_total")                  // allowed
+
 	r.Counter("BadCamelCase")   // want `not lowercase_snake`
 	r.Gauge("trailing_dash-")   // want `not lowercase_snake`
 	r.Counter("dyn_" + shard)   // want `must be a compile-time string constant`

@@ -96,6 +96,13 @@ func (c *faultConn) Scan(table string, regionID int, start, end string, f hstore
 	return c.inner.Scan(table, regionID, start, end, f, limit)
 }
 
+func (c *faultConn) FollowerScan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	if err := c.gate("fscan"); err != nil {
+		return nil, err
+	}
+	return c.inner.FollowerScan(table, regionID, start, end, f, limit)
+}
+
 func (c *faultConn) DeleteRow(table, row string) error {
 	if err := c.gate("deleterow"); err != nil {
 		return err

@@ -55,14 +55,19 @@ type Client struct {
 	// BreakerCooldown is how long an open breaker rejects calls before
 	// half-opening to probe the server (default 100ms).
 	BreakerCooldown time.Duration
-	// HedgeDelay, when positive, arms hedged reads: a Get that has not
-	// heard from the primary after this delay fires a follower read and
-	// returns whichever answers first. Tune it to a tail quantile of
-	// the primary's latency so hedges fire only on stragglers (0 =
-	// off). Followers hold every acked write (replication is
-	// synchronous), so a hedged answer is as fresh as any
-	// non-linearizable read here.
+	// HedgeDelay, when positive, arms hedged reads: a Get or per-region
+	// Scan that has not heard from the primary after this delay fires a
+	// fence-bypassing follower read and returns whichever answers
+	// first. Tune it to a tail quantile of the primary's latency so
+	// hedges fire only on stragglers (0 = off). Followers hold every
+	// acked write (replication is synchronous), so a hedged answer is
+	// as fresh as any non-linearizable read here.
 	HedgeDelay time.Duration
+	// ScanParallelism bounds how many per-region scan RPCs one Scan
+	// fans out concurrently (default 4; 1 restores strictly sequential
+	// region visits). Results are merged in region-index order, so the
+	// answer is bit-identical at any parallelism.
+	ScanParallelism int
 	// Now is the clock used by op budgets and breakers; tests inject a
 	// seeded clock (defaults to the wall clock).
 	Now func() time.Time
@@ -82,6 +87,8 @@ type Client struct {
 	mRefreshes    *obs.Counter
 	mGiveUps      *obs.Counter
 	mHedged       *obs.Counter
+	mHedgedScans  *obs.Counter
+	hFanout       *obs.Histogram
 	hBackoffMs    *obs.Histogram
 	opCounters    map[string]*obs.Counter
 	opCountersMu  sync.Mutex
@@ -101,6 +108,8 @@ func NewClient(master MasterConn, reg *Registry) *Client {
 		mRefreshes:    o.Counter("dstore_client_meta_refresh_total"),
 		mGiveUps:      o.Counter("dstore_client_giveup_total"),
 		mHedged:       o.Counter("hedged_reads_total"),
+		mHedgedScans:  o.Counter("hedged_scans_total"),
+		hFanout:       o.Histogram("scan_parallel_fanout", []float64{1, 2, 4, 8, 16}),
 		hBackoffMs:    o.Histogram("dstore_client_backoff_ms", nil),
 		breakers:      make(map[string]*breaker),
 		opCounters:    make(map[string]*obs.Counter),
@@ -390,6 +399,70 @@ func (c *Client) withRetryCtx(ctx context.Context, opName string, op func() erro
 		if c.budgetSpent(deadline) {
 			c.mGiveUps.Inc()
 			return fmt.Errorf("%w: %s spent its %v budget: %w", ErrExhausted, opName, c.OpBudget, err)
+		}
+		if cerr := c.sleepBackoff(ctx, attempt); cerr != nil {
+			return fmt.Errorf("dstore: %s interrupted: %w", opName, cerr)
+		}
+	}
+	c.mGiveUps.Inc()
+	return fmt.Errorf("%w: giving up after %d attempts: %w", ErrExhausted, c.maxAttempts(), err)
+}
+
+// topoRestartCap bounds, in multiples of the attempt budget, how many
+// epoch-forgiven restarts withTopoRetry tolerates before giving up
+// anyway. It is a backstop against pathological epoch churn, not a
+// budget the normal path ever approaches.
+const topoRestartCap = 32
+
+// withTopoRetry is withRetryCtx for operations whose one attempt spans
+// many regions at once (the scan fan-out). Such an attempt needs the
+// whole keyspace healthy at a single instant, so under a steady stream
+// of rebalances it can lose the race against the next fence every time
+// and exhaust a per-attempt budget that a region-at-a-time visit would
+// have survived. The distinction that matters is *why* the attempt
+// failed: before each attempt op stores the META epoch it is about to
+// scan under in *epoch, and when the attempt fails retryably this loop
+// refetches META (blocking on the master until any in-flight move
+// commits) and compares. Epoch advanced — the restart is the designed
+// response to a concurrent topology change, so no attempt is consumed.
+// Epoch unchanged — the cluster is actually unhealthy and the failure
+// burns an attempt exactly as in withRetryCtx. Restart semantics are
+// untouched: every retryable failure still invalidates META, counts a
+// retry, and rebuilds the operation from scratch; only the exhaustion
+// accounting differs, with topoRestartCap bounding total iterations.
+func (c *Client) withTopoRetry(ctx context.Context, opName string, epoch *int64, op func() error) error {
+	c.countOp(opName)
+	refreshesBefore := c.mRefreshes.Value()
+	defer func() {
+		c.refreshPerOpH.Observe(float64(c.mRefreshes.Value() - refreshesBefore))
+	}()
+	deadline := c.budgetDeadline()
+	var err error
+	attempt := 0
+	for spin := 0; spin < topoRestartCap*c.maxAttempts(); spin++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("dstore: %s interrupted: %w", opName, cerr)
+		}
+		*epoch = 0
+		if err = op(); err == nil || !retryable(err) {
+			return err
+		}
+		seen := *epoch
+		c.mRetries.Inc()
+		c.invalidate()
+		if c.budgetSpent(deadline) {
+			c.mGiveUps.Inc()
+			return fmt.Errorf("%w: %s spent its %v budget: %w", ErrExhausted, opName, c.OpBudget, err)
+		}
+		moved := false
+		if m, merr := c.cachedMeta(); merr == nil && seen != 0 && m.Epoch > seen {
+			moved = true
+		}
+		if !moved {
+			attempt++
+			if attempt >= c.maxAttempts() {
+				break
+			}
 		}
 		if cerr := c.sleepBackoff(ctx, attempt); cerr != nil {
 			return fmt.Errorf("dstore: %s interrupted: %w", opName, cerr)
@@ -761,61 +834,222 @@ func (c *Client) DeleteRow(table, row string) error {
 	})
 }
 
+// scanParallelism is the bounded fan-out width of one Scan.
+func (c *Client) scanParallelism() int {
+	if c.ScanParallelism > 0 {
+		return c.ScanParallelism
+	}
+	return 4
+}
+
+// scanTask is one region's share of a table scan, with the scan range
+// clamped to the region's bounds.
+type scanTask struct {
+	g    RegionInfo
+	s, e string
+}
+
+// scanTasks computes the per-region tasks of [start, end) in key order.
+func (c *Client) scanTasks(m Meta, table, start, end string) ([]scanTask, error) {
+	regions, ok := m.Tables[table]
+	if !ok {
+		return nil, fmt.Errorf("dstore: table %q does not exist", table)
+	}
+	var tasks []scanTask
+	for _, g := range regions {
+		if end != "" && g.StartKey >= end {
+			break
+		}
+		if g.EndKey != "" && g.EndKey <= start {
+			continue
+		}
+		s, e := start, end
+		if s < g.StartKey {
+			s = g.StartKey
+		}
+		if g.EndKey != "" && (e == "" || e > g.EndKey) {
+			e = g.EndKey
+		}
+		tasks = append(tasks, scanTask{g: g, s: s, e: e})
+	}
+	return tasks, nil
+}
+
+// scanRegionOnce runs one region's scan RPC through the primary's
+// breaker, hedging against a follower when armed (see hedgedScan).
+func (c *Client) scanRegionOnce(m Meta, t scanTask, table string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	p, err := c.peerByID(m, t.g.Primary)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := c.reg.Resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if c.HedgeDelay <= 0 || len(t.g.Followers) == 0 {
+		var rows []hstore.Row
+		err := c.do(t.g.Primary, func() error {
+			var serr error
+			rows, serr = conn.Scan(table, t.g.ID, t.s, t.e, f, limit)
+			return serr
+		})
+		return rows, err
+	}
+	return c.hedgedScan(m, t, conn, table, f, limit)
+}
+
+// scanResult carries one region scan's answer over a channel.
+type scanResult struct {
+	rows []hstore.Row
+	err  error
+}
+
+// hedgedScan asks the region's primary, and if it has not answered
+// within HedgeDelay, fires a fence-bypassing FollowerScan at the first
+// follower and returns whichever succeeds first (preferring the
+// primary on a tie). Scans are read-only, so the hedge is safe; both
+// channels are buffered so the losing goroutine always exits.
+func (c *Client) hedgedScan(m Meta, t scanTask, primary ServerConn, table string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	prim := make(chan scanResult, 1)
+	go func() {
+		var rows []hstore.Row
+		err := c.do(t.g.Primary, func() error {
+			var serr error
+			rows, serr = primary.Scan(table, t.g.ID, t.s, t.e, f, limit)
+			return serr
+		})
+		prim <- scanResult{rows, err}
+	}()
+	tm := time.NewTimer(c.HedgeDelay)
+	defer tm.Stop()
+	select {
+	case pr := <-prim:
+		return pr.rows, pr.err
+	case <-tm.C:
+	}
+	fid := t.g.Followers[0]
+	fp, err := c.peerByID(m, fid)
+	if err != nil {
+		pr := <-prim
+		return pr.rows, pr.err
+	}
+	fconn, err := c.reg.Resolve(fp)
+	if err != nil {
+		pr := <-prim
+		return pr.rows, pr.err
+	}
+	c.mHedgedScans.Inc()
+	hed := make(chan scanResult, 1)
+	go func() {
+		var rows []hstore.Row
+		err := c.do(fid, func() error {
+			var serr error
+			rows, serr = fconn.FollowerScan(table, t.g.ID, t.s, t.e, f, limit)
+			return serr
+		})
+		hed <- scanResult{rows, err}
+	}()
+	select {
+	case pr := <-prim:
+		if pr.err == nil {
+			return pr.rows, nil
+		}
+		hr := <-hed
+		if hr.err == nil {
+			return hr.rows, nil
+		}
+		return pr.rows, pr.err
+	case hr := <-hed:
+		if hr.err == nil {
+			return hr.rows, nil
+		}
+		pr := <-prim
+		return pr.rows, pr.err
+	}
+}
+
 // Scan returns the rows of [start, end) matching the filter, fanning
-// out region by region in key order with the filter pushed down to each
-// primary. A stale route anywhere restarts the whole scan against fresh
-// META (partial fan-out results are discarded, never returned).
+// out to the owning regions with the filter pushed down to each one.
+// Up to ScanParallelism regions are scanned concurrently; results are
+// stitched back in region-index order, so the answer is bit-identical
+// to a sequential visit at any parallelism. Each parallel region
+// fetches up to the full limit (the key-ordered concatenation's prefix
+// is then exactly what a sequential scan with running limits would
+// return) and the merged result is truncated afterwards. A stale route
+// anywhere restarts the whole scan against fresh META (partial fan-out
+// results are discarded, never returned); restarts forced by a move
+// that committed mid-scan do not consume retry attempts (see
+// withTopoRetry), so a busy rebalancer cannot starve wide scans.
 func (c *Client) Scan(table, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	var out []hstore.Row
-	err := c.withRetry("scan", func() error {
-		out = out[:0]
+	var epoch int64
+	err := c.withTopoRetry(context.Background(), "scan", &epoch, func() error {
+		out = nil
 		m, err := c.cachedMeta()
 		if err != nil {
 			return err
 		}
-		regions, ok := m.Tables[table]
-		if !ok {
-			return fmt.Errorf("dstore: table %q does not exist", table)
+		epoch = m.Epoch
+		tasks, err := c.scanTasks(m, table, start, end)
+		if err != nil {
+			return err
 		}
-		for _, g := range regions {
-			if end != "" && g.StartKey >= end {
-				break
+		if len(tasks) == 0 {
+			return nil
+		}
+		c.hFanout.Observe(float64(len(tasks)))
+		par := c.scanParallelism()
+		if par > len(tasks) {
+			par = len(tasks)
+		}
+		if par <= 1 || len(tasks) == 1 {
+			// Sequential fast path: later regions see the remaining
+			// limit and the scan stops as soon as it is reached.
+			for _, t := range tasks {
+				rem := 0
+				if limit > 0 {
+					rem = limit - len(out)
+				}
+				rows, err := c.scanRegionOnce(m, t, table, f, rem)
+				if err != nil {
+					return err
+				}
+				out = append(out, rows...)
+				if limit > 0 && len(out) >= limit {
+					out = out[:limit]
+					break
+				}
 			}
-			if g.EndKey != "" && g.EndKey <= start {
-				continue
-			}
-			s, e := start, end
-			if s < g.StartKey {
-				s = g.StartKey
-			}
-			if g.EndKey != "" && (e == "" || e > g.EndKey) {
-				e = g.EndKey
-			}
-			p, err := c.peerByID(m, g.Primary)
+			return nil
+		}
+		results := make([][]hstore.Row, len(tasks))
+		errs := make([]error, len(tasks))
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for i, t := range tasks {
+			wg.Add(1)
+			go func(i int, t scanTask) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i], errs[i] = c.scanRegionOnce(m, t, table, f, limit)
+			}(i, t)
+		}
+		wg.Wait()
+		// Surface the first error in region order, deterministically.
+		for _, err := range errs {
 			if err != nil {
 				return err
 			}
-			conn, err := c.reg.Resolve(p)
-			if err != nil {
-				return err
-			}
-			rem := 0
-			if limit > 0 {
-				rem = limit - len(out)
-			}
-			var rows []hstore.Row
-			if err := c.do(g.Primary, func() error {
-				var serr error
-				rows, serr = conn.Scan(table, g.ID, s, e, f, rem)
-				return serr
-			}); err != nil {
-				return err
-			}
+		}
+		for _, rows := range results {
 			out = append(out, rows...)
 			if limit > 0 && len(out) >= limit {
-				out = out[:limit]
 				break
 			}
+		}
+		if limit > 0 && len(out) > limit {
+			out = out[:limit]
 		}
 		return nil
 	})

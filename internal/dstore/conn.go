@@ -21,6 +21,10 @@ type ServerConn interface {
 	FollowerGet(table, row string) (hstore.Row, bool, error)
 	BatchGet(table string, rows []string) ([]hstore.Row, []bool, error)
 	Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
+	// FollowerScan scans one region ignoring the serving fence — the
+	// hedged-scan path against follower replicas (read-only safe:
+	// synchronous replication keeps follower copies complete).
+	FollowerScan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
 	DeleteRow(table, row string) error
 	Flush(table string) error
 	Stats() (hstore.TransferStats, error)
@@ -141,6 +145,9 @@ func (c *directConn) BatchGet(table string, rows []string) ([]hstore.Row, []bool
 }
 func (c *directConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	return c.rs.Scan(table, regionID, start, end, f, limit)
+}
+func (c *directConn) FollowerScan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	return c.rs.FollowerScan(table, regionID, start, end, f, limit)
 }
 func (c *directConn) DeleteRow(table, row string) error { return c.rs.DeleteRow(table, row) }
 func (c *directConn) Flush(table string) error          { return c.rs.Flush(table) }

@@ -203,6 +203,27 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 		}
 		writeJSONBody(w, rowsToWire(rows))
 	})
+	mux.HandleFunc("/d/fscan", func(w http.ResponseWriter, r *http.Request) {
+		var req scanWire
+		if err := decodeBody(r, &req); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		var f hstore.Filter
+		if len(req.Filter) > 0 {
+			var err error
+			if f, err = hstore.DecodeFilter(req.Filter); err != nil {
+				writeHTTPErr(w, err)
+				return
+			}
+		}
+		rows, err := rs.FollowerScan(req.Table, req.Region, req.Start, req.End, f, req.Limit)
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, rowsToWire(rows))
+	})
 	mux.HandleFunc("/d/deleterow", func(w http.ResponseWriter, r *http.Request) {
 		ok(w, rs.DeleteRow(r.URL.Query().Get("table"), r.URL.Query().Get("row")))
 	})
@@ -428,6 +449,22 @@ func (c *httpServerConn) Scan(table string, regionID int, start, end string, f h
 	}
 	var ws []wireRow
 	if err := c.h.call("/d/scan", req, &ws); err != nil {
+		return nil, err
+	}
+	return rowsFromWire(ws), nil
+}
+
+func (c *httpServerConn) FollowerScan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	req := scanWire{Table: table, Region: regionID, Start: start, End: end, Limit: limit}
+	if f != nil {
+		wire, err := hstore.EncodeFilter(f)
+		if err != nil {
+			return nil, err
+		}
+		req.Filter = wire
+	}
+	var ws []wireRow
+	if err := c.h.call("/d/fscan", req, &ws); err != nil {
 		return nil, err
 	}
 	return rowsFromWire(ws), nil

@@ -362,6 +362,33 @@ func (rs *RegionServer) Scan(table string, regionID int, start, end string, f hs
 	return rows, nil
 }
 
+// FollowerScan reads [start, end) of one hosted region regardless of
+// the serving fence — the hedged-scan path. The region ID still pins
+// the route (a moved region fails NotServing rather than returning a
+// stale subset), and synchronous replication means the fenced copy
+// holds every acked write, so the rows are as fresh as the primary's.
+func (rs *RegionServer) FollowerScan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	if err := rs.check(); err != nil {
+		return nil, err
+	}
+	me, ok := rs.hs.LookupRegion(table, start)
+	if !ok || me.RegionID != regionID {
+		rs.cNotServing.Inc()
+		return nil, &hstore.NotServingError{Table: table, Row: start}
+	}
+	if start < me.StartKey {
+		start = me.StartKey
+	}
+	if me.EndKey != "" && (end == "" || end > me.EndKey) {
+		end = me.EndKey
+	}
+	rows, err := rs.hs.ScanAny(table, start, end, f, limit)
+	if err != nil {
+		return nil, rs.guard(table, start, err)
+	}
+	return rows, nil
+}
+
 // DeleteRow tombstones every column of a row, replicating the
 // tombstones so followers converge.
 func (rs *RegionServer) DeleteRow(table, row string) error {

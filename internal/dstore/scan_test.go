@@ -1,0 +1,202 @@
+package dstore
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"pstorm/internal/hstore"
+)
+
+// seedScanRows spreads rows across every region of the default split
+// layout and returns the table to a flushed state so scans exercise
+// the sstable block iterators, not just the memstore.
+func seedScanRows(t *testing.T, cl *Client) {
+	t.Helper()
+	for _, ftype := range []string{"costmap", "dyn", "meta", "stat"} {
+		for i := 0; i < 12; i++ {
+			row := fmt.Sprintf("%s/j%02d", ftype, i)
+			if err := cl.Put("t", row, "c", []byte(fmt.Sprintf("v-%d", i%4))); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Put("t", row, "d", []byte(fmt.Sprintf("aux-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := cl.Flush("t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanParallelMatchesSequential: the fan-out scan must be
+// bit-identical to the sequential region walk at any parallelism, for
+// any combination of range, limit, and filter.
+func TestScanParallelMatchesSequential(t *testing.T) {
+	c, _ := startCluster(t, 3, nil)
+	cl := c.Client()
+	seedScanRows(t, cl)
+
+	cases := []struct {
+		name       string
+		start, end string
+		f          hstore.Filter
+		limit      int
+	}{
+		{name: "full", start: "", end: ""},
+		{name: "range", start: "dyn", end: "statzz"},
+		{name: "limit_small", limit: 5},
+		{name: "limit_cross_region", limit: 17},
+		{name: "limit_over", limit: 1000},
+		{name: "prefix_filter", f: &hstore.PrefixFilter{Prefix: "meta/"}},
+		{name: "column_filter", f: &hstore.ColumnEqualsFilter{Column: "c", Value: "v-3"}},
+		{name: "filter_and_limit", f: &hstore.ColumnEqualsFilter{Column: "c", Value: "v-1"}, limit: 4},
+	}
+	for _, tc := range cases {
+		cl.ScanParallelism = 1
+		want, err := cl.Scan("t", tc.start, tc.end, tc.f, tc.limit)
+		if err != nil {
+			t.Fatalf("%s: sequential scan: %v", tc.name, err)
+		}
+		if tc.name == "full" && len(want) != 48 {
+			t.Fatalf("seed scan saw %d rows, want 48", len(want))
+		}
+		for _, par := range []int{2, 3, 8} {
+			cl.ScanParallelism = par
+			got, err := cl.Scan("t", tc.start, tc.end, tc.f, tc.limit)
+			if err != nil {
+				t.Fatalf("%s/par=%d: %v", tc.name, par, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/par=%d: parallel scan diverges from sequential:\n got %v\nwant %v",
+					tc.name, par, got, want)
+			}
+		}
+	}
+	if fan, ok := cl.Obs().Snapshot().Histograms["scan_parallel_fanout"]; !ok || fan.Count == 0 {
+		t.Error("scan_parallel_fanout never observed")
+	}
+}
+
+// movingConn yanks a region out from under the first scan RPC that
+// targets it: the master promotes the follower (fencing the old
+// primary) just before the RPC is forwarded, so the in-flight scan
+// hits a fenced region and must restart from fresh meta.
+type movingConn struct {
+	ServerConn
+	c      *LocalCluster
+	once   *sync.Once
+	region int
+	moveTo string
+	fail   func(string)
+}
+
+func (m *movingConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	if regionID == m.region {
+		m.once.Do(func() {
+			if _, err := m.c.Master.MoveRegion(table, m.region, m.moveTo); err != nil {
+				m.fail(fmt.Sprintf("mid-scan MoveRegion: %v", err))
+			}
+		})
+	}
+	return m.ServerConn.Scan(table, regionID, start, end, f, limit)
+}
+
+// TestScanRestartsOnMidScanRegionMove: a region move between the meta
+// read and the per-region RPC must surface as a whole-scan restart,
+// and the restarted scan must return the complete ordered result.
+func TestScanRestartsOnMidScanRegionMove(t *testing.T) {
+	c, _ := startCluster(t, 3, nil)
+	cl := c.Client()
+	seedScanRows(t, cl)
+
+	want, err := cl.Scan("t", "", "", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cl.Meta()
+	g, err := cl.routeIn(m, "t", "meta/j00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Followers) == 0 {
+		t.Fatal("region has no follower to promote")
+	}
+	var once sync.Once
+	var mu sync.Mutex
+	var failMsg string
+	c.Reg.WrapConn = func(id string, conn ServerConn) ServerConn {
+		return &movingConn{
+			ServerConn: conn, c: c, once: &once,
+			region: g.ID, moveTo: g.Followers[0],
+			fail: func(msg string) { mu.Lock(); failMsg = msg; mu.Unlock() },
+		}
+	}
+	before := cl.Retries()
+
+	got, err := cl.Scan("t", "", "", nil, 0)
+	if err != nil {
+		t.Fatalf("scan across region move: %v", err)
+	}
+	mu.Lock()
+	if failMsg != "" {
+		t.Fatal(failMsg)
+	}
+	mu.Unlock()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("restarted scan diverges: got %d rows, want %d", len(got), len(want))
+	}
+	if cl.Retries() == before {
+		t.Error("scan over a moved region completed without a restart")
+	}
+}
+
+// Scan on slowConn mirrors its Get: the straggling primary a hedged
+// scan exists to cover.
+func (s *slowConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	time.Sleep(s.delay)
+	return s.ServerConn.Scan(table, regionID, start, end, f, limit)
+}
+
+// TestHedgedScanCoversSlowPrimary: with one region's primary answering
+// slowly, an armed hedge fires a fence-bypassing follower scan and the
+// full result still comes back correct.
+func TestHedgedScanCoversSlowPrimary(t *testing.T) {
+	c, _ := startCluster(t, 2, nil)
+	cl := c.Client()
+	seedScanRows(t, cl)
+
+	want, err := cl.Scan("t", "", "", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cl.Meta()
+	g, err := cl.routeIn(m, "t", "dyn/j00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Followers) == 0 {
+		t.Fatal("region has no follower to hedge against")
+	}
+	slow := g.Primary
+	c.Reg.WrapConn = func(id string, conn ServerConn) ServerConn {
+		if id == slow {
+			return &slowConn{ServerConn: conn, delay: 300 * time.Millisecond}
+		}
+		return conn
+	}
+	cl.HedgeDelay = 5 * time.Millisecond
+
+	got, err := cl.Scan("t", "", "", nil, 0)
+	if err != nil {
+		t.Fatalf("hedged scan: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("hedged scan diverges: got %d rows, want %d", len(got), len(want))
+	}
+	if n := cl.Obs().Snapshot().Counters["hedged_scans_total"]; n == 0 {
+		t.Error("hedged scan not counted")
+	}
+}

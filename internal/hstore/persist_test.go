@@ -19,7 +19,9 @@ func TestCompactionBoundsReadAmplification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if before[0] < 4 {
+	// Size-tiered compaction already bounds the segment count in the
+	// background, but six flushes still leave more than one segment.
+	if before[0] < 2 {
 		t.Fatalf("setup failed: only %d segments before compaction", before[0])
 	}
 	if err := s.Compact("t"); err != nil {

@@ -38,6 +38,20 @@ type region struct {
 	// stats reports flushes, compactions, bloom probes, and detected
 	// corruptions to the owning server; nil is a no-op.
 	stats *storeStats
+
+	// compactMu serializes compactions on this region. Flushes only
+	// prepend to sstables and compaction is the sole remover, so a
+	// snapshot taken under mu by the compaction holder stays a suffix
+	// of the live list while the merge runs outside any lock.
+	compactMu sync.Mutex
+
+	// sealed (guarded by mu) is set by a split just before it copies
+	// this region's rows into its children. A put finding the region
+	// sealed must not land here — the copy would miss it — so put
+	// refuses and the server re-routes to the child region. Writers that
+	// completed before the seal are in the memstore or an sstable and
+	// are picked up by the split's scan.
+	sealed bool
 }
 
 func newRegion(id int, start, end string, flushBytes int64, stats *storeStats) *region {
@@ -86,21 +100,56 @@ func (g *region) checkQuarantine() error {
 }
 
 // put inserts one cell, flushing the memstore if it has grown too big.
-func (g *region) put(c Cell) {
+// A flush that pushes the segment count past the tier threshold kicks
+// a tiered compaction — after the lock is released, so the merge never
+// blocks this or any other writer. It reports false without writing
+// when the region has been sealed by a split: the caller must
+// re-resolve the row to the child region and retry there.
+func (g *region) put(c Cell) bool {
 	g.mu.Lock()
-	defer g.mu.Unlock()
+	if g.sealed {
+		g.mu.Unlock()
+		return false
+	}
 	g.mem.Put(c)
 	g.totalBytes += int64(len(c.Row) + len(c.Column) + len(c.Value))
+	flushed := false
 	if g.mem.SizeBytes() >= g.flushBytes {
 		g.flushLocked()
+		flushed = true
 	}
+	nseg := len(g.sstables)
+	g.mu.Unlock()
+	if flushed && nseg >= tierFanout {
+		g.maybeCompactTier()
+	}
+	return true
+}
+
+// seal marks the region as mid-split; subsequent puts are refused so
+// the split's row copy cannot miss them.
+func (g *region) seal() {
+	g.mu.Lock()
+	g.sealed = true
+	g.mu.Unlock()
+}
+
+// unseal reopens a region whose split failed.
+func (g *region) unseal() {
+	g.mu.Lock()
+	g.sealed = false
+	g.mu.Unlock()
 }
 
 // Flush forces the memstore into a new sstable.
 func (g *region) flush() {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	g.flushLocked()
+	nseg := len(g.sstables)
+	g.mu.Unlock()
+	if nseg >= tierFanout {
+		g.maybeCompactTier()
+	}
 }
 
 func (g *region) flushLocked() {
@@ -112,9 +161,18 @@ func (g *region) flushLocked() {
 	g.sstables = append([]*sstable{t}, g.sstables...)
 	g.mem = newMemStore(int64(g.id)*7919 + int64(len(g.sstables))*13 + 1)
 	g.stats.flush()
+	g.stats.compress(t.compressionRatio())
 }
 
-// cellIterator streams sorted cells.
+// cellSource streams sorted cells for the k-way merge: the memstore
+// snapshot as a slice, each sstable through its lazy block iterator.
+type cellSource interface {
+	peek() (Cell, bool)
+	advance() error
+}
+
+// cellIterator is the slice-backed cellSource (memstore snapshots and
+// pre-materialized merges).
 type cellIterator struct {
 	cells []Cell
 	pos   int
@@ -127,39 +185,42 @@ func (it *cellIterator) peek() (Cell, bool) {
 	return it.cells[it.pos], true
 }
 
-func (it *cellIterator) next() { it.pos++ }
+func (it *cellIterator) advance() error { it.pos++; return nil }
 
 // scanRows materializes rows in [startRow, endRow) passing them to fn
 // (latest timestamp wins per column); fn returning false stops early.
-// A checksum mismatch in any touched sstable block quarantines the
-// region and aborts the scan with a CorruptionError — partial garbage
-// is never surfaced.
+// The region lock is held only long enough to snapshot the memstore's
+// in-range cells and the sstable list; the merge and fn callbacks run
+// outside it against immutable segments, so a slow consumer (an HTTP
+// scan response draining to a client) no longer blocks flushes, splits,
+// or writers. Sstable blocks are decompressed lazily as the merge
+// reaches them rather than materialized up front. A checksum mismatch
+// in any touched block quarantines the region and aborts the scan with
+// a CorruptionError — partial garbage is never surfaced.
 func (g *region) scanRows(startRow, endRow string, fn func(Row) bool) error {
 	if err := g.checkQuarantine(); err != nil {
 		return err
 	}
 	g.mu.RLock()
-	// Snapshot sources under the lock; sstables are immutable and the
-	// memstore cell slice is a copy.
-	iters := make([]*cellIterator, 0, 1+len(g.sstables))
 	memCells := make([]Cell, 0, 64)
 	g.mem.scanRange(startRow, endRow, func(c Cell) bool {
 		memCells = append(memCells, c)
 		return true
 	})
+	tables := append([]*sstable(nil), g.sstables...)
+	g.mu.RUnlock()
+
+	// Sources ordered newest first (memstore, then sstables): the merge
+	// below lets the earliest source win ties, preserving shadowing.
+	iters := make([]cellSource, 0, 1+len(tables))
 	iters = append(iters, &cellIterator{cells: memCells})
-	for _, t := range g.sstables {
-		var cs []Cell
-		if err := t.scanRange(startRow, endRow, func(c Cell) bool {
-			cs = append(cs, c)
-			return true
-		}); err != nil {
-			g.mu.RUnlock()
+	for _, t := range tables {
+		it, err := t.iterate(startRow, endRow)
+		if err != nil {
 			return g.corruptionDetected(err)
 		}
-		iters = append(iters, &cellIterator{cells: cs})
+		iters = append(iters, it)
 	}
-	g.mu.RUnlock()
 
 	// K-way merge: pick the smallest cell each round; within equal
 	// (row, column, ts) the earliest source (newest data) wins.
@@ -202,7 +263,9 @@ func (g *region) scanRows(startRow, endRow string, fn func(Row) bool) error {
 			break
 		}
 		c, _ := iters[best].peek()
-		iters[best].next()
+		if err := iters[best].advance(); err != nil {
+			return g.corruptionDetected(err)
+		}
 		if c.Row != cur.Key {
 			if !emit() {
 				return nil
@@ -308,36 +371,174 @@ func (g *region) split(at string, leftID, rightID int) (*region, *region, error)
 	return left, right, nil
 }
 
-// compact merges the memstore and every sstable into a single new
-// sstable, keeping only the newest version of each (row, column). This
-// bounds read amplification: a point read afterwards consults one
-// segment instead of one per flush. The whole operation holds the write
-// lock, so no concurrent write can slip between merge and swap.
+// Compaction. Two flavors share the same non-blocking shape —
+// snapshot the segment list under the lock, merge entirely outside it,
+// swap the merged segment in under a brief critical section:
+//
+//   - compact() is the major compaction persist and Server.Compact
+//     call: it folds everything (memstore included) into one segment,
+//     looping until no concurrent flush slipped in mid-merge.
+//   - maybeCompactTier() is the size-tiered background step triggered
+//     by flushes: it merges one contiguous run of similar-sized
+//     segments, bounding read amplification without ever rewriting the
+//     whole region per flush.
+//
+// Writes that land mid-compaction flush into segments prepended ahead
+// of the merging run; the swap keeps them and replaces only the run it
+// snapshotted, so nothing is lost and newer data keeps shadowing the
+// merged (superseded) segments. Merged output is pushed through the
+// owning server's compaction rate limiter so a large merge cannot
+// starve foreground traffic.
+
+// tierFanout is both the flush count that triggers a tiered compaction
+// and the minimum run length worth merging.
+const tierFanout = 4
+
+// compact folds the memstore and every sstable into a single segment,
+// keeping only the newest version of each (row, column) and dropping
+// tombstones (nothing older survives to be un-hidden). The merge runs
+// outside the region lock; the loop re-folds until the swap finds no
+// segments flushed mid-merge, so on a quiesced region it returns with
+// exactly one segment — what checkpointing relies on.
 func (g *region) compact() error {
 	if err := g.checkQuarantine(); err != nil {
 		return err
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.flushLocked()
-	if len(g.sstables) <= 1 {
-		return nil
+	g.compactMu.Lock()
+	defer g.compactMu.Unlock()
+	for {
+		g.flush()
+		g.mu.RLock()
+		snap := append([]*sstable(nil), g.sstables...)
+		memEmpty := g.mem.Len() == 0
+		g.mu.RUnlock()
+		if len(snap) <= 1 && memEmpty {
+			return nil
+		}
+		if len(snap) == 0 {
+			continue // a write raced the flush; flush again
+		}
+		g.stats.compaction()
+		merged, err := mergeTables(snap)
+		if err != nil {
+			return g.corruptionDetected(err)
+		}
+		nt := buildSSTable(dropTombstones(merged))
+		g.stats.compress(nt.compressionRatio())
+		g.stats.throttleBytes(len(nt.data))
+		g.swapRun(snap, 0, len(snap), nt)
+		// Loop: if nothing flushed mid-merge the region now holds at
+		// most the merged segment and the next pass returns; otherwise
+		// the new prefix gets folded in too.
+	}
+}
+
+// maybeCompactTier runs one size-tiered compaction step if a run of
+// similar-sized segments has accumulated. It never blocks: a put that
+// finds a compaction already in flight skips (a later flush retries),
+// and the merge itself holds no region lock.
+func (g *region) maybeCompactTier() {
+	if g.quarantined.Load() {
+		return
+	}
+	if !g.compactMu.TryLock() {
+		return
+	}
+	defer g.compactMu.Unlock()
+	g.mu.RLock()
+	snap := append([]*sstable(nil), g.sstables...)
+	g.mu.RUnlock()
+	i, j := pickTierRun(snap)
+	if j-i < 2 {
+		return
 	}
 	g.stats.compaction()
-	merged, err := mergeTables(g.sstables)
+	g.stats.tierMerge(j - i)
+	merged, err := mergeTables(snap[i:j])
 	if err != nil {
-		return g.corruptionDetected(err)
+		g.corruptionDetected(err)
+		return
 	}
-	// Major compaction: tombstones have hidden everything older, so they
-	// can be dropped outright.
-	live := merged[:0]
-	for _, c := range merged {
+	// Tombstones drop only when the run reaches the oldest segment;
+	// otherwise an older segment below could resurface hidden data.
+	if j == len(snap) {
+		merged = dropTombstones(merged)
+	}
+	nt := buildSSTable(merged)
+	g.stats.compress(nt.compressionRatio())
+	g.stats.throttleBytes(len(nt.data))
+	g.swapRun(snap, i, j, nt)
+}
+
+// pickTierRun chooses a contiguous run snap[i:j) (newest first) to
+// merge: the oldest run of >= tierFanout segments in the same size
+// class, falling back to folding the oldest tierFanout segments when
+// the list has grown long without forming one.
+func pickTierRun(tables []*sstable) (int, int) {
+	if len(tables) < tierFanout {
+		return 0, 0
+	}
+	class := func(t *sstable) int {
+		c := 0
+		for n := len(t.data) >> 12; n > 0; n >>= 2 {
+			c++
+		}
+		return c
+	}
+	end := len(tables)
+	for end > 0 {
+		start := end - 1
+		c := class(tables[start])
+		for start > 0 && class(tables[start-1]) == c {
+			start--
+		}
+		if end-start >= tierFanout {
+			return start, end
+		}
+		end = start
+	}
+	if len(tables) >= 3*tierFanout {
+		return len(tables) - tierFanout, len(tables)
+	}
+	return 0, 0
+}
+
+// swapRun replaces the contiguous run snap[i:j] with merged under a
+// short critical section. Because compactMu serializes removals and
+// flushes only prepend, snap is still a suffix of the live list; the
+// prefix holds whatever flushed mid-merge and is kept verbatim.
+func (g *region) swapRun(snap []*sstable, i, j int, merged *sstable) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	prefix := len(g.sstables) - len(snap)
+	if prefix < 0 {
+		return false
+	}
+	for k := i; k < j; k++ {
+		if g.sstables[prefix+k] != snap[k] {
+			return false
+		}
+	}
+	ns := make([]*sstable, 0, len(g.sstables)-(j-i)+1)
+	ns = append(ns, g.sstables[:prefix+i]...)
+	if merged != nil && merged.count > 0 {
+		ns = append(ns, merged)
+	}
+	ns = append(ns, g.sstables[prefix+j:]...)
+	g.sstables = ns
+	return true
+}
+
+// dropTombstones removes delete markers from a fully merged stream —
+// legal only when no older segment remains beneath the merge.
+func dropTombstones(cells []Cell) []Cell {
+	live := cells[:0]
+	for _, c := range cells {
 		if !c.Deleted {
 			live = append(live, c)
 		}
 	}
-	g.sstables = []*sstable{buildSSTable(live)}
-	return nil
+	return live
 }
 
 // mergeTables merges sstables (newest first) into one sorted,
@@ -347,6 +548,9 @@ func mergeTables(tables []*sstable) ([]Cell, error) {
 	var all []Cell
 	for _, t := range tables {
 		if err := t.scanRange("", "", func(c Cell) bool {
+			// Clone the value out of the block buffer: merged cells
+			// outlive the iterator and feed buildSSTable.
+			c.Value = append([]byte(nil), c.Value...)
 			all = append(all, c)
 			return true
 		}); err != nil {
@@ -378,16 +582,16 @@ func (g *region) exportCells() ([]Cell, error) {
 	}
 	g.mu.RLock()
 	all := append([]Cell(nil), g.mem.Cells()...)
-	for _, t := range g.sstables { // newest first
+	tables := append([]*sstable(nil), g.sstables...)
+	g.mu.RUnlock()
+	for _, t := range tables { // newest first
 		if err := t.scanRange("", "", func(c Cell) bool {
 			all = append(all, c)
 			return true
 		}); err != nil {
-			g.mu.RUnlock()
 			return nil, g.corruptionDetected(err)
 		}
 	}
-	g.mu.RUnlock()
 	// Stable sort keeps newer sources first among equal (row, column,
 	// ts) triples, matching read semantics.
 	sort.SliceStable(all, func(i, j int) bool { return all[i].less(all[j]) })

@@ -47,6 +47,13 @@ type Server struct {
 	// seeding of the logical clock (tests inject a fixed epoch).
 	WallClock func() time.Time
 
+	// CompactionRateLimit caps compaction output in bytes/second so a
+	// large merge cannot starve foreground traffic; 0 means unlimited.
+	CompactionRateLimit int64
+	// CompactionSleep replaces time.Sleep for rate-limit pauses (tests
+	// inject it to observe or skip pacing).
+	CompactionSleep func(time.Duration)
+
 	clock    atomic.Int64 // logical timestamp source
 	seedOnce sync.Once    // guards the wall-clock seeding of clock
 
@@ -56,40 +63,80 @@ type Server struct {
 
 // storeStats carries the LSM-path counters regions report into. The
 // handles are obs counters so snapshots pick them up directly; a nil
-// *storeStats (regions built outside a server in tests) is a no-op.
+// *storeStats (regions built outside a server in tests), or any nil
+// field, is a no-op.
 type storeStats struct {
-	flushes     *obs.Counter
-	compactions *obs.Counter
-	bloomChecks *obs.Counter
-	bloomSkips  *obs.Counter
-	corruptions *obs.Counter
+	flushes       *obs.Counter
+	compactions   *obs.Counter
+	bloomChecks   *obs.Counter
+	bloomSkips    *obs.Counter
+	corruptions   *obs.Counter
+	tierMerges    *obs.Counter
+	tierSegments  *obs.Histogram
+	compressRatio *obs.Histogram
+
+	// throttle paces compaction output (the server wires it to the
+	// compaction rate limiter; tests inject hooks here to land writes
+	// mid-compaction deterministically).
+	throttle func(bytes int)
 }
 
 func (st *storeStats) flush() {
-	if st != nil {
+	if st != nil && st.flushes != nil {
 		st.flushes.Inc()
 	}
 }
 
 func (st *storeStats) compaction() {
-	if st != nil {
+	if st != nil && st.compactions != nil {
 		st.compactions.Inc()
 	}
 }
 
 func (st *storeStats) corruption() {
-	if st != nil {
+	if st != nil && st.corruptions != nil {
 		st.corruptions.Inc()
 	}
 }
 
 func (st *storeStats) bloom(skipped bool) {
-	if st == nil {
+	if st == nil || st.bloomChecks == nil {
 		return
 	}
 	st.bloomChecks.Inc()
 	if skipped {
 		st.bloomSkips.Inc()
+	}
+}
+
+// tierMerge records one size-tiered compaction merging n segments.
+func (st *storeStats) tierMerge(n int) {
+	if st == nil {
+		return
+	}
+	if st.tierMerges != nil {
+		st.tierMerges.Inc()
+	}
+	if st.tierSegments != nil {
+		st.tierSegments.Observe(float64(n))
+	}
+}
+
+// compress records the block compression ratio of a freshly built
+// sstable (uncompressed/stored; empty tables are skipped).
+func (st *storeStats) compress(ratio float64) {
+	if st == nil || st.compressRatio == nil || ratio <= 0 {
+		return
+	}
+	st.compressRatio.Observe(ratio)
+}
+
+// throttleBytes pushes merged compaction output through the rate
+// limiter, sleeping long enough to keep compaction under its byte
+// budget.
+func (st *storeStats) throttleBytes(n int) {
+	if st != nil && st.throttle != nil {
+		st.throttle(n)
 	}
 }
 
@@ -105,15 +152,35 @@ func NewServer() *Server {
 		tables: make(map[string]*table),
 		o:      o,
 		stats: &storeStats{
-			flushes:     o.Counter("hstore_flushes_total"),
-			compactions: o.Counter("hstore_compactions_total"),
-			bloomChecks: o.Counter("hstore_bloom_checks_total"),
-			bloomSkips:  o.Counter("hstore_bloom_skips_total"),
-			corruptions: o.Counter("store_corruptions_detected_total"),
+			flushes:       o.Counter("hstore_flushes_total"),
+			compactions:   o.Counter("hstore_compactions_total"),
+			bloomChecks:   o.Counter("hstore_bloom_checks_total"),
+			bloomSkips:    o.Counter("hstore_bloom_skips_total"),
+			corruptions:   o.Counter("store_corruptions_detected_total"),
+			tierMerges:    o.Counter("compaction_tier_merges_total"),
+			tierSegments:  o.Histogram("compaction_tier_segments", []float64{2, 4, 8, 16}),
+			compressRatio: o.Histogram("sstable_block_compress_ratio", []float64{1, 1.25, 1.5, 2, 3, 5}),
 		},
 	}
+	s.stats.throttle = s.throttleCompaction
 	o.GaugeFunc("hstore_memstore_bytes", s.memstoreBytes)
 	return s
+}
+
+// throttleCompaction paces merged compaction output: writing n bytes
+// at CompactionRateLimit bytes/second costs n/rate seconds of sleep.
+// Duration-only pacing needs no wall-clock read, so it stays
+// deterministic under injected sleeps.
+func (s *Server) throttleCompaction(n int) {
+	rate := s.CompactionRateLimit
+	if rate <= 0 || n <= 0 {
+		return
+	}
+	sleep := s.CompactionSleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(time.Duration(float64(n) / float64(rate) * float64(time.Second)))
 }
 
 // Obs exposes the server's metrics registry. The bloom hit rate is
@@ -268,24 +335,30 @@ func (s *Server) applyCell(tableName string, c Cell, clientFacing bool) error {
 			return err
 		}
 	}
-	s.mu.Lock()
-	g := t.regionFor(c.Row)
-	s.mu.Unlock()
-	if g == nil || (clientFacing && !g.serving.Load()) {
-		return &NotServingError{Table: tableName, Row: c.Row}
-	}
-	if clientFacing {
-		// A quarantined copy refuses acked writes: they could be lost
-		// when the region is rebuilt from a healthy replica.
-		if err := g.checkQuarantine(); err != nil {
-			return withTable(err, tableName)
+	for {
+		s.mu.Lock()
+		g := t.regionFor(c.Row)
+		s.mu.Unlock()
+		if g == nil || (clientFacing && !g.serving.Load()) {
+			return &NotServingError{Table: tableName, Row: c.Row}
 		}
+		if clientFacing {
+			// A quarantined copy refuses acked writes: they could be lost
+			// when the region is rebuilt from a healthy replica.
+			if err := g.checkQuarantine(); err != nil {
+				return withTable(err, tableName)
+			}
+		}
+		if !g.put(c) {
+			// The region was sealed by a concurrent split between the
+			// lookup and the write; re-resolve to the child region.
+			continue
+		}
+		if !s.NoAutoSplit && g.sizeBytes() > s.maxRegionBytes() {
+			s.trySplit(t, g)
+		}
+		return nil
 	}
-	g.put(c)
-	if !s.NoAutoSplit && g.sizeBytes() > s.maxRegionBytes() {
-		s.trySplit(t, g)
-	}
-	return nil
 }
 
 // Apply writes pre-stamped cells — the replication and snapshot-install
@@ -346,9 +419,17 @@ func (s *Server) trySplit(t *table, g *region) {
 	if idx == -1 {
 		return // already split by a concurrent writer
 	}
+	// Seal before copying: a writer that resolved this region but has
+	// not written yet would otherwise land its cell after the copy below
+	// and lose it when the region is discarded. Sealed puts bounce back
+	// to applyCell, which re-resolves to the children once we swap them
+	// in. Writers that got in before the seal are in the memstore or an
+	// sstable, both of which the split's scan reads.
+	g.seal()
 	s.nextID += 2
 	left, right, err := g.split(at, s.nextID-1, s.nextID)
 	if err != nil {
+		g.unseal()
 		return
 	}
 	t.regions = append(t.regions[:idx], append([]*region{left, right}, t.regions[idx+1:]...)...)
@@ -446,6 +527,19 @@ func (s *Server) GetAny(tableName, row string) (Row, bool, error) {
 // rows passing the filter are "returned" (and accounted); this is the
 // server-side half of the pushdown mechanism. Limit 0 means no limit.
 func (s *Server) Scan(tableName, startRow, endRow string, f Filter, limit int) ([]Row, error) {
+	return s.scan(tableName, startRow, endRow, f, limit, true)
+}
+
+// ScanAny scans regardless of serving fences — the hedged-scan path:
+// synchronous replication means a fenced follower copy holds every
+// acked write, so it can answer range reads when the primary is slow.
+// Coverage is still required (a missing region fails NotServing) and
+// quarantined copies still refuse.
+func (s *Server) ScanAny(tableName, startRow, endRow string, f Filter, limit int) ([]Row, error) {
+	return s.scan(tableName, startRow, endRow, f, limit, false)
+}
+
+func (s *Server) scan(tableName, startRow, endRow string, f Filter, limit int, requireServing bool) ([]Row, error) {
 	t, err := s.table(tableName)
 	if err != nil {
 		return nil, err
@@ -467,7 +561,7 @@ func (s *Server) Scan(tableName, startRow, endRow string, f Filter, limit int) (
 		if g.endKey != "" && g.endKey <= cursor {
 			continue
 		}
-		if g.startKey > cursor || !g.serving.Load() {
+		if g.startKey > cursor || (requireServing && !g.serving.Load()) {
 			return nil, &NotServingError{Table: tableName, Row: cursor}
 		}
 		if g.endKey == "" {

@@ -1,72 +1,219 @@
 package hstore
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
+	"sync"
 )
 
 // sstable is an immutable sorted segment produced by flushing a
-// region's memstore (HBase's HFile). The cell area is divided into
-// fixed-size blocks, each covered by a CRC32C checksum computed at
-// build time and verified on every read that touches the block — a
-// flipped bit (in memory or on disk) surfaces as a CorruptionError,
-// never as data. The encoded layout is
+// region's memstore (HBase's HFile). The PST4 layout is block-oriented:
+// cells are grouped into blocks of ~sstBlockSize uncompressed bytes,
+// row keys are prefix-compressed within a block (profile row keys share
+// long "<ftype>/<jobID>" prefixes, so this is where most of the key
+// bytes go), and each block's payload is independently compressed by a
+// pluggable codec — stdlib flate, or raw when compression does not pay.
+// Every stored block carries a CRC32C computed at build time and
+// verified when the block is first opened by an iterator — a flipped
+// bit (in memory or on disk) surfaces as a CorruptionError, never as
+// data. Iteration is lazy: a scan decompresses only the blocks its key
+// range touches, one at a time, and cell values alias the decoded
+// block buffer instead of being copied out (zero-copy within a block).
 //
-//	cells:  repeated [u32 rowLen | u32 colLen | i64 ts | u32 valLen | row | col | val]
-//	        (the top bit of colLen marks a tombstone)
-//	index:  repeated [u32 rowLen | row | u64 offset]   (one entry per indexInterval cells)
+// The encoded PST4 file is
+//
+//	blocks: concatenated per-block payloads (each possibly compressed)
+//	index:  repeated [u32 rowLen | firstRow | u64 off | u64 clen |
+//	                  u32 ulen | u32 cells | u32 crc32c | u8 codec]
 //	bloom:  encoded bloom filter over row keys
-//	crcs:   [u32 blockSize | u32 nBlocks | nBlocks * u32 crc32c(block)]
-//	footer: [u64 indexOff | u64 bloomOff | u64 crcOff | u32 cellCount | u32 magic]
+//	footer: [u64 indexOff | u64 bloomOff | u64 rawBytes | u32 cellCount | u32 magic]
 //	file:   u32 crc32c(everything before this field)
 //
 // The trailing whole-file checksum catches corruption anywhere in the
-// encoded form (index, bloom, footer) at load time; the per-block CRCs
-// keep guarding the in-memory cell area afterwards.
+// encoded form at load time; the per-block CRCs keep guarding the
+// in-memory payloads afterwards. decodeSSTable dispatches on the magic:
+// PST3 files (the previous flat-cell-area format) are still read, with
+// their own checksum discipline, and converted on load (see
+// sstable_pst3.go).
 type sstable struct {
-	data  []byte // the cell area only
-	index []indexEntry
-	bloom *bloom
-	count int
+	data   []byte // concatenated stored block payloads
+	blocks []blockMeta
+	bloom  *bloom
+	count  int
 
-	blockSize uint64   // checksummed block granularity over data
-	crcs      []uint32 // crc32c of each blockSize-sized block of data
+	// rawBytes is the total uncompressed encoded-cell size, the
+	// numerator of the block compression ratio.
+	rawBytes uint64
 
 	minRow, maxRow string
 }
 
-type indexEntry struct {
-	row    string
-	offset uint64
+// blockMeta locates and describes one stored block.
+type blockMeta struct {
+	firstRow string
+	off      uint64 // into sstable.data
+	clen     uint64 // stored (possibly compressed) length
+	ulen     uint32 // uncompressed length
+	cells    uint32 // cells encoded in the block
+	crc      uint32 // crc32c of the stored payload
+	codec    byte
 }
 
 const (
-	sstMagic      = 0x50535433 // "PST3" (PST2 lacked checksums)
-	indexInterval = 64
-	sstBlockSize  = 4096
-	sstFooterLen  = 8 + 8 + 8 + 4 + 4 + 4 // offsets + count + magic + file CRC
+	sstMagic3    = 0x50535433 // "PST3" (flat cell area, per-4KB-slice CRCs)
+	sstMagic4    = 0x50535434 // "PST4" (compressed prefix-encoded blocks)
+	sstBlockSize = 4096       // target uncompressed bytes per block
+	sstFooterLen = 8 + 8 + 8 + 4 + 4 + 4
+
+	// codecMinSize is the smallest block worth offering to a real
+	// codec; tiny blocks stay raw.
+	codecMinSize = 64
 )
+
+// Block codecs. A codec compresses a sealed block payload and restores
+// it on read; the codec ID is stored per block so formats can mix
+// within one file (a block that does not compress stays raw).
+const (
+	codecRaw   byte = 0
+	codecFlate byte = 1
+)
+
+// flateWriters pools flate writers: constructing one allocates large
+// match tables, far too expensive per 4KB block.
+var flateWriters = sync.Pool{
+	New: func() interface{} {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+// compressBlock encodes src with the best available codec, returning
+// the stored payload and the codec ID. Raw wins whenever compression
+// would not shrink the block.
+func compressBlock(src []byte) ([]byte, byte) {
+	if len(src) < codecMinSize {
+		return src, codecRaw
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(src))
+	w := flateWriters.Get().(*flate.Writer)
+	w.Reset(&buf)
+	_, werr := w.Write(src)
+	cerr := w.Close()
+	flateWriters.Put(w)
+	if werr != nil || cerr != nil || buf.Len() >= len(src) {
+		return src, codecRaw
+	}
+	return buf.Bytes(), codecFlate
+}
+
+// decompressBlock restores a stored payload to its uncompressed form.
+// The returned buffer is freshly allocated per block, so cells decoded
+// from it may alias it safely for as long as the caller needs them.
+func decompressBlock(payload []byte, codec byte, ulen uint32) ([]byte, error) {
+	switch codec {
+	case codecRaw:
+		if uint32(len(payload)) != ulen {
+			return nil, &CorruptionError{Detail: fmt.Sprintf("sstable raw block is %d bytes, index says %d", len(payload), ulen)}
+		}
+		return payload, nil
+	case codecFlate:
+		r := flate.NewReader(bytes.NewReader(payload))
+		out := make([]byte, ulen)
+		if _, err := io.ReadFull(r, out); err != nil {
+			return nil, &CorruptionError{Detail: fmt.Sprintf("sstable flate block: %v", err)}
+		}
+		var one [1]byte
+		if n, _ := r.Read(one[:]); n != 0 {
+			return nil, &CorruptionError{Detail: "sstable flate block has trailing data"}
+		}
+		r.Close()
+		return out, nil
+	default:
+		return nil, &CorruptionError{Detail: fmt.Sprintf("sstable block uses unknown codec %d", codec)}
+	}
+}
+
+// appendBlockEntry encodes one cell against the previous cell's row
+// key (prefix compression; prevRow "" at a block start):
+//
+//	uvarint shared | uvarint rowSuffix | uvarint colLen | uvarint valLen
+//	| uvarint ts | u8 flags | rowSuffix | col | val
+func appendBlockEntry(buf []byte, c Cell, prevRow string) []byte {
+	shared := 0
+	max := len(prevRow)
+	if len(c.Row) < max {
+		max = len(c.Row)
+	}
+	for shared < max && c.Row[shared] == prevRow[shared] {
+		shared++
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(shared))]...)
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(c.Row)-shared))]...)
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(c.Column)))]...)
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(c.Value)))]...)
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(c.Ts))]...)
+	var flags byte
+	if c.Deleted {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = append(buf, c.Row[shared:]...)
+	buf = append(buf, c.Column...)
+	buf = append(buf, c.Value...)
+	return buf
+}
 
 // buildSSTable encodes sorted cells into a segment. Cells must already
 // be in (row, column, ts desc) order, as memstore.Cells produces.
 func buildSSTable(cells []Cell) *sstable {
 	t := &sstable{count: len(cells), bloom: newBloom(len(cells))}
-	var buf []byte
-	lastRow := ""
-	for i, c := range cells {
-		if i%indexInterval == 0 {
-			t.index = append(t.index, indexEntry{row: c.Row, offset: uint64(len(buf))})
+	var blockBuf []byte
+	var firstRow, prevRow, lastRow string
+	var nCells uint32
+	seal := func() {
+		if nCells == 0 {
+			return
 		}
+		payload, codec := compressBlock(blockBuf)
+		m := blockMeta{
+			firstRow: firstRow,
+			off:      uint64(len(t.data)),
+			clen:     uint64(len(payload)),
+			ulen:     uint32(len(blockBuf)),
+			cells:    nCells,
+			crc:      crc32c(payload),
+			codec:    codec,
+		}
+		t.data = append(t.data, payload...)
+		t.blocks = append(t.blocks, m)
+		t.rawBytes += uint64(len(blockBuf))
+		blockBuf = blockBuf[:0]
+		nCells = 0
+	}
+	for _, c := range cells {
+		if nCells == 0 {
+			firstRow = c.Row
+			prevRow = ""
+		}
+		blockBuf = appendBlockEntry(blockBuf, c, prevRow)
+		prevRow = c.Row
+		nCells++
 		if c.Row != lastRow {
 			t.bloom.Add(c.Row)
 			lastRow = c.Row
 		}
-		buf = appendCell(buf, c)
+		if len(blockBuf) >= sstBlockSize {
+			seal()
+		}
 	}
-	t.data = buf
-	t.checksum()
+	seal()
 	if len(cells) > 0 {
 		t.minRow = cells[0].Row
 		t.maxRow = cells[len(cells)-1].Row
@@ -74,155 +221,179 @@ func buildSSTable(cells []Cell) *sstable {
 	return t
 }
 
-// checksum (re)computes the per-block CRC table over the cell area.
-func (t *sstable) checksum() {
-	t.blockSize = sstBlockSize
-	n := (uint64(len(t.data)) + t.blockSize - 1) / t.blockSize
-	t.crcs = make([]uint32, n)
-	for i := uint64(0); i < n; i++ {
-		t.crcs[i] = crc32c(t.block(i))
+// compressionRatio reports uncompressed-to-stored bytes (1.0 when the
+// table is empty or nothing compressed).
+func (t *sstable) compressionRatio() float64 {
+	if len(t.data) == 0 || t.rawBytes == 0 {
+		return 1.0
 	}
+	return float64(t.rawBytes) / float64(len(t.data))
 }
 
-// block returns the i-th checksummed slice of the cell area.
-func (t *sstable) block(i uint64) []byte {
-	lo := i * t.blockSize
-	hi := lo + t.blockSize
-	if hi > uint64(len(t.data)) {
-		hi = uint64(len(t.data))
-	}
-	return t.data[lo:hi]
-}
-
-// blockVerifier checks cell-area blocks against their build-time CRCs,
-// remembering which blocks it already verified so a scan pays for each
-// block once, not once per cell.
-type blockVerifier struct {
-	t    *sstable
-	seen []bool
-}
-
-func (v *blockVerifier) verify(from, to uint64) error {
-	t := v.t
-	if t.blockSize == 0 || len(t.crcs) == 0 {
-		return nil // zero-value table (tests); nothing to check against
-	}
-	if to > uint64(len(t.data)) {
-		to = uint64(len(t.data))
-	}
-	if from >= to {
-		return nil
-	}
-	if v.seen == nil {
-		v.seen = make([]bool, len(t.crcs))
-	}
-	for i := from / t.blockSize; i <= (to-1)/t.blockSize; i++ {
-		if i >= uint64(len(t.crcs)) {
-			return &CorruptionError{Detail: fmt.Sprintf("sstable block %d past checksum table (%d blocks)", i, len(t.crcs))}
-		}
-		if v.seen[i] {
-			continue
-		}
-		if got := crc32c(t.block(i)); got != t.crcs[i] {
-			return &CorruptionError{Detail: fmt.Sprintf("sstable block %d checksum mismatch (got %#x want %#x)", i, got, t.crcs[i])}
-		}
-		v.seen[i] = true
-	}
-	return nil
-}
-
-const tombstoneBit = 1 << 31
-
-func appendCell(buf []byte, c Cell) []byte {
-	var hdr [20]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(c.Row)))
-	colLen := uint32(len(c.Column))
-	if c.Deleted {
-		colLen |= tombstoneBit
-	}
-	binary.LittleEndian.PutUint32(hdr[4:], colLen)
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(c.Ts))
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(c.Value)))
-	buf = append(buf, hdr[:]...)
-	buf = append(buf, c.Row...)
-	buf = append(buf, c.Column...)
-	buf = append(buf, c.Value...)
-	return buf
-}
-
-// readCell decodes the cell at offset through the verifier, returning
-// it and the following offset. An offset exactly at the end returns
-// ok=false with no error (the clean end of a scan); anything
-// structurally impossible, or a block failing its checksum, is a
-// CorruptionError.
-func (t *sstable) readCell(v *blockVerifier, off uint64) (Cell, uint64, bool, error) {
-	if off >= uint64(len(t.data)) {
-		return Cell{}, 0, false, nil
-	}
-	if off+20 > uint64(len(t.data)) {
-		return Cell{}, 0, false, &CorruptionError{Detail: fmt.Sprintf("sstable cell header torn at offset %d", off)}
-	}
-	// Verify the header's blocks before trusting the lengths in it.
-	if err := v.verify(off, off+20); err != nil {
-		return Cell{}, 0, false, err
-	}
-	rl := binary.LittleEndian.Uint32(t.data[off:])
-	rawCl := binary.LittleEndian.Uint32(t.data[off+4:])
-	deleted := rawCl&tombstoneBit != 0
-	cl := rawCl &^ uint32(tombstoneBit)
-	ts := int64(binary.LittleEndian.Uint64(t.data[off+8:]))
-	vl := binary.LittleEndian.Uint32(t.data[off+16:])
-	p := off + 20
-	end := p + uint64(rl) + uint64(cl) + uint64(vl)
-	if end > uint64(len(t.data)) {
-		return Cell{}, 0, false, &CorruptionError{Detail: fmt.Sprintf("sstable cell at offset %d overruns data area", off)}
-	}
-	if err := v.verify(off, end); err != nil {
-		return Cell{}, 0, false, err
-	}
-	c := Cell{
-		Row:     string(t.data[p : p+uint64(rl)]),
-		Column:  string(t.data[p+uint64(rl) : p+uint64(rl)+uint64(cl)]),
-		Ts:      ts,
-		Value:   t.data[end-uint64(vl) : end],
-		Deleted: deleted,
-	}
-	return c, end, true, nil
-}
-
-// seekOffset returns the encoded offset from which a scan starting at
-// row must begin, via binary search on the sparse index.
-func (t *sstable) seekOffset(row string) uint64 {
-	i := sort.Search(len(t.index), func(i int) bool { return t.index[i].row >= row })
+// seekBlock returns the index of the block a scan starting at row must
+// open: the last block whose first row is <= row.
+func (t *sstable) seekBlock(row string) int {
+	i := sort.Search(len(t.blocks), func(i int) bool { return t.blocks[i].firstRow > row })
 	if i == 0 {
 		return 0
 	}
-	return t.index[i-1].offset
+	return i - 1
+}
+
+// ssIter streams cells of [startRow, endRow) lazily: blocks are CRC-
+// verified, decompressed, and decoded one at a time as the iterator
+// crosses into them, and each decoded cell's value aliases the block's
+// buffer (no per-cell copy). A block failing its checksum or decoding
+// impossibly surfaces as a CorruptionError from next().
+type ssIter struct {
+	t      *sstable
+	endRow string
+
+	bi      int    // next block to open
+	buf     []byte // decoded current block
+	pos     int
+	left    uint32 // cells remaining in current block
+	prevRow string
+
+	cur Cell
+	ok  bool
+}
+
+// iterate positions an iterator at the first cell with row >= startRow.
+// The returned iterator already holds that cell (peek) or is exhausted.
+func (t *sstable) iterate(startRow, endRow string) (*ssIter, error) {
+	it := &ssIter{t: t, endRow: endRow}
+	if len(t.blocks) == 0 {
+		return it, nil
+	}
+	it.bi = t.seekBlock(startRow)
+	for {
+		if err := it.advance(); err != nil {
+			return nil, err
+		}
+		if !it.ok || it.cur.Row >= startRow {
+			return it, nil
+		}
+	}
+}
+
+// peek returns the current cell without advancing.
+func (it *ssIter) peek() (Cell, bool) { return it.cur, it.ok }
+
+// openBlock verifies and decodes block bi into the iterator's buffer.
+func (it *ssIter) openBlock(bi int) error {
+	t := it.t
+	m := t.blocks[bi]
+	end := m.off + m.clen
+	if end > uint64(len(t.data)) || m.off > end {
+		return &CorruptionError{Detail: fmt.Sprintf("sstable block %d overruns payload area", bi)}
+	}
+	payload := t.data[m.off:end]
+	if got := crc32c(payload); got != m.crc {
+		return &CorruptionError{Detail: fmt.Sprintf("sstable block %d checksum mismatch (got %#x want %#x)", bi, got, m.crc)}
+	}
+	buf, err := decompressBlock(payload, m.codec, m.ulen)
+	if err != nil {
+		return err
+	}
+	it.buf = buf
+	it.pos = 0
+	it.left = m.cells
+	it.prevRow = ""
+	return nil
+}
+
+// advance decodes the next cell, exhausting cleanly at the table's end
+// or at endRow.
+func (it *ssIter) advance() error {
+	it.ok = false
+	for it.left == 0 {
+		if it.bi >= len(it.t.blocks) {
+			return nil
+		}
+		if err := it.openBlock(it.bi); err != nil {
+			return err
+		}
+		it.bi++
+	}
+	c, next, err := decodeBlockEntry(it.buf, it.pos, it.prevRow)
+	if err != nil {
+		return err
+	}
+	it.pos = next
+	it.left--
+	it.prevRow = c.Row
+	if it.endRow != "" && c.Row >= it.endRow {
+		it.left = 0
+		it.bi = len(it.t.blocks) // past endRow: every later cell is too
+		return nil
+	}
+	it.cur, it.ok = c, true
+	return nil
+}
+
+// decodeBlockEntry decodes one prefix-compressed cell at pos.
+func decodeBlockEntry(buf []byte, pos int, prevRow string) (Cell, int, error) {
+	corrupt := func(what string) (Cell, int, error) {
+		return Cell{}, 0, &CorruptionError{Detail: fmt.Sprintf("sstable block entry %s at offset %d", what, pos)}
+	}
+	u := func() (uint64, bool) {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	shared, ok1 := u()
+	suffix, ok2 := u()
+	colLen, ok3 := u()
+	valLen, ok4 := u()
+	ts, ok5 := u()
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || pos >= len(buf) {
+		return corrupt("header torn")
+	}
+	flags := buf[pos]
+	pos++
+	if shared > uint64(len(prevRow)) {
+		return corrupt("shares more prefix than previous row has")
+	}
+	end := pos + int(suffix) + int(colLen) + int(valLen)
+	if end > len(buf) || end < pos {
+		return corrupt("overruns block")
+	}
+	row := prevRow[:shared] + string(buf[pos:pos+int(suffix)])
+	pos += int(suffix)
+	col := string(buf[pos : pos+int(colLen)])
+	pos += int(colLen)
+	c := Cell{
+		Row:     row,
+		Column:  col,
+		Ts:      int64(ts),
+		Value:   buf[pos : pos+int(valLen)],
+		Deleted: flags&1 != 0,
+	}
+	return c, end, nil
 }
 
 // scanRange streams cells with startRow <= row < endRow (endRow ""
-// unbounded); fn returning false stops the scan. Every block the scan
-// touches is checksum-verified (once) before its cells are surfaced.
+// unbounded); fn returning false stops the scan. Only blocks the range
+// touches are verified and decompressed.
 func (t *sstable) scanRange(startRow, endRow string, fn func(Cell) bool) error {
-	v := &blockVerifier{t: t}
-	off := t.seekOffset(startRow)
+	it, err := t.iterate(startRow, endRow)
+	if err != nil {
+		return err
+	}
 	for {
-		c, next, ok, err := t.readCell(v, off)
-		if err != nil {
-			return err
-		}
+		c, ok := it.peek()
 		if !ok {
-			return nil
-		}
-		off = next
-		if c.Row < startRow {
-			continue
-		}
-		if endRow != "" && c.Row >= endRow {
 			return nil
 		}
 		if !fn(c) {
 			return nil
+		}
+		if err := it.advance(); err != nil {
+			return err
 		}
 	}
 }
@@ -235,45 +406,42 @@ func (t *sstable) mayContainRow(row string) bool {
 	return t.bloom.MayContain(row)
 }
 
-// encode serializes the whole table (cells + index + bloom + block CRCs
-// + footer + whole-file CRC).
+// encode serializes the whole table in the PST4 layout (blocks + block
+// index + bloom + footer + whole-file CRC).
 func (t *sstable) encode() []byte {
 	out := append([]byte(nil), t.data...)
 	indexOff := uint64(len(out))
-	for _, e := range t.index {
+	for _, m := range t.blocks {
 		var hdr [4]byte
-		binary.LittleEndian.PutUint32(hdr[:], uint32(len(e.row)))
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(m.firstRow)))
 		out = append(out, hdr[:]...)
-		out = append(out, e.row...)
-		var off [8]byte
-		binary.LittleEndian.PutUint64(off[:], e.offset)
-		out = append(out, off[:]...)
+		out = append(out, m.firstRow...)
+		var fix [29]byte
+		binary.LittleEndian.PutUint64(fix[0:], m.off)
+		binary.LittleEndian.PutUint64(fix[8:], m.clen)
+		binary.LittleEndian.PutUint32(fix[16:], m.ulen)
+		binary.LittleEndian.PutUint32(fix[20:], m.cells)
+		binary.LittleEndian.PutUint32(fix[24:], m.crc)
+		fix[28] = m.codec
+		out = append(out, fix[:]...)
 	}
 	bloomOff := uint64(len(out))
 	out = append(out, t.bloom.encode()...)
-	crcOff := uint64(len(out))
-	var w [8]byte
-	binary.LittleEndian.PutUint32(w[0:], uint32(t.blockSize))
-	binary.LittleEndian.PutUint32(w[4:], uint32(len(t.crcs)))
-	out = append(out, w[:]...)
-	for _, sum := range t.crcs {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], sum)
-		out = append(out, b[:]...)
-	}
 	var footer [sstFooterLen]byte
 	binary.LittleEndian.PutUint64(footer[0:], indexOff)
 	binary.LittleEndian.PutUint64(footer[8:], bloomOff)
-	binary.LittleEndian.PutUint64(footer[16:], crcOff)
+	binary.LittleEndian.PutUint64(footer[16:], t.rawBytes)
 	binary.LittleEndian.PutUint32(footer[24:], uint32(t.count))
-	binary.LittleEndian.PutUint32(footer[28:], sstMagic)
+	binary.LittleEndian.PutUint32(footer[28:], sstMagic4)
 	out = append(out, footer[:sstFooterLen-4]...)
 	binary.LittleEndian.PutUint32(footer[sstFooterLen-4:], crc32c(out))
 	return append(out, footer[sstFooterLen-4:]...)
 }
 
 // decodeSSTable parses an encoded table, verifying the whole-file
-// checksum before trusting any offset in it.
+// checksum before trusting any offset in it, then dispatching on the
+// format magic: PST4 loads in place; PST3 (the previous format) is
+// verified with its own checksum discipline and rebuilt as PST4.
 func decodeSSTable(raw []byte) (*sstable, error) {
 	if len(raw) < sstFooterLen {
 		return nil, &CorruptionError{Detail: fmt.Sprintf("sstable too short (%d bytes)", len(raw))}
@@ -282,76 +450,75 @@ func decodeSSTable(raw []byte) (*sstable, error) {
 	if got := crc32c(raw[:len(raw)-4]); got != fileSum {
 		return nil, &CorruptionError{Detail: fmt.Sprintf("sstable file checksum mismatch (got %#x want %#x)", got, fileSum)}
 	}
+	magic := binary.LittleEndian.Uint32(raw[len(raw)-8:])
+	switch magic {
+	case sstMagic4:
+		return decodePST4(raw)
+	case sstMagic3:
+		cells, err := decodePST3Cells(raw)
+		if err != nil {
+			return nil, err
+		}
+		return buildSSTable(cells), nil
+	default:
+		return nil, &CorruptionError{Detail: fmt.Sprintf("bad sstable magic %#x", magic)}
+	}
+}
+
+func decodePST4(raw []byte) (*sstable, error) {
 	f := raw[len(raw)-sstFooterLen:]
 	indexOff := binary.LittleEndian.Uint64(f[0:])
 	bloomOff := binary.LittleEndian.Uint64(f[8:])
-	crcOff := binary.LittleEndian.Uint64(f[16:])
+	rawBytes := binary.LittleEndian.Uint64(f[16:])
 	count := binary.LittleEndian.Uint32(f[24:])
-	magic := binary.LittleEndian.Uint32(f[28:])
-	if magic != sstMagic {
-		return nil, &CorruptionError{Detail: fmt.Sprintf("bad sstable magic %#x", magic)}
-	}
 	body := uint64(len(raw) - sstFooterLen)
-	if indexOff > bloomOff || bloomOff > crcOff || crcOff > body {
+	if indexOff > bloomOff || bloomOff > body {
 		return nil, &CorruptionError{Detail: "corrupt sstable footer offsets"}
 	}
-	t := &sstable{data: raw[:indexOff], count: int(count)}
-	// Index.
+	t := &sstable{data: raw[:indexOff], count: int(count), rawBytes: rawBytes}
 	idx := raw[indexOff:bloomOff]
 	for len(idx) > 0 {
 		if len(idx) < 4 {
-			return nil, &CorruptionError{Detail: "corrupt sstable index"}
+			return nil, &CorruptionError{Detail: "corrupt sstable block index"}
 		}
 		rl := binary.LittleEndian.Uint32(idx)
-		if uint64(len(idx)) < 4+uint64(rl)+8 {
-			return nil, &CorruptionError{Detail: "corrupt sstable index entry"}
+		if uint64(len(idx)) < 4+uint64(rl)+29 {
+			return nil, &CorruptionError{Detail: "corrupt sstable block index entry"}
 		}
-		row := string(idx[4 : 4+rl])
-		off := binary.LittleEndian.Uint64(idx[4+rl:])
-		t.index = append(t.index, indexEntry{row: row, offset: off})
-		idx = idx[4+rl+8:]
+		e := idx[4+rl:]
+		m := blockMeta{
+			firstRow: string(idx[4 : 4+rl]),
+			off:      binary.LittleEndian.Uint64(e[0:]),
+			clen:     binary.LittleEndian.Uint64(e[8:]),
+			ulen:     binary.LittleEndian.Uint32(e[16:]),
+			cells:    binary.LittleEndian.Uint32(e[20:]),
+			crc:      binary.LittleEndian.Uint32(e[24:]),
+			codec:    e[28],
+		}
+		if m.off+m.clen > uint64(len(t.data)) {
+			return nil, &CorruptionError{Detail: "sstable block index points past payload area"}
+		}
+		t.blocks = append(t.blocks, m)
+		idx = idx[4+rl+29:]
 	}
-	b, err := decodeBloom(raw[bloomOff:crcOff])
+	b, err := decodeBloom(raw[bloomOff:body])
 	if err != nil {
 		return nil, err
 	}
 	t.bloom = b
-	// Block CRC table.
-	crcSec := raw[crcOff:body]
-	if len(crcSec) < 8 {
-		return nil, &CorruptionError{Detail: "corrupt sstable checksum section"}
-	}
-	t.blockSize = uint64(binary.LittleEndian.Uint32(crcSec[0:]))
-	n := binary.LittleEndian.Uint32(crcSec[4:])
-	if t.blockSize == 0 || uint64(len(crcSec)) != 8+uint64(n)*4 {
-		return nil, &CorruptionError{Detail: "corrupt sstable checksum table"}
-	}
-	t.crcs = make([]uint32, n)
-	for i := range t.crcs {
-		t.crcs[i] = binary.LittleEndian.Uint32(crcSec[8+i*4:])
-	}
-	if want := (uint64(len(t.data)) + t.blockSize - 1) / t.blockSize; uint64(n) != want {
-		return nil, &CorruptionError{Detail: fmt.Sprintf("sstable checksum table has %d blocks, want %d", n, want)}
-	}
-	// Min/max rows from first and last cells.
-	v := &blockVerifier{t: t}
-	if c, _, ok, err := t.readCell(v, 0); err != nil {
-		return nil, err
-	} else if ok {
-		t.minRow = c.Row
-	}
-	if len(t.index) > 0 {
-		last := t.index[len(t.index)-1].offset
+	if len(t.blocks) > 0 {
+		t.minRow = t.blocks[0].firstRow
+		// maxRow is the last cell of the last block; decode just that
+		// block rather than trusting an unverified field.
+		it := &ssIter{t: t, bi: len(t.blocks) - 1}
 		for {
-			c, next, ok, err := t.readCell(v, last)
-			if err != nil {
+			if err := it.advance(); err != nil {
 				return nil, err
 			}
-			if !ok {
+			if !it.ok {
 				break
 			}
-			t.maxRow = c.Row
-			last = next
+			t.maxRow = it.cur.Row
 		}
 	}
 	return t, nil

@@ -1,0 +1,81 @@
+package hstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchCells is sized so the table spans many blocks with a mix of
+// flate and raw payloads, like a flushed profile-store segment.
+func benchCells(b *testing.B) []Cell {
+	b.Helper()
+	return compressibleCells(2000)
+}
+
+func BenchmarkSSTableBlockEncode(b *testing.B) {
+	cells := benchCells(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := buildSSTable(cells)
+		if t.count != len(cells) {
+			b.Fatalf("built %d cells, want %d", t.count, len(cells))
+		}
+	}
+	b.ReportMetric(compressionRatioOf(cells), "ratio")
+}
+
+func compressionRatioOf(cells []Cell) float64 {
+	return buildSSTable(cells).compressionRatio()
+}
+
+func BenchmarkSSTableBlockDecode(b *testing.B) {
+	raw := buildSSTable(benchCells(b)).encode()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeSSTable(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSTableScanIterator walks every cell through the lazy block
+// iterator — per-block CRC check, decompression, and prefix-decoded
+// entries included.
+func BenchmarkSSTableScanIterator(b *testing.B) {
+	cells := benchCells(b)
+	t := buildSSTable(cells)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := t.scanRange("", "", func(Cell) bool {
+			n++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n != len(cells) {
+			b.Fatalf("scanned %d cells, want %d", n, len(cells))
+		}
+	}
+}
+
+// BenchmarkSSTableSeekScan measures a selective range read: seek into
+// the middle of the table and visit one row's cells, the PST4 get path.
+func BenchmarkSSTableSeekScan(b *testing.B) {
+	t := buildSSTable(benchCells(b))
+	row := fmt.Sprintf("dyn/job_%04d", 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := t.scanRange(row, row+"\x00", func(Cell) bool {
+			n++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("seek scan found no cells")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package hstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PST3 was the previous sstable format: a flat cell area of
+// fixed-layout cells, a sparse row index every pst3IndexInterval cells,
+// a bloom filter, and a CRC32C table over fixed 4096-byte slices of the
+// cell area:
+//
+//	cells:  repeated [u32 rowLen | u32 colLen | i64 ts | u32 valLen | row | col | val]
+//	        (the top bit of colLen marks a tombstone)
+//	index:  repeated [u32 rowLen | row | u64 offset]
+//	bloom:  encoded bloom filter over row keys
+//	crcs:   [u32 blockSize | u32 nBlocks | nBlocks * u32 crc32c(block)]
+//	footer: [u64 indexOff | u64 bloomOff | u64 crcOff | u32 cellCount | u32 magic]
+//	file:   u32 crc32c(everything before this field)
+//
+// PST4 replaced it with compressed prefix-encoded blocks (sstable.go),
+// but files written by earlier versions must keep reading:
+// decodeSSTable dispatches here on the PST3 magic, every stored slice
+// is verified against its build-time CRC exactly as the old reader did,
+// and the extracted cells are rebuilt into an in-memory PST4 table.
+
+const (
+	tombstoneBit      = 1 << 31
+	pst3IndexInterval = 64
+)
+
+// decodePST3Cells extracts all cells from a checksum-valid PST3 image.
+// The caller has already verified the whole-file CRC; this re-verifies
+// the per-block CRC table over the cell area, preserving the original
+// format's corruption guarantees during conversion.
+func decodePST3Cells(raw []byte) ([]Cell, error) {
+	f := raw[len(raw)-sstFooterLen:]
+	indexOff := binary.LittleEndian.Uint64(f[0:])
+	bloomOff := binary.LittleEndian.Uint64(f[8:])
+	crcOff := binary.LittleEndian.Uint64(f[16:])
+	count := binary.LittleEndian.Uint32(f[24:])
+	body := uint64(len(raw) - sstFooterLen)
+	if indexOff > bloomOff || bloomOff > crcOff || crcOff > body {
+		return nil, &CorruptionError{Detail: "corrupt sstable footer offsets"}
+	}
+	data := raw[:indexOff]
+	// Verify the block CRC table over the whole cell area up front;
+	// conversion reads every cell anyway, so there is no laziness to
+	// preserve here.
+	crcSec := raw[crcOff:body]
+	if len(crcSec) < 8 {
+		return nil, &CorruptionError{Detail: "corrupt sstable checksum section"}
+	}
+	blockSize := uint64(binary.LittleEndian.Uint32(crcSec[0:]))
+	n := binary.LittleEndian.Uint32(crcSec[4:])
+	if blockSize == 0 || uint64(len(crcSec)) != 8+uint64(n)*4 {
+		return nil, &CorruptionError{Detail: "corrupt sstable checksum table"}
+	}
+	if want := (uint64(len(data)) + blockSize - 1) / blockSize; uint64(n) != want {
+		return nil, &CorruptionError{Detail: fmt.Sprintf("sstable checksum table has %d blocks, want %d", n, want)}
+	}
+	for i := uint64(0); i < uint64(n); i++ {
+		lo := i * blockSize
+		hi := lo + blockSize
+		if hi > uint64(len(data)) {
+			hi = uint64(len(data))
+		}
+		if got := crc32c(data[lo:hi]); got != binary.LittleEndian.Uint32(crcSec[8+i*4:]) {
+			return nil, &CorruptionError{Detail: fmt.Sprintf("sstable block %d checksum mismatch (got %#x want %#x)", i, got, binary.LittleEndian.Uint32(crcSec[8+i*4:]))}
+		}
+	}
+	cells := make([]Cell, 0, count)
+	off := uint64(0)
+	for off < uint64(len(data)) {
+		if off+20 > uint64(len(data)) {
+			return nil, &CorruptionError{Detail: fmt.Sprintf("sstable cell header torn at offset %d", off)}
+		}
+		rl := binary.LittleEndian.Uint32(data[off:])
+		rawCl := binary.LittleEndian.Uint32(data[off+4:])
+		deleted := rawCl&tombstoneBit != 0
+		cl := rawCl &^ uint32(tombstoneBit)
+		ts := int64(binary.LittleEndian.Uint64(data[off+8:]))
+		vl := binary.LittleEndian.Uint32(data[off+16:])
+		p := off + 20
+		end := p + uint64(rl) + uint64(cl) + uint64(vl)
+		if end > uint64(len(data)) {
+			return nil, &CorruptionError{Detail: fmt.Sprintf("sstable cell at offset %d overruns data area", off)}
+		}
+		cells = append(cells, Cell{
+			Row:     string(data[p : p+uint64(rl)]),
+			Column:  string(data[p+uint64(rl) : p+uint64(rl)+uint64(cl)]),
+			Ts:      ts,
+			Value:   append([]byte(nil), data[end-uint64(vl):end]...),
+			Deleted: deleted,
+		})
+		off = end
+	}
+	if len(cells) != int(count) {
+		return nil, &CorruptionError{Detail: fmt.Sprintf("sstable has %d cells, footer says %d", len(cells), count)}
+	}
+	return cells, nil
+}
+
+// encodePST3 writes sorted cells in the legacy PST3 file layout. Kept
+// so cross-version tests can fabricate old-format files without
+// carrying fixture blobs.
+func encodePST3(cells []Cell) []byte {
+	bl := newBloom(len(cells))
+	var out []byte
+	lastRow := ""
+	var index []struct {
+		row string
+		off uint64
+	}
+	for i, c := range cells {
+		if i%pst3IndexInterval == 0 {
+			index = append(index, struct {
+				row string
+				off uint64
+			}{c.Row, uint64(len(out))})
+		}
+		if c.Row != lastRow {
+			bl.Add(c.Row)
+			lastRow = c.Row
+		}
+		var hdr [20]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(c.Row)))
+		colLen := uint32(len(c.Column))
+		if c.Deleted {
+			colLen |= tombstoneBit
+		}
+		binary.LittleEndian.PutUint32(hdr[4:], colLen)
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(c.Ts))
+		binary.LittleEndian.PutUint32(hdr[16:], uint32(len(c.Value)))
+		out = append(out, hdr[:]...)
+		out = append(out, c.Row...)
+		out = append(out, c.Column...)
+		out = append(out, c.Value...)
+	}
+	dataLen := uint64(len(out))
+	indexOff := dataLen
+	for _, e := range index {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(e.row)))
+		out = append(out, hdr[:]...)
+		out = append(out, e.row...)
+		var off [8]byte
+		binary.LittleEndian.PutUint64(off[:], e.off)
+		out = append(out, off[:]...)
+	}
+	bloomOff := uint64(len(out))
+	out = append(out, bl.encode()...)
+	crcOff := uint64(len(out))
+	nBlocks := (dataLen + sstBlockSize - 1) / sstBlockSize
+	var w [8]byte
+	binary.LittleEndian.PutUint32(w[0:], uint32(sstBlockSize))
+	binary.LittleEndian.PutUint32(w[4:], uint32(nBlocks))
+	out = append(out, w[:]...)
+	for i := uint64(0); i < nBlocks; i++ {
+		lo := i * sstBlockSize
+		hi := lo + sstBlockSize
+		if hi > dataLen {
+			hi = dataLen
+		}
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], crc32c(out[lo:hi]))
+		out = append(out, b[:]...)
+	}
+	var footer [sstFooterLen]byte
+	binary.LittleEndian.PutUint64(footer[0:], indexOff)
+	binary.LittleEndian.PutUint64(footer[8:], bloomOff)
+	binary.LittleEndian.PutUint64(footer[16:], crcOff)
+	binary.LittleEndian.PutUint32(footer[24:], uint32(len(cells)))
+	binary.LittleEndian.PutUint32(footer[28:], sstMagic3)
+	out = append(out, footer[:sstFooterLen-4]...)
+	binary.LittleEndian.PutUint32(footer[sstFooterLen-4:], crc32c(out))
+	return append(out, footer[sstFooterLen-4:]...)
+}

@@ -185,11 +185,14 @@ func TestSSTableEmpty(t *testing.T) {
 	}
 }
 
-func TestSSTableSeekOffsetSkipsCells(t *testing.T) {
+func TestSSTableSeekBlockSkipsBlocks(t *testing.T) {
 	cells := makeCells(1000, 11)
 	tbl := buildSSTable(cells)
-	// Seeking deep into the table must not start at offset 0.
-	if off := tbl.seekOffset(tbl.maxRow); off == 0 {
-		t.Error("seek to maxRow started at offset 0 — sparse index unused")
+	if len(tbl.blocks) < 2 {
+		t.Fatalf("want multiple blocks for 1000 cells, got %d", len(tbl.blocks))
+	}
+	// Seeking deep into the table must not open the first block.
+	if bi := tbl.seekBlock(tbl.maxRow); bi == 0 {
+		t.Error("seek to maxRow started at block 0 — block index unused")
 	}
 }
