@@ -1,11 +1,11 @@
 // Command pstorm-vet runs the project's static analysis suite
 // (internal/analysis) over the module: the determinism, durability,
-// and concurrency invariants PStorM's profile store depends on,
-// enforced by tooling instead of reviewer memory.
+// concurrency, and tenancy invariants PStorM's profile store depends
+// on, enforced by tooling instead of reviewer memory.
 //
 // Usage:
 //
-//	pstorm-vet [-list] [packages]
+//	pstorm-vet [-list] [-checker name,...] [-json] [-baseline file] [-cache file] [packages]
 //
 // Package patterns are module-relative: "./..." (the default) checks
 // every non-test package; "./internal/hstore" or
@@ -17,7 +17,17 @@
 //
 //	pstorm-vet internal/analysis/testdata/src/clockfix
 //
-// Exits 1 when findings remain, 2 on load errors.
+// -checker runs a subset of the suite (comma-separated names; see
+// -list) while iterating on one checker. -json emits a machine-
+// readable report. -baseline names the accepted-debt file (default
+// vet-baseline.json at the module root, "none" disables); baselined
+// findings are dropped, and baseline entries matching nothing are
+// reported as stale. -cache names a findings cache keyed on a digest
+// of the module sources and the checker set, so a warm CI run skips
+// loading and analysis entirely.
+//
+// Exits 1 when findings (or stale baseline entries) remain, 2 on load
+// errors.
 //
 // Justified exceptions are annotated in the source on the finding's
 // line or the line above:
@@ -26,6 +36,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,14 +46,42 @@ import (
 	"pstorm/internal/analysis"
 )
 
+type report struct {
+	Findings      []analysis.Finding       `json:"findings"`
+	StaleBaseline []analysis.BaselineEntry `json:"stale_baseline,omitempty"`
+	Cached        bool                     `json:"cached"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list checkers and exit")
+	checkerFlag := flag.String("checker", "", "comma-separated checker names to run (default: the full suite)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
+	baselineFlag := flag.String("baseline", "", `baseline file (default <module>/vet-baseline.json, "none" to disable)`)
+	cacheFlag := flag.String("cache", "", "findings cache file for whole-module runs")
 	flag.Parse()
 	if *list {
 		for _, c := range analysis.Checkers() {
 			fmt.Printf("%-12s %s\n", c.Name(), c.Doc())
 		}
 		return
+	}
+
+	var checkers []analysis.Checker // nil = full suite
+	checkerNames := make([]string, 0, len(analysis.Checkers()))
+	if *checkerFlag != "" {
+		for _, name := range strings.Split(*checkerFlag, ",") {
+			name = strings.TrimSpace(name)
+			c := analysis.CheckerByName(name)
+			if c == nil {
+				fatal(fmt.Errorf("unknown checker %q (see -list)", name))
+			}
+			checkers = append(checkers, c)
+			checkerNames = append(checkerNames, name)
+		}
+	} else {
+		for _, c := range analysis.Checkers() {
+			checkerNames = append(checkerNames, c.Name())
+		}
 	}
 
 	cwd, err := os.Getwd()
@@ -66,36 +105,90 @@ func main() {
 		}
 	}
 
-	shown := 0
+	var out report
 	for _, dir := range fixtureDirs {
 		pkg, err := loader.LoadDir(dir, "fixture/"+filepath.Base(dir))
 		if err != nil {
 			fatal(err)
 		}
-		for _, f := range analysis.Run([]*analysis.Package{pkg}, nil) {
-			fmt.Println(f)
-			shown++
-		}
+		out.Findings = append(out.Findings, analysis.Run([]*analysis.Package{pkg}, checkers)...)
 	}
 
 	if len(patterns) > 0 || len(fixtureDirs) == 0 {
-		if len(patterns) == 0 {
+		explicit := len(patterns) > 0
+		if !explicit {
 			patterns = []string{"./..."}
 		}
-		pkgs, err := loader.LoadModule()
-		if err != nil {
-			fatal(err)
+
+		var modFindings []analysis.Finding
+		digest := ""
+		if *cacheFlag != "" {
+			if d, err := analysis.SourceDigest(root, checkerNames); err == nil {
+				digest = d
+				if cached, ok := analysis.LoadCache(*cacheFlag, digest); ok {
+					modFindings = cached
+					out.Cached = true
+				}
+			}
 		}
-		for _, f := range analysis.Run(pkgs, nil) {
-			if !matchesAny(f.Pos.Filename, root, loader.ModPath, pkgs, patterns) {
+		var pkgs []*analysis.Package
+		if !out.Cached || explicit {
+			// Explicit patterns need the package layout for matching even
+			// when the findings themselves come from the cache.
+			pkgs, err = loader.LoadModule()
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if !out.Cached {
+			modFindings = analysis.Run(pkgs, checkers)
+			if digest != "" {
+				if err := analysis.SaveCache(*cacheFlag, digest, modFindings); err != nil {
+					fmt.Fprintln(os.Stderr, "pstorm-vet: cache not written:", err)
+				}
+			}
+		}
+
+		bl := &analysis.Baseline{}
+		if *baselineFlag != "none" {
+			path := *baselineFlag
+			if path == "" {
+				path = filepath.Join(root, "vet-baseline.json")
+			}
+			bl, err = analysis.LoadBaseline(path)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		kept, stale := bl.Apply(modFindings, root)
+		out.StaleBaseline = stale
+		for _, f := range kept {
+			if explicit && !matchesAny(f.Pos.Filename, root, loader.ModPath, pkgs, patterns) {
 				continue
 			}
-			fmt.Println(f)
-			shown++
+			out.Findings = append(out.Findings, f)
 		}
 	}
-	if shown > 0 {
-		fmt.Fprintf(os.Stderr, "pstorm-vet: %d finding(s)\n", shown)
+
+	if *jsonOut {
+		if out.Findings == nil {
+			out.Findings = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range out.Findings {
+			fmt.Println(f)
+		}
+		for _, e := range out.StaleBaseline {
+			fmt.Fprintf(os.Stderr, "pstorm-vet: stale baseline entry (%s %s %q) matches nothing — delete it\n", e.Checker, e.File, e.Msg)
+		}
+	}
+	if n := len(out.Findings) + len(out.StaleBaseline); n > 0 {
+		fmt.Fprintf(os.Stderr, "pstorm-vet: %d finding(s)\n", n)
 		os.Exit(1)
 	}
 }

@@ -1,7 +1,9 @@
 // Package analysis is pstorm's project-specific static analysis suite.
 // It enforces, by tooling, the invariants the profile store's
 // determinism and concurrency story depends on — invariants that were
-// previously guarded only by reviewer memory:
+// previously guarded only by reviewer memory.
+//
+// Intraprocedural checkers (each function judged on its own):
 //
 //   - clockcheck: no bare time.Now()/time.Since() calls; clocks are
 //     injected (MasterOptions.Now, hstore WallClock, obs.Registry.Now)
@@ -11,20 +13,45 @@
 //     the same seed produce byte-identical profiles and models.
 //   - lockcheck: no mutex held across a network/RPC call in the same
 //     function — a latency/deadlock hazard in the master and region
-//     servers.
+//     servers. Read locks and TryLock-acquired locks count.
 //   - walerrcheck: no discarded error from WAL/persist/flush/fsync
 //     path calls; durability errors must be handled or returned.
 //   - obscheck: metric and event names are compile-time constants in
 //     lowercase_snake form, and one name is never registered as two
 //     different metric kinds.
 //
+// Interprocedural checkers (built on the whole-module call graph and
+// dataflow core in callgraph.go / dataflow.go / taint.go):
+//
+//   - lockorder: the global mutex-acquisition-order graph (which lock
+//     classes are acquired while which others are held, across function
+//     and package boundaries) must be acyclic — a cycle is a potential
+//     deadlock even when every individual function looks fine.
+//   - ctxcheck: functions reachable from HTTP handlers thread their
+//     context.Context: bare context.Background()/TODO() on a
+//     handler-reachable path is a finding, and context.WithoutCancel
+//     always needs a //pstorm:allow reason.
+//   - tenantcheck: request-derived strings (headers, query fields,
+//     decoded request bodies) must not reach a KV row-key position
+//     without flowing through core.ValidateTenant/NewTenantStore —
+//     a raw "ftype/<tenant>!<jobID>" built from request input is a
+//     cross-tenant escape hatch.
+//   - leakcheck: goroutines spawned in long-lived server packages
+//     (hstore, dstore, gateway, cluster) must be tied to a WaitGroup,
+//     a stop channel, or a context on their path — or be provably
+//     bounded one-shots — so Close actually closes.
+//
 // Justified exceptions carry a line directive, on the finding's line
 // or the line above:
 //
 //	//pstorm:allow <checker> <reason>
 //
-// The reason is mandatory and an unknown checker name in a directive
-// is itself reported, so the exception list stays auditable.
+// The reason is mandatory; an unknown checker name in a directive is
+// itself reported; and a directive that no longer suppresses anything
+// is reported as an unusedallow finding — so the exception list stays
+// auditable and cannot rot silently. Findings that predate a checker
+// (accepted tech debt) live in the committed baseline file instead
+// (see baseline.go): new violations fail, old ones are tracked.
 package analysis
 
 import (
@@ -36,15 +63,50 @@ import (
 	"strings"
 )
 
-// Finding is one report from one checker.
+// Finding is one report from one checker. All fields are exported and
+// JSON-serializable so pstorm-vet -json and the summary cache can
+// round-trip findings losslessly.
 type Finding struct {
-	Checker string
-	Pos     token.Position
-	Msg     string
+	Checker string         `json:"checker"`
+	Pos     token.Position `json:"pos"`
+	Msg     string         `json:"msg"`
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Checker, f.Msg)
+}
+
+// Module is the loaded module plus lazily built whole-program facts
+// that checkers share: today the call graph (with HTTP-handler roots
+// and handler-reachability) built once per Run, tomorrow whatever the
+// next interprocedural checker needs. Sharing the facts here keeps a
+// nine-checker run at one call-graph construction instead of four.
+type Module struct {
+	Pkgs []*Package
+
+	cg        *CallGraph
+	reachable map[*types.Func]bool
+}
+
+// NewModule wraps loaded packages for checking.
+func NewModule(pkgs []*Package) *Module { return &Module{Pkgs: pkgs} }
+
+// Graph returns the module call graph, building it on first use.
+func (m *Module) Graph() *CallGraph {
+	if m.cg == nil {
+		m.cg = buildCallGraph(m.Pkgs)
+	}
+	return m.cg
+}
+
+// HandlerReachable returns the set of functions reachable from HTTP
+// handler roots (see CallGraph.HandlerRoots), computed once per Run.
+func (m *Module) HandlerReachable() map[*types.Func]bool {
+	if m.reachable == nil {
+		g := m.Graph()
+		m.reachable = g.Reachable(g.HandlerRoots())
+	}
+	return m.reachable
 }
 
 // Checker inspects the loaded module and reports findings.
@@ -53,9 +115,10 @@ type Checker interface {
 	Name() string
 	// Doc is a one-line description of the enforced invariant.
 	Doc() string
-	// Check runs over every package at once (some checks, like metric
-	// name uniqueness, are cross-package).
-	Check(pkgs []*Package, report func(pos token.Position, msg string))
+	// Check runs over the whole module at once (many checks — metric
+	// name uniqueness, lock ordering, handler reachability — are
+	// cross-package).
+	Check(m *Module, report func(pos token.Position, msg string))
 }
 
 // Checkers returns the full suite, in output order.
@@ -66,7 +129,21 @@ func Checkers() []Checker {
 		lockCheck{},
 		walErrCheck{},
 		obsCheck{},
+		lockOrderCheck{},
+		ctxCheck{},
+		tenantCheck{},
+		leakCheck{},
 	}
+}
+
+// CheckerByName returns the named checker, or nil.
+func CheckerByName(name string) Checker {
+	for _, c := range Checkers() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
 }
 
 // directiveChecker is the pseudo-checker name for problems with
@@ -74,20 +151,27 @@ func Checkers() []Checker {
 // suppressible.
 const directiveChecker = "directive"
 
+// unusedAllowChecker is the pseudo-checker name for //pstorm:allow
+// directives that no longer suppress any finding. Like directive
+// findings, these are not suppressible — the fix is deleting the stale
+// directive, not excusing it.
+const unusedAllowChecker = "unusedallow"
+
 const directivePrefix = "//pstorm:allow"
 
 type directive struct {
 	pos     token.Position
 	checker string
 	reason  string
+	used    bool
 }
 
 // collectDirectives scans every comment of every file for
 // //pstorm:allow lines. Malformed directives (missing reason, unknown
 // checker name) are reported as findings so exceptions cannot rot
 // silently.
-func collectDirectives(pkgs []*Package, known map[string]bool, report func(Finding)) map[string]map[int][]directive {
-	byFile := make(map[string]map[int][]directive)
+func collectDirectives(pkgs []*Package, known map[string]bool, report func(Finding)) map[string]map[int][]*directive {
+	byFile := make(map[string]map[int][]*directive)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -114,10 +198,10 @@ func collectDirectives(pkgs []*Package, known map[string]bool, report func(Findi
 					}
 					m := byFile[pos.Filename]
 					if m == nil {
-						m = make(map[int][]directive)
+						m = make(map[int][]*directive)
 						byFile[pos.Filename] = m
 					}
-					m[pos.Line] = append(m[pos.Line], directive{pos, name, reason})
+					m[pos.Line] = append(m[pos.Line], &directive{pos: pos, checker: name, reason: reason})
 				}
 			}
 		}
@@ -126,9 +210,10 @@ func collectDirectives(pkgs []*Package, known map[string]bool, report func(Findi
 }
 
 // suppressed reports whether a finding is covered by a directive on
-// its own line or the line immediately above.
-func suppressed(f Finding, dirs map[string]map[int][]directive) bool {
-	if f.Checker == directiveChecker {
+// its own line or the line immediately above, marking the directive
+// used so stale ones can be reported.
+func suppressed(f Finding, dirs map[string]map[int][]*directive) bool {
+	if f.Checker == directiveChecker || f.Checker == unusedAllowChecker {
 		return false
 	}
 	m := dirs[f.Pos.Filename]
@@ -138,6 +223,7 @@ func suppressed(f Finding, dirs map[string]map[int][]directive) bool {
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
 		for _, d := range m[line] {
 			if d.checker == f.Checker {
+				d.used = true
 				return true
 			}
 		}
@@ -147,7 +233,11 @@ func suppressed(f Finding, dirs map[string]map[int][]directive) bool {
 
 // Run executes the given checkers over pkgs and returns the surviving
 // (non-suppressed) findings sorted by position. A nil checkers slice
-// runs the full suite.
+// runs the full suite. Directives belonging to a checker that ran but
+// suppressed nothing come back as unusedallow findings; directives for
+// checkers outside the run are left alone, so a single-checker run
+// (pstorm-vet -checker lockorder) never flags another checker's
+// exceptions.
 func Run(pkgs []*Package, checkers []Checker) []Finding {
 	if checkers == nil {
 		checkers = Checkers()
@@ -156,12 +246,17 @@ func Run(pkgs []*Package, checkers []Checker) []Finding {
 	for _, c := range Checkers() {
 		known[c.Name()] = true
 	}
+	ran := make(map[string]bool)
+	for _, c := range checkers {
+		ran[c.Name()] = true
+	}
+	mod := NewModule(pkgs)
 	var all []Finding
 	collect := func(f Finding) { all = append(all, f) }
 	dirs := collectDirectives(pkgs, known, collect)
 	for _, c := range checkers {
 		name := c.Name()
-		c.Check(pkgs, func(pos token.Position, msg string) {
+		c.Check(mod, func(pos token.Position, msg string) {
 			collect(Finding{name, pos, msg})
 		})
 	}
@@ -169,6 +264,16 @@ func Run(pkgs []*Package, checkers []Checker) []Finding {
 	for _, f := range all {
 		if !suppressed(f, dirs) {
 			out = append(out, f)
+		}
+	}
+	for _, m := range dirs {
+		for _, ds := range m {
+			for _, d := range ds {
+				if !d.used && ran[d.checker] {
+					out = append(out, Finding{unusedAllowChecker, d.pos,
+						fmt.Sprintf("pstorm:allow %s no longer suppresses any finding — delete the stale directive", d.checker)})
+				}
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -186,15 +291,17 @@ func Run(pkgs []*Package, checkers []Checker) []Finding {
 
 // calleeFunc resolves the static callee of a call expression, or nil
 // for calls through function values, conversions, and built-ins.
+// Instantiated generic functions and methods resolve to their origin
+// (the declared object), so call-graph nodes are keyed consistently.
 func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
 		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
-			return fn
+			return fn.Origin()
 		}
 	case *ast.Ident:
 		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
-			return fn
+			return fn.Origin()
 		}
 	}
 	return nil

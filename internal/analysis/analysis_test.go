@@ -103,6 +103,38 @@ func TestWalerrcheckFixture(t *testing.T) {
 }
 func TestObscheckFixture(t *testing.T) { runFixture(t, "obsfix", obsCheck{}) }
 
+func TestLockorderFixture(t *testing.T) { runFixture(t, "lockorderfix", lockOrderCheck{}) }
+func TestCtxcheckFixture(t *testing.T)  { runFixture(t, "ctxfix", ctxCheck{}) }
+func TestTenantcheckFixture(t *testing.T) {
+	runFixture(t, "tenantfix", tenantCheck{})
+}
+func TestLeakcheckFixture(t *testing.T) { runFixture(t, "leakfix", leakCheck{}) }
+
+// TestUnusedAllow: a directive that suppresses nothing is reported —
+// but only when the checker it names was part of the run, so a
+// single-checker session never flags another checker's exceptions.
+func TestUnusedAllow(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg := loadFixture(t, l, "unusedallowfix")
+
+	findings := Run([]*Package{pkg}, nil)
+	unused := 0
+	for _, f := range findings {
+		if f.Checker == unusedAllowChecker {
+			unused++
+			continue
+		}
+		t.Errorf("unexpected finding: %s", f)
+	}
+	if unused != 1 {
+		t.Errorf("unusedallow findings = %d, want 1 (one stale directive in the fixture)", unused)
+	}
+
+	if fs := Run([]*Package{pkg}, []Checker{randCheck{}}); len(fs) != 0 {
+		t.Errorf("randcheck-only run must not flag clockcheck directives, got:\n%s", joinFindings(fs))
+	}
+}
+
 // TestAllowDirectiveSuppresses runs the full suite over a fixture
 // whose findings are all annotated; nothing may survive.
 func TestAllowDirectiveSuppresses(t *testing.T) {
@@ -147,8 +179,9 @@ func TestMalformedDirectives(t *testing.T) {
 }
 
 // TestModuleClean is the repo's own gate: the full suite over every
-// non-test package must come back empty. This is the same run CI does
-// via cmd/pstorm-vet.
+// non-test package must come back empty modulo the committed baseline,
+// and every baseline entry must still match something. This is the
+// same run CI does via cmd/pstorm-vet.
 func TestModuleClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -168,8 +201,16 @@ func TestModuleClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("LoadModule found only %d packages — loader regression?", len(pkgs))
 	}
-	if findings := Run(pkgs, nil); len(findings) != 0 {
-		t.Errorf("module has %d unannotated findings:\n%s", len(findings), joinFindings(findings))
+	bl, err := LoadBaseline(filepath.Join(root, "vet-baseline.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	kept, stale := bl.Apply(Run(pkgs, nil), root)
+	if len(kept) != 0 {
+		t.Errorf("module has %d findings outside the baseline:\n%s", len(kept), joinFindings(kept))
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry (%s %s %q) matches nothing — delete it", e.Checker, e.File, e.Msg)
 	}
 }
 

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The baseline is the second of the two exception mechanisms, for the
+// findings a new checker surfaces in code that predates it. A
+// //pstorm:allow directive marks a site that is *right* despite the
+// rule; the baseline marks accepted debt — pre-existing findings that
+// should not block CI today but must not multiply. The file is
+// committed (vet-baseline.json at the module root), every entry
+// carries a mandatory justification, and entries that stop matching
+// anything are reported as stale so the file only ever shrinks.
+
+// BaselineEntry matches one accepted finding.
+type BaselineEntry struct {
+	// Checker must equal the finding's checker name.
+	Checker string `json:"checker"`
+	// File is the module-relative, slash-separated path of the finding.
+	File string `json:"file"`
+	// Msg is a substring the finding's message must contain. Substring
+	// (not equality) so a message wording tweak doesn't orphan entries;
+	// keep it specific enough to match one hazard.
+	Msg string `json:"msg"`
+	// Desc is the mandatory justification: why this is accepted debt
+	// and what retiring it would take.
+	Desc string `json:"desc"`
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline; an entry without a justification is an error — undocumented
+// exceptions are exactly what the mechanism exists to prevent.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.Checker == "" || e.File == "" || e.Msg == "" {
+			return nil, fmt.Errorf("baseline %s: entry %d needs checker, file, and msg", path, i)
+		}
+		if strings.TrimSpace(e.Desc) == "" {
+			return nil, fmt.Errorf("baseline %s: entry %d (%s %s) has no justification — desc is mandatory", path, i, e.Checker, e.File)
+		}
+	}
+	return &b, nil
+}
+
+// Apply splits findings into those the baseline accepts and those it
+// does not, and returns the entries that matched nothing (stale debt
+// that was paid off — the entry should be deleted).
+func (b *Baseline) Apply(findings []Finding, root string) (kept []Finding, stale []BaselineEntry) {
+	used := make([]bool, len(b.Entries))
+	for _, f := range findings {
+		rel := f.Pos.Filename
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel = r
+		}
+		rel = filepath.ToSlash(rel)
+		matched := false
+		for i, e := range b.Entries {
+			if e.Checker == f.Checker && e.File == rel && strings.Contains(f.Msg, e.Msg) {
+				used[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			kept = append(kept, f)
+		}
+	}
+	for i, e := range b.Entries {
+		if !used[i] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Findings cache: a full-suite run over the module is pure in the
+// module's sources (directives live in source too), so CI can reuse a
+// prior run's findings when nothing analyzed has changed. The key is a
+// digest over go.mod, go.sum, every non-test .go file, the checker
+// suite, and a schema version; the value is the post-suppression,
+// pre-baseline finding list (the baseline file is applied after load
+// precisely so editing it never invalidates the cache).
+
+// cacheSchema versions the cache format and the analysis semantics.
+// Bump when a checker's behavior changes without a source change
+// being required (new checker, changed message, changed precision).
+const cacheSchema = "pstorm-vet-cache-v1"
+
+// SourceDigest hashes everything a full-suite run depends on.
+func SourceDigest(rootDir string, checkerNames []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheSchema)
+	fmt.Fprintln(h, strings.Join(checkerNames, ","))
+	var files []string
+	for _, f := range []string{"go.mod", "go.sum"} {
+		files = append(files, filepath.Join(rootDir, f))
+	}
+	err := filepath.WalkDir(rootDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue // go.sum may be absent
+		}
+		if err != nil {
+			return "", err
+		}
+		rel, _ := filepath.Rel(rootDir, path)
+		fmt.Fprintf(h, "%s %d\n", filepath.ToSlash(rel), len(data))
+		h.Write(data)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+type cacheFile struct {
+	Digest   string    `json:"digest"`
+	Findings []Finding `json:"findings"`
+}
+
+// LoadCache returns the cached findings if the file exists and its
+// digest matches.
+func LoadCache(path, digest string) ([]Finding, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var c cacheFile
+	if err := json.Unmarshal(data, &c); err != nil || c.Digest != digest {
+		return nil, false
+	}
+	return c.Findings, true
+}
+
+// SaveCache writes findings under the digest. Best effort: an
+// unwritable cache path degrades to a cold run, not a failure.
+func SaveCache(path, digest string, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	data, err := json.MarshalIndent(cacheFile{Digest: digest, Findings: findings}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

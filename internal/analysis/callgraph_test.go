@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+// TestHandlerReachability: the call graph finds handler roots by
+// signature (including the closure-registration pattern) and
+// reachability crosses plain calls but respects declaration
+// boundaries.
+func TestHandlerReachability(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg := loadFixture(t, l, "ctxfix")
+	m := NewModule([]*Package{pkg})
+	reach := m.HandlerReachable()
+
+	byName := func(name string) bool {
+		if pkg.Types.Scope().Lookup(name) == nil {
+			t.Fatalf("function %s not found", name)
+		}
+		for f := range reach {
+			if f.Name() == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, want := range []string{"handle", "fetch", "refresh", "todoOnPath", "register", "lookup"} {
+		if !byName(want) {
+			t.Errorf("%s should be handler-reachable", want)
+		}
+	}
+	if byName("offline") {
+		t.Errorf("offline must not be handler-reachable")
+	}
+
+	roots := m.Graph().HandlerRoots()
+	rootNames := make(map[string]bool)
+	for _, r := range roots {
+		rootNames[r.Fn.Name()] = true
+	}
+	if !rootNames["handle"] || !rootNames["todoOnPath"] || !rootNames["register"] {
+		t.Errorf("handler roots = %v, want handle, todoOnPath, and register (closure pattern)", rootNames)
+	}
+}
+
+// TestBottomUpSummaries: summaries compose callees-first — a fact true
+// of a leaf is visible two callers up.
+func TestBottomUpSummaries(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg := loadFixture(t, l, "lockorderfix")
+	g := NewModule([]*Package{pkg}).Graph()
+
+	// Summary: "transitively calls lockA".
+	callsLockA := BottomUp(g, func(n *CGNode, get func(fn *types.Func) bool) bool {
+		if n.Fn.Name() == "lockA" {
+			return true
+		}
+		for _, e := range n.Out {
+			if get(e.Callee.Fn) {
+				return true
+			}
+		}
+		return false
+	}, func(a, b bool) bool { return a == b })
+
+	want := map[string]bool{"lockA": true, "takeBA": true, "takeAB": false, "cThenD": false}
+	for _, n := range g.Order {
+		if expect, ok := want[n.Fn.Name()]; ok && callsLockA[n.Fn] != expect {
+			t.Errorf("callsLockA[%s] = %v, want %v", n.Fn.Name(), callsLockA[n.Fn], expect)
+		}
+	}
+}
+
+// TestBuildCFG: branch/join and loop back-edge structure on a small
+// hand-parsed function.
+func TestBuildCFG(t *testing.T) {
+	src := `package p
+func f(c bool, xs []int) int {
+	n := 0
+	if c {
+		n = 1
+	} else {
+		n = 2
+	}
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := file.Decls[0].(*ast.FuncDecl)
+	cfg := BuildCFG(decl.Body)
+
+	if cfg.Entry == nil || len(cfg.Blocks) == 0 {
+		t.Fatal("empty CFG")
+	}
+	// Entry holds the init assignment and the if condition, then
+	// branches two ways.
+	if got := len(cfg.Entry.Succs); got != 2 {
+		t.Errorf("entry successors = %d, want 2 (then/else)", got)
+	}
+	// Some block must loop back (the range head is its body's
+	// successor's successor).
+	hasBackEdge := false
+	seenIdx := make(map[*Block]int)
+	for i, b := range cfg.Blocks {
+		seenIdx[b] = i
+	}
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if seenIdx[s] <= seenIdx[b] && s != b {
+				hasBackEdge = true
+			}
+		}
+	}
+	if !hasBackEdge {
+		t.Error("range loop produced no back edge")
+	}
+}
+
+// TestForwardSolver: constant reachability of held-style state through
+// branches — after an if/else that locks on one arm only, the join
+// must be the union (may-analysis).
+func TestForwardSolver(t *testing.T) {
+	src := `package p
+import "sync"
+func f(c bool, mu *sync.Mutex) {
+	if c {
+		mu.Lock()
+	}
+	work()
+}
+func work() {}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := file.Decls[1].(*ast.FuncDecl) // Decls[0] is the import block
+	cfg := BuildCFG(decl.Body)
+
+	type S = map[string]bool
+	flow := FlowFuncs[S]{
+		Transfer: func(n ast.Node, s S) S {
+			out := make(S, len(s))
+			for k := range s {
+				out[k] = true
+			}
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Lock" {
+						out["mu"] = true
+					}
+				}
+				return true
+			})
+			return out
+		},
+		Join: func(a, b S) S {
+			out := make(S)
+			for k := range a {
+				out[k] = true
+			}
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b S) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(s S) S {
+			out := make(S, len(s))
+			for k := range s {
+				out[k] = true
+			}
+			return out
+		},
+	}
+	sawWork := false
+	ForwardVisit(cfg, make(S), flow, func(n ast.Node, s S) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "work" {
+					sawWork = true
+					if !s["mu"] {
+						t.Error("join after one-armed lock must include the lock (may-analysis)")
+					}
+				}
+			}
+			return true
+		})
+	})
+	if !sawWork {
+		t.Fatal("solver never reached the work() call")
+	}
+}
+
+// TestBaselineApply: matching entries absorb findings, unmatched
+// entries come back stale, unmatched findings survive.
+func TestBaselineApply(t *testing.T) {
+	root := string(filepath.Separator) + "mod"
+	mk := func(file, checker, msg string) Finding {
+		return Finding{Checker: checker, Msg: msg,
+			Pos: token.Position{Filename: filepath.Join(root, filepath.FromSlash(file)), Line: 1}}
+	}
+	bl := &Baseline{Entries: []BaselineEntry{
+		{Checker: "ctxcheck", File: "a/b.go", Msg: "Background", Desc: "debt"},
+		{Checker: "ctxcheck", File: "a/gone.go", Msg: "Background", Desc: "paid off"},
+	}}
+	findings := []Finding{
+		mk("a/b.go", "ctxcheck", "context.Background() in x"),
+		mk("a/b.go", "clockcheck", "bare time.Now()"),
+	}
+	kept, stale := bl.Apply(findings, root)
+	if len(kept) != 1 || kept[0].Checker != "clockcheck" {
+		t.Errorf("kept = %v, want just the clockcheck finding", kept)
+	}
+	if len(stale) != 1 || stale[0].File != "a/gone.go" {
+		t.Errorf("stale = %v, want the a/gone.go entry", stale)
+	}
+}
+
+// TestCacheRoundTrip: same digest loads, different digest misses.
+func TestCacheRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	fs := []Finding{{Checker: "ctxcheck", Msg: "m", Pos: token.Position{Filename: "f.go", Line: 3}}}
+	if err := SaveCache(path, "d1", fs); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := LoadCache(path, "d1")
+	if !ok || len(got) != 1 || got[0] != fs[0] {
+		t.Errorf("LoadCache(d1) = %v, %v; want the saved finding", got, ok)
+	}
+	if _, ok := LoadCache(path, "d2"); ok {
+		t.Error("LoadCache with a different digest must miss")
+	}
+}

@@ -21,8 +21,8 @@ func (clockCheck) Doc() string {
 	return "no bare time.Now()/time.Since() calls; inject a clock or annotate"
 }
 
-func (clockCheck) Check(pkgs []*Package, report func(token.Position, string)) {
-	for _, pkg := range pkgs {
+func (clockCheck) Check(m *Module, report func(token.Position, string)) {
+	for _, pkg := range m.Pkgs {
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// ctxCheck enforces context threading on request paths. Any function
+// reachable from an HTTP handler (per the module call graph) that
+// calls context.Background() or context.TODO() is cutting the request
+// context: cancellation and deadlines stop propagating exactly where
+// they matter most, so a departed client keeps burning scans and a
+// gateway timeout stops meaning anything. context.WithoutCancel is
+// flagged everywhere, reachable or not — detaching lifetime is
+// occasionally right (a singleflight leader must outlive the first
+// caller) but never silently: it requires a //pstorm:allow ctxcheck
+// reason at the site.
+//
+// Package main is exempt from the Background/TODO rule: a process
+// entry point is where root contexts are legitimately minted.
+type ctxCheck struct{}
+
+func (ctxCheck) Name() string { return "ctxcheck" }
+func (ctxCheck) Doc() string {
+	return "handler-reachable code threads its context; no bare Background()/TODO(), WithoutCancel needs a reason"
+}
+
+func (ctxCheck) Check(m *Module, report func(token.Position, string)) {
+	reachable := m.HandlerReachable()
+	for _, pkg := range m.Pkgs {
+		isMain := pkg.Types.Name() == "main"
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				fn := declFunc(pkg, decl)
+				inReach := fn != nil && reachable[fn]
+				// Function literals inherit the enclosing declaration's
+				// reachability: a closure built on a handler path runs on
+				// that path.
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeFunc(pkg, call)
+					if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+						return true
+					}
+					switch callee.Name() {
+					case "WithoutCancel":
+						report(pkg.Fset.Position(call.Pos()),
+							"context.WithoutCancel detaches the request lifetime — annotate //pstorm:allow ctxcheck <reason> if the detachment is intentional")
+					case "Background", "TODO":
+						if inReach && !isMain {
+							report(pkg.Fset.Position(call.Pos()),
+								fmt.Sprintf("context.%s() in %s, which is reachable from an HTTP handler — thread the request context instead of minting a root one", callee.Name(), funcDisplay(fn)))
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}

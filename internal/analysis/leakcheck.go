@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// leakCheck ties every goroutine spawned in a long-lived server
+// package to a lifecycle: the chaos harness's leak budget and the
+// fleet gateway's restart story both assume Close actually quiesces
+// the process. A `go` statement passes when, somewhere on its body's
+// path (interprocedurally, via bottom-up summaries), it:
+//
+//   - calls Done on a sync.WaitGroup (someone Waits for it);
+//   - receives or selects on a stop-style channel (chan struct{}, or a
+//     name like stop/done/quit/closing/shutdown);
+//   - uses a context.Context — calls a method on one or passes one
+//     into a call — so cancellation reaches it;
+//
+// or is a provably bounded one-shot: no loops or selects, and every
+// channel send targets a channel created with a buffer in the
+// enclosing function (the hedged-read pattern: the goroutine runs one
+// operation, delivers without blocking, and exits).
+//
+// Scope is limited to the packages that run for the process lifetime —
+// hstore, dstore, gateway, cluster — because a short-lived tool
+// leaking a goroutine until exit is not a bug worth a directive.
+type leakCheck struct{}
+
+func (leakCheck) Name() string { return "leakcheck" }
+func (leakCheck) Doc() string {
+	return "goroutines in server packages are tied to a WaitGroup, stop channel, or context"
+}
+
+var leakScopePkgs = []string{"hstore", "dstore", "gateway", "cluster", "leakfix"}
+
+func leakScoped(pkgPath string) bool {
+	for _, s := range leakScopePkgs {
+		if strings.Contains(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+var stopChanName = regexp.MustCompile(`(?i)stop|done|quit|clos|shutdown|exit`)
+
+func (leakCheck) Check(m *Module, report func(token.Position, string)) {
+	g := m.Graph()
+
+	// Bottom-up: does calling fn put lifecycle observation on the
+	// goroutine's path? Local evidence in the declaration and its
+	// synchronously-executed literals, plus any non-go callee that
+	// observes. (A managed goroutine fn itself spawns is fn's own
+	// business — KindGo edges don't make the caller observed.)
+	localEv := make(map[*types.Func]bool)
+	for _, fs := range moduleScopes(m.Pkgs) {
+		fn := fs.Fn()
+		if fn == nil || fs.GoLit {
+			continue
+		}
+		if !localEv[fn] && lifecycleEvidence(fs.Pkg, fs.Body, nil) {
+			localEv[fn] = true
+		}
+	}
+	observes := BottomUp(g, func(n *CGNode, get func(*types.Func) bool) bool {
+		if localEv[n.Fn] {
+			return true
+		}
+		for _, e := range n.Out {
+			if e.Kind != KindGo && get(e.Callee.Fn) {
+				return true
+			}
+		}
+		return false
+	}, func(a, b bool) bool { return a == b })
+	getObs := func(fn *types.Func) bool { return fn != nil && observes[fn.Origin()] }
+
+	for _, pkg := range m.Pkgs {
+		if !leakScoped(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					st, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if goStmtTied(pkg, decl, st, getObs) {
+						return true
+					}
+					report(pkg.Fset.Position(st.Pos()),
+						"goroutine is not tied to a WaitGroup, stop channel, or context — Close cannot reap it (bound its lifetime or annotate //pstorm:allow leakcheck <reason>)")
+					return true
+				})
+			}
+		}
+	}
+}
+
+// goStmtTied decides one go statement: direct literal bodies are
+// inspected in place, named callees consult their bottom-up summary,
+// and the bounded-one-shot escape hatch applies to literals only.
+func goStmtTied(pkg *Package, decl *ast.FuncDecl, st *ast.GoStmt, observes func(*types.Func) bool) bool {
+	if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+		if lifecycleEvidence(pkg, lit.Body, observes) {
+			return true
+		}
+		return boundedOneShot(pkg, decl, lit)
+	}
+	// go rs.heartbeatLoop(): the callee's own body must observe.
+	if fn := calleeFunc(pkg, st.Call); fn != nil && observes(fn) {
+		return true
+	}
+	// A context handed to the spawned call ties it too.
+	for _, a := range st.Call.Args {
+		if isContextExpr(pkg, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// lifecycleEvidence inspects a body (including nested literals — a
+// closure's observation still runs on this goroutine unless it is
+// itself go-spawned, and over-approximating there is the safe
+// direction) for any lifecycle tie. observes may be nil when callee
+// summaries are not yet available.
+func lifecycleEvidence(pkg *Package, body ast.Node, observes func(*types.Func) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && stopStyleChan(pkg, x.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg, x); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+					found = true // wg.Done()
+				}
+				if observes != nil && observes(fn) {
+					found = true
+				}
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && isContextExpr(pkg, sel.X) {
+				found = true // ctx.Done()/Err()/Deadline()...
+			}
+			for _, a := range x.Args {
+				if isContextExpr(pkg, a) {
+					found = true // cancellation propagates into the call
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// stopStyleChan reports whether a received-from expression looks like a
+// lifecycle channel: element type struct{} (the universal stop-signal
+// shape) or a stop-family name.
+func stopStyleChan(pkg *Package, e ast.Expr) bool {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		if ch, ok := tv.Type.Underlying().(*types.Chan); ok {
+			if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+				return true
+			}
+		}
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return stopChanName.MatchString(x.Name)
+	case *ast.SelectorExpr:
+		return stopChanName.MatchString(x.Sel.Name)
+	}
+	return false
+}
+
+func isContextExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Type != nil && tv.Type.String() == "context.Context"
+}
+
+// boundedOneShot recognizes the hedged-request idiom: a literal with no
+// loops or selects whose every send targets a channel made with a
+// buffer in the enclosing function — it performs one operation,
+// delivers its result without blocking, and exits.
+func boundedOneShot(pkg *Package, decl *ast.FuncDecl, lit *ast.FuncLit) bool {
+	ok := true
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt:
+			ok = false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				ok = false // a receive can block forever
+			}
+		case *ast.SendStmt:
+			if !bufferedChanVar(pkg, decl, x.Chan) {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// bufferedChanVar reports whether e names a variable that the
+// enclosing declaration creates with make(chan T, n>0) (a non-constant
+// capacity counts — the site chose a buffer deliberately).
+func bufferedChanVar(pkg *Package, decl *ast.FuncDecl, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	buffered := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if buffered {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, l := range as.Lhs {
+			lid, ok := l.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			def := pkg.Info.Defs[lid]
+			if def == nil {
+				def = pkg.Info.Uses[lid]
+			}
+			if def != obj {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				continue
+			}
+			if fid, ok := call.Fun.(*ast.Ident); ok && fid.Name == "make" {
+				buffered = true
+			}
+		}
+		return !buffered
+	})
+	return buffered
+}

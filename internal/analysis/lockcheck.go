@@ -17,6 +17,9 @@ import (
 // net.Dial, or a dstore client/conn call. The analysis is
 // intraprocedural and order-based: Lock(), then a network call before
 // the matching Unlock() (or with the Unlock deferred), is a finding.
+// Read locks count the same as write locks (a reader blocking on a
+// hung peer still starves every writer), and a successful
+// TryLock/TryRLock holds the lock just like Lock does.
 type lockCheck struct{}
 
 func (lockCheck) Name() string { return "lockcheck" }
@@ -30,8 +33,8 @@ type lockEvent struct {
 	key  string // lock receiver expression, or callee description for net calls
 }
 
-func (lockCheck) Check(pkgs []*Package, report func(token.Position, string)) {
-	for _, pkg := range pkgs {
+func (lockCheck) Check(m *Module, report func(token.Position, string)) {
+	for _, pkg := range m.Pkgs {
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				switch fn := n.(type) {
@@ -65,7 +68,7 @@ func checkLockScope(pkg *Package, body *ast.BlockStmt, report func(token.Positio
 		case *ast.CallExpr:
 			if key, name, ok := mutexOp(pkg, x); ok {
 				switch {
-				case name == "Lock" || name == "RLock":
+				case lockAcquires[name] || lockTryAcquires[name]:
 					events = append(events, lockEvent{x.Pos(), 0, key})
 				case deferred[x]:
 					events = append(events, lockEvent{x.Pos(), 2, key})
@@ -106,9 +109,10 @@ func checkLockScope(pkg *Package, body *ast.BlockStmt, report func(token.Positio
 	}
 }
 
-// mutexOp reports whether call is a Lock/RLock/Unlock/RUnlock on a
-// sync.Mutex or sync.RWMutex, and returns the lock's receiver
-// expression as its identity.
+// mutexOp reports whether call is a lock operation
+// (Lock/RLock/TryLock/TryRLock/Unlock/RUnlock) on a sync.Mutex or
+// sync.RWMutex, and returns the lock's receiver expression as its
+// identity.
 func mutexOp(pkg *Package, call *ast.CallExpr) (key, name string, ok bool) {
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
@@ -118,9 +122,9 @@ func mutexOp(pkg *Package, call *ast.CallExpr) (key, name string, ok bool) {
 	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return "", "", false
 	}
-	switch fn.Name() {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-		return types.ExprString(sel.X), fn.Name(), true
+	name = fn.Name()
+	if lockAcquires[name] || lockTryAcquires[name] || lockReleases[name] {
+		return types.ExprString(sel.X), name, true
 	}
 	return "", "", false
 }

@@ -1,0 +1,420 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockOrderCheck enforces a global mutex-acquisition order: if lock
+// class A is ever held while acquiring class B, no path anywhere in
+// the module may hold B while acquiring A — a cycle in the
+// acquisition-order graph is a potential deadlock even when every
+// individual function is locally correct (the hazard class PRs 5–7
+// grew: region locks vs compactMu vs the master's catalog lock, spread
+// across functions and packages).
+//
+// Locks are abstracted to classes — "(hstore.Region).mu" names the mu
+// field of every Region instance. Edges are collected per function by
+// a forward held-set dataflow over the CFG, and calls propagate the
+// callee's transitive may-acquire summary (computed bottom-up over the
+// call graph), so nesting hidden behind two levels of helpers is still
+// seen. Three deliberate precision choices:
+//
+//   - go-statement spawns carry no held state (a fresh goroutine holds
+//     nothing) and contribute nothing to a caller's may-acquire set;
+//   - TryLock/TryRLock acquisitions never create an incoming edge
+//     (a non-blocking acquire cannot deadlock) but do hold the lock
+//     for outgoing edges;
+//   - self-edges (one class nested under itself) are not reported:
+//     instance-level order within a class (e.g. locking regions in
+//     slice order) cannot be validated by a class-level abstraction.
+type lockOrderCheck struct{}
+
+func (lockOrderCheck) Name() string { return "lockorder" }
+func (lockOrderCheck) Doc() string {
+	return "the cross-module mutex acquisition-order graph is acyclic (no deadlock cycles)"
+}
+
+// lockAcquire classifies mutex methods: blocking acquires, conditional
+// acquires, and releases. Read locks are the same hazard as write
+// locks (two readers can still deadlock against two writers), so
+// RLock == Lock here.
+var (
+	lockAcquires    = map[string]bool{"Lock": true, "RLock": true}
+	lockTryAcquires = map[string]bool{"TryLock": true, "TryRLock": true}
+	lockReleases    = map[string]bool{"Unlock": true, "RUnlock": true}
+)
+
+// lockClassOp resolves a call to a sync.Mutex/RWMutex method into its
+// lock class and operation. ok is false for non-mutex calls and for
+// locks with no stable class identity (local mutex variables).
+func lockClassOp(pkg *Package, call *ast.CallExpr) (class, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	name := fn.Name()
+	if !lockAcquires[name] && !lockTryAcquires[name] && !lockReleases[name] {
+		return "", "", false
+	}
+	class = lockClass(pkg, sel.X)
+	if class == "" {
+		return "", "", false
+	}
+	return class, name, true
+}
+
+// lockClass names the lock's class: "(pkg.Type).field" for a mutex
+// field, "pkg.var" for a package-level mutex, "" for locks with no
+// cross-function identity (locals).
+func lockClass(pkg *Package, expr ast.Expr) string {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		// field access: identity is the container type + field name.
+		if tv, ok := pkg.Info.Types[x.X]; ok {
+			if named := namedOf(tv.Type); named != nil {
+				return fmt.Sprintf("(%s.%s).%s", named.Obj().Pkg().Name(), named.Obj().Name(), x.Sel.Name)
+			}
+		}
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pkg.Info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+			// Receiver with an embedded mutex: r.Lock() — class is the
+			// receiver's type.
+			if named := namedOf(v.Type()); named != nil {
+				return fmt.Sprintf("(%s.%s).embedded", named.Obj().Pkg().Name(), named.Obj().Name())
+			}
+		}
+	}
+	return ""
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if ok && n.Obj().Pkg() != nil {
+		return n
+	}
+	return nil
+}
+
+// lockHeld is the dataflow state: the set of lock classes that may be
+// held at a program point.
+type lockHeld map[string]bool
+
+func (h lockHeld) clone() lockHeld {
+	out := make(lockHeld, len(h))
+	for k := range h {
+		out[k] = true
+	}
+	return out
+}
+
+var lockFlow = FlowFuncs[lockHeld]{
+	Join: func(a, b lockHeld) lockHeld {
+		out := a.clone()
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	},
+	Equal: func(a, b lockHeld) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	},
+	Clone: func(s lockHeld) lockHeld { return s.clone() },
+}
+
+// lockWalk interprets one shallow CFG node: acquires and releases
+// mutate held in source order; onAcquire fires for blocking acquires
+// (with the pre-acquire held set), onCall for static calls to module
+// functions. Deferred releases are ignored (the lock stays held to
+// function exit); go statements are skipped entirely (their bodies are
+// separate scopes and their spawned callees run with an empty held
+// set).
+func lockWalk(pkg *Package, node ast.Node, held lockHeld, onAcquire func(class string, pos token.Pos), onCall func(fn *types.Func, pos token.Pos)) {
+	deferred := false
+	if d, ok := node.(*ast.DeferStmt); ok {
+		deferred = true
+		node = d.Call
+	}
+	if _, ok := node.(*ast.GoStmt); ok {
+		return
+	}
+	skipLits(node, func(x ast.Node) bool {
+		if _, ok := x.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if class, op, ok := lockClassOp(pkg, call); ok {
+			switch {
+			case lockAcquires[op]:
+				if onAcquire != nil {
+					onAcquire(class, call.Pos())
+				}
+				held[class] = true
+			case lockTryAcquires[op]:
+				held[class] = true // conditional acquire: no blocking edge in
+			case lockReleases[op] && !deferred:
+				delete(held, class)
+			}
+			return true
+		}
+		if fn := calleeFunc(pkg, call); fn != nil && onCall != nil {
+			onCall(fn, call.Pos())
+		}
+		return true
+	})
+}
+
+// lockEdge is one observed ordering: `from` held while acquiring `to`.
+type lockEdge struct {
+	from, to string
+	pos      token.Position
+	via      string // "" for a direct acquire, callee name for a call edge
+}
+
+func (lockOrderCheck) Check(m *Module, report func(token.Position, string)) {
+	g := m.Graph()
+
+	// Bottom-up may-acquire summaries: which lock classes can a call to
+	// fn end up acquiring on the caller's goroutine. Graph edges already
+	// attribute literal bodies to their declaration and mark go spawns,
+	// so this is a pure edge fold plus the declaration's local acquires.
+	localAcq := make(map[*types.Func]lockHeld)
+	for _, fs := range moduleScopes(m.Pkgs) {
+		fn := fs.Fn()
+		if fn == nil || fs.GoLit {
+			continue
+		}
+		acq := localAcq[fn]
+		if acq == nil {
+			acq = make(lockHeld)
+			localAcq[fn] = acq
+		}
+		for _, n := range collectCFGNodes(fs.Body) {
+			lockWalk(fs.Pkg, n, make(lockHeld), func(class string, _ token.Pos) { acq[class] = true }, nil)
+		}
+	}
+	eq := lockFlow.Equal
+	mayAcquire := BottomUp(g, func(n *CGNode, get func(*types.Func) lockHeld) lockHeld {
+		out := make(lockHeld)
+		for k := range localAcq[n.Fn] {
+			out[k] = true
+		}
+		for _, e := range n.Out {
+			if e.Kind == KindGo {
+				continue
+			}
+			for k := range get(e.Callee.Fn) {
+				out[k] = true
+			}
+		}
+		return out
+	}, func(a, b lockHeld) bool {
+		if a == nil {
+			a = lockHeld{}
+		}
+		if b == nil {
+			b = lockHeld{}
+		}
+		return eq(a, b)
+	})
+
+	// Per-scope edge pass: forward held-set flow, recording an edge for
+	// every (held, acquired) pair — acquired directly or via a callee's
+	// may-acquire summary.
+	edges := make(map[[2]string]lockEdge)
+	record := func(from, to string, pos token.Position, via string) {
+		if from == to {
+			return
+		}
+		key := [2]string{from, to}
+		if _, ok := edges[key]; !ok {
+			edges[key] = lockEdge{from, to, pos, via}
+		}
+	}
+	for _, fs := range moduleScopes(m.Pkgs) {
+		fs := fs
+		cfg := BuildCFG(fs.Body)
+		flow := lockFlow
+		flow.Transfer = func(n ast.Node, s lockHeld) lockHeld {
+			s = s.clone()
+			lockWalk(fs.Pkg, n, s, nil, nil)
+			return s
+		}
+		ForwardVisit(cfg, make(lockHeld), flow, func(n ast.Node, held lockHeld) {
+			held = held.clone()
+			lockWalk(fs.Pkg, n, held,
+				func(class string, pos token.Pos) {
+					for h := range held {
+						record(h, class, fs.Pkg.Fset.Position(pos), "")
+					}
+				},
+				func(fn *types.Func, pos token.Pos) {
+					if len(held) == 0 {
+						return
+					}
+					for to := range mayAcquire[fn.Origin()] {
+						for h := range held {
+							record(h, to, fs.Pkg.Fset.Position(pos), funcDisplay(fn))
+						}
+					}
+				})
+		})
+	}
+
+	// Cycle detection over the lock-class graph.
+	adj := make(map[string][]string)
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	comp := lockSCCs(adj)
+	var cyclic []lockEdge
+	for _, e := range edges {
+		if comp[e.from] != "" && comp[e.from] == comp[e.to] {
+			cyclic = append(cyclic, e)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool {
+		a, b := cyclic[i], cyclic[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.from+a.to < b.from+b.to
+	})
+	for _, e := range cyclic {
+		members := componentMembers(comp, comp[e.from])
+		what := fmt.Sprintf("acquires %s while holding %s", e.to, e.from)
+		if e.via != "" {
+			what = fmt.Sprintf("call to %s acquires %s while holding %s", e.via, e.to, e.from)
+		}
+		report(e.pos, fmt.Sprintf("lock order cycle: %s, but the reverse order also exists (cycle through %s) — pick one global order",
+			what, strings.Join(members, " → ")))
+	}
+}
+
+// collectCFGNodes flattens a body into the same shallow nodes a CFG
+// would hold, for passes that need no flow sensitivity.
+func collectCFGNodes(body *ast.BlockStmt) []ast.Node {
+	cfg := BuildCFG(body)
+	var out []ast.Node
+	for _, b := range cfg.Blocks {
+		out = append(out, b.Nodes...)
+	}
+	return out
+}
+
+// lockSCCs runs Tarjan over the string lock graph, returning a
+// component id per node; nodes in trivial components (no cycle) map to
+// "". Self-loops are excluded by construction (record skips them).
+func lockSCCs(adj map[string][]string) map[string]string {
+	nodes := make([]string, 0, len(adj))
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		add(from)
+		for _, to := range tos {
+			add(to)
+		}
+	}
+	sort.Strings(nodes)
+	for _, tos := range adj {
+		sort.Strings(tos)
+	}
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	comp := make(map[string]string)
+	next := 0
+	var connect func(n string)
+	connect = func(n string) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, w := range adj[n] {
+			if _, ok := index[w]; !ok {
+				connect(w)
+				if low[w] < low[n] {
+					low[n] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[n] {
+				low[n] = index[w]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == n {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sort.Strings(scc)
+				id := scc[0]
+				for _, w := range scc {
+					comp[w] = id
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			connect(n)
+		}
+	}
+	return comp
+}
+
+func componentMembers(comp map[string]string, id string) []string {
+	var out []string
+	for n, c := range comp {
+		if c == id {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -39,13 +39,13 @@ var obsRegistrars = map[string]string{
 	"Emit":      "",
 }
 
-func (obsCheck) Check(pkgs []*Package, report func(token.Position, string)) {
+func (obsCheck) Check(m *Module, report func(token.Position, string)) {
 	type reg struct {
 		kind string
 		pos  token.Position
 	}
 	byName := make(map[string][]reg)
-	for _, pkg := range pkgs {
+	for _, pkg := range m.Pkgs {
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)

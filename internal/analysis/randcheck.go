@@ -25,8 +25,8 @@ func (randCheck) Doc() string {
 	return "no global math/rand calls; use a per-component seeded *rand.Rand"
 }
 
-func (randCheck) Check(pkgs []*Package, report func(token.Position, string)) {
-	for _, pkg := range pkgs {
+func (randCheck) Check(m *Module, report func(token.Position, string)) {
+	for _, pkg := range m.Pkgs {
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)

@@ -1,0 +1,445 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the dataflow-lattice side of the tenant-taint analysis:
+// a forward taint propagation over the statement CFG, with per-function
+// summaries composed bottom-up over the call graph. The lattice value
+// per variable is a bitmask: bit 63 marks request-derived data (the
+// actual taint), bits 0..62 mark "derives from parameter i" and exist
+// only so summaries can be computed — a function's summary says which
+// of its parameters flow into its return values and which reach a raw
+// KV sink inside it, letting call sites transport taint through
+// helpers without reanalyzing them.
+
+const taintSrcBit uint64 = 1 << 63
+
+// taintSummary is the per-function interprocedural summary.
+type taintSummary struct {
+	// ret: parameters whose taint flows into a return value.
+	ret uint64
+	// sink: parameters that reach a raw KV operation's string argument
+	// (directly or through further calls).
+	sink uint64
+}
+
+// taintState maps in-scope variables to their taint masks.
+type taintState map[*types.Var]uint64
+
+func (s taintState) clone() taintState {
+	out := make(taintState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+var taintFlow = FlowFuncs[taintState]{
+	Join: func(a, b taintState) taintState {
+		out := a.clone()
+		for k, v := range b {
+			out[k] |= v
+		}
+		return out
+	},
+	Equal: func(a, b taintState) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	},
+	Clone: func(s taintState) taintState { return s.clone() },
+}
+
+// requestTyped reports whether a type carries request input by
+// construction: the request itself, its parsed query/form values, or
+// its header map.
+func requestTyped(t types.Type) bool {
+	switch t.String() {
+	case "*net/http.Request", "net/http.Request", "net/url.Values", "net/http.Header":
+		return true
+	}
+	return false
+}
+
+// kvVerbs are the raw KV surface: the method names of core.KV and the
+// dstore/hstore client equivalents. Their string arguments are
+// table/row/column coordinates — the positions tenant isolation guards.
+var kvVerbs = map[string]bool{
+	"CreateTable": true, "Put": true, "PutRow": true,
+	"Get": true, "Scan": true, "DeleteRow": true, "MultiGet": true,
+}
+
+// kvSink reports whether call is a raw KV operation: a KV-verb method
+// on a module-declared interface, or on a dstore/hstore client type.
+// Calls through core.Store are deliberately NOT sinks — Store methods
+// prefix every key with the validated tenant namespace, which is
+// exactly the sanctioned path.
+func kvSink(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || !kvVerbs[fn.Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if types.IsInterface(recv) {
+		// Interface KV surface (core.KV and friends): the interface must
+		// be module-declared — either in a pstorm package or in the
+		// package under analysis itself (fixtures declare their own).
+		if strings.Contains(fn.Pkg().Path(), "pstorm") || fn.Pkg() == pkg.Types {
+			return "KV." + fn.Name(), true
+		}
+		return "", false
+	}
+	if named := recvTypeName(sig); named != nil {
+		p := named.Pkg().Path()
+		if (strings.HasSuffix(p, "/dstore") || strings.HasSuffix(p, "/hstore")) &&
+			strings.HasSuffix(strings.ToLower(named.Name()), "client") {
+			return named.Name() + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// sanitizerClears returns the argument expressions a call sanitizes:
+// core.ValidateTenant(x) and core.NewTenantStore(kv, x) both vouch for
+// x, clearing its taint on every path after the call (the error path
+// returns immediately in all sanctioned shapes).
+func sanitizerClears(pkg *Package, call *ast.CallExpr) ([]ast.Expr, bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/core") {
+		return nil, false
+	}
+	switch fn.Name() {
+	case "ValidateTenant":
+		if len(call.Args) >= 1 {
+			return call.Args[:1], true
+		}
+	case "NewTenantStore":
+		if len(call.Args) >= 2 {
+			return call.Args[1:2], true
+		}
+	}
+	return nil, false
+}
+
+// taintEngine propagates taint through one function body.
+type taintEngine struct {
+	pkg *Package
+	// isLocal reports whether a callee is a module function with a
+	// summary (i.e. a call-graph node).
+	isLocal func(*types.Func) bool
+	// exempt reports whether a callee lives below the tenant boundary;
+	// calls into exempt code return untainted and are never sinks.
+	exempt func(*types.Func) bool
+	// sum returns the callee's summary (zero value outside the module).
+	sum func(*types.Func) taintSummary
+	// onSink fires for every string argument of a KV sink (or of a call
+	// whose summary says the argument reaches a sink), with the
+	// argument's taint mask.
+	onSink func(pos token.Pos, desc string, mask uint64)
+	// onReturn fires for each return statement with the union mask of
+	// its results.
+	onReturn func(mask uint64)
+}
+
+// exprMask computes the taint mask of an expression under state s.
+func (te *taintEngine) exprMask(e ast.Expr, s taintState) uint64 {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := te.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = te.pkg.Info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return 0
+		}
+		m := s[v]
+		if requestTyped(v.Type()) {
+			m |= taintSrcBit
+		}
+		return m
+	case *ast.SelectorExpr:
+		m := te.exprMask(x.X, s)
+		if tv, ok := te.pkg.Info.Types[x]; ok && requestTyped(tv.Type) {
+			m |= taintSrcBit
+		}
+		return m
+	case *ast.CallExpr:
+		return te.callMask(x, s)
+	case *ast.BinaryExpr:
+		return te.exprMask(x.X, s) | te.exprMask(x.Y, s)
+	case *ast.IndexExpr:
+		return te.exprMask(x.X, s) | te.exprMask(x.Index, s)
+	case *ast.SliceExpr:
+		return te.exprMask(x.X, s)
+	case *ast.StarExpr:
+		return te.exprMask(x.X, s)
+	case *ast.UnaryExpr:
+		return te.exprMask(x.X, s)
+	case *ast.TypeAssertExpr:
+		return te.exprMask(x.X, s)
+	case *ast.KeyValueExpr:
+		return te.exprMask(x.Value, s)
+	case *ast.CompositeLit:
+		var m uint64
+		for _, el := range x.Elts {
+			m |= te.exprMask(el, s)
+		}
+		return m
+	}
+	return 0
+}
+
+// callMask computes the taint of a call's result: sanitizers return
+// clean, module callees transport exactly the parameters their summary
+// says flow to returns, everything else conservatively derives its
+// result from all inputs.
+func (te *taintEngine) callMask(call *ast.CallExpr, s taintState) uint64 {
+	if _, ok := sanitizerClears(te.pkg, call); ok {
+		return 0
+	}
+	fn := calleeFunc(te.pkg, call)
+	var recvm uint64
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recvm = te.exprMask(sel.X, s)
+	}
+	if fn != nil && te.isLocal(fn) {
+		if te.exempt(fn) {
+			return 0
+		}
+		sum := te.sum(fn)
+		var m uint64
+		for i, a := range call.Args {
+			if i < 63 && sum.ret&(1<<uint(i)) != 0 {
+				m |= te.exprMask(a, s)
+			}
+		}
+		return m | recvm
+	}
+	// Unknown or stdlib callee: result derives from every input
+	// (Sprintf, strings.Join, Atoi, ...).
+	m := recvm
+	for _, a := range call.Args {
+		m |= te.exprMask(a, s)
+	}
+	if tv, ok := te.pkg.Info.Types[call]; ok && requestTyped(tv.Type) {
+		m |= taintSrcBit
+	}
+	return m
+}
+
+// applyCall handles a call's side effects on the state, and its sink
+// obligations: sanitizer clears, &x argument write-back (a tainted
+// decoder filling a struct), raw KV sinks, and summary-declared sinks
+// in module callees.
+func (te *taintEngine) applyCall(call *ast.CallExpr, s taintState) {
+	if cleared, ok := sanitizerClears(te.pkg, call); ok {
+		for _, e := range cleared {
+			if v := te.lhsVar(e); v != nil {
+				s[v] = 0
+			}
+		}
+		return
+	}
+
+	var inMask uint64
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		inMask = te.exprMask(sel.X, s)
+	}
+	for _, a := range call.Args {
+		inMask |= te.exprMask(a, s)
+	}
+	// json.NewDecoder(r.Body).Decode(&req): the pointee of an address
+	// argument absorbs the call's input taint.
+	if inMask != 0 {
+		for _, a := range call.Args {
+			if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if v := te.lhsVar(u.X); v != nil {
+					s[v] |= inMask
+				}
+			}
+		}
+	}
+
+	fn := calleeFunc(te.pkg, call)
+	if fn != nil && te.exempt(fn) {
+		return
+	}
+	if desc, ok := kvSink(te.pkg, call); ok && te.onSink != nil {
+		for _, a := range call.Args {
+			if !isStringExpr(te.pkg, a) {
+				continue
+			}
+			if m := te.exprMask(a, s); m != 0 {
+				te.onSink(a.Pos(), desc, m)
+			}
+		}
+		return
+	}
+	if fn != nil && te.isLocal(fn) && te.onSink != nil {
+		sum := te.sum(fn)
+		if sum.sink == 0 {
+			return
+		}
+		for i, a := range call.Args {
+			if i < 63 && sum.sink&(1<<uint(i)) != 0 {
+				if m := te.exprMask(a, s); m != 0 {
+					te.onSink(a.Pos(), funcDisplay(fn), m)
+				}
+			}
+		}
+	}
+}
+
+func isStringExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// lhsVar resolves an expression to the variable it names: an ident, or
+// the root ident of a selector/index chain (writes through a path taint
+// the container, weakly).
+func (te *taintEngine) lhsVar(e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := te.pkg.Info.Uses[x]
+			if obj == nil {
+				obj = te.pkg.Info.Defs[x]
+			}
+			v, _ := obj.(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// transfer interprets one shallow CFG node: call side effects and
+// sinks first (in the pre-assignment state), then assignments.
+func (te *taintEngine) transfer(n ast.Node, s taintState) taintState {
+	out := s.clone()
+	skipLits(n, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			te.applyCall(call, out)
+		}
+		return true
+	})
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		te.assign(st.Lhs, st.Rhs, st.Tok, out)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, id := range vs.Names {
+						lhs[i] = id
+					}
+					te.assign(lhs, vs.Values, token.DEFINE, out)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		if te.onReturn != nil {
+			var m uint64
+			for _, r := range st.Results {
+				m |= te.exprMask(r, out)
+			}
+			te.onReturn(m)
+		}
+	}
+	return out
+}
+
+func (te *taintEngine) assign(lhs, rhs []ast.Expr, tok token.Token, s taintState) {
+	masks := make([]uint64, len(lhs))
+	if len(rhs) == 1 && len(lhs) > 1 {
+		m := te.exprMask(rhs[0], s)
+		for i := range masks {
+			masks[i] = m
+		}
+	} else {
+		for i := range lhs {
+			if i < len(rhs) {
+				masks[i] = te.exprMask(rhs[i], s)
+			}
+		}
+	}
+	for i, l := range lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		v := te.lhsVar(l)
+		if v == nil {
+			continue
+		}
+		if _, isIdent := ast.Unparen(l).(*ast.Ident); isIdent && (tok == token.ASSIGN || tok == token.DEFINE) {
+			s[v] = masks[i]
+		} else {
+			// += style, or a write through a field/index path: weak update.
+			s[v] |= masks[i]
+		}
+	}
+}
+
+// runTaint solves one function body and streams sinks/returns to the
+// engine's callbacks. seed is the entry state (parameter bits for
+// summary computation, empty for the reporting pass). Callbacks are
+// muted during the fixpoint — a worklist revisits nodes with interim
+// states — and fire exactly once per node in a deterministic replay
+// over the solved states.
+func (te *taintEngine) runTaint(body *ast.BlockStmt, seed taintState) {
+	cfg := BuildCFG(body)
+	onSink, onReturn := te.onSink, te.onReturn
+	te.onSink, te.onReturn = nil, nil
+	flow := taintFlow
+	flow.Transfer = te.transfer
+	in := Forward(cfg, seed, flow)
+	te.onSink, te.onReturn = onSink, onReturn
+	for _, blk := range cfg.Blocks {
+		s, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		s = s.clone()
+		for _, n := range blk.Nodes {
+			s = te.transfer(n, s)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package ctxfix exercises ctxcheck: functions reachable from HTTP
+// handlers must not mint root contexts, and WithoutCancel always needs
+// a reason. Code off the request path may use Background freely.
+package ctxfix
+
+import (
+	"context"
+	"net/http"
+)
+
+// handle is a handler root; everything it calls is request-path code.
+func handle(w http.ResponseWriter, r *http.Request) {
+	fetch(r.Context(), "key")
+}
+
+func fetch(ctx context.Context, key string) {
+	_ = ctx
+	refresh()
+}
+
+// refresh is two hops from the handler — still on the request path.
+func refresh() {
+	ctx := context.Background() // want `context\.Background\(\) in .*refresh.* reachable from an HTTP handler`
+	_ = ctx
+}
+
+// todoOnPath: TODO is the same hazard as Background.
+func todoOnPath(w http.ResponseWriter, r *http.Request) {
+	ctx := context.TODO() // want `context\.TODO\(\) in .*todoOnPath`
+	_ = ctx
+}
+
+// detach: WithoutCancel is flagged everywhere, reachable or not.
+func detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx) // want `context\.WithoutCancel detaches the request lifetime`
+}
+
+// register wires a handler closure — the gateway's instrument pattern.
+// Functions the closure calls are handler-reachable through it.
+func register(mux *http.ServeMux) {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		lookup()
+	})
+}
+
+func lookup() {
+	ctx := context.Background() // want `context\.Background\(\) in .*lookup`
+	_ = ctx
+}
+
+// offline is not reachable from any handler: a root context is fine.
+func offline() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -52,3 +52,18 @@ func (s *server) nonNetworkUnderLock() {
 	defer s.mu.Unlock()
 	net.JoinHostPort("h", "80") // allowed: net helper, not a dial
 }
+
+func (s *server) tryLocked(req *http.Request) {
+	if s.mu.TryLock() {
+		defer s.mu.Unlock()
+		s.hc.Do(req) // want `Client\.Do called while s\.mu is held`
+	}
+}
+
+func (s *server) tryReadLocked() {
+	if !s.rw.TryRLock() {
+		return
+	}
+	net.Dial("tcp", "example.test:80") // want `net\.Dial called while s\.rw is held`
+	s.rw.RUnlock()
+}

@@ -1,0 +1,93 @@
+// Package lockorderfix exercises lockorder: a cycle in the global
+// lock-class acquisition-order graph is a potential deadlock, found
+// across function boundaries. TryLock acquisitions, go-spawned
+// goroutines, and same-class nesting must NOT create cycle edges.
+package lockorderfix
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// takeAB establishes A→B: B acquired while A is held.
+func takeAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock order cycle: acquires \(lockorderfix\.B\)\.mu while holding \(lockorderfix\.A\)\.mu`
+	b.mu.Unlock()
+}
+
+// takeBA establishes the reverse order through a helper: A is acquired
+// two calls deep while B is held. Both directions existing is the bug.
+func takeBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA(a) // want `call to .*lockA acquires \(lockorderfix\.A\)\.mu while holding \(lockorderfix\.B\)\.mu`
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// ---- negative cases: each of these orders is one-directional. ----
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// cThenD establishes C→D.
+func cThenD(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// dTryC holds D and conditionally grabs C — non-blocking, so no D→C
+// edge and no cycle with cThenD.
+func dTryC(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c.mu.TryLock() {
+		c.mu.Unlock()
+	}
+}
+
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+// eSpawnsF holds E while spawning a goroutine that takes F: the fresh
+// goroutine holds nothing, so no E→F edge exists.
+func eSpawnsF(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		f.mu.Lock()
+		f.mu.Unlock()
+	}()
+}
+
+// fThenE establishes F→E — fine on its own.
+func fThenE(e *E, f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// tree nests one lock class under itself: instance order inside a
+// class is outside a class-level abstraction's reach, so no self-edge
+// is reported.
+type tree struct {
+	mu   sync.Mutex
+	kids []*tree
+}
+
+func (t *tree) lockKids() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, k := range t.kids {
+		k.mu.Lock()
+		k.mu.Unlock()
+	}
+}

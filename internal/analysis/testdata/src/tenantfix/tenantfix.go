@@ -1,0 +1,76 @@
+// Package tenantfix exercises tenantcheck: request-derived strings
+// must pass core.ValidateTenant or core.NewTenantStore before they
+// reach a raw KV operation's key arguments. Laundering through locals,
+// concatenation, helpers, or a decoded body does not help; validation
+// does.
+package tenantfix
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"pstorm/internal/core"
+)
+
+// KV mirrors the raw core.KV verbs; tenantcheck treats KV-verb methods
+// on module-declared interfaces as sinks.
+type KV interface {
+	Put(table, row, column string, value []byte) error
+	Get(table, row, column string) ([]byte, bool, error)
+}
+
+type srv struct{ kv KV }
+
+// handlePut builds a row key straight from the request: the escape.
+func (s *srv) handlePut(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get("X-Tenant")
+	key := "profiles/" + tenant + "!" + r.URL.Query().Get("job")
+	s.kv.Put("profiles", key, "spec", nil) // want `request-derived value reaches raw KV op KV\.Put`
+}
+
+// handleLaunder hides the sink behind a helper: the summary carries
+// the parameter to the Put inside store, so the tainted call site is
+// the finding.
+func (s *srv) handleLaunder(w http.ResponseWriter, r *http.Request) {
+	s.store(r.Header.Get("X-Tenant")) // want `request-derived value reaches raw KV op`
+}
+
+func (s *srv) store(tenant string) {
+	s.kv.Put("profiles", "p/"+tenant, "spec", nil)
+}
+
+// handleDecoded taints through a decoded JSON body.
+func (s *srv) handleDecoded(w http.ResponseWriter, r *http.Request) {
+	var req struct{ Tenant, Job string }
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad body", http.StatusBadRequest)
+		return
+	}
+	s.kv.Put("profiles", req.Tenant+"!"+req.Job, "spec", nil) // want `request-derived value reaches raw KV op KV\.Put`
+}
+
+// handleValidated clears the taint through ValidateTenant: clean.
+func (s *srv) handleValidated(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get("X-Tenant")
+	if err := core.ValidateTenant(tenant); err != nil {
+		http.Error(w, "bad tenant", http.StatusBadRequest)
+		return
+	}
+	s.kv.Put("profiles", "p/"+tenant, "spec", nil)
+}
+
+// handleStore goes through NewTenantStore — the sanctioned path; the
+// Store's own key building is the enforcement boundary, not a sink.
+func handleStore(kv core.KV, w http.ResponseWriter, r *http.Request) {
+	st, err := core.NewTenantStore(kv, r.Header.Get("X-Tenant"))
+	if err != nil {
+		http.Error(w, "bad tenant", http.StatusBadRequest)
+		return
+	}
+	_ = st
+}
+
+// constantKeys never touch request data: clean even at a raw sink.
+func (s *srv) sweep() {
+	s.kv.Put("profiles", "system/bounds", "spec", nil)
+}

@@ -1,0 +1,18 @@
+// Package unusedallowfix exercises the unusedallow pseudo-checker: a
+// //pstorm:allow directive that suppresses nothing is itself reported,
+// but only when the checker it names actually ran.
+package unusedallowfix
+
+import "time"
+
+// stamped carries a directive that earns its keep.
+func stamped() time.Time {
+	//pstorm:allow clockcheck load-driver timestamps are wall-clock by design
+	return time.Now()
+}
+
+// quiet carries a directive whose finding is long gone.
+func quiet() int {
+	//pstorm:allow clockcheck guarded a time.Now call that was refactored away
+	return 42
+}

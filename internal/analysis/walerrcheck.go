@@ -26,8 +26,8 @@ func (walErrCheck) Doc() string {
 
 var persistName = regexp.MustCompile(`(?i)wal|flush|fsync|sync|persist|save|compact|truncate`)
 
-func (walErrCheck) Check(pkgs []*Package, report func(token.Position, string)) {
-	for _, pkg := range pkgs {
+func (walErrCheck) Check(m *Module, report func(token.Position, string)) {
+	for _, pkg := range m.Pkgs {
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				switch st := n.(type) {

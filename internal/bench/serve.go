@@ -197,7 +197,6 @@ func RunServeBenchWith(e *Env, opt ServeOptions) ([]*Table, error) {
 		interval := time.Duration(perTick / opt.QPS * float64(time.Second))
 		var wg sync.WaitGroup
 		i := 0
-		//pstorm:allow clockcheck open-loop driver paces real wall-clock request schedule
 		for next, end := now(), now().Add(dur); next.Before(end); next = next.Add(interval) {
 			if d := next.Sub(now()); d > 0 {
 				time.Sleep(d)

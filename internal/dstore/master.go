@@ -332,7 +332,6 @@ func (m *Master) syncPendingLocked() {
 		if m.setFollowersLocked(g) != nil {
 			continue
 		}
-		//pstorm:allow lockcheck chain/fence re-sync is atomic under the catalog lock (same contract as MoveRegion)
 		if err := m.servers[g.Primary].conn.SetServing(ref.table, ref.id, true); err != nil {
 			continue
 		}

@@ -51,6 +51,7 @@ func (g *Group[V]) Do(ctx context.Context, key string, fn func(ctx context.Conte
 		f.waiters++
 		g.mu.Unlock()
 	} else {
+		//pstorm:allow ctxcheck the flight leader must outlive its first caller so joined waiters get a result; the flight cancels itself when the last waiter departs
 		fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 		f = &flight[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
 		g.flights[key] = f
