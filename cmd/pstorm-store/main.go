@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -40,7 +41,7 @@ func main() {
 func run(serve, url string, list bool, dump, del string, demo bool) error {
 	if serve != "" {
 		srv := hstore.NewServer()
-		if _, err := core.NewStore(hstore.Connect(srv)); err != nil {
+		if _, err := core.NewStore(context.Background(), hstore.Connect(srv)); err != nil {
 			return err
 		}
 		fmt.Printf("profile store listening on %s (table %q created)\n", serve, core.TableName)
@@ -54,17 +55,17 @@ func run(serve, url string, list bool, dump, del string, demo bool) error {
 	if url == "" {
 		return fmt.Errorf("need -serve, -demo, or -url (see -h)")
 	}
-	store, err := core.NewStore(hstore.Dial(url))
+	store, err := core.NewStore(context.Background(), hstore.Dial(url))
 	if err != nil {
 		return err
 	}
 	if list {
-		ids, err := store.JobIDs()
+		ids, err := store.JobIDs(context.Background())
 		if err != nil {
 			return err
 		}
 		for _, id := range ids {
-			p, err := store.LoadProfile(id)
+			p, err := store.LoadProfile(context.Background(), id)
 			if err != nil {
 				return err
 			}
@@ -74,7 +75,7 @@ func run(serve, url string, list bool, dump, del string, demo bool) error {
 		return nil
 	}
 	if dump != "" {
-		p, err := store.LoadProfile(dump)
+		p, err := store.LoadProfile(context.Background(), dump)
 		if err != nil {
 			return err
 		}
@@ -86,7 +87,7 @@ func run(serve, url string, list bool, dump, del string, demo bool) error {
 		return nil
 	}
 	if del != "" {
-		if err := store.DeleteProfile(del); err != nil {
+		if err := store.DeleteProfile(context.Background(), del); err != nil {
 			return err
 		}
 		fmt.Printf("deleted profile %s\n", del)

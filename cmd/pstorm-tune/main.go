@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -78,7 +79,7 @@ func run(jobName, dsName string, seed int64, seedStore string) error {
 				}
 			}
 		}
-		n, _ := sys.Store().Len()
+		n, _ := sys.Store().Len(context.Background())
 		fmt.Printf("store holds %d profiles\n\n", n)
 	}
 

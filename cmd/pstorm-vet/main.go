@@ -49,6 +49,7 @@ import (
 type report struct {
 	Findings      []analysis.Finding       `json:"findings"`
 	StaleBaseline []analysis.BaselineEntry `json:"stale_baseline,omitempty"`
+	BaselineDebt  []analysis.BaselineEntry `json:"baseline_debt,omitempty"`
 	Cached        bool                     `json:"cached"`
 }
 
@@ -162,6 +163,10 @@ func main() {
 		}
 		kept, stale := bl.Apply(modFindings, root)
 		out.StaleBaseline = stale
+		// The context end-to-end refactor drained the baseline; it must
+		// stay empty. Any entry — matched debt or not — fails the run,
+		// so new accepted debt cannot slip in via the baseline file.
+		out.BaselineDebt = bl.Entries
 		for _, f := range kept {
 			if explicit && !matchesAny(f.Pos.Filename, root, loader.ModPath, pkgs, patterns) {
 				continue
@@ -186,8 +191,11 @@ func main() {
 		for _, e := range out.StaleBaseline {
 			fmt.Fprintf(os.Stderr, "pstorm-vet: stale baseline entry (%s %s %q) matches nothing — delete it\n", e.Checker, e.File, e.Msg)
 		}
+		for _, e := range out.BaselineDebt {
+			fmt.Fprintf(os.Stderr, "pstorm-vet: baseline entry (%s %s %q) — the baseline must stay empty; fix the finding or annotate the site\n", e.Checker, e.File, e.Msg)
+		}
 	}
-	if n := len(out.Findings) + len(out.StaleBaseline); n > 0 {
+	if n := len(out.Findings) + len(out.StaleBaseline) + len(out.BaselineDebt); n > 0 {
 		fmt.Fprintf(os.Stderr, "pstorm-vet: %d finding(s)\n", n)
 		os.Exit(1)
 	}

@@ -295,12 +295,12 @@ func tuneHandler(newKV func() core.KV, o *obs.Registry) http.Handler {
 			httperr.Write(w, http.StatusBadRequest, httperr.CodeBadRequest, "job_id required", false)
 			return
 		}
-		st, err := core.NewStore(newKV())
+		st, err := core.NewStore(r.Context(), newKV())
 		if err != nil {
 			writeWireErr(w, err)
 			return
 		}
-		prof, err := st.LoadProfile(req.JobID)
+		prof, err := st.LoadProfile(r.Context(), req.JobID)
 		if err != nil {
 			writeWireErr(w, err)
 			return
@@ -315,7 +315,7 @@ func tuneHandler(newKV func() core.KV, o *obs.Registry) http.Handler {
 			defer cancel()
 		}
 		start := now()
-		rec, err := cbo.OptimizeContext(ctx, prof, req.InputBytes, cl, core.ProfileHasCombiner(prof), cbo.Options{
+		rec, err := cbo.Optimize(ctx, prof, req.InputBytes, cl, core.ProfileHasCombiner(prof), cbo.Options{
 			Seed: req.Seed, Workers: req.Workers, MaxEvaluations: req.Budget, Evaluator: eval,
 		})
 		if err != nil {
@@ -421,16 +421,16 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
 	}
 
 	cl = dstore.NewClient(dstore.DialMaster(masterURL, 0), dstore.NewRegistry())
-	if err := cl.CreateTable(core.TableName); err != nil {
+	if err := cl.CreateTable(context.Background(), core.TableName); err != nil {
 		return err
 	}
 	for i := 0; i < 10; i++ {
 		row := fmt.Sprintf("meta/demo-job-%02d", i)
-		if err := cl.Put(core.TableName, row, "profile", []byte(fmt.Sprintf("{\"job\":%d}", i))); err != nil {
+		if err := cl.Put(context.Background(), core.TableName, row, "profile", []byte(fmt.Sprintf("{\"job\":%d}", i))); err != nil {
 			return err
 		}
 	}
-	rows, err := cl.Scan(core.TableName, "meta/", "meta0", nil, 0)
+	rows, err := cl.Scan(context.Background(), core.TableName, "meta/", "meta0", nil, 0)
 	if err != nil {
 		return err
 	}
@@ -462,7 +462,7 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
 		// the primary dead; ErrExhausted tells an outage apart from a
 		// real store error, so the demo just budgets again.
 		for budget := 0; ; budget++ {
-			err := cl.Put(core.TableName, row, "profile", []byte(fmt.Sprintf("{\"job\":%d}", i)))
+			err := cl.Put(context.Background(), core.TableName, row, "profile", []byte(fmt.Sprintf("{\"job\":%d}", i)))
 			if err == nil {
 				break
 			}
@@ -481,7 +481,7 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
 		}
 		time.Sleep(hbTimeout / 4)
 	}
-	rows, err = cl.Scan(core.TableName, "meta/", "meta0", nil, 0)
+	rows, err = cl.Scan(context.Background(), core.TableName, "meta/", "meta0", nil, 0)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -20,7 +21,7 @@ import (
 func tuneServer(t *testing.T) (*httptest.Server, string) {
 	t.Helper()
 	srv := hstore.NewServer()
-	st, err := core.NewStore(hstore.Connect(srv))
+	st, err := core.NewStore(context.Background(), hstore.Connect(srv))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func tuneServer(t *testing.T) (*httptest.Server, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.PutProfile(run.Profile); err != nil {
+	if err := st.PutProfile(context.Background(), run.Profile); err != nil {
 		t.Fatal(err)
 	}
 	h := tuneHandler(func() core.KV { return hstore.Connect(srv) }, obs.NewRegistry())

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -96,7 +97,7 @@ func main() {
 			i+1, s.tenant, s.job.Name, res.RuntimeMs/60000, res.Tuned, donor)
 	}
 
-	n, _ := sys.Store().Len()
+	n, _ := sys.Store().Len(context.Background())
 	fmt.Printf("\nafter %d submissions: %d/%d ran tuned, %d profiles stored\n",
 		len(stream), matched, len(stream), n)
 	fmt.Printf("cumulative time saved vs always-default: %.0f min (%.0f%% of the stream's runtime)\n",

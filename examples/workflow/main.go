@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 		}
 		fmt.Println()
 	}
-	n, _ := sys.Store().Len()
+	n, _ := sys.Store().Len(context.Background())
 	fmt.Printf("profile store now holds %d profiles; any other workflow using these\n", n)
 	fmt.Println("programs (a Pig plan with the same operators, say) reuses them directly")
 }

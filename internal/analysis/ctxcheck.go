@@ -4,32 +4,46 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
-// ctxCheck enforces context threading on request paths. Any function
-// reachable from an HTTP handler (per the module call graph) that
-// calls context.Background() or context.TODO() is cutting the request
-// context: cancellation and deadlines stop propagating exactly where
-// they matter most, so a departed client keeps burning scans and a
-// gateway timeout stops meaning anything. context.WithoutCancel is
-// flagged everywhere, reachable or not — detaching lifetime is
-// occasionally right (a singleflight leader must outlive the first
-// caller) but never silently: it requires a //pstorm:allow ctxcheck
-// reason at the site.
+// ctxCheck enforces context threading on request paths. Inside any
+// internal/ package, every call to context.Background() or
+// context.TODO() is flagged: internal code is never the top of a call
+// stack, so minting a root context there cuts cancellation and
+// deadlines exactly where they matter most — a departed client keeps
+// burning scans and a gateway timeout stops meaning anything. The rare
+// legitimate detachment (an admin RPC owned by the process lifecycle,
+// a bench harness that is its own top layer) carries a
+// //pstorm:allow ctxcheck reason at the site.
 //
-// Package main is exempt from the Background/TODO rule: a process
-// entry point is where root contexts are legitimately minted.
+// Outside internal/, Background/TODO is flagged only in functions
+// reachable from an HTTP handler (per the module call graph).
+// context.WithoutCancel is flagged everywhere, reachable or not —
+// detaching lifetime is occasionally right (a singleflight leader must
+// outlive the first caller) but never silently.
+//
+// Package main and the module root package are exempt from the
+// Background/TODO rule: a process entry point and the exported
+// convenience surface are where root contexts are legitimately minted.
 type ctxCheck struct{}
 
 func (ctxCheck) Name() string { return "ctxcheck" }
 func (ctxCheck) Doc() string {
-	return "handler-reachable code threads its context; no bare Background()/TODO(), WithoutCancel needs a reason"
+	return "internal packages thread their context; no bare Background()/TODO(), WithoutCancel needs a reason"
+}
+
+// internalPkg reports whether the package lives under an internal/
+// subtree, where no function is a legitimate context root.
+func internalPkg(path string) bool {
+	return strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/")
 }
 
 func (ctxCheck) Check(m *Module, report func(token.Position, string)) {
 	reachable := m.HandlerReachable()
 	for _, pkg := range m.Pkgs {
 		isMain := pkg.Types.Name() == "main"
+		isInternal := internalPkg(pkg.Path)
 		for _, file := range pkg.Files {
 			for _, d := range file.Decls {
 				decl, ok := d.(*ast.FuncDecl)
@@ -55,7 +69,14 @@ func (ctxCheck) Check(m *Module, report func(token.Position, string)) {
 						report(pkg.Fset.Position(call.Pos()),
 							"context.WithoutCancel detaches the request lifetime — annotate //pstorm:allow ctxcheck <reason> if the detachment is intentional")
 					case "Background", "TODO":
-						if inReach && !isMain {
+						if isMain {
+							break
+						}
+						switch {
+						case isInternal:
+							report(pkg.Fset.Position(call.Pos()),
+								fmt.Sprintf("context.%s() in %s — internal code is never a context root; accept a ctx from the caller or annotate //pstorm:allow ctxcheck <reason>", callee.Name(), funcDisplay(fn)))
+						case inReach:
 							report(pkg.Fset.Position(call.Pos()),
 								fmt.Sprintf("context.%s() in %s, which is reachable from an HTTP handler — thread the request context instead of minting a root one", callee.Name(), funcDisplay(fn)))
 						}

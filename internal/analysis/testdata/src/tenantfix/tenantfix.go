@@ -62,7 +62,7 @@ func (s *srv) handleValidated(w http.ResponseWriter, r *http.Request) {
 // handleStore goes through NewTenantStore — the sanctioned path; the
 // Store's own key building is the enforcement boundary, not a sink.
 func handleStore(kv core.KV, w http.ResponseWriter, r *http.Request) {
-	st, err := core.NewTenantStore(kv, r.Header.Get("X-Tenant"))
+	st, err := core.NewTenantStore(r.Context(), kv, r.Header.Get("X-Tenant"))
 	if err != nil {
 		http.Error(w, "bad tenant", http.StatusBadRequest)
 		return

@@ -44,7 +44,7 @@ func RunAblationFilterOrder(e *Env) ([]*Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			res, err := m.Match(st, sample)
+			res, err := m.Match(benchCtx(), st, sample)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -97,7 +97,7 @@ func RunAblationFilterOrder(e *Env) ([]*Table, error) {
 		return nil, err
 	}
 	describe := func(m *matcher.Matcher) string {
-		res, err := m.Match(st, sample)
+		res, err := m.Match(benchCtx(), st, sample)
 		if err != nil || !res.Matched() {
 			return "no match"
 		}
@@ -178,7 +178,7 @@ func RunAblationDataModel(e *Env) ([]*Table, error) {
 	// Schema A — Table 5.1: one table, row per (feature type, job).
 	srvA := hstore.NewServer()
 	cliA := hstore.Connect(srvA)
-	if err := cliA.CreateTable("pstorm"); err != nil {
+	if err := cliA.CreateTable(benchCtx(), "pstorm"); err != nil {
 		return nil, err
 	}
 	for _, b := range bank {
@@ -186,12 +186,12 @@ func RunAblationDataModel(e *Env) ([]*Table, error) {
 		for _, f := range feats {
 			row.Columns[f] = []byte(strconv.FormatFloat(b.Profile.Map.DataFlow[f], 'g', -1, 64))
 		}
-		if err := cliA.PutRow("pstorm", row); err != nil {
+		if err := cliA.PutRow(benchCtx(), "pstorm", row); err != nil {
 			return nil, err
 		}
 	}
 	srvA.ResetStats()
-	rowsA, err := cliA.Scan("pstorm", "dynmap/", "dynmap0", nil, 0)
+	rowsA, err := cliA.Scan(benchCtx(), "pstorm", "dynmap/", "dynmap0", nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -200,12 +200,12 @@ func RunAblationDataModel(e *Env) ([]*Table, error) {
 	// Schema B — OpenTSDB-style: one row per (feature, job) data point.
 	srvB := hstore.NewServer()
 	cliB := hstore.Connect(srvB)
-	if err := cliB.CreateTable("tsdb"); err != nil {
+	if err := cliB.CreateTable(benchCtx(), "tsdb"); err != nil {
 		return nil, err
 	}
 	for _, b := range bank {
 		for _, f := range feats {
-			if err := cliB.Put("tsdb", f+"/"+b.Profile.JobID, "v",
+			if err := cliB.Put(benchCtx(), "tsdb", f+"/"+b.Profile.JobID, "v",
 				[]byte(strconv.FormatFloat(b.Profile.Map.DataFlow[f], 'g', -1, 64))); err != nil {
 				return nil, err
 			}
@@ -217,7 +217,7 @@ func RunAblationDataModel(e *Env) ([]*Table, error) {
 	// single row carries a full vector.
 	vectors := make(map[string]map[string]float64)
 	for _, f := range feats {
-		rows, err := cliB.Scan("tsdb", f+"/", f+"0", nil, 0)
+		rows, err := cliB.Scan(benchCtx(), "tsdb", f+"/", f+"0", nil, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +238,7 @@ func RunAblationDataModel(e *Env) ([]*Table, error) {
 	srvC := hstore.NewServer()
 	cliC := hstore.Connect(srvC)
 	for _, tbl := range []string{"Jobs_DynMap", "Jobs_DynRed", "Jobs_StatMap", "Jobs_StatRed", "Jobs_CostMap", "Jobs_CostRed", "Jobs_Meta"} {
-		if err := cliC.CreateTable(tbl); err != nil {
+		if err := cliC.CreateTable(benchCtx(), tbl); err != nil {
 			return nil, err
 		}
 	}
@@ -247,12 +247,12 @@ func RunAblationDataModel(e *Env) ([]*Table, error) {
 		for _, f := range feats {
 			row.Columns[f] = []byte(strconv.FormatFloat(b.Profile.Map.DataFlow[f], 'g', -1, 64))
 		}
-		if err := cliC.PutRow("Jobs_DynMap", row); err != nil {
+		if err := cliC.PutRow(benchCtx(), "Jobs_DynMap", row); err != nil {
 			return nil, err
 		}
 	}
 	srvC.ResetStats()
-	rowsC, err := cliC.Scan("Jobs_DynMap", "", "", nil, 0)
+	rowsC, err := cliC.Scan(benchCtx(), "Jobs_DynMap", "", "", nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +289,7 @@ func RunAblationPushdown(e *Env) ([]*Table, error) {
 	}
 	srv := hstore.NewServer()
 	cli := hstore.Connect(srv)
-	if err := cli.CreateTable("pstorm"); err != nil {
+	if err := cli.CreateTable(benchCtx(), "pstorm"); err != nil {
 		return nil, err
 	}
 	feats := profile.MapDataFlowFeatures
@@ -311,7 +311,7 @@ func RunAblationPushdown(e *Env) ([]*Table, error) {
 				maxB[i] = v
 			}
 		}
-		if err := cli.PutRow("pstorm", row); err != nil {
+		if err := cli.PutRow(benchCtx(), "pstorm", row); err != nil {
 			return nil, err
 		}
 	}
@@ -338,14 +338,14 @@ func RunAblationPushdown(e *Env) ([]*Table, error) {
 	}
 
 	srv.ResetStats()
-	pushed, err := cli.Scan("pstorm", "dynmap/", "dynmap0", filter, 0)
+	pushed, err := cli.Scan(benchCtx(), "pstorm", "dynmap/", "dynmap0", filter, 0)
 	if err != nil {
 		return nil, err
 	}
 	pushStats, _ := cli.Stats()
 
 	srv.ResetStats()
-	local, err := cli.ScanClientSide("pstorm", "dynmap/", "dynmap0", filter, 0)
+	local, err := cli.ScanClientSide(benchCtx(), "pstorm", "dynmap/", "dynmap0", filter, 0)
 	if err != nil {
 		return nil, err
 	}

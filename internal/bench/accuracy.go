@@ -93,7 +93,7 @@ func (e *Env) pstormSideMatch(m *matcher.Matcher) (sideMatch, error) {
 		if err != nil {
 			return "", false
 		}
-		res, err := m.Match(st, sample)
+		res, err := m.Match(benchCtx(), st, sample)
 		if err != nil || !res.Matched() {
 			return "", false
 		}

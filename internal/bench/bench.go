@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -250,7 +251,7 @@ func (e *Env) StoreWith(keep func(BankEntry) bool) (*core.Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := core.NewStore(hstore.Connect(hstore.NewServer()))
+	st, err := core.NewStore(benchCtx(), hstore.Connect(hstore.NewServer()))
 	if err != nil {
 		return nil, err
 	}
@@ -258,11 +259,18 @@ func (e *Env) StoreWith(keep func(BankEntry) bool) (*core.Store, error) {
 		if keep != nil && !keep(b) {
 			continue
 		}
-		if err := st.PutProfile(b.Profile); err != nil {
+		if err := st.PutProfile(benchCtx(), b.Profile); err != nil {
 			return nil, err
 		}
 	}
 	return st, nil
+}
+
+// benchCtx roots the context for benchmark workloads: the harness is
+// its own top layer — there is no inbound request whose deadline it
+// could inherit.
+func benchCtx() context.Context {
+	return context.Background() //pstorm:allow ctxcheck the bench harness is its own top layer with no inbound request context
 }
 
 func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

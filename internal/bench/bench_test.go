@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -216,9 +217,9 @@ func TestStoreStates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nSD, _ := sd.Len()
-	nDD, _ := dd.Len()
-	nNJ, _ := nj.Len()
+	nSD, _ := sd.Len(context.Background())
+	nDD, _ := dd.Len(context.Background())
+	nNJ, _ := nj.Len(context.Background())
 	if nDD != nSD-1 {
 		t.Errorf("DD should drop exactly the target profile: %d vs %d", nDD, nSD)
 	}

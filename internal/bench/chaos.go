@@ -118,7 +118,7 @@ func runChaosOnce(seed int64) (*chaosStats, error) {
 	cl.RetryBase = 50 * time.Microsecond
 	cl.MaxAttempts = 8
 	cl.BreakerThreshold = -1 // keep the schedule independent of wall-clock cooldowns
-	if err := cl.CreateTable(core.TableName); err != nil {
+	if err := cl.CreateTable(benchCtx(), core.TableName); err != nil {
 		return nil, err
 	}
 
@@ -128,12 +128,12 @@ func runChaosOnce(seed int64) (*chaosStats, error) {
 	val := func(k string) string { return "v-" + k }
 	acked := make(map[string]bool)
 	put := func(k string) {
-		if err := cl.Put(core.TableName, k, "f", []byte(val(k))); err == nil {
+		if err := cl.Put(benchCtx(), core.TableName, k, "f", []byte(val(k))); err == nil {
 			acked[k] = true
 		}
 	}
 	check := func(k string) {
-		row, found, err := cl.Get(core.TableName, k)
+		row, found, err := cl.Get(benchCtx(), core.TableName, k)
 		if err != nil {
 			return // unavailability under chaos is tolerated; lies are counted
 		}
@@ -162,7 +162,7 @@ func runChaosOnce(seed int64) (*chaosStats, error) {
 	// sstables to land in.
 	seeded := chaosKeys / 3
 	for i := 0; i < seeded; i++ {
-		if err := cl.Put(core.TableName, key(i), "f", []byte(val(key(i)))); err != nil {
+		if err := cl.Put(benchCtx(), core.TableName, key(i), "f", []byte(val(key(i)))); err != nil {
 			return nil, err
 		}
 		acked[key(i)] = true
@@ -242,7 +242,7 @@ func runChaosOnce(seed int64) (*chaosStats, error) {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		row, found, err := cl.Get(core.TableName, k)
+		row, found, err := cl.Get(benchCtx(), core.TableName, k)
 		switch {
 		case err != nil || !found:
 			stats.lost++

@@ -78,7 +78,7 @@ func runDStoreConfig(e *Env, seed int64, servers int) ([]string, error) {
 	defer c.Close()
 	cl := c.Client()
 	cl.RetryBase = 2 * time.Millisecond
-	if err := cl.CreateTable(core.TableName); err != nil {
+	if err := cl.CreateTable(benchCtx(), core.TableName); err != nil {
 		return nil, err
 	}
 
@@ -107,7 +107,7 @@ func runDStoreConfig(e *Env, seed int64, servers int) ([]string, error) {
 				Columns: map[string][]byte{"f": val(ft, j)},
 			})
 		}
-		if err := cl.BatchPut(core.TableName, rows); err != nil {
+		if err := cl.BatchPut(benchCtx(), core.TableName, rows); err != nil {
 			return nil, err
 		}
 		totalRows += len(rows)
@@ -119,7 +119,7 @@ func runDStoreConfig(e *Env, seed int64, servers int) ([]string, error) {
 	for i := 0; i < dstoreGets; i++ {
 		ft := dstoreFtypes[rng.Intn(len(dstoreFtypes))]
 		jobID := fmt.Sprintf("job-%04d", rng.Intn(dstoreJobs))
-		if _, ok, err := cl.Get(core.TableName, ft+"/"+jobID); err != nil || !ok {
+		if _, ok, err := cl.Get(benchCtx(), core.TableName, ft+"/"+jobID); err != nil || !ok {
 			return nil, fmt.Errorf("get %s/%s: ok=%v err=%v", ft, jobID, ok, err)
 		}
 	}
@@ -144,7 +144,7 @@ func runDStoreConfig(e *Env, seed int64, servers int) ([]string, error) {
 		start = wallNow()
 		scanned := 0
 		for pass := 0; pass < dstoreScanPasses; pass++ {
-			rows, err := cl.Scan(core.TableName, "", "", nil, 0)
+			rows, err := cl.Scan(benchCtx(), core.TableName, "", "", nil, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -203,7 +203,7 @@ func runDStoreConfig(e *Env, seed int64, servers int) ([]string, error) {
 		c.KillServer(g.Primary)
 		start = wallNow()
 		for {
-			if _, ok, err := cl.Get(core.TableName, probe); err == nil && ok {
+			if _, ok, err := cl.Get(benchCtx(), core.TableName, probe); err == nil && ok {
 				break
 			}
 			if wallSince(start) > 10*time.Second {
@@ -216,7 +216,7 @@ func runDStoreConfig(e *Env, seed int64, servers int) ([]string, error) {
 	// Zero lost rows: every acked row must still be visible.
 	after := 0
 	for _, ft := range dstoreFtypes {
-		rows, err := cl.Scan(core.TableName, ft+"/", ft+"0", nil, 0)
+		rows, err := cl.Scan(benchCtx(), core.TableName, ft+"/", ft+"0", nil, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -83,7 +83,7 @@ func RunExtCrossCluster(e *Env) ([]*Table, error) {
 		if predErr < 0 {
 			predErr = -predErr
 		}
-		rec, err := cbo.Optimize(c.prof, ds.NominalBytes, fast, spec.HasCombiner(), e.CBO)
+		rec, err := cbo.Optimize(benchCtx(), c.prof, ds.NominalBytes, fast, spec.HasCombiner(), e.CBO)
 		if err != nil {
 			return nil, err
 		}

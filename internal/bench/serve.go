@@ -63,10 +63,11 @@ func RunServeBench(e *Env) ([]*Table, error) {
 
 // serveCounts are one tenant's client-side outcomes in one phase.
 type serveCounts struct {
-	sent  atomic.Int64
-	ok    atomic.Int64
-	shed  atomic.Int64 // 429 responses
-	other atomic.Int64 // anything else (errors, non-2xx non-429)
+	sent     atomic.Int64
+	ok       atomic.Int64
+	shed     atomic.Int64 // 429 responses
+	deadline atomic.Int64 // 504 responses: deadline exceeded, work abandoned server-side
+	other    atomic.Int64 // anything else (errors, non-2xx non-429/504)
 }
 
 // RunServeBenchWith is RunServeBench with explicit load parameters.
@@ -142,6 +143,8 @@ func RunServeBenchWith(e *Env, opt ServeOptions) ([]*Table, error) {
 			counts.ok.Add(1)
 		case resp.StatusCode == http.StatusTooManyRequests:
 			counts.shed.Add(1)
+		case resp.StatusCode == http.StatusGatewayTimeout:
+			counts.deadline.Add(1)
 		default:
 			counts.other.Add(1)
 		}
@@ -234,6 +237,25 @@ func RunServeBenchWith(e *Env, opt ServeOptions) ([]*Table, error) {
 					}()
 				}
 				close(start)
+				// One impatient caller per burst tick: a 1ms deadline no
+				// evaluation can meet, on its own flight key (distinct
+				// input size). The 504 it gets back is the abandoned-work
+				// signal — when its deadline fires it is the flight's only
+				// waiter, so the singleflight cancels the evaluation and
+				// the store aborts the work server-side.
+				impatient := map[string]any{
+					"job_id":      seeded.StoredProfileID,
+					"seed":        i + 1,
+					"input_bytes": int64(2)<<40 + int64(i)<<20,
+					"workers":     4,
+					"deadline_ms": 1,
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					a.sent.Add(1)
+					do(gwIdx, http.MethodPost, "/g/tune", "tenant-a", impatient, a)
+				}()
 			case 2:
 				wg.Add(2)
 				go func() {
@@ -290,14 +312,14 @@ func RunServeBenchWith(e *Env, opt ServeOptions) ([]*Table, error) {
 	t := &Table{
 		ID:    "serve",
 		Title: "Serving tier: fleet of gateways, open-loop mixed traffic, quota shedding",
-		Columns: []string{"phase", "tenant", "sent", "ok", "shed_429", "other",
+		Columns: []string{"phase", "tenant", "sent", "ok", "shed_429", "deadline_exceeded", "other",
 			"p50_ms", "p99_ms", "p999_ms"},
 		Rows: [][]string{
-			{"steady", "tenant-a", cnt(steadyA.sent.Load()), cnt(steadyA.ok.Load()), cnt(steadyA.shed.Load()), cnt(steadyA.other.Load()),
+			{"steady", "tenant-a", cnt(steadyA.sent.Load()), cnt(steadyA.ok.Load()), cnt(steadyA.shed.Load()), cnt(steadyA.deadline.Load()), cnt(steadyA.other.Load()),
 				ms(steadyLat.Quantile(0.50)), ms(steadyLat.Quantile(0.99)), ms(steadyLat.Quantile(0.999))},
-			{"overload", "tenant-a", cnt(overA.sent.Load()), cnt(overA.ok.Load()), cnt(overA.shed.Load()), cnt(overA.other.Load()),
+			{"overload", "tenant-a", cnt(overA.sent.Load()), cnt(overA.ok.Load()), cnt(overA.shed.Load()), cnt(overA.deadline.Load()), cnt(overA.other.Load()),
 				ms(overLat.Quantile(0.50)), ms(overLat.Quantile(0.99)), ms(overLat.Quantile(0.999))},
-			{"overload", "noisy", cnt(overNoisy.sent.Load()), cnt(overNoisy.ok.Load()), cnt(overNoisy.shed.Load()), cnt(overNoisy.other.Load()),
+			{"overload", "noisy", cnt(overNoisy.sent.Load()), cnt(overNoisy.ok.Load()), cnt(overNoisy.shed.Load()), cnt(overNoisy.deadline.Load()), cnt(overNoisy.other.Load()),
 				"-", "-", "-"},
 		},
 		Notes: []string{
@@ -305,6 +327,7 @@ func RunServeBenchWith(e *Env, opt ServeOptions) ([]*Table, error) {
 			fmt.Sprintf("coalesce leaders=%d hits=%d (hit-rate %.2f): identical in-flight requests share one evaluation", coalesceLeaders, coalesceHits, hitRate),
 			"latency percentiles are server-side, from the gateways' own obs histograms (per-phase snapshot deltas)",
 			fmt.Sprintf("noisy tenant quota: %.0f req/s, priority 0; tenant-a: unlimited, priority 1", tenants["noisy"].RatePerSec),
+			"deadline_exceeded counts 504s from impatient tunes (1ms deadline): each is a flight abandoned by its only waiter and canceled server-side, so the column doubles as abandoned-work accounting",
 		},
 	}
 
@@ -322,6 +345,9 @@ func RunServeBenchWith(e *Env, opt ServeOptions) ([]*Table, error) {
 	}
 	if overNoisy.shed.Load() == 0 {
 		return []*Table{t}, fmt.Errorf("bench serve: noisy tenant was never shed under overload")
+	}
+	if steadyA.deadline.Load()+overA.deadline.Load() == 0 {
+		return []*Table{t}, fmt.Errorf("bench serve: impatient tunes never hit their deadline — deadline propagation is not reaching the flight")
 	}
 	if p99 := overLat.Quantile(0.99); p99 > 5000 {
 		return []*Table{t}, fmt.Errorf("bench serve: in-quota tenant p99 %.0fms under overload — tail latency unbounded", p99)

@@ -42,7 +42,7 @@ func (e *Env) runCBOWith(spec *mrjob.Spec, dsName string, prof *profile.Profile)
 	if err != nil {
 		return 0, err
 	}
-	rec, err := cbo.Optimize(prof, ds.NominalBytes, e.Cluster, spec.HasCombiner(), e.CBO)
+	rec, err := cbo.Optimize(benchCtx(), prof, ds.NominalBytes, e.Cluster, spec.HasCombiner(), e.CBO)
 	if err != nil {
 		return 0, err
 	}
@@ -162,7 +162,7 @@ func RunFig63(e *Env) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := m.Match(st, sample)
+			res, err := m.Match(benchCtx(), st, sample)
 			if err != nil {
 				return nil, err
 			}

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"context"
 	"fmt"
 	"time"
 
@@ -65,7 +64,7 @@ func RunTuneBenchWith(e *Env, workers []int, budget, repeats int) ([]*Table, err
 		start := now()
 		for rep := 0; rep < repeats; rep++ {
 			for i, b := range bank {
-				rec, err := cbo.OptimizeContext(context.Background(), b.Profile, b.Dataset.NominalBytes,
+				rec, err := cbo.Optimize(benchCtx(), b.Profile, b.Dataset.NominalBytes,
 					e.Cluster, b.Spec.HasCombiner(), opts)
 				if err != nil {
 					return nil, fmt.Errorf("bench: tuning %s (workers=%d): %w", b.Spec.Name, w, err)

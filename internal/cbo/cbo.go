@@ -100,15 +100,10 @@ func (r *Recommendation) PredictedSpeedup() float64 {
 // predicted runtime of the job represented by prof, processing
 // inputBytes on cl. The default configuration (with the job's own
 // combiner setting) is always evaluated, so the recommendation is never
-// worse than the default in predicted terms.
-func Optimize(prof *profile.Profile, inputBytes int64, cl *cluster.Cluster, hasCombiner bool, opt Options) (*Recommendation, error) {
-	return OptimizeContext(context.Background(), prof, inputBytes, cl, hasCombiner, opt)
-}
-
-// OptimizeContext is Optimize with cancellation: a cancelled or expired
+// worse than the default in predicted terms. A cancelled or expired
 // context aborts the search promptly (no further evaluations are
 // started) and returns the context's error.
-func OptimizeContext(ctx context.Context, prof *profile.Profile, inputBytes int64, cl *cluster.Cluster, hasCombiner bool, opt Options) (*Recommendation, error) {
+func Optimize(ctx context.Context, prof *profile.Profile, inputBytes int64, cl *cluster.Cluster, hasCombiner bool, opt Options) (*Recommendation, error) {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed*2_654_435_761 + 99991))
 	space := conf.DefaultSpace(cl.ReduceSlots())

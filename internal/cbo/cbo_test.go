@@ -1,6 +1,7 @@
 package cbo
 
 import (
+	"context"
 	"testing"
 
 	"pstorm/internal/cluster"
@@ -33,7 +34,7 @@ func profileFor(t *testing.T, job, ds string) (*engine.RunResult, *cluster.Clust
 
 func TestOptimizeNeverWorseThanDefault(t *testing.T) {
 	run, cl, in := profileFor(t, "cooccurrence-pairs", "wiki-35g")
-	rec, err := Optimize(run.Profile, in, cl, true, Options{Seed: 7})
+	rec, err := Optimize(context.Background(), run.Profile, in, cl, true, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestOptimizeNeverWorseThanDefault(t *testing.T) {
 
 func TestOptimizeFindsBigWinForShuffleHeavyJob(t *testing.T) {
 	run, cl, in := profileFor(t, "cooccurrence-pairs", "wiki-35g")
-	rec, err := Optimize(run.Profile, in, cl, true, Options{Seed: 7})
+	rec, err := Optimize(context.Background(), run.Profile, in, cl, true, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +65,11 @@ func TestOptimizeFindsBigWinForShuffleHeavyJob(t *testing.T) {
 
 func TestOptimizeDeterministicPerSeed(t *testing.T) {
 	run, cl, in := profileFor(t, "wordcount", "wiki-35g")
-	a, err := Optimize(run.Profile, in, cl, true, Options{Seed: 5})
+	a, err := Optimize(context.Background(), run.Profile, in, cl, true, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Optimize(run.Profile, in, cl, true, Options{Seed: 5})
+	b, err := Optimize(context.Background(), run.Profile, in, cl, true, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestOptimizeDeterministicPerSeed(t *testing.T) {
 
 func TestOptimizeRecommendationHoldsUpInWhatIf(t *testing.T) {
 	run, cl, in := profileFor(t, "bigram-relfreq", "wiki-35g")
-	rec, err := Optimize(run.Profile, in, cl, true, Options{Seed: 3})
+	rec, err := Optimize(context.Background(), run.Profile, in, cl, true, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestOptions(t *testing.T) {
 		t.Errorf("defaults not applied: %+v", o)
 	}
 	run, cl, in := profileFor(t, "wordcount", "wiki-35g")
-	cheap, err := Optimize(run.Profile, in, cl, true, Options{ExploreSamples: 5, ExploitSteps: 3, Restarts: 1, Seed: 1})
+	cheap, err := Optimize(context.Background(), run.Profile, in, cl, true, Options{ExploreSamples: 5, ExploitSteps: 3, Restarts: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

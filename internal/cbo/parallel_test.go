@@ -17,7 +17,7 @@ func TestOptimizeIdenticalAcrossWorkerCounts(t *testing.T) {
 	var want *Recommendation
 	for _, workers := range []int{1, 4, 16} {
 		for attempt := 0; attempt < 2; attempt++ {
-			rec, err := Optimize(run.Profile, in, cl, true, Options{Seed: 11, Workers: workers})
+			rec, err := Optimize(context.Background(), run.Profile, in, cl, true, Options{Seed: 11, Workers: workers})
 			if err != nil {
 				t.Fatalf("workers=%d: %v", workers, err)
 			}
@@ -45,13 +45,13 @@ func TestOptimizeIdenticalAcrossWorkerCounts(t *testing.T) {
 // agree bit-for-bit even when tunes repeat.
 func TestOptimizeIdenticalWithEvaluator(t *testing.T) {
 	run, cl, in := profileFor(t, "wordcount", "wiki-35g")
-	plain, err := Optimize(run.Profile, in, cl, true, Options{Seed: 9})
+	plain, err := Optimize(context.Background(), run.Profile, in, cl, true, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
 	eval := whatif.NewEvaluator(whatif.EvaluatorOptions{})
 	for i := 0; i < 2; i++ {
-		rec, err := Optimize(run.Profile, in, cl, true, Options{Seed: 9, Workers: 4, Evaluator: eval})
+		rec, err := Optimize(context.Background(), run.Profile, in, cl, true, Options{Seed: 9, Workers: 4, Evaluator: eval})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +70,7 @@ func TestOptimizeContextCancellation(t *testing.T) {
 	defer cancel()
 	<-ctx.Done() // the deadline has certainly expired
 	start := time.Now()
-	_, err := OptimizeContext(ctx, run.Profile, in, cl, true, Options{Seed: 1, Workers: 4})
+	_, err := Optimize(ctx, run.Profile, in, cl, true, Options{Seed: 1, Workers: 4})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("expired deadline returned %v, want context.DeadlineExceeded", err)
 	}
@@ -81,7 +81,7 @@ func TestOptimizeContextCancellation(t *testing.T) {
 
 func TestOptimizeMaxEvaluationsBudget(t *testing.T) {
 	run, cl, in := profileFor(t, "wordcount", "wiki-35g")
-	rec, err := Optimize(run.Profile, in, cl, true, Options{Seed: 2, MaxEvaluations: 25, Workers: 4})
+	rec, err := Optimize(context.Background(), run.Profile, in, cl, true, Options{Seed: 2, MaxEvaluations: 25, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestOptimizeMaxEvaluationsBudget(t *testing.T) {
 		t.Errorf("budget 25 exceeded: %d evaluations", rec.Evaluations)
 	}
 	// The truncation must be deterministic too.
-	again, err := Optimize(run.Profile, in, cl, true, Options{Seed: 2, MaxEvaluations: 25})
+	again, err := Optimize(context.Background(), run.Profile, in, cl, true, Options{Seed: 2, MaxEvaluations: 25})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -167,7 +168,7 @@ func TestReplayBitFlipDetected(t *testing.T) {
 	if len(eng.Schedule()) == 0 {
 		t.Fatal("bit flip was not injected")
 	}
-	rows, err := back.Scan("t", "", "", nil, 0)
+	rows, err := back.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

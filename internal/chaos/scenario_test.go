@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -60,7 +61,7 @@ func runScenario(t *testing.T, seed int64) scenarioResult {
 	// the fault schedule is a pure function of the seed (they have their
 	// own tests in dstore).
 	cl.BreakerThreshold = -1
-	if err := cl.CreateTable("t"); err != nil {
+	if err := cl.CreateTable(context.Background(), "t"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -72,7 +73,7 @@ func runScenario(t *testing.T, seed int64) scenarioResult {
 	res := scenarioResult{}
 	acked := map[string]bool{}
 	put := func(k string) {
-		if err := cl.Put("t", k, "c", []byte(val(k))); err == nil {
+		if err := cl.Put(context.Background(), "t", k, "c", []byte(val(k))); err == nil {
 			acked[k] = true
 		}
 	}
@@ -80,7 +81,7 @@ func runScenario(t *testing.T, seed int64) scenarioResult {
 	// never tolerates is a successful answer with wrong content: missing
 	// acked writes or damaged bytes.
 	check := func(k string) {
-		row, found, err := cl.Get("t", k)
+		row, found, err := cl.Get(context.Background(), "t", k)
 		if err != nil {
 			return
 		}
@@ -95,7 +96,7 @@ func runScenario(t *testing.T, seed int64) scenarioResult {
 		}
 	}
 	checkBatch := func(keys []string) {
-		rows, found, err := cl.MultiGet("t", keys)
+		rows, found, err := cl.MultiGet(context.Background(), "t", keys)
 		if err != nil {
 			return
 		}
@@ -125,7 +126,7 @@ func runScenario(t *testing.T, seed int64) scenarioResult {
 	// sstables to land in.
 	for i := 0; i < 60; i++ {
 		k := key(i)
-		if err := cl.Put("t", k, "c", []byte(val(k))); err != nil {
+		if err := cl.Put(context.Background(), "t", k, "c", []byte(val(k))); err != nil {
 			t.Fatal(err)
 		}
 		acked[k] = true
@@ -234,7 +235,7 @@ func runScenario(t *testing.T, seed int64) scenarioResult {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		row, found, err := cl.Get("t", k)
+		row, found, err := cl.Get(context.Background(), "t", k)
 		if err != nil {
 			t.Fatalf("after heal, read of %s failed: %v", k, err)
 		}

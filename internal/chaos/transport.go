@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,18 +48,18 @@ func (c *faultConn) gate(method string) error {
 	return nil
 }
 
-func (c *faultConn) Put(table, row, column string, value []byte) error {
+func (c *faultConn) Put(ctx context.Context, table, row, column string, value []byte) error {
 	if err := c.gate("put"); err != nil {
 		return err
 	}
-	return c.inner.Put(table, row, column, value)
+	return c.inner.Put(ctx, table, row, column, value)
 }
 
-func (c *faultConn) BatchPut(table string, rows []hstore.Row) error {
+func (c *faultConn) BatchPut(ctx context.Context, table string, rows []hstore.Row) error {
 	if err := c.gate("batchput"); err != nil {
 		return err
 	}
-	return c.inner.BatchPut(table, rows)
+	return c.inner.BatchPut(ctx, table, rows)
 }
 
 func (c *faultConn) Apply(table string, cells []hstore.Cell) error {
@@ -68,46 +69,46 @@ func (c *faultConn) Apply(table string, cells []hstore.Cell) error {
 	return c.inner.Apply(table, cells)
 }
 
-func (c *faultConn) Get(table, row string) (hstore.Row, bool, error) {
+func (c *faultConn) Get(ctx context.Context, table, row string) (hstore.Row, bool, error) {
 	if err := c.gate("get"); err != nil {
 		return hstore.Row{}, false, err
 	}
-	return c.inner.Get(table, row)
+	return c.inner.Get(ctx, table, row)
 }
 
-func (c *faultConn) FollowerGet(table, row string) (hstore.Row, bool, error) {
+func (c *faultConn) FollowerGet(ctx context.Context, table, row string) (hstore.Row, bool, error) {
 	if err := c.gate("fget"); err != nil {
 		return hstore.Row{}, false, err
 	}
-	return c.inner.FollowerGet(table, row)
+	return c.inner.FollowerGet(ctx, table, row)
 }
 
-func (c *faultConn) BatchGet(table string, rows []string) ([]hstore.Row, []bool, error) {
+func (c *faultConn) BatchGet(ctx context.Context, table string, rows []string) ([]hstore.Row, []bool, error) {
 	if err := c.gate("batchget"); err != nil {
 		return nil, nil, err
 	}
-	return c.inner.BatchGet(table, rows)
+	return c.inner.BatchGet(ctx, table, rows)
 }
 
-func (c *faultConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+func (c *faultConn) Scan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	if err := c.gate("scan"); err != nil {
 		return nil, err
 	}
-	return c.inner.Scan(table, regionID, start, end, f, limit)
+	return c.inner.Scan(ctx, table, regionID, start, end, f, limit)
 }
 
-func (c *faultConn) FollowerScan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+func (c *faultConn) FollowerScan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	if err := c.gate("fscan"); err != nil {
 		return nil, err
 	}
-	return c.inner.FollowerScan(table, regionID, start, end, f, limit)
+	return c.inner.FollowerScan(ctx, table, regionID, start, end, f, limit)
 }
 
-func (c *faultConn) DeleteRow(table, row string) error {
+func (c *faultConn) DeleteRow(ctx context.Context, table, row string) error {
 	if err := c.gate("deleterow"); err != nil {
 		return err
 	}
-	return c.inner.DeleteRow(table, row)
+	return c.inner.DeleteRow(ctx, table, row)
 }
 
 func (c *faultConn) Flush(table string) error {

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ import (
 
 func newStore(t *testing.T) *core.Store {
 	t.Helper()
-	st, err := core.NewStore(hstore.Connect(hstore.NewServer()))
+	st, err := core.NewStore(context.Background(), hstore.Connect(hstore.NewServer()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,10 +45,10 @@ func TestStorePutAndLoadRoundTrip(t *testing.T) {
 	st := newStore(t)
 	eng := engine.New(cluster.Default16(), 1)
 	p := collectProfile(t, eng, "wordcount", "randomtext-1g")
-	if err := st.PutProfile(p); err != nil {
+	if err := st.PutProfile(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
-	back, err := st.LoadProfile(p.JobID)
+	back, err := st.LoadProfile(context.Background(), p.JobID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestStorePutAndLoadRoundTrip(t *testing.T) {
 		back.Map.DataFlow[profile.MapPairsSel] != p.Map.DataFlow[profile.MapPairsSel] {
 		t.Error("loaded profile differs from stored")
 	}
-	if _, err := st.LoadProfile("missing"); err == nil {
+	if _, err := st.LoadProfile(context.Background(), "missing"); err == nil {
 		t.Error("loading a missing profile should fail")
 	}
 }
@@ -64,7 +65,7 @@ func TestStoreSchemaRows(t *testing.T) {
 	st := newStore(t)
 	eng := engine.New(cluster.Default16(), 1)
 	p := collectProfile(t, eng, "wordcount", "randomtext-1g")
-	if err := st.PutProfile(p); err != nil {
+	if err := st.PutProfile(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
 	// Every Table 5.1 feature-type row exists and is retrievable.
@@ -72,7 +73,7 @@ func TestStoreSchemaRows(t *testing.T) {
 		matcher.FTDynMap, matcher.FTDynRed, matcher.FTStatMap,
 		matcher.FTStatRed, matcher.FTCostMap, matcher.FTCostRed,
 	} {
-		row, ok, err := st.GetFeatures(ft, p.JobID)
+		row, ok, err := st.GetFeatures(context.Background(), ft, p.JobID)
 		if err != nil || !ok {
 			t.Fatalf("feature row %s missing: %v", ft, err)
 		}
@@ -81,7 +82,7 @@ func TestStoreSchemaRows(t *testing.T) {
 		}
 	}
 	// Prefix scans see exactly the rows of their type.
-	entries, err := st.ScanFeatures(matcher.FTDynMap, nil)
+	entries, err := st.ScanFeatures(context.Background(), matcher.FTDynMap, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,16 +107,16 @@ func TestStoreBoundsMaintenance(t *testing.T) {
 		}
 		return p
 	}
-	if err := st.PutProfile(mk("a", 5)); err != nil {
+	if err := st.PutProfile(context.Background(), mk("a", 5)); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.PutProfile(mk("b", 11)); err != nil {
+	if err := st.PutProfile(context.Background(), mk("b", 11)); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.PutProfile(mk("c", 2)); err != nil {
+	if err := st.PutProfile(context.Background(), mk("c", 2)); err != nil {
 		t.Fatal(err)
 	}
-	min, max, err := st.Bounds(matcher.FTDynMap, profile.MapDataFlowFeatures)
+	min, max, err := st.Bounds(context.Background(), matcher.FTDynMap, profile.MapDataFlowFeatures)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,23 +132,23 @@ func TestStoreJobIDs(t *testing.T) {
 	eng := engine.New(cluster.Default16(), 1)
 	p1 := collectProfile(t, eng, "wordcount", "randomtext-1g")
 	p2 := collectProfile(t, eng, "sort", "tera-1g")
-	_ = st.PutProfile(p1)
-	_ = st.PutProfile(p2)
-	ids, err := st.JobIDs()
+	_ = st.PutProfile(context.Background(), p1)
+	_ = st.PutProfile(context.Background(), p2)
+	ids, err := st.JobIDs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ids) != 2 {
 		t.Fatalf("JobIDs = %v", ids)
 	}
-	if n, _ := st.Len(); n != 2 {
+	if n, _ := st.Len(context.Background()); n != 2 {
 		t.Errorf("Len = %d", n)
 	}
 }
 
 func TestStoreRejectsAnonymousProfile(t *testing.T) {
 	st := newStore(t)
-	if err := st.PutProfile(&profile.Profile{}); err == nil {
+	if err := st.PutProfile(context.Background(), &profile.Profile{}); err == nil {
 		t.Error("profile without JobID accepted")
 	}
 }
@@ -178,7 +179,7 @@ func TestSystemWorkflow(t *testing.T) {
 	spec, _ := workloads.JobByName("cooccurrence-pairs")
 	ds, _ := workloads.DatasetByName("randomtext-1g")
 
-	first, err := sys.Submit(spec, ds)
+	first, err := sys.Submit(context.Background(), spec, ds, core.TuneOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestSystemWorkflow(t *testing.T) {
 		t.Error("sampling cost not recorded")
 	}
 
-	second, err := sys.Submit(spec, ds)
+	second, err := sys.Submit(context.Background(), spec, ds, core.TuneOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,14 +220,14 @@ func TestCollectAndStore(t *testing.T) {
 	sys := core.NewSystem(st, eng)
 	spec, _ := workloads.JobByName("sort")
 	ds, _ := workloads.DatasetByName("tera-1g")
-	p, err := sys.CollectAndStore(spec, ds)
+	p, err := sys.CollectAndStore(context.Background(), spec, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !p.Complete {
 		t.Error("CollectAndStore should produce a complete profile")
 	}
-	if n, _ := st.Len(); n != 1 {
+	if n, _ := st.Len(context.Background()); n != 1 {
 		t.Errorf("store has %d profiles, want 1", n)
 	}
 }
@@ -236,7 +237,7 @@ func TestStoreOverHTTPTransport(t *testing.T) {
 	srv := hstore.NewServer()
 	ts := newHTTPServer(t, srv)
 	defer ts.close()
-	st, err := core.NewStore(hstore.Dial(ts.url))
+	st, err := core.NewStore(context.Background(), hstore.Dial(ts.url))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,19 +245,19 @@ func TestStoreOverHTTPTransport(t *testing.T) {
 	// Seed a small but realistic store (a single-profile store makes
 	// the conservative matcher decline, by design).
 	for _, jd := range [][2]string{{"sort", "tera-1g"}, {"wordcount", "randomtext-1g"}, {"join", "tpch-1g"}} {
-		if err := st.PutProfile(collectProfile(t, eng, jd[0], jd[1])); err != nil {
+		if err := st.PutProfile(context.Background(), collectProfile(t, eng, jd[0], jd[1])); err != nil {
 			t.Fatal(err)
 		}
 	}
-	ids, err := st.JobIDs()
+	ids, err := st.JobIDs(context.Background())
 	if err != nil || len(ids) != 3 {
 		t.Fatalf("HTTP store has %v (%v)", ids, err)
 	}
-	back, err := st.LoadProfile(ids[0])
+	back, err := st.LoadProfile(context.Background(), ids[0])
 	if err != nil || back.JobName == "" {
 		t.Fatalf("HTTP round trip failed: %v", err)
 	}
-	res, err := matcher.New().Match(st, sampleOf(t, eng, "sort", "tera-1g"))
+	res, err := matcher.New().Match(context.Background(), st, sampleOf(t, eng, "sort", "tera-1g"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,31 +292,31 @@ func TestDeleteProfile(t *testing.T) {
 	eng := engine.New(cluster.Default16(), 6)
 	p1 := collectProfile(t, eng, "wordcount", "randomtext-1g")
 	p2 := collectProfile(t, eng, "sort", "tera-1g")
-	_ = st.PutProfile(p1)
-	_ = st.PutProfile(p2)
+	_ = st.PutProfile(context.Background(), p1)
+	_ = st.PutProfile(context.Background(), p2)
 
-	if err := st.DeleteProfile(p1.JobID); err != nil {
+	if err := st.DeleteProfile(context.Background(), p1.JobID); err != nil {
 		t.Fatal(err)
 	}
-	ids, err := st.JobIDs()
+	ids, err := st.JobIDs(context.Background())
 	if err != nil || len(ids) != 1 || ids[0] != p2.JobID {
 		t.Fatalf("after delete JobIDs = %v (%v)", ids, err)
 	}
-	if _, err := st.LoadProfile(p1.JobID); err == nil {
+	if _, err := st.LoadProfile(context.Background(), p1.JobID); err == nil {
 		t.Error("deleted profile still loadable")
 	}
 	// Feature rows are gone too, so the matcher cannot see the ghost.
 	for _, ft := range []string{matcher.FTDynMap, matcher.FTStatMap, matcher.FTCostMap} {
-		if _, ok, _ := st.GetFeatures(ft, p1.JobID); ok {
+		if _, ok, _ := st.GetFeatures(context.Background(), ft, p1.JobID); ok {
 			t.Errorf("feature row %s survived deletion", ft)
 		}
 	}
-	entries, err := st.ScanFeatures(matcher.FTDynMap, nil)
+	entries, err := st.ScanFeatures(context.Background(), matcher.FTDynMap, nil)
 	if err != nil || len(entries) != 1 {
 		t.Errorf("dynmap scan after delete = %v (%v)", entries, err)
 	}
 	// The survivor still matches.
-	res, err := matcher.New().Match(st, sampleOf(t, eng, "sort", "tera-1g"))
+	res, err := matcher.New().Match(context.Background(), st, sampleOf(t, eng, "sort", "tera-1g"))
 	if err != nil {
 		t.Fatal(err)
 	}

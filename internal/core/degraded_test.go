@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -21,18 +22,18 @@ type faultyKV struct {
 	failWrites bool
 }
 
-func (f *faultyKV) Put(table, row, column string, value []byte) error {
+func (f *faultyKV) Put(ctx context.Context, table, row, column string, value []byte) error {
 	if f.failWrites {
 		return errStoreDown
 	}
-	return f.KV.Put(table, row, column, value)
+	return f.KV.Put(ctx, table, row, column, value)
 }
 
-func (f *faultyKV) PutRow(table string, r hstore.Row) error {
+func (f *faultyKV) PutRow(ctx context.Context, table string, r hstore.Row) error {
 	if f.failWrites {
 		return errStoreDown
 	}
-	return f.KV.PutRow(table, r)
+	return f.KV.PutRow(ctx, table, r)
 }
 
 // TestSubmitDegradesWhenStoreUnwritable: a no-match submission whose
@@ -41,7 +42,7 @@ func (f *faultyKV) PutRow(table string, r hstore.Row) error {
 // the next submission collects and stores normally.
 func TestSubmitDegradesWhenStoreUnwritable(t *testing.T) {
 	kv := &faultyKV{KV: hstore.Connect(hstore.NewServer())}
-	st, err := core.NewStore(kv)
+	st, err := core.NewStore(context.Background(), kv)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestSubmitDegradesWhenStoreUnwritable(t *testing.T) {
 	}
 
 	kv.failWrites = true
-	res, err := sys.Submit(spec, ds)
+	res, err := sys.Submit(context.Background(), spec, ds, core.TuneOptions{})
 	if err != nil {
 		t.Fatalf("Submit must degrade when the store is unwritable, not fail: %v", err)
 	}
@@ -71,7 +72,7 @@ func TestSubmitDegradesWhenStoreUnwritable(t *testing.T) {
 	}
 
 	kv.failWrites = false
-	res2, err := sys.Submit(spec, ds)
+	res2, err := sys.Submit(context.Background(), spec, ds, core.TuneOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"pstorm/internal/cluster"
@@ -19,7 +20,7 @@ func TestStoreMultiGetFeatures(t *testing.T) {
 
 	batched := newStore(t)
 	srv := hstore.NewServer()
-	fallback, err := core.NewStore(plainKV{hstore.Connect(srv)})
+	fallback, err := core.NewStore(context.Background(), plainKV{hstore.Connect(srv)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,17 +28,17 @@ func TestStoreMultiGetFeatures(t *testing.T) {
 	for _, job := range profs {
 		p := collectProfile(t, eng, job, "wiki-35g")
 		ids = append(ids, p.JobID)
-		if err := batched.PutProfile(p); err != nil {
+		if err := batched.PutProfile(context.Background(), p); err != nil {
 			t.Fatal(err)
 		}
-		if err := fallback.PutProfile(p); err != nil {
+		if err := fallback.PutProfile(context.Background(), p); err != nil {
 			t.Fatal(err)
 		}
 	}
 	req := append([]string{"no-such-job"}, ids...)
 
 	for name, st := range map[string]*core.Store{"batched": batched, "fallback": fallback} {
-		rows, err := st.MultiGetFeatures("dynmap", req)
+		rows, err := st.MultiGetFeatures(context.Background(), "dynmap", req)
 		if err != nil {
 			t.Fatalf("%s: MultiGetFeatures: %v", name, err)
 		}
@@ -49,7 +50,7 @@ func TestStoreMultiGetFeatures(t *testing.T) {
 			if !ok {
 				t.Fatalf("%s: job %s missing from result", name, id)
 			}
-			want, found, err := st.GetFeatures("dynmap", id)
+			want, found, err := st.GetFeatures(context.Background(), "dynmap", id)
 			if err != nil || !found {
 				t.Fatalf("%s: GetFeatures(%s): found=%v err=%v", name, id, found, err)
 			}
@@ -63,7 +64,7 @@ func TestStoreMultiGetFeatures(t *testing.T) {
 				}
 			}
 		}
-		if rows, err := st.MultiGetFeatures("dynmap", nil); err != nil || len(rows) != 0 {
+		if rows, err := st.MultiGetFeatures(context.Background(), "dynmap", nil); err != nil || len(rows) != 0 {
 			t.Errorf("%s: empty request: rows=%v err=%v", name, rows, err)
 		}
 	}

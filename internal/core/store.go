@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -97,21 +98,23 @@ var ErrNotFound = errors.New("not found")
 // KV is the column-store surface the profile store needs. Both
 // *hstore.Client (single server) and *dstore.Client (sharded,
 // replicated cluster) satisfy it, so one Store implementation serves
-// every deployment shape.
+// every deployment shape. Every method is ctx-first: the context is the
+// caller's deadline, carried all the way to the region servers, so
+// abandoned reads and scans stop burning store CPU.
 type KV interface {
-	CreateTable(table string) error
-	Put(table, row, column string, value []byte) error
-	PutRow(table string, r hstore.Row) error
-	Get(table, row string) (hstore.Row, bool, error)
-	Scan(table, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
-	DeleteRow(table, row string) error
+	CreateTable(ctx context.Context, table string) error
+	Put(ctx context.Context, table, row, column string, value []byte) error
+	PutRow(ctx context.Context, table string, r hstore.Row) error
+	Get(ctx context.Context, table, row string) (hstore.Row, bool, error)
+	Scan(ctx context.Context, table, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
+	DeleteRow(ctx context.Context, table, row string) error
 }
 
 // multiGetKV is the optional batched point-read upgrade of KV. Both
 // *hstore.Client and *dstore.Client implement it; a KV without it falls
 // back to per-row Gets.
 type multiGetKV interface {
-	MultiGet(table string, rows []string) ([]hstore.Row, []bool, error)
+	MultiGet(ctx context.Context, table string, rows []string) ([]hstore.Row, []bool, error)
 }
 
 // Store is the PStorM profile store.
@@ -129,11 +132,11 @@ type Store struct {
 }
 
 // NewStore opens (creating if necessary) the profile store on the given
-// column-store client.
-func NewStore(client KV) (*Store, error) {
-	if err := client.CreateTable(TableName); err != nil {
+// column-store client. The context bounds only the open itself.
+func NewStore(ctx context.Context, client KV) (*Store, error) {
+	if err := client.CreateTable(ctx, TableName); err != nil {
 		// An existing table is fine: the store is shared across runs.
-		if _, _, gerr := client.Get(TableName, "!probe"); gerr != nil {
+		if _, _, gerr := client.Get(ctx, TableName, "!probe"); gerr != nil {
 			return nil, fmt.Errorf("core: opening profile store: %w", err)
 		}
 	}
@@ -145,11 +148,11 @@ func NewStore(client KV) (*Store, error) {
 // its key, so tenants sharing a cluster are fully isolated — profiles,
 // scans, and normalization bounds alike. The gateway serving tier opens
 // one per tenant at the core.Store boundary.
-func NewTenantStore(client KV, tenant string) (*Store, error) {
+func NewTenantStore(ctx context.Context, client KV, tenant string) (*Store, error) {
 	if err := ValidateTenant(tenant); err != nil {
 		return nil, err
 	}
-	st, err := NewStore(client)
+	st, err := NewStore(ctx, client)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +171,7 @@ func fmtFloat(v float64) []byte {
 // PutProfile stores a complete profile under the Table 5.1 schema: one
 // row per (feature type, job), plus the serialized profile itself and
 // maintained min/max bounds per numeric feature.
-func (s *Store) PutProfile(p *profile.Profile) error {
+func (s *Store) PutProfile(ctx context.Context, p *profile.Profile) error {
 	if p == nil || p.JobID == "" {
 		return fmt.Errorf("core: profile must have a JobID")
 	}
@@ -186,7 +189,7 @@ func (s *Store) PutProfile(p *profile.Profile) error {
 		{Key: s.featureRowKey(ftMeta, p.JobID), Columns: map[string][]byte{profileColumn: raw}},
 	}
 	for _, r := range rows {
-		if err := s.client.PutRow(TableName, r); err != nil {
+		if err := s.client.PutRow(ctx, TableName, r); err != nil {
 			return err
 		}
 	}
@@ -202,7 +205,7 @@ func (s *Store) PutProfile(p *profile.Profile) error {
 		{matcher.FTCostMap, p.Map.CostFactors, profile.MapCostFeatures},
 		{matcher.FTCostRed, p.Reduce.CostFactors, profile.ReduceCostFeatures},
 	} {
-		if err := s.updateBounds(upd.ftype, upd.features, upd.values); err != nil {
+		if err := s.updateBounds(ctx, upd.ftype, upd.features, upd.values); err != nil {
 			return err
 		}
 	}
@@ -243,10 +246,10 @@ func costRow(key string, values map[string]float64, features []string) hstore.Ro
 	return hstore.Row{Key: key, Columns: cols}
 }
 
-func (s *Store) updateBounds(ftype string, features []string, values map[string]float64) error {
+func (s *Store) updateBounds(ctx context.Context, ftype string, features []string, values map[string]float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	row, ok, err := s.client.Get(TableName, s.boundsRowKey(ftype))
+	row, ok, err := s.client.Get(ctx, TableName, s.boundsRowKey(ftype))
 	if err != nil {
 		return err
 	}
@@ -278,7 +281,7 @@ func (s *Store) updateBounds(ftype string, features []string, values map[string]
 		}
 	}
 	for c, v := range changed {
-		if err := s.client.Put(TableName, s.boundsRowKey(ftype), c, v); err != nil {
+		if err := s.client.Put(ctx, TableName, s.boundsRowKey(ftype), c, v); err != nil {
 			return err
 		}
 	}
@@ -287,9 +290,9 @@ func (s *Store) updateBounds(ftype string, features []string, values map[string]
 
 // ScanFeatures implements matcher.Store: a prefix scan over one feature
 // type with the filter pushed down to the region server.
-func (s *Store) ScanFeatures(ftype string, f hstore.Filter) ([]matcher.Entry, error) {
+func (s *Store) ScanFeatures(ctx context.Context, ftype string, f hstore.Filter) ([]matcher.Entry, error) {
 	start, end := s.featureRange(ftype)
-	rows, err := s.client.Scan(TableName, start, end, f, 0)
+	rows, err := s.client.Scan(ctx, TableName, start, end, f, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -301,21 +304,21 @@ func (s *Store) ScanFeatures(ftype string, f hstore.Filter) ([]matcher.Entry, er
 }
 
 // GetFeatures implements matcher.Store.
-func (s *Store) GetFeatures(ftype, jobID string) (hstore.Row, bool, error) {
-	return s.client.Get(TableName, s.featureRowKey(ftype, jobID))
+func (s *Store) GetFeatures(ctx context.Context, ftype, jobID string) (hstore.Row, bool, error) {
+	return s.client.Get(ctx, TableName, s.featureRowKey(ftype, jobID))
 }
 
 // MultiGetFeatures implements matcher.MultiGetStore: one feature row per
 // job ID, fetched in a single round trip per shard when the underlying
 // client supports batched reads.
-func (s *Store) MultiGetFeatures(ftype string, jobIDs []string) (map[string]hstore.Row, error) {
+func (s *Store) MultiGetFeatures(ctx context.Context, ftype string, jobIDs []string) (map[string]hstore.Row, error) {
 	out := make(map[string]hstore.Row, len(jobIDs))
 	if mg, ok := s.client.(multiGetKV); ok {
 		keys := make([]string, len(jobIDs))
 		for i, id := range jobIDs {
 			keys[i] = s.featureRowKey(ftype, id)
 		}
-		rows, found, err := mg.MultiGet(TableName, keys)
+		rows, found, err := mg.MultiGet(ctx, TableName, keys)
 		if err != nil {
 			return nil, err
 		}
@@ -327,7 +330,7 @@ func (s *Store) MultiGetFeatures(ftype string, jobIDs []string) (map[string]hsto
 		return out, nil
 	}
 	for _, id := range jobIDs {
-		row, ok, err := s.client.Get(TableName, s.featureRowKey(ftype, id))
+		row, ok, err := s.client.Get(ctx, TableName, s.featureRowKey(ftype, id))
 		if err != nil {
 			return nil, err
 		}
@@ -339,8 +342,8 @@ func (s *Store) MultiGetFeatures(ftype string, jobIDs []string) (map[string]hsto
 }
 
 // Bounds implements matcher.Store.
-func (s *Store) Bounds(ftype string, features []string) ([]float64, []float64, error) {
-	row, ok, err := s.client.Get(TableName, s.boundsRowKey(ftype))
+func (s *Store) Bounds(ctx context.Context, ftype string, features []string) ([]float64, []float64, error) {
+	row, ok, err := s.client.Get(ctx, TableName, s.boundsRowKey(ftype))
 	minB := make([]float64, len(features))
 	maxB := make([]float64, len(features))
 	if err != nil || !ok {
@@ -358,8 +361,8 @@ func (s *Store) Bounds(ftype string, features []string) ([]float64, []float64, e
 }
 
 // LoadProfile implements matcher.Store.
-func (s *Store) LoadProfile(jobID string) (*profile.Profile, error) {
-	row, ok, err := s.client.Get(TableName, s.featureRowKey(ftMeta, jobID))
+func (s *Store) LoadProfile(ctx context.Context, jobID string) (*profile.Profile, error) {
+	row, ok, err := s.client.Get(ctx, TableName, s.featureRowKey(ftMeta, jobID))
 	if err != nil {
 		return nil, err
 	}
@@ -374,12 +377,12 @@ func (s *Store) LoadProfile(jobID string) (*profile.Profile, error) {
 // adding new profiles ... and possibly deleting old profiles to free
 // up space"). Normalization bounds are high-water marks and are not
 // shrunk by deletion, matching the store's monotone min/max semantics.
-func (s *Store) DeleteProfile(jobID string) error {
+func (s *Store) DeleteProfile(ctx context.Context, jobID string) error {
 	for _, ft := range []string{
 		matcher.FTDynMap, matcher.FTDynRed, matcher.FTStatMap,
 		matcher.FTStatRed, matcher.FTCostMap, matcher.FTCostRed, ftMeta,
 	} {
-		if err := s.client.DeleteRow(TableName, s.featureRowKey(ft, jobID)); err != nil {
+		if err := s.client.DeleteRow(ctx, TableName, s.featureRowKey(ft, jobID)); err != nil {
 			return err
 		}
 	}
@@ -388,9 +391,9 @@ func (s *Store) DeleteProfile(jobID string) error {
 
 // JobIDs lists every stored profile's job ID (within the store's
 // namespace).
-func (s *Store) JobIDs() ([]string, error) {
+func (s *Store) JobIDs(ctx context.Context) ([]string, error) {
 	start, end := s.featureRange(ftMeta)
-	rows, err := s.client.Scan(TableName, start, end, nil, 0)
+	rows, err := s.client.Scan(ctx, TableName, start, end, nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -402,8 +405,8 @@ func (s *Store) JobIDs() ([]string, error) {
 }
 
 // Len returns the number of stored profiles.
-func (s *Store) Len() (int, error) {
-	ids, err := s.JobIDs()
+func (s *Store) Len(ctx context.Context) (int, error) {
+	ids, err := s.JobIDs(ctx)
 	return len(ids), err
 }
 

@@ -120,7 +120,7 @@ func (s *System) tune(ctx context.Context, prof *profile.Profile, inputBytes int
 	if s.Now != nil {
 		start = s.Now()
 	}
-	rec, err := cbo.OptimizeContext(ctx, prof, inputBytes, s.Cluster, hasCombiner, copts)
+	rec, err := cbo.Optimize(ctx, prof, inputBytes, s.Cluster, hasCombiner, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -177,16 +177,13 @@ type SubmitResult struct {
 	Degraded bool
 }
 
-// Submit runs the full PStorM workflow for one job submission.
-func (s *System) Submit(spec *mrjob.Spec, ds *data.Dataset) (*SubmitResult, error) {
-	return s.SubmitContext(context.Background(), spec, ds, TuneOptions{})
-}
-
-// SubmitContext is Submit with cancellation and per-submission tuning
-// options: the context and options bound the optimizer search on the
-// tuned path (sampling and execution are simulated and effectively
-// instant).
-func (s *System) SubmitContext(ctx context.Context, spec *mrjob.Spec, ds *data.Dataset, opt TuneOptions) (*SubmitResult, error) {
+// Submit runs the full PStorM workflow for one job submission. The
+// context bounds the whole trip — every store read the matcher makes,
+// the profile load, the optimizer search, and the profile write on the
+// no-match path — and opt tunes the optimizer leg. Ctx-less callers go
+// through the root package's convenience wrappers, which root the
+// context at the top layer.
+func (s *System) Submit(ctx context.Context, spec *mrjob.Spec, ds *data.Dataset, opt TuneOptions) (*SubmitResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -207,7 +204,7 @@ func (s *System) SubmitContext(ctx context.Context, spec *mrjob.Spec, ds *data.D
 	sample.InputBytes = ds.NominalBytes
 
 	// 2. Probe the profile store.
-	match, err := s.Matcher.Match(s.Store, sample)
+	match, err := s.Matcher.Match(ctx, s.Store, sample)
 	if err != nil {
 		return nil, fmt.Errorf("core: matching %s: %w", spec.Name, err)
 	}
@@ -241,7 +238,7 @@ func (s *System) SubmitContext(ctx context.Context, spec *mrjob.Spec, ds *data.D
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Store.PutProfile(run.Profile); err != nil {
+	if err := s.Store.PutProfile(ctx, run.Profile); err != nil {
 		// The job already ran; a store outage must not retroactively turn
 		// the submission into a failure. The collected profile is lost
 		// (future submissions of this job re-collect it) and the result
@@ -261,12 +258,12 @@ func (s *System) SubmitContext(ctx context.Context, spec *mrjob.Spec, ds *data.D
 // CollectAndStore executes the job with profiling on (default config)
 // and stores the profile — the bootstrap path used to seed the store
 // for experiments.
-func (s *System) CollectAndStore(spec *mrjob.Spec, ds *data.Dataset) (*profile.Profile, error) {
+func (s *System) CollectAndStore(ctx context.Context, spec *mrjob.Spec, ds *data.Dataset) (*profile.Profile, error) {
 	run, err := s.Engine.Run(spec, ds, DefaultConfig(spec), engine.RunOptions{Profiling: true})
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Store.PutProfile(run.Profile); err != nil {
+	if err := s.Store.PutProfile(ctx, run.Profile); err != nil {
 		return nil, err
 	}
 	return run.Profile, nil

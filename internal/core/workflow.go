@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pstorm/internal/data"
@@ -41,15 +42,16 @@ type WorkflowResult struct {
 // SubmitWorkflow runs the job chain over the input dataset. The sample
 // pool for each derived stage input comes from really executing the
 // upstream stage's code over sampled records (engine.SampleOutput), and
-// its nominal size from the upstream run's modelled output.
-func (s *System) SubmitWorkflow(specs []*mrjob.Spec, input *data.Dataset) (*WorkflowResult, error) {
+// its nominal size from the upstream run's modelled output. One context
+// bounds the whole chain.
+func (s *System) SubmitWorkflow(ctx context.Context, specs []*mrjob.Spec, input *data.Dataset) (*WorkflowResult, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: workflow needs at least one stage")
 	}
 	res := &WorkflowResult{}
 	cur := input
 	for i, spec := range specs {
-		sub, err := s.Submit(spec, cur)
+		sub, err := s.Submit(ctx, spec, cur, TuneOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("core: workflow stage %d (%s): %w", i, spec.Name, err)
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"pstorm/internal/cluster"
@@ -22,7 +23,7 @@ func TestSubmitWorkflowChainsStages(t *testing.T) {
 	srt, _ := workloads.JobByName("sort") // consumes "key\tvalue" lines
 	input := mustDataset(t, "wiki-35g")
 
-	first, err := sys.SubmitWorkflow([]*mrjob.Spec{wc, srt}, input)
+	first, err := sys.SubmitWorkflow(context.Background(), []*mrjob.Spec{wc, srt}, input)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestSubmitWorkflowChainsStages(t *testing.T) {
 
 	// Second submission of the same workflow: both stages now match
 	// their own stored profiles and run tuned.
-	second, err := sys.SubmitWorkflow([]*mrjob.Spec{wc, srt}, input)
+	second, err := sys.SubmitWorkflow(context.Background(), []*mrjob.Spec{wc, srt}, input)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestSubmitWorkflowChainsStages(t *testing.T) {
 func TestSubmitWorkflowValidation(t *testing.T) {
 	eng := engine.New(cluster.Default16(), 1)
 	sys := core.NewSystem(newStore(t), eng)
-	if _, err := sys.SubmitWorkflow(nil, mustDataset(t, "tera-1g")); err == nil {
+	if _, err := sys.SubmitWorkflow(context.Background(), nil, mustDataset(t, "tera-1g")); err == nil {
 		t.Error("empty workflow accepted")
 	}
 }

@@ -2,6 +2,7 @@ package dstore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -191,13 +192,39 @@ func (c *Client) nowFn() time.Time {
 	return time.Now() //pstorm:allow clockcheck this is the injection point's default when Client.Now is unset
 }
 
-// budgetDeadline returns the operation's wall-clock cutoff, or zero
-// when no budget is configured.
-func (c *Client) budgetDeadline() time.Time {
-	if c.OpBudget <= 0 {
-		return time.Time{}
+// effectiveDeadline returns one operation's wall-clock cutoff: the
+// earliest of the caller's context deadline and the client's OpBudget,
+// or zero when neither applies. This is the single place the two
+// budgets compose — retry loops, the scan fan-out, and the topo-retry
+// backstop all consult it instead of tracking their own cutoffs. The
+// caller's deadline only participates under the real clock: with an
+// injected Now the two are on different clocks and the context's own
+// Done channel (checked every loop iteration and mid-backoff) already
+// enforces it.
+func (c *Client) effectiveDeadline(ctx context.Context) time.Time {
+	var d time.Time
+	if c.OpBudget > 0 {
+		d = c.nowFn().Add(c.OpBudget)
 	}
-	return c.nowFn().Add(c.OpBudget)
+	if c.Now == nil {
+		if cd, ok := ctx.Deadline(); ok && (d.IsZero() || cd.Before(d)) {
+			d = cd
+		}
+	}
+	return d
+}
+
+// opContext bounds the context handed to server RPCs by OpBudget, so
+// the remaining budget reaches the wire (httperr.DeadlineHeader) and
+// region servers abort scans whose caller is out of time. The caller's
+// own deadline, when earlier, already rides on ctx. With an injected
+// clock real-time deadlines are meaningless, so the budget is then
+// enforced only by effectiveDeadline in the injected domain.
+func (c *Client) opContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.OpBudget <= 0 || c.Now != nil {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.OpBudget)
 }
 
 // budgetSpent reports whether the cutoff has passed.
@@ -364,34 +391,47 @@ func (c *Client) route(table, row string) (RegionInfo, ServerConn, error) {
 	return g, conn, nil
 }
 
-// withRetry runs op, refreshing META and backing off after each
-// retryable failure. Exhausting the attempt budget on a retryable error
-// wraps it in ErrExhausted, so callers can tell a liveness problem
-// ("the cluster never healed while I retried") from a plain store
-// error.
-func (c *Client) withRetry(opName string, op func() error) error {
-	return c.withRetryCtx(context.Background(), opName, op)
-}
-
-// withRetryCtx is withRetry under a context and the op's wall-clock
-// budget. Cancellation consumes no attempt and surfaces as the
-// context's own error wrapped (errors.Is(err, context.Canceled)), not
-// as ErrExhausted: the caller gave up, the cluster did not fail.
-// Spending OpBudget, by contrast, is ErrExhausted — the cluster never
-// healed within the time the caller was willing to wait.
-func (c *Client) withRetryCtx(ctx context.Context, opName string, op func() error) error {
+// withRetry runs op under the caller's context and the op's wall-clock
+// budget, refreshing META and backing off after each retryable failure.
+// Exhausting the attempt budget on a retryable error wraps it in
+// ErrExhausted, so callers can tell a liveness problem ("the cluster
+// never healed while I retried") from a plain store error.
+//
+// Cancellation consumes no attempt and surfaces as the context's own
+// error wrapped (errors.Is(err, context.Canceled)), not as
+// ErrExhausted: the caller gave up, the cluster did not fail. Spending
+// OpBudget, by contrast, is ErrExhausted — the cluster never healed
+// within the time the caller was willing to wait. op receives the
+// budget-bounded context (see opContext) so every RPC it makes carries
+// the remaining time to the server.
+func (c *Client) withRetry(ctx context.Context, opName string, op func(ctx context.Context) error) error {
 	c.countOp(opName)
 	refreshesBefore := c.mRefreshes.Value()
 	defer func() {
 		c.refreshPerOpH.Observe(float64(c.mRefreshes.Value() - refreshesBefore))
 	}()
-	deadline := c.budgetDeadline()
+	deadline := c.effectiveDeadline(ctx)
+	opCtx, cancel := c.opContext(ctx)
+	defer cancel()
 	var err error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return fmt.Errorf("dstore: %s interrupted: %w", opName, cerr)
 		}
-		if err = op(); err == nil || !retryable(err) {
+		if err = op(opCtx); err == nil {
+			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("dstore: %s interrupted: %w", opName, cerr)
+		}
+		if !retryable(err) {
+			if errors.Is(err, context.DeadlineExceeded) {
+				// The op budget expired mid-RPC: the server aborted on the
+				// wire deadline. The caller is still live, so this is
+				// exhaustion, not interruption.
+				c.mGiveUps.Inc()
+				return fmt.Errorf("%w: %s spent its %v budget: %w", ErrExhausted, opName, c.OpBudget, err)
+			}
 			return err
 		}
 		c.mRetries.Inc()
@@ -414,7 +454,7 @@ func (c *Client) withRetryCtx(ctx context.Context, opName string, op func() erro
 // budget the normal path ever approaches.
 const topoRestartCap = 32
 
-// withTopoRetry is withRetryCtx for operations whose one attempt spans
+// withTopoRetry is withRetry for operations whose one attempt spans
 // many regions at once (the scan fan-out). Such an attempt needs the
 // whole keyspace healthy at a single instant, so under a steady stream
 // of rebalances it can lose the race against the next fence every time
@@ -426,17 +466,21 @@ const topoRestartCap = 32
 // commits) and compares. Epoch advanced — the restart is the designed
 // response to a concurrent topology change, so no attempt is consumed.
 // Epoch unchanged — the cluster is actually unhealthy and the failure
-// burns an attempt exactly as in withRetryCtx. Restart semantics are
+// burns an attempt exactly as in withRetry. Restart semantics are
 // untouched: every retryable failure still invalidates META, counts a
 // retry, and rebuilds the operation from scratch; only the exhaustion
 // accounting differs, with topoRestartCap bounding total iterations.
-func (c *Client) withTopoRetry(ctx context.Context, opName string, epoch *int64, op func() error) error {
+// The deadline is effectiveDeadline's composition, so the topo backstop
+// honors the caller's context deadline as well as OpBudget.
+func (c *Client) withTopoRetry(ctx context.Context, opName string, epoch *int64, op func(ctx context.Context) error) error {
 	c.countOp(opName)
 	refreshesBefore := c.mRefreshes.Value()
 	defer func() {
 		c.refreshPerOpH.Observe(float64(c.mRefreshes.Value() - refreshesBefore))
 	}()
-	deadline := c.budgetDeadline()
+	deadline := c.effectiveDeadline(ctx)
+	opCtx, cancel := c.opContext(ctx)
+	defer cancel()
 	var err error
 	attempt := 0
 	for spin := 0; spin < topoRestartCap*c.maxAttempts(); spin++ {
@@ -444,7 +488,17 @@ func (c *Client) withTopoRetry(ctx context.Context, opName string, epoch *int64,
 			return fmt.Errorf("dstore: %s interrupted: %w", opName, cerr)
 		}
 		*epoch = 0
-		if err = op(); err == nil || !retryable(err) {
+		if err = op(opCtx); err == nil {
+			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("dstore: %s interrupted: %w", opName, cerr)
+		}
+		if !retryable(err) {
+			if errors.Is(err, context.DeadlineExceeded) {
+				c.mGiveUps.Inc()
+				return fmt.Errorf("%w: %s spent its %v budget: %w", ErrExhausted, opName, c.OpBudget, err)
+			}
 			return err
 		}
 		seen := *epoch
@@ -473,57 +527,51 @@ func (c *Client) withTopoRetry(ctx context.Context, opName string, epoch *int64,
 }
 
 // CreateTable asks the master to lay out a new table.
-func (c *Client) CreateTable(table string) error {
+func (c *Client) CreateTable(ctx context.Context, table string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("dstore: create table interrupted: %w", err)
+	}
 	err := c.master.CreateTable(table)
 	c.invalidate()
 	return err
 }
 
-// Put writes one cell through the owning primary.
-func (c *Client) Put(table, row, column string, value []byte) error {
-	return c.PutCtx(context.Background(), table, row, column, value)
-}
-
-// PutCtx is Put under a context: cancellation aborts the retry loop
-// without consuming an attempt.
-func (c *Client) PutCtx(ctx context.Context, table, row, column string, value []byte) error {
-	return c.withRetryCtx(ctx, "put", func() error {
+// Put writes one cell through the owning primary. Cancellation aborts
+// the retry loop without consuming an attempt.
+func (c *Client) Put(ctx context.Context, table, row, column string, value []byte) error {
+	return c.withRetry(ctx, "put", func(ctx context.Context) error {
 		g, conn, err := c.route(table, row)
 		if err != nil {
 			return err
 		}
 		return c.do(g.Primary, func() error {
-			return conn.Put(table, row, column, value)
+			return conn.Put(ctx, table, row, column, value)
 		})
 	})
 }
 
 // PutRow writes all columns of a row in one replication round.
-func (c *Client) PutRow(table string, r hstore.Row) error {
-	return c.withRetry("putrow", func() error {
+func (c *Client) PutRow(ctx context.Context, table string, r hstore.Row) error {
+	return c.withRetry(ctx, "putrow", func(ctx context.Context) error {
 		g, conn, err := c.route(table, r.Key)
 		if err != nil {
 			return err
 		}
 		return c.do(g.Primary, func() error {
-			return conn.BatchPut(table, []hstore.Row{r})
+			return conn.BatchPut(ctx, table, []hstore.Row{r})
 		})
 	})
 }
 
 // BatchPut writes many rows, grouped per primary server so each server
 // sees one batch per round; failed groups are retried with a refreshed
-// META view until every row is acked or attempts run out.
-func (c *Client) BatchPut(table string, rows []hstore.Row) error {
-	return c.BatchPutCtx(context.Background(), table, rows)
-}
-
-// BatchPutCtx is BatchPut under a context and the op's wall-clock
-// budget; cancellation aborts between rounds without consuming an
-// attempt.
-func (c *Client) BatchPutCtx(ctx context.Context, table string, rows []hstore.Row) error {
+// META view until every row is acked or attempts run out. Cancellation
+// aborts between rounds without consuming an attempt.
+func (c *Client) BatchPut(ctx context.Context, table string, rows []hstore.Row) error {
 	c.countOp("batchput")
-	deadline := c.budgetDeadline()
+	deadline := c.effectiveDeadline(ctx)
+	opCtx, cancel := c.opContext(ctx)
+	defer cancel()
 	remaining := rows
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
@@ -558,7 +606,7 @@ func (c *Client) BatchPutCtx(ctx context.Context, table string, rows []hstore.Ro
 				return err
 			}
 			if err := c.do(id, func() error {
-				return conn.BatchPut(table, groups[id])
+				return conn.BatchPut(opCtx, table, groups[id])
 			}); err != nil {
 				if !retryable(err) {
 					return err
@@ -589,16 +637,14 @@ func (c *Client) BatchPutCtx(ctx context.Context, table string, rows []hstore.Ro
 // server answers one batch per round. Both result slices are aligned
 // with the requested keys; failed groups are retried with a refreshed
 // META view until every row is answered or attempts run out.
-func (c *Client) MultiGet(table string, rows []string) ([]hstore.Row, []bool, error) {
-	return c.MultiGetCtx(context.Background(), table, rows)
-}
-
-// MultiGetCtx is MultiGet under a context and the op's wall-clock
-// budget; cancellation aborts between rounds without consuming an
-// attempt.
-func (c *Client) MultiGetCtx(ctx context.Context, table string, rows []string) ([]hstore.Row, []bool, error) {
+// Cancellation aborts between rounds without consuming an attempt, and
+// the remaining budget rides to each server, which checks it while
+// assembling the batch.
+func (c *Client) MultiGet(ctx context.Context, table string, rows []string) ([]hstore.Row, []bool, error) {
 	c.countOp("multiget")
-	deadline := c.budgetDeadline()
+	deadline := c.effectiveDeadline(ctx)
+	opCtx, cancel := c.opContext(ctx)
+	defer cancel()
 	out := make([]hstore.Row, len(rows))
 	found := make([]bool, len(rows))
 	remaining := make([]int, len(rows))
@@ -646,7 +692,7 @@ func (c *Client) MultiGetCtx(ctx context.Context, table string, rows []string) (
 			var ok []bool
 			err = c.do(id, func() error {
 				var e error
-				got, ok, e = conn.BatchGet(table, keys)
+				got, ok, e = conn.BatchGet(opCtx, table, keys)
 				return e
 			})
 			if err != nil {
@@ -695,19 +741,14 @@ func (c *Client) routeIn(m Meta, table, row string) (RegionInfo, error) {
 	return regions[i], nil
 }
 
-// Get fetches one row.
-func (c *Client) Get(table, row string) (hstore.Row, bool, error) {
-	return c.GetCtx(context.Background(), table, row)
-}
-
-// GetCtx is Get under a context: cancellation aborts the retry loop
-// without consuming an attempt. With HedgeDelay set, a slow primary
-// races a follower read (see getOnce).
-func (c *Client) GetCtx(ctx context.Context, table, row string) (hstore.Row, bool, error) {
+// Get fetches one row. Cancellation aborts the retry loop without
+// consuming an attempt. With HedgeDelay set, a slow primary races a
+// follower read (see getOnce).
+func (c *Client) Get(ctx context.Context, table, row string) (hstore.Row, bool, error) {
 	var out hstore.Row
 	var found bool
-	err := c.withRetryCtx(ctx, "get", func() error {
-		r, ok, err := c.getOnce(table, row)
+	err := c.withRetry(ctx, "get", func(ctx context.Context) error {
+		r, ok, err := c.getOnce(ctx, table, row)
 		if err != nil {
 			return err
 		}
@@ -725,7 +766,7 @@ type getResult struct {
 }
 
 // getOnce performs a single routed read attempt, hedged when armed.
-func (c *Client) getOnce(table, row string) (hstore.Row, bool, error) {
+func (c *Client) getOnce(ctx context.Context, table, row string) (hstore.Row, bool, error) {
 	m, err := c.cachedMeta()
 	if err != nil {
 		return hstore.Row{}, false, err
@@ -747,27 +788,29 @@ func (c *Client) getOnce(table, row string) (hstore.Row, bool, error) {
 		var ok bool
 		err := c.do(g.Primary, func() error {
 			var e error
-			r, ok, e = conn.Get(table, row)
+			r, ok, e = conn.Get(ctx, table, row)
 			return e
 		})
 		return r, ok, err
 	}
-	return c.hedgedGet(m, g, conn, table, row)
+	return c.hedgedGet(ctx, m, g, conn, table, row)
 }
 
 // hedgedGet asks the primary, and if it has not answered within
 // HedgeDelay, fires a fence-bypassing read at the first follower and
 // returns whichever succeeds first (preferring the primary on a tie).
 // Both result channels are buffered so the losing goroutine always
-// completes and exits — no leak regardless of which side wins.
-func (c *Client) hedgedGet(m Meta, g RegionInfo, primary ServerConn, table, row string) (hstore.Row, bool, error) {
+// completes and exits — no leak regardless of which side wins. Both
+// sides share the caller's (budget-bounded) context, so the hedge
+// carries the remaining budget, not a fresh one.
+func (c *Client) hedgedGet(ctx context.Context, m Meta, g RegionInfo, primary ServerConn, table, row string) (hstore.Row, bool, error) {
 	prim := make(chan getResult, 1)
 	go func() {
 		var r hstore.Row
 		var ok bool
 		err := c.do(g.Primary, func() error {
 			var e error
-			r, ok, e = primary.Get(table, row)
+			r, ok, e = primary.Get(ctx, table, row)
 			return e
 		})
 		prim <- getResult{r, ok, err}
@@ -797,7 +840,7 @@ func (c *Client) hedgedGet(m Meta, g RegionInfo, primary ServerConn, table, row 
 		var ok bool
 		err := c.do(fid, func() error {
 			var e error
-			r, ok, e = fconn.FollowerGet(table, row)
+			r, ok, e = fconn.FollowerGet(ctx, table, row)
 			return e
 		})
 		hed <- getResult{r, ok, err}
@@ -822,14 +865,14 @@ func (c *Client) hedgedGet(m Meta, g RegionInfo, primary ServerConn, table, row 
 }
 
 // DeleteRow tombstones every column of the row.
-func (c *Client) DeleteRow(table, row string) error {
-	return c.withRetry("deleterow", func() error {
+func (c *Client) DeleteRow(ctx context.Context, table, row string) error {
+	return c.withRetry(ctx, "deleterow", func(ctx context.Context) error {
 		g, conn, err := c.route(table, row)
 		if err != nil {
 			return err
 		}
 		return c.do(g.Primary, func() error {
-			return conn.DeleteRow(table, row)
+			return conn.DeleteRow(ctx, table, row)
 		})
 	})
 }
@@ -877,7 +920,7 @@ func (c *Client) scanTasks(m Meta, table, start, end string) ([]scanTask, error)
 
 // scanRegionOnce runs one region's scan RPC through the primary's
 // breaker, hedging against a follower when armed (see hedgedScan).
-func (c *Client) scanRegionOnce(m Meta, t scanTask, table string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+func (c *Client) scanRegionOnce(ctx context.Context, m Meta, t scanTask, table string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	p, err := c.peerByID(m, t.g.Primary)
 	if err != nil {
 		return nil, err
@@ -890,12 +933,12 @@ func (c *Client) scanRegionOnce(m Meta, t scanTask, table string, f hstore.Filte
 		var rows []hstore.Row
 		err := c.do(t.g.Primary, func() error {
 			var serr error
-			rows, serr = conn.Scan(table, t.g.ID, t.s, t.e, f, limit)
+			rows, serr = conn.Scan(ctx, table, t.g.ID, t.s, t.e, f, limit)
 			return serr
 		})
 		return rows, err
 	}
-	return c.hedgedScan(m, t, conn, table, f, limit)
+	return c.hedgedScan(ctx, m, t, conn, table, f, limit)
 }
 
 // scanResult carries one region scan's answer over a channel.
@@ -908,14 +951,17 @@ type scanResult struct {
 // within HedgeDelay, fires a fence-bypassing FollowerScan at the first
 // follower and returns whichever succeeds first (preferring the
 // primary on a tie). Scans are read-only, so the hedge is safe; both
-// channels are buffered so the losing goroutine always exits.
-func (c *Client) hedgedScan(m Meta, t scanTask, primary ServerConn, table string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+// channels are buffered so the losing goroutine always exits. Primary
+// and hedge share the caller's (budget-bounded) context: the hedge gets
+// the remaining budget, and a canceled caller stops both sides
+// server-side.
+func (c *Client) hedgedScan(ctx context.Context, m Meta, t scanTask, primary ServerConn, table string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	prim := make(chan scanResult, 1)
 	go func() {
 		var rows []hstore.Row
 		err := c.do(t.g.Primary, func() error {
 			var serr error
-			rows, serr = primary.Scan(table, t.g.ID, t.s, t.e, f, limit)
+			rows, serr = primary.Scan(ctx, table, t.g.ID, t.s, t.e, f, limit)
 			return serr
 		})
 		prim <- scanResult{rows, err}
@@ -944,7 +990,7 @@ func (c *Client) hedgedScan(m Meta, t scanTask, primary ServerConn, table string
 		var rows []hstore.Row
 		err := c.do(fid, func() error {
 			var serr error
-			rows, serr = fconn.FollowerScan(table, t.g.ID, t.s, t.e, f, limit)
+			rows, serr = fconn.FollowerScan(ctx, table, t.g.ID, t.s, t.e, f, limit)
 			return serr
 		})
 		hed <- scanResult{rows, err}
@@ -979,11 +1025,14 @@ func (c *Client) hedgedScan(m Meta, t scanTask, primary ServerConn, table string
 // anywhere restarts the whole scan against fresh META (partial fan-out
 // results are discarded, never returned); restarts forced by a move
 // that committed mid-scan do not consume retry attempts (see
-// withTopoRetry), so a busy rebalancer cannot starve wide scans.
-func (c *Client) Scan(table, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+// withTopoRetry), so a busy rebalancer cannot starve wide scans. The
+// caller's context rides into every per-region RPC (bounded by
+// OpBudget), so cancellation stops region-server merges mid-scan and
+// the fan-out stops launching work for a departed caller.
+func (c *Client) Scan(ctx context.Context, table, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	var out []hstore.Row
 	var epoch int64
-	err := c.withTopoRetry(context.Background(), "scan", &epoch, func() error {
+	err := c.withTopoRetry(ctx, "scan", &epoch, func(ctx context.Context) error {
 		out = nil
 		m, err := c.cachedMeta()
 		if err != nil {
@@ -1010,7 +1059,7 @@ func (c *Client) Scan(table, start, end string, f hstore.Filter, limit int) ([]h
 				if limit > 0 {
 					rem = limit - len(out)
 				}
-				rows, err := c.scanRegionOnce(m, t, table, f, rem)
+				rows, err := c.scanRegionOnce(ctx, m, t, table, f, rem)
 				if err != nil {
 					return err
 				}
@@ -1032,7 +1081,14 @@ func (c *Client) Scan(table, start, end string, f hstore.Filter, limit int) ([]h
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				results[i], errs[i] = c.scanRegionOnce(m, t, table, f, limit)
+				// A canceled caller stops the fan-out from launching more
+				// region RPCs; regions already in flight abort server-side
+				// via the same context.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				results[i], errs[i] = c.scanRegionOnce(ctx, m, t, table, f, limit)
 			}(i, t)
 		}
 		wg.Wait()

@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -91,15 +92,15 @@ func TestExhaustionWrapsErrExhausted(t *testing.T) {
 	cl := c.Client()
 	cl.RetryBase = time.Microsecond
 	cl.MaxAttempts = 3
-	if err := cl.CreateTable("t"); err != nil {
+	if err := cl.CreateTable(context.Background(), "t"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Put("t", "a", "c", []byte("v")); err != nil {
+	if err := cl.Put(context.Background(), "t", "a", "c", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 
 	// A missing table is a plain error, not an exhausted retry budget.
-	if err := cl.Put("no-such-table", "a", "c", nil); err == nil {
+	if err := cl.Put(context.Background(), "no-such-table", "a", "c", nil); err == nil {
 		t.Fatal("Put to missing table succeeded")
 	} else if errors.Is(err, ErrExhausted) {
 		t.Fatalf("non-retryable error wrapped as ErrExhausted: %v", err)
@@ -110,11 +111,11 @@ func TestExhaustionWrapsErrExhausted(t *testing.T) {
 	c.KillServer(victim)
 	// No CheckLiveness: the master never notices, so every retry hits the
 	// corpse and the budget runs out.
-	_, _, err = cl.Get("t", "a")
+	_, _, err = cl.Get(context.Background(), "t", "a")
 	if !errors.Is(err, ErrExhausted) {
 		t.Fatalf("Get after exhausting retries = %v, want ErrExhausted", err)
 	}
-	if err := cl.Put("t", "a", "c", []byte("w")); !errors.Is(err, ErrExhausted) {
+	if err := cl.Put(context.Background(), "t", "a", "c", []byte("w")); !errors.Is(err, ErrExhausted) {
 		t.Fatalf("Put after exhausting retries = %v, want ErrExhausted", err)
 	}
 	if got := cl.Obs().Snapshot().Counters["dstore_client_giveup_total"]; got < 2 {

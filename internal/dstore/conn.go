@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -10,22 +11,31 @@ import (
 
 // ServerConn is how the master and the routing client reach one region
 // server, over either transport.
+//
+// Data-plane methods take the caller's context first: the HTTP conn
+// ships the remaining deadline on the wire (httperr.DeadlineHeader) and
+// the direct conn hands it straight to the region server, so a canceled
+// caller aborts server-side work. Apply stays context-free — it is the
+// replication/backfill path, owned by the primary (or the master's move
+// protocol), and must not be severed by the original writer departing
+// mid-replication. The control plane below is master-owned and
+// likewise context-free.
 type ServerConn interface {
 	// Data plane.
-	Put(table, row, column string, value []byte) error
-	BatchPut(table string, rows []hstore.Row) error
+	Put(ctx context.Context, table, row, column string, value []byte) error
+	BatchPut(ctx context.Context, table string, rows []hstore.Row) error
 	Apply(table string, cells []hstore.Cell) error
-	Get(table, row string) (hstore.Row, bool, error)
+	Get(ctx context.Context, table, row string) (hstore.Row, bool, error)
 	// FollowerGet reads a row ignoring the serving fence — the hedged-
 	// read path against follower replicas.
-	FollowerGet(table, row string) (hstore.Row, bool, error)
-	BatchGet(table string, rows []string) ([]hstore.Row, []bool, error)
-	Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
+	FollowerGet(ctx context.Context, table, row string) (hstore.Row, bool, error)
+	BatchGet(ctx context.Context, table string, rows []string) ([]hstore.Row, []bool, error)
+	Scan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
 	// FollowerScan scans one region ignoring the serving fence — the
 	// hedged-scan path against follower replicas (read-only safe:
 	// synchronous replication keeps follower copies complete).
-	FollowerScan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
-	DeleteRow(table, row string) error
+	FollowerScan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error)
+	DeleteRow(ctx context.Context, table, row string) error
 	Flush(table string) error
 	Stats() (hstore.TransferStats, error)
 	ResetStats() error
@@ -125,32 +135,34 @@ func (r *Registry) resolve(p Peer) (ServerConn, error) {
 // directConn adapts an in-process *RegionServer to ServerConn.
 type directConn struct{ rs *RegionServer }
 
-func (c *directConn) Put(table, row, column string, value []byte) error {
-	return c.rs.Put(table, row, column, value)
+func (c *directConn) Put(ctx context.Context, table, row, column string, value []byte) error {
+	return c.rs.Put(ctx, table, row, column, value)
 }
-func (c *directConn) BatchPut(table string, rows []hstore.Row) error {
-	return c.rs.BatchPut(table, rows)
+func (c *directConn) BatchPut(ctx context.Context, table string, rows []hstore.Row) error {
+	return c.rs.BatchPut(ctx, table, rows)
 }
 func (c *directConn) Apply(table string, cells []hstore.Cell) error {
 	return c.rs.Apply(table, cells)
 }
-func (c *directConn) Get(table, row string) (hstore.Row, bool, error) {
-	return c.rs.Get(table, row)
+func (c *directConn) Get(ctx context.Context, table, row string) (hstore.Row, bool, error) {
+	return c.rs.Get(ctx, table, row)
 }
-func (c *directConn) FollowerGet(table, row string) (hstore.Row, bool, error) {
-	return c.rs.FollowerGet(table, row)
+func (c *directConn) FollowerGet(ctx context.Context, table, row string) (hstore.Row, bool, error) {
+	return c.rs.FollowerGet(ctx, table, row)
 }
-func (c *directConn) BatchGet(table string, rows []string) ([]hstore.Row, []bool, error) {
-	return c.rs.BatchGet(table, rows)
+func (c *directConn) BatchGet(ctx context.Context, table string, rows []string) ([]hstore.Row, []bool, error) {
+	return c.rs.BatchGet(ctx, table, rows)
 }
-func (c *directConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
-	return c.rs.Scan(table, regionID, start, end, f, limit)
+func (c *directConn) Scan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	return c.rs.Scan(ctx, table, regionID, start, end, f, limit)
 }
-func (c *directConn) FollowerScan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
-	return c.rs.FollowerScan(table, regionID, start, end, f, limit)
+func (c *directConn) FollowerScan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	return c.rs.FollowerScan(ctx, table, regionID, start, end, f, limit)
 }
-func (c *directConn) DeleteRow(table, row string) error { return c.rs.DeleteRow(table, row) }
-func (c *directConn) Flush(table string) error          { return c.rs.Flush(table) }
+func (c *directConn) DeleteRow(ctx context.Context, table, row string) error {
+	return c.rs.DeleteRow(ctx, table, row)
+}
+func (c *directConn) Flush(table string) error { return c.rs.Flush(table) }
 func (c *directConn) Stats() (hstore.TransferStats, error) {
 	return c.rs.Stats()
 }

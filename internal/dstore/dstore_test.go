@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func startCluster(t *testing.T, n int, splits []string) (*LocalCluster, *testClo
 	// Re-beat everyone so lastBeat moves from the real clock (used
 	// during Join) onto the injected one.
 	beatAll(t, c)
-	if err := c.Client().CreateTable("t"); err != nil {
+	if err := c.Client().CreateTable(context.Background(), "t"); err != nil {
 		t.Fatalf("CreateTable: %v", err)
 	}
 	return c, clock
@@ -56,12 +57,12 @@ func TestRoutingAcrossRegions(t *testing.T) {
 	cl := c.Client()
 	keys := []string{"alpha", "golf", "papa", "zulu", "g", "p"}
 	for i, k := range keys {
-		if err := cl.Put("t", k, "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := cl.Put(context.Background(), "t", k, "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatalf("Put(%q): %v", k, err)
 		}
 	}
 	for i, k := range keys {
-		r, ok, err := cl.Get("t", k)
+		r, ok, err := cl.Get(context.Background(), "t", k)
 		if err != nil || !ok {
 			t.Fatalf("Get(%q): ok=%v err=%v", k, ok, err)
 		}
@@ -82,7 +83,7 @@ func TestRoutingAcrossRegions(t *testing.T) {
 		t.Fatalf("expected 3 distinct primaries, got %v", prim)
 	}
 	// Cross-region scan sees all rows in key order.
-	rows, err := cl.Scan("t", "", "", nil, 0)
+	rows, err := cl.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatalf("Scan: %v", err)
 	}
@@ -100,7 +101,7 @@ func TestReplicationKeepsFollowersInSync(t *testing.T) {
 	c, _ := startCluster(t, 3, []string{"m"})
 	cl := c.Client()
 	for i := 0; i < 20; i++ {
-		if err := cl.Put("t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
+		if err := cl.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -136,7 +137,7 @@ func TestFailoverPromotesFollowerNoLostWrites(t *testing.T) {
 
 	const n = 60
 	for i := 0; i < n; i++ {
-		if err := cl.Put("t", fmt.Sprintf("k%02d", i), "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := cl.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -157,7 +158,7 @@ func TestFailoverPromotesFollowerNoLostWrites(t *testing.T) {
 
 	// Every write must still be readable through the promoted follower.
 	for i := 0; i < n; i++ {
-		r, ok, err := cl.Get("t", fmt.Sprintf("k%02d", i))
+		r, ok, err := cl.Get(context.Background(), "t", fmt.Sprintf("k%02d", i))
 		if err != nil || !ok {
 			t.Fatalf("Get(k%02d) after failover: ok=%v err=%v", i, ok, err)
 		}
@@ -203,7 +204,7 @@ func TestFailoverPromotesFollowerNoLostWrites(t *testing.T) {
 	}
 
 	// New writes keep flowing after failover.
-	if err := cl.Put("t", "post-failover", "c", []byte("x")); err != nil {
+	if err := cl.Put(context.Background(), "t", "post-failover", "c", []byte("x")); err != nil {
 		t.Fatalf("Put after failover: %v", err)
 	}
 }
@@ -220,10 +221,10 @@ func TestFailoverWithNoLiveCopyLeavesRegionRetrying(t *testing.T) {
 	cl := c.Client()
 	cl.RetryBase = time.Microsecond
 	cl.MaxAttempts = 3
-	if err := cl.CreateTable("t"); err != nil {
+	if err := cl.CreateTable(context.Background(), "t"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Put("t", "a", "c", []byte("v")); err != nil {
+	if err := cl.Put(context.Background(), "t", "a", "c", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	m, _ := cl.Meta()
@@ -235,7 +236,7 @@ func TestFailoverWithNoLiveCopyLeavesRegionRetrying(t *testing.T) {
 
 	// Replication 1: the region has no copy left. The op must fail after
 	// exhausting retries, not hang or panic.
-	if _, _, err := cl.Get("t", "a"); err == nil {
+	if _, _, err := cl.Get(context.Background(), "t", "a"); err == nil {
 		t.Fatal("expected Get against a lost region to fail")
 	} else if !strings.Contains(err.Error(), "giving up") {
 		t.Fatalf("unexpected error: %v", err)
@@ -247,7 +248,7 @@ func TestMoveRegionFullAndFlip(t *testing.T) {
 	cl := c.Client()
 	cl.RetryBase = time.Microsecond
 	for i := 0; i < 30; i++ {
-		if err := cl.Put("t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
+		if err := cl.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -284,7 +285,7 @@ func TestMoveRegionFullAndFlip(t *testing.T) {
 	}
 	// All rows must still be readable after both moves.
 	for i := 0; i < 30; i++ {
-		if _, ok, err := cl.Get("t", fmt.Sprintf("k%02d", i)); err != nil || !ok {
+		if _, ok, err := cl.Get(context.Background(), "t", fmt.Sprintf("k%02d", i)); err != nil || !ok {
 			t.Fatalf("Get(k%02d) after moves: ok=%v err=%v", i, ok, err)
 		}
 	}
@@ -297,7 +298,7 @@ func TestRebalanceEvensPrimaries(t *testing.T) {
 	cl := c.Client()
 	cl.RetryBase = time.Microsecond
 	for i := 0; i < 40; i++ {
-		if err := cl.Put("t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
+		if err := cl.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -328,7 +329,7 @@ func TestRebalanceEvensPrimaries(t *testing.T) {
 		t.Fatalf("rebalance left skew %v", counts)
 	}
 	for i := 0; i < 40; i++ {
-		if _, ok, err := cl.Get("t", fmt.Sprintf("k%02d", i)); err != nil || !ok {
+		if _, ok, err := cl.Get(context.Background(), "t", fmt.Sprintf("k%02d", i)); err != nil || !ok {
 			t.Fatalf("Get(k%02d) after rebalance: ok=%v err=%v", i, ok, err)
 		}
 	}
@@ -346,7 +347,7 @@ func TestBatchPutGroupsAndSurvivesMove(t *testing.T) {
 			Columns: map[string][]byte{"a": []byte("1"), "b": []byte("2")},
 		})
 	}
-	if err := cl.BatchPut("t", rows); err != nil {
+	if err := cl.BatchPut(context.Background(), "t", rows); err != nil {
 		t.Fatalf("BatchPut: %v", err)
 	}
 
@@ -359,11 +360,11 @@ func TestBatchPutGroupsAndSurvivesMove(t *testing.T) {
 	for i := range rows {
 		rows[i].Columns = map[string][]byte{"a": []byte("3"), "b": []byte("4")}
 	}
-	if err := cl.BatchPut("t", rows); err != nil {
+	if err := cl.BatchPut(context.Background(), "t", rows); err != nil {
 		t.Fatalf("BatchPut after move: %v", err)
 	}
 	for i := 0; i < 50; i++ {
-		r, ok, err := cl.Get("t", fmt.Sprintf("k%02d", i))
+		r, ok, err := cl.Get(context.Background(), "t", fmt.Sprintf("k%02d", i))
 		if err != nil || !ok {
 			t.Fatalf("Get(k%02d): ok=%v err=%v", i, ok, err)
 		}
@@ -381,7 +382,7 @@ func TestScanRestartsOnStaleRoute(t *testing.T) {
 	cl := c.Client()
 	cl.RetryBase = time.Microsecond
 	for i := 0; i < 30; i++ {
-		if err := cl.Put("t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
+		if err := cl.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -402,7 +403,7 @@ func TestScanRestartsOnStaleRoute(t *testing.T) {
 	if _, err := c.Master.MoveRegion("t", g.ID, third); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := cl.Scan("t", "", "", nil, 0)
+	rows, err := cl.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatalf("Scan after move: %v", err)
 	}
@@ -417,13 +418,13 @@ func TestScanRestartsOnStaleRoute(t *testing.T) {
 func TestDeleteRowReplicates(t *testing.T) {
 	c, _ := startCluster(t, 3, []string{"m"})
 	cl := c.Client()
-	if err := cl.Put("t", "doomed", "c", []byte("v")); err != nil {
+	if err := cl.Put(context.Background(), "t", "doomed", "c", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.DeleteRow("t", "doomed"); err != nil {
+	if err := cl.DeleteRow(context.Background(), "t", "doomed"); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := cl.Get("t", "doomed"); err != nil || ok {
+	if _, ok, err := cl.Get(context.Background(), "t", "doomed"); err != nil || ok {
 		t.Fatalf("row survived delete: ok=%v err=%v", ok, err)
 	}
 	// The tombstone must be replicated: promote the follower and the row
@@ -438,7 +439,7 @@ func TestDeleteRowReplicates(t *testing.T) {
 	if _, err := c.Master.MoveRegion("t", g.ID, g.Followers[0]); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := cl.Get("t", "doomed"); err != nil || ok {
+	if _, ok, err := cl.Get(context.Background(), "t", "doomed"); err != nil || ok {
 		t.Fatalf("row resurrected on follower: ok=%v err=%v", ok, err)
 	}
 }
@@ -447,11 +448,11 @@ func TestStatsAggregateAndReset(t *testing.T) {
 	c, _ := startCluster(t, 2, []string{"m"})
 	cl := c.Client()
 	for i := 0; i < 10; i++ {
-		if err := cl.Put("t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
+		if err := cl.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := cl.Scan("t", "", "", nil, 0); err != nil {
+	if _, err := cl.Scan(context.Background(), "t", "", "", nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	st, err := cl.Stats()

@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ func TestEndToEndFailover(t *testing.T) {
 	cl := c.Client()
 	cl.RetryBase = time.Microsecond
 
-	st, err := core.NewStore(cl)
+	st, err := core.NewStore(context.Background(), cl)
 	if err != nil {
 		t.Fatalf("NewStore over dstore client: %v", err)
 	}
@@ -45,14 +46,14 @@ func TestEndToEndFailover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := sys.Submit(job, ds)
+	first, err := sys.Submit(context.Background(), job, ds, core.TuneOptions{})
 	if err != nil {
 		t.Fatalf("first Submit: %v", err)
 	}
 	if first.Tuned || !first.ProfileStored {
 		t.Fatalf("first submission should run profiled and store: %+v", first)
 	}
-	base, err := st.LoadProfile(first.StoredProfileID)
+	base, err := st.LoadProfile(context.Background(), first.StoredProfileID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,12 +61,12 @@ func TestEndToEndFailover(t *testing.T) {
 	for i := 0; i < clones; i++ {
 		q := *base
 		q.JobID = fmt.Sprintf("%s-clone-%03d", base.JobID, i)
-		if err := st.PutProfile(&q); err != nil {
+		if err := st.PutProfile(context.Background(), &q); err != nil {
 			t.Fatalf("PutProfile clone %d: %v", i, err)
 		}
 	}
 	want := clones + 1
-	if n, err := st.Len(); err != nil || n != want {
+	if n, err := st.Len(context.Background()); err != nil || n != want {
 		t.Fatalf("store holds %d profiles (err=%v), want %d", n, err, want)
 	}
 
@@ -76,7 +77,7 @@ func TestEndToEndFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	sample.InputBytes = ds.NominalBytes
-	res, err := sys.Matcher.Match(st, sample)
+	res, err := sys.Matcher.Match(context.Background(), st, sample)
 	if err != nil {
 		t.Fatalf("Match before failover: %v", err)
 	}
@@ -106,13 +107,13 @@ func TestEndToEndFailover(t *testing.T) {
 	}
 
 	// Zero lost rows: the store still holds every profile...
-	if n, err := st.Len(); err != nil || n != want {
+	if n, err := st.Len(context.Background()); err != nil || n != want {
 		t.Fatalf("after failover the store holds %d profiles (err=%v), want %d", n, err, want)
 	}
 	// ...every clone's serialized profile still loads...
 	for i := 0; i < clones; i += 7 {
 		id := fmt.Sprintf("%s-clone-%03d", base.JobID, i)
-		p, err := st.LoadProfile(id)
+		p, err := st.LoadProfile(context.Background(), id)
 		if err != nil {
 			t.Fatalf("LoadProfile(%s) after failover: %v", id, err)
 		}
@@ -122,14 +123,14 @@ func TestEndToEndFailover(t *testing.T) {
 	}
 	// ...and the matcher still resolves probes through the promoted
 	// follower.
-	res, err = sys.Matcher.Match(st, sample)
+	res, err = sys.Matcher.Match(context.Background(), st, sample)
 	if err != nil {
 		t.Fatalf("Match after failover: %v", err)
 	}
 	if !res.Matched() {
 		t.Fatal("matcher found nothing after failover")
 	}
-	if _, err := st.LoadProfile(res.MapJobID); err != nil {
+	if _, err := st.LoadProfile(context.Background(), res.MapJobID); err != nil {
 		t.Fatalf("loading matched profile %s: %v", res.MapJobID, err)
 	}
 }
@@ -154,7 +155,7 @@ func TestConcurrentClientOpsDuringMoves(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
 				key := fmt.Sprintf("w%d-%04d", w, i)
-				if err := cl.Put("t", key, "c", []byte(key)); err != nil {
+				if err := cl.Put(context.Background(), "t", key, "c", []byte(key)); err != nil {
 					errs <- fmt.Errorf("put %s: %w", key, err)
 					return
 				}
@@ -168,7 +169,7 @@ func TestConcurrentClientOpsDuringMoves(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 30; i++ {
-			if _, err := cl.Scan("t", "", "", nil, 0); err != nil {
+			if _, err := cl.Scan(context.Background(), "t", "", "", nil, 0); err != nil {
 				errs <- fmt.Errorf("scan: %w", err)
 				return
 			}
@@ -210,7 +211,7 @@ func TestConcurrentClientOpsDuringMoves(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rows, err := cl.Scan("t", "", "", nil, 0)
+	rows, err := cl.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatalf("final scan: %v", err)
 	}
@@ -247,7 +248,7 @@ func TestConcurrentClientOpsDuringMoves(t *testing.T) {
 	if _, err := c.Master.MoveRegion("t", g.ID, target); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Put("t", "w0-0000", "c", []byte("w0-0000")); err != nil {
+	if err := cl.Put(context.Background(), "t", "w0-0000", "c", []byte("w0-0000")); err != nil {
 		t.Fatalf("put through stale route: %v", err)
 	}
 	if cl.Retries() == before {

@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -52,7 +53,7 @@ func TestFaultInjectionKillPrimaryMidBurst(t *testing.T) {
 				key := fmt.Sprintf("k%d-%03d", w, i)
 				val := fmt.Sprintf("v%d-%03d", w, i)
 				for {
-					err := cl.Put("t", key, "c", []byte(val))
+					err := cl.Put(context.Background(), "t", key, "c", []byte(val))
 					if err == nil {
 						break
 					}
@@ -96,7 +97,7 @@ func TestFaultInjectionKillPrimaryMidBurst(t *testing.T) {
 
 	// Every acked write must be readable after the failover.
 	for key, val := range acked {
-		r, ok, err := cl.Get("t", key)
+		r, ok, err := cl.Get(context.Background(), "t", key)
 		if err != nil || !ok {
 			t.Fatalf("acked key %q unreadable after failover: ok=%v err=%v", key, ok, err)
 		}

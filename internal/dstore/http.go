@@ -2,7 +2,9 @@ package dstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -96,6 +98,10 @@ func writeHTTPErr(w http.ResponseWriter, err error) {
 		status, code = http.StatusConflict, httperr.CodeNotServing
 	case retryable(err):
 		status, code = http.StatusServiceUnavailable, httperr.CodeUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The server aborted because the caller's budget ran out (or the
+		// caller hung up). Not retryable: the client is out of time.
+		status, code = http.StatusGatewayTimeout, httperr.CodeDeadline
 	}
 	httperr.Write(w, status, code, err.Error(), false)
 }
@@ -122,20 +128,24 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 		writeJSONBody(w, map[string]string{"status": "ok"})
 	}
 	mux.HandleFunc("/d/put", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := httperr.ContextFromRequest(r)
+		defer cancel()
 		var req putWire
 		if err := decodeBody(r, &req); err != nil {
 			writeHTTPErr(w, err)
 			return
 		}
-		ok(w, rs.Put(req.Table, req.Row, req.Column, req.Value))
+		ok(w, rs.Put(ctx, req.Table, req.Row, req.Column, req.Value))
 	})
 	mux.HandleFunc("/d/batchput", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := httperr.ContextFromRequest(r)
+		defer cancel()
 		var req batchWire
 		if err := decodeBody(r, &req); err != nil {
 			writeHTTPErr(w, err)
 			return
 		}
-		ok(w, rs.BatchPut(req.Table, rowsFromWire(req.Rows)))
+		ok(w, rs.BatchPut(ctx, req.Table, rowsFromWire(req.Rows)))
 	})
 	mux.HandleFunc("/d/apply", func(w http.ResponseWriter, r *http.Request) {
 		var req applyWire
@@ -146,7 +156,9 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 		ok(w, rs.Apply(req.Table, req.Cells))
 	})
 	mux.HandleFunc("/d/get", func(w http.ResponseWriter, r *http.Request) {
-		row, found, err := rs.Get(r.URL.Query().Get("table"), r.URL.Query().Get("row"))
+		ctx, cancel := httperr.ContextFromRequest(r)
+		defer cancel()
+		row, found, err := rs.Get(ctx, r.URL.Query().Get("table"), r.URL.Query().Get("row"))
 		if err != nil {
 			writeHTTPErr(w, err)
 			return
@@ -154,7 +166,9 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 		writeJSONBody(w, map[string]interface{}{"found": found, "row": rowToWire(row)})
 	})
 	mux.HandleFunc("/d/fget", func(w http.ResponseWriter, r *http.Request) {
-		row, found, err := rs.FollowerGet(r.URL.Query().Get("table"), r.URL.Query().Get("row"))
+		ctx, cancel := httperr.ContextFromRequest(r)
+		defer cancel()
+		row, found, err := rs.FollowerGet(ctx, r.URL.Query().Get("table"), r.URL.Query().Get("row"))
 		if err != nil {
 			writeHTTPErr(w, err)
 			return
@@ -170,12 +184,14 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 		writeJSONBody(w, h)
 	})
 	mux.HandleFunc("/d/batchget", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := httperr.ContextFromRequest(r)
+		defer cancel()
 		var req batchGetWire
 		if err := decodeBody(r, &req); err != nil {
 			writeHTTPErr(w, err)
 			return
 		}
-		rows, found, err := rs.BatchGet(req.Table, req.Rows)
+		rows, found, err := rs.BatchGet(ctx, req.Table, req.Rows)
 		if err != nil {
 			writeHTTPErr(w, err)
 			return
@@ -183,6 +199,8 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 		writeJSONBody(w, batchGetRespWire{Found: found, Rows: rowsToWire(rows)})
 	})
 	mux.HandleFunc("/d/scan", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := httperr.ContextFromRequest(r)
+		defer cancel()
 		var req scanWire
 		if err := decodeBody(r, &req); err != nil {
 			writeHTTPErr(w, err)
@@ -196,7 +214,7 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 				return
 			}
 		}
-		rows, err := rs.Scan(req.Table, req.Region, req.Start, req.End, f, req.Limit)
+		rows, err := rs.Scan(ctx, req.Table, req.Region, req.Start, req.End, f, req.Limit)
 		if err != nil {
 			writeHTTPErr(w, err)
 			return
@@ -204,6 +222,8 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 		writeJSONBody(w, rowsToWire(rows))
 	})
 	mux.HandleFunc("/d/fscan", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := httperr.ContextFromRequest(r)
+		defer cancel()
 		var req scanWire
 		if err := decodeBody(r, &req); err != nil {
 			writeHTTPErr(w, err)
@@ -217,7 +237,7 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 				return
 			}
 		}
-		rows, err := rs.FollowerScan(req.Table, req.Region, req.Start, req.End, f, req.Limit)
+		rows, err := rs.FollowerScan(ctx, req.Table, req.Region, req.Start, req.End, f, req.Limit)
 		if err != nil {
 			writeHTTPErr(w, err)
 			return
@@ -225,7 +245,9 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 		writeJSONBody(w, rowsToWire(rows))
 	})
 	mux.HandleFunc("/d/deleterow", func(w http.ResponseWriter, r *http.Request) {
-		ok(w, rs.DeleteRow(r.URL.Query().Get("table"), r.URL.Query().Get("row")))
+		ctx, cancel := httperr.ContextFromRequest(r)
+		defer cancel()
+		ok(w, rs.DeleteRow(ctx, r.URL.Query().Get("table"), r.URL.Query().Get("row")))
 	})
 	mux.HandleFunc("/d/flush", func(w http.ResponseWriter, r *http.Request) {
 		ok(w, rs.Flush(r.URL.Query().Get("table")))
@@ -342,19 +364,40 @@ func newHTTPJSON(base string, timeout time.Duration) *httpJSON {
 	return &httpJSON{base: base, hc: &http.Client{Timeout: timeout}}
 }
 
-func (h *httpJSON) call(path string, body interface{}, out interface{}) error {
-	var resp *http.Response
+// detachedCtx roots control-plane RPCs (join, heartbeats, catalog
+// moves, serving fences): they are owned by the master's and region
+// servers' own lifecycles, not by any inbound request.
+func detachedCtx() context.Context {
+	return context.Background() //pstorm:allow ctxcheck control-plane RPCs are owned by the master/server lifecycle, not an inbound request
+}
+
+func (h *httpJSON) call(ctx context.Context, path string, body interface{}, out interface{}) error {
+	var req *http.Request
 	var err error
 	if body != nil {
 		raw, merr := json.Marshal(body)
 		if merr != nil {
 			return merr
 		}
-		resp, err = h.hc.Post(h.base+path, "application/json", bytes.NewReader(raw))
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, h.base+path, bytes.NewReader(raw))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
 	} else {
-		resp, err = h.hc.Get(h.base + path)
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, h.base+path, nil)
 	}
 	if err != nil {
+		return fmt.Errorf("%w: %v", errTransport, err)
+	}
+	httperr.SetDeadlineHeader(req.Header, ctx)
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		// A dead caller is not a dead transport: surface the context
+		// error so the retry loop stops instead of spinning on a
+		// "retryable" failure the caller will never see resolved.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		return fmt.Errorf("%w: %v", errTransport, err)
 	}
 	defer resp.Body.Close()
@@ -378,6 +421,8 @@ func (h *httpJSON) call(path string, body interface{}, out interface{}) error {
 		return &hstore.NotServingError{Table: "remote", Row: msg}
 	case http.StatusServiceUnavailable:
 		return fmt.Errorf("%w: %s", errStopped, msg)
+	case http.StatusGatewayTimeout:
+		return fmt.Errorf("dstore: %s: %s: %w", path, msg, context.DeadlineExceeded)
 	default:
 		return fmt.Errorf("dstore: %s: %s", path, msg)
 	}
@@ -390,35 +435,35 @@ func newHTTPServerConn(base string, timeout time.Duration) *httpServerConn {
 	return &httpServerConn{h: newHTTPJSON(base, timeout)}
 }
 
-func (c *httpServerConn) Put(table, row, column string, value []byte) error {
-	return c.h.call("/d/put", putWire{Table: table, Row: row, Column: column, Value: value}, nil)
+func (c *httpServerConn) Put(ctx context.Context, table, row, column string, value []byte) error {
+	return c.h.call(ctx, "/d/put", putWire{Table: table, Row: row, Column: column, Value: value}, nil)
 }
 
-func (c *httpServerConn) BatchPut(table string, rows []hstore.Row) error {
-	return c.h.call("/d/batchput", batchWire{Table: table, Rows: rowsToWire(rows)}, nil)
+func (c *httpServerConn) BatchPut(ctx context.Context, table string, rows []hstore.Row) error {
+	return c.h.call(ctx, "/d/batchput", batchWire{Table: table, Rows: rowsToWire(rows)}, nil)
 }
 
 func (c *httpServerConn) Apply(table string, cells []hstore.Cell) error {
-	return c.h.call("/d/apply", applyWire{Table: table, Cells: cells}, nil)
+	return c.h.call(detachedCtx(), "/d/apply", applyWire{Table: table, Cells: cells}, nil)
 }
 
-func (c *httpServerConn) Get(table, row string) (hstore.Row, bool, error) {
+func (c *httpServerConn) Get(ctx context.Context, table, row string) (hstore.Row, bool, error) {
 	var resp struct {
 		Found bool    `json:"found"`
 		Row   wireRow `json:"row"`
 	}
-	if err := c.h.call("/d/get?table="+queryEscape(table)+"&row="+queryEscape(row), nil, &resp); err != nil {
+	if err := c.h.call(ctx, "/d/get?table="+queryEscape(table)+"&row="+queryEscape(row), nil, &resp); err != nil {
 		return hstore.Row{}, false, err
 	}
 	return rowFromWire(resp.Row), resp.Found, nil
 }
 
-func (c *httpServerConn) FollowerGet(table, row string) (hstore.Row, bool, error) {
+func (c *httpServerConn) FollowerGet(ctx context.Context, table, row string) (hstore.Row, bool, error) {
 	var resp struct {
 		Found bool    `json:"found"`
 		Row   wireRow `json:"row"`
 	}
-	if err := c.h.call("/d/fget?table="+queryEscape(table)+"&row="+queryEscape(row), nil, &resp); err != nil {
+	if err := c.h.call(ctx, "/d/fget?table="+queryEscape(table)+"&row="+queryEscape(row), nil, &resp); err != nil {
 		return hstore.Row{}, false, err
 	}
 	return rowFromWire(resp.Row), resp.Found, nil
@@ -426,19 +471,19 @@ func (c *httpServerConn) FollowerGet(table, row string) (hstore.Row, bool, error
 
 func (c *httpServerConn) Health() (HealthReport, error) {
 	var h HealthReport
-	err := c.h.call("/d/health", nil, &h)
+	err := c.h.call(detachedCtx(), "/d/health", nil, &h)
 	return h, err
 }
 
-func (c *httpServerConn) BatchGet(table string, rows []string) ([]hstore.Row, []bool, error) {
+func (c *httpServerConn) BatchGet(ctx context.Context, table string, rows []string) ([]hstore.Row, []bool, error) {
 	var resp batchGetRespWire
-	if err := c.h.call("/d/batchget", batchGetWire{Table: table, Rows: rows}, &resp); err != nil {
+	if err := c.h.call(ctx, "/d/batchget", batchGetWire{Table: table, Rows: rows}, &resp); err != nil {
 		return nil, nil, err
 	}
 	return rowsFromWire(resp.Rows), resp.Found, nil
 }
 
-func (c *httpServerConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+func (c *httpServerConn) Scan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	req := scanWire{Table: table, Region: regionID, Start: start, End: end, Limit: limit}
 	if f != nil {
 		wire, err := hstore.EncodeFilter(f)
@@ -448,13 +493,13 @@ func (c *httpServerConn) Scan(table string, regionID int, start, end string, f h
 		req.Filter = wire
 	}
 	var ws []wireRow
-	if err := c.h.call("/d/scan", req, &ws); err != nil {
+	if err := c.h.call(ctx, "/d/scan", req, &ws); err != nil {
 		return nil, err
 	}
 	return rowsFromWire(ws), nil
 }
 
-func (c *httpServerConn) FollowerScan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+func (c *httpServerConn) FollowerScan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	req := scanWire{Table: table, Region: regionID, Start: start, End: end, Limit: limit}
 	if f != nil {
 		wire, err := hstore.EncodeFilter(f)
@@ -464,38 +509,38 @@ func (c *httpServerConn) FollowerScan(table string, regionID int, start, end str
 		req.Filter = wire
 	}
 	var ws []wireRow
-	if err := c.h.call("/d/fscan", req, &ws); err != nil {
+	if err := c.h.call(ctx, "/d/fscan", req, &ws); err != nil {
 		return nil, err
 	}
 	return rowsFromWire(ws), nil
 }
 
-func (c *httpServerConn) DeleteRow(table, row string) error {
-	return c.h.call("/d/deleterow?table="+queryEscape(table)+"&row="+queryEscape(row), nil, nil)
+func (c *httpServerConn) DeleteRow(ctx context.Context, table, row string) error {
+	return c.h.call(ctx, "/d/deleterow?table="+queryEscape(table)+"&row="+queryEscape(row), nil, nil)
 }
 
 func (c *httpServerConn) Flush(table string) error {
-	return c.h.call("/d/flush?table="+queryEscape(table), nil, nil)
+	return c.h.call(detachedCtx(), "/d/flush?table="+queryEscape(table), nil, nil)
 }
 
 func (c *httpServerConn) Stats() (hstore.TransferStats, error) {
 	var st hstore.TransferStats
-	err := c.h.call("/d/stats", nil, &st)
+	err := c.h.call(detachedCtx(), "/d/stats", nil, &st)
 	return st, err
 }
 
 func (c *httpServerConn) ResetStats() error {
 	var st hstore.TransferStats
-	return c.h.call("/d/stats?reset=1", nil, &st)
+	return c.h.call(detachedCtx(), "/d/stats?reset=1", nil, &st)
 }
 
 func (c *httpServerConn) Install(snap *hstore.RegionSnapshot, serving bool) error {
-	return c.h.call("/d/install", installWire{Snapshot: snap, Serving: serving}, nil)
+	return c.h.call(detachedCtx(), "/d/install", installWire{Snapshot: snap, Serving: serving}, nil)
 }
 
 func (c *httpServerConn) Export(table string, regionID int) (*hstore.RegionSnapshot, error) {
 	var snap hstore.RegionSnapshot
-	err := c.h.call(fmt.Sprintf("/d/export?table=%s&region=%d", queryEscape(table), regionID), nil, &snap)
+	err := c.h.call(detachedCtx(), fmt.Sprintf("/d/export?table=%s&region=%d", queryEscape(table), regionID), nil, &snap)
 	if err != nil {
 		return nil, err
 	}
@@ -503,15 +548,15 @@ func (c *httpServerConn) Export(table string, regionID int) (*hstore.RegionSnaps
 }
 
 func (c *httpServerConn) Drop(table string, regionID int) error {
-	return c.h.call(fmt.Sprintf("/d/drop?table=%s&region=%d", queryEscape(table), regionID), nil, nil)
+	return c.h.call(detachedCtx(), fmt.Sprintf("/d/drop?table=%s&region=%d", queryEscape(table), regionID), nil, nil)
 }
 
 func (c *httpServerConn) SetServing(table string, regionID int, serving bool) error {
-	return c.h.call(fmt.Sprintf("/d/serving?table=%s&region=%d&serving=%t", queryEscape(table), regionID, serving), nil, nil)
+	return c.h.call(detachedCtx(), fmt.Sprintf("/d/serving?table=%s&region=%d&serving=%t", queryEscape(table), regionID, serving), nil, nil)
 }
 
 func (c *httpServerConn) SetFollowers(table string, regionID int, followers []Peer) error {
-	return c.h.call("/d/followers", followersWire{Table: table, Region: regionID, Peers: followers}, nil)
+	return c.h.call(detachedCtx(), "/d/followers", followersWire{Table: table, Region: regionID, Peers: followers}, nil)
 }
 
 // httpMasterConn speaks to a remote master.
@@ -523,18 +568,18 @@ func DialMaster(base string, timeout time.Duration) MasterConn {
 	return &httpMasterConn{h: newHTTPJSON(base, timeout)}
 }
 
-func (c *httpMasterConn) Join(p Peer) error { return c.h.call("/d/join", p, nil) }
+func (c *httpMasterConn) Join(p Peer) error { return c.h.call(detachedCtx(), "/d/join", p, nil) }
 
 func (c *httpMasterConn) Heartbeat(id string) error {
-	return c.h.call("/d/heartbeat?id="+queryEscape(id), nil, nil)
+	return c.h.call(detachedCtx(), "/d/heartbeat?id="+queryEscape(id), nil, nil)
 }
 
 func (c *httpMasterConn) Meta() (Meta, error) {
 	var m Meta
-	err := c.h.call("/d/meta", nil, &m)
+	err := c.h.call(detachedCtx(), "/d/meta", nil, &m)
 	return m, err
 }
 
 func (c *httpMasterConn) CreateTable(table string) error {
-	return c.h.call("/d/createtable?name="+queryEscape(table), nil, nil)
+	return c.h.call(detachedCtx(), "/d/createtable?name="+queryEscape(table), nil, nil)
 }

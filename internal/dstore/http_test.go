@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"testing"
@@ -34,7 +35,7 @@ func TestHTTPCluster(t *testing.T) {
 
 	cl := NewClient(DialMaster(masterSrv.URL, time.Second), NewRegistry())
 	cl.RetryBase = time.Microsecond
-	if err := cl.CreateTable("t"); err != nil {
+	if err := cl.CreateTable(context.Background(), "t"); err != nil {
 		t.Fatalf("CreateTable over HTTP: %v", err)
 	}
 
@@ -45,11 +46,11 @@ func TestHTTPCluster(t *testing.T) {
 			Columns: map[string][]byte{"c": []byte(fmt.Sprintf("v%d", i))},
 		})
 	}
-	if err := cl.BatchPut("t", rows); err != nil {
+	if err := cl.BatchPut(context.Background(), "t", rows); err != nil {
 		t.Fatalf("BatchPut over HTTP: %v", err)
 	}
 	for i := 0; i < 20; i++ {
-		r, ok, err := cl.Get("t", fmt.Sprintf("k%02d", i))
+		r, ok, err := cl.Get(context.Background(), "t", fmt.Sprintf("k%02d", i))
 		if err != nil || !ok {
 			t.Fatalf("Get(k%02d) over HTTP: ok=%v err=%v", i, ok, err)
 		}
@@ -59,7 +60,7 @@ func TestHTTPCluster(t *testing.T) {
 	}
 
 	// Filter pushdown survives the wire.
-	got, err := cl.Scan("t", "", "", &hstore.PrefixFilter{Prefix: "k0"}, 0)
+	got, err := cl.Scan(context.Background(), "t", "", "", &hstore.PrefixFilter{Prefix: "k0"}, 0)
 	if err != nil {
 		t.Fatalf("filtered Scan over HTTP: %v", err)
 	}
@@ -85,21 +86,21 @@ func TestHTTPCluster(t *testing.T) {
 	if err := conn.SetServing("t", g.ID, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := conn.Get("t", "k00"); !hstore.IsNotServing(err) {
+	if _, _, err := conn.Get(context.Background(), "t", "k00"); !hstore.IsNotServing(err) {
 		t.Fatalf("fenced remote Get returned %v, want NotServing", err)
 	}
 	if err := conn.SetServing("t", g.ID, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := cl.Get("t", "k00"); err != nil || !ok {
+	if _, ok, err := cl.Get(context.Background(), "t", "k00"); err != nil || !ok {
 		t.Fatalf("Get after unfence: ok=%v err=%v", ok, err)
 	}
 
 	// DeleteRow and stats round-trip over the wire too.
-	if err := cl.DeleteRow("t", "k00"); err != nil {
+	if err := cl.DeleteRow(context.Background(), "t", "k00"); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := cl.Get("t", "k00"); ok {
+	if _, ok, _ := cl.Get(context.Background(), "t", "k00"); ok {
 		t.Fatal("row survived remote delete")
 	}
 	st, err := cl.Stats()

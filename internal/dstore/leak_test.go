@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -55,13 +56,13 @@ func TestLocalClusterNoGoroutineLeak(t *testing.T) {
 	defer c.Close()
 
 	cl := c.Client()
-	if err := cl.CreateTable("t"); err != nil {
+	if err := cl.CreateTable(context.Background(), "t"); err != nil {
 		t.Fatalf("CreateTable: %v", err)
 	}
-	if err := cl.Put("t", "k", "c", []byte("v")); err != nil {
+	if err := cl.Put(context.Background(), "t", "k", "c", []byte("v")); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
-	if _, ok, err := cl.Get("t", "k"); err != nil || !ok {
+	if _, ok, err := cl.Get(context.Background(), "t", "k"); err != nil || !ok {
 		t.Fatalf("Get: ok=%v err=%v", ok, err)
 	}
 }

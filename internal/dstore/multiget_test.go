@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -11,12 +12,12 @@ func TestMultiGetGroupsAcrossRegions(t *testing.T) {
 	cl := c.Client()
 	keys := []string{"alpha", "golf", "papa", "zulu"}
 	for i, k := range keys {
-		if err := cl.Put("t", k, "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := cl.Put(context.Background(), "t", k, "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	req := []string{"zulu", "nope", "alpha", "papa", "golf", "qqq"}
-	rows, found, err := cl.MultiGet("t", req)
+	rows, found, err := cl.MultiGet(context.Background(), "t", req)
 	if err != nil {
 		t.Fatalf("MultiGet: %v", err)
 	}
@@ -29,7 +30,7 @@ func TestMultiGetGroupsAcrossRegions(t *testing.T) {
 			t.Errorf("key %q: found=%v, want %v", k, found[i], wantFound[i])
 		}
 		if found[i] {
-			one, ok, err := cl.Get("t", k)
+			one, ok, err := cl.Get(context.Background(), "t", k)
 			if err != nil || !ok {
 				t.Fatalf("Get(%q): ok=%v err=%v", k, ok, err)
 			}
@@ -52,7 +53,7 @@ func TestMultiGetSurvivesFailover(t *testing.T) {
 	keys := make([]string, n)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("k%02d", i)
-		if err := cl.Put("t", keys[i], "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := cl.Put(context.Background(), "t", keys[i], "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -67,7 +68,7 @@ func TestMultiGetSurvivesFailover(t *testing.T) {
 		t.Fatalf("CheckLiveness declared %v dead, want [%s]", died, victim)
 	}
 
-	rows, found, err := cl.MultiGet("t", keys)
+	rows, found, err := cl.MultiGet(context.Background(), "t", keys)
 	if err != nil {
 		t.Fatalf("MultiGet after failover: %v", err)
 	}

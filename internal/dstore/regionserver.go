@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -123,6 +124,15 @@ func (rs *RegionServer) check() error {
 	return nil
 }
 
+// checkCtx is check plus the caller's liveness: a request whose context
+// is already done fails before any store work starts.
+func (rs *RegionServer) checkCtx(ctx context.Context) error {
+	if err := rs.check(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
 // StartHeartbeats sends heartbeats to the master every interval until
 // the server stops. Used by pstormd and background local clusters;
 // deterministic tests call mc.Heartbeat themselves.
@@ -198,8 +208,8 @@ func (rs *RegionServer) ackCheck(table, row string) error {
 }
 
 // Put writes one cell to the primary copy and its followers.
-func (rs *RegionServer) Put(table, row, column string, value []byte) error {
-	if err := rs.check(); err != nil {
+func (rs *RegionServer) Put(ctx context.Context, table, row, column string, value []byte) error {
+	if err := rs.checkCtx(ctx); err != nil {
 		return err
 	}
 	start := rs.now()
@@ -222,8 +232,8 @@ func (rs *RegionServer) Put(table, row, column string, value []byte) error {
 // Rows are applied in order; on error, earlier rows of the batch may
 // already be applied — the routing client simply retries the batch
 // (re-puts are idempotent: same columns, newer timestamps).
-func (rs *RegionServer) BatchPut(table string, rows []hstore.Row) error {
-	if err := rs.check(); err != nil {
+func (rs *RegionServer) BatchPut(ctx context.Context, table string, rows []hstore.Row) error {
+	if err := rs.checkCtx(ctx); err != nil {
 		return err
 	}
 	start := rs.now()
@@ -276,8 +286,8 @@ func (rs *RegionServer) Apply(table string, cells []hstore.Cell) error {
 }
 
 // Get reads one row from a serving (primary) copy.
-func (rs *RegionServer) Get(table, row string) (hstore.Row, bool, error) {
-	if err := rs.check(); err != nil {
+func (rs *RegionServer) Get(ctx context.Context, table, row string) (hstore.Row, bool, error) {
+	if err := rs.checkCtx(ctx); err != nil {
 		return hstore.Row{}, false, err
 	}
 	start := rs.now()
@@ -291,8 +301,8 @@ func (rs *RegionServer) Get(table, row string) (hstore.Row, bool, error) {
 // follower copy holds every acked write, so the answer is as good as
 // the primary's (modulo a write racing the hedge, which the primary
 // read also races).
-func (rs *RegionServer) FollowerGet(table, row string) (hstore.Row, bool, error) {
-	if err := rs.check(); err != nil {
+func (rs *RegionServer) FollowerGet(ctx context.Context, table, row string) (hstore.Row, bool, error) {
+	if err := rs.checkCtx(ctx); err != nil {
 		return hstore.Row{}, false, err
 	}
 	start := rs.now()
@@ -316,8 +326,8 @@ func (rs *RegionServer) Health() (HealthReport, error) {
 // aligned with the requested keys; any row failing (e.g. a region this
 // server stopped serving) fails the whole batch, so the client retries
 // the batch against fresh META.
-func (rs *RegionServer) BatchGet(table string, rows []string) ([]hstore.Row, []bool, error) {
-	if err := rs.check(); err != nil {
+func (rs *RegionServer) BatchGet(ctx context.Context, table string, rows []string) ([]hstore.Row, []bool, error) {
+	if err := rs.checkCtx(ctx); err != nil {
 		return nil, nil, err
 	}
 	start := rs.now()
@@ -325,6 +335,11 @@ func (rs *RegionServer) BatchGet(table string, rows []string) ([]hstore.Row, []b
 	out := make([]hstore.Row, len(rows))
 	found := make([]bool, len(rows))
 	for i, row := range rows {
+		// Checked per row: batch assembly is the long-running part, and
+		// a departed caller should not pay for the remaining keys.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		r, ok, err := rs.hs.Get(table, row)
 		if err != nil {
 			return nil, nil, rs.guard(table, row, err)
@@ -338,8 +353,8 @@ func (rs *RegionServer) BatchGet(table string, rows []string) ([]hstore.Row, []b
 // is primary for. The region ID pins the route: if the region moved or
 // is fenced, the scan fails NotServing instead of silently returning a
 // subset.
-func (rs *RegionServer) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
-	if err := rs.check(); err != nil {
+func (rs *RegionServer) Scan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	if err := rs.checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	me, ok := rs.hs.LookupRegion(table, start)
@@ -355,7 +370,7 @@ func (rs *RegionServer) Scan(table string, regionID int, start, end string, f hs
 	if me.EndKey != "" && (end == "" || end > me.EndKey) {
 		end = me.EndKey
 	}
-	rows, err := rs.hs.Scan(table, start, end, f, limit)
+	rows, err := rs.hs.Scan(ctx, table, start, end, f, limit)
 	if err != nil {
 		return nil, rs.guard(table, start, err)
 	}
@@ -367,8 +382,8 @@ func (rs *RegionServer) Scan(table string, regionID int, start, end string, f hs
 // the route (a moved region fails NotServing rather than returning a
 // stale subset), and synchronous replication means the fenced copy
 // holds every acked write, so the rows are as fresh as the primary's.
-func (rs *RegionServer) FollowerScan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
-	if err := rs.check(); err != nil {
+func (rs *RegionServer) FollowerScan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+	if err := rs.checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	me, ok := rs.hs.LookupRegion(table, start)
@@ -382,7 +397,7 @@ func (rs *RegionServer) FollowerScan(table string, regionID int, start, end stri
 	if me.EndKey != "" && (end == "" || end > me.EndKey) {
 		end = me.EndKey
 	}
-	rows, err := rs.hs.ScanAny(table, start, end, f, limit)
+	rows, err := rs.hs.ScanAny(ctx, table, start, end, f, limit)
 	if err != nil {
 		return nil, rs.guard(table, start, err)
 	}
@@ -391,8 +406,8 @@ func (rs *RegionServer) FollowerScan(table string, regionID int, start, end stri
 
 // DeleteRow tombstones every column of a row, replicating the
 // tombstones so followers converge.
-func (rs *RegionServer) DeleteRow(table, row string) error {
-	if err := rs.check(); err != nil {
+func (rs *RegionServer) DeleteRow(ctx context.Context, table, row string) error {
+	if err := rs.checkCtx(ctx); err != nil {
 		return err
 	}
 	r, ok, err := rs.hs.Get(table, row)

@@ -89,7 +89,7 @@ func TestClientBreakerTripsOnDeadServer(t *testing.T) {
 	cl.BreakerThreshold = 2
 	cl.Now = clock.now // cooldown never elapses: the clock only moves when we say so
 
-	if err := cl.Put("t", "k", "c", []byte("v")); err != nil {
+	if err := cl.Put(context.Background(), "t", "k", "c", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	m, _ := cl.Meta()
@@ -101,7 +101,7 @@ func TestClientBreakerTripsOnDeadServer(t *testing.T) {
 	if !c.KillServer(dead) {
 		t.Fatal("KillServer failed")
 	}
-	if _, _, err := cl.Get("t", "k"); !errors.Is(err, ErrExhausted) {
+	if _, _, err := cl.Get(context.Background(), "t", "k"); !errors.Is(err, ErrExhausted) {
 		t.Fatalf("Get against dead primary: err=%v, want ErrExhausted", err)
 	}
 	if got := cl.BreakerState(dead); got != breakerOpen {
@@ -112,7 +112,7 @@ func TestClientBreakerTripsOnDeadServer(t *testing.T) {
 	clock.advance(3 * time.Second)
 	beatAll(t, c)
 	c.Master.CheckLiveness(clock.now())
-	row, ok, err := cl.Get("t", "k")
+	row, ok, err := cl.Get(context.Background(), "t", "k")
 	if err != nil || !ok || string(row.Columns["c"]) != "v" {
 		t.Fatalf("Get after failover: row=%v ok=%v err=%v", row, ok, err)
 	}
@@ -123,14 +123,14 @@ func TestClientBreakerTripsOnDeadServer(t *testing.T) {
 func TestCtxCancelStopsRetriesWithoutExhausted(t *testing.T) {
 	c, _ := startCluster(t, 3, nil)
 	cl := c.Client()
-	if err := cl.Put("t", "k", "c", []byte("v")); err != nil {
+	if err := cl.Put(context.Background(), "t", "k", "c", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	retriesBefore := cl.Retries()
-	if _, _, err := cl.GetCtx(ctx, "t", "k"); !errors.Is(err, context.Canceled) {
+	if _, _, err := cl.Get(ctx, "t", "k"); !errors.Is(err, context.Canceled) {
 		t.Fatalf("GetCtx on canceled ctx: err=%v, want context.Canceled", err)
 	} else if errors.Is(err, ErrExhausted) {
 		t.Fatalf("cancellation misreported as exhaustion: %v", err)
@@ -138,13 +138,13 @@ func TestCtxCancelStopsRetriesWithoutExhausted(t *testing.T) {
 	if cl.Retries() != retriesBefore {
 		t.Error("canceled call consumed retry attempts")
 	}
-	if err := cl.PutCtx(ctx, "t", "k", "c", []byte("w")); !errors.Is(err, context.Canceled) {
+	if err := cl.Put(ctx, "t", "k", "c", []byte("w")); !errors.Is(err, context.Canceled) {
 		t.Fatalf("PutCtx: err=%v, want context.Canceled", err)
 	}
-	if _, _, err := cl.MultiGetCtx(ctx, "t", []string{"k"}); !errors.Is(err, context.Canceled) {
+	if _, _, err := cl.MultiGet(ctx, "t", []string{"k"}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("MultiGetCtx: err=%v, want context.Canceled", err)
 	}
-	if err := cl.BatchPutCtx(ctx, "t", []hstore.Row{{Key: "k"}}); !errors.Is(err, context.Canceled) {
+	if err := cl.BatchPut(ctx, "t", []hstore.Row{{Key: "k"}}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("BatchPutCtx: err=%v, want context.Canceled", err)
 	}
 }
@@ -156,7 +156,7 @@ func TestCtxCancelMidBackoff(t *testing.T) {
 	cl := c.Client()
 	cl.RetryBase = time.Hour // without interruption the test would hang
 	cl.BreakerThreshold = -1
-	if err := cl.Put("t", "k", "c", []byte("v")); err != nil {
+	if err := cl.Put(context.Background(), "t", "k", "c", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	for _, rs := range c.Servers {
@@ -165,7 +165,7 @@ func TestCtxCancelMidBackoff(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := cl.GetCtx(ctx, "t", "k")
+		_, _, err := cl.Get(ctx, "t", "k")
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond) // let it reach the backoff sleep
@@ -189,13 +189,13 @@ func TestOpBudgetExhausts(t *testing.T) {
 	cl.BreakerThreshold = -1
 	cl.OpBudget = 50 * time.Millisecond
 	cl.Now = func() time.Time { return clock.advance(30 * time.Millisecond) }
-	if err := cl.Put("t", "k", "c", []byte("v")); err != nil {
+	if err := cl.Put(context.Background(), "t", "k", "c", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	for _, rs := range c.Servers {
 		rs.Stop()
 	}
-	_, _, err := cl.Get("t", "k")
+	_, _, err := cl.Get(context.Background(), "t", "k")
 	if !errors.Is(err, ErrExhausted) {
 		t.Fatalf("err=%v, want ErrExhausted", err)
 	}
@@ -213,9 +213,9 @@ type slowConn struct {
 	delay time.Duration
 }
 
-func (s *slowConn) Get(table, row string) (hstore.Row, bool, error) {
+func (s *slowConn) Get(ctx context.Context, table, row string) (hstore.Row, bool, error) {
 	time.Sleep(s.delay)
-	return s.ServerConn.Get(table, row)
+	return s.ServerConn.Get(ctx, table, row)
 }
 
 // TestHedgedReadCoversSlowPrimary: with the primary answering slowly,
@@ -224,7 +224,7 @@ func (s *slowConn) Get(table, row string) (hstore.Row, bool, error) {
 func TestHedgedReadCoversSlowPrimary(t *testing.T) {
 	c, _ := startCluster(t, 2, nil)
 	cl := c.Client()
-	if err := cl.Put("t", "k", "c", []byte("v")); err != nil {
+	if err := cl.Put(context.Background(), "t", "k", "c", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	m, _ := cl.Meta()
@@ -244,7 +244,7 @@ func TestHedgedReadCoversSlowPrimary(t *testing.T) {
 	}
 	cl.HedgeDelay = 5 * time.Millisecond
 
-	row, ok, err := cl.Get("t", "k")
+	row, ok, err := cl.Get(context.Background(), "t", "k")
 	if err != nil || !ok || string(row.Columns["c"]) != "v" {
 		t.Fatalf("hedged Get: row=%v ok=%v err=%v", row, ok, err)
 	}
@@ -262,7 +262,7 @@ func TestQuarantineRebuildHealsCorruptPrimary(t *testing.T) {
 	c, clock := startCluster(t, 3, nil)
 	cl := c.Client()
 	for i := 0; i < 10; i++ {
-		if err := cl.Put("t", fmt.Sprintf("k%02d", i), "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := cl.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -313,7 +313,7 @@ func TestQuarantineRebuildHealsCorruptPrimary(t *testing.T) {
 	// Every row still reads back correct through the client.
 	for i := 0; i < 10; i++ {
 		k := fmt.Sprintf("k%02d", i)
-		row, ok, err := cl.Get("t", k)
+		row, ok, err := cl.Get(context.Background(), "t", k)
 		if err != nil || !ok || string(row.Columns["c"]) != fmt.Sprintf("v%d", i) {
 			t.Fatalf("Get(%s) after rebuild: row=%v ok=%v err=%v", k, row, ok, err)
 		}
@@ -337,7 +337,7 @@ func TestQuarantineRebuildPrunesCorruptFollower(t *testing.T) {
 	c, clock := startCluster(t, 3, nil)
 	cl := c.Client()
 	for i := 0; i < 10; i++ {
-		if err := cl.Put("t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
+		if err := cl.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), "c", []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}

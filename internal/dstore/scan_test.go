@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -18,10 +19,10 @@ func seedScanRows(t *testing.T, cl *Client) {
 	for _, ftype := range []string{"costmap", "dyn", "meta", "stat"} {
 		for i := 0; i < 12; i++ {
 			row := fmt.Sprintf("%s/j%02d", ftype, i)
-			if err := cl.Put("t", row, "c", []byte(fmt.Sprintf("v-%d", i%4))); err != nil {
+			if err := cl.Put(context.Background(), "t", row, "c", []byte(fmt.Sprintf("v-%d", i%4))); err != nil {
 				t.Fatal(err)
 			}
-			if err := cl.Put("t", row, "d", []byte(fmt.Sprintf("aux-%d", i))); err != nil {
+			if err := cl.Put(context.Background(), "t", row, "d", []byte(fmt.Sprintf("aux-%d", i))); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -56,7 +57,7 @@ func TestScanParallelMatchesSequential(t *testing.T) {
 	}
 	for _, tc := range cases {
 		cl.ScanParallelism = 1
-		want, err := cl.Scan("t", tc.start, tc.end, tc.f, tc.limit)
+		want, err := cl.Scan(context.Background(), "t", tc.start, tc.end, tc.f, tc.limit)
 		if err != nil {
 			t.Fatalf("%s: sequential scan: %v", tc.name, err)
 		}
@@ -65,7 +66,7 @@ func TestScanParallelMatchesSequential(t *testing.T) {
 		}
 		for _, par := range []int{2, 3, 8} {
 			cl.ScanParallelism = par
-			got, err := cl.Scan("t", tc.start, tc.end, tc.f, tc.limit)
+			got, err := cl.Scan(context.Background(), "t", tc.start, tc.end, tc.f, tc.limit)
 			if err != nil {
 				t.Fatalf("%s/par=%d: %v", tc.name, par, err)
 			}
@@ -93,7 +94,7 @@ type movingConn struct {
 	fail   func(string)
 }
 
-func (m *movingConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+func (m *movingConn) Scan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	if regionID == m.region {
 		m.once.Do(func() {
 			if _, err := m.c.Master.MoveRegion(table, m.region, m.moveTo); err != nil {
@@ -101,7 +102,7 @@ func (m *movingConn) Scan(table string, regionID int, start, end string, f hstor
 			}
 		})
 	}
-	return m.ServerConn.Scan(table, regionID, start, end, f, limit)
+	return m.ServerConn.Scan(ctx, table, regionID, start, end, f, limit)
 }
 
 // TestScanRestartsOnMidScanRegionMove: a region move between the meta
@@ -112,7 +113,7 @@ func TestScanRestartsOnMidScanRegionMove(t *testing.T) {
 	cl := c.Client()
 	seedScanRows(t, cl)
 
-	want, err := cl.Scan("t", "", "", nil, 0)
+	want, err := cl.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestScanRestartsOnMidScanRegionMove(t *testing.T) {
 	}
 	before := cl.Retries()
 
-	got, err := cl.Scan("t", "", "", nil, 0)
+	got, err := cl.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatalf("scan across region move: %v", err)
 	}
@@ -155,9 +156,9 @@ func TestScanRestartsOnMidScanRegionMove(t *testing.T) {
 
 // Scan on slowConn mirrors its Get: the straggling primary a hedged
 // scan exists to cover.
-func (s *slowConn) Scan(table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+func (s *slowConn) Scan(ctx context.Context, table string, regionID int, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	time.Sleep(s.delay)
-	return s.ServerConn.Scan(table, regionID, start, end, f, limit)
+	return s.ServerConn.Scan(ctx, table, regionID, start, end, f, limit)
 }
 
 // TestHedgedScanCoversSlowPrimary: with one region's primary answering
@@ -168,7 +169,7 @@ func TestHedgedScanCoversSlowPrimary(t *testing.T) {
 	cl := c.Client()
 	seedScanRows(t, cl)
 
-	want, err := cl.Scan("t", "", "", nil, 0)
+	want, err := cl.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestHedgedScanCoversSlowPrimary(t *testing.T) {
 	}
 	cl.HedgeDelay = 5 * time.Millisecond
 
-	got, err := cl.Scan("t", "", "", nil, 0)
+	got, err := cl.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatalf("hedged scan: %v", err)
 	}

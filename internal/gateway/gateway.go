@@ -205,7 +205,7 @@ var latencyEndpoints = []string{"tune", "whatif", "match", "submit", "profiles"}
 // serving state. Building opens the namespaced store — an idempotent
 // CreateTable against the shared cluster — outside the gateway lock so
 // one slow tenant bootstrap cannot stall admission for everyone.
-func (g *Gateway) tenant(name string) (*tenantState, error) {
+func (g *Gateway) tenant(ctx context.Context, name string) (*tenantState, error) {
 	if err := core.ValidateTenant(name); err != nil {
 		return nil, err
 	}
@@ -216,7 +216,7 @@ func (g *Gateway) tenant(name string) (*tenantState, error) {
 	}
 	g.mu.Unlock()
 
-	st, err := core.NewTenantStore(g.opt.KV, name)
+	st, err := core.NewTenantStore(ctx, g.opt.KV, name)
 	if err != nil {
 		return nil, err
 	}
@@ -400,7 +400,7 @@ func (g *Gateway) instrument(ep, method string, fn func(w http.ResponseWriter, r
 				"tenant required ("+TenantHeader+" header or ?tenant=)", false)
 			return
 		}
-		ts, err := g.tenant(name)
+		ts, err := g.tenant(r.Context(), name)
 		if err != nil {
 			httperr.Write(w, http.StatusBadRequest, httperr.CodeBadRequest, err.Error(), false)
 			return
@@ -488,7 +488,7 @@ func (g *Gateway) handleTune(w http.ResponseWriter, r *http.Request, ts *tenantS
 	}
 	out, err, shared := g.tuneFlights.Do(ctx, tuneKey(ts.name, req), func(fctx context.Context) (*tuneOut, error) {
 		g.cCoalesceLeaders.Inc()
-		prof, err := ts.sys.Store.LoadProfile(req.JobID)
+		prof, err := ts.sys.Store.LoadProfile(fctx, req.JobID)
 		if err != nil {
 			return nil, err
 		}
@@ -562,7 +562,7 @@ func (g *Gateway) handleWhatIf(w http.ResponseWriter, r *http.Request, ts *tenan
 	}
 	q := whatif.Quantize(req.Config)
 	ms, err, shared := g.whatifFlights.Do(r.Context(), whatifKey(ts.name, req, q), func(fctx context.Context) (float64, error) {
-		prof, err := ts.sys.Store.LoadProfile(req.JobID)
+		prof, err := ts.sys.Store.LoadProfile(fctx, req.JobID)
 		if err != nil {
 			return 0, err
 		}
@@ -626,7 +626,7 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request, ts *tenant
 			return nil, err
 		}
 		sample.InputBytes = ds.NominalBytes
-		res, err := g.matcher.Match(ts.sys.Store, sample)
+		res, err := g.matcher.Match(fctx, ts.sys.Store, sample)
 		if err != nil {
 			return nil, err
 		}
@@ -694,7 +694,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request, ts *tenan
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
 		defer cancel()
 	}
-	res, err := ts.sys.SubmitContext(ctx, spec, ds, core.TuneOptions{Workers: req.Workers, Budget: req.Budget})
+	res, err := ts.sys.Submit(ctx, spec, ds, core.TuneOptions{Workers: req.Workers, Budget: req.Budget})
 	if err != nil {
 		g.writeErr(w, err)
 		return
@@ -715,7 +715,7 @@ type ProfilesResponse struct {
 }
 
 func (g *Gateway) handleProfiles(w http.ResponseWriter, r *http.Request, ts *tenantState) {
-	ids, err := ts.sys.Store.JobIDs()
+	ids, err := ts.sys.Store.JobIDs(r.Context())
 	if err != nil {
 		g.writeErr(w, err)
 		return

@@ -59,27 +59,33 @@ func (g *gateKV) wait() {
 	}
 }
 
-func (g *gateKV) Get(table, row string) (hstore.Row, bool, error) {
+func (g *gateKV) Get(ctx context.Context, table, row string) (hstore.Row, bool, error) {
 	g.wait()
-	return g.kv.Get(table, row)
+	return g.kv.Get(ctx, table, row)
 }
 
-func (g *gateKV) CreateTable(table string) error { return g.kv.CreateTable(table) }
-func (g *gateKV) Put(table, row, column string, value []byte) error {
-	return g.kv.Put(table, row, column, value)
+func (g *gateKV) CreateTable(ctx context.Context, table string) error {
+	return g.kv.CreateTable(ctx, table)
 }
-func (g *gateKV) PutRow(table string, r hstore.Row) error { return g.kv.PutRow(table, r) }
-func (g *gateKV) Scan(table, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
+func (g *gateKV) Put(ctx context.Context, table, row, column string, value []byte) error {
+	return g.kv.Put(ctx, table, row, column, value)
+}
+func (g *gateKV) PutRow(ctx context.Context, table string, r hstore.Row) error {
+	return g.kv.PutRow(ctx, table, r)
+}
+func (g *gateKV) Scan(ctx context.Context, table, start, end string, f hstore.Filter, limit int) ([]hstore.Row, error) {
 	g.wait()
-	return g.kv.Scan(table, start, end, f, limit)
+	return g.kv.Scan(ctx, table, start, end, f, limit)
 }
-func (g *gateKV) DeleteRow(table, row string) error { return g.kv.DeleteRow(table, row) }
+func (g *gateKV) DeleteRow(ctx context.Context, table, row string) error {
+	return g.kv.DeleteRow(ctx, table, row)
+}
 
 // seedProfile collects one profiled run and stores it in the tenant's
 // namespace, returning its job id.
 func seedProfile(t *testing.T, kv core.KV, tenant string, eng *engine.Engine) *profile.Profile {
 	t.Helper()
-	st, err := core.NewTenantStore(kv, tenant)
+	st, err := core.NewTenantStore(context.Background(), kv, tenant)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +101,7 @@ func seedProfile(t *testing.T, kv core.KV, tenant string, eng *engine.Engine) *p
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.PutProfile(run.Profile); err != nil {
+	if err := st.PutProfile(context.Background(), run.Profile); err != nil {
 		t.Fatal(err)
 	}
 	return run.Profile
@@ -375,7 +381,7 @@ func TestTenantIsolation(t *testing.T) {
 	// Direct key inspection: every row the seed wrote carries the
 	// tenant namespace; nothing landed in the shared (un-namespaced)
 	// key space.
-	rows, err := kv.Scan(core.TableName, "", "\xff", nil, 0)
+	rows, err := kv.Scan(context.Background(), core.TableName, "", "\xff", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,11 +2,14 @@ package hstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
+
+	"pstorm/internal/httperr"
 )
 
 // Client is how applications talk to the store. Two transports exist:
@@ -15,17 +18,24 @@ import (
 // server-side filtering (pushdown, §5.3) and client-side filtering
 // (fetch everything in range, filter locally) — the difference in bytes
 // transferred is exactly what §5.3 argues about.
+//
+// Every data-plane method takes the caller's context first: the HTTP
+// transport attaches it to the request (plus the remaining deadline as
+// an httperr.DeadlineHeader, so the server aborts scans the caller has
+// abandoned), and the in-process transport hands it straight to the
+// server. Flush/Stats/ResetStats are process-owned admin operations and
+// stay context-free.
 type Client struct {
 	transport transport
 }
 
 type transport interface {
-	put(table, row, column string, value []byte) error
-	deleteRow(table, row string) error
-	get(table, row string) (Row, bool, error)
-	multiGet(table string, rows []string) ([]Row, []bool, error)
-	scan(table, start, end string, filterWire []byte, limit int) ([]Row, error)
-	createTable(table string) error
+	put(ctx context.Context, table, row, column string, value []byte) error
+	deleteRow(ctx context.Context, table, row string) error
+	get(ctx context.Context, table, row string) (Row, bool, error)
+	multiGet(ctx context.Context, table string, rows []string) ([]Row, []bool, error)
+	scan(ctx context.Context, table, start, end string, filterWire []byte, limit int) ([]Row, error)
+	createTable(ctx context.Context, table string) error
 	flush(table string) error
 	stats() (TransferStats, error)
 	resetStats() error
@@ -53,17 +63,19 @@ func DialWith(baseURL string, timeout time.Duration) *Client {
 }
 
 // CreateTable creates a table.
-func (c *Client) CreateTable(table string) error { return c.transport.createTable(table) }
+func (c *Client) CreateTable(ctx context.Context, table string) error {
+	return c.transport.createTable(ctx, table)
+}
 
 // Put writes one cell.
-func (c *Client) Put(table, row, column string, value []byte) error {
-	return c.transport.put(table, row, column, value)
+func (c *Client) Put(ctx context.Context, table, row, column string, value []byte) error {
+	return c.transport.put(ctx, table, row, column, value)
 }
 
 // PutRow writes all columns of a row.
-func (c *Client) PutRow(table string, r Row) error {
+func (c *Client) PutRow(ctx context.Context, table string, r Row) error {
 	for col, v := range r.Columns {
-		if err := c.Put(table, r.Key, col, v); err != nil {
+		if err := c.Put(ctx, table, r.Key, col, v); err != nil {
 			return err
 		}
 	}
@@ -71,17 +83,21 @@ func (c *Client) PutRow(table string, r Row) error {
 }
 
 // Get fetches one row.
-func (c *Client) Get(table, row string) (Row, bool, error) { return c.transport.get(table, row) }
+func (c *Client) Get(ctx context.Context, table, row string) (Row, bool, error) {
+	return c.transport.get(ctx, table, row)
+}
 
 // MultiGet fetches many rows in one round trip. Both result slices are
 // aligned with the requested keys: found[i] reports whether rows[i]
 // exists, and missing rows are zero-valued.
-func (c *Client) MultiGet(table string, rows []string) ([]Row, []bool, error) {
-	return c.transport.multiGet(table, rows)
+func (c *Client) MultiGet(ctx context.Context, table string, rows []string) ([]Row, []bool, error) {
+	return c.transport.multiGet(ctx, table, rows)
 }
 
 // DeleteRow tombstones every column of the row.
-func (c *Client) DeleteRow(table, row string) error { return c.transport.deleteRow(table, row) }
+func (c *Client) DeleteRow(ctx context.Context, table, row string) error {
+	return c.transport.deleteRow(ctx, table, row)
+}
 
 // Flush flushes the table's memstores.
 func (c *Client) Flush(table string) error { return c.transport.flush(table) }
@@ -94,19 +110,20 @@ func (c *Client) Stats() (TransferStats, error) { return c.transport.stats() }
 func (c *Client) ResetStats() error { return c.transport.resetStats() }
 
 // Scan returns the rows in [start, end) matching the filter, evaluated
-// at the server (pushdown). Limit 0 means unlimited.
-func (c *Client) Scan(table, start, end string, f Filter, limit int) ([]Row, error) {
+// at the server (pushdown). Limit 0 means unlimited. A canceled ctx
+// stops the server's region merge mid-scan.
+func (c *Client) Scan(ctx context.Context, table, start, end string, f Filter, limit int) ([]Row, error) {
 	wire, err := EncodeFilter(f)
 	if err != nil {
 		return nil, err
 	}
-	return c.transport.scan(table, start, end, wire, limit)
+	return c.transport.scan(ctx, table, start, end, wire, limit)
 }
 
 // ScanClientSide fetches every row in [start, end) from the server and
 // applies the filter locally — the non-pushdown baseline of §5.3.
-func (c *Client) ScanClientSide(table, start, end string, f Filter, limit int) ([]Row, error) {
-	all, err := c.transport.scan(table, start, end, nil, 0)
+func (c *Client) ScanClientSide(ctx context.Context, table, start, end string, f Filter, limit int) ([]Row, error) {
+	all, err := c.transport.scan(ctx, table, start, end, nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -127,16 +144,27 @@ func (c *Client) ScanClientSide(table, start, end string, f Filter, limit int) (
 
 type localTransport struct{ s *Server }
 
-func (t *localTransport) put(table, row, column string, value []byte) error {
+func (t *localTransport) put(ctx context.Context, table, row, column string, value []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return t.s.Put(table, row, column, value)
 }
 
-func (t *localTransport) get(table, row string) (Row, bool, error) { return t.s.Get(table, row) }
+func (t *localTransport) get(ctx context.Context, table, row string) (Row, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Row{}, false, err
+	}
+	return t.s.Get(table, row)
+}
 
-func (t *localTransport) multiGet(table string, rows []string) ([]Row, []bool, error) {
+func (t *localTransport) multiGet(ctx context.Context, table string, rows []string) ([]Row, []bool, error) {
 	out := make([]Row, len(rows))
 	found := make([]bool, len(rows))
 	for i, key := range rows {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		r, ok, err := t.s.Get(table, key)
 		if err != nil {
 			return nil, nil, err
@@ -146,9 +174,14 @@ func (t *localTransport) multiGet(table string, rows []string) ([]Row, []bool, e
 	return out, found, nil
 }
 
-func (t *localTransport) deleteRow(table, row string) error { return t.s.DeleteRow(table, row) }
+func (t *localTransport) deleteRow(ctx context.Context, table, row string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return t.s.DeleteRow(table, row)
+}
 
-func (t *localTransport) scan(table, start, end string, filterWire []byte, limit int) ([]Row, error) {
+func (t *localTransport) scan(ctx context.Context, table, start, end string, filterWire []byte, limit int) ([]Row, error) {
 	var f Filter
 	if filterWire != nil {
 		var err error
@@ -157,13 +190,18 @@ func (t *localTransport) scan(table, start, end string, filterWire []byte, limit
 			return nil, err
 		}
 	}
-	return t.s.Scan(table, start, end, f, limit)
+	return t.s.Scan(ctx, table, start, end, f, limit)
 }
 
-func (t *localTransport) createTable(table string) error { return t.s.CreateTable(table) }
-func (t *localTransport) flush(table string) error       { return t.s.Flush(table) }
-func (t *localTransport) stats() (TransferStats, error)  { return t.s.Stats(), nil }
-func (t *localTransport) resetStats() error              { t.s.ResetStats(); return nil }
+func (t *localTransport) createTable(ctx context.Context, table string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return t.s.CreateTable(table)
+}
+func (t *localTransport) flush(table string) error      { return t.s.Flush(table) }
+func (t *localTransport) stats() (TransferStats, error) { return t.s.Stats(), nil }
+func (t *localTransport) resetStats() error             { t.s.ResetStats(); return nil }
 
 // ---------------------------------------------------------------------
 // HTTP wire protocol.
@@ -201,7 +239,10 @@ type rowWire struct {
 func toWire(r Row) rowWire   { return rowWire{Key: r.Key, Columns: r.Columns} }
 func fromWire(w rowWire) Row { return Row{Key: w.Key, Columns: w.Columns} }
 
-// Handler exposes the server over HTTP. Mount it on any mux.
+// Handler exposes the server over HTTP. Mount it on any mux. Each
+// data-plane handler runs under the request's context bounded by the
+// remaining budget the client sent in httperr.DeadlineHeader, so a
+// departed or out-of-time caller stops server-side work.
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	writeErr := func(w http.ResponseWriter, err error) {
@@ -256,6 +297,8 @@ func Handler(s *Server) http.Handler {
 		writeJSON(w, map[string]interface{}{"found": ok, "row": toWire(row)})
 	})
 	mux.HandleFunc("/v1/multiget", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := httperr.ContextFromRequest(r)
+		defer cancel()
 		var req multiGetReq
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, err)
@@ -263,6 +306,10 @@ func Handler(s *Server) http.Handler {
 		}
 		resp := multiGetResp{Found: make([]bool, len(req.Rows)), Rows: make([]rowWire, len(req.Rows))}
 		for i, key := range req.Rows {
+			if err := ctx.Err(); err != nil {
+				writeErr(w, err)
+				return
+			}
 			row, ok, err := s.Get(req.Table, key)
 			if err != nil {
 				writeErr(w, err)
@@ -274,6 +321,8 @@ func Handler(s *Server) http.Handler {
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/v1/scan", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := httperr.ContextFromRequest(r)
+		defer cancel()
 		var req scanReq
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, err)
@@ -288,7 +337,7 @@ func Handler(s *Server) http.Handler {
 				return
 			}
 		}
-		rows, err := s.Scan(req.Table, req.Start, req.End, f, req.Limit)
+		rows, err := s.Scan(ctx, req.Table, req.Start, req.End, f, req.Limit)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -313,12 +362,25 @@ type httpTransport struct {
 	hc   *http.Client
 }
 
-func (t *httpTransport) post(path string, body interface{}, out interface{}) error {
+// adminCtx roots the ctx-less admin surface (createTable via Dial-time
+// setup helpers aside, flush/stats/resetStats): maintenance RPCs owned
+// by the process, not by any inbound request.
+func adminCtx() context.Context {
+	return context.Background() //pstorm:allow ctxcheck admin RPCs (flush/stats) are process-owned maintenance with no inbound request context
+}
+
+func (t *httpTransport) post(ctx context.Context, path string, body interface{}, out interface{}) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := t.hc.Post(t.base+path, "application/json", bytes.NewReader(raw))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httperr.SetDeadlineHeader(req.Header, ctx)
+	resp, err := t.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -336,8 +398,13 @@ func (t *httpTransport) post(path string, body interface{}, out interface{}) err
 	return nil
 }
 
-func (t *httpTransport) getURL(path string, out interface{}) error {
-	resp, err := t.hc.Get(t.base + path)
+func (t *httpTransport) getURL(ctx context.Context, path string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+path, nil)
+	if err != nil {
+		return err
+	}
+	httperr.SetDeadlineHeader(req.Header, ctx)
+	resp, err := t.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -355,24 +422,24 @@ func (t *httpTransport) getURL(path string, out interface{}) error {
 	return nil
 }
 
-func (t *httpTransport) put(table, row, column string, value []byte) error {
-	return t.post("/v1/put", putReq{Table: table, Row: row, Column: column, Value: value}, nil)
+func (t *httpTransport) put(ctx context.Context, table, row, column string, value []byte) error {
+	return t.post(ctx, "/v1/put", putReq{Table: table, Row: row, Column: column, Value: value}, nil)
 }
 
-func (t *httpTransport) get(table, row string) (Row, bool, error) {
+func (t *httpTransport) get(ctx context.Context, table, row string) (Row, bool, error) {
 	var resp struct {
 		Found bool    `json:"found"`
 		Row   rowWire `json:"row"`
 	}
-	if err := t.getURL("/v1/get?table="+table+"&row="+row, &resp); err != nil {
+	if err := t.getURL(ctx, "/v1/get?table="+table+"&row="+row, &resp); err != nil {
 		return Row{}, false, err
 	}
 	return fromWire(resp.Row), resp.Found, nil
 }
 
-func (t *httpTransport) multiGet(table string, rows []string) ([]Row, []bool, error) {
+func (t *httpTransport) multiGet(ctx context.Context, table string, rows []string) ([]Row, []bool, error) {
 	var resp multiGetResp
-	if err := t.post("/v1/multiget", multiGetReq{Table: table, Rows: rows}, &resp); err != nil {
+	if err := t.post(ctx, "/v1/multiget", multiGetReq{Table: table, Rows: rows}, &resp); err != nil {
 		return nil, nil, err
 	}
 	out := make([]Row, len(resp.Rows))
@@ -382,13 +449,13 @@ func (t *httpTransport) multiGet(table string, rows []string) ([]Row, []bool, er
 	return out, resp.Found, nil
 }
 
-func (t *httpTransport) scan(table, start, end string, filterWire []byte, limit int) ([]Row, error) {
+func (t *httpTransport) scan(ctx context.Context, table, start, end string, filterWire []byte, limit int) ([]Row, error) {
 	req := scanReq{Table: table, Start: start, End: end, Limit: limit}
 	if filterWire != nil {
 		req.Filter = filterWire
 	}
 	var wires []rowWire
-	if err := t.post("/v1/scan", req, &wires); err != nil {
+	if err := t.post(ctx, "/v1/scan", req, &wires); err != nil {
 		return nil, err
 	}
 	rows := make([]Row, len(wires))
@@ -398,25 +465,25 @@ func (t *httpTransport) scan(table, start, end string, filterWire []byte, limit 
 	return rows, nil
 }
 
-func (t *httpTransport) deleteRow(table, row string) error {
-	return t.getURL("/v1/deleterow?table="+table+"&row="+row, nil)
+func (t *httpTransport) deleteRow(ctx context.Context, table, row string) error {
+	return t.getURL(ctx, "/v1/deleterow?table="+table+"&row="+row, nil)
 }
 
-func (t *httpTransport) createTable(table string) error {
-	return t.getURL("/v1/table?name="+table, nil)
+func (t *httpTransport) createTable(ctx context.Context, table string) error {
+	return t.getURL(ctx, "/v1/table?name="+table, nil)
 }
 
 func (t *httpTransport) flush(table string) error {
-	return t.getURL("/v1/flush?table="+table, nil)
+	return t.getURL(adminCtx(), "/v1/flush?table="+table, nil)
 }
 
 func (t *httpTransport) stats() (TransferStats, error) {
 	var s TransferStats
-	err := t.getURL("/v1/stats", &s)
+	err := t.getURL(adminCtx(), "/v1/stats", &s)
 	return s, err
 }
 
 func (t *httpTransport) resetStats() error {
 	var s TransferStats
-	return t.getURL("/v1/stats?reset=1", &s)
+	return t.getURL(adminCtx(), "/v1/stats?reset=1", &s)
 }

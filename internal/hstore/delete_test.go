@@ -1,6 +1,7 @@
 package hstore
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -44,7 +45,7 @@ func TestDeleteRowRemovesRow(t *testing.T) {
 	if _, ok, _ := s.Get("t", "r2"); ok {
 		t.Error("deleted row still readable")
 	}
-	rows, _ := s.Scan("t", "", "", nil, 0)
+	rows, _ := s.Scan(context.Background(), "t", "", "", nil, 0)
 	if len(rows) != 4 {
 		t.Errorf("scan sees %d rows, want 4", len(rows))
 	}

@@ -1,6 +1,7 @@
 package hstore
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -28,7 +29,7 @@ func walFrameStarts(t *testing.T, raw []byte) []int64 {
 // countRows scans table t and returns the row count.
 func countRows(t *testing.T, s *Server, table string) int {
 	t.Helper()
-	rows, err := s.Scan(table, "", "", nil, 0)
+	rows, err := s.Scan(context.Background(), table, "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestSSTableBitFlipDetected(t *testing.T) {
 	if !s.CorruptRegionData("t", s.Meta()[0].RegionID, 100) {
 		t.Fatal("CorruptRegionData found no sstable to damage")
 	}
-	if _, err := s.Scan("t", "", "", nil, 0); !IsCorruption(err) {
+	if _, err := s.Scan(context.Background(), "t", "", "", nil, 0); !IsCorruption(err) {
 		t.Fatalf("scan over flipped bit: err=%v, want CorruptionError", err)
 	}
 	// Point reads of the damaged region refuse too — quarantine latched.
@@ -182,7 +183,7 @@ func TestSSTableBitFlipDetected(t *testing.T) {
 		t.Fatalf("Quarantined() = %v, want one region of table t", q)
 	}
 	// Repeated hits count once: the latch dedupes.
-	_, _ = s.Scan("t", "", "", nil, 0)
+	_, _ = s.Scan(context.Background(), "t", "", "", nil, 0)
 	_, _, _ = s.Get("t", "r20")
 	if n := s.Obs().Snapshot().Counters["store_corruptions_detected_total"]; n != 1 {
 		t.Fatalf("corruption count = %d, want 1 (latched)", n)

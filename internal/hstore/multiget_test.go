@@ -1,6 +1,7 @@
 package hstore
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"testing"
@@ -26,7 +27,7 @@ func multiGetFixture(t *testing.T) *Server {
 func checkMultiGet(t *testing.T, c *Client) {
 	t.Helper()
 	keys := []string{"row3", "missing", "row0", "row7", "also-missing"}
-	rows, found, err := c.MultiGet("t", keys)
+	rows, found, err := c.MultiGet(context.Background(), "t", keys)
 	if err != nil {
 		t.Fatalf("MultiGet: %v", err)
 	}
@@ -42,7 +43,7 @@ func checkMultiGet(t *testing.T, c *Client) {
 		if !found[i] {
 			continue
 		}
-		one, ok, err := c.Get("t", k)
+		one, ok, err := c.Get(context.Background(), "t", k)
 		if err != nil || !ok {
 			t.Fatalf("Get(%q): ok=%v err=%v", k, ok, err)
 		}
@@ -50,11 +51,11 @@ func checkMultiGet(t *testing.T, c *Client) {
 			t.Errorf("key %q: MultiGet row %v != Get row %v", k, rows[i], one)
 		}
 	}
-	rows, found, err = c.MultiGet("t", nil)
+	rows, found, err = c.MultiGet(context.Background(), "t", nil)
 	if err != nil || len(rows) != 0 || len(found) != 0 {
 		t.Errorf("empty MultiGet: rows=%v found=%v err=%v", rows, found, err)
 	}
-	if _, _, err := c.MultiGet("no-such-table", []string{"x"}); err == nil {
+	if _, _, err := c.MultiGet(context.Background(), "no-such-table", []string{"x"}); err == nil {
 		t.Error("MultiGet on a missing table should fail")
 	}
 }

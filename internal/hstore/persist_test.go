@@ -1,6 +1,7 @@
 package hstore
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -38,7 +39,7 @@ func TestCompactionBoundsReadAmplification(t *testing.T) {
 			t.Errorf("row %d after compaction = %v (ok=%v)", i, r, ok)
 		}
 	}
-	rows, _ := s.Scan("t", "", "", nil, 0)
+	rows, _ := s.Scan(context.Background(), "t", "", "", nil, 0)
 	if len(rows) != 10 {
 		t.Errorf("scan after compaction = %d rows, want 10", len(rows))
 	}
@@ -84,7 +85,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if got := back.Tables(); len(got) != 2 {
 		t.Fatalf("tables after load = %v", got)
 	}
-	rows, err := back.Scan("profiles", "", "", nil, 0)
+	rows, err := back.Scan(context.Background(), "profiles", "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestSaveEmptyServerAndTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := back.Scan("empty", "", "", nil, 0)
+	rows, err := back.Scan(context.Background(), "empty", "", "", nil, 0)
 	if err != nil || len(rows) != 0 {
 		t.Errorf("empty table after reload: %v, %v", rows, err)
 	}

@@ -1,6 +1,7 @@
 package hstore
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -82,11 +83,11 @@ func TestNotServingOnGapsAndFences(t *testing.T) {
 	if _, _, err := s.Get("t", "a"); !IsNotServing(err) {
 		t.Errorf("get outside hosted range: err = %v, want NotServing", err)
 	}
-	if _, err := s.Scan("t", "", "", nil, 0); !IsNotServing(err) {
+	if _, err := s.Scan(context.Background(), "t", "", "", nil, 0); !IsNotServing(err) {
 		t.Errorf("scan over uncovered range: err = %v, want NotServing", err)
 	}
 	mustPut(t, s, "t", "mm", "c", "v")
-	if rows, err := s.Scan("t", "m", "t", nil, 0); err != nil || len(rows) != 1 {
+	if rows, err := s.Scan(context.Background(), "t", "m", "t", nil, 0); err != nil || len(rows) != 1 {
 		t.Errorf("scan within hosted range: %v %v", rows, err)
 	}
 
@@ -97,7 +98,7 @@ func TestNotServingOnGapsAndFences(t *testing.T) {
 	if err := s.Put("t", "mm", "c", []byte("v2")); !IsNotServing(err) {
 		t.Errorf("put on fenced region: err = %v, want NotServing", err)
 	}
-	if _, err := s.Scan("t", "m", "t", nil, 0); !IsNotServing(err) {
+	if _, err := s.Scan(context.Background(), "t", "m", "t", nil, 0); !IsNotServing(err) {
 		t.Errorf("scan on fenced region: err = %v, want NotServing", err)
 	}
 	if err := s.Apply("t", []Cell{{Row: "mq", Column: "c", Ts: 99, Value: []byte("r")}}); err != nil {
@@ -156,7 +157,7 @@ func TestConcurrentSplitRace(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
 				row := fmt.Sprintf("row-%d-%04d", w, i)
-				if err := c.Put("t", row, "c", []byte(fmt.Sprintf("padpadpadpadpad-%d", i))); err != nil {
+				if err := c.Put(context.Background(), "t", row, "c", []byte(fmt.Sprintf("padpadpadpadpad-%d", i))); err != nil {
 					t.Errorf("put %s: %v", row, err)
 					return
 				}
@@ -167,7 +168,7 @@ func TestConcurrentSplitRace(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 50; i++ {
-			if _, err := c.Scan("t", "", "", nil, 0); err != nil {
+			if _, err := c.Scan(context.Background(), "t", "", "", nil, 0); err != nil {
 				t.Errorf("scan during splits: %v", err)
 				return
 			}
@@ -175,7 +176,7 @@ func TestConcurrentSplitRace(t *testing.T) {
 	}()
 	wg.Wait()
 	<-done
-	rows, err := c.Scan("t", "", "", nil, 0)
+	rows, err := c.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestDialTimeout(t *testing.T) {
 	}))
 	defer slow.Close()
 	c := DialWith(slow.URL, 10*time.Millisecond)
-	if _, _, err := c.Get("t", "row"); err == nil {
+	if _, _, err := c.Get(context.Background(), "t", "row"); err == nil {
 		t.Error("expected a timeout error from a hung server")
 	}
 	// The default Dial must arm a timeout at all.
@@ -212,10 +213,10 @@ func TestStatsResetOverHTTP(t *testing.T) {
 	srv := httptest.NewServer(Handler(s))
 	defer srv.Close()
 	c := Dial(srv.URL)
-	if err := c.Put("t", "a", "c", []byte("v")); err != nil {
+	if err := c.Put(context.Background(), "t", "a", "c", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.Get("t", "a"); err != nil {
+	if _, _, err := c.Get(context.Background(), "t", "a"); err != nil {
 		t.Fatal(err)
 	}
 	st, err := c.Stats()

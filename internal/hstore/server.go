@@ -1,6 +1,7 @@
 package hstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -526,8 +527,10 @@ func (s *Server) GetAny(tableName, row string) (Row, bool, error) {
 // unbounded) through the filter, region by region in key order. Only
 // rows passing the filter are "returned" (and accounted); this is the
 // server-side half of the pushdown mechanism. Limit 0 means no limit.
-func (s *Server) Scan(tableName, startRow, endRow string, f Filter, limit int) ([]Row, error) {
-	return s.scan(tableName, startRow, endRow, f, limit, true)
+// The context is checked once per emitted row, so a canceled caller
+// stops the merge mid-region instead of paying for the full range.
+func (s *Server) Scan(ctx context.Context, tableName, startRow, endRow string, f Filter, limit int) ([]Row, error) {
+	return s.scan(ctx, tableName, startRow, endRow, f, limit, true)
 }
 
 // ScanAny scans regardless of serving fences — the hedged-scan path:
@@ -535,11 +538,11 @@ func (s *Server) Scan(tableName, startRow, endRow string, f Filter, limit int) (
 // acked write, so it can answer range reads when the primary is slow.
 // Coverage is still required (a missing region fails NotServing) and
 // quarantined copies still refuse.
-func (s *Server) ScanAny(tableName, startRow, endRow string, f Filter, limit int) ([]Row, error) {
-	return s.scan(tableName, startRow, endRow, f, limit, false)
+func (s *Server) ScanAny(ctx context.Context, tableName, startRow, endRow string, f Filter, limit int) ([]Row, error) {
+	return s.scan(ctx, tableName, startRow, endRow, f, limit, false)
 }
 
-func (s *Server) scan(tableName, startRow, endRow string, f Filter, limit int, requireServing bool) ([]Row, error) {
+func (s *Server) scan(ctx context.Context, tableName, startRow, endRow string, f Filter, limit int, requireServing bool) ([]Row, error) {
 	t, err := s.table(tableName)
 	if err != nil {
 		return nil, err
@@ -587,7 +590,12 @@ func (s *Server) scan(tableName, startRow, endRow string, f Filter, limit int, r
 			continue
 		}
 		stop := false
+		var ctxErr error
 		if err := g.scanRows(startRow, endRow, func(r Row) bool {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return false
+			}
 			s.rowsScanned.Add(1)
 			if f == nil || f.Matches(r) {
 				out = append(out, r.Clone())
@@ -601,6 +609,9 @@ func (s *Server) scan(tableName, startRow, endRow string, f Filter, limit int, r
 			return true
 		}); err != nil {
 			return nil, withTable(err, tableName)
+		}
+		if ctxErr != nil {
+			return nil, ctxErr
 		}
 		if stop {
 			break

@@ -1,6 +1,7 @@
 package hstore
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -53,7 +54,7 @@ func TestServerPutGetScan(t *testing.T) {
 	if _, ok, _ := s.Get("t", "missing"); ok {
 		t.Error("Get found a missing row")
 	}
-	rows, err := s.Scan("t", "row05", "row10", nil, 0)
+	rows, err := s.Scan(context.Background(), "t", "row05", "row10", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestServerScanAcrossFlushes(t *testing.T) {
 	for i := 10; i < 20; i++ {
 		_ = s.Put("t", fmt.Sprintf("r%02d", i), "c", []byte("mem2"))
 	}
-	rows, err := s.Scan("t", "", "", nil, 0)
+	rows, err := s.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,14 +107,14 @@ func TestServerScanWithFilterAndLimit(t *testing.T) {
 		_ = s.Put("t", fmt.Sprintf("r%02d", i), "parity", []byte(fmt.Sprintf("%d", i%2)))
 	}
 	f := &ColumnEqualsFilter{Column: "parity", Value: "0"}
-	rows, err := s.Scan("t", "", "", f, 0)
+	rows, err := s.Scan(context.Background(), "t", "", "", f, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 15 {
 		t.Errorf("filtered scan = %d rows, want 15", len(rows))
 	}
-	rows, _ = s.Scan("t", "", "", f, 4)
+	rows, _ = s.Scan(context.Background(), "t", "", "", f, 4)
 	if len(rows) != 4 {
 		t.Errorf("limited scan = %d rows, want 4", len(rows))
 	}
@@ -144,7 +145,7 @@ func TestServerRegionSplit(t *testing.T) {
 		}
 	}
 	// All rows still readable after splits.
-	rows, err := s.Scan("t", "", "", nil, 0)
+	rows, err := s.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,13 +166,13 @@ func TestServerTransferStats(t *testing.T) {
 		_ = s.Put("t", fmt.Sprintf("r%d", i), "c", []byte("0123456789"))
 	}
 	s.ResetStats()
-	_, _ = s.Scan("t", "", "", &ColumnEqualsFilter{Column: "c", Value: "0123456789"}, 0)
+	_, _ = s.Scan(context.Background(), "t", "", "", &ColumnEqualsFilter{Column: "c", Value: "0123456789"}, 0)
 	st := s.Stats()
 	if st.RowsScanned != 10 || st.RowsReturned != 10 {
 		t.Errorf("stats = %+v", st)
 	}
 	s.ResetStats()
-	_, _ = s.Scan("t", "", "", &ColumnEqualsFilter{Column: "c", Value: "nope"}, 0)
+	_, _ = s.Scan(context.Background(), "t", "", "", &ColumnEqualsFilter{Column: "c", Value: "nope"}, 0)
 	st = s.Stats()
 	if st.RowsScanned != 10 || st.RowsReturned != 0 || st.BytesReturned != 0 {
 		t.Errorf("filtered-out scan stats = %+v", st)
@@ -192,7 +193,7 @@ func TestServerConcurrentPuts(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	rows, err := s.Scan("t", "", "", nil, 0)
+	rows, err := s.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,11 +204,11 @@ func TestServerConcurrentPuts(t *testing.T) {
 
 func TestClientLocalAndHTTPEquivalence(t *testing.T) {
 	seed := func(c *Client) error {
-		if err := c.CreateTable("t"); err != nil {
+		if err := c.CreateTable(context.Background(), "t"); err != nil {
 			return err
 		}
 		for i := 0; i < 25; i++ {
-			if err := c.Put("t", fmt.Sprintf("r%02d", i), "v", []byte(fmt.Sprintf("%d", i))); err != nil {
+			if err := c.Put(context.Background(), "t", fmt.Sprintf("r%02d", i), "v", []byte(fmt.Sprintf("%d", i))); err != nil {
 				return err
 			}
 		}
@@ -215,11 +216,11 @@ func TestClientLocalAndHTTPEquivalence(t *testing.T) {
 	}
 	query := func(c *Client) ([]Row, Row, bool, error) {
 		f := &PrefixFilter{Prefix: "r1"}
-		rows, err := c.Scan("t", "", "", f, 0)
+		rows, err := c.Scan(context.Background(), "t", "", "", f, 0)
 		if err != nil {
 			return nil, Row{}, false, err
 		}
-		one, ok, err := c.Get("t", "r07")
+		one, ok, err := c.Get(context.Background(), "t", "r07")
 		return rows, one, ok, err
 	}
 
@@ -257,10 +258,10 @@ func TestClientLocalAndHTTPEquivalence(t *testing.T) {
 	}
 
 	// Error propagation over HTTP.
-	if err := remote.CreateTable("t"); err == nil {
+	if err := remote.CreateTable(context.Background(), "t"); err == nil {
 		t.Error("duplicate CreateTable over HTTP should error")
 	}
-	if _, err := remote.Scan("missing", "", "", nil, 0); err == nil {
+	if _, err := remote.Scan(context.Background(), "missing", "", "", nil, 0); err == nil {
 		t.Error("scan of missing table over HTTP should error")
 	}
 }
@@ -268,16 +269,16 @@ func TestClientLocalAndHTTPEquivalence(t *testing.T) {
 func TestClientScanClientSideMatchesPushdown(t *testing.T) {
 	srv := NewServer()
 	c := Connect(srv)
-	_ = c.CreateTable("t")
+	_ = c.CreateTable(context.Background(), "t")
 	for i := 0; i < 40; i++ {
-		_ = c.Put("t", fmt.Sprintf("r%02d", i), "m", []byte(fmt.Sprintf("%d", i%4)))
+		_ = c.Put(context.Background(), "t", fmt.Sprintf("r%02d", i), "m", []byte(fmt.Sprintf("%d", i%4)))
 	}
 	f := &ColumnEqualsFilter{Column: "m", Value: "2"}
-	pushed, err := c.Scan("t", "", "", f, 0)
+	pushed, err := c.Scan(context.Background(), "t", "", "", f, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, err := c.ScanClientSide("t", "", "", f, 0)
+	local, err := c.ScanClientSide(context.Background(), "t", "", "", f, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,10 +287,10 @@ func TestClientScanClientSideMatchesPushdown(t *testing.T) {
 	}
 	// Client-side fetches everything; pushdown only matches.
 	srv.ResetStats()
-	_, _ = c.Scan("t", "", "", f, 0)
+	_, _ = c.Scan(context.Background(), "t", "", "", f, 0)
 	pStats := srv.Stats()
 	srv.ResetStats()
-	_, _ = c.ScanClientSide("t", "", "", f, 0)
+	_, _ = c.ScanClientSide(context.Background(), "t", "", "", f, 0)
 	cStats := srv.Stats()
 	if pStats.RowsReturned >= cStats.RowsReturned {
 		t.Errorf("pushdown returned %d rows, client-side %d — pushdown should move fewer",

@@ -1,6 +1,7 @@
 package hstore
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"testing"
@@ -164,7 +165,7 @@ func TestCorruptedCompressedBlockQuarantinesRegion(t *testing.T) {
 	if !s.CorruptRegionData("t", regionID, uint64(seg.blocks[0].off+4)) {
 		t.Fatal("CorruptRegionData found no sstable to damage")
 	}
-	if _, err := s.Scan("t", "", "", nil, 0); !IsCorruption(err) {
+	if _, err := s.Scan(context.Background(), "t", "", "", nil, 0); !IsCorruption(err) {
 		t.Fatalf("scan of damaged region = %v, want CorruptionError", err)
 	}
 	if q := s.Quarantined(); len(q) != 1 || q[0].RegionID != regionID {

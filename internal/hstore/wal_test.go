@@ -1,6 +1,7 @@
 package hstore
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -27,7 +28,7 @@ func TestWALRecoversUncheckpointedWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := back.Scan("t", "", "", nil, 0)
+	rows, err := back.Scan(context.Background(), "t", "", "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 package httperr
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strconv"
@@ -75,4 +76,44 @@ func Parse(body []byte) (Error, bool) {
 		return Error{}, false
 	}
 	return env.Error, true
+}
+
+// DeadlineHeader carries the caller's remaining deadline budget across
+// an RPC hop, in integer milliseconds. Sending the *remaining* time
+// rather than an absolute instant keeps the protocol immune to clock
+// skew between client and server: each hop re-anchors the budget
+// against its own clock.
+const DeadlineHeader = "X-Pstorm-Deadline"
+
+// SetDeadlineHeader records ctx's remaining budget on h. Contexts
+// without a deadline leave the header unset; a deadline that already
+// passed is sent as 0 so the server fails fast instead of starting
+// work the caller will never see.
+func SetDeadlineHeader(h http.Header, ctx context.Context) {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	ms := time.Until(d).Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	h.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+}
+
+// ContextFromRequest derives a server-side request context: r's own
+// context (canceled when the client connection drops) bounded by the
+// remaining budget the client sent in DeadlineHeader, if any. The
+// returned cancel must be called when the handler finishes.
+func ContextFromRequest(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	v := r.Header.Get(DeadlineHeader)
+	if v == "" {
+		return context.WithCancel(ctx)
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms < 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
 }

@@ -1,6 +1,7 @@
 package matcher_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -31,25 +32,25 @@ func (o *outageStore) offline(ftype string) bool {
 	return false
 }
 
-func (o *outageStore) ScanFeatures(ftype string, f hstore.Filter) ([]matcher.Entry, error) {
+func (o *outageStore) ScanFeatures(ctx context.Context, ftype string, f hstore.Filter) ([]matcher.Entry, error) {
 	if o.offline(ftype) {
 		return nil, errOutage
 	}
-	return o.Store.ScanFeatures(ftype, f)
+	return o.Store.ScanFeatures(ctx, ftype, f)
 }
 
-func (o *outageStore) GetFeatures(ftype, jobID string) (hstore.Row, bool, error) {
+func (o *outageStore) GetFeatures(ctx context.Context, ftype, jobID string) (hstore.Row, bool, error) {
 	if o.offline(ftype) {
 		return hstore.Row{}, false, errOutage
 	}
-	return o.Store.GetFeatures(ftype, jobID)
+	return o.Store.GetFeatures(ctx, ftype, jobID)
 }
 
-func (o *outageStore) Bounds(ftype string, features []string) ([]float64, []float64, error) {
+func (o *outageStore) Bounds(ctx context.Context, ftype string, features []string) ([]float64, []float64, error) {
 	if o.offline(ftype) {
 		return nil, nil, errOutage
 	}
-	return o.Store.Bounds(ftype, features)
+	return o.Store.Bounds(ctx, ftype, features)
 }
 
 // TestMatchDegradesOnStatOutage: when the static feature rows are
@@ -63,7 +64,7 @@ func TestMatchDegradesOnStatOutage(t *testing.T) {
 	}
 	sample := sampleLike(fab("sample", "job", 1<<30, 2, 10, "B L(B)", "M"), 1<<30)
 
-	res, err := matcher.New().Match(&outageStore{Store: st, down: []string{"stat"}}, sample)
+	res, err := matcher.New().Match(context.Background(), &outageStore{Store: st, down: []string{"stat"}}, sample)
 	if err != nil {
 		t.Fatalf("Match must degrade on a stat-row outage, not error: %v", err)
 	}
@@ -93,7 +94,7 @@ func TestMatchDegradesOnCostOutage(t *testing.T) {
 	putProfile(t, st, fab("stored-0", "job", 1<<30, 2, 10, "OTHER CFG", "OtherMapper"))
 	sample := sampleLike(fab("sample", "job", 1<<30, 2, 10, "B L(B)", "M"), 1<<30)
 
-	res, err := matcher.New().Match(&outageStore{Store: st, down: []string{"cost"}}, sample)
+	res, err := matcher.New().Match(context.Background(), &outageStore{Store: st, down: []string{"cost"}}, sample)
 	if err != nil {
 		t.Fatalf("Match must degrade on a cost-row outage, not error: %v", err)
 	}
@@ -112,7 +113,7 @@ func TestMatchStillFailsOnStage1Outage(t *testing.T) {
 	putProfile(t, st, fab("stored-0", "job", 1<<30, 2, 10, "B", "M"))
 	sample := sampleLike(fab("sample", "job", 1<<30, 2, 10, "B", "M"), 1<<30)
 
-	if _, err := matcher.New().Match(&outageStore{Store: st, down: []string{"dyn", "!bounds"}}, sample); err == nil {
+	if _, err := matcher.New().Match(context.Background(), &outageStore{Store: st, down: []string{"dyn", "!bounds"}}, sample); err == nil {
 		t.Fatal("Match succeeded with stage-1 rows unreachable")
 	}
 }

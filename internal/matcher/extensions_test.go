@@ -1,6 +1,7 @@
 package matcher_test
 
 import (
+	"context"
 	"testing"
 
 	"pstorm/internal/matcher"
@@ -34,7 +35,7 @@ func TestCallFlowGraphDistinguishesHelpers(t *testing.T) {
 	// Plain CFG matching cannot separate them: both pass stage 2 and
 	// share maximal Jaccard, so the tie-break decides arbitrarily.
 	plain := matcher.New()
-	resPlain, err := plain.Match(st, sampleLike(sub, 1000))
+	resPlain, err := plain.Match(context.Background(), st, sampleLike(sub, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestCallFlowGraphDistinguishesHelpers(t *testing.T) {
 	// Call-flow-graph matching keeps only the helper-compatible donor.
 	ext := matcher.New()
 	ext.UseCallFlowGraph = true
-	resExt, err := ext.Match(st, sampleLike(sub, 1000))
+	resExt, err := ext.Match(context.Background(), st, sampleLike(sub, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestJobParamsPreferSameParameterProfile(t *testing.T) {
 
 	ext := matcher.New()
 	ext.IncludeJobParams = true
-	res, err := ext.Match(st, sampleLike(sub, 1000))
+	res, err := ext.Match(context.Background(), st, sampleLike(sub, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestJobParamsStillMatchWhenOnlyOtherParamStored(t *testing.T) {
 
 	ext := matcher.New()
 	ext.IncludeJobParams = true
-	res, err := ext.Match(st, sampleLike(sub, 1000))
+	res, err := ext.Match(context.Background(), st, sampleLike(sub, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestExtensionsSurviveStoreRoundTrip(t *testing.T) {
 	p := withCallSig(fab("x", "jobX", 1000, 1.0, 10, "B", "MapX"), "B {B L(B)}", "B")
 	p.Params = map[string]string{"pattern": "zap"}
 	putProfile(t, st, p)
-	row, ok, err := st.GetFeatures(matcher.FTStatMap, "x")
+	row, ok, err := st.GetFeatures(context.Background(), matcher.FTStatMap, "x")
 	if err != nil || !ok {
 		t.Fatal(err)
 	}

@@ -24,6 +24,7 @@
 package matcher
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -70,15 +71,16 @@ type Entry struct {
 // implements it over the hstore client with server-side filter pushdown.
 type Store interface {
 	// ScanFeatures scans all rows of the given feature type through the
-	// (pushed-down) filter.
-	ScanFeatures(ftype string, f hstore.Filter) ([]Entry, error)
+	// (pushed-down) filter. The context bounds the scan: a canceled
+	// caller stops the underlying region scans server-side.
+	ScanFeatures(ctx context.Context, ftype string, f hstore.Filter) ([]Entry, error)
 	// GetFeatures point-reads one profile's feature row.
-	GetFeatures(ftype, jobID string) (hstore.Row, bool, error)
+	GetFeatures(ctx context.Context, ftype, jobID string) (hstore.Row, bool, error)
 	// Bounds returns the min/max observed value per feature, aligned
 	// with the features slice, for normalization (§4.2).
-	Bounds(ftype string, features []string) (min, max []float64, err error)
+	Bounds(ctx context.Context, ftype string, features []string) (min, max []float64, err error)
 	// LoadProfile fetches the full stored profile.
-	LoadProfile(jobID string) (*profile.Profile, error)
+	LoadProfile(ctx context.Context, jobID string) (*profile.Profile, error)
 }
 
 // MultiGetStore is the optional batched-read upgrade of Store: a store
@@ -89,13 +91,13 @@ type MultiGetStore interface {
 	Store
 	// MultiGetFeatures point-reads one feature row per job ID, returning
 	// only the rows that exist, keyed by job ID.
-	MultiGetFeatures(ftype string, jobIDs []string) (map[string]hstore.Row, error)
+	MultiGetFeatures(ctx context.Context, ftype string, jobIDs []string) (map[string]hstore.Row, error)
 }
 
 // getFeatureRows fetches one feature row per candidate — in a single
 // round trip when the store supports MultiGetStore, per-row otherwise.
 // Missing rows are simply absent from the result.
-func getFeatureRows(st Store, ftype string, cands []Entry) (map[string]hstore.Row, error) {
+func getFeatureRows(ctx context.Context, st Store, ftype string, cands []Entry) (map[string]hstore.Row, error) {
 	if len(cands) == 0 {
 		return nil, nil
 	}
@@ -104,11 +106,11 @@ func getFeatureRows(st Store, ftype string, cands []Entry) (map[string]hstore.Ro
 		for i, c := range cands {
 			ids[i] = c.JobID
 		}
-		return mg.MultiGetFeatures(ftype, ids)
+		return mg.MultiGetFeatures(ctx, ftype, ids)
 	}
 	rows := make(map[string]hstore.Row, len(cands))
 	for _, c := range cands {
-		row, ok, err := st.GetFeatures(ftype, c.JobID)
+		row, ok, err := st.GetFeatures(ctx, ftype, c.JobID)
 		if err != nil {
 			return nil, err
 		}
@@ -250,8 +252,10 @@ var redSpec = sideSpec{
 // Match runs the full workflow (Fig 4.4) for a submitted job described
 // by its 1-task sample profile (which also carries the job's static
 // features; see profile.AttachStatics). The returned Result's Profile
-// is ready for the Starfish CBO.
-func (m *Matcher) Match(st Store, sample *profile.Profile) (*Result, error) {
+// is ready for the Starfish CBO. The context bounds every store fetch
+// the match performs; both sides share it, so a canceled caller stops
+// map- and reduce-side scans alike.
+func (m *Matcher) Match(ctx context.Context, st Store, sample *profile.Profile) (*Result, error) {
 	if sample == nil {
 		return nil, fmt.Errorf("matcher: nil sample profile")
 	}
@@ -263,11 +267,11 @@ func (m *Matcher) Match(st Store, sample *profile.Profile) (*Result, error) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		res.MapReport, mapErr = m.matchSide(st, mapSpec, &sample.Map, sample.InputBytes, sample.Params)
+		res.MapReport, mapErr = m.matchSide(ctx, st, mapSpec, &sample.Map, sample.InputBytes, sample.Params)
 	}()
 	go func() {
 		defer wg.Done()
-		res.ReduceReport, redErr = m.matchSide(st, redSpec, &sample.Reduce, sample.InputBytes, sample.Params)
+		res.ReduceReport, redErr = m.matchSide(ctx, st, redSpec, &sample.Reduce, sample.InputBytes, sample.Params)
 	}()
 	wg.Wait()
 	if mapErr != nil {
@@ -287,13 +291,13 @@ func (m *Matcher) Match(st Store, sample *profile.Profile) (*Result, error) {
 	res.ReduceJobID = res.ReduceReport.Winner
 	res.Composite = res.MapJobID != res.ReduceJobID
 
-	mp, err := st.LoadProfile(res.MapJobID)
+	mp, err := st.LoadProfile(ctx, res.MapJobID)
 	if err != nil {
 		return nil, fmt.Errorf("matcher: loading map donor %s: %w", res.MapJobID, err)
 	}
 	rp := mp
 	if res.Composite {
-		rp, err = st.LoadProfile(res.ReduceJobID)
+		rp, err = st.LoadProfile(ctx, res.ReduceJobID)
 		if err != nil {
 			return nil, fmt.Errorf("matcher: loading reduce donor %s: %w", res.ReduceJobID, err)
 		}
@@ -349,9 +353,9 @@ func (m *Matcher) jaccardWant(side *profile.Side, params map[string]string) map[
 }
 
 // matchSide runs the per-side workflow.
-func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBytes int64, params map[string]string) (SideReport, error) {
+func (m *Matcher) matchSide(ctx context.Context, st Store, spec sideSpec, side *profile.Side, inputBytes int64, params map[string]string) (SideReport, error) {
 	if m.StaticFirst {
-		return m.matchSideStaticFirst(st, spec, side, inputBytes, params)
+		return m.matchSideStaticFirst(ctx, st, spec, side, inputBytes, params)
 	}
 	rep := SideReport{Side: spec.kind}
 
@@ -370,11 +374,11 @@ func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBy
 			target[i] = side.CostFactors[f]
 		}
 	}
-	dynFilter, err := m.stage1Filter(st, spec, dynFeats, target)
+	dynFilter, err := m.stage1Filter(ctx, st, spec, dynFeats, target)
 	if err != nil {
 		return rep, err
 	}
-	cands, err := m.stage1Scan(st, spec, dynFilter)
+	cands, err := m.stage1Scan(ctx, st, spec, dynFilter)
 	if err != nil {
 		return rep, err
 	}
@@ -402,7 +406,7 @@ func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBy
 	// degrade to stage-1-only: the dynamic-distance winner is still a
 	// defensible profile, just unrefined by the code-identity stages.
 	cfgCol, cfgWant := m.structuralWant(side)
-	statRows, err := getFeatureRows(st, spec.ftStat, cands)
+	statRows, err := getFeatureRows(ctx, st, spec.ftStat, cands)
 	if err != nil {
 		rep.Degraded = true
 		rep.Winner, rep.WinnerDistance = pickWinner(cands, dynDist, candIn, inputBytes)
@@ -456,7 +460,7 @@ func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBy
 		for i, f := range spec.costFeats {
 			costTarget[i] = side.CostFactors[f]
 		}
-		cmin, cmax, err := st.Bounds(spec.ftCost, spec.costFeats)
+		cmin, cmax, err := st.Bounds(ctx, spec.ftCost, spec.costFeats)
 		if err != nil {
 			rep.Degraded = true
 			rep.Winner, rep.WinnerDistance = pickWinner(cands, dynDist, candIn, inputBytes)
@@ -468,7 +472,7 @@ func (m *Matcher) matchSide(st Store, spec sideSpec, side *profile.Side, inputBy
 			Features: spec.costFeats, Target: costTarget,
 			Min: cmin, Max: cmax, Threshold: costThr,
 		}
-		costRows, err := getFeatureRows(st, spec.ftCost, cands)
+		costRows, err := getFeatureRows(ctx, st, spec.ftCost, cands)
 		if err != nil {
 			rep.Degraded = true
 			rep.Winner, rep.WinnerDistance = pickWinner(cands, dynDist, candIn, inputBytes)
@@ -506,22 +510,22 @@ func pickWinner(survivors []Entry, dynDist map[string]float64, candIn map[string
 
 // stage1Filter builds the normalized Euclidean filter for the stage-1
 // feature list, fetching bounds from the right feature-type rows.
-func (m *Matcher) stage1Filter(st Store, spec sideSpec, feats []string, target []float64) (*hstore.EuclideanFilter, error) {
+func (m *Matcher) stage1Filter(ctx context.Context, st Store, spec sideSpec, feats []string, target []float64) (*hstore.EuclideanFilter, error) {
 	var minB, maxB []float64
 	var err error
 	if m.CostOnlyStage1 {
-		minB, maxB, err = st.Bounds(spec.ftCost, feats)
+		minB, maxB, err = st.Bounds(ctx, spec.ftCost, feats)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		nDyn := len(spec.dynFeatures)
-		minB, maxB, err = st.Bounds(spec.ftDyn, feats[:nDyn])
+		minB, maxB, err = st.Bounds(ctx, spec.ftDyn, feats[:nDyn])
 		if err != nil {
 			return nil, err
 		}
 		if len(feats) > nDyn {
-			cmin, cmax, err := st.Bounds(spec.ftCost, feats[nDyn:])
+			cmin, cmax, err := st.Bounds(ctx, spec.ftCost, feats[nDyn:])
 			if err != nil {
 				return nil, err
 			}
@@ -541,16 +545,16 @@ func (m *Matcher) stage1Filter(st Store, spec sideSpec, feats []string, target [
 // the filter is pushed down over the dynamic-feature rows; when cost
 // factors are mixed in (the ablation), the features span two row
 // families, so candidates are joined client-side first.
-func (m *Matcher) stage1Scan(st Store, spec sideSpec, f *hstore.EuclideanFilter) ([]Entry, error) {
+func (m *Matcher) stage1Scan(ctx context.Context, st Store, spec sideSpec, f *hstore.EuclideanFilter) ([]Entry, error) {
 	if m.CostOnlyStage1 {
 		// The cost vector lives in one row family, so the filter pushes
 		// down over the cost rows; the dynamic row (for the input-size
 		// tie-break column) is joined afterwards.
-		hits, err := st.ScanFeatures(spec.ftCost, f)
+		hits, err := st.ScanFeatures(ctx, spec.ftCost, f)
 		if err != nil {
 			return nil, err
 		}
-		dynRows, err := getFeatureRows(st, spec.ftDyn, hits)
+		dynRows, err := getFeatureRows(ctx, st, spec.ftDyn, hits)
 		if err != nil {
 			return nil, err
 		}
@@ -569,13 +573,13 @@ func (m *Matcher) stage1Scan(st Store, spec sideSpec, f *hstore.EuclideanFilter)
 		return out, nil
 	}
 	if !m.IncludeCostInStage1 {
-		return st.ScanFeatures(spec.ftDyn, f)
+		return st.ScanFeatures(ctx, spec.ftDyn, f)
 	}
-	all, err := st.ScanFeatures(spec.ftDyn, nil)
+	all, err := st.ScanFeatures(ctx, spec.ftDyn, nil)
 	if err != nil {
 		return nil, err
 	}
-	costRows, err := getFeatureRows(st, spec.ftCost, all)
+	costRows, err := getFeatureRows(ctx, st, spec.ftCost, all)
 	if err != nil {
 		return nil, err
 	}
@@ -598,13 +602,13 @@ func (m *Matcher) stage1Scan(st Store, spec sideSpec, f *hstore.EuclideanFilter)
 
 // matchSideStaticFirst is the inverted filter order of the ablation:
 // CFG and Jaccard first, the dynamic-features filter last.
-func (m *Matcher) matchSideStaticFirst(st Store, spec sideSpec, side *profile.Side, inputBytes int64, params map[string]string) (SideReport, error) {
+func (m *Matcher) matchSideStaticFirst(ctx context.Context, st Store, spec sideSpec, side *profile.Side, inputBytes int64, params map[string]string) (SideReport, error) {
 	rep := SideReport{Side: spec.kind}
 
 	// Static stages over the whole store, CFG pushed down.
 	cfgCol, cfgWant := m.structuralWant(side)
 	cfgF := &hstore.ColumnEqualsFilter{Column: cfgCol, Value: cfgWant}
-	statCands, err := st.ScanFeatures(spec.ftStat, cfgF)
+	statCands, err := st.ScanFeatures(ctx, spec.ftStat, cfgF)
 	if err != nil {
 		return rep, err
 	}
@@ -629,7 +633,7 @@ func (m *Matcher) matchSideStaticFirst(st Store, spec sideSpec, side *profile.Si
 	for i, f := range spec.dynFeatures {
 		target[i] = side.DataFlow[f]
 	}
-	dynFilter, err := m.stage1Filter(st, spec, spec.dynFeatures, target)
+	dynFilter, err := m.stage1Filter(ctx, st, spec, spec.dynFeatures, target)
 	if err != nil {
 		rep.Degraded = true
 		rep.Winner, rep.WinnerDistance = pickWinner(afterJac, nil, nil, inputBytes)
@@ -638,7 +642,7 @@ func (m *Matcher) matchSideStaticFirst(st Store, spec sideSpec, side *profile.Si
 	dynDist := make(map[string]float64)
 	candIn := make(map[string]int64)
 	rep.CandidateIDs = dynDist
-	dynRows, err := getFeatureRows(st, spec.ftDyn, afterJac)
+	dynRows, err := getFeatureRows(ctx, st, spec.ftDyn, afterJac)
 	if err != nil {
 		rep.Degraded = true
 		rep.Winner, rep.WinnerDistance = pickWinner(afterJac, nil, nil, inputBytes)

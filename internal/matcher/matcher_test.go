@@ -1,6 +1,7 @@
 package matcher_test
 
 import (
+	"context"
 	"testing"
 
 	"pstorm/internal/core"
@@ -15,7 +16,7 @@ import (
 
 func newStore(t *testing.T) matcher.Store {
 	t.Helper()
-	st, err := core.NewStore(hstore.Connect(hstore.NewServer()))
+	st, err := core.NewStore(context.Background(), hstore.Connect(hstore.NewServer()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func newStore(t *testing.T) matcher.Store {
 
 func putProfile(t *testing.T, st matcher.Store, p *profile.Profile) {
 	t.Helper()
-	if err := st.(*core.Store).PutProfile(p); err != nil {
+	if err := st.(*core.Store).PutProfile(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -80,7 +81,7 @@ func TestMatchExactTwin(t *testing.T) {
 	putProfile(t, st, self)
 	putProfile(t, st, other)
 
-	res, err := matcher.New().Match(st, sampleLike(self, 1000))
+	res, err := matcher.New().Match(context.Background(), st, sampleLike(self, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestMatchExactTwin(t *testing.T) {
 
 func TestMatchFailsOnEmptyStore(t *testing.T) {
 	st := newStore(t)
-	res, err := matcher.New().Match(st, sampleLike(fab("x", "jobA", 1000, 1, 10, "B", "M"), 1000))
+	res, err := matcher.New().Match(context.Background(), st, sampleLike(fab("x", "jobA", 1000, 1, 10, "B", "M"), 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestMatchStage1FiltersDistantDynamics(t *testing.T) {
 	far := fab("far", "jobB", 1000, 100.0, 10, "B L(B)", "MapA") // same statics!
 	putProfile(t, st, near)
 	putProfile(t, st, far)
-	res, err := matcher.New().Match(st, sampleLike(near, 1000))
+	res, err := matcher.New().Match(context.Background(), st, sampleLike(near, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestMatchCostFallbackForUnseenJob(t *testing.T) {
 	putProfile(t, st, donor)
 
 	sub := fab("sub", "jobNew", 1000, 1.05, 10.5, "B L(B)", "NewMapper")
-	res, err := matcher.New().Match(st, sampleLike(sub, 1000))
+	res, err := matcher.New().Match(context.Background(), st, sampleLike(sub, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestMatchCompositeProfile(t *testing.T) {
 	sub := fab("sub", "jobNew", 1000, 1.0, 10, "B L(B)", "MapX")
 	sub.Reduce.StaticCategorical = redDonor.Reduce.StaticCategorical
 	sub.Reduce.StaticCFG = redDonor.Reduce.StaticCFG
-	res, err := matcher.New().Match(st, sampleLike(sub, 1000))
+	res, err := matcher.New().Match(context.Background(), st, sampleLike(sub, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestMatchInputSizeTieBreak(t *testing.T) {
 	putProfile(t, st, bigRun)
 
 	sub := sampleLike(bigRun, 900_000)
-	res, err := matcher.New().Match(st, sub)
+	res, err := matcher.New().Match(context.Background(), st, sub)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestMatchInputSizeTieBreak(t *testing.T) {
 		t.Errorf("tie-break chose %s, want the closer input size (big)", res.MapJobID)
 	}
 	sub2 := sampleLike(smallRun, 2_000)
-	res2, err := matcher.New().Match(st, sub2)
+	res2, err := matcher.New().Match(context.Background(), st, sub2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestMatchBestJaccardBeatsInputSize(t *testing.T) {
 	putProfile(t, st, twin)
 	putProfile(t, st, sameSize)
 
-	res, err := matcher.New().Match(st, sampleLike(twin, 1_000_000))
+	res, err := matcher.New().Match(context.Background(), st, sampleLike(twin, 1_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestMatchStaticFirstVariant(t *testing.T) {
 	sub := fab("sub", "jobNew", 1000, 1.0, 10, "B L(B)", "NewMapper")
 
 	dyn := matcher.New()
-	res, err := dyn.Match(st, sampleLike(sub, 1000))
+	res, err := dyn.Match(context.Background(), st, sampleLike(sub, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestMatchStaticFirstVariant(t *testing.T) {
 
 	stat := matcher.New()
 	stat.StaticFirst = true
-	res2, err := stat.Match(st, sampleLike(sub, 1000))
+	res2, err := stat.Match(context.Background(), st, sampleLike(sub, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestMatchCostOnlyStage1(t *testing.T) {
 	putProfile(t, st, self)
 	m := matcher.New()
 	m.CostOnlyStage1 = true
-	res, err := m.Match(st, sampleLike(self, 1000))
+	res, err := m.Match(context.Background(), st, sampleLike(self, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestMatchCostOnlyStage1(t *testing.T) {
 }
 
 func TestMatchNilSample(t *testing.T) {
-	if _, err := matcher.New().Match(newStore(t), nil); err == nil {
+	if _, err := matcher.New().Match(context.Background(), newStore(t), nil); err == nil {
 		t.Error("nil sample accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package matcher_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -19,18 +20,18 @@ type countingStore struct {
 	gets      int
 }
 
-func (c *countingStore) MultiGetFeatures(ftype string, jobIDs []string) (map[string]hstore.Row, error) {
+func (c *countingStore) MultiGetFeatures(ctx context.Context, ftype string, jobIDs []string) (map[string]hstore.Row, error) {
 	c.mu.Lock()
 	c.multiGets++
 	c.mu.Unlock()
-	return c.MultiGetStore.MultiGetFeatures(ftype, jobIDs)
+	return c.MultiGetStore.MultiGetFeatures(ctx, ftype, jobIDs)
 }
 
-func (c *countingStore) GetFeatures(ftype, jobID string) (hstore.Row, bool, error) {
+func (c *countingStore) GetFeatures(ctx context.Context, ftype, jobID string) (hstore.Row, bool, error) {
 	c.mu.Lock()
 	c.gets++
 	c.mu.Unlock()
-	return c.MultiGetStore.GetFeatures(ftype, jobID)
+	return c.MultiGetStore.GetFeatures(ctx, ftype, jobID)
 }
 
 // plainStore strips the MultiGetStore upgrade so the matcher falls back
@@ -45,7 +46,7 @@ func TestMatchBatchesStage2Reads(t *testing.T) {
 	sample := sampleLike(fab("sample", "job", 1<<30, 2, 1, "cfg", "M"), 1<<30)
 
 	cs := &countingStore{MultiGetStore: st.(matcher.MultiGetStore)}
-	m, err := matcher.New().Match(cs, sample)
+	m, err := matcher.New().Match(context.Background(), cs, sample)
 	if err != nil {
 		t.Fatalf("Match: %v", err)
 	}
@@ -61,7 +62,7 @@ func TestMatchBatchesStage2Reads(t *testing.T) {
 
 	// The batched path must be invisible in the result: a store without
 	// the upgrade matches the same donors at the same distances.
-	plain, err := matcher.New().Match(plainStore{Store: st}, sample)
+	plain, err := matcher.New().Match(context.Background(), plainStore{Store: st}, sample)
 	if err != nil {
 		t.Fatalf("Match (plain): %v", err)
 	}

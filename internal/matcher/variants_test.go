@@ -1,6 +1,7 @@
 package matcher_test
 
 import (
+	"context"
 	"testing"
 
 	"pstorm/internal/matcher"
@@ -16,7 +17,7 @@ func TestStaticFirstMatchesSeenJob(t *testing.T) {
 
 	m := matcher.New()
 	m.StaticFirst = true
-	res, err := m.Match(st, sampleLike(self, 1000))
+	res, err := m.Match(context.Background(), st, sampleLike(self, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestStaticFirstAppliesDynamicFilterSecond(t *testing.T) {
 	m := matcher.New()
 	m.StaticFirst = true
 	sub := fab("probe", "jobA", 1000, 1.0, 10, "B L(B)", "MapA")
-	res, err := m.Match(st, sampleLike(sub, 1000))
+	res, err := m.Match(context.Background(), st, sampleLike(sub, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestStaticFirstTieBreakByInputSize(t *testing.T) {
 	putProfile(t, st, farSize)
 	m := matcher.New()
 	m.StaticFirst = true
-	res, err := m.Match(st, sampleLike(near, 1_500))
+	res, err := m.Match(context.Background(), st, sampleLike(near, 1_500))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestIncludeCostInStage1StillMatchesTwin(t *testing.T) {
 
 	m := matcher.New()
 	m.IncludeCostInStage1 = true
-	res, err := m.Match(st, sampleLike(self, 1000))
+	res, err := m.Match(context.Background(), st, sampleLike(self, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestCostFallbackExhausted(t *testing.T) {
 	putProfile(t, st, normal)
 
 	sub := fab("sub", "jobNew", 1000, 1.0, 10, "B L(B)", "NewMapper")
-	res, err := matcher.New().Match(st, sampleLike(sub, 1000))
+	res, err := matcher.New().Match(context.Background(), st, sampleLike(sub, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestMatchReportsCandidateDistances(t *testing.T) {
 	st := newStore(t)
 	self := fab("self", "jobA", 1000, 1.0, 10, "B L(B)", "MapA")
 	putProfile(t, st, self)
-	res, err := matcher.New().Match(st, sampleLike(self, 1000))
+	res, err := matcher.New().Match(context.Background(), st, sampleLike(self, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -166,7 +166,9 @@ func Open(opt Options) (*System, error) {
 		server = hstore.NewServer()
 		client = hstore.Connect(server)
 	}
-	store, err := core.NewStore(client)
+	// The root package is the sanctioned top layer: it roots contexts
+	// for callers that don't carry one.
+	store, err := core.NewStore(context.Background(), client)
 	if err != nil {
 		if dcluster != nil {
 			dcluster.Close()
@@ -248,22 +250,29 @@ func (s *System) Checkpoint() error {
 
 // Submit runs the full PStorM workflow for one job submission: 1-task
 // sample, store probe, then either a CBO-tuned run (profiling off) or a
-// profiled run whose profile is stored.
+// profiled run whose profile is stored. It is the ctx-less convenience
+// over SubmitWith, rooting the context at this top layer.
 func (s *System) Submit(job *Job, ds *Dataset) (*SubmitResult, error) {
-	return s.core.Submit(job, ds)
+	return s.core.Submit(context.Background(), job, ds, TuneOptions{})
 }
 
 // SubmitWorkflow runs a chain of jobs (§7.2.5): each stage goes through
 // the full sample/match/tune loop and its output feeds the next stage
 // as a derived dataset.
 func (s *System) SubmitWorkflow(stages []*Job, input *Dataset) (*WorkflowResult, error) {
-	return s.core.SubmitWorkflow(stages, input)
+	return s.core.SubmitWorkflow(context.Background(), stages, input)
+}
+
+// SubmitWorkflowContext is SubmitWorkflow under a caller-owned context
+// bounding the whole chain.
+func (s *System) SubmitWorkflowContext(ctx context.Context, stages []*Job, input *Dataset) (*WorkflowResult, error) {
+	return s.core.SubmitWorkflow(ctx, stages, input)
 }
 
 // CollectAndStore runs the job with profiling on and stores the full
 // profile, seeding the store.
 func (s *System) CollectAndStore(job *Job, ds *Dataset) (*Profile, error) {
-	return s.core.CollectAndStore(job, ds)
+	return s.core.CollectAndStore(context.Background(), job, ds)
 }
 
 // Run executes the job with an explicit configuration (no tuning, no
@@ -284,22 +293,7 @@ func (s *System) Match(job *Job, ds *Dataset) (*MatchResult, error) {
 		return nil, err
 	}
 	sample.InputBytes = ds.NominalBytes
-	return s.core.Matcher.Match(s.store, sample)
-}
-
-// Tune returns the configuration the cost-based optimizer recommends
-// for running the job with the given profile.
-//
-// Deprecated: the hasCombiner flag is ignored — combiner presence is
-// derived from the profile's own static features. Use TuneProfile,
-// which also supports cancellation and per-tune options.
-func (s *System) Tune(prof *Profile, ds *Dataset, hasCombiner bool) (Config, float64, error) {
-	_ = hasCombiner
-	rec, err := s.TuneProfile(context.Background(), prof, ds, TuneOptions{})
-	if err != nil {
-		return Config{}, 0, err
-	}
-	return rec.Config, rec.PredictedMs, nil
+	return s.core.Matcher.Match(context.Background(), s.store, sample)
 }
 
 // TuneProfile runs the cost-based optimizer over a profile for the
@@ -311,9 +305,10 @@ func (s *System) TuneProfile(ctx context.Context, prof *Profile, ds *Dataset, op
 }
 
 // SubmitWith is Submit with cancellation and per-submission tuning
-// options.
+// options: the context bounds the matcher's store reads, the optimizer
+// search, and the profile write on the no-match path.
 func (s *System) SubmitWith(ctx context.Context, job *Job, ds *Dataset, opt TuneOptions) (*SubmitResult, error) {
-	return s.core.SubmitContext(ctx, job, ds, opt)
+	return s.core.Submit(ctx, job, ds, opt)
 }
 
 // TuneRuleBased returns the Appendix B rule-based recommendation.
@@ -337,10 +332,12 @@ func (s *System) WhatIf(prof *Profile, inputBytes int64, cfg Config) (float64, e
 }
 
 // StoredProfiles lists the job IDs in the profile store.
-func (s *System) StoredProfiles() ([]string, error) { return s.store.JobIDs() }
+func (s *System) StoredProfiles() ([]string, error) { return s.store.JobIDs(context.Background()) }
 
 // LoadProfile fetches a stored profile by job ID.
-func (s *System) LoadProfile(jobID string) (*Profile, error) { return s.store.LoadProfile(jobID) }
+func (s *System) LoadProfile(jobID string) (*Profile, error) {
+	return s.store.LoadProfile(context.Background(), jobID)
+}
 
 // Store exposes the underlying profile store for advanced use.
 func (s *System) Store() *core.Store { return s.store }

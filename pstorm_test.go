@@ -1,6 +1,7 @@
 package pstorm_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -96,10 +97,11 @@ func TestTuneAndWhatIfRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg, predicted, err := sys.Tune(prof, ds, job.HasCombiner())
+	rec, err := sys.TuneProfile(context.Background(), prof, ds, pstorm.TuneOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg, predicted := rec.Config, rec.PredictedMs
 	again, err := sys.WhatIf(prof, ds.NominalBytes, cfg)
 	if err != nil {
 		t.Fatal(err)
