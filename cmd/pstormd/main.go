@@ -40,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +69,14 @@ type daemonConfig struct {
 	demo      bool
 	hold      bool
 
+	// master HA knobs: the electorate, this master's place in it, and
+	// the durable META journal.
+	peers      string
+	standby    bool
+	journalDir string
+	lease      time.Duration
+	seed       int64
+
 	// gateway role knobs: the default tenant contract and the global
 	// admission ceiling.
 	gwRate           float64
@@ -81,7 +90,12 @@ func main() {
 	flag.StringVar(&cfg.role, "role", "", "node role: master, region, or gateway")
 	flag.StringVar(&cfg.listen, "listen", "", "address to listen on (e.g. :9700)")
 	flag.StringVar(&cfg.id, "id", "", "region server identity (unique per cluster)")
-	flag.StringVar(&cfg.masterURL, "master", "", "master base URL (region and gateway roles)")
+	flag.StringVar(&cfg.masterURL, "master", "", "master base URL(s), comma-separated for HA failover (region and gateway roles)")
+	flag.StringVar(&cfg.peers, "peers", "", "master: full electorate as id=url pairs, comma-separated (e.g. m-0=http://a:9700,m-1=http://b:9700); self included")
+	flag.BoolVar(&cfg.standby, "standby", false, "master: start as a standby tailing the leader's META journal")
+	flag.StringVar(&cfg.journalDir, "journal", "", "master: directory for the durable META journal (empty = memory only)")
+	flag.DurationVar(&cfg.lease, "lease", 0, "master: leader lease standbys wait out before promoting (default 2×hb-timeout)")
+	flag.Int64Var(&cfg.seed, "seed", 0, "master: seed for the deterministic election tie-break")
 	flag.StringVar(&cfg.addr, "addr", "", "this region server's base URL as peers reach it")
 	flag.DurationVar(&cfg.hbTimeout, "hb-timeout", 2*time.Second, "master: heartbeat timeout before failover")
 	flag.DurationVar(&cfg.hbEvery, "hb-every", 500*time.Millisecond, "region: heartbeat interval")
@@ -113,11 +127,24 @@ func run(cfg daemonConfig) error {
 			return fmt.Errorf("master needs -listen")
 		}
 		reg := dstore.NewRegistry()
-		m := dstore.NewMaster(reg, dstore.MasterOptions{
+		peers, err := parseMasterPeers(cfg.peers)
+		if err != nil {
+			return err
+		}
+		m, err := dstore.OpenMaster(reg, dstore.MasterOptions{
 			HeartbeatTimeout: cfg.hbTimeout,
 			Replication:      cfg.repl,
 			DefaultSplits:    dstore.DefaultSplits,
+			ID:               cfg.id,
+			Peers:            peers,
+			Standby:          cfg.standby,
+			LeaseDuration:    cfg.lease,
+			Seed:             cfg.seed,
+			JournalDir:       cfg.journalDir,
 		})
+		if err != nil {
+			return err
+		}
 		m.Start()
 		// The master also serves /tune and the multi-tenant gateway: it
 		// is the node every client already knows, and the routing client
@@ -154,15 +181,15 @@ func run(cfg daemonConfig) error {
 			m.Close()
 			return err
 		}
-		fmt.Printf("pstormd master listening on %s (replication %d, heartbeat timeout %s)\n",
-			cfg.listen, cfg.repl, cfg.hbTimeout)
-		return serveGraceful(ctx, ln, withObs(mux, gather), cfg.drain, m.Close)
+		fmt.Printf("pstormd master %s listening on %s (role %s, replication %d, heartbeat timeout %s)\n",
+			m.MasterID(), cfg.listen, m.Role(), cfg.repl, cfg.hbTimeout)
+		return serveGraceful(ctx, ln, withObs(mux, gather), cfg.drain, m.Stop)
 	case "region":
 		if cfg.listen == "" || cfg.id == "" || cfg.masterURL == "" || cfg.addr == "" {
 			return fmt.Errorf("region needs -listen, -id, -master, and -addr")
 		}
 		rs := dstore.NewRegionServer(cfg.id, dstore.NewRegistry())
-		mc := dstore.DialMaster(cfg.masterURL, 0)
+		mc := dstore.DialMasters(cfg.masterURL, 0)
 		if err := mc.Join(dstore.Peer{ID: cfg.id, Addr: cfg.addr}); err != nil {
 			return fmt.Errorf("joining master: %w", err)
 		}
@@ -181,7 +208,7 @@ func run(cfg daemonConfig) error {
 		if cfg.listen == "" || cfg.masterURL == "" {
 			return fmt.Errorf("gateway needs -listen and -master")
 		}
-		kv := dstore.NewClient(dstore.DialMaster(cfg.masterURL, 0), dstore.NewRegistry())
+		kv := dstore.NewClient(dstore.DialMasters(cfg.masterURL, 0), dstore.NewRegistry())
 		o := obs.NewRegistry()
 		gw, err := gateway.New(gateway.Options{
 			KV:  kv,
@@ -363,27 +390,77 @@ func withObs(h http.Handler, gather func() obs.Snapshot) http.Handler {
 	return mux
 }
 
-// runDemo stands up a full cluster over loopback TCP — master plus
+// parseMasterPeers decodes the -peers flag: comma-separated id=url
+// pairs naming the full master electorate (this master included).
+func parseMasterPeers(s string) ([]dstore.Peer, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var peers []dstore.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		peers = append(peers, dstore.Peer{ID: id, Addr: addr})
+	}
+	return peers, nil
+}
+
+// runDemo stands up a full HA cluster over loopback TCP — three
+// masters (one leader, two standbys tailing its META journal) plus
 // three region servers, all speaking the HTTP wire protocol — creates
 // the profile table through a routing client, writes and reads rows,
 // then kills a primary mid-stream, lets the master fail over, joins a
-// replacement server, and prints the metrics the cycle produced. The
-// whole walkthrough is observable at the printed /metrics URL.
+// replacement server, kills the *leader master* and watches a standby
+// take over with the recovered META, and prints the metrics the whole
+// cycle produced. Observable at the printed /metrics URL.
 func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
-	m := dstore.NewMaster(dstore.NewRegistry(), dstore.MasterOptions{
-		HeartbeatTimeout: hbTimeout,
-		Replication:      repl,
-		DefaultSplits:    dstore.DefaultSplits,
-	})
-	m.Start()
-	defer m.Close()
+	// Listeners first, so every master knows the full electorate's
+	// addresses before any of them is constructed.
+	const nMasters = 3
+	lns := make([]net.Listener, nMasters)
+	urls := make([]string, nMasters)
+	peers := make([]dstore.Peer, nMasters)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+		peers[i] = dstore.Peer{ID: fmt.Sprintf("m-%d", i), Addr: urls[i]}
+	}
+	masters := make([]*dstore.Master, nMasters)
+	for i := range masters {
+		m, err := dstore.OpenMaster(dstore.NewRegistry(), dstore.MasterOptions{
+			HeartbeatTimeout: hbTimeout,
+			Replication:      repl,
+			DefaultSplits:    dstore.DefaultSplits,
+			ID:               peers[i].ID,
+			Peers:            peers,
+			Standby:          i > 0,
+		})
+		if err != nil {
+			return err
+		}
+		masters[i] = m
+		defer m.Close()
+	}
 
 	var (
 		servers []*dstore.RegionServer
 		cl      *dstore.Client
 	)
 	gather := func() obs.Snapshot {
-		snaps := []obs.Snapshot{m.Obs().Snapshot()}
+		var snaps []obs.Snapshot
+		for _, m := range masters {
+			snaps = append(snaps, m.Obs().Snapshot())
+		}
 		for _, rs := range servers {
 			snaps = append(snaps, rs.Obs().Snapshot(), rs.HStore().Obs().Snapshot())
 		}
@@ -392,12 +469,13 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
 		}
 		return obs.Merge(snaps...)
 	}
-	masterURL, err := serveLoopback(withObs(dstore.MasterHandler(m), gather))
-	if err != nil {
-		return err
+	for i, m := range masters {
+		go http.Serve(lns[i], withObs(dstore.MasterHandler(m), gather)) //nolint:errcheck — demo server dies with the process
+		m.Start()
+		fmt.Printf("master %s (%s): %s\n", m.MasterID(), m.Role(), urls[i])
 	}
-	fmt.Println("master:", masterURL)
-	fmt.Printf("metrics: %s/metrics   events: %s/debug/events\n", masterURL, masterURL)
+	masterList := strings.Join(urls, ",")
+	fmt.Printf("metrics: %s/metrics   events: %s/debug/events\n", urls[0], urls[0])
 
 	startServer := func(id string) error {
 		rs := dstore.NewRegionServer(id, dstore.NewRegistry())
@@ -405,7 +483,7 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
 		if err != nil {
 			return err
 		}
-		mc := dstore.DialMaster(masterURL, 0)
+		mc := dstore.DialMasters(masterList, 0)
 		if err := mc.Join(dstore.Peer{ID: id, Addr: u}); err != nil {
 			return err
 		}
@@ -420,7 +498,7 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
 		}
 	}
 
-	cl = dstore.NewClient(dstore.DialMaster(masterURL, 0), dstore.NewRegistry())
+	cl = dstore.NewClient(dstore.DialMasters(masterList, 0), dstore.NewRegistry())
 	if err := cl.CreateTable(context.Background(), core.TableName); err != nil {
 		return err
 	}
@@ -488,15 +566,74 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
 	fmt.Printf("all %d rows readable after failover\n\n", len(rows))
 	printMeta(cl)
 
+	// Control-plane failover: kill the leader master and keep using the
+	// cluster. The standbys notice the lease lapse, one promotes with a
+	// higher fencing epoch from its journal-tailed META shadow, the
+	// region servers' heartbeats re-home through the master list, and
+	// the client follows the not-leader redirects with no config change.
+	var leader *dstore.Master
+	for _, m := range masters {
+		if !m.Stopped() && m.IsLeader() {
+			leader = m
+		}
+	}
+	if leader == nil {
+		return fmt.Errorf("demo: no leader master found")
+	}
+	fmt.Printf("\nkilling leader master %s; waiting for a standby to take over...\n", leader.MasterID())
+	leader.Stop()
+	takeoverStart := time.Now() //pstorm:allow clockcheck demo waits out a real wall-clock takeover
+	var newLeader *dstore.Master
+	mDeadline := time.Now().Add(20 * hbTimeout) //pstorm:allow clockcheck demo waits out a real wall-clock takeover
+	for time.Now().Before(mDeadline) {          //pstorm:allow clockcheck demo waits out a real wall-clock takeover
+		for _, m := range masters {
+			if !m.Stopped() && m.IsLeader() {
+				newLeader = m
+			}
+		}
+		if newLeader != nil {
+			break
+		}
+		time.Sleep(hbTimeout / 8)
+	}
+	if newLeader == nil {
+		return fmt.Errorf("demo: no standby took over within %s", 20*hbTimeout)
+	}
+	fmt.Printf("standby %s took over as leader (master epoch %d) after %s\n",
+		newLeader.MasterID(), newLeader.MasterEpoch(),
+		time.Since(takeoverStart).Round(time.Millisecond)) //pstorm:allow clockcheck demo reports real wall-clock takeover time
+	fmt.Println("writing 5 more rows through the new leader...")
+	for i := 15; i < 20; i++ {
+		row := fmt.Sprintf("meta/demo-job-%02d", i)
+		for budget := 0; ; budget++ {
+			err := cl.Put(context.Background(), core.TableName, row, "profile", []byte(fmt.Sprintf("{\"job\":%d}", i)))
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, dstore.ErrExhausted) || budget >= 20 {
+				return err
+			}
+		}
+	}
+	rows, err = cl.Scan(context.Background(), core.TableName, "meta/", "meta0", nil, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("all %d rows readable through the new leader; recovered META:\n\n", len(rows))
+	printMeta(cl)
+
 	snap := gather()
-	fmt.Println("\nmetrics after the kill/recover cycle:")
+	fmt.Println("\nmetrics after the kill/recover cycles:")
 	for _, k := range []string{
 		"dstore_master_server_deaths_total", "dstore_master_failovers_total",
-		"dstore_master_rereplications_total", "dstore_client_retries_total",
-		"dstore_client_meta_refresh_total",
+		"dstore_master_rereplications_total", "dstore_master_elections_total",
+		"dstore_master_stepdowns_total", "dstore_master_journal_appends_total",
+		"dstore_master_journal_tails_total", "dstore_rs_stale_master_total",
+		"dstore_client_retries_total", "dstore_client_meta_refresh_total",
 	} {
 		fmt.Printf("  %-40s %d\n", k, snap.Counters[k])
 	}
+	fmt.Printf("  %-40s %g\n", "dstore_master_leader", snap.Gauges["dstore_master_leader"])
 	hists := make([]string, 0, len(snap.Histograms))
 	for name := range snap.Histograms {
 		hists = append(hists, name)
@@ -512,7 +649,7 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
 		fmt.Printf("  #%d %s %v\n", e.Seq, e.Type, e.Fields)
 	}
 	if hold {
-		fmt.Printf("\nholding; curl %s/metrics (Ctrl-C to exit)\n", masterURL)
+		fmt.Printf("\nholding; curl %s/metrics (Ctrl-C to exit)\n", urls[0])
 		select {}
 	}
 	return nil

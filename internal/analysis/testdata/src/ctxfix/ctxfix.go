@@ -53,3 +53,28 @@ func offline() {
 	ctx := context.Background()
 	_ = ctx
 }
+
+// electionLoop is process-lifecycle code, never on a request path: a
+// master's control loop legitimately roots its own context.
+func electionLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			ctx := context.Background()
+			_ = ctx
+		}
+	}
+}
+
+// tailHandler serves META journal tails over HTTP; code on that path
+// must thread the follower's request context, not mint a root one.
+func tailHandler(w http.ResponseWriter, r *http.Request) {
+	tailOnce()
+}
+
+func tailOnce() {
+	ctx := context.Background() // want `context\.Background\(\) in .*tailOnce.* reachable from an HTTP handler`
+	_ = ctx
+}

@@ -68,6 +68,54 @@ func (s *server) loop() {
 	}
 }
 
+// startElectionLoop mirrors the HA master's control loop: a ticker
+// driving election/lease upkeep, reaped by Close via the stop channel.
+func (s *server) startElectionLoop() {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				work()
+			}
+		}
+	}()
+}
+
+// startJournalTailer mirrors a standby tailing the leader's META
+// journal: the named callee's own loop observes the stop channel, so
+// the tie is found through the bottom-up summary.
+func (s *server) startJournalTailer() {
+	s.wg.Add(1)
+	go s.tailJournal()
+}
+
+func (s *server) tailJournal() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(time.Second):
+			work() // pull the next journal frames
+		}
+	}
+}
+
+// startUntiedTailer is the regression shape: a journal tailer that
+// spins with nothing watching it survives Close.
+func (s *server) startUntiedTailer() {
+	go func() { // want `goroutine is not tied to a WaitGroup, stop channel, or context`
+		for {
+			time.Sleep(time.Second)
+			work()
+		}
+	}()
+}
+
 // hedged is the bounded one-shot idiom: no loops, and the only send
 // targets a buffered channel, so the goroutine cannot outlive its one
 // operation by more than the operation itself.

@@ -29,6 +29,15 @@ func register(r *obs.Registry, shard string) {
 	r.Gauge("gateway_tenant_inflight", "tenant", shard)               // allowed
 	r.Histogram("gateway_request_latency_ms", nil, "endpoint", shard) // allowed
 
+	// The control-plane HA metric family: constant names, one kind each.
+	r.Counter("dstore_master_elections_total")                 // allowed
+	r.Counter("dstore_master_stepdowns_total")                 // allowed
+	r.Gauge("dstore_master_leader")                            // allowed
+	r.Counter("dstore_master_journal_appends_total")           // allowed
+	r.Counter("dstore_master_journal_checkpoints_total")       // allowed
+	r.Counter("dstore_master_journal_tails_total")             // allowed
+	r.Counter("dstore_rs_stale_master_total", "server", shard) // allowed
+
 	// The storage-engine metric family: constant names, one kind each.
 	r.Counter("compaction_tier_merges_total")        // allowed
 	r.Histogram("compaction_tier_segments", nil)     // allowed

@@ -17,6 +17,12 @@ import (
 // the smoke run stays fast while still crossing every region.
 const chaosKeys = 150
 
+// chaosLease is the leader lease of the bench cluster's 3-master
+// electorate. Failover time is measured on the injected clock and
+// self-checked against 3×lease: a takeover slower than that means the
+// election is stalling rather than waiting out the lease.
+const chaosLease = 4 * time.Second
+
 // chaosClock hand-cranks the master's liveness clock so fault counts
 // are a function of the seed alone, never of machine speed.
 type chaosClock struct{ t time.Time }
@@ -34,6 +40,7 @@ type chaosStats struct {
 	retries     int64
 	corruptions int64
 	rebuilds    int64
+	failover    time.Duration // injected-clock leader takeover time
 	elapsed     time.Duration
 	snap        obs.Snapshot
 }
@@ -49,11 +56,13 @@ func RunChaos(e *Env) ([]*Table, error) {
 		ID:    "chaos",
 		Title: "Deterministic chaos: faults injected, detected, healed",
 		Columns: []string{"seed", "faults", "drops", "delays", "retries",
-			"corruptions", "rebuilds", "acked", "wrong", "lost", "replay", "ms"},
+			"corruptions", "rebuilds", "acked", "wrong", "lost", "replay",
+			"master_failover_ms", "ms"},
 		Notes: []string{
-			"3 servers, replication 2; 8% drop / 5% delay per RPC; one sstable corruption + one server kill per run",
+			"3 masters + 3 servers, replication 2; 8% drop / 5% delay per RPC; one sstable corruption + one server kill + one leader-master kill per run",
 			"wrong/lost must be 0: every acked write reads back with its exact bytes after healing",
 			"replay: each seed runs twice; the injected fault schedules must be identical",
+			"master_failover_ms is injected-clock time from leader kill to standby promotion, self-checked against 3x the 4s lease",
 		},
 	}
 	for _, seed := range []int64{e.Seed, e.Seed + 1} {
@@ -86,6 +95,7 @@ func RunChaos(e *Env) ([]*Table, error) {
 			fmt.Sprintf("%d", s1.wrong),
 			fmt.Sprintf("%d", s1.lost),
 			replay,
+			fmt.Sprintf("%.0f", s1.failover.Seconds()*1000),
 			fmt.Sprintf("%.0f", s1.elapsed.Seconds()*1000),
 		})
 	}
@@ -106,8 +116,12 @@ func runChaosOnce(seed int64) (*chaosStats, error) {
 	c, err := dstore.StartLocalCluster(dstore.LocalOptions{
 		Servers:          3,
 		Replication:      2,
+		Masters:          3,
 		HeartbeatTimeout: 2 * time.Second,
+		LeaseDuration:    chaosLease,
+		Seed:             seed,
 		WrapConn:         eng.WrapConn,
+		WrapPeerConn:     eng.WrapPeerConn,
 		Now:              clock.now,
 	})
 	if err != nil {
@@ -147,15 +161,30 @@ func runChaosOnce(seed int64) (*chaosStats, error) {
 			stats.wrong++
 		}
 	}
+	// Heartbeats and health rounds go through the failover-aware conn /
+	// the live leader, so they keep working after the leader kill below.
+	mc := c.MasterConn()
 	beatLive := func() error {
 		for _, rs := range c.Servers {
 			if !rs.Stopped() {
-				if err := c.Master.Heartbeat(rs.ID()); err != nil {
+				if err := mc.Heartbeat(rs.ID()); err != nil {
 					return err
 				}
 			}
 		}
 		return nil
+	}
+	tickMasters := func(now time.Time) {
+		for _, m := range c.Masters {
+			if !m.Stopped() && m.IsLeader() {
+				m.ElectionTick(now)
+			}
+		}
+		for _, m := range c.Masters {
+			if !m.Stopped() && !m.IsLeader() {
+				m.ElectionTick(now)
+			}
+		}
 	}
 
 	// Seed a third of the keys fault-free and flush, so corruption has
@@ -226,15 +255,56 @@ func runChaosOnce(seed int64) (*chaosStats, error) {
 		check(key((i * 17) % chaosKeys))
 	}
 
+	// Disaster 3: kill the leader master mid-workload. The standbys —
+	// their peer pings subject to the same drop schedule — must wait out
+	// the lease and promote a successor, measured on the injected clock;
+	// the data plane keeps serving from routing caches throughout.
+	tickMasters(clock.now()) // standbys mirror the catalog before the crash
+	lead := c.Leader()
+	if lead == nil {
+		return nil, fmt.Errorf("no leader master before the kill")
+	}
+	failStart := clock.now()
+	c.KillMaster(lead.MasterID())
+	var promoted *dstore.Master
+	for i := 0; i < 40 && promoted == nil; i++ {
+		clock.advance(500 * time.Millisecond)
+		tickMasters(clock.now())
+		for _, m := range c.Masters {
+			if !m.Stopped() && m.IsLeader() {
+				promoted = m
+			}
+		}
+	}
+	if promoted == nil {
+		return nil, fmt.Errorf("no standby promoted after the leader kill")
+	}
+	stats.failover = clock.now().Sub(failStart)
+	if stats.failover > 3*chaosLease {
+		return nil, fmt.Errorf("master failover took %v of injected time, bound %v",
+			stats.failover, 3*chaosLease)
+	}
+	for i := 0; i < 3; i++ {
+		tickMasters(clock.now()) // settle any losing candidate behind the winner
+	}
+	// The re-routed control plane still acks writes.
+	for i := chaosKeys; i < chaosKeys+10; i++ {
+		put(key(i))
+		check(key(i))
+	}
+
 	// Heal completely, then audit every acked key.
 	eng.Disarm()
 	clock.advance(500 * time.Millisecond)
 	if err := beatLive(); err != nil {
 		return nil, err
 	}
+	if lead = c.Leader(); lead == nil {
+		return nil, fmt.Errorf("no leader master after healing")
+	}
 	for i := 0; i < 3; i++ {
-		c.Master.CheckLiveness(clock.now())
-		c.Master.CheckHealth()
+		lead.CheckLiveness(clock.now())
+		lead.CheckHealth()
 	}
 	keys := make([]string, 0, len(acked))
 	for k := range acked {

@@ -139,11 +139,11 @@ func (c *faultConn) Health() (dstore.HealthReport, error) {
 	return c.inner.Health()
 }
 
-func (c *faultConn) Install(snap *hstore.RegionSnapshot, serving bool) error {
+func (c *faultConn) Install(snap *hstore.RegionSnapshot, serving bool, masterEpoch int64) error {
 	if err := c.gate("install"); err != nil {
 		return err
 	}
-	return c.inner.Install(snap, serving)
+	return c.inner.Install(snap, serving, masterEpoch)
 }
 
 func (c *faultConn) Export(table string, regionID int) (*hstore.RegionSnapshot, error) {
@@ -153,23 +153,73 @@ func (c *faultConn) Export(table string, regionID int) (*hstore.RegionSnapshot, 
 	return c.inner.Export(table, regionID)
 }
 
-func (c *faultConn) Drop(table string, regionID int) error {
+func (c *faultConn) Drop(table string, regionID int, masterEpoch int64) error {
 	if err := c.gate("drop"); err != nil {
 		return err
 	}
-	return c.inner.Drop(table, regionID)
+	return c.inner.Drop(table, regionID, masterEpoch)
 }
 
-func (c *faultConn) SetServing(table string, regionID int, serving bool) error {
+func (c *faultConn) SetServing(table string, regionID int, serving bool, masterEpoch int64) error {
 	if err := c.gate("setserving"); err != nil {
 		return err
 	}
-	return c.inner.SetServing(table, regionID, serving)
+	return c.inner.SetServing(table, regionID, serving, masterEpoch)
 }
 
-func (c *faultConn) SetFollowers(table string, regionID int, followers []dstore.Peer) error {
+func (c *faultConn) SetFollowers(table string, regionID int, followers []dstore.Peer, masterEpoch int64) error {
 	if err := c.gate("setfollowers"); err != nil {
 		return err
 	}
-	return c.inner.SetFollowers(table, regionID, followers)
+	return c.inner.SetFollowers(table, regionID, followers, masterEpoch)
+}
+
+// WrapPeerConn decorates a master-to-master connection with the same
+// transport faults, keyed per (master, method) — install it as
+// LocalOptions.WrapPeerConn so elections feel partitions and drops.
+// A partitioned master can neither ping its peers nor be pinged by
+// them: the engine partitions IDs, not directions.
+func (e *Engine) WrapPeerConn(id string, conn dstore.MasterPeerConn) dstore.MasterPeerConn {
+	return &faultPeer{e: e, id: id, inner: conn}
+}
+
+type faultPeer struct {
+	e     *Engine
+	id    string
+	inner dstore.MasterPeerConn
+}
+
+func (c *faultPeer) gate(method string) error {
+	if c.e.isPartitioned(c.id) {
+		return fmt.Errorf("chaos: master %s partitioned: %w", c.id, dstore.ErrInjected)
+	}
+	site := c.id + "/" + method
+	n, h, armed := c.e.draw(site)
+	if !armed {
+		return nil
+	}
+	if hit(h, c.e.opts.DropProb) {
+		c.e.record(site, n, "drop")
+		return fmt.Errorf("chaos: dropped %s to master %s: %w", method, c.id, dstore.ErrInjected)
+	}
+	return nil
+}
+
+func (c *faultPeer) Ping(from string) (dstore.PeerStatus, error) {
+	if err := c.gate("ping"); err != nil {
+		return dstore.PeerStatus{}, err
+	}
+	if c.e.isPartitioned(from) {
+		// The pinger is on the wrong side of the partition: its probe
+		// never arrives, so it must not refresh its lease at the target.
+		return dstore.PeerStatus{}, fmt.Errorf("chaos: master %s partitioned: %w", from, dstore.ErrInjected)
+	}
+	return c.inner.Ping(from)
+}
+
+func (c *faultPeer) JournalTail(gen, off int64) (dstore.JournalTail, error) {
+	if err := c.gate("journal"); err != nil {
+		return dstore.JournalTail{}, err
+	}
+	return c.inner.JournalTail(gen, off)
 }

@@ -414,6 +414,7 @@ func (c *Client) withRetry(ctx context.Context, opName string, op func(ctx conte
 	opCtx, cancel := c.opContext(ctx)
 	defer cancel()
 	var err error
+	spins := 0
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return fmt.Errorf("dstore: %s interrupted: %w", opName, cerr)
@@ -442,6 +443,12 @@ func (c *Client) withRetry(ctx context.Context, opName string, op func(ctx conte
 		}
 		if cerr := c.sleepBackoff(ctx, attempt); cerr != nil {
 			return fmt.Errorf("dstore: %s interrupted: %w", opName, cerr)
+		}
+		if masterOutage(err) && spins < topoRestartCap*c.maxAttempts() {
+			// A master takeover costs wall-clock time, never op
+			// attempts: the spin cap and the deadline bound the wait.
+			spins++
+			attempt--
 		}
 	}
 	c.mGiveUps.Inc()
@@ -509,7 +516,11 @@ func (c *Client) withTopoRetry(ctx context.Context, opName string, epoch *int64,
 			return fmt.Errorf("%w: %s spent its %v budget: %w", ErrExhausted, opName, c.OpBudget, err)
 		}
 		moved := false
-		if m, merr := c.cachedMeta(); merr == nil && seen != 0 && m.Epoch > seen {
+		if masterOutage(err) {
+			// Master takeover mid-scan: forgiven like a topology change —
+			// the spin cap and the deadline still bound the wait.
+			moved = true
+		} else if m, merr := c.cachedMeta(); merr == nil && seen != 0 && m.Epoch > seen {
 			moved = true
 		}
 		if !moved {
@@ -574,13 +585,32 @@ func (c *Client) BatchPut(ctx context.Context, table string, rows []hstore.Row) 
 	defer cancel()
 	remaining := rows
 	var lastErr error
+	spins := 0
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return fmt.Errorf("dstore: batch put interrupted: %w", cerr)
 		}
 		m, err := c.cachedMeta()
 		if err != nil {
-			return err
+			// A master outage (takeover in flight) heals on wall-clock
+			// time without burning write attempts; anything else is final.
+			if !masterOutage(err) {
+				return err
+			}
+			lastErr = err
+			c.mRetries.Inc()
+			if c.budgetSpent(deadline) {
+				c.mGiveUps.Inc()
+				return fmt.Errorf("%w: batch put spent its %v budget with %d rows unacked: %w", ErrExhausted, c.OpBudget, len(remaining), lastErr)
+			}
+			if cerr := c.sleepBackoff(ctx, attempt); cerr != nil {
+				return fmt.Errorf("dstore: batch put interrupted: %w", cerr)
+			}
+			if spins < topoRestartCap*c.maxAttempts() {
+				spins++
+				attempt--
+			}
+			continue
 		}
 		groups := make(map[string][]hstore.Row)
 		for _, r := range remaining {
@@ -652,13 +682,32 @@ func (c *Client) MultiGet(ctx context.Context, table string, rows []string) ([]h
 		remaining[i] = i
 	}
 	var lastErr error
+	spins := 0
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, nil, fmt.Errorf("dstore: multi-get interrupted: %w", cerr)
 		}
 		m, err := c.cachedMeta()
 		if err != nil {
-			return nil, nil, err
+			// Same forgiveness as BatchPut: a takeover window costs
+			// wall-clock time, not read attempts.
+			if !masterOutage(err) {
+				return nil, nil, err
+			}
+			lastErr = err
+			c.mRetries.Inc()
+			if c.budgetSpent(deadline) {
+				c.mGiveUps.Inc()
+				return nil, nil, fmt.Errorf("%w: multi-get spent its %v budget with %d rows unanswered: %w", ErrExhausted, c.OpBudget, len(remaining), lastErr)
+			}
+			if cerr := c.sleepBackoff(ctx, attempt); cerr != nil {
+				return nil, nil, fmt.Errorf("dstore: multi-get interrupted: %w", cerr)
+			}
+			if spins < topoRestartCap*c.maxAttempts() {
+				spins++
+				attempt--
+			}
+			continue
 		}
 		groups := make(map[string][]int)
 		for _, i := range remaining {

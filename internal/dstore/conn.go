@@ -42,12 +42,17 @@ type ServerConn interface {
 	// Health reports self-diagnosed damage (quarantined region copies).
 	Health() (HealthReport, error)
 
-	// Control plane (master-driven).
-	Install(snap *hstore.RegionSnapshot, serving bool) error
+	// Control plane (master-driven). Mutating calls carry the caller's
+	// master epoch for fencing: a region server rejects epochs lower
+	// than the highest it has seen (ErrStaleMaster), so a deposed
+	// leader cannot mutate placement after a standby promoted. Epoch 0
+	// means unfenced (single-master legacy). Export is a read and stays
+	// unfenced.
+	Install(snap *hstore.RegionSnapshot, serving bool, masterEpoch int64) error
 	Export(table string, regionID int) (*hstore.RegionSnapshot, error)
-	Drop(table string, regionID int) error
-	SetServing(table string, regionID int, serving bool) error
-	SetFollowers(table string, regionID int, followers []Peer) error
+	Drop(table string, regionID int, masterEpoch int64) error
+	SetServing(table string, regionID int, serving bool, masterEpoch int64) error
+	SetFollowers(table string, regionID int, followers []Peer, masterEpoch int64) error
 }
 
 // MasterConn is how region servers and clients reach the master.
@@ -168,26 +173,79 @@ func (c *directConn) Stats() (hstore.TransferStats, error) {
 }
 func (c *directConn) ResetStats() error             { return c.rs.ResetStats() }
 func (c *directConn) Health() (HealthReport, error) { return c.rs.Health() }
-func (c *directConn) Install(snap *hstore.RegionSnapshot, serving bool) error {
-	return c.rs.Install(snap, serving)
+func (c *directConn) Install(snap *hstore.RegionSnapshot, serving bool, masterEpoch int64) error {
+	return c.rs.Install(snap, serving, masterEpoch)
 }
 func (c *directConn) Export(table string, regionID int) (*hstore.RegionSnapshot, error) {
 	return c.rs.Export(table, regionID)
 }
-func (c *directConn) Drop(table string, regionID int) error { return c.rs.Drop(table, regionID) }
-func (c *directConn) SetServing(table string, regionID int, serving bool) error {
-	return c.rs.SetServing(table, regionID, serving)
+func (c *directConn) Drop(table string, regionID int, masterEpoch int64) error {
+	return c.rs.Drop(table, regionID, masterEpoch)
 }
-func (c *directConn) SetFollowers(table string, regionID int, followers []Peer) error {
-	return c.rs.SetFollowers(table, regionID, followers)
+func (c *directConn) SetServing(table string, regionID int, serving bool, masterEpoch int64) error {
+	return c.rs.SetServing(table, regionID, serving, masterEpoch)
 }
+func (c *directConn) SetFollowers(table string, regionID int, followers []Peer, masterEpoch int64) error {
+	return c.rs.SetFollowers(table, regionID, followers, masterEpoch)
+}
+
+// unresolvedConn stands in for a server whose connection could not be
+// re-resolved when a master adopted journaled or tailed META (the
+// server may simply not have rejoined yet). Every call fails like a
+// down network path — retryable — and the entry heals in place when
+// the server rejoins with a resolvable peer.
+type unresolvedConn struct{ id string }
+
+func (c *unresolvedConn) err() error {
+	return fmt.Errorf("%w: server %s not resolvable after META recovery", errTransport, c.id)
+}
+
+func (c *unresolvedConn) Put(context.Context, string, string, string, []byte) error { return c.err() }
+func (c *unresolvedConn) BatchPut(context.Context, string, []hstore.Row) error      { return c.err() }
+func (c *unresolvedConn) Apply(string, []hstore.Cell) error                         { return c.err() }
+func (c *unresolvedConn) Get(context.Context, string, string) (hstore.Row, bool, error) {
+	return hstore.Row{}, false, c.err()
+}
+func (c *unresolvedConn) FollowerGet(context.Context, string, string) (hstore.Row, bool, error) {
+	return hstore.Row{}, false, c.err()
+}
+func (c *unresolvedConn) BatchGet(context.Context, string, []string) ([]hstore.Row, []bool, error) {
+	return nil, nil, c.err()
+}
+func (c *unresolvedConn) Scan(context.Context, string, int, string, string, hstore.Filter, int) ([]hstore.Row, error) {
+	return nil, c.err()
+}
+func (c *unresolvedConn) FollowerScan(context.Context, string, int, string, string, hstore.Filter, int) ([]hstore.Row, error) {
+	return nil, c.err()
+}
+func (c *unresolvedConn) DeleteRow(context.Context, string, string) error { return c.err() }
+func (c *unresolvedConn) Flush(string) error                              { return c.err() }
+func (c *unresolvedConn) Stats() (hstore.TransferStats, error) {
+	return hstore.TransferStats{}, c.err()
+}
+func (c *unresolvedConn) ResetStats() error             { return c.err() }
+func (c *unresolvedConn) Health() (HealthReport, error) { return HealthReport{}, c.err() }
+func (c *unresolvedConn) Install(*hstore.RegionSnapshot, bool, int64) error {
+	return c.err()
+}
+func (c *unresolvedConn) Export(string, int) (*hstore.RegionSnapshot, error) {
+	return nil, c.err()
+}
+func (c *unresolvedConn) Drop(string, int, int64) error                 { return c.err() }
+func (c *unresolvedConn) SetServing(string, int, bool, int64) error     { return c.err() }
+func (c *unresolvedConn) SetFollowers(string, int, []Peer, int64) error { return c.err() }
 
 // directMaster adapts an in-process *Master to MasterConn.
 type directMaster struct{ m *Master }
 
-func (c *directMaster) Join(p Peer) error              { return c.m.Join(p) }
-func (c *directMaster) Heartbeat(id string) error      { return c.m.Heartbeat(id) }
-func (c *directMaster) Meta() (Meta, error)            { return c.m.Meta(), nil }
+func (c *directMaster) Join(p Peer) error         { return c.m.Join(p) }
+func (c *directMaster) Heartbeat(id string) error { return c.m.Heartbeat(id) }
+func (c *directMaster) Meta() (Meta, error) {
+	if c.m.Stopped() {
+		return Meta{}, errStopped
+	}
+	return c.m.Meta(), nil
+}
 func (c *directMaster) CreateTable(table string) error { return c.m.CreateTable(table) }
 
 // ConnectMaster returns a MasterConn bound to an in-process master.

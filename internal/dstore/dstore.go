@@ -79,6 +79,49 @@ type HealthReport struct {
 	Quarantined []hstore.QuarantinedRegion `json:"quarantined,omitempty"`
 }
 
+// NotLeaderError is a standby master's answer to a control-plane call
+// it does not own: only the leader mutates META. It carries the best
+// leader hint the standby has — ID for in-process clusters, Addr for
+// the HTTP wire — so a multi-master conn can redirect instead of
+// scanning the peer list. Either hint (or both) may be empty when the
+// standby itself has lost track of the leader mid-election.
+type NotLeaderError struct {
+	LeaderID   string
+	LeaderAddr string
+}
+
+func (e *NotLeaderError) Error() string {
+	switch {
+	case e.LeaderAddr != "":
+		return "dstore: not the leader (leader at " + e.LeaderAddr + ")"
+	case e.LeaderID != "":
+		return "dstore: not the leader (leader is " + e.LeaderID + ")"
+	}
+	return "dstore: not the leader (no leader known)"
+}
+
+// IsNotLeader reports whether err is a standby's NotLeader redirect.
+func IsNotLeader(err error) bool {
+	var nl *NotLeaderError
+	return errors.As(err, &nl)
+}
+
+// ErrStaleMaster is a region server's rejection of a control-plane RPC
+// stamped with a master epoch older than the highest it has observed:
+// the caller is a deposed leader and must step down, not retry. It is
+// deliberately not in retryable() — fencing is permanent for that
+// master epoch.
+var ErrStaleMaster = errors.New("dstore: stale master epoch")
+
+// errNoLeader marks a multi-master conn that exhausted its whole peer
+// list without reaching a leader — the takeover window, when the old
+// leader is dead and no standby has promoted yet. It is retryable, and
+// the routing client additionally forgives it from the per-op attempt
+// budget (the wall-clock budget still bounds the wait): a client should
+// survive any takeover its deadline allows, not give up because the
+// window spanned more RPC attempts than a region failover would.
+var errNoLeader = errors.New("dstore: no master reachable or leading")
+
 // errStopped marks operations against a stopped (simulated-dead)
 // region server; it is retryable, like a connection refused.
 var errStopped = errors.New("dstore: region server stopped")
@@ -113,7 +156,18 @@ func retryable(err error) bool {
 		errors.Is(err, errTransport) ||
 		errors.Is(err, errReplication) ||
 		errors.Is(err, ErrInjected) ||
-		errors.Is(err, errBreakerOpen)
+		errors.Is(err, errBreakerOpen) ||
+		errors.Is(err, errNoLeader) ||
+		IsNotLeader(err)
+}
+
+// masterOutage reports a retryable failure that is the control plane's
+// fault, not the data plane's: no leader reachable, or a stale leader
+// hint. Client retry loops forgive these from the attempt budget — the
+// caller's deadline and the topo-spin cap still bound the wait — so a
+// master takeover costs wall-clock time, never op attempts.
+func masterOutage(err error) bool {
+	return errors.Is(err, errNoLeader) || IsNotLeader(err)
 }
 
 func regionKey(table string, regionID int) string {

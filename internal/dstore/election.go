@@ -1,0 +1,391 @@
+package dstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"time"
+)
+
+// Lease-based master election. Every master — leader or standby — runs
+// ElectionTick on its liveness timer: leaders ping their peers to learn
+// whether a higher master epoch has superseded them, standbys ping to
+// track the leader's lease, mirror its META journal, and promote when
+// the lease lapses.
+//
+// The election is deterministic under an injected clock: liveness is
+// "pinged successfully within LeaseDuration", and contention between
+// standbys is broken by a seeded rank (splitmix64 of the master ID), so
+// a test driving the same tick sequence always elects the same master.
+//
+// Safety does not rest on the election itself but on epoch fencing:
+// a promoting master mints masterEpoch = term*len(electorate)+ownIndex,
+// so two masters — even promoted concurrently across a partition — can
+// never mint the same epoch, and region servers reject control RPCs
+// below the highest epoch they have seen (ErrStaleMaster). A partition
+// can thus produce two *candidates*, never two effective leaders at one
+// epoch: the first fencing sweep settles which one the region servers
+// obey, and the loser steps down on its first rejected RPC or ping.
+
+// Master roles.
+const (
+	roleLeader  = "leader"
+	roleStandby = "standby"
+)
+
+// PeerStatus is one master's answer to a peer ping — enough for the
+// caller to track leases, epochs, and leader hints.
+type PeerStatus struct {
+	ID          string `json:"id"`
+	Role        string `json:"role"`
+	MasterEpoch int64  `json:"master_epoch"`
+	MetaEpoch   int64  `json:"meta_epoch"`
+	LeaderID    string `json:"leader_id,omitempty"`
+	LeaderAddr  string `json:"leader_addr,omitempty"`
+}
+
+// MasterPeerConn is how one master reaches another: lease pings and
+// journal tailing. Like ServerConn it is transport-agnostic — direct
+// in-process calls for tests and local clusters, HTTP for pstormd.
+type MasterPeerConn interface {
+	Ping(from string) (PeerStatus, error)
+	JournalTail(gen, off int64) (JournalTail, error)
+}
+
+// directPeer adapts an in-process *Master to MasterPeerConn.
+type directPeer struct{ m *Master }
+
+func (c *directPeer) Ping(from string) (PeerStatus, error) { return c.m.Ping(from) }
+func (c *directPeer) JournalTail(gen, off int64) (JournalTail, error) {
+	return c.m.JournalTailSince(gen, off)
+}
+
+// ConnectMasterPeer returns a MasterPeerConn bound to an in-process
+// master — the default peer transport of local clusters.
+func ConnectMasterPeer(m *Master) MasterPeerConn { return &directPeer{m: m} }
+
+// Ping answers a peer's lease probe with this master's view. The probe
+// itself is evidence of the pinger's liveness, so it refreshes the
+// pinger's lease here too — leader and standby leases stay symmetric
+// even when one side's outbound pings are partitioned away.
+func (m *Master) Ping(from string) (PeerStatus, error) {
+	if m.stopped.Load() {
+		return PeerStatus{}, errStopped
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if from != "" && from != m.id {
+		m.lastSeen[from] = m.now()
+	}
+	return m.statusLocked(), nil
+}
+
+func (m *Master) statusLocked() PeerStatus {
+	return PeerStatus{
+		ID:          m.id,
+		Role:        m.role,
+		MasterEpoch: m.masterEpoch,
+		MetaEpoch:   m.epoch,
+		LeaderID:    m.leaderID,
+		LeaderAddr:  m.leaderAddr,
+	}
+}
+
+// HAStatus is the /m/status operator view: the peer-visible election
+// state plus journal health.
+type HAStatus struct {
+	PeerStatus
+	JournalBytes int64 `json:"journal_bytes"`
+	JournalGen   int64 `json:"journal_gen"`
+}
+
+// HAStatus reports this master's election and journal state.
+func (m *Master) HAStatus() (HAStatus, error) {
+	if m.stopped.Load() {
+		return HAStatus{}, errStopped
+	}
+	gen, off := m.journal.pos()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return HAStatus{PeerStatus: m.statusLocked(), JournalBytes: off, JournalGen: gen}, nil
+}
+
+// JournalTailSince serves the META journal from (gen, off) — the
+// /m/journal endpoint standbys poll. Standbys serve their mirrored
+// copy too, so a rebuilt standby can seed from any live master.
+func (m *Master) JournalTailSince(gen, off int64) (JournalTail, error) {
+	if m.stopped.Load() {
+		return JournalTail{}, errStopped
+	}
+	m.cJournalTails.Inc()
+	return m.journal.tail(gen, off), nil
+}
+
+// rankOf is a master's seeded election rank; the lowest-ranked live
+// standby wins a contested promotion. Hashing the ID through splitmix64
+// decouples rank from lexical order (so "m-0" holds no structural
+// advantage) while staying reproducible for a given Seed.
+func (m *Master) rankOf(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return uint64(splitmix64(m.opts.Seed ^ int64(h.Sum64())))
+}
+
+// outranksMe reports whether peer id beats this master in an election
+// (lower rank wins; ties break to the lower ID).
+func (m *Master) outranksMe(id string) bool {
+	r, mine := m.rankOf(id), m.rankOf(m.id)
+	return r < mine || (r == mine && id < m.id)
+}
+
+// peerConnLocked lazily resolves the conn to a master peer.
+func (m *Master) peerConnLocked(id string) (MasterPeerConn, error) {
+	if c, ok := m.peerConns[id]; ok {
+		return c, nil
+	}
+	var peer Peer
+	found := false
+	for _, p := range m.opts.Peers {
+		if p.ID == id {
+			peer, found = p, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("dstore: unknown master peer %q", id)
+	}
+	var c MasterPeerConn
+	var err error
+	if m.opts.PeerResolver != nil {
+		c, err = m.opts.PeerResolver(peer)
+	} else if peer.Addr != "" {
+		c = DialMasterPeer(peer.Addr, m.reg.Timeout)
+	} else {
+		err = fmt.Errorf("dstore: master peer %q has no address and no resolver", id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.peerConns[id] = c
+	return c, nil
+}
+
+// ElectionTick advances the lease state machine one step at the given
+// instant: ping peers, mirror the leader's journal when standby, step
+// down if superseded, promote if the lease has lapsed and no
+// better-ranked standby is alive. pstormd and background local clusters
+// call it on the liveness timer; deterministic tests drive it directly
+// with an injected clock.
+func (m *Master) ElectionTick(now time.Time) {
+	if m.stopped.Load() || !m.haEnabled() {
+		return
+	}
+
+	// Resolve the peer set under the lock, ping outside it: a hung peer
+	// must not stall META serving or heartbeat handling.
+	type peerView struct {
+		id  string
+		st  PeerStatus
+		err error
+	}
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.electorate)-1)
+	conns := make([]MasterPeerConn, 0, cap(ids))
+	for _, id := range m.electorate {
+		if id == m.id {
+			continue
+		}
+		c, err := m.peerConnLocked(id)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+		conns = append(conns, c)
+	}
+	if m.electionGrace.IsZero() {
+		// First tick: grant every peer one full lease of silence before
+		// anyone may be presumed dead, so a cold-started standby does not
+		// promote over a leader it simply has not met yet.
+		m.electionGrace = now.Add(m.leaseDuration())
+	}
+	m.mu.Unlock()
+
+	views := make([]peerView, len(ids))
+	for i, id := range ids {
+		st, err := conns[i].Ping(m.id)
+		views[i] = peerView{id: id, st: st, err: err}
+	}
+
+	// Fold the ping results into the lease table and the leader hint.
+	var tailFrom MasterPeerConn
+	m.mu.Lock()
+	supersededBy := int64(0)
+	for _, v := range views {
+		if v.err != nil {
+			continue
+		}
+		m.lastSeen[v.id] = now
+		if v.st.MasterEpoch > m.maxSeenMasterEpoch {
+			m.maxSeenMasterEpoch = v.st.MasterEpoch
+		}
+		if v.st.MasterEpoch > m.masterEpoch && v.st.Role == roleLeader {
+			supersededBy = v.st.MasterEpoch
+		}
+		if v.st.Role == roleLeader && (m.role != roleLeader || v.st.MasterEpoch > m.masterEpoch) {
+			m.leaderID, m.leaderAddr = v.st.ID, v.st.LeaderAddr
+			if m.leaderAddr == "" {
+				m.leaderAddr = m.peerAddr(v.st.ID)
+			}
+		}
+	}
+	if m.role == roleLeader && supersededBy > 0 {
+		m.stepDownLocked("superseded by epoch " + strconv.FormatInt(supersededBy, 10))
+	}
+	if m.role == roleStandby && m.leaderID != "" && m.leaderID != m.id {
+		for i, id := range ids {
+			if id == m.leaderID && views[i].err == nil {
+				tailFrom = conns[i]
+				break
+			}
+		}
+	}
+	gen, off := m.journal.pos()
+	m.mu.Unlock()
+
+	// Standby: mirror the leader's journal and adopt its catalog as the
+	// shadow view — outside the lock, it is an RPC.
+	if tailFrom != nil {
+		if t, err := tailFrom.JournalTail(gen, off); err == nil {
+			m.adoptJournal(t, now)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.role == roleStandby && !now.Before(m.electionGrace) && !m.blockedLocked(now) {
+		m.promoteLocked(now)
+	}
+}
+
+// adoptJournal mirrors tailed frames and replays the buffer into the
+// standby's shadow catalog.
+func (m *Master) adoptJournal(t JournalTail, now time.Time) {
+	m.journal.adopt(t)
+	st, _, _, _ := replayMetaJournal(m.journal.tail(0, 0).Frames)
+	if st == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.role != roleStandby {
+		return // promoted between the RPC and here; our catalog is authoritative now
+	}
+	m.adoptStateLocked(*st, now)
+}
+
+// blockedLocked reports whether a standby must defer promotion: the
+// known leader's lease is still fresh, or a better-ranked peer — who
+// would win the election — is alive.
+func (m *Master) blockedLocked(now time.Time) bool {
+	lease := m.leaseDuration()
+	if m.leaderID != "" && m.leaderID != m.id {
+		if last, ok := m.lastSeen[m.leaderID]; ok && now.Sub(last) <= lease {
+			return true
+		}
+	}
+	for _, id := range m.electorate {
+		if id == m.id || !m.outranksMe(id) {
+			continue
+		}
+		if last, ok := m.lastSeen[id]; ok && now.Sub(last) <= lease {
+			return true
+		}
+	}
+	return false
+}
+
+// mintEpochLocked constructs this master's next fencing epoch:
+// term*n + index over the lexically sorted electorate. Distinct masters
+// occupy distinct residues mod n, so no two masters can ever mint the
+// same epoch — the "never two leaders at the same epoch" invariant is
+// arithmetic, not protocol.
+func (m *Master) mintEpochLocked() int64 {
+	n := int64(len(m.electorate))
+	if n == 0 {
+		return m.maxSeenMasterEpoch + 1
+	}
+	idx := int64(0)
+	for i, id := range m.electorate {
+		if id == m.id {
+			idx = int64(i)
+			break
+		}
+	}
+	term := m.maxSeenMasterEpoch/n + 1
+	e := term*n + idx
+	for e <= m.maxSeenMasterEpoch {
+		term++
+		e = term*n + idx
+	}
+	return e
+}
+
+// promoteLocked turns this standby into the leader: mint a fencing
+// epoch, adopt the shadow catalog as authoritative, bump the META
+// epoch, journal the takeover, and sweep every region's replication
+// chain and serving fence at the new epoch so every region server's
+// epoch floor rises past any deposed leader.
+func (m *Master) promoteLocked(now time.Time) {
+	m.masterEpoch = m.mintEpochLocked()
+	if m.masterEpoch > m.maxSeenMasterEpoch {
+		m.maxSeenMasterEpoch = m.masterEpoch
+	}
+	m.role = roleLeader
+	m.leaderID, m.leaderAddr = m.id, m.peerAddr(m.id)
+	m.epoch++
+	// Fresh leases all around: nobody is declared dead for silence that
+	// happened on the old leader's watch.
+	for _, id := range m.order {
+		m.servers[id].lastBeat = now
+	}
+	for _, regions := range m.tables {
+		for _, g := range regions {
+			m.pendSyncLocked(g)
+		}
+	}
+	m.cElections.Inc()
+	m.gLeader.Set(1)
+	m.o.Emit("elected", map[string]string{
+		"master": m.id, "master_epoch": strconv.FormatInt(m.masterEpoch, 10),
+	})
+	m.journalLocked("promote")
+	m.syncPendingLocked()
+}
+
+// stepDownLocked demotes a deposed leader to standby. Its catalog stays
+// as a shadow view (reads keep working); mutations redirect via
+// NotLeader until the next leader is known. The grace window re-arms to
+// a full lease from now — not to zero — so the tick that deposed this
+// master cannot also re-promote it: a deposed leader must wait out a
+// whole lease, like any cold-started standby, before running again.
+func (m *Master) stepDownLocked(reason string) {
+	if m.role != roleLeader {
+		return
+	}
+	m.role = roleStandby
+	m.leaderID, m.leaderAddr = "", ""
+	m.electionGrace = m.now().Add(m.leaseDuration())
+	m.cStepdowns.Inc()
+	m.gLeader.Set(0)
+	m.o.Emit("stepdown", map[string]string{"master": m.id, "reason": reason})
+}
+
+// peerAddr returns the wire address of a master peer ("" in-process).
+func (m *Master) peerAddr(id string) string {
+	for _, p := range m.opts.Peers {
+		if p.ID == id {
+			return p.Addr
+		}
+	}
+	return ""
+}

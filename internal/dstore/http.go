@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"pstorm/internal/hstore"
@@ -81,21 +82,36 @@ type scanWire struct {
 }
 
 type installWire struct {
-	Snapshot *hstore.RegionSnapshot `json:"snapshot"`
-	Serving  bool                   `json:"serving"`
+	Snapshot    *hstore.RegionSnapshot `json:"snapshot"`
+	Serving     bool                   `json:"serving"`
+	MasterEpoch int64                  `json:"master_epoch,omitempty"`
 }
 
 type followersWire struct {
-	Table  string `json:"table"`
-	Region int    `json:"region"`
-	Peers  []Peer `json:"peers"`
+	Table       string `json:"table"`
+	Region      int    `json:"region"`
+	Peers       []Peer `json:"peers"`
+	MasterEpoch int64  `json:"master_epoch,omitempty"`
 }
 
 func writeHTTPErr(w http.ResponseWriter, err error) {
 	status, code := http.StatusBadRequest, httperr.CodeBadRequest
+	var nl *NotLeaderError
 	switch {
 	case hstore.IsNotServing(err):
 		status, code = http.StatusConflict, httperr.CodeNotServing
+	case errors.As(err, &nl):
+		// 421: this server cannot answer, but another can. The message
+		// is the redirect hint — an address when the standby knows one
+		// (HTTP deployments), else the leader's ID.
+		hint := nl.LeaderAddr
+		if hint == "" {
+			hint = nl.LeaderID
+		}
+		httperr.Write(w, http.StatusMisdirectedRequest, httperr.CodeNotLeader, hint, false)
+		return
+	case errors.Is(err, ErrStaleMaster):
+		status, code = http.StatusMisdirectedRequest, httperr.CodeStaleMaster
 	case retryable(err):
 		status, code = http.StatusServiceUnavailable, httperr.CodeUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -272,7 +288,7 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 			writeHTTPErr(w, err)
 			return
 		}
-		ok(w, rs.Install(req.Snapshot, req.Serving))
+		ok(w, rs.Install(req.Snapshot, req.Serving, req.MasterEpoch))
 	})
 	mux.HandleFunc("/d/export", func(w http.ResponseWriter, r *http.Request) {
 		region, _ := strconv.Atoi(r.URL.Query().Get("region"))
@@ -285,12 +301,14 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 	})
 	mux.HandleFunc("/d/drop", func(w http.ResponseWriter, r *http.Request) {
 		region, _ := strconv.Atoi(r.URL.Query().Get("region"))
-		ok(w, rs.Drop(r.URL.Query().Get("table"), region))
+		mepoch, _ := strconv.ParseInt(r.URL.Query().Get("mepoch"), 10, 64)
+		ok(w, rs.Drop(r.URL.Query().Get("table"), region, mepoch))
 	})
 	mux.HandleFunc("/d/serving", func(w http.ResponseWriter, r *http.Request) {
 		region, _ := strconv.Atoi(r.URL.Query().Get("region"))
 		serving := r.URL.Query().Get("serving") == "true"
-		ok(w, rs.SetServing(r.URL.Query().Get("table"), region, serving))
+		mepoch, _ := strconv.ParseInt(r.URL.Query().Get("mepoch"), 10, 64)
+		ok(w, rs.SetServing(r.URL.Query().Get("table"), region, serving, mepoch))
 	})
 	mux.HandleFunc("/d/followers", func(w http.ResponseWriter, r *http.Request) {
 		var req followersWire
@@ -298,7 +316,7 @@ func RegionServerHandler(rs *RegionServer) http.Handler {
 			writeHTTPErr(w, err)
 			return
 		}
-		ok(w, rs.SetFollowers(req.Table, req.Region, req.Peers))
+		ok(w, rs.SetFollowers(req.Table, req.Region, req.Peers, req.MasterEpoch))
 	})
 	return mux
 }
@@ -326,6 +344,10 @@ func MasterHandler(m *Master) http.Handler {
 		writeJSONBody(w, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("/d/meta", func(w http.ResponseWriter, r *http.Request) {
+		if m.Stopped() {
+			writeHTTPErr(w, errStopped)
+			return
+		}
 		writeJSONBody(w, m.Meta())
 	})
 	mux.HandleFunc("/d/createtable", func(w http.ResponseWriter, r *http.Request) {
@@ -345,7 +367,39 @@ func MasterHandler(m *Master) http.Handler {
 		writeJSONBody(w, map[string]int64{"bytes_moved": n})
 	})
 	mux.HandleFunc("/d/status", func(w http.ResponseWriter, r *http.Request) {
+		if m.Stopped() {
+			writeHTTPErr(w, errStopped)
+			return
+		}
 		writeJSONBody(w, m.Status())
+	})
+	// Master-to-master endpoints: lease pings, journal tailing, and the
+	// operator HA view.
+	mux.HandleFunc("/m/ping", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Ping(r.URL.Query().Get("from"))
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, st)
+	})
+	mux.HandleFunc("/m/journal", func(w http.ResponseWriter, r *http.Request) {
+		gen, _ := strconv.ParseInt(r.URL.Query().Get("gen"), 10, 64)
+		off, _ := strconv.ParseInt(r.URL.Query().Get("off"), 10, 64)
+		t, err := m.JournalTailSince(gen, off)
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, t)
+	})
+	mux.HandleFunc("/m/status", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.HAStatus()
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, st)
 	})
 	return mux
 }
@@ -408,8 +462,9 @@ func (h *httpJSON) call(ctx context.Context, path string, body interface{}, out 
 	// Error bodies are the shared JSON envelope; bare text (an old peer,
 	// a proxy) still round-trips as the message.
 	msg := string(bytes.TrimSpace(payload))
+	code := ""
 	if e, ok := httperr.Parse(payload); ok {
-		msg = e.Message
+		msg, code = e.Message, e.Code
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
@@ -419,6 +474,19 @@ func (h *httpJSON) call(ctx context.Context, path string, body interface{}, out 
 		return nil
 	case http.StatusConflict:
 		return &hstore.NotServingError{Table: "remote", Row: msg}
+	case http.StatusMisdirectedRequest:
+		if code == httperr.CodeStaleMaster {
+			return fmt.Errorf("%w: %s", ErrStaleMaster, msg)
+		}
+		// not_leader: the message is the redirect hint — an address if it
+		// looks like a URL, else a master ID.
+		nl := &NotLeaderError{}
+		if strings.Contains(msg, "://") {
+			nl.LeaderAddr = msg
+		} else {
+			nl.LeaderID = msg
+		}
+		return nl
 	case http.StatusServiceUnavailable:
 		return fmt.Errorf("%w: %s", errStopped, msg)
 	case http.StatusGatewayTimeout:
@@ -534,8 +602,8 @@ func (c *httpServerConn) ResetStats() error {
 	return c.h.call(detachedCtx(), "/d/stats?reset=1", nil, &st)
 }
 
-func (c *httpServerConn) Install(snap *hstore.RegionSnapshot, serving bool) error {
-	return c.h.call(detachedCtx(), "/d/install", installWire{Snapshot: snap, Serving: serving}, nil)
+func (c *httpServerConn) Install(snap *hstore.RegionSnapshot, serving bool, masterEpoch int64) error {
+	return c.h.call(detachedCtx(), "/d/install", installWire{Snapshot: snap, Serving: serving, MasterEpoch: masterEpoch}, nil)
 }
 
 func (c *httpServerConn) Export(table string, regionID int) (*hstore.RegionSnapshot, error) {
@@ -547,16 +615,16 @@ func (c *httpServerConn) Export(table string, regionID int) (*hstore.RegionSnaps
 	return &snap, nil
 }
 
-func (c *httpServerConn) Drop(table string, regionID int) error {
-	return c.h.call(detachedCtx(), fmt.Sprintf("/d/drop?table=%s&region=%d", queryEscape(table), regionID), nil, nil)
+func (c *httpServerConn) Drop(table string, regionID int, masterEpoch int64) error {
+	return c.h.call(detachedCtx(), fmt.Sprintf("/d/drop?table=%s&region=%d&mepoch=%d", queryEscape(table), regionID, masterEpoch), nil, nil)
 }
 
-func (c *httpServerConn) SetServing(table string, regionID int, serving bool) error {
-	return c.h.call(detachedCtx(), fmt.Sprintf("/d/serving?table=%s&region=%d&serving=%t", queryEscape(table), regionID, serving), nil, nil)
+func (c *httpServerConn) SetServing(table string, regionID int, serving bool, masterEpoch int64) error {
+	return c.h.call(detachedCtx(), fmt.Sprintf("/d/serving?table=%s&region=%d&serving=%t&mepoch=%d", queryEscape(table), regionID, serving, masterEpoch), nil, nil)
 }
 
-func (c *httpServerConn) SetFollowers(table string, regionID int, followers []Peer) error {
-	return c.h.call(detachedCtx(), "/d/followers", followersWire{Table: table, Region: regionID, Peers: followers}, nil)
+func (c *httpServerConn) SetFollowers(table string, regionID int, followers []Peer, masterEpoch int64) error {
+	return c.h.call(detachedCtx(), "/d/followers", followersWire{Table: table, Region: regionID, Peers: followers, MasterEpoch: masterEpoch}, nil)
 }
 
 // httpMasterConn speaks to a remote master.
@@ -582,4 +650,26 @@ func (c *httpMasterConn) Meta() (Meta, error) {
 
 func (c *httpMasterConn) CreateTable(table string) error {
 	return c.h.call(detachedCtx(), "/d/createtable?name="+queryEscape(table), nil, nil)
+}
+
+// httpPeerConn speaks master-to-master HTTP: lease pings and journal
+// tailing against a peer's /m/ endpoints.
+type httpPeerConn struct{ h *httpJSON }
+
+// DialMasterPeer returns a MasterPeerConn speaking HTTP to a pstormd
+// master. timeout 0 uses hstore.DefaultDialTimeout.
+func DialMasterPeer(base string, timeout time.Duration) MasterPeerConn {
+	return &httpPeerConn{h: newHTTPJSON(base, timeout)}
+}
+
+func (c *httpPeerConn) Ping(from string) (PeerStatus, error) {
+	var st PeerStatus
+	err := c.h.call(detachedCtx(), "/m/ping?from="+queryEscape(from), nil, &st)
+	return st, err
+}
+
+func (c *httpPeerConn) JournalTail(gen, off int64) (JournalTail, error) {
+	var t JournalTail
+	err := c.h.call(detachedCtx(), fmt.Sprintf("/m/journal?gen=%d&off=%d", gen, off), nil, &t)
+	return t, err
 }

@@ -83,13 +83,13 @@ func TestHTTPCluster(t *testing.T) {
 		}
 	}
 	conn := newHTTPServerConn(primary.Addr, time.Second)
-	if err := conn.SetServing("t", g.ID, false); err != nil {
+	if err := conn.SetServing("t", g.ID, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := conn.Get(context.Background(), "t", "k00"); !hstore.IsNotServing(err) {
 		t.Fatalf("fenced remote Get returned %v, want NotServing", err)
 	}
-	if err := conn.SetServing("t", g.ID, true); err != nil {
+	if err := conn.SetServing("t", g.ID, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok, err := cl.Get(context.Background(), "t", "k00"); err != nil || !ok {

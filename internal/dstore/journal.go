@@ -1,0 +1,315 @@
+package dstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"path/filepath"
+	"sync"
+
+	"pstorm/internal/hstore"
+)
+
+// META journal: the master's write-ahead log of catalog mutations, so
+// a restarted master recovers epoch-consistent META instead of an
+// empty table, and standbys can tail the leader's history over the
+// /m/journal endpoint.
+//
+// Framing is the PST/WAL discipline (u32 payloadLen | u32 crc32c |
+// payload, little endian): replay verifies every frame and stops at
+// the first torn or corrupt one, truncating the file there so garbage
+// is neither replayed nor appended after.
+//
+// Each record carries the *full post-mutation catalog image*, not a
+// delta. META is small — tens of regions, a handful of servers — so a
+// full image costs little, and it buys the recovery property the
+// replay test pins down: any clean prefix of the journal decodes to
+// exactly the catalog the master held when its last record was
+// appended, bit for bit, with no replay-order logic to drift from the
+// live mutation code. Checkpointing is then just compaction: when the
+// journal grows past a threshold it is rewritten as one checkpoint
+// record holding the current image.
+
+// metaJournalFile is the journal's file name under MasterOptions.JournalDir.
+const metaJournalFile = "meta.journal"
+
+// journalFrameHeader is the per-record framing overhead: length + CRC.
+const journalFrameHeader = 8
+
+// journalCheckpointBytes is the compaction threshold: once the journal
+// exceeds it, the next append rewrites it as a single checkpoint
+// record.
+const journalCheckpointBytes = 256 << 10
+
+var journalCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+func journalCRC(p []byte) uint32 { return crc32.Checksum(p, journalCRCTable) }
+
+// journalServer is one catalog server entry as journaled: its peer
+// identity plus liveness, the parts of member state that survive a
+// master restart (heartbeat timestamps do not — a recovered master
+// restamps them so nobody is declared dead for silence during the
+// outage).
+type journalServer struct {
+	Peer  Peer `json:"peer"`
+	Alive bool `json:"alive"`
+}
+
+// metaState is the full catalog image a journal record carries: every
+// field a restarted or promoted master needs to serve META and resume
+// liveness, failover, and rebalancing where the journal left off.
+type metaState struct {
+	MasterEpoch  int64                   `json:"master_epoch"`
+	LeaderID     string                  `json:"leader_id"`
+	Epoch        int64                   `json:"epoch"`
+	NextRegionID int                     `json:"next_region_id"`
+	Servers      []journalServer         `json:"servers"`
+	Tables       map[string][]RegionInfo `json:"tables"`
+}
+
+// journalRecord is one framed journal payload: the mutation kind (for
+// operators reading the log) and the catalog image after it.
+type journalRecord struct {
+	Kind  string    `json:"kind"`
+	State metaState `json:"state"`
+}
+
+// JournalTail is one /m/journal response: raw frames from the
+// requested offset, plus the generation that offset is relative to.
+// A checkpoint compaction rewrites the journal and bumps Gen; a tailer
+// holding frames of an older generation discards them and re-tails
+// from offset 0 of the new one (the first frame after a compaction is
+// a checkpoint record, so nothing is lost).
+type JournalTail struct {
+	Gen    int64  `json:"gen"`
+	Offset int64  `json:"offset"` // offset Frames starts at (0 after a gen change)
+	Size   int64  `json:"size"`   // journal size after Frames
+	Frames []byte `json:"frames,omitempty"`
+}
+
+// metaJournal is the append-only record store. The in-memory buffer is
+// authoritative — it is what /m/journal serves and what standbys
+// mirror — and the file, when a directory is configured, is its
+// durable image. Memory growth is bounded by checkpoint compaction.
+type metaJournal struct {
+	mu      sync.Mutex
+	buf     []byte
+	gen     int64
+	appends int64
+
+	fs   hstore.FS
+	path string
+	f    hstore.AppendFile
+	// fileSize tracks the last known-good frame boundary on disk so a
+	// failed append can be rolled back, as in the hstore WAL; broken
+	// latches the journal read-only if even the rollback fails.
+	fileSize int64
+	broken   error
+}
+
+// openMetaJournal opens (or creates) the journal. With dir empty the
+// journal is memory-only — the shape every in-process standby uses to
+// mirror its leader. With a dir, the existing file is replayed: the
+// clean prefix becomes the in-memory buffer, a torn or corrupt tail is
+// truncated away, and the last record's state is returned for the
+// master to adopt.
+func openMetaJournal(fsys hstore.FS, dir string) (*metaJournal, *metaState, error) {
+	if dir == "" {
+		return &metaJournal{}, nil, nil
+	}
+	if fsys == nil {
+		fsys = hstore.OSFS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(dir, metaJournalFile)
+	j := &metaJournal{fs: fsys, path: path}
+	raw, err := fsys.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, err
+	}
+	state, _, cleanLen, _ := replayMetaJournal(raw)
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if int64(len(raw)) > cleanLen {
+		// Torn or corrupt tail: cut it before re-arming appends, so a
+		// valid record never lands after garbage replay would drop.
+		if err := f.Truncate(cleanLen); err != nil {
+			f.Close() //nolint:errcheck — the truncate failure is the interesting one
+			return nil, nil, err
+		}
+	}
+	j.f = f
+	j.fileSize = cleanLen
+	j.buf = append([]byte(nil), raw[:cleanLen]...)
+	return j, state, nil
+}
+
+// replayMetaJournal decodes the journal byte stream: the state of the
+// last clean record (nil if none), how many records decoded, the clean
+// prefix length, and whether the stop was a checksum/decode failure
+// rather than a torn tail.
+func replayMetaJournal(raw []byte) (last *metaState, records int, cleanLen int64, corrupt bool) {
+	off := 0
+	for off < len(raw) {
+		if off+journalFrameHeader > len(raw) {
+			break // torn frame header
+		}
+		n := int(binary.LittleEndian.Uint32(raw[off:]))
+		sum := binary.LittleEndian.Uint32(raw[off+4:])
+		if n < 0 || off+journalFrameHeader+n > len(raw) {
+			break // torn payload (or corrupt length — indistinguishable)
+		}
+		p := raw[off+journalFrameHeader : off+journalFrameHeader+n]
+		if journalCRC(p) != sum {
+			corrupt = true
+			break
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			// CRC matched but the payload is not a record: structurally
+			// corrupt, keep it (and everything after) out of the prefix.
+			corrupt = true
+			break
+		}
+		st := rec.State
+		last = &st
+		records++
+		off += journalFrameHeader + n
+	}
+	return last, records, int64(off), corrupt
+}
+
+// frameRecord marshals and frames one record.
+func frameRecord(rec journalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	framed := make([]byte, 0, journalFrameHeader+len(payload))
+	var hdr [journalFrameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], journalCRC(payload))
+	framed = append(framed, hdr[:]...)
+	return append(framed, payload...), nil
+}
+
+// append logs one record, compacting to a checkpoint when the journal
+// has outgrown the threshold. It returns whether a checkpoint rewrite
+// happened (for the master's checkpoint counter).
+func (j *metaJournal) append(rec journalRecord) (checkpointed bool, err error) {
+	framed, err := frameRecord(rec)
+	if err != nil {
+		return false, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken != nil {
+		return false, j.broken
+	}
+	if len(j.buf) > journalCheckpointBytes {
+		// Compact: the record being appended already carries the full
+		// catalog image, so the checkpoint IS this record, re-labeled.
+		ck, err := frameRecord(journalRecord{Kind: "checkpoint", State: rec.State})
+		if err != nil {
+			return false, err
+		}
+		if j.f != nil {
+			if err := j.f.Truncate(0); err != nil {
+				return false, err
+			}
+			j.fileSize = 0
+			if _, err := j.f.Write(ck); err != nil {
+				if terr := j.f.Truncate(0); terr != nil {
+					j.broken = fmt.Errorf("dstore: META journal unwritable after failed checkpoint rollback: %w", terr)
+				}
+				return false, err
+			}
+			j.fileSize = int64(len(ck))
+		}
+		j.buf = ck
+		j.gen++
+		j.appends++
+		return true, nil
+	}
+	if j.f != nil {
+		if _, err := j.f.Write(framed); err != nil {
+			// The append may have persisted a partial frame; roll the file
+			// back to the last good boundary or latch the journal broken.
+			if terr := j.f.Truncate(j.fileSize); terr != nil {
+				j.broken = fmt.Errorf("dstore: META journal unwritable after failed rollback: %w", terr)
+			}
+			return false, err
+		}
+		j.fileSize += int64(len(framed))
+	}
+	j.buf = append(j.buf, framed...)
+	j.appends++
+	return false, nil
+}
+
+// tail returns the frames past (gen, off). A generation mismatch — the
+// journal was compacted since the tailer's last pull — or an offset
+// past the end resends everything from 0 of the current generation.
+func (j *metaJournal) tail(gen, off int64) JournalTail {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if gen != j.gen || off < 0 || off > int64(len(j.buf)) {
+		gen, off = j.gen, 0
+	}
+	out := JournalTail{Gen: j.gen, Offset: off, Size: int64(len(j.buf))}
+	if off < int64(len(j.buf)) {
+		out.Frames = append([]byte(nil), j.buf[off:]...)
+	}
+	return out
+}
+
+// size returns the current journal length in bytes.
+func (j *metaJournal) size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return int64(len(j.buf))
+}
+
+// adopt replaces the journal contents with frames mirrored from a
+// leader (standby tailing). The standby keeps its buffer byte-identical
+// to the leader's so its own offsets line up if it later serves tails.
+func (j *metaJournal) adopt(t JournalTail) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if t.Gen != j.gen || t.Offset != int64(len(j.buf)) {
+		// Generation change (leader compacted) or a gap: restart from
+		// the leader's image.
+		j.buf = nil
+		j.gen = t.Gen
+	}
+	if t.Offset == int64(len(j.buf)) {
+		j.buf = append(j.buf, t.Frames...)
+	}
+}
+
+// pos returns the tailing cursor (gen, size) a standby sends on its
+// next /m/journal pull.
+func (j *metaJournal) pos() (gen, off int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.gen, int64(len(j.buf))
+}
+
+// close releases the file handle (memory state is kept).
+func (j *metaJournal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

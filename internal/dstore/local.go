@@ -39,6 +39,21 @@ type LocalOptions struct {
 	// Now, when set, is the master's clock (deterministic chaos tests
 	// drive liveness and health checks against it).
 	Now func() time.Time
+
+	// Masters is how many masters to run (default 1). With more than
+	// one, masters[0] boots as leader and the rest as standbys tailing
+	// its journal; the cluster's MasterConn fails over across all of
+	// them, and election is driven by ElectionTick (Background) or the
+	// test's own tick schedule.
+	Masters int
+	// LeaseDuration is the leader lease standbys wait out before
+	// promoting (default 2×HeartbeatTimeout).
+	LeaseDuration time.Duration
+	// Seed feeds the deterministic election tie-break.
+	Seed int64
+	// WrapPeerConn, when set, decorates every master-to-master conn —
+	// the chaos harness's seam for partitioning the electorate.
+	WrapPeerConn func(id string, conn MasterPeerConn) MasterPeerConn
 }
 
 // LocalCluster is a whole dstore deployment in one process: a master
@@ -46,11 +61,15 @@ type LocalOptions struct {
 // It exists for tests and benchmarks; pstormd wires the same pieces
 // over TCP.
 type LocalCluster struct {
+	// Master is the bootstrap leader (Masters[0]): kept as a field so
+	// single-master tests and callers read naturally.
 	Master  *Master
+	Masters []*Master
 	Reg     *Registry
 	Servers []*RegionServer
 
 	client *Client
+	mc     MasterConn
 }
 
 // StartLocalCluster builds and joins a cluster.
@@ -67,19 +86,61 @@ func StartLocalCluster(opts LocalOptions) (*LocalCluster, error) {
 	if opts.Splits == nil {
 		opts.Splits = DefaultSplits
 	}
+	if opts.Masters <= 0 {
+		opts.Masters = 1
+	}
 	reg := NewRegistry()
 	reg.WrapConn = opts.WrapConn
-	m := NewMaster(reg, MasterOptions{
+
+	// The electorate: every master knows the full peer list. Conns are
+	// resolved lazily through byID, so masters constructed later in this
+	// loop are still reachable from earlier ones.
+	peers := make([]Peer, opts.Masters)
+	for i := range peers {
+		peers[i] = Peer{ID: fmt.Sprintf("m-%d", i)}
+	}
+	byID := make(map[string]*Master, opts.Masters)
+	resolver := func(p Peer) (MasterPeerConn, error) {
+		pm, ok := byID[p.ID]
+		if !ok {
+			return nil, fmt.Errorf("dstore: unknown local master %q", p.ID)
+		}
+		var conn MasterPeerConn = ConnectMasterPeer(pm)
+		if opts.WrapPeerConn != nil {
+			conn = opts.WrapPeerConn(p.ID, conn)
+		}
+		return conn, nil
+	}
+	mopts := MasterOptions{
 		HeartbeatTimeout: opts.HeartbeatTimeout,
 		Replication:      opts.Replication,
 		DefaultSplits:    opts.Splits,
 		Now:              opts.Now,
-	})
-	c := &LocalCluster{Master: m, Reg: reg}
-	mc := ConnectMaster(m)
+		LeaseDuration:    opts.LeaseDuration,
+		Seed:             opts.Seed,
+	}
+	if opts.Masters > 1 {
+		mopts.Peers = peers
+		mopts.PeerResolver = resolver
+	}
+	c := &LocalCluster{Reg: reg}
+	for i := 0; i < opts.Masters; i++ {
+		mo := mopts
+		mo.ID = peers[i].ID
+		mo.Standby = i > 0
+		m := NewMaster(reg, mo)
+		byID[m.MasterID()] = m
+		c.Masters = append(c.Masters, m)
+	}
+	c.Master = c.Masters[0]
+	if opts.Masters > 1 {
+		c.mc = ConnectMasters(c.Masters...)
+	} else {
+		c.mc = ConnectMaster(c.Master)
+	}
 	for i := 0; i < opts.Servers; i++ {
 		rs := NewRegionServer(fmt.Sprintf("rs-%d", i), reg)
-		if err := m.Join(Peer{ID: rs.ID()}); err != nil {
+		if err := c.mc.Join(Peer{ID: rs.ID()}); err != nil {
 			return nil, err
 		}
 		c.Servers = append(c.Servers, rs)
@@ -87,15 +148,52 @@ func StartLocalCluster(opts LocalOptions) (*LocalCluster, error) {
 	if opts.Background {
 		interval := opts.HeartbeatInterval
 		if interval <= 0 {
-			interval = m.opts.heartbeatTimeout() / 4
+			interval = c.Master.opts.heartbeatTimeout() / 4
 		}
 		for _, rs := range c.Servers {
-			rs.StartHeartbeats(mc, interval)
+			rs.StartHeartbeats(c.mc, interval)
 		}
-		m.Start()
+		for _, m := range c.Masters {
+			m.Start()
+		}
 	}
-	c.client = NewClient(mc, reg)
+	c.client = NewClient(c.mc, reg)
 	return c, nil
+}
+
+// MasterConn returns the cluster's (failover-aware) master connection.
+func (c *LocalCluster) MasterConn() MasterConn { return c.mc }
+
+// MasterByID returns the master with the given ID, or nil.
+func (c *LocalCluster) MasterByID(id string) *Master {
+	for _, m := range c.Masters {
+		if m.MasterID() == id {
+			return m
+		}
+	}
+	return nil
+}
+
+// Leader returns the master currently acting as leader, or nil during a
+// takeover window.
+func (c *LocalCluster) Leader() *Master {
+	for _, m := range c.Masters {
+		if !m.Stopped() && m.IsLeader() {
+			return m
+		}
+	}
+	return nil
+}
+
+// KillMaster stops a master by ID, simulating a control-plane crash.
+// Returns false if no such master exists or it is already stopped.
+func (c *LocalCluster) KillMaster(id string) bool {
+	m := c.MasterByID(id)
+	if m == nil || m.Stopped() {
+		return false
+	}
+	m.Stop()
+	return true
 }
 
 // Client returns the cluster's routing client.
@@ -127,7 +225,10 @@ func (c *LocalCluster) KillServer(id string) bool {
 // histograms, plus its embedded hstore's LSM counters), and the
 // routing client (retries, backoff, give-ups).
 func (c *LocalCluster) Snapshot() obs.Snapshot {
-	snaps := []obs.Snapshot{c.Master.Obs().Snapshot()}
+	var snaps []obs.Snapshot
+	for _, m := range c.Masters {
+		snaps = append(snaps, m.Obs().Snapshot())
+	}
 	for _, rs := range c.Servers {
 		snaps = append(snaps, rs.Obs().Snapshot(), rs.HStore().Obs().Snapshot())
 	}
@@ -137,9 +238,11 @@ func (c *LocalCluster) Snapshot() obs.Snapshot {
 	return obs.Merge(snaps...)
 }
 
-// Close stops the master loop and every region server.
+// Close stops every master loop and every region server.
 func (c *LocalCluster) Close() {
-	c.Master.Close()
+	for _, m := range c.Masters {
+		m.Close()
+	}
 	for _, rs := range c.Servers {
 		rs.Stop()
 	}

@@ -1,10 +1,12 @@
 package dstore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pstorm/internal/hstore"
@@ -24,6 +26,34 @@ type MasterOptions struct {
 	DefaultSplits []string
 	// Now is the clock (default time.Now); tests inject their own.
 	Now func() time.Time
+
+	// ID names this master among its peers (default "m-0"). Required to
+	// be unique per master when Peers is set.
+	ID string
+	// Peers is the full master electorate, this master included. More
+	// than one peer enables HA: lease election, journal tailing, and
+	// epoch fencing of control RPCs. Empty or single-entry keeps the
+	// legacy single-master behavior (unfenced, always leader).
+	Peers []Peer
+	// Standby starts this master as a standby that tails the leader's
+	// journal and only serves reads; it promotes itself when the
+	// leader's lease lapses. Ignored without Peers.
+	Standby bool
+	// LeaseDuration is how long a leader may go unreachable before
+	// standbys may promote (default 2×HeartbeatTimeout).
+	LeaseDuration time.Duration
+	// Seed feeds the deterministic election tie-break ranks.
+	Seed int64
+	// JournalDir, when set, persists the META journal there so a
+	// restarted master recovers its catalog (use OpenMaster to surface
+	// open/replay errors).
+	JournalDir string
+	// FS is the journal's filesystem (default hstore.OSFS); fault tests
+	// inject their own.
+	FS hstore.FS
+	// PeerResolver resolves master peers to conns. Default: HTTP by
+	// Peer.Addr. Local clusters inject direct conns; chaos wraps them.
+	PeerResolver func(Peer) (MasterPeerConn, error)
 }
 
 func (o MasterOptions) heartbeatTimeout() time.Duration {
@@ -31,6 +61,20 @@ func (o MasterOptions) heartbeatTimeout() time.Duration {
 		return o.HeartbeatTimeout
 	}
 	return 2 * time.Second
+}
+
+func (o MasterOptions) id() string {
+	if o.ID != "" {
+		return o.ID
+	}
+	return "m-0"
+}
+
+func (m *Master) leaseDuration() time.Duration {
+	if m.opts.LeaseDuration > 0 {
+		return m.opts.LeaseDuration
+	}
+	return 2 * m.opts.heartbeatTimeout()
 }
 
 func (o MasterOptions) replication() int {
@@ -49,10 +93,20 @@ type member struct {
 
 // Master owns the META catalog and region→server assignment: liveness
 // via heartbeats, follower promotion on primary death, re-replication,
-// and region moves.
+// and region moves. With MasterOptions.Peers set it is one voice in an
+// HA electorate: the leader mutates META and journals every change;
+// standbys mirror the journal and promote on lease expiry (election.go).
 type Master struct {
 	opts MasterOptions
 	reg  *Registry
+	id   string
+
+	// electorate is the sorted ID set of all masters (self included);
+	// immutable after construction.
+	electorate []string
+
+	journal *metaJournal
+	stopped atomic.Bool
 
 	mu           sync.Mutex
 	servers      map[string]*member
@@ -66,43 +120,263 @@ type Master struct {
 	// round re-pushes them until the primary acks.
 	pendingSync map[regionRef]bool
 
+	// Election state (all under mu). masterEpoch is this master's
+	// fencing term stamped on every control RPC; 0 means legacy
+	// single-master, unfenced. maxSeenMasterEpoch tracks the highest
+	// epoch observed anywhere — the floor the next promotion must clear.
+	role               string
+	masterEpoch        int64
+	maxSeenMasterEpoch int64
+	leaderID           string
+	leaderAddr         string
+	lastSeen           map[string]time.Time // peer ID -> last successful contact
+	peerConns          map[string]MasterPeerConn
+	electionGrace      time.Time
+
 	loopStop chan struct{}
 	loopOnce sync.Once
 
-	o           *obs.Registry
-	cHeartbeats *obs.Counter
-	cJoins      *obs.Counter
-	cDeaths     *obs.Counter
-	cFailovers  *obs.Counter
-	cMoves      *obs.Counter
-	cRepairs    *obs.Counter
-	cRebuilds   *obs.Counter
+	o                   *obs.Registry
+	cHeartbeats         *obs.Counter
+	cJoins              *obs.Counter
+	cDeaths             *obs.Counter
+	cFailovers          *obs.Counter
+	cMoves              *obs.Counter
+	cRepairs            *obs.Counter
+	cRebuilds           *obs.Counter
+	cElections          *obs.Counter
+	cStepdowns          *obs.Counter
+	gLeader             *obs.Gauge
+	cJournalAppends     *obs.Counter
+	cJournalCheckpoints *obs.Counter
+	cJournalTails       *obs.Counter
 }
 
-// NewMaster creates a master resolving servers through reg.
+// NewMaster creates a master resolving servers through reg. It cannot
+// surface journal-recovery errors, so it requires JournalDir to be
+// unset; use OpenMaster for a durable-journal master.
 func NewMaster(reg *Registry, opts MasterOptions) *Master {
+	m, err := OpenMaster(reg, opts)
+	if err != nil {
+		// Only reachable with a JournalDir, which NewMaster's contract
+		// excludes.
+		panic("dstore: NewMaster with a journal dir: " + err.Error())
+	}
+	return m
+}
+
+// OpenMaster creates a master, replaying its durable META journal when
+// MasterOptions.JournalDir is set: the recovered catalog (tables,
+// servers, epochs) is adopted wholesale, server leases are restamped to
+// now (nobody is declared dead for silence during the master's own
+// outage), and a torn journal tail is truncated.
+func OpenMaster(reg *Registry, opts MasterOptions) (*Master, error) {
 	o := obs.NewRegistry()
+	journal, recovered, err := openMetaJournal(opts.FS, opts.JournalDir)
+	if err != nil {
+		return nil, fmt.Errorf("dstore: opening META journal: %w", err)
+	}
 	m := &Master{
-		opts:         opts,
-		reg:          reg,
-		servers:      make(map[string]*member),
-		tables:       make(map[string][]*RegionInfo),
-		pendingSync:  make(map[regionRef]bool),
-		nextRegionID: 1,
-		loopStop:     make(chan struct{}),
-		o:            o,
-		cHeartbeats:  o.Counter("dstore_master_heartbeats_total"),
-		cJoins:       o.Counter("dstore_master_joins_total"),
-		cDeaths:      o.Counter("dstore_master_server_deaths_total"),
-		cFailovers:   o.Counter("dstore_master_failovers_total"),
-		cMoves:       o.Counter("dstore_master_moves_total"),
-		cRepairs:     o.Counter("dstore_master_rereplications_total"),
-		cRebuilds:    o.Counter("quarantine_rebuilds_total"),
+		opts:                opts,
+		reg:                 reg,
+		id:                  opts.id(),
+		journal:             journal,
+		servers:             make(map[string]*member),
+		tables:              make(map[string][]*RegionInfo),
+		pendingSync:         make(map[regionRef]bool),
+		nextRegionID:        1,
+		lastSeen:            make(map[string]time.Time),
+		peerConns:           make(map[string]MasterPeerConn),
+		loopStop:            make(chan struct{}),
+		o:                   o,
+		cHeartbeats:         o.Counter("dstore_master_heartbeats_total"),
+		cJoins:              o.Counter("dstore_master_joins_total"),
+		cDeaths:             o.Counter("dstore_master_server_deaths_total"),
+		cFailovers:          o.Counter("dstore_master_failovers_total"),
+		cMoves:              o.Counter("dstore_master_moves_total"),
+		cRepairs:            o.Counter("dstore_master_rereplications_total"),
+		cRebuilds:           o.Counter("quarantine_rebuilds_total"),
+		cElections:          o.Counter("dstore_master_elections_total"),
+		cStepdowns:          o.Counter("dstore_master_stepdowns_total"),
+		gLeader:             o.Gauge("dstore_master_leader"),
+		cJournalAppends:     o.Counter("dstore_master_journal_appends_total"),
+		cJournalCheckpoints: o.Counter("dstore_master_journal_checkpoints_total"),
+		cJournalTails:       o.Counter("dstore_master_journal_tails_total"),
 	}
 	// Event timestamps follow the injected clock so deterministic tests
 	// see deterministic traces.
 	o.Now = m.now
-	return m
+
+	seen := map[string]bool{m.id: true}
+	m.electorate = []string{m.id}
+	for _, p := range opts.Peers {
+		if !seen[p.ID] {
+			seen[p.ID] = true
+			m.electorate = append(m.electorate, p.ID)
+		}
+	}
+	sort.Strings(m.electorate)
+
+	m.role = roleLeader
+	if m.haEnabled() && opts.Standby {
+		m.role = roleStandby
+	}
+	if recovered != nil {
+		m.adoptStateLocked(*recovered, m.now())
+		m.o.Emit("journal_recover", map[string]string{
+			"epoch":   strconv.FormatInt(m.epoch, 10),
+			"servers": strconv.Itoa(len(m.servers)),
+		})
+	}
+	if m.role == roleLeader {
+		m.leaderID, m.leaderAddr = m.id, m.peerAddr(m.id)
+		if m.haEnabled() {
+			// A bootstrap or restarted HA leader mints a fresh fencing
+			// epoch above anything the journal recorded: whoever led
+			// while this process was down is fenced out by the first
+			// sweep.
+			m.masterEpoch = m.mintEpochLocked()
+			m.maxSeenMasterEpoch = m.masterEpoch
+			for _, regions := range m.tables {
+				for _, g := range regions {
+					m.pendSyncLocked(g)
+				}
+			}
+		}
+		m.gLeader.Set(1)
+	}
+	return m, nil
+}
+
+// haEnabled reports whether this master runs the HA machinery: more
+// than one master in the electorate.
+func (m *Master) haEnabled() bool { return len(m.electorate) > 1 }
+
+// MasterID returns this master's identity in the electorate.
+func (m *Master) MasterID() string { return m.id }
+
+// IsLeader reports whether this master currently leads.
+func (m *Master) IsLeader() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.role == roleLeader
+}
+
+// Role returns "leader" or "standby".
+func (m *Master) Role() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.role
+}
+
+// MasterEpoch returns this master's fencing epoch (0 = legacy,
+// unfenced).
+func (m *Master) MasterEpoch() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.masterEpoch
+}
+
+// Stop simulates a master crash: every subsequent RPC — heartbeats,
+// META fetches, peer pings, journal tails — fails with errStopped, and
+// the background loop halts. Like RegionServer.Stop there is no
+// restart; a recovered master is a new OpenMaster over the same
+// journal dir.
+func (m *Master) Stop() {
+	m.stopped.Store(true)
+	m.Close()
+	m.journal.close() //nolint:errcheck — crash simulation; the file handle is best-effort
+	// Zero the leadership gauge so a merged view over live + crashed
+	// masters reports only leaders that are actually serving.
+	m.gLeader.Set(0)
+}
+
+// Stopped reports whether the master has been stopped.
+func (m *Master) Stopped() bool { return m.stopped.Load() }
+
+// notLeaderLocked is the redirect a standby returns from control-plane
+// calls it does not own.
+func (m *Master) notLeaderLocked() error {
+	return &NotLeaderError{LeaderID: m.leaderID, LeaderAddr: m.leaderAddr}
+}
+
+// journalLocked appends the post-mutation catalog image to the META
+// journal. Every epoch-bumping mutation calls it while still holding
+// the catalog lock, so journal order is mutation order.
+func (m *Master) journalLocked(kind string) {
+	if m.journal == nil {
+		return
+	}
+	checkpointed, err := m.journal.append(journalRecord{Kind: kind, State: m.snapshotStateLocked()})
+	if err != nil {
+		m.o.Emit("journal_error", map[string]string{"kind": kind, "error": err.Error()})
+		return
+	}
+	m.cJournalAppends.Inc()
+	if checkpointed {
+		m.cJournalCheckpoints.Inc()
+	}
+}
+
+// snapshotStateLocked captures the full catalog image a journal record
+// carries.
+func (m *Master) snapshotStateLocked() metaState {
+	st := metaState{
+		MasterEpoch:  m.masterEpoch,
+		LeaderID:     m.leaderID,
+		Epoch:        m.epoch,
+		NextRegionID: m.nextRegionID,
+		Tables:       make(map[string][]RegionInfo, len(m.tables)),
+	}
+	for t, regions := range m.tables {
+		rs := make([]RegionInfo, len(regions))
+		for i, g := range regions {
+			rs[i] = *g
+			rs[i].Followers = append([]string(nil), g.Followers...)
+		}
+		st.Tables[t] = rs
+	}
+	for _, id := range m.order {
+		mem := m.servers[id]
+		st.Servers = append(st.Servers, journalServer{Peer: mem.peer, Alive: mem.alive})
+	}
+	return st
+}
+
+// adoptStateLocked replaces the catalog with a journaled image — the
+// recovery path of a restarted master and the shadow view of a tailing
+// standby. Server conns re-resolve through the registry; a peer that
+// has not (re)registered yet gets an unresolvable stub that fails like
+// a dead transport until its next Join.
+func (m *Master) adoptStateLocked(st metaState, now time.Time) {
+	m.epoch = st.Epoch
+	m.nextRegionID = st.NextRegionID
+	if m.nextRegionID < 1 {
+		m.nextRegionID = 1
+	}
+	if st.MasterEpoch > m.maxSeenMasterEpoch {
+		m.maxSeenMasterEpoch = st.MasterEpoch
+	}
+	m.tables = make(map[string][]*RegionInfo, len(st.Tables))
+	for t, regions := range st.Tables {
+		ptrs := make([]*RegionInfo, len(regions))
+		for i := range regions {
+			g := regions[i]
+			g.Followers = append([]string(nil), g.Followers...)
+			ptrs[i] = &g
+		}
+		m.tables[t] = ptrs
+	}
+	m.servers = make(map[string]*member, len(st.Servers))
+	m.order = m.order[:0]
+	for _, s := range st.Servers {
+		conn, err := m.reg.Resolve(s.Peer)
+		if err != nil {
+			conn = &unresolvedConn{id: s.Peer.ID}
+		}
+		m.servers[s.Peer.ID] = &member{peer: s.Peer, conn: conn, lastBeat: now, alive: s.Alive}
+		m.order = append(m.order, s.Peer.ID)
+	}
 }
 
 // Obs exposes the master's metrics registry and event log.
@@ -115,19 +389,72 @@ func (m *Master) now() time.Time {
 	return time.Now() //pstorm:allow clockcheck this is the injection point's default when MasterOptions.Now is unset
 }
 
-// Join registers a region server. Joining is idempotent; a re-join of a
-// previously dead ID revives it as an empty server (its old regions
-// were failed over and are not reclaimed).
+// Control-RPC wrappers: every master-driven mutation of a region
+// server is stamped with this master's fencing epoch, and a stale
+// rejection — the server has already obeyed a newer leader — deposes
+// this master on the spot instead of letting it keep mutating a
+// catalog nobody obeys. Like the call sites they replaced, they run
+// under the catalog lock by design (see the MoveRegion doc).
+
+// depose steps the leader down when a control RPC was rejected stale.
+func (m *Master) deposeOnStaleLocked(err error) error {
+	if errors.Is(err, ErrStaleMaster) {
+		m.stepDownLocked("control RPC rejected: " + err.Error())
+	}
+	return err
+}
+
+func (m *Master) rpcInstall(mem *member, snap *hstore.RegionSnapshot, serving bool) error {
+	return m.deposeOnStaleLocked(mem.conn.Install(snap, serving, m.masterEpoch))
+}
+
+func (m *Master) rpcSetServing(mem *member, table string, regionID int, serving bool) error {
+	return m.deposeOnStaleLocked(mem.conn.SetServing(table, regionID, serving, m.masterEpoch))
+}
+
+func (m *Master) rpcDrop(mem *member, table string, regionID int) error {
+	return m.deposeOnStaleLocked(mem.conn.Drop(table, regionID, m.masterEpoch))
+}
+
+func (m *Master) rpcSetFollowers(mem *member, table string, regionID int, followers []Peer) error {
+	return m.deposeOnStaleLocked(mem.conn.SetFollowers(table, regionID, followers, m.masterEpoch))
+}
+
+// Join registers a region server. A re-join of a known ID — whether its
+// old incarnation was already declared dead or is still inside its
+// liveness window — is a *new incarnation*: the restarted process holds
+// none of the regions META assigned its predecessor, so its pending (or
+// not-yet-due) failover runs synchronously here and the server revives
+// empty. Before this, a same-ID restart inside the liveness window
+// raced the death path: META kept routing to a server that no longer
+// hosted anything, and the eventual timeout double-processed it.
 func (m *Master) Join(p Peer) error {
+	if m.stopped.Load() {
+		return errStopped
+	}
 	conn, err := m.reg.Resolve(p)
 	if err != nil {
 		return err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.role != roleLeader {
+		return m.notLeaderLocked()
+	}
 	if mem, ok := m.servers[p.ID]; ok {
+		// New incarnation: fail over whatever the old one held, then
+		// revive empty. failoverLocked prunes it from every follower set
+		// and promotes live followers of its primaries.
+		mem.alive = false
+		m.failoverLocked()
+		mem.peer = p
+		mem.conn = conn
 		mem.lastBeat = m.now()
 		mem.alive = true
+		m.epoch++
+		m.cJoins.Inc()
+		m.o.Emit("rejoin", map[string]string{"server": p.ID})
+		m.journalLocked("rejoin")
 		return nil
 	}
 	m.servers[p.ID] = &member{peer: p, conn: conn, lastBeat: m.now(), alive: true}
@@ -135,13 +462,21 @@ func (m *Master) Join(p Peer) error {
 	m.epoch++
 	m.cJoins.Inc()
 	m.o.Emit("join", map[string]string{"server": p.ID})
+	m.journalLocked("join")
 	return nil
 }
 
-// Heartbeat records liveness for a server.
+// Heartbeat records liveness for a server. Standbys redirect: only the
+// leader's liveness view drives failover.
 func (m *Master) Heartbeat(id string) error {
+	if m.stopped.Load() {
+		return errStopped
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.role != roleLeader {
+		return m.notLeaderLocked()
+	}
 	mem, ok := m.servers[id]
 	if !ok {
 		return fmt.Errorf("dstore: heartbeat from unknown server %q", id)
@@ -199,8 +534,14 @@ func (m *Master) CreateTable(table string) error {
 // CreateTableSplits creates a table with explicit region boundaries:
 // splits [k1, k2] yields regions ["", k1), [k1, k2), [k2, "").
 func (m *Master) CreateTableSplits(table string, splits []string) error {
+	if m.stopped.Load() {
+		return errStopped
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.role != roleLeader {
+		return m.notLeaderLocked()
+	}
 	if _, ok := m.tables[table]; ok {
 		return fmt.Errorf("dstore: table %q already exists", table)
 	}
@@ -239,6 +580,7 @@ func (m *Master) CreateTableSplits(table string, splits []string) error {
 	}
 	m.tables[table] = regions
 	m.epoch++
+	m.journalLocked("create_table")
 	return nil
 }
 
@@ -246,11 +588,11 @@ func (m *Master) CreateTableSplits(table string, splits []string) error {
 // primary and followers and wires the replication chain.
 func (m *Master) installRegionLocked(g *RegionInfo) error {
 	empty := &hstore.RegionSnapshot{Table: g.Table, RegionID: g.ID, StartKey: g.StartKey, EndKey: g.EndKey}
-	if err := m.servers[g.Primary].conn.Install(empty, true); err != nil {
+	if err := m.rpcInstall(m.servers[g.Primary], empty, true); err != nil {
 		return fmt.Errorf("dstore: installing region %d primary on %s: %w", g.ID, g.Primary, err)
 	}
 	for _, f := range g.Followers {
-		if err := m.servers[f].conn.Install(empty, false); err != nil {
+		if err := m.rpcInstall(m.servers[f], empty, false); err != nil {
 			return fmt.Errorf("dstore: installing region %d follower on %s: %w", g.ID, f, err)
 		}
 	}
@@ -262,7 +604,7 @@ func (m *Master) setFollowersLocked(g *RegionInfo) error {
 	for _, f := range g.Followers {
 		peers = append(peers, m.servers[f].peer)
 	}
-	return m.servers[g.Primary].conn.SetFollowers(g.Table, g.ID, peers)
+	return m.rpcSetFollowers(m.servers[g.Primary], g.Table, g.ID, peers)
 }
 
 // CheckLiveness declares servers whose heartbeat lapsed dead (as of
@@ -272,8 +614,17 @@ func (m *Master) setFollowersLocked(g *RegionInfo) error {
 // pstormd and background local clusters call it on a timer; tests call
 // it directly with a chosen clock.
 func (m *Master) CheckLiveness(now time.Time) []string {
+	if m.stopped.Load() {
+		return nil
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.role != roleLeader {
+		// A standby's liveness view is secondhand (journal shadow);
+		// only the leader declares deaths.
+		return nil
+	}
+	epochBefore := m.epoch
 	var died []string
 	for _, id := range m.order {
 		mem := m.servers[id]
@@ -289,6 +640,9 @@ func (m *Master) CheckLiveness(now time.Time) []string {
 	}
 	m.repairLocked()
 	m.syncPendingLocked()
+	if len(died) > 0 || m.epoch != epochBefore {
+		m.journalLocked("liveness")
+	}
 	return died
 }
 
@@ -332,7 +686,7 @@ func (m *Master) syncPendingLocked() {
 		if m.setFollowersLocked(g) != nil {
 			continue
 		}
-		if err := m.servers[g.Primary].conn.SetServing(ref.table, ref.id, true); err != nil {
+		if err := m.rpcSetServing(m.servers[g.Primary], ref.table, ref.id, true); err != nil {
 			continue
 		}
 		delete(m.pendingSync, ref)
@@ -387,7 +741,7 @@ func (m *Master) failoverLocked() {
 			if m.setFollowersLocked(g) != nil {
 				m.pendSyncLocked(g)
 			}
-			if err := m.servers[promoted].conn.SetServing(g.Table, g.ID, true); err != nil {
+			if err := m.rpcSetServing(m.servers[promoted], g.Table, g.ID, true); err != nil {
 				m.pendSyncLocked(g)
 			}
 		}
@@ -419,7 +773,7 @@ func (m *Master) repairLocked() {
 					break
 				}
 				empty := &hstore.RegionSnapshot{Table: g.Table, RegionID: g.ID, StartKey: g.StartKey, EndKey: g.EndKey}
-				if err := m.servers[cand].conn.Install(empty, false); err != nil {
+				if err := m.rpcInstall(m.servers[cand], empty, false); err != nil {
 					break
 				}
 				g.Followers = append(g.Followers, cand)
@@ -434,8 +788,8 @@ func (m *Master) repairLocked() {
 				if err != nil {
 					// Roll the recruit back; retried next round.
 					g.Followers = g.Followers[:len(g.Followers)-1]
-					m.setFollowersLocked(g)                  //nolint:errcheck
-					m.servers[cand].conn.Drop(g.Table, g.ID) //nolint:errcheck
+					m.setFollowersLocked(g)                   //nolint:errcheck
+					m.rpcDrop(m.servers[cand], g.Table, g.ID) //nolint:errcheck
 					break
 				}
 				changed = true
@@ -460,6 +814,12 @@ func (m *Master) repairLocked() {
 // CheckLiveness round). pstormd and background local clusters call it
 // alongside CheckLiveness; deterministic tests call it directly.
 func (m *Master) CheckHealth() int {
+	if m.stopped.Load() {
+		return 0
+	}
+	if !m.IsLeader() {
+		return 0
+	}
 	type probe struct {
 		id   string
 		conn ServerConn
@@ -555,8 +915,7 @@ func (m *Master) rebuildQuarantined(server, table string, regionID int, badCopie
 		if m.setFollowersLocked(g) != nil {
 			m.pendSyncLocked(g)
 		}
-		//pstorm:allow lockcheck quarantine rebuild is atomic under the catalog lock (same contract as MoveRegion)
-		if err := m.servers[promoted].conn.SetServing(table, regionID, true); err != nil {
+		if err := m.rpcSetServing(m.servers[promoted], table, regionID, true); err != nil {
 			m.pendSyncLocked(g)
 		}
 	} else {
@@ -577,13 +936,13 @@ func (m *Master) rebuildQuarantined(server, table string, regionID int, badCopie
 	}
 	// Drop the corrupt copy; a failure leaves an orphan the next health
 	// round retries (the copy stays quarantined, so it is never read).
-	//pstorm:allow lockcheck quarantine rebuild is atomic under the catalog lock (same contract as MoveRegion)
-	mem.conn.Drop(table, regionID) //nolint:errcheck
+	m.rpcDrop(mem, table, regionID) //nolint:errcheck
 	m.epoch++
 	m.cRebuilds.Inc()
 	m.o.Emit("quarantine_rebuild", map[string]string{
 		"table": table, "region": strconv.Itoa(regionID), "server": server,
 	})
+	m.journalLocked("quarantine_rebuild")
 	return true
 }
 
@@ -634,8 +993,14 @@ func (m *Master) primaryCountsLocked() map[string]int {
 // the RPCs out requires a per-region move lease and is tracked as
 // future work rather than bolted on here.
 func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error) {
+	if m.stopped.Load() {
+		return 0, errStopped
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.role != roleLeader {
+		return 0, m.notLeaderLocked()
+	}
 	g, err := m.regionLocked(table, regionID)
 	if err != nil {
 		return 0, err
@@ -659,8 +1024,7 @@ func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error
 		// set while it is still fenced — a write acked by the new
 		// primary before its followers were wired up would be
 		// unreplicated, and a later flip back would lose it.
-		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-		if err := src.conn.SetServing(table, regionID, false); err != nil {
+		if err := m.rpcSetServing(src, table, regionID, false); err != nil {
 			return 0, fmt.Errorf("dstore: fencing %s: %w", g.Primary, err)
 		}
 		oldPrimary := g.Primary
@@ -669,60 +1033,50 @@ func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error
 		if err := m.setFollowersLocked(g); err != nil {
 			g.Primary = oldPrimary
 			g.Followers[i] = to
-			//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-			src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
+			m.rpcSetServing(src, table, regionID, true) //nolint:errcheck — undo fence
 			return 0, err
 		}
-		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-		if err := dst.conn.SetServing(table, regionID, true); err != nil {
+		if err := m.rpcSetServing(dst, table, regionID, true); err != nil {
 			g.Primary = oldPrimary
 			g.Followers[i] = to
-			//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-			dst.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
-			//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-			src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
+			m.rpcSetFollowers(dst, table, regionID, nil) //nolint:errcheck
+			m.rpcSetServing(src, table, regionID, true)  //nolint:errcheck — undo fence
 			return 0, err
 		}
-		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-		src.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
+		m.rpcSetFollowers(src, table, regionID, nil) //nolint:errcheck
 		m.epoch++
 		m.cMoves.Inc()
 		m.o.Emit("move", map[string]string{
 			"table": table, "region": strconv.Itoa(regionID),
 			"from": oldPrimary, "to": to, "kind": "flip",
 		})
+		m.journalLocked("move")
 		return 0, nil
 	}
 
 	// Full move: fence → export → wire followers → install → flip →
 	// drop. The target learns its follower set before it serves, for
 	// the same reason as the flip above.
-	//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-	if err := src.conn.SetServing(table, regionID, false); err != nil {
+	if err := m.rpcSetServing(src, table, regionID, false); err != nil {
 		return 0, fmt.Errorf("dstore: fencing %s: %w", g.Primary, err)
 	}
 	//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
 	snap, err := src.conn.Export(table, regionID)
 	if err != nil {
-		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-		src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
+		m.rpcSetServing(src, table, regionID, true) //nolint:errcheck — undo fence
 		return 0, err
 	}
 	oldPrimary := g.Primary
 	g.Primary = to
 	if err := m.setFollowersLocked(g); err != nil {
 		g.Primary = oldPrimary
-		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-		src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
+		m.rpcSetServing(src, table, regionID, true) //nolint:errcheck — undo fence
 		return 0, err
 	}
-	//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-	if err := dst.conn.Install(snap, true); err != nil {
+	if err := m.rpcInstall(dst, snap, true); err != nil {
 		g.Primary = oldPrimary
-		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-		dst.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
-		//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-		src.conn.SetServing(table, regionID, true) //nolint:errcheck — undo fence
+		m.rpcSetFollowers(dst, table, regionID, nil) //nolint:errcheck
+		m.rpcSetServing(src, table, regionID, true)  //nolint:errcheck — undo fence
 		return 0, err
 	}
 	m.epoch++
@@ -731,10 +1085,9 @@ func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error
 		"table": table, "region": strconv.Itoa(regionID),
 		"from": oldPrimary, "to": to, "kind": "full",
 	})
-	//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-	src.conn.SetFollowers(table, regionID, nil) //nolint:errcheck
-	//pstorm:allow lockcheck move choreography is atomic under the catalog lock by design (see MoveRegion doc)
-	src.conn.Drop(table, regionID) //nolint:errcheck — orphan copy, harmless
+	m.journalLocked("move")
+	m.rpcSetFollowers(src, table, regionID, nil) //nolint:errcheck
+	m.rpcDrop(src, table, regionID)              //nolint:errcheck — orphan copy, harmless
 	return snap.Bytes(), nil
 }
 
@@ -742,9 +1095,17 @@ func (m *Master) MoveRegion(table string, regionID int, to string) (int64, error
 // promotion flips where possible and full moves otherwise, returning
 // total bytes shipped.
 func (m *Master) Rebalance() (int64, error) {
+	if m.stopped.Load() {
+		return 0, errStopped
+	}
 	var moved int64
 	for {
 		m.mu.Lock()
+		if m.role != roleLeader {
+			err := m.notLeaderLocked()
+			m.mu.Unlock()
+			return moved, err
+		}
 		counts := m.primaryCountsLocked()
 		alive := m.aliveIDs()
 		if len(alive) < 2 {
@@ -836,8 +1197,9 @@ func (m *Master) Status() []ServerStatus {
 	return out
 }
 
-// Start runs the liveness check on a background timer (half the
-// heartbeat timeout). Close stops it.
+// Start runs the control loop on a background timer (half the
+// heartbeat timeout): election/lease upkeep first, then liveness and
+// health — the latter two are no-ops on standbys. Close stops it.
 func (m *Master) Start() {
 	go func() {
 		t := time.NewTicker(m.opts.heartbeatTimeout() / 2)
@@ -847,6 +1209,7 @@ func (m *Master) Start() {
 			case <-m.loopStop:
 				return
 			case <-t.C:
+				m.ElectionTick(m.now())
 				m.CheckLiveness(m.now())
 				m.CheckHealth()
 			}

@@ -2,6 +2,7 @@ package dstore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,18 +28,25 @@ type RegionServer struct {
 	hbStop  chan struct{}
 	hbOnce  sync.Once
 
+	// masterEpoch is the highest master epoch seen on any fenced
+	// control RPC. Calls stamped with a lower (non-zero) epoch come
+	// from a deposed leader and are rejected with ErrStaleMaster — the
+	// region-server half of control-plane fencing.
+	masterEpoch atomic.Int64
+
 	// now feeds the latency histograms (default time.Now); tests
 	// inject a fake clock, mirroring MasterOptions.Now.
 	now func() time.Time
 
-	o           *obs.Registry
-	hPutMs      *obs.Histogram
-	hGetMs      *obs.Histogram
-	hReplMs     *obs.Histogram
-	cNotServing *obs.Counter
-	cReplCells  *obs.Counter
-	cApplies    *obs.Counter
-	cHeartbeats *obs.Counter
+	o            *obs.Registry
+	hPutMs       *obs.Histogram
+	hGetMs       *obs.Histogram
+	hReplMs      *obs.Histogram
+	cNotServing  *obs.Counter
+	cReplCells   *obs.Counter
+	cApplies     *obs.Counter
+	cHeartbeats  *obs.Counter
+	cStaleMaster *obs.Counter
 }
 
 // NewRegionServer creates a region server with an empty store. Auto
@@ -48,20 +56,21 @@ func NewRegionServer(id string, reg *Registry) *RegionServer {
 	hs.NoAutoSplit = true
 	o := obs.NewRegistry()
 	rs := &RegionServer{
-		id:          id,
-		hs:          hs,
-		reg:         reg,
-		followers:   make(map[string][]Peer),
-		hbStop:      make(chan struct{}),
-		now:         time.Now,
-		o:           o,
-		hPutMs:      o.Histogram("dstore_rs_put_latency_ms", nil, "server", id),
-		hGetMs:      o.Histogram("dstore_rs_get_latency_ms", nil, "server", id),
-		hReplMs:     o.Histogram("dstore_rs_replication_latency_ms", nil, "server", id),
-		cNotServing: o.Counter("dstore_rs_notserving_total", "server", id),
-		cReplCells:  o.Counter("dstore_rs_replicated_cells_total", "server", id),
-		cApplies:    o.Counter("dstore_rs_apply_total", "server", id),
-		cHeartbeats: o.Counter("dstore_rs_heartbeats_sent_total", "server", id),
+		id:           id,
+		hs:           hs,
+		reg:          reg,
+		followers:    make(map[string][]Peer),
+		hbStop:       make(chan struct{}),
+		now:          time.Now,
+		o:            o,
+		hPutMs:       o.Histogram("dstore_rs_put_latency_ms", nil, "server", id),
+		hGetMs:       o.Histogram("dstore_rs_get_latency_ms", nil, "server", id),
+		hReplMs:      o.Histogram("dstore_rs_replication_latency_ms", nil, "server", id),
+		cNotServing:  o.Counter("dstore_rs_notserving_total", "server", id),
+		cReplCells:   o.Counter("dstore_rs_replicated_cells_total", "server", id),
+		cApplies:     o.Counter("dstore_rs_apply_total", "server", id),
+		cHeartbeats:  o.Counter("dstore_rs_heartbeats_sent_total", "server", id),
+		cStaleMaster: o.Counter("dstore_rs_stale_master_total", "server", id),
 	}
 	reg.Register(rs)
 	return rs
@@ -90,9 +99,14 @@ func (rs *RegionServer) countNotServing(err error) error {
 // NotServing (a retryable "route away from me"), while the master
 // learns the real reason through Health and rebuilds the copy from a
 // healthy replica. The corruption itself is already counted by the
-// hstore's store_corruptions_detected_total.
+// hstore's store_corruptions_detected_total. A missing table is the
+// same story: the request was routed here by META, so the table exists
+// cluster-wide and this server simply does not host it — the
+// characteristic answer of a restarted-empty incarnation still named
+// by a client's cached route. Both must read as "refresh and retry",
+// never as a hard store error.
 func (rs *RegionServer) guard(table, row string, err error) error {
-	if hstore.IsCorruption(err) {
+	if hstore.IsCorruption(err) || errors.Is(err, hstore.ErrNoTable) {
 		rs.cNotServing.Inc()
 		return &hstore.NotServingError{Table: table, Row: row}
 	}
@@ -101,6 +115,10 @@ func (rs *RegionServer) guard(table, row string, err error) error {
 
 // ID returns the server's identity.
 func (rs *RegionServer) ID() string { return rs.id }
+
+// SeenMasterEpoch returns the highest master epoch this server has
+// fenced against (tests and operator status).
+func (rs *RegionServer) SeenMasterEpoch() int64 { return rs.masterEpoch.Load() }
 
 // HStore exposes the embedded store (tests and stats).
 func (rs *RegionServer) HStore() *hstore.Server { return rs.hs }
@@ -464,11 +482,35 @@ func (rs *RegionServer) ResetStats() error {
 
 // Install hosts a region from a snapshot (serving=true for a primary,
 // false for a follower replica).
-func (rs *RegionServer) Install(snap *hstore.RegionSnapshot, serving bool) error {
+func (rs *RegionServer) Install(snap *hstore.RegionSnapshot, serving bool, masterEpoch int64) error {
 	if err := rs.check(); err != nil {
 		return err
 	}
+	if err := rs.fence(masterEpoch); err != nil {
+		return err
+	}
 	return rs.hs.InstallRegion(snap, serving)
+}
+
+// fence enforces master-epoch monotonicity on control RPCs: epoch 0 is
+// the unfenced legacy single-master case, a higher epoch is adopted,
+// and a lower one is a deposed leader's write — rejected so a paused
+// or partitioned old master cannot mutate placement after a standby
+// promoted.
+func (rs *RegionServer) fence(masterEpoch int64) error {
+	if masterEpoch == 0 {
+		return nil
+	}
+	for {
+		cur := rs.masterEpoch.Load()
+		if masterEpoch < cur {
+			rs.cStaleMaster.Inc()
+			return fmt.Errorf("%w: got epoch %d, have %d", ErrStaleMaster, masterEpoch, cur)
+		}
+		if masterEpoch == cur || rs.masterEpoch.CompareAndSwap(cur, masterEpoch) {
+			return nil
+		}
+	}
 }
 
 // Export snapshots a hosted region for a move or re-replication.
@@ -480,8 +522,11 @@ func (rs *RegionServer) Export(table string, regionID int) (*hstore.RegionSnapsh
 }
 
 // Drop removes a hosted region and its follower set.
-func (rs *RegionServer) Drop(table string, regionID int) error {
+func (rs *RegionServer) Drop(table string, regionID int, masterEpoch int64) error {
 	if err := rs.check(); err != nil {
+		return err
+	}
+	if err := rs.fence(masterEpoch); err != nil {
 		return err
 	}
 	rs.mu.Lock()
@@ -491,8 +536,11 @@ func (rs *RegionServer) Drop(table string, regionID int) error {
 }
 
 // SetServing fences or unfences a hosted region.
-func (rs *RegionServer) SetServing(table string, regionID int, serving bool) error {
+func (rs *RegionServer) SetServing(table string, regionID int, serving bool, masterEpoch int64) error {
 	if err := rs.check(); err != nil {
+		return err
+	}
+	if err := rs.fence(masterEpoch); err != nil {
 		return err
 	}
 	return rs.hs.SetServing(table, regionID, serving)
@@ -500,8 +548,11 @@ func (rs *RegionServer) SetServing(table string, regionID int, serving bool) err
 
 // SetFollowers replaces the follower set this server replicates the
 // region's writes to (master-driven).
-func (rs *RegionServer) SetFollowers(table string, regionID int, followers []Peer) error {
+func (rs *RegionServer) SetFollowers(table string, regionID int, followers []Peer, masterEpoch int64) error {
 	if err := rs.check(); err != nil {
+		return err
+	}
+	if err := rs.fence(masterEpoch); err != nil {
 		return err
 	}
 	rs.mu.Lock()

@@ -30,6 +30,15 @@ func IsNotServing(err error) bool {
 	return errors.As(err, &nse)
 }
 
+// ErrNoTable marks a request naming a table this server does not host
+// at all. The wording completes the historical message ("hstore: table
+// %q does not exist") so it stays a sentence; callers match it with
+// errors.Is. A dstore region server maps it to NotServing: any data
+// request that reached it was routed by META, so the table exists
+// cluster-wide and its absence here means the route is stale — e.g. a
+// restarted-empty incarnation still named by a client's cached route.
+var ErrNoTable = errors.New("does not exist")
+
 // RegionSnapshot is an immutable export of one region: its bounds plus
 // the newest live cell of every (row, column), timestamps preserved.
 // It is the unit of region movement and re-replication in dstore: the
@@ -122,7 +131,7 @@ func (s *Server) DropRegion(table string, regionID int) error {
 	defer s.mu.Unlock()
 	t, ok := s.tables[table]
 	if !ok {
-		return fmt.Errorf("hstore: table %q does not exist", table)
+		return fmt.Errorf("hstore: table %q %w", table, ErrNoTable)
 	}
 	for i, g := range t.regions {
 		if g.id == regionID {
@@ -168,7 +177,7 @@ func (s *Server) regionByID(table string, regionID int) (*region, error) {
 	defer s.mu.RUnlock()
 	t, ok := s.tables[table]
 	if !ok {
-		return nil, fmt.Errorf("hstore: table %q does not exist", table)
+		return nil, fmt.Errorf("hstore: table %q %w", table, ErrNoTable)
 	}
 	for _, g := range t.regions {
 		if g.id == regionID {

@@ -231,7 +231,7 @@ func (s *Server) DropTable(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.tables[name]; !ok {
-		return fmt.Errorf("hstore: table %q does not exist", name)
+		return fmt.Errorf("hstore: table %q %w", name, ErrNoTable)
 	}
 	delete(s.tables, name)
 	return nil
@@ -268,7 +268,7 @@ func (s *Server) table(name string) (*table, error) {
 	t, ok := s.tables[name]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("hstore: table %q does not exist", name)
+		return nil, fmt.Errorf("hstore: table %q %w", name, ErrNoTable)
 	}
 	return t, nil
 }

@@ -30,6 +30,8 @@ const (
 	CodeCanceled     = "canceled"      // the caller went away
 	CodeUnavailable  = "unavailable"   // the store (or a dependency) is down
 	CodeNotServing   = "not_serving"   // region moved or fenced; re-route and retry
+	CodeNotLeader    = "not_leader"    // standby master; message carries the leader hint
+	CodeStaleMaster  = "stale_master"  // deposed master's epoch rejected by fencing
 	CodeRateLimited  = "rate_limited"  // tenant over its token-bucket quota
 	CodeOverCapacity = "over_capacity" // concurrency ceiling hit (tenant or global)
 	CodeShedDegraded = "shed_degraded" // load-shed: store degraded, tenant priority too low

@@ -97,8 +97,9 @@ type Options struct {
 	StoreServers int
 	// MasterURL, when set, connects the profile store to a running
 	// pstormd master over HTTP; region servers must carry addresses in
-	// META (i.e. have joined with -addr). Takes precedence over
-	// StoreServers.
+	// META (i.e. have joined with -addr). In an HA deployment list every
+	// master comma-separated — the client follows NotLeader redirects
+	// and fails over transparently. Takes precedence over StoreServers.
 	MasterURL string
 	// DataDir, when set, makes the in-process profile store durable: the
 	// last checkpoint in the directory is reopened, the write-ahead log
@@ -141,7 +142,7 @@ func Open(opt Options) (*System, error) {
 	var dclient *dstore.Client
 	switch {
 	case opt.MasterURL != "":
-		dclient = dstore.NewClient(dstore.DialMaster(opt.MasterURL, 0), dstore.NewRegistry())
+		dclient = dstore.NewClient(dstore.DialMasters(opt.MasterURL, 0), dstore.NewRegistry())
 		client = dclient
 	case opt.StoreServers > 0:
 		var err error
