@@ -193,7 +193,7 @@ func run(cfg daemonConfig) error {
 		if err := mc.Join(dstore.Peer{ID: cfg.id, Addr: cfg.addr}); err != nil {
 			return fmt.Errorf("joining master: %w", err)
 		}
-		rs.StartHeartbeats(mc, cfg.hbEvery)
+		rs.StartHeartbeats(mc, dstore.Peer{ID: cfg.id, Addr: cfg.addr}, cfg.hbEvery)
 		fmt.Printf("pstormd region server %s listening on %s (master %s)\n", cfg.id, cfg.listen, cfg.masterURL)
 		gather := func() obs.Snapshot {
 			return obs.Merge(rs.Obs().Snapshot(), rs.HStore().Obs().Snapshot())
@@ -487,7 +487,7 @@ func runDemo(hbTimeout, hbEvery time.Duration, repl int, hold bool) error {
 		if err := mc.Join(dstore.Peer{ID: id, Addr: u}); err != nil {
 			return err
 		}
-		rs.StartHeartbeats(mc, hbEvery)
+		rs.StartHeartbeats(mc, dstore.Peer{ID: id, Addr: u}, hbEvery)
 		servers = append(servers, rs)
 		fmt.Printf("region server %s: %s\n", id, u)
 		return nil

@@ -65,6 +65,8 @@ func (f *faultFS) MkdirAll(path string, perm fs.FileMode) error {
 
 func (f *faultFS) Stat(path string) (fs.FileInfo, error) { return f.inner.Stat(path) }
 
+func (f *faultFS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+
 func (f *faultFS) OpenAppend(path string) (hstore.AppendFile, error) {
 	af, err := f.inner.OpenAppend(path)
 	if err != nil {

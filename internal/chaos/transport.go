@@ -223,3 +223,15 @@ func (c *faultPeer) JournalTail(gen, off int64) (dstore.JournalTail, error) {
 	}
 	return c.inner.JournalTail(gen, off)
 }
+
+func (c *faultPeer) JournalPush(from string, t dstore.JournalTail) (dstore.JournalPushAck, error) {
+	if err := c.gate("journal_push"); err != nil {
+		return dstore.JournalPushAck{}, err
+	}
+	if c.e.isPartitioned(from) {
+		// The pushing leader is on the wrong side of the partition: its
+		// frames never arrive.
+		return dstore.JournalPushAck{}, fmt.Errorf("chaos: master %s partitioned: %w", from, dstore.ErrInjected)
+	}
+	return c.inner.JournalPush(from, t)
+}

@@ -113,6 +113,13 @@ func IsNotLeader(err error) bool {
 // master epoch.
 var ErrStaleMaster = errors.New("dstore: stale master epoch")
 
+// ErrUnknownServer is the master's answer to a heartbeat from a server
+// absent from its catalog — typically one whose Join was acked by a
+// soon-deposed leader and lost on failover. It is deliberately not in
+// retryable(): retrying the same heartbeat can never register the
+// server. The heartbeat loop reacts by re-issuing Join instead.
+var ErrUnknownServer = errors.New("dstore: unknown server")
+
 // errNoLeader marks a multi-master conn that exhausted its whole peer
 // list without reaching a leader — the takeover window, when the old
 // leader is dead and no standby has promoted yet. It is retryable, and

@@ -26,6 +26,17 @@ import (
 // can thus produce two *candidates*, never two effective leaders at one
 // epoch: the first fencing sweep settles which one the region servers
 // obey, and the loser steps down on its first rejected RPC or ping.
+//
+// META durability across failover is two-layered. Synchronously, every
+// journal append the leader makes is pushed to each standby seen alive
+// within a lease before the mutation acks (pushJournalLocked), so the
+// common leader-crash case loses nothing: the mirror already holds the
+// acked frame. Asynchronously, standbys pull-tail once per tick as a
+// catch-up and repair path. The push is availability-first, not a
+// quorum write: if every standby is unreachable the leader still acks,
+// and mutations acked in that state live only in the leader's own
+// durable journal until it (or its disk) comes back — the residual,
+// deliberate loss window of this design.
 
 // Master roles.
 const (
@@ -44,12 +55,15 @@ type PeerStatus struct {
 	LeaderAddr  string `json:"leader_addr,omitempty"`
 }
 
-// MasterPeerConn is how one master reaches another: lease pings and
-// journal tailing. Like ServerConn it is transport-agnostic — direct
-// in-process calls for tests and local clusters, HTTP for pstormd.
+// MasterPeerConn is how one master reaches another: lease pings,
+// journal tailing (standby pull), and journal pushing (leader's
+// synchronous replication of appended frames). Like ServerConn it is
+// transport-agnostic — direct in-process calls for tests and local
+// clusters, HTTP for pstormd.
 type MasterPeerConn interface {
 	Ping(from string) (PeerStatus, error)
 	JournalTail(gen, off int64) (JournalTail, error)
+	JournalPush(from string, t JournalTail) (JournalPushAck, error)
 }
 
 // directPeer adapts an in-process *Master to MasterPeerConn.
@@ -58,6 +72,9 @@ type directPeer struct{ m *Master }
 func (c *directPeer) Ping(from string) (PeerStatus, error) { return c.m.Ping(from) }
 func (c *directPeer) JournalTail(gen, off int64) (JournalTail, error) {
 	return c.m.JournalTailSince(gen, off)
+}
+func (c *directPeer) JournalPush(from string, t JournalTail) (JournalPushAck, error) {
+	return c.m.AcceptJournalPush(from, t)
 }
 
 // ConnectMasterPeer returns a MasterPeerConn bound to an in-process
@@ -220,10 +237,12 @@ func (m *Master) ElectionTick(now time.Time) {
 	var tailFrom MasterPeerConn
 	m.mu.Lock()
 	supersededBy := int64(0)
+	okPings := 0
 	for _, v := range views {
 		if v.err != nil {
 			continue
 		}
+		okPings++
 		m.lastSeen[v.id] = now
 		if v.st.MasterEpoch > m.maxSeenMasterEpoch {
 			m.maxSeenMasterEpoch = v.st.MasterEpoch
@@ -241,14 +260,24 @@ func (m *Master) ElectionTick(now time.Time) {
 	if m.role == roleLeader && supersededBy > 0 {
 		m.stepDownLocked("superseded by epoch " + strconv.FormatInt(supersededBy, 10))
 	}
+	tailID := ""
 	if m.role == roleStandby && m.leaderID != "" && m.leaderID != m.id {
 		for i, id := range ids {
 			if id == m.leaderID && views[i].err == nil {
-				tailFrom = conns[i]
+				tailFrom, tailID = conns[i], id
 				break
 			}
 		}
 	}
+	// fullView: every electorate peer answered this very tick. For a
+	// cold-started standby (fastElect) the grace wait is then pure
+	// delay — if any peer led (or outranked us), blockedLocked sees its
+	// fresh lease and blocks anyway. This is what lets a restarted
+	// cluster, whose masters all boot as standbys now, elect on the
+	// first tick instead of serving nothing for a full lease. A deposed
+	// leader never takes this path: stepdown clears fastElect so the
+	// tick that deposed it cannot also re-promote it.
+	fullView := m.fastElect && okPings == len(m.electorate)-1
 	gen, off := m.journal.pos()
 	m.mu.Unlock()
 
@@ -256,21 +285,21 @@ func (m *Master) ElectionTick(now time.Time) {
 	// shadow view — outside the lock, it is an RPC.
 	if tailFrom != nil {
 		if t, err := tailFrom.JournalTail(gen, off); err == nil {
-			m.adoptJournal(t, now)
+			m.adoptJournal(tailID, t, now)
 		}
 	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.role == roleStandby && !now.Before(m.electionGrace) && !m.blockedLocked(now) {
+	if m.role == roleStandby && (fullView || !now.Before(m.electionGrace)) && !m.blockedLocked(now) {
 		m.promoteLocked(now)
 	}
 }
 
-// adoptJournal mirrors tailed frames and replays the buffer into the
-// standby's shadow catalog.
-func (m *Master) adoptJournal(t JournalTail, now time.Time) {
-	m.journal.adopt(t)
+// adoptJournal mirrors frames tailed from the named leader and replays
+// the buffer into the standby's shadow catalog.
+func (m *Master) adoptJournal(source string, t JournalTail, now time.Time) {
+	m.journal.adopt(source, t)
 	st, _, _, _ := replayMetaJournal(m.journal.tail(0, 0).Frames)
 	if st == nil {
 		return
@@ -336,11 +365,22 @@ func (m *Master) mintEpochLocked() int64 {
 // chain and serving fence at the new epoch so every region server's
 // epoch floor rises past any deposed leader.
 func (m *Master) promoteLocked(now time.Time) {
+	// Pushed frames land in the journal mirror without touching the
+	// catalog (the push path stays off the catalog lock), so between the
+	// last election tick and now the mirror may be ahead of the shadow
+	// catalog. Replay it first and adopt anything fresher — then seal
+	// the journal against further pushes: from here this history is
+	// authoritative.
+	if st, _, _, _ := replayMetaJournal(m.journal.tail(0, 0).Frames); st != nil && st.Epoch > m.epoch {
+		m.adoptStateLocked(*st, now)
+	}
+	m.journal.setMirroring(false)
 	m.masterEpoch = m.mintEpochLocked()
 	if m.masterEpoch > m.maxSeenMasterEpoch {
 		m.maxSeenMasterEpoch = m.masterEpoch
 	}
 	m.role = roleLeader
+	m.fastElect = false
 	m.leaderID, m.leaderAddr = m.id, m.peerAddr(m.id)
 	m.epoch++
 	// Fresh leases all around: nobody is declared dead for silence that
@@ -373,6 +413,13 @@ func (m *Master) stepDownLocked(reason string) {
 		return
 	}
 	m.role = roleStandby
+	m.fastElect = false
+	// The journal buffer written while leading is this master's own
+	// lineage — offsets into it mean nothing to the new leader. Restart
+	// the mirror from scratch (the catalog keeps serving as a shadow
+	// view) and reopen it to pushes and tails.
+	m.journal.resetMirror()
+	m.journal.setMirroring(true)
 	m.leaderID, m.leaderAddr = "", ""
 	m.electionGrace = m.now().Add(m.leaseDuration())
 	m.cStepdowns.Inc()

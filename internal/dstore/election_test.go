@@ -47,6 +47,13 @@ func (c *gatedPeerConn) JournalTail(gen, off int64) (JournalTail, error) {
 	return c.inner.JournalTail(gen, off)
 }
 
+func (c *gatedPeerConn) JournalPush(from string, t JournalTail) (JournalPushAck, error) {
+	if c.g.cut(c.id) || c.g.cut(from) {
+		return JournalPushAck{}, fmt.Errorf("test: master link cut: %w", errTransport)
+	}
+	return c.inner.JournalPush(from, t)
+}
+
 // startHACluster builds a deterministic 3-master cluster: no
 // background loops, every master on the shared injected clock,
 // heartbeat timeout 2s and leader lease 4s.

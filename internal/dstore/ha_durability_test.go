@@ -1,0 +1,383 @@
+package dstore
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pstorm/internal/hstore"
+)
+
+// TestHeartbeatRejoinAfterUnknownServer covers the failover-orphan: a
+// region server whose Join was acked by a since-deposed leader is
+// unknown to the new leader's catalog. A plain heartbeat can never fix
+// that, so Beat must answer the unknown-server rejection with a fresh
+// Join and then resume clean beats.
+func TestHeartbeatRejoinAfterUnknownServer(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewRegionServer("rs-0", reg)
+	m := NewMaster(reg, MasterOptions{Replication: 1})
+	defer m.Close()
+	mc := ConnectMaster(m)
+
+	// The master has never heard of rs-0: the direct heartbeat is the
+	// non-retryable unknown-server rejection.
+	if err := m.Heartbeat("rs-0"); !errors.Is(err, ErrUnknownServer) {
+		t.Fatalf("Heartbeat(unknown) = %v, want ErrUnknownServer", err)
+	}
+	if retryable(m.Heartbeat("rs-0")) {
+		t.Fatal("ErrUnknownServer is retryable; the heartbeat loop would spin instead of rejoining")
+	}
+
+	// One beat round self-heals: heartbeat rejected, Join re-registers.
+	rs.Beat(mc, Peer{ID: "rs-0"})
+	found := false
+	for _, p := range m.Meta().Servers {
+		found = found || p.ID == "rs-0"
+	}
+	if !found {
+		t.Fatalf("rs-0 not registered after Beat: %+v", m.Meta().Servers)
+	}
+	if n := rs.cRejoins.Value(); n != 1 {
+		t.Fatalf("rejoins after first beat = %d, want 1", n)
+	}
+
+	// Once registered, beats are plain heartbeats again — no more joins.
+	rs.Beat(mc, Peer{ID: "rs-0"})
+	if n := rs.cRejoins.Value(); n != 1 {
+		t.Fatalf("rejoins after second beat = %d, want still 1", n)
+	}
+}
+
+// TestJournalPushSurvivesLeaderCrashBeforeTick is the synchronous-push
+// durability property: a mutation the leader acks AFTER the standbys'
+// last journal pull but BEFORE the leader dies must still surface on
+// the promoted standby — the push-before-ack closed the old
+// tail-to-crash loss window.
+func TestJournalPushSurvivesLeaderCrashBeforeTick(t *testing.T) {
+	c, clock := startHACluster(t, 3, nil)
+	// Establish the electorate: the leader learns its standbys are alive
+	// (push targets), the standbys mirror the history so far.
+	tickAll(c, clock.t)
+	if got := leaders(c); len(got) != 1 || got[0] != "m-0" {
+		t.Fatalf("bootstrap leaders = %v, want [m-0]", got)
+	}
+
+	// The mutation at risk: created after the last tick, so no standby
+	// ever pull-tailed it. Only the synchronous push carries it.
+	if err := c.Client().CreateTable(context.Background(), "late"); err != nil {
+		t.Fatalf("CreateTable(late): %v", err)
+	}
+	if n := c.Snapshot().Counters["dstore_master_journal_pushes_total"]; n == 0 {
+		t.Fatal("no journal pushes recorded; the ack was not synchronously replicated")
+	}
+	if !c.KillMaster("m-0") {
+		t.Fatal("KillMaster(m-0) found nothing to kill")
+	}
+
+	clock.advance(5 * time.Second)
+	tickAll(c, clock.t)
+	got := leaders(c)
+	if len(got) != 1 {
+		t.Fatalf("post-lease leaders = %v, want exactly one", got)
+	}
+	nl := c.MasterByID(got[0])
+	if regions := nl.Meta().Tables["late"]; len(regions) == 0 {
+		t.Fatalf("table created between last tail and leader crash lost on failover; new leader tables: %v", nl.Meta().Tables)
+	}
+}
+
+// TestRestartedHAMasterBootsStandby pins the restart rule: an HA master
+// reopening its own journal must come back as a standby (its catalog
+// may be stale; a live peer may already lead at a higher epoch) and
+// reach leadership only through the election path. The legacy
+// single-master restart keeps booting straight into leadership.
+func TestRestartedHAMasterBootsStandby(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	NewRegionServer("rs-0", reg)
+	opts := MasterOptions{
+		ID:          "m-0",
+		Peers:       []Peer{{ID: "m-0"}, {ID: "m-1"}},
+		Replication: 1,
+		JournalDir:  dir,
+		PeerResolver: func(p Peer) (MasterPeerConn, error) {
+			return nil, errors.New("test: peer unreachable")
+		},
+	}
+	m, err := OpenMaster(reg, opts)
+	if err != nil {
+		t.Fatalf("OpenMaster: %v", err)
+	}
+	// A fresh HA bootstrap (no journal to recover) leads immediately.
+	if m.Role() != roleLeader {
+		t.Fatalf("fresh bootstrap role = %s, want leader", m.Role())
+	}
+	if err := m.Join(Peer{ID: "rs-0"}); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if err := m.CreateTable("t"); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	m.Close()
+
+	// Same options, journal now present: the restart must NOT resume the
+	// leader role its dead incarnation held.
+	m2, err := OpenMaster(reg, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	if m2.Role() != roleStandby {
+		t.Fatalf("restarted HA master role = %s, want standby", m2.Role())
+	}
+	// The recovered catalog still serves as the shadow view.
+	if len(m2.Meta().Tables["t"]) == 0 {
+		t.Fatal("restarted standby lost the recovered catalog")
+	}
+
+	// Control: a single-master (non-HA) restart has no electorate to
+	// defer to and boots leading, as it always has.
+	soloDir := t.TempDir()
+	solo, err := OpenMaster(reg, MasterOptions{Replication: 1, JournalDir: soloDir})
+	if err != nil {
+		t.Fatalf("OpenMaster(solo): %v", err)
+	}
+	if err := solo.Join(Peer{ID: "rs-0"}); err != nil {
+		t.Fatalf("solo Join: %v", err)
+	}
+	solo.Close()
+	solo2, err := OpenMaster(reg, MasterOptions{Replication: 1, JournalDir: soloDir})
+	if err != nil {
+		t.Fatalf("reopen solo: %v", err)
+	}
+	defer solo2.Close()
+	if solo2.Role() != roleLeader {
+		t.Fatalf("restarted single master role = %s, want leader", solo2.Role())
+	}
+}
+
+// TestColdRestartedClusterElectsOnFirstTick: when every master restarts
+// (all boot as standbys now), the fullView fast path must elect a
+// leader on the first tick that reaches the whole electorate — not
+// leave the control plane idle for a full election grace.
+func TestColdRestartedClusterElectsOnFirstTick(t *testing.T) {
+	clock := newTestClock()
+	reg := NewRegistry()
+	NewRegionServer("rs-0", reg)
+	dirs := map[string]string{"m-0": t.TempDir(), "m-1": t.TempDir()}
+	peers := []Peer{{ID: "m-0"}, {ID: "m-1"}}
+
+	var mu sync.Mutex
+	live := map[string]*Master{}
+	open := func(id string, standby bool) *Master {
+		m, err := OpenMaster(reg, MasterOptions{
+			ID:          id,
+			Peers:       peers,
+			Replication: 1,
+			Standby:     standby,
+			Now:         clock.now,
+			JournalDir:  dirs[id],
+			PeerResolver: func(p Peer) (MasterPeerConn, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return ConnectMasterPeer(live[p.ID]), nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("OpenMaster(%s): %v", id, err)
+		}
+		mu.Lock()
+		live[id] = m
+		mu.Unlock()
+		return m
+	}
+
+	// First incarnation: m-0 bootstraps as leader, m-1 as its standby.
+	m0, m1 := open("m-0", false), open("m-1", true)
+	if err := m0.Join(Peer{ID: "rs-0"}); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if err := m0.CreateTable("t"); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	m0.ElectionTick(clock.t)
+	m1.ElectionTick(clock.t)
+	m0.Close()
+	m1.Close()
+
+	// Whole-cluster restart: both recover journals, both boot standby.
+	n0, n1 := open("m-0", false), open("m-1", false)
+	defer n0.Close()
+	defer n1.Close()
+	if n0.Role() != roleStandby || n1.Role() != roleStandby {
+		t.Fatalf("restart roles = %s/%s, want standby/standby", n0.Role(), n1.Role())
+	}
+
+	// One tick round at the restart instant — no lease wait, no clock
+	// advance — and the full-view fast path seats exactly one leader.
+	n0.ElectionTick(clock.t)
+	n1.ElectionTick(clock.t)
+	var elected []*Master
+	for _, m := range []*Master{n0, n1} {
+		if m.IsLeader() {
+			elected = append(elected, m)
+		}
+	}
+	if len(elected) != 1 {
+		t.Fatalf("leaders after first restart tick = %d, want exactly 1", len(elected))
+	}
+	if len(elected[0].Meta().Tables["t"]) == 0 {
+		t.Fatal("fast-elected leader lost the recovered catalog")
+	}
+}
+
+// failRenameFS fails Rename while armed — the step that commits a
+// checkpoint rewrite — leaving every other operation real.
+type failRenameFS struct {
+	hstore.FS
+	fail atomic.Bool
+}
+
+func (f *failRenameFS) Rename(oldpath, newpath string) error {
+	if f.fail.Load() {
+		return errors.New("test: injected rename failure")
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+// TestJournalCompactionFallbackOnRenameFailure: a checkpoint rewrite
+// that cannot commit its rename must leave the on-disk journal exactly
+// as it was and fall back to a plain append — an acked mutation never
+// rides on the rewrite landing. Once the filesystem heals, the next
+// append compacts.
+func TestJournalCompactionFallbackOnRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	fsys := &failRenameFS{FS: hstore.OSFS}
+	fsys.fail.Store(true)
+	reg := NewRegistry()
+	m, err := OpenMaster(reg, MasterOptions{Replication: 2, DefaultSplits: []string{"m"}, JournalDir: dir, FS: fsys})
+	if err != nil {
+		t.Fatalf("OpenMaster: %v", err)
+	}
+	defer m.Close()
+	for _, id := range []string{"rs-0", "rs-1"} {
+		NewRegionServer(id, reg)
+		if err := m.Join(Peer{ID: id}); err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+	}
+	if err := m.CreateTable("t"); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	g := m.Meta().Tables["t"][0]
+	primary, follower := g.Primary, g.Followers[0]
+	move := func(i int) {
+		to := follower
+		if i%2 == 1 {
+			to = primary
+		}
+		if _, err := m.MoveRegion("t", g.ID, to); err != nil {
+			t.Fatalf("MoveRegion %d: %v", i, err)
+		}
+	}
+	// Push past the compaction threshold and keep appending: every
+	// over-threshold append attempts (and fails) a rewrite.
+	i := 0
+	for ; m.journal.size() <= journalCheckpointBytes+4096; i++ {
+		if i > 5000 {
+			t.Fatal("journal never crossed the compaction threshold")
+		}
+		move(i)
+	}
+	if m.journal.gen != 0 {
+		t.Fatalf("journal gen = %d under failing renames, want 0 (no compaction committed)", m.journal.gen)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, metaJournalFile))
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	st, _, cleanLen, corrupt := replayMetaJournal(raw)
+	if corrupt || cleanLen != int64(len(raw)) || st == nil {
+		t.Fatalf("journal dirty after rewrite failures: corrupt=%v clean=%d/%d", corrupt, cleanLen, len(raw))
+	}
+	if st.Epoch != m.Epoch() {
+		t.Fatalf("journal replays to epoch %d, live is %d: an acked mutation was lost", st.Epoch, m.Epoch())
+	}
+
+	// Heal the filesystem: the very next append retries the rewrite.
+	fsys.fail.Store(false)
+	move(i)
+	if m.journal.gen != 1 {
+		t.Fatalf("journal gen = %d after heal, want 1 (compaction retried)", m.journal.gen)
+	}
+	raw, err = os.ReadFile(filepath.Join(dir, metaJournalFile))
+	if err != nil {
+		t.Fatalf("reread journal: %v", err)
+	}
+	if int64(len(raw)) > journalCheckpointBytes/4 {
+		t.Fatalf("journal not compacted after heal: %d bytes", len(raw))
+	}
+	st, _, cleanLen, corrupt = replayMetaJournal(raw)
+	if corrupt || cleanLen != int64(len(raw)) || st == nil || st.Epoch != m.Epoch() {
+		t.Fatalf("compacted journal wrong: corrupt=%v clean=%d/%d", corrupt, cleanLen, len(raw))
+	}
+}
+
+// syncCountFS counts Sync calls on every append handle it opens.
+type syncCountFS struct {
+	hstore.FS
+	syncs atomic.Int64
+}
+
+func (f *syncCountFS) OpenAppend(path string) (hstore.AppendFile, error) {
+	af, err := f.FS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &syncCountFile{AppendFile: af, n: &f.syncs}, nil
+}
+
+type syncCountFile struct {
+	hstore.AppendFile
+	n *atomic.Int64
+}
+
+func (f *syncCountFile) Sync() error {
+	f.n.Add(1)
+	return f.AppendFile.Sync()
+}
+
+// TestJournalAppendsFsync pins the durability contract of an acked
+// control-plane mutation: every journal append syncs to stable storage
+// before the mutation returns, so a power cut — not just a process
+// crash — cannot take back an ack.
+func TestJournalAppendsFsync(t *testing.T) {
+	fsys := &syncCountFS{FS: hstore.OSFS}
+	reg := NewRegistry()
+	m, err := OpenMaster(reg, MasterOptions{Replication: 1, JournalDir: t.TempDir(), FS: fsys})
+	if err != nil {
+		t.Fatalf("OpenMaster: %v", err)
+	}
+	defer m.Close()
+	NewRegionServer("rs-0", reg)
+
+	for i, mutate := range []func() error{
+		func() error { return m.Join(Peer{ID: "rs-0"}) },
+		func() error { return m.CreateTable("t1") },
+		func() error { return m.CreateTable("t2") },
+	} {
+		before := fsys.syncs.Load()
+		if err := mutate(); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+		if after := fsys.syncs.Load(); after <= before {
+			t.Fatalf("mutation %d acked without a journal fsync (syncs %d -> %d)", i, before, after)
+		}
+	}
+}

@@ -112,6 +112,8 @@ func writeHTTPErr(w http.ResponseWriter, err error) {
 		return
 	case errors.Is(err, ErrStaleMaster):
 		status, code = http.StatusMisdirectedRequest, httperr.CodeStaleMaster
+	case errors.Is(err, ErrUnknownServer):
+		status, code = http.StatusNotFound, httperr.CodeUnknownServer
 	case retryable(err):
 		status, code = http.StatusServiceUnavailable, httperr.CodeUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -373,8 +375,8 @@ func MasterHandler(m *Master) http.Handler {
 		}
 		writeJSONBody(w, m.Status())
 	})
-	// Master-to-master endpoints: lease pings, journal tailing, and the
-	// operator HA view.
+	// Master-to-master endpoints: lease pings, journal tailing and
+	// pushing, and the operator HA view.
 	mux.HandleFunc("/m/ping", func(w http.ResponseWriter, r *http.Request) {
 		st, err := m.Ping(r.URL.Query().Get("from"))
 		if err != nil {
@@ -392,6 +394,19 @@ func MasterHandler(m *Master) http.Handler {
 			return
 		}
 		writeJSONBody(w, t)
+	})
+	mux.HandleFunc("/m/journal/push", func(w http.ResponseWriter, r *http.Request) {
+		var t JournalTail
+		if err := decodeBody(r, &t); err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		ack, err := m.AcceptJournalPush(r.URL.Query().Get("from"), t)
+		if err != nil {
+			writeHTTPErr(w, err)
+			return
+		}
+		writeJSONBody(w, ack)
 	})
 	mux.HandleFunc("/m/status", func(w http.ResponseWriter, r *http.Request) {
 		st, err := m.HAStatus()
@@ -492,6 +507,9 @@ func (h *httpJSON) call(ctx context.Context, path string, body interface{}, out 
 	case http.StatusGatewayTimeout:
 		return fmt.Errorf("dstore: %s: %s: %w", path, msg, context.DeadlineExceeded)
 	default:
+		if code == httperr.CodeUnknownServer {
+			return fmt.Errorf("%w: %s", ErrUnknownServer, msg)
+		}
 		return fmt.Errorf("dstore: %s: %s", path, msg)
 	}
 }
@@ -652,8 +670,8 @@ func (c *httpMasterConn) CreateTable(table string) error {
 	return c.h.call(detachedCtx(), "/d/createtable?name="+queryEscape(table), nil, nil)
 }
 
-// httpPeerConn speaks master-to-master HTTP: lease pings and journal
-// tailing against a peer's /m/ endpoints.
+// httpPeerConn speaks master-to-master HTTP: lease pings, journal
+// tailing, and journal pushing against a peer's /m/ endpoints.
 type httpPeerConn struct{ h *httpJSON }
 
 // DialMasterPeer returns a MasterPeerConn speaking HTTP to a pstormd
@@ -672,4 +690,10 @@ func (c *httpPeerConn) JournalTail(gen, off int64) (JournalTail, error) {
 	var t JournalTail
 	err := c.h.call(detachedCtx(), fmt.Sprintf("/m/journal?gen=%d&off=%d", gen, off), nil, &t)
 	return t, err
+}
+
+func (c *httpPeerConn) JournalPush(from string, t JournalTail) (JournalPushAck, error) {
+	var ack JournalPushAck
+	err := c.h.call(detachedCtx(), "/m/journal/push?from="+queryEscape(from), t, &ack)
+	return ack, err
 }

@@ -82,12 +82,23 @@ type journalRecord struct {
 // A checkpoint compaction rewrites the journal and bumps Gen; a tailer
 // holding frames of an older generation discards them and re-tails
 // from offset 0 of the new one (the first frame after a compaction is
-// a checkpoint record, so nothing is lost).
+// a checkpoint record, so nothing is lost). The same shape rides the
+// other direction on /m/journal/push, a leader's synchronous
+// replication of just-appended frames to its standbys.
 type JournalTail struct {
 	Gen    int64  `json:"gen"`
 	Offset int64  `json:"offset"` // offset Frames starts at (0 after a gen change)
 	Size   int64  `json:"size"`   // journal size after Frames
 	Frames []byte `json:"frames,omitempty"`
+}
+
+// JournalPushAck is a push receiver's resulting journal position — the
+// cursor the leader pushes from next. A receiver that could not apply
+// the push (non-contiguous offset) acks its unchanged position, and the
+// leader's next push resends from there, so cursors self-heal.
+type JournalPushAck struct {
+	Gen  int64 `json:"gen"`
+	Size int64 `json:"size"`
 }
 
 // metaJournal is the append-only record store. The in-memory buffer is
@@ -108,6 +119,16 @@ type metaJournal struct {
 	// latches the journal read-only if even the rollback fails.
 	fileSize int64
 	broken   error
+
+	// mirroring marks a standby's journal: it accepts leader pushes
+	// (adoptPush) and tailed frames. A leader's journal is authoritative
+	// and rejects pushes — two partitioned leaders must never scribble
+	// on each other's history. mirrorSource is the master whose bytes
+	// the mirror currently holds: offsets are only meaningful against
+	// one source, so frames from anyone else restart the mirror instead
+	// of splicing onto a foreign byte stream.
+	mirroring    bool
+	mirrorSource string
 }
 
 // openMetaJournal opens (or creates) the journal. With dir empty the
@@ -220,38 +241,98 @@ func (j *metaJournal) append(rec journalRecord) (checkpointed bool, err error) {
 		if err != nil {
 			return false, err
 		}
-		if j.f != nil {
-			if err := j.f.Truncate(0); err != nil {
-				return false, err
-			}
-			j.fileSize = 0
-			if _, err := j.f.Write(ck); err != nil {
-				if terr := j.f.Truncate(0); terr != nil {
-					j.broken = fmt.Errorf("dstore: META journal unwritable after failed checkpoint rollback: %w", terr)
-				}
-				return false, err
-			}
-			j.fileSize = int64(len(ck))
+		switch err := j.replaceFileLocked(ck); {
+		case err == nil:
+			j.buf = ck
+			j.gen++
+			j.appends++
+			return true, nil
+		case j.broken != nil:
+			return false, err
 		}
-		j.buf = ck
-		j.gen++
-		j.appends++
-		return true, nil
+		// The rewrite failed before its rename landed, so the on-disk
+		// journal is untouched: fall through to a plain append — an
+		// acked mutation must never be lost to a failed compaction. The
+		// rewrite retries on the next append.
 	}
+	if err := j.appendLocked(framed); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// appendLocked writes one framed record to the durable file (when one
+// is configured) and the in-memory buffer, fsyncing so an acked
+// control-plane mutation survives power loss, not just a process crash.
+func (j *metaJournal) appendLocked(framed []byte) error {
 	if j.f != nil {
-		if _, err := j.f.Write(framed); err != nil {
+		_, err := j.f.Write(framed)
+		if err == nil {
+			err = j.f.Sync()
+		}
+		if err != nil {
 			// The append may have persisted a partial frame; roll the file
 			// back to the last good boundary or latch the journal broken.
 			if terr := j.f.Truncate(j.fileSize); terr != nil {
 				j.broken = fmt.Errorf("dstore: META journal unwritable after failed rollback: %w", terr)
 			}
-			return false, err
+			return err
 		}
 		j.fileSize += int64(len(framed))
 	}
 	j.buf = append(j.buf, framed...)
 	j.appends++
-	return false, nil
+	return nil
+}
+
+// replaceFileLocked replaces the durable journal file with data,
+// crash-safely: data is written and synced to a temp file first, then
+// renamed over the journal, so at every instant the path holds either
+// the full old history or the complete replacement — never an empty or
+// torn file. A failure before the rename leaves the old journal
+// untouched (compaction falls back to a plain append); a failure after
+// it latches the journal broken, since the append handle no longer
+// reaches the live file. Checkpoint compaction and a mirroring
+// standby's generation restart both go through here.
+func (j *metaJournal) replaceFileLocked(data []byte) error {
+	if j.f == nil {
+		return nil
+	}
+	tmp := j.path + ".tmp"
+	tf, err := j.fs.OpenAppend(tmp)
+	if err != nil {
+		return err
+	}
+	// A stale temp from an earlier crashed rewrite may linger; start it
+	// clean.
+	err = tf.Truncate(0)
+	if err == nil {
+		_, err = tf.Write(data)
+	}
+	if err == nil {
+		err = tf.Sync()
+	}
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := j.fs.Rename(tmp, j.path); err != nil {
+		return err
+	}
+	old := j.f
+	f, err := j.fs.OpenAppend(j.path)
+	if err != nil {
+		j.f = nil
+		j.broken = fmt.Errorf("dstore: META journal unreachable after rewrite rename: %w", err)
+		old.Close() //nolint:errcheck — the reopen failure is the interesting one
+		return j.broken
+	}
+	old.Close() //nolint:errcheck — the old inode is already unlinked
+	j.f = f
+	j.fileSize = int64(len(data))
+	return nil
 }
 
 // tail returns the frames past (gen, off). A generation mismatch — the
@@ -277,21 +358,120 @@ func (j *metaJournal) size() int64 {
 	return int64(len(j.buf))
 }
 
-// adopt replaces the journal contents with frames mirrored from a
-// leader (standby tailing). The standby keeps its buffer byte-identical
-// to the leader's so its own offsets line up if it later serves tails.
-func (j *metaJournal) adopt(t JournalTail) {
+// setMirroring flips whether this journal accepts mirrored frames —
+// true for standbys, false for the leader, toggled at boot, promotion,
+// and stepdown.
+func (j *metaJournal) setMirroring(on bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if t.Gen != j.gen || t.Offset != int64(len(j.buf)) {
-		// Generation change (leader compacted) or a gap: restart from
-		// the leader's image.
+	j.mirroring = on
+}
+
+// adopt merges frames mirrored from a leader (a standby's pull-tail);
+// source names that leader. The standby keeps its buffer byte-identical
+// to the source's so its own offsets line up if it later serves tails.
+// A no-op when the journal is not mirroring: the tailing RPC races
+// promotion, and a just-promoted leader's history is authoritative.
+func (j *metaJournal) adopt(source string, t JournalTail) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.mirroring {
+		j.adoptLocked(source, t)
+	}
+}
+
+// adoptPush merges a leader-pushed tail into the mirror and reports the
+// resulting position — the ack the pusher advances (or rewinds) its
+// per-peer cursor to. ok is false when this journal is not mirroring:
+// the receiver is itself a leader, and the push is refused.
+func (j *metaJournal) adoptPush(from string, t JournalTail) (ack JournalPushAck, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.mirroring {
+		j.adoptLocked(from, t)
+	}
+	return JournalPushAck{Gen: j.gen, Size: int64(len(j.buf))}, j.mirroring
+}
+
+// adoptLocked applies mirrored frames: contiguous frames from the
+// current source append, a tail restarting at offset 0 (full image
+// after a leader compaction or cursor reset) replaces the buffer, and
+// anything non-contiguous — including any frames from a *different*
+// source, whose offsets mean nothing against this buffer — mutates
+// nothing beyond restarting the mirror; the caller's ack carries our
+// real position and the leader resends from there. The durable file,
+// when configured, is written through (best-effort) so a standby
+// restarted after a crash recovers a near-current shadow catalog:
+// every record is a full image, so an appended file of mixed lineage
+// still replays to the freshest state.
+func (j *metaJournal) adoptLocked(source string, t JournalTail) {
+	if source != j.mirrorSource {
+		// Source switch (failover, or a first adoption): this buffer is
+		// another master's byte stream. Restart the mirror; only a full
+		// image (offset 0) from the new source lands below.
 		j.buf = nil
-		j.gen = t.Gen
+		j.gen = 0
+		j.mirrorSource = source
 	}
-	if t.Offset == int64(len(j.buf)) {
+	if t.Gen == j.gen && t.Offset == int64(len(j.buf)) {
+		if len(t.Frames) == 0 {
+			return
+		}
 		j.buf = append(j.buf, t.Frames...)
+		j.persistAppendLocked(t.Frames)
+		return
 	}
+	if t.Offset != 0 {
+		return
+	}
+	j.buf = append([]byte(nil), t.Frames...)
+	j.gen = t.Gen
+	j.persistResetLocked()
+}
+
+// persistAppendLocked appends mirrored frames to the durable file with
+// write-through sync; persistResetLocked rewrites it with the current
+// buffer. Both are best-effort — the in-memory mirror is what
+// promotion replays; the file only improves what a *restarted* standby
+// recovers — so failures roll back (or latch broken) without failing
+// the adoption.
+func (j *metaJournal) persistAppendLocked(frames []byte) {
+	if j.f == nil || j.broken != nil {
+		return
+	}
+	_, err := j.f.Write(frames)
+	if err == nil {
+		err = j.f.Sync()
+	}
+	if err != nil {
+		if terr := j.f.Truncate(j.fileSize); terr != nil {
+			j.broken = fmt.Errorf("dstore: META journal unwritable after failed rollback: %w", terr)
+		}
+		return
+	}
+	j.fileSize += int64(len(frames))
+}
+
+func (j *metaJournal) persistResetLocked() {
+	if j.f == nil || j.broken != nil || len(j.buf) == 0 {
+		return
+	}
+	j.replaceFileLocked(j.buf) //nolint:errcheck — best-effort; a pre-rename failure leaves the old (still valid) file
+}
+
+// resetMirror clears the in-memory buffer so a recovered journal can
+// mirror a live leader from scratch. A restarted standby's replayed
+// buffer is its *own* past history, not a byte-identical copy of the
+// current leader's, so tail offsets into it would misalign and splice
+// garbage. The durable file keeps the recovered records (full-image
+// frames of mixed lineage replay fine) until the first full adoption
+// rewrites it.
+func (j *metaJournal) resetMirror() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.buf = nil
+	j.gen = 0
+	j.mirrorSource = ""
 }
 
 // pos returns the tailing cursor (gen, size) a standby sends on its

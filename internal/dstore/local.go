@@ -151,7 +151,7 @@ func StartLocalCluster(opts LocalOptions) (*LocalCluster, error) {
 			interval = c.Master.opts.heartbeatTimeout() / 4
 		}
 		for _, rs := range c.Servers {
-			rs.StartHeartbeats(c.mc, interval)
+			rs.StartHeartbeats(c.mc, Peer{ID: rs.ID()}, interval)
 		}
 		for _, m := range c.Masters {
 			m.Start()

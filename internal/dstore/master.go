@@ -132,6 +132,18 @@ type Master struct {
 	lastSeen           map[string]time.Time // peer ID -> last successful contact
 	peerConns          map[string]MasterPeerConn
 	electionGrace      time.Time
+	// pushCursors tracks, per standby, the journal position the last
+	// acked push left it at — where the next push resends from. Reset
+	// (full resend) on a failed push; corrected from the ack when the
+	// standby reports a different position.
+	pushCursors map[string]JournalPushAck
+	// fastElect marks a cold-started standby that has never led nor been
+	// deposed this incarnation: it may promote on a tick that reached the
+	// whole electorate without waiting out the election grace (a restart
+	// must not idle the cluster for a full lease when every peer is
+	// reachable and none leads). Cleared on first promotion or stepdown —
+	// a deposed leader always waits out the re-armed grace.
+	fastElect bool
 
 	loopStop chan struct{}
 	loopOnce sync.Once
@@ -150,6 +162,8 @@ type Master struct {
 	cJournalAppends     *obs.Counter
 	cJournalCheckpoints *obs.Counter
 	cJournalTails       *obs.Counter
+	cJournalPushes      *obs.Counter
+	cJournalPushMisses  *obs.Counter
 }
 
 // NewMaster creates a master resolving servers through reg. It cannot
@@ -187,6 +201,7 @@ func OpenMaster(reg *Registry, opts MasterOptions) (*Master, error) {
 		nextRegionID:        1,
 		lastSeen:            make(map[string]time.Time),
 		peerConns:           make(map[string]MasterPeerConn),
+		pushCursors:         make(map[string]JournalPushAck),
 		loopStop:            make(chan struct{}),
 		o:                   o,
 		cHeartbeats:         o.Counter("dstore_master_heartbeats_total"),
@@ -202,6 +217,8 @@ func OpenMaster(reg *Registry, opts MasterOptions) (*Master, error) {
 		cJournalAppends:     o.Counter("dstore_master_journal_appends_total"),
 		cJournalCheckpoints: o.Counter("dstore_master_journal_checkpoints_total"),
 		cJournalTails:       o.Counter("dstore_master_journal_tails_total"),
+		cJournalPushes:      o.Counter("dstore_master_journal_pushes_total"),
+		cJournalPushMisses:  o.Counter("dstore_master_journal_push_misses_total"),
 	}
 	// Event timestamps follow the injected clock so deterministic tests
 	// see deterministic traces.
@@ -218,8 +235,17 @@ func OpenMaster(reg *Registry, opts MasterOptions) (*Master, error) {
 	sort.Strings(m.electorate)
 
 	m.role = roleLeader
-	if m.haEnabled() && opts.Standby {
+	if m.haEnabled() && (opts.Standby || recovered != nil) {
+		// A restarted HA master (journal present) must not boot straight
+		// into leadership: its catalog may be stale and a live peer may
+		// already lead with a higher epoch. It boots as a standby and
+		// promotes through the normal election path — fast, if the first
+		// tick reaches every peer and sees no fresher leader (fullView in
+		// ElectionTick), else after the election grace. Only a fresh
+		// non-standby bootstrap (no journal to recover) starts leading
+		// immediately.
 		m.role = roleStandby
+		m.fastElect = true
 	}
 	if recovered != nil {
 		m.adoptStateLocked(*recovered, m.now())
@@ -231,10 +257,8 @@ func OpenMaster(reg *Registry, opts MasterOptions) (*Master, error) {
 	if m.role == roleLeader {
 		m.leaderID, m.leaderAddr = m.id, m.peerAddr(m.id)
 		if m.haEnabled() {
-			// A bootstrap or restarted HA leader mints a fresh fencing
-			// epoch above anything the journal recorded: whoever led
-			// while this process was down is fenced out by the first
-			// sweep.
+			// A fresh HA bootstrap leader (nothing recovered — a restart
+			// boots standby) mints its first fencing epoch.
 			m.masterEpoch = m.mintEpochLocked()
 			m.maxSeenMasterEpoch = m.masterEpoch
 			for _, regions := range m.tables {
@@ -244,6 +268,15 @@ func OpenMaster(reg *Registry, opts MasterOptions) (*Master, error) {
 			}
 		}
 		m.gLeader.Set(1)
+	} else {
+		if recovered != nil {
+			// The recovered buffer is this master's own past history, not
+			// a byte-copy of the current leader's — clear it so mirroring
+			// starts aligned (the shadow catalog above keeps the recovered
+			// view until fresher frames arrive).
+			m.journal.resetMirror()
+		}
+		m.journal.setMirroring(true)
 	}
 	return m, nil
 }
@@ -316,6 +349,75 @@ func (m *Master) journalLocked(kind string) {
 	if checkpointed {
 		m.cJournalCheckpoints.Inc()
 	}
+	if m.haEnabled() && m.role == roleLeader {
+		m.pushJournalLocked()
+	}
+}
+
+// pushJournalLocked replicates the just-appended journal tail to every
+// standby seen alive within a lease, synchronously, before the mutation
+// that triggered it acks: a leader crash right after the ack then finds
+// the mutation already on every reachable standby's mirror, closing the
+// pull-tail window where acked META changes lived only on the dead
+// leader's disk. The push is availability-first, never quorum: an
+// unreachable or refusing standby is skipped (counted in
+// dstore_master_journal_push_misses_total and emitted), so a cluster
+// whose standbys are all down still serves mutations — frames acked in
+// that state ride on the leader's durable journal alone until a standby
+// reconnects and pull-tailing catches it up. The receive path
+// (AcceptJournalPush) takes only the journal's leaf lock, never the
+// catalog lock, so two partitioned leaders pushing at each other cannot
+// deadlock on crossed locks.
+func (m *Master) pushJournalLocked() {
+	now := m.now()
+	lease := m.leaseDuration()
+	for _, id := range m.electorate {
+		if id == m.id {
+			continue
+		}
+		if last, ok := m.lastSeen[id]; !ok || now.Sub(last) > lease {
+			continue
+		}
+		c, err := m.peerConnLocked(id)
+		if err != nil {
+			continue
+		}
+		cur := m.pushCursors[id]
+		t := m.journal.tail(cur.Gen, cur.Size)
+		if len(t.Frames) == 0 {
+			m.pushCursors[id] = JournalPushAck{Gen: t.Gen, Size: t.Size}
+			continue
+		}
+		ack, err := c.JournalPush(m.id, t)
+		if err != nil {
+			// Unknown peer state now: forget the cursor so the next push
+			// resends from scratch.
+			delete(m.pushCursors, id)
+			m.cJournalPushMisses.Inc()
+			m.o.Emit("journal_push_miss", map[string]string{"peer": id, "error": err.Error()})
+			continue
+		}
+		m.cJournalPushes.Inc()
+		m.pushCursors[id] = ack
+	}
+}
+
+// AcceptJournalPush receives a leader's synchronous journal replication
+// (the /m/journal/push handler). It deliberately touches only the
+// journal's own lock — never the catalog lock — so a push can never
+// stall behind (or deadlock against) a local catalog operation. The
+// shadow catalog catches up on the next election tick; promotion
+// replays the mirror first, so nothing pushed is lost even when no tick
+// intervened between the push and the leader's death.
+func (m *Master) AcceptJournalPush(from string, t JournalTail) (JournalPushAck, error) {
+	if m.stopped.Load() {
+		return JournalPushAck{}, errStopped
+	}
+	ack, ok := m.journal.adoptPush(from, t)
+	if !ok {
+		return ack, fmt.Errorf("dstore: journal push refused: %s is not mirroring", m.id)
+	}
+	return ack, nil
 }
 
 // snapshotStateLocked captures the full catalog image a journal record
@@ -479,7 +581,7 @@ func (m *Master) Heartbeat(id string) error {
 	}
 	mem, ok := m.servers[id]
 	if !ok {
-		return fmt.Errorf("dstore: heartbeat from unknown server %q", id)
+		return fmt.Errorf("%w: heartbeat from %q", ErrUnknownServer, id)
 	}
 	mem.lastBeat = m.now()
 	mem.alive = true

@@ -46,6 +46,7 @@ type RegionServer struct {
 	cReplCells   *obs.Counter
 	cApplies     *obs.Counter
 	cHeartbeats  *obs.Counter
+	cRejoins     *obs.Counter
 	cStaleMaster *obs.Counter
 }
 
@@ -70,6 +71,7 @@ func NewRegionServer(id string, reg *Registry) *RegionServer {
 		cReplCells:   o.Counter("dstore_rs_replicated_cells_total", "server", id),
 		cApplies:     o.Counter("dstore_rs_apply_total", "server", id),
 		cHeartbeats:  o.Counter("dstore_rs_heartbeats_sent_total", "server", id),
+		cRejoins:     o.Counter("dstore_rs_rejoins_total", "server", id),
 		cStaleMaster: o.Counter("dstore_rs_stale_master_total", "server", id),
 	}
 	reg.Register(rs)
@@ -152,9 +154,11 @@ func (rs *RegionServer) checkCtx(ctx context.Context) error {
 }
 
 // StartHeartbeats sends heartbeats to the master every interval until
-// the server stops. Used by pstormd and background local clusters;
-// deterministic tests call mc.Heartbeat themselves.
-func (rs *RegionServer) StartHeartbeats(mc MasterConn, interval time.Duration) {
+// the server stops. self is this server's peer identity, kept so the
+// loop can re-register when a master stops recognizing it. Used by
+// pstormd and background local clusters; deterministic tests call
+// rs.Beat (or mc.Heartbeat) themselves.
+func (rs *RegionServer) StartHeartbeats(mc MasterConn, self Peer, interval time.Duration) {
 	go func() {
 		t := time.NewTicker(interval)
 		defer t.Stop()
@@ -163,11 +167,29 @@ func (rs *RegionServer) StartHeartbeats(mc MasterConn, interval time.Duration) {
 			case <-rs.hbStop:
 				return
 			case <-t.C:
-				rs.cHeartbeats.Inc()
-				mc.Heartbeat(rs.id) //nolint:errcheck — a missed beat is what timeouts are for
+				rs.Beat(mc, self)
 			}
 		}
 	}()
+}
+
+// Beat is one heartbeat round. Most errors are ignored — a missed beat
+// is exactly what the master's liveness timeout exists to notice — but
+// an unknown-server rejection means the master's catalog has no entry
+// for this server at all (its Join was acked by a since-deposed leader
+// and lost on failover), and no amount of heartbeating fixes that: the
+// server re-issues Join to re-register, and resumes plain beats once
+// registered.
+func (rs *RegionServer) Beat(mc MasterConn, self Peer) {
+	rs.cHeartbeats.Inc()
+	err := mc.Heartbeat(rs.id)
+	if err == nil || !errors.Is(err, ErrUnknownServer) {
+		return
+	}
+	if err := mc.Join(self); err == nil {
+		rs.cRejoins.Inc()
+		rs.o.Emit("rejoin", map[string]string{"server": rs.id})
+	}
 }
 
 func (rs *RegionServer) followersFor(table string, regionID int) []Peer {

@@ -19,6 +19,9 @@ type FS interface {
 	// OpenAppend opens (creating if needed) a file for appending —
 	// the WAL's access pattern.
 	OpenAppend(path string) (AppendFile, error)
+	// Rename atomically replaces newpath with oldpath — the
+	// write-temp-then-rename discipline checkpoint rewrites rely on.
+	Rename(oldpath, newpath string) error
 }
 
 // AppendFile is an append-only log file handle.
@@ -46,6 +49,8 @@ func (osFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
 func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
 
 func (osFS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 
 func (osFS) OpenAppend(path string) (AppendFile, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

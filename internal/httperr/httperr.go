@@ -24,18 +24,19 @@ import (
 
 // Stable error codes.
 const (
-	CodeBadRequest   = "bad_request"   // malformed or unresolvable request
-	CodeNotFound     = "not_found"     // named profile/job/dataset does not exist
-	CodeDeadline     = "deadline"      // the request's deadline elapsed mid-work
-	CodeCanceled     = "canceled"      // the caller went away
-	CodeUnavailable  = "unavailable"   // the store (or a dependency) is down
-	CodeNotServing   = "not_serving"   // region moved or fenced; re-route and retry
-	CodeNotLeader    = "not_leader"    // standby master; message carries the leader hint
-	CodeStaleMaster  = "stale_master"  // deposed master's epoch rejected by fencing
-	CodeRateLimited  = "rate_limited"  // tenant over its token-bucket quota
-	CodeOverCapacity = "over_capacity" // concurrency ceiling hit (tenant or global)
-	CodeShedDegraded = "shed_degraded" // load-shed: store degraded, tenant priority too low
-	CodeInternal     = "internal"      // everything else
+	CodeBadRequest    = "bad_request"    // malformed or unresolvable request
+	CodeNotFound      = "not_found"      // named profile/job/dataset does not exist
+	CodeDeadline      = "deadline"       // the request's deadline elapsed mid-work
+	CodeCanceled      = "canceled"       // the caller went away
+	CodeUnavailable   = "unavailable"    // the store (or a dependency) is down
+	CodeNotServing    = "not_serving"    // region moved or fenced; re-route and retry
+	CodeNotLeader     = "not_leader"     // standby master; message carries the leader hint
+	CodeStaleMaster   = "stale_master"   // deposed master's epoch rejected by fencing
+	CodeUnknownServer = "unknown_server" // heartbeat from a server absent from the catalog; re-Join
+	CodeRateLimited   = "rate_limited"   // tenant over its token-bucket quota
+	CodeOverCapacity  = "over_capacity"  // concurrency ceiling hit (tenant or global)
+	CodeShedDegraded  = "shed_degraded"  // load-shed: store degraded, tenant priority too low
+	CodeInternal      = "internal"       // everything else
 )
 
 // Error is the envelope body.
